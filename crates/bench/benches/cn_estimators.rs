@@ -1,0 +1,45 @@
+//! Microbenchmark: CN estimator fill() latency (the per-query cost the
+//! DP allocator pays), per estimator kind.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use datagen::Profile;
+use gph::cn::learned::{LearnedParams, ModelKind};
+use gph::cn::{build_estimator, EstimatorKind};
+use hamming_core::project::{ProjectedDataset, Projector};
+use hamming_core::Partitioning;
+
+fn bench(c: &mut Criterion) {
+    let profile = Profile::gist_like();
+    let ds = profile.generate(4_000, 21);
+    let p = Partitioning::equi_width(profile.dim, 16).unwrap();
+    let projector = Projector::new(&p);
+    let pd = ProjectedDataset::build(&ds, &projector);
+    let tau = 32usize;
+    let kinds: Vec<(&str, EstimatorKind)> = vec![
+        ("exact", EstimatorKind::Exact { max_width: 16 }),
+        ("sp2", EstimatorKind::SubPartition { sub_count: 2, paper_shift: false }),
+        (
+            "svm",
+            EstimatorKind::Learned(LearnedParams {
+                model: ModelKind::Svm,
+                n_train: 100,
+                ..Default::default()
+            }),
+        ),
+        ("scan2k", EstimatorKind::SampleScan { sample_cap: 2_000, seed: 3 }),
+    ];
+    let q = ds.row(1).to_vec();
+    let qp = projector.project(0, &q);
+    let mut group = c.benchmark_group("cn_fill_one_partition");
+    for (name, kind) in kinds {
+        let est = build_estimator(&kind, &pd, tau).unwrap();
+        let mut out = vec![0.0; tau + 2];
+        group.bench_function(name, |b| {
+            b.iter(|| est.fill(black_box(0), black_box(&qp), tau, &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

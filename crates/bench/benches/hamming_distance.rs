@@ -1,0 +1,38 @@
+//! Microbenchmark: Hamming distance kernels (full vs early-exit) across
+//! the paper's dimensionalities.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use datagen::Profile;
+use hamming_core::distance::{hamming, hamming_within};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hamming_distance");
+    for (name, dim) in [("sift128", 128), ("gist256", 256), ("pubchem881", 881)] {
+        let ds = Profile::uniform(dim).generate(1024, 7);
+        let q = ds.row(0).to_vec();
+        group.bench_function(format!("{name}/full_scan_1k"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for row in ds.iter_rows() {
+                    acc += hamming(black_box(row), black_box(&q)) as u64;
+                }
+                acc
+            })
+        });
+        group.bench_function(format!("{name}/early_exit_1k_tau8"), |b| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                for row in ds.iter_rows() {
+                    if hamming_within(black_box(row), black_box(&q), 8).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

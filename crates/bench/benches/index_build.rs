@@ -1,0 +1,33 @@
+//! Build-time benchmark: inverted index and variant index construction
+//! (the Table IV decomposition, criterion-sized).
+
+use baselines::{HmSearch, PartAlloc, SearchIndex};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use datagen::Profile;
+use hamming_core::project::{ProjectedDataset, Projector};
+use hamming_core::{InvertedIndex, Partitioning};
+
+fn bench(c: &mut Criterion) {
+    let profile = Profile::sift_like();
+    let ds = profile.generate(8_000, 31);
+    let p = Partitioning::equi_width(profile.dim, 8).unwrap();
+    let projector = Projector::new(&p);
+    let mut group = c.benchmark_group("index_build_8k");
+    group.sample_size(10);
+    group.bench_function("project+invert", |b| {
+        b.iter(|| {
+            let pd = ProjectedDataset::build(black_box(&ds), &projector);
+            InvertedIndex::build(&pd).len()
+        })
+    });
+    group.bench_function("hmsearch_tau8", |b| {
+        b.iter(|| HmSearch::build(black_box(ds.clone()), 8).unwrap().size_bytes())
+    });
+    group.bench_function("partalloc_tau8", |b| {
+        b.iter(|| PartAlloc::build(black_box(ds.clone()), 8).unwrap().size_bytes())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! End-to-end query benchmark: GPH vs MIH vs HmSearch vs PartAlloc on a
+//! medium-skew dataset (the Fig. 7 comparison, criterion-sized).
+
+use baselines::{HmSearch, Mih, PartAlloc, SearchIndex};
+use bench::util::gph_config_for;
+use bench::GphEngine;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use datagen::Profile;
+use gph::partition_opt::{PartitionStrategy, WorkloadSpec};
+
+fn bench(c: &mut Criterion) {
+    let profile = Profile::gist_like();
+    let ds = profile.generate(8_000, 11);
+    let queries = profile.generate(16, 12);
+    let tau = 16u32;
+
+    let mut cfg = gph_config_for(profile.dim, tau as usize);
+    cfg.strategy = PartitionStrategy::default();
+    cfg.workload = Some(WorkloadSpec::new(profile.generate(30, 13), vec![8, tau]));
+    let gph_engine = GphEngine::build_with(ds.clone(), cfg);
+    let mih = Mih::build(ds.clone(), Mih::suggested_m(profile.dim, ds.len())).unwrap();
+    let hm = HmSearch::build(ds.clone(), tau).unwrap();
+    let pa = PartAlloc::build(ds.clone(), tau).unwrap();
+
+    let engines: [(&str, &dyn SearchIndex); 4] =
+        [("gph", &gph_engine), ("mih", &mih), ("hmsearch", &hm), ("partalloc", &pa)];
+    let mut group = c.benchmark_group("query_gist_tau16");
+    for (name, engine) in engines {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for qi in 0..queries.len() {
+                    total += engine.search(black_box(queries.row(qi)), tau).len();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Microbenchmark: Hamming-ball signature enumeration (the C_sig_gen term
+//! of the paper's cost model).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hamming_core::enumerate::for_each_in_ball_u64;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature_enumeration");
+    for (width, radius) in [(16usize, 2usize), (16, 4), (32, 3), (24, 4)] {
+        group.bench_function(format!("w{width}_r{radius}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for_each_in_ball_u64(black_box(0xABCDu64), width, radius, |v| acc ^= v);
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

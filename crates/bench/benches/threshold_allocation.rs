@@ -1,0 +1,39 @@
+//! Microbenchmark: Algorithm 1 (DP threshold allocation) at the paper's
+//! partition counts and thresholds, against round robin.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gph::alloc::{allocate_dp, allocate_round_robin};
+use gph::cn::{CnEstimator, CnTable};
+
+struct Synth;
+impl CnEstimator for Synth {
+    fn fill(&self, part: usize, _q: &[u64], tau: usize, out: &mut [f64]) {
+        let mut acc = 0.0;
+        out[0] = 0.0;
+        for e in 0..=tau {
+            acc += ((part * 31 + e * 7) % 97) as f64;
+            out[e + 1] = acc;
+        }
+    }
+    fn size_bytes(&self) -> usize {
+        0
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threshold_allocation");
+    for (m, tau) in [(6usize, 32u32), (16, 64), (36, 32)] {
+        let q: Vec<Vec<u64>> = vec![vec![0u64]; m];
+        let cn = CnTable::compute(&Synth, &q, tau as usize);
+        group.bench_function(format!("dp_m{m}_tau{tau}"), |b| {
+            b.iter(|| allocate_dp(black_box(&cn), black_box(tau)))
+        });
+        group.bench_function(format!("rr_m{m}_tau{tau}"), |b| {
+            b.iter(|| allocate_round_robin(black_box(m), black_box(tau)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Fig. 3 — threshold allocation: DP (Algorithm 1) vs RR (round robin).
+//!
+//! Both allocators run on the same random-shuffle equi-width partitioning
+//! (the paper's setup for this comparison) so that only the allocation
+//! differs. Reported per τ: mean estimated cost (`Σ CN` of the chosen
+//! vector) and mean query time. Expected shape: DP ≪ RR, with the gap
+//! growing with skew (PubChem-like ≫ GIST-like ≫ SIFT-like).
+
+use crate::util::{gph_config_for, ms, prepare, tau_sweep, GphEngine, Scale, Table};
+use datagen::Profile;
+use gph::partition_opt::PartitionStrategy;
+use gph::AllocatorKind;
+
+/// Runs the DP-vs-RR comparison on the three focus datasets.
+pub fn run(scale: Scale) {
+    println!("## Fig. 3 — threshold allocation: RR vs DP\n");
+    let mut table = Table::new(&[
+        "dataset", "tau", "RR est.cost", "DP est.cost", "RR ms", "DP ms", "speedup",
+    ]);
+    for profile in [Profile::sift_like(), Profile::gist_like(), Profile::pubchem_like()] {
+        let qs = prepare(&profile, scale, 0xF3);
+        let taus = tau_sweep(&profile.name);
+        let tau_max = *taus.last().expect("nonempty") as usize;
+        let build = |alloc: AllocatorKind| {
+            let mut cfg = gph_config_for(profile.dim, tau_max);
+            cfg.allocator = alloc;
+            // Same partitioning for both allocators: shuffled equi-width.
+            cfg.strategy = PartitionStrategy::RandomShuffle { seed: 0xF3F3 };
+            GphEngine::build_with(qs.data.clone(), cfg)
+        };
+        let rr = build(AllocatorKind::RoundRobin);
+        let dp = build(AllocatorKind::Dp);
+        for &tau in &taus {
+            let mut cost = [0.0f64; 2];
+            let mut time_ns = [0u128; 2];
+            for (ei, engine) in [&rr, &dp].into_iter().enumerate() {
+                for qi in 0..qs.queries.len() {
+                    let t = std::time::Instant::now();
+                    let res = engine.inner().search_with_stats(qs.queries.row(qi), tau);
+                    time_ns[ei] += t.elapsed().as_nanos();
+                    cost[ei] += res.stats.estimated_cost;
+                }
+            }
+            let nq = qs.queries.len().max(1) as f64;
+            let rr_ms = time_ns[0] as f64 / 1e6 / nq;
+            let dp_ms = time_ns[1] as f64 / 1e6 / nq;
+            table.row(vec![
+                profile.name.clone(),
+                tau.to_string(),
+                format!("{:.0}", cost[0] / nq),
+                format!("{:.0}", cost[1] / nq),
+                ms(rr_ms),
+                ms(dp_ms),
+                format!("{:.1}x", rr_ms / dp_ms.max(1e-9)),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "Note: RR reports the estimated cost of its own (round-robin) vector \
+         under the same CN estimates the DP uses.\n"
+    );
+}

@@ -1,0 +1,100 @@
+//! Fig. 2 — cost-model assumption checks.
+//!
+//! * Fig. 2(a): GPH response time decomposed into threshold allocation,
+//!   signature enumeration, candidate generation, and verification. The
+//!   paper's claim: allocation + enumeration are negligible (< 3 %).
+//! * Fig. 2(b): `Σ|I_s|` (postings touched) upper-bounds `|S_cand|`
+//!   (distinct candidates); their ratio α feeds Equation 1.
+
+use crate::util::{gph_config_for, ms, prepare, tau_sweep, GphEngine, Scale, Table};
+use datagen::Profile;
+use gph::partition_opt::{PartitionStrategy, WorkloadSpec};
+
+fn three_datasets() -> Vec<Profile> {
+    vec![Profile::sift_like(), Profile::gist_like(), Profile::pubchem_like()]
+}
+
+fn build_gph(profile: &Profile, scale: Scale) -> (GphEngine, hamming_core::Dataset, Vec<u32>) {
+    let qs = prepare(profile, scale, 0xF2);
+    let taus = tau_sweep(&profile.name);
+    let mut cfg = gph_config_for(profile.dim, *taus.last().expect("nonempty") as usize);
+    cfg.workload = Some(WorkloadSpec::new(qs.workload.clone(), taus.clone()));
+    cfg.strategy = PartitionStrategy::default();
+    let engine = GphEngine::build_with(qs.data, cfg);
+    (engine, qs.queries, taus)
+}
+
+/// Fig. 2(a): per-phase time decomposition.
+pub fn run_fig2a(scale: Scale) {
+    println!("## Fig. 2(a) — GPH response time decomposed (mean ms/query)\n");
+    let mut table = Table::new(&[
+        "dataset", "tau", "alloc", "enum", "candgen", "verify", "total", "alloc+enum %",
+    ]);
+    for profile in three_datasets() {
+        let (engine, queries, taus) = build_gph(&profile, scale);
+        for &tau in &taus {
+            let mut acc = [0u64; 4];
+            for qi in 0..queries.len() {
+                let res = engine.inner().search_with_stats(queries.row(qi), tau);
+                acc[0] += res.stats.alloc_ns;
+                acc[1] += res.stats.enumerate_ns;
+                acc[2] += res.stats.candgen_ns;
+                acc[3] += res.stats.verify_ns;
+            }
+            let nq = queries.len().max(1) as f64;
+            let to_ms = |v: u64| v as f64 / 1e6 / nq;
+            let total = acc.iter().sum::<u64>() as f64 / 1e6 / nq;
+            let overhead = if total > 0.0 {
+                (to_ms(acc[0]) + to_ms(acc[1])) / total * 100.0
+            } else {
+                0.0
+            };
+            table.row(vec![
+                profile.name.clone(),
+                tau.to_string(),
+                ms(to_ms(acc[0])),
+                ms(to_ms(acc[1])),
+                ms(to_ms(acc[2])),
+                ms(to_ms(acc[3])),
+                ms(total),
+                format!("{overhead:.1}%"),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// Fig. 2(b): `Σ|I_s|` vs `|S_cand|` and the α ratio.
+pub fn run_fig2b(scale: Scale) {
+    println!("## Fig. 2(b) — sum of postings vs distinct candidates (alpha)\n");
+    let mut table = Table::new(&["dataset", "tau", "sum |I_s|", "|S_cand|", "alpha"]);
+    for profile in three_datasets() {
+        let (engine, queries, taus) = build_gph(&profile, scale);
+        for &tau in &taus {
+            let mut postings = 0u64;
+            let mut cands = 0u64;
+            for qi in 0..queries.len() {
+                let res = engine.inner().search_with_stats(queries.row(qi), tau);
+                postings += res.stats.sum_postings;
+                cands += res.stats.n_candidates;
+            }
+            let alpha = if postings == 0 {
+                1.0
+            } else {
+                cands as f64 / postings as f64
+            };
+            table.row(vec![
+                profile.name.clone(),
+                tau.to_string(),
+                postings.to_string(),
+                cands.to_string(),
+                format!("{alpha:.3}"),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "alpha is the |S_cand| / Σ|I_s| ratio of Eq. 1; the paper reports \
+         0.69–0.98 depending on dataset and τ.\n"
+    );
+}

@@ -1,0 +1,113 @@
+//! Table III — CN estimation quality: SP vs SVM vs RF vs DNN.
+//!
+//! On the GIST-like dataset with equi-width partitions, each estimator
+//! predicts `CN(qᵢ, e)` at the basic per-partition threshold `e = ⌊τ/m⌋`
+//! for τ ∈ {16, 32, 48, 64}; errors are relative to the exact count
+//! (full sample scan) and prediction time is per estimate. Expected
+//! shape (paper): SVM ≈ DNN ≪ RF in error, SVM fastest among the
+//! learned models, all errors shrinking as τ grows.
+
+use crate::util::{prepare, Scale, Table};
+use datagen::Profile;
+use gph::cn::learned::{LearnedParams, ModelKind};
+use gph::cn::{build_estimator, CnEstimator, EstimatorKind};
+use hamming_core::project::{ProjectedDataset, Projector};
+use hamming_core::Partitioning;
+use std::time::Instant;
+
+/// Runs the estimator comparison.
+pub fn run(scale: Scale) {
+    println!("## Table III — CN estimation error and prediction time (GIST-like)\n");
+    let profile = Profile::gist_like();
+    let qs = prepare(&profile, scale, 0xE3);
+    let m = 16usize; // 256 dims -> width-16 partitions
+    let p = Partitioning::equi_width(profile.dim, m).expect("valid m");
+    let projector = Projector::new(&p);
+    let pd = ProjectedDataset::build(&qs.data, &projector);
+    let tau_max = 64usize;
+
+    // Estimators under test (SP + the three learned families).
+    let n_train = scale.n_workload.max(100);
+    let kinds: Vec<(&str, EstimatorKind)> = vec![
+        ("SP", EstimatorKind::SubPartition { sub_count: 2, paper_shift: false }),
+        ("SP-paper", EstimatorKind::SubPartition { sub_count: 2, paper_shift: true }),
+        (
+            "SVM",
+            EstimatorKind::Learned(LearnedParams {
+                model: ModelKind::Svm,
+                n_train,
+                ..Default::default()
+            }),
+        ),
+        (
+            "RF",
+            EstimatorKind::Learned(LearnedParams {
+                model: ModelKind::Rf,
+                n_train,
+                ..Default::default()
+            }),
+        ),
+        (
+            "DNN",
+            EstimatorKind::Learned(LearnedParams {
+                model: ModelKind::Dnn,
+                n_train,
+                ..Default::default()
+            }),
+        ),
+    ];
+    let mut built: Vec<(&str, Box<dyn CnEstimator>)> = Vec::new();
+    for (name, kind) in &kinds {
+        let t = Instant::now();
+        let est = build_estimator(kind, &pd, tau_max).expect("estimator build");
+        println!("built {name} in {:.2}s", t.elapsed().as_secs_f64());
+        built.push((name, est));
+    }
+    // Oracle.
+    let oracle = build_estimator(
+        &EstimatorKind::SampleScan { sample_cap: usize::MAX, seed: 0 },
+        &pd,
+        tau_max,
+    )
+    .expect("oracle build");
+
+    println!();
+    let mut table = Table::new(&["tau", "e=⌊τ/m⌋", "SP", "SP-paper", "SVM", "RF", "DNN"]);
+    let eval_queries = qs.queries.len().min(30);
+    for tau in [16u32, 32, 48, 64] {
+        let e = (tau as usize / m).min(tau_max);
+        let mut cells = vec![tau.to_string(), e.to_string()];
+        for (_, est) in &built {
+            let mut err_sum = 0.0f64;
+            let mut err_n = 0usize;
+            let mut pred_ns = 0u128;
+            for qi in 0..eval_queries {
+                let q = qs.queries.row(qi);
+                for part in 0..m {
+                    let qp = projector.project(part, q);
+                    let mut est_row = vec![0.0; tau_max + 2];
+                    let mut tru_row = vec![0.0; tau_max + 2];
+                    let t = Instant::now();
+                    est.fill(part, &qp, tau_max, &mut est_row);
+                    pred_ns += t.elapsed().as_nanos();
+                    oracle.fill(part, &qp, tau_max, &mut tru_row);
+                    let (p_est, p_tru) = (est_row[e + 1], tru_row[e + 1]);
+                    err_sum += (p_est - p_tru).abs() / p_tru.max(1.0);
+                    err_n += 1;
+                }
+            }
+            // fill() produces the whole row (tau_max + 1 estimates); the
+            // per-estimate time divides accordingly.
+            let per_estimate_us =
+                pred_ns as f64 / 1e3 / (err_n as f64) / (tau_max as f64 + 1.0);
+            cells.push(format!(
+                "{:.2}%/{:.2}",
+                err_sum / err_n as f64 * 100.0,
+                per_estimate_us
+            ));
+        }
+        table.row(cells);
+    }
+    println!("Each cell: mean relative error % / prediction time per estimate (µs).\n");
+    table.print();
+}

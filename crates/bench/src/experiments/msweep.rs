@@ -1,0 +1,52 @@
+//! Fig. 5 — effect of the partition count `m`.
+//!
+//! Expected shape (paper): small `m` wins at small τ; the best `m` creeps
+//! up with τ; the paper's rule of thumb is `m ≈ n/24`.
+
+use crate::util::{gph_config_for, ms, prepare, tau_sweep, GphEngine, Scale, Table};
+use datagen::Profile;
+use gph::partition_opt::{PartitionStrategy, WorkloadSpec};
+
+fn m_candidates(profile: &Profile) -> Vec<usize> {
+    match profile.dim {
+        128 => vec![4, 6, 8, 10, 12],
+        256 => vec![8, 10, 12, 16, 20],
+        _ => vec![24, 36, 44, 56, 62],
+    }
+}
+
+/// Runs the m sweep on the three focus datasets.
+pub fn run(scale: Scale) {
+    println!("## Fig. 5 — effect of partition number m (mean ms/query)\n");
+    for profile in [Profile::sift_like(), Profile::gist_like(), Profile::pubchem_like()] {
+        let qs = prepare(&profile, scale, 0xF5);
+        let taus = tau_sweep(&profile.name);
+        let tau_max = *taus.last().expect("nonempty") as usize;
+        let ms_list = m_candidates(&profile);
+        let wl = WorkloadSpec::new(qs.workload.clone(), taus.clone());
+        let mut header: Vec<String> = vec!["tau".into()];
+        header.extend(ms_list.iter().map(|m| format!("m={m}")));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(&header_refs);
+        let engines: Vec<GphEngine> = ms_list
+            .iter()
+            .map(|&m| {
+                let mut cfg = gph_config_for(profile.dim, tau_max);
+                cfg.m = m;
+                cfg.strategy = PartitionStrategy::default();
+                cfg.workload = Some(wl.clone());
+                GphEngine::build_with(qs.data.clone(), cfg)
+            })
+            .collect();
+        println!("### {} (suggested m = n/24 = {})\n", profile.name, profile.dim / 24);
+        for &tau in &taus {
+            let mut cells = vec![tau.to_string()];
+            for engine in &engines {
+                let t = crate::util::time_queries(engine, &qs.queries, tau);
+                cells.push(ms(t.mean_ms));
+            }
+            table.row(cells);
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,107 @@
+//! Fig. 4 — dimension partitioning strategies and initializations.
+//!
+//! * 4(a)/(c)/(e): query time under **GR** (the paper's heuristic) vs
+//!   **OR** (original order), **OS** (skew balancing), **DD** (correlation
+//!   minimizing), **RS** (random shuffle). Expected shape: near-ties on
+//!   SIFT-like, GR ahead by growing factors on GIST-like/PubChem-like.
+//! * 4(b)/(d)/(f): the hill climber started from **GreedyInit** (entropy),
+//!   **OriginalInit**, **RandomInit**.
+
+use crate::util::{gph_config_for, ms, prepare, tau_sweep, GphEngine, Scale, Table};
+use datagen::Profile;
+use gph::partition_opt::{HeuristicConfig, InitKind, PartitionStrategy, WorkloadSpec};
+
+fn focus_profiles() -> Vec<Profile> {
+    vec![Profile::sift_like(), Profile::gist_like(), Profile::pubchem_like()]
+}
+
+/// Runs both halves of Fig. 4.
+pub fn run(scale: Scale) {
+    run_strategies(scale);
+    run_inits(scale);
+}
+
+fn heuristic_cfg(scale: Scale, init: InitKind) -> HeuristicConfig {
+    HeuristicConfig {
+        init,
+        max_iters: 8,
+        move_budget: Some(2048),
+        sample_rows: scale.base_rows.min(1000),
+        seed: 0xF4,
+    }
+}
+
+fn run_strategies(scale: Scale) {
+    println!("## Fig. 4(a,c,e) — partitioning strategies (mean ms/query, GPH engine)\n");
+    let mut table = Table::new(&["dataset", "tau", "GR", "OR", "OS", "DD", "RS"]);
+    for profile in focus_profiles() {
+        let qs = prepare(&profile, scale, 0xF4);
+        let taus = tau_sweep(&profile.name);
+        let tau_max = *taus.last().expect("nonempty") as usize;
+        let wl = WorkloadSpec::new(qs.workload.clone(), taus.clone());
+        let strategies: Vec<(&str, PartitionStrategy)> = vec![
+            (
+                "GR",
+                PartitionStrategy::Heuristic(heuristic_cfg(scale, InitKind::Greedy)),
+            ),
+            ("OR", PartitionStrategy::Original),
+            ("OS", PartitionStrategy::Os),
+            ("DD", PartitionStrategy::Dd),
+            ("RS", PartitionStrategy::RandomShuffle { seed: 0x55 }),
+        ];
+        let engines: Vec<GphEngine> = strategies
+            .iter()
+            .map(|(_, strat)| {
+                let mut cfg = gph_config_for(profile.dim, tau_max);
+                cfg.strategy = strat.clone();
+                cfg.workload = Some(wl.clone());
+                GphEngine::build_with(qs.data.clone(), cfg)
+            })
+            .collect();
+        for &tau in &taus {
+            let mut cells = vec![profile.name.clone(), tau.to_string()];
+            for engine in &engines {
+                let t = crate::util::time_queries(engine, &qs.queries, tau);
+                cells.push(format!("{} ({:.0})", ms(t.mean_ms), t.mean_candidates));
+            }
+            table.row(cells);
+        }
+    }
+    table.print();
+    println!("Each cell: mean ms/query (mean candidates).\n");
+}
+
+fn run_inits(scale: Scale) {
+    println!("## Fig. 4(b,d,f) — initial partitioning for the hill climber\n");
+    let mut table = Table::new(&["dataset", "tau", "GreedyInit", "OriginalInit", "RandomInit"]);
+    for profile in focus_profiles() {
+        let qs = prepare(&profile, scale, 0xF4);
+        let taus = tau_sweep(&profile.name);
+        let tau_max = *taus.last().expect("nonempty") as usize;
+        let wl = WorkloadSpec::new(qs.workload.clone(), taus.clone());
+        let inits = [
+            InitKind::Greedy,
+            InitKind::Original,
+            InitKind::Random { seed: 0x99 },
+        ];
+        let engines: Vec<GphEngine> = inits
+            .iter()
+            .map(|&init| {
+                let mut cfg = gph_config_for(profile.dim, tau_max);
+                cfg.strategy = PartitionStrategy::Heuristic(heuristic_cfg(scale, init));
+                cfg.workload = Some(wl.clone());
+                GphEngine::build_with(qs.data.clone(), cfg)
+            })
+            .collect();
+        for &tau in &taus {
+            let mut cells = vec![profile.name.clone(), tau.to_string()];
+            for engine in &engines {
+                let t = crate::util::time_queries(engine, &qs.queries, tau);
+                cells.push(format!("{} ({:.0})", ms(t.mean_ms), t.mean_candidates));
+            }
+            table.row(cells);
+        }
+    }
+    table.print();
+    println!("Each cell: mean ms/query (mean candidates).\n");
+}

@@ -1,0 +1,59 @@
+//! Fig. 1 — skewness by dimension for every dataset profile.
+//!
+//! The paper plots per-dimension skewness (`|#1s − #0s| / #data`) of the
+//! real datasets to motivate skew-aware partitioning; here we verify the
+//! synthetic stand-ins reproduce those profiles: SIFT-like near zero,
+//! GIST-like ramping to ≈ 0.6, PubChem/FastText-like heavily skewed.
+
+use crate::util::{prepare, Scale, Table};
+use datagen::Profile;
+use hamming_core::stats::DimStats;
+
+/// Prints the skewness profile summary for the five stand-ins plus a
+/// γ = 0.25 synthetic.
+pub fn run(scale: Scale) {
+    println!("## Fig. 1 — skewness by dimension (synthetic stand-ins)\n");
+    let mut profiles = Profile::paper_suite();
+    profiles.push(Profile::synthetic_gamma(0.25));
+    let mut table = Table::new(&[
+        "dataset", "dims", "mean skew", "p10", "median", "p90", "max", "dims>0.3",
+    ]);
+    for profile in &profiles {
+        let qs = prepare(profile, scale, 0xF1);
+        let stats = DimStats::compute(&qs.data);
+        let mut skews = stats.skewness_profile();
+        skews.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let d = skews.len();
+        let pick = |q: f64| skews[((d - 1) as f64 * q) as usize];
+        let above = skews.iter().filter(|&&s| s > 0.3).count();
+        table.row(vec![
+            profile.name.clone(),
+            d.to_string(),
+            format!("{:.3}", stats.mean_skewness()),
+            format!("{:.3}", pick(0.1)),
+            format!("{:.3}", pick(0.5)),
+            format!("{:.3}", pick(0.9)),
+            format!("{:.3}", skews[d - 1]),
+            above.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Decile series per dataset — the "shape" of the Fig. 1 curves.
+    let mut series = Table::new(&[
+        "dataset", "d0%", "d12%", "d25%", "d38%", "d50%", "d62%", "d75%", "d88%", "d100%",
+    ]);
+    for profile in &profiles {
+        let qs = prepare(profile, scale, 0xF1);
+        let stats = DimStats::compute(&qs.data);
+        let d = profile.dim;
+        let mut cells = vec![profile.name.clone()];
+        for k in 0..9 {
+            let idx = ((d - 1) * k) / 8;
+            cells.push(format!("{:.2}", stats.skewness(idx)));
+        }
+        series.row(cells);
+    }
+    println!("Per-dimension skewness sampled along the dimension axis:");
+    series.print();
+}

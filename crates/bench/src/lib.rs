@@ -1,0 +1,21 @@
+//! # bench
+//!
+//! Experiment harness regenerating every table and figure of the GPH
+//! paper's evaluation (§VII) on the synthetic stand-in datasets, plus
+//! Criterion micro-benchmarks. Run via:
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments -- <exp> [--scale tiny|small|medium]
+//! ```
+//!
+//! where `<exp>` is one of `fig1 fig2a fig2b fig3 table3 fig4 fig5 fig6
+//! table4 fig7 fig8abc fig8d fig8ef all`. Each runner prints a markdown
+//! table with the same rows/series as the paper artifact; `EXPERIMENTS.md`
+//! archives one full run and compares shapes against the paper.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod util;
+
+pub use util::{GphEngine, Scale};

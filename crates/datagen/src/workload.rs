@@ -1,0 +1,107 @@
+//! Query workload sampling.
+//!
+//! The paper's protocol (§VII-A): sample 100 vectors as the partitioning
+//! workload `Q`, sample 1000 *different* vectors as real queries, take the
+//! rest as data objects. [`sample_queries`] reproduces that split
+//! deterministically.
+
+use hamming_core::Dataset;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A query set carved out of a generated dataset.
+#[derive(Clone, Debug)]
+pub struct QuerySet {
+    /// The remaining data objects (indexed by every algorithm).
+    pub data: Dataset,
+    /// Queries used for measurement.
+    pub queries: Dataset,
+    /// The (smaller) workload used by GPH's offline partitioner.
+    pub workload: Dataset,
+}
+
+/// Splits `ds` into data / measurement queries / partitioning workload.
+///
+/// The two query groups are disjoint (the paper stresses the partitioning
+/// workload differs from the measured queries). Panics if `ds` has fewer
+/// than `n_queries + n_workload + 1` rows.
+pub fn sample_queries(ds: &Dataset, n_queries: usize, n_workload: usize, seed: u64) -> QuerySet {
+    assert!(
+        ds.len() > n_queries + n_workload,
+        "dataset of {} rows cannot yield {n_queries}+{n_workload} queries",
+        ds.len()
+    );
+    let mut ids: Vec<usize> = (0..ds.len()).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    let query_ids = &ids[..n_queries];
+    let workload_ids = &ids[n_queries..n_queries + n_workload];
+    let mut carved: Vec<usize> = query_ids.iter().chain(workload_ids).copied().collect();
+    carved.sort_unstable();
+    let (data, extracted) = ds.split_off(&carved);
+    // `extracted` holds carved rows in ascending original-ID order; map
+    // back to which group each row belongs to.
+    let mut is_query = std::collections::HashSet::new();
+    for &id in query_ids {
+        is_query.insert(id);
+    }
+    let mut queries = Dataset::new(ds.dim());
+    let mut workload = Dataset::new(ds.dim());
+    for (pos, &orig_id) in carved.iter().enumerate() {
+        let v = extracted.vector(pos);
+        if is_query.contains(&orig_id) {
+            queries.push(&v).expect("same dim");
+        } else {
+            workload.push(&v).expect("same dim");
+        }
+    }
+    QuerySet { data, queries, workload }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+
+    #[test]
+    fn split_sizes_add_up() {
+        let ds = Profile::uniform(32).generate(500, 1);
+        let qs = sample_queries(&ds, 50, 20, 9);
+        assert_eq!(qs.data.len(), 430);
+        assert_eq!(qs.queries.len(), 50);
+        assert_eq!(qs.workload.len(), 20);
+    }
+
+    #[test]
+    fn groups_are_disjoint_and_cover() {
+        use std::collections::HashSet;
+        let ds = Profile::uniform(32).generate(200, 2);
+        let qs = sample_queries(&ds, 30, 10, 3);
+        let mut all: HashSet<Vec<u64>> = HashSet::new();
+        for part in [&qs.data, &qs.queries, &qs.workload] {
+            for row in part.iter_rows() {
+                all.insert(row.to_vec());
+            }
+        }
+        // Random 32-bit uniform rows may collide occasionally, so compare
+        // against the source multiset size loosely.
+        assert!(all.len() >= 195, "lost rows: {}", all.len());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let ds = Profile::uniform(32).generate(300, 4);
+        let a = sample_queries(&ds, 10, 5, 7);
+        let b = sample_queries(&ds, 10, 5, 7);
+        assert_eq!(a.queries.row(0), b.queries.row(0));
+        assert_eq!(a.data.len(), b.data.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot yield")]
+    fn panics_when_too_small() {
+        let ds = Profile::uniform(8).generate(10, 1);
+        let _ = sample_queries(&ds, 8, 2, 1);
+    }
+}

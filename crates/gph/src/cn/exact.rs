@@ -1,0 +1,226 @@
+//! Exact CN tables over whole partitions.
+//!
+//! For a partition of width `w ≤ max_width`, stores `CN(v, e)` for **all**
+//! `2^w` values `v` and `e ∈ 0..=e_max`, so query-time estimation is a
+//! table lookup — the "exact algorithm" of §IV-C with `O(m·2^{n'}·τ)`
+//! space, feasible only for small widths (which is precisely why the
+//! paper introduces the SP and learned approximations).
+//!
+//! Construction avoids the naive `O(4^w)` pairwise sweep with the
+//! Krawtchouk-style recurrence on exact-distance counts `t_k`:
+//!
+//! ```text
+//! k · t_k(v) = Σ_j t_{k−1}(v ⊕ e_j) − (w − k + 2) · t_{k−2}(v)
+//! ```
+//!
+//! which costs `O(w · 2^w)` per radius level.
+
+use super::CnEstimator;
+use hamming_core::error::{HammingError, Result};
+use hamming_core::project::ProjectedDataset;
+
+/// Exact tables for one partition.
+#[derive(Clone, Debug)]
+pub(crate) struct ExactPart {
+    pub width: usize,
+    pub e_max: usize,
+    pub n: u64,
+    /// Row-major `2^width × (e_max + 1)`: `table[v][e] = CN(v, e)`.
+    pub table: Vec<u64>,
+}
+
+impl ExactPart {
+    /// Builds cumulative ball-count tables from the value frequencies of
+    /// one projected column.
+    pub fn build_from_freqs(width: usize, freqs: &[u64], e_max: usize) -> Self {
+        let size = 1usize << width;
+        assert_eq!(freqs.len(), size);
+        let n: u64 = freqs.iter().sum();
+        let e_max = e_max.min(width);
+        // Exact-distance levels t_{k-2}, t_{k-1} (rolling).
+        let mut t_prev2: Vec<u64> = Vec::new(); // t_{k-2}
+        let mut t_prev: Vec<u64> = freqs.to_vec(); // t_0
+        let mut table = vec![0u64; size * (e_max + 1)];
+        for v in 0..size {
+            table[v * (e_max + 1)] = t_prev[v]; // CN(v, 0) = t_0(v)
+        }
+        for k in 1..=e_max {
+            let mut t_k = vec![0u64; size];
+            for (v, tk) in t_k.iter_mut().enumerate() {
+                let mut s: u64 = 0;
+                for j in 0..width {
+                    s += t_prev[v ^ (1usize << j)];
+                }
+                if k >= 2 {
+                    s -= (width - k + 2) as u64 * t_prev2[v];
+                }
+                debug_assert_eq!(s % k as u64, 0, "recurrence must divide evenly");
+                *tk = s / k as u64;
+            }
+            for (v, &tk) in t_k.iter().enumerate() {
+                let row = v * (e_max + 1);
+                table[row + k] = table[row + k - 1] + tk;
+            }
+            t_prev2 = std::mem::replace(&mut t_prev, t_k);
+        }
+        ExactPart { width, e_max, n, table }
+    }
+
+    /// `CN(v, e)`; `e < 0` → 0, `e > e_max` → `N` if `e >= width` else the
+    /// table edge (callers pass `e_max = min(τ_max, width)`, so the edge
+    /// is only hit beyond the supported τ, where clamping is the
+    /// documented behaviour).
+    #[inline]
+    pub fn cn(&self, v: u64, e: i32) -> u64 {
+        if e < 0 {
+            return 0;
+        }
+        let e = e as usize;
+        if e >= self.width {
+            return self.n;
+        }
+        let e = e.min(self.e_max);
+        self.table[v as usize * (self.e_max + 1) + e]
+    }
+
+    /// Exact-distance count `t_e(v) = CN(v, e) − CN(v, e−1)`.
+    #[inline]
+    pub fn exact_count(&self, v: u64, e: i32) -> u64 {
+        if e < 0 {
+            0
+        } else {
+            self.cn(v, e) - self.cn(v, e - 1)
+        }
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        self.table.len() * 8
+    }
+}
+
+/// Frequency histogram of a projected column with width ≤ 26 or so.
+pub(crate) fn column_freqs(pd: &ProjectedDataset, part: usize) -> Vec<u64> {
+    let col = pd.column(part);
+    let width = col.width();
+    assert!(width < usize::BITS as usize - 1, "width too large for table");
+    let mut freqs = vec![0u64; 1usize << width];
+    for id in 0..pd.len() {
+        freqs[col.key(id) as usize] += 1;
+    }
+    freqs
+}
+
+/// The exact estimator: one table per partition.
+#[derive(Clone, Debug)]
+pub struct ExactCn {
+    parts: Vec<ExactPart>,
+}
+
+impl ExactCn {
+    /// Builds tables for every partition; errors if any partition exceeds
+    /// `max_width` (the tables would need `> 2^max_width` rows).
+    pub fn build(pd: &ProjectedDataset, tau_max: usize, max_width: usize) -> Result<Self> {
+        let mut parts = Vec::with_capacity(pd.num_parts());
+        for p in 0..pd.num_parts() {
+            let width = pd.column(p).width();
+            if width > max_width {
+                return Err(HammingError::InvalidParameter(format!(
+                    "exact CN tables need partition width <= {max_width}, got {width} \
+                     (use the SP or learned estimator)"
+                )));
+            }
+            let freqs = column_freqs(pd, p);
+            parts.push(ExactPart::build_from_freqs(width, &freqs, tau_max));
+        }
+        Ok(ExactCn { parts })
+    }
+}
+
+impl CnEstimator for ExactCn {
+    fn fill(&self, part: usize, q_val: &[u64], tau: usize, out: &mut [f64]) {
+        let p = &self.parts[part];
+        let v = if q_val.is_empty() { 0 } else { q_val[0] };
+        for e in -1..=(tau as i32) {
+            out[(e + 1) as usize] = p.cn(v, e) as f64;
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.parts.iter().map(|p| p.size_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamming_core::project::Projector;
+    use hamming_core::{BitVector, Dataset, Partitioning};
+
+    /// Brute-force CN for cross-checking.
+    fn brute_cn(freqs: &[u64], v: u64, e: i32) -> u64 {
+        if e < 0 {
+            return 0;
+        }
+        freqs
+            .iter()
+            .enumerate()
+            .filter(|(u, _)| (*u as u64 ^ v).count_ones() as i32 <= e)
+            .map(|(_, &f)| f)
+            .sum()
+    }
+
+    #[test]
+    fn recurrence_matches_bruteforce() {
+        // Arbitrary frequency vector over width 6.
+        let width = 6usize;
+        let freqs: Vec<u64> = (0..(1u64 << width)).map(|v| (v * 7 + 3) % 11).collect();
+        let part = ExactPart::build_from_freqs(width, &freqs, width);
+        for v in 0..(1u64 << width) {
+            for e in -1..=(width as i32) {
+                assert_eq!(part.cn(v, e), brute_cn(&freqs, v, e), "v={v} e={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn e_beyond_width_returns_n() {
+        let freqs = vec![2, 3, 0, 5];
+        let part = ExactPart::build_from_freqs(2, &freqs, 2);
+        assert_eq!(part.cn(1, 7), 10);
+        assert_eq!(part.exact_count(0, 0), 2);
+        assert_eq!(part.exact_count(0, 1), 3); // values 1 and 2
+    }
+
+    #[test]
+    fn estimator_on_table1() {
+        let ds = Dataset::from_vectors(
+            8,
+            ["00000000", "00000111", "00001111", "10011111"]
+                .iter()
+                .map(|s| BitVector::parse(s).unwrap()),
+        )
+        .unwrap();
+        let p = Partitioning::new(8, vec![(0..6).collect(), vec![6, 7]]).unwrap();
+        let proj = Projector::new(&p);
+        let pd = ProjectedDataset::build(&ds, &proj);
+        let est = ExactCn::build(&pd, 8, 16).unwrap();
+        // q2 = 10000011 -> partition 1 (dims 6,7) = "11" = 0b11.
+        let q2 = BitVector::parse("10000011").unwrap();
+        let q2p1 = proj.project(1, q2.words());
+        let mut out = vec![0.0; 10];
+        est.fill(1, &q2p1, 8, &mut out);
+        // CN(q2_1, 0): x2,x3,x4 share "11" -> 3.
+        assert_eq!(out[1], 3.0);
+        // CN(q2_1, -1) = 0; CN at e >= 2 = 4.
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[3], 4.0);
+    }
+
+    #[test]
+    fn build_rejects_wide_partitions() {
+        let ds = Dataset::from_vectors(40, vec![BitVector::zeros(40)]).unwrap();
+        let p = Partitioning::equi_width(40, 2).unwrap(); // widths 20 > 16
+        let pd = ProjectedDataset::build(&ds, &Projector::new(&p));
+        assert!(ExactCn::build(&pd, 4, 16).is_err());
+    }
+}

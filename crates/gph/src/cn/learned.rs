@@ -1,0 +1,314 @@
+//! Learned CN estimation (§IV-C "Machine Learning", Table III).
+//!
+//! For each partition `i` and threshold `e`, a regressor `h_e(qᵢ)` maps
+//! the partition's bits (as 0/1 features) to `ln CN`. Following the
+//! paper, targets are log-transformed — `⟨x, CN⟩ → ⟨x, ln CN⟩` — so a
+//! squared-error fit approximates the *relative*-error objective
+//! (`ln t ≈ t − 1`), and the model family is selectable:
+//!
+//! * [`ModelKind::Svm`] — RBF-kernel least-squares SVM (kernel ridge);
+//!   the paper's choice.
+//! * [`ModelKind::Rf`] — random forest.
+//! * [`ModelKind::Dnn`] — 3-layer MLP.
+//!
+//! Training queries mix sampled data projections, perturbed projections,
+//! and uniform random vectors; ground-truth `CN` comes from one distance-
+//! histogram scan per training vector (all `e` at once).
+
+use super::CnEstimator;
+use hamming_core::distance::hamming;
+use hamming_core::error::{HammingError, Result};
+use hamming_core::project::ProjectedDataset;
+use mlkit::tree::TreeParams;
+use mlkit::{KernelRidge, Matrix, Mlp, RandomForest, Regressor};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Model family for the learned estimator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelKind {
+    /// RBF-kernel LS-SVM (kernel ridge regression) — the paper's pick.
+    Svm,
+    /// Random forest regression.
+    Rf,
+    /// 3-layer MLP ("DNN").
+    Dnn,
+}
+
+/// Configuration for [`LearnedCn`].
+#[derive(Clone, Debug)]
+pub struct LearnedParams {
+    /// Model family.
+    pub model: ModelKind,
+    /// Training-set size per partition (the paper uses 1000).
+    pub n_train: usize,
+    /// Max rows scanned for ground truth (full scan if `>= N`).
+    pub scan_cap: usize,
+    /// Seed for training-query generation and model init.
+    pub seed: u64,
+}
+
+impl Default for LearnedParams {
+    fn default() -> Self {
+        LearnedParams { model: ModelKind::Svm, n_train: 300, scan_cap: 20_000, seed: 17 }
+    }
+}
+
+enum AnyModel {
+    Svm(Box<KernelRidge>),
+    Rf(Box<RandomForest>),
+    Dnn(Box<Mlp>),
+}
+
+impl AnyModel {
+    fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            AnyModel::Svm(m) => m.predict(x),
+            AnyModel::Rf(m) => m.predict(x),
+            AnyModel::Dnn(m) => m.predict(x),
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            AnyModel::Svm(m) => m.size_bytes(),
+            AnyModel::Rf(m) => m.n_trees() * 512, // coarse: tree nodes
+            AnyModel::Dnn(_) => 32 * 16 * 8,
+        }
+    }
+}
+
+struct PartModels {
+    width: usize,
+    /// `models[e]` predicts `ln(1 + CN(·, e))`, `e ∈ 0..=e_max`.
+    models: Vec<AnyModel>,
+    n: f64,
+}
+
+/// The learned estimator: `m × (e_max + 1)` regressors.
+pub struct LearnedCn {
+    parts: Vec<PartModels>,
+}
+
+impl LearnedCn {
+    /// Trains regressors for every partition and threshold.
+    pub fn build(pd: &ProjectedDataset, tau_max: usize, params: &LearnedParams) -> Result<Self> {
+        if params.n_train < 8 {
+            return Err(HammingError::InvalidParameter(
+                "learned estimator needs at least 8 training points".into(),
+            ));
+        }
+        let n = pd.len();
+        let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+        let mut parts = Vec::with_capacity(pd.num_parts());
+        for p in 0..pd.num_parts() {
+            let col = pd.column(p);
+            let width = col.width();
+            let words = col.words().max(1);
+            let e_max = tau_max.min(width);
+            // --- training inputs: data / perturbed / uniform mix ---
+            let mut train_vals: Vec<Vec<u64>> = Vec::with_capacity(params.n_train);
+            for k in 0..params.n_train {
+                let mut v = if n > 0 && k % 2 == 0 {
+                    col.value(rng.random_range(0..n)).to_vec()
+                } else if n > 0 && k % 4 == 1 {
+                    // perturb a data projection by a few flips
+                    let mut v = col.value(rng.random_range(0..n)).to_vec();
+                    let flips = rng.random_range(0..=width.min(4));
+                    for _ in 0..flips {
+                        let b = rng.random_range(0..width.max(1));
+                        v[b / 64] ^= 1u64 << (b % 64);
+                    }
+                    v
+                } else {
+                    // uniform random within width
+                    let mut v = vec![0u64; words];
+                    for b in 0..width {
+                        if rng.random_bool(0.5) {
+                            v[b / 64] |= 1u64 << (b % 64);
+                        }
+                    }
+                    v
+                };
+                v.truncate(words);
+                train_vals.push(v);
+            }
+            // --- ground truth by scanning (a cap of) the column ---
+            let stride = (n / params.scan_cap.max(1)).max(1);
+            let scanned: Vec<usize> = (0..n).step_by(stride).collect();
+            let scale = if scanned.is_empty() { 0.0 } else { n as f64 / scanned.len() as f64 };
+            // targets[k][e] = ln(1 + CN)
+            let mut targets = vec![vec![0.0f64; e_max + 1]; train_vals.len()];
+            for (k, tv) in train_vals.iter().enumerate() {
+                let mut hist = vec![0u64; width + 1];
+                for &id in &scanned {
+                    hist[hamming(col.value(id), tv) as usize] += 1;
+                }
+                let mut acc = 0u64;
+                for e in 0..=e_max {
+                    acc += hist[e];
+                    targets[k][e] = (1.0 + acc as f64 * scale).ln();
+                }
+            }
+            // --- features: bits as f64 ---
+            let feats: Vec<Vec<f64>> = train_vals
+                .iter()
+                .map(|v| {
+                    (0..width)
+                        .map(|b| ((v[b / 64] >> (b % 64)) & 1) as f64)
+                        .collect()
+                })
+                .collect();
+            let x = Matrix::from_rows(&feats);
+            // --- one model per threshold ---
+            let mut models = Vec::with_capacity(e_max + 1);
+            for e in 0..=e_max {
+                let y: Vec<f64> = targets.iter().map(|t| t[e]).collect();
+                let model = match params.model {
+                    ModelKind::Svm => {
+                        let gamma = 1.0 / width.max(1) as f64;
+                        let m = KernelRidge::fit(&x, &y, gamma, 1e-3).ok_or_else(|| {
+                            HammingError::InvalidParameter(
+                                "kernel matrix not factorizable (NaN features?)".into(),
+                            )
+                        })?;
+                        AnyModel::Svm(Box::new(m))
+                    }
+                    ModelKind::Rf => AnyModel::Rf(Box::new(RandomForest::fit(
+                        &x,
+                        &y,
+                        20,
+                        TreeParams { max_depth: 10, ..Default::default() },
+                        params.seed ^ (e as u64) << 8 ^ (p as u64),
+                    ))),
+                    ModelKind::Dnn => AnyModel::Dnn(Box::new(Mlp::fit(
+                        &x,
+                        &y,
+                        mlkit::mlp::MlpParams {
+                            epochs: 60,
+                            seed: params.seed ^ (e as u64) << 8 ^ (p as u64),
+                            ..Default::default()
+                        },
+                    ))),
+                };
+                models.push(model);
+            }
+            parts.push(PartModels { width, models, n: n as f64 });
+        }
+        Ok(LearnedCn { parts })
+    }
+}
+
+impl CnEstimator for LearnedCn {
+    fn fill(&self, part: usize, q_val: &[u64], tau: usize, out: &mut [f64]) {
+        let pm = &self.parts[part];
+        let feats: Vec<f64> = (0..pm.width)
+            .map(|b| ((q_val[b / 64] >> (b % 64)) & 1) as f64)
+            .collect();
+        out[0] = 0.0;
+        for e in 0..=tau {
+            let v = if e >= pm.width {
+                pm.n
+            } else if e < pm.models.len() {
+                (pm.models[e].predict(&feats).exp() - 1.0).clamp(0.0, pm.n)
+            } else {
+                pm.n // beyond trained e_max: conservative
+            };
+            out[e + 1] = v;
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|pm| pm.models.iter().map(|m| m.size_bytes()).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamming_core::project::Projector;
+    use hamming_core::{BitVector, Dataset, Partitioning};
+
+    fn skewed_dataset(n: usize) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut ds = Dataset::new(16);
+        for _ in 0..n {
+            let v = BitVector::from_bits((0..16).map(|d| {
+                let p = if d < 8 { 0.05 } else { 0.5 };
+                rng.random_bool(p)
+            }));
+            ds.push(&v).unwrap();
+        }
+        ds
+    }
+
+    fn relative_error_of(model: ModelKind) -> f64 {
+        let ds = skewed_dataset(2000);
+        let p = Partitioning::equi_width(16, 2).unwrap();
+        let proj = Projector::new(&p);
+        let pd = ProjectedDataset::build(&ds, &proj);
+        let params = LearnedParams { model, n_train: 150, ..Default::default() };
+        let learned = LearnedCn::build(&pd, 8, &params).unwrap();
+        let oracle = super::super::sample_scan::SampleScanCn::build(&pd, usize::MAX, 0);
+        // Evaluate on held-out data projections.
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut errs = Vec::new();
+        for _ in 0..30 {
+            let q = BitVector::from_bits((0..16).map(|_| rng.random_bool(0.3)));
+            for part in 0..2 {
+                let qp = proj.project(part, q.words());
+                let mut est = vec![0.0; 10];
+                let mut tru = vec![0.0; 10];
+                learned.fill(part, &qp, 8, &mut est);
+                oracle.fill(part, &qp, 8, &mut tru);
+                for e in 3..=8usize {
+                    errs.push((est[e + 1] - tru[e + 1]).abs() / tru[e + 1].max(1.0));
+                }
+            }
+        }
+        errs.iter().sum::<f64>() / errs.len() as f64
+    }
+
+    #[test]
+    fn svm_estimator_is_accurate() {
+        let err = relative_error_of(ModelKind::Svm);
+        assert!(err < 0.25, "SVM mean relative error {err}");
+    }
+
+    #[test]
+    fn rf_estimator_is_sane() {
+        let err = relative_error_of(ModelKind::Rf);
+        assert!(err < 0.60, "RF mean relative error {err}");
+    }
+
+    #[test]
+    fn fill_is_clamped_and_zero_at_minus_one() {
+        let ds = skewed_dataset(500);
+        let p = Partitioning::equi_width(16, 2).unwrap();
+        let pd = ProjectedDataset::build(&ds, &Projector::new(&p));
+        let learned = LearnedCn::build(
+            &pd,
+            8,
+            &LearnedParams { n_train: 50, ..Default::default() },
+        )
+        .unwrap();
+        let mut out = vec![0.0; 10];
+        learned.fill(0, &[0u64], 8, &mut out);
+        assert_eq!(out[0], 0.0);
+        assert!(out.iter().all(|&v| (0.0..=500.0).contains(&v)));
+        // e >= width ⇒ N exactly.
+        assert_eq!(out[9], 500.0);
+    }
+
+    #[test]
+    fn rejects_tiny_training_sets() {
+        let ds = skewed_dataset(50);
+        let p = Partitioning::equi_width(16, 2).unwrap();
+        let pd = ProjectedDataset::build(&ds, &Projector::new(&p));
+        let params = LearnedParams { n_train: 4, ..Default::default() };
+        assert!(LearnedCn::build(&pd, 8, &params).is_err());
+    }
+}

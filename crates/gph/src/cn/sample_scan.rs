@@ -1,0 +1,146 @@
+//! Sample-scan CN estimation.
+//!
+//! Scans a row sample's projected values per query and partition, builds
+//! the distance histogram, and scales counts by `N / |sample|`. With
+//! `sample_cap >= N` this is an exact oracle — which is how the offline
+//! partitioner (§V) and the calibration experiments use it. It is not an
+//! online estimator in the paper (too slow per query at scale), but it is
+//! the reference the approximations are tested against.
+
+use super::CnEstimator;
+use hamming_core::distance::hamming;
+use hamming_core::project::ProjectedDataset;
+use rand::seq::index::sample as rand_sample;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One partition's sampled projections, stored densely.
+#[derive(Clone, Debug)]
+struct SampledColumn {
+    width: usize,
+    words: usize,
+    data: Vec<u64>,
+}
+
+/// The sample-scan estimator.
+#[derive(Clone, Debug)]
+pub struct SampleScanCn {
+    columns: Vec<SampledColumn>,
+    n_sampled: usize,
+    n_total: usize,
+}
+
+impl SampleScanCn {
+    /// Copies up to `sample_cap` rows' projections (uniform without
+    /// replacement, seeded).
+    pub fn build(pd: &ProjectedDataset, sample_cap: usize, seed: u64) -> Self {
+        let n_total = pd.len();
+        let take = sample_cap.min(n_total);
+        let ids: Vec<usize> = if take == n_total {
+            (0..n_total).collect()
+        } else {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut v: Vec<usize> = rand_sample(&mut rng, n_total, take).into_iter().collect();
+            v.sort_unstable();
+            v
+        };
+        let columns = (0..pd.num_parts())
+            .map(|p| {
+                let col = pd.column(p);
+                let words = col.words().max(1);
+                let mut data = Vec::with_capacity(ids.len() * words);
+                for &id in &ids {
+                    data.extend_from_slice(col.value(id));
+                }
+                SampledColumn { width: col.width(), words, data }
+            })
+            .collect();
+        SampleScanCn { columns, n_sampled: take, n_total }
+    }
+
+    /// Number of sampled rows.
+    pub fn n_sampled(&self) -> usize {
+        self.n_sampled
+    }
+}
+
+impl CnEstimator for SampleScanCn {
+    fn fill(&self, part: usize, q_val: &[u64], tau: usize, out: &mut [f64]) {
+        let col = &self.columns[part];
+        let scale = if self.n_sampled == 0 {
+            0.0
+        } else {
+            self.n_total as f64 / self.n_sampled as f64
+        };
+        let mut hist = vec![0u64; col.width + 1];
+        for row in col.data.chunks_exact(col.words) {
+            let d = hamming(row, q_val) as usize;
+            hist[d] += 1;
+        }
+        out[0] = 0.0;
+        let mut acc = 0u64;
+        for e in 0..=tau {
+            if e < hist.len() {
+                acc += hist[e];
+            }
+            out[e + 1] = (acc as f64 * scale).min(self.n_total as f64);
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.data.len() * 8).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamming_core::project::Projector;
+    use hamming_core::{BitVector, Dataset, Partitioning};
+
+    fn table1() -> (Dataset, Projector, ProjectedDataset) {
+        let ds = Dataset::from_vectors(
+            8,
+            ["00000000", "00000111", "00001111", "10011111"]
+                .iter()
+                .map(|s| BitVector::parse(s).unwrap()),
+        )
+        .unwrap();
+        let p = Partitioning::new(8, vec![(0..6).collect(), vec![6, 7]]).unwrap();
+        let proj = Projector::new(&p);
+        let pd = ProjectedDataset::build(&ds, &proj);
+        (ds, proj, pd)
+    }
+
+    #[test]
+    fn full_sample_is_exact() {
+        let (_, proj, pd) = table1();
+        let est = SampleScanCn::build(&pd, usize::MAX, 0);
+        assert_eq!(est.n_sampled(), 4);
+        let q2 = BitVector::parse("10000011").unwrap();
+        let qp = proj.project(1, q2.words());
+        let mut out = vec![0.0; 5];
+        est.fill(1, &qp, 3, &mut out);
+        // Table II: CN(q2_2, 0) = 3 (x2, x3, x4 share "11"); x1's "00" is
+        // at distance 2, so the count reaches 4 only at e = 2.
+        assert_eq!(out[1], 3.0);
+        assert_eq!(out[2], 3.0);
+        assert_eq!(out[3], 4.0);
+        assert_eq!(out[0], 0.0);
+    }
+
+    #[test]
+    fn subsample_scales_counts() {
+        let (_, proj, pd) = table1();
+        let est = SampleScanCn::build(&pd, 2, 1);
+        assert_eq!(est.n_sampled(), 2);
+        let q = BitVector::parse("00000000").unwrap();
+        let qp = proj.project(0, q.words());
+        let mut out = vec![0.0; 8];
+        est.fill(0, &qp, 6, &mut out);
+        // At e = width the scaled count must equal N exactly.
+        assert_eq!(out[7], 4.0);
+        // Never exceeds N anywhere.
+        assert!(out.iter().all(|&v| v <= 4.0));
+    }
+}

@@ -1,0 +1,101 @@
+//! The query-processing cost model of §IV-A (Equation 1).
+//!
+//! `Ĉ(q, T) = Σᵢ CN(qᵢ, τᵢ) · (c_access + α · c_verify)`
+//!
+//! The coefficient is constant across allocations, so the DP of §IV-B
+//! minimizes only `Σ CN`; this model turns that sum into an absolute cost
+//! for reporting (Fig. 3's "estimated cost") and for workload-level
+//! partitioning decisions. `α` — the measured ratio of distinct
+//! candidates to summed postings (`|S_cand| / Σ|I_s|`, Fig. 2(b)) — is
+//! stored per-τ and interpolated.
+
+/// Cost coefficients plus the per-τ α calibration table.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Cost of accessing one postings entry (`c_access`).
+    pub c_access: f64,
+    /// Cost of verifying one candidate (`c_verify`).
+    pub c_verify: f64,
+    /// Cost of enumerating one signature dimension (`c_enum`; §IV-A notes
+    /// it is negligible and it is excluded from the optimization, but it
+    /// is kept for completeness in decomposition reports).
+    pub c_enum: f64,
+    /// Measured `(τ, α)` points, τ ascending.
+    alpha: Vec<(u32, f64)>,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Unit-relative defaults: verification of an n-word vector costs a
+        // few postings accesses; α between 0.69 and 0.98 per Fig. 2(b) —
+        // 0.85 is the midpoint until calibrated.
+        CostModel { c_access: 1.0, c_verify: 4.0, c_enum: 0.05, alpha: vec![(0, 0.85)] }
+    }
+}
+
+impl CostModel {
+    /// Replaces the α table with measured `(τ, α)` points (sorted by τ).
+    pub fn with_alpha_table(mut self, mut pts: Vec<(u32, f64)>) -> Self {
+        assert!(!pts.is_empty(), "alpha table cannot be empty");
+        pts.sort_by_key(|&(t, _)| t);
+        self.alpha = pts;
+        self
+    }
+
+    /// α for a given τ: linear interpolation between calibration points,
+    /// clamped at the ends.
+    pub fn alpha_for(&self, tau: u32) -> f64 {
+        let pts = &self.alpha;
+        if tau <= pts[0].0 {
+            return pts[0].1;
+        }
+        if tau >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        let hi = pts.iter().position(|&(t, _)| t >= tau).expect("clamped above");
+        let (t0, a0) = pts[hi - 1];
+        let (t1, a1) = pts[hi];
+        let w = (tau - t0) as f64 / (t1 - t0) as f64;
+        a0 + w * (a1 - a0)
+    }
+
+    /// Equation 1: estimated query cost from the summed per-partition
+    /// candidate numbers.
+    pub fn query_cost(&self, sum_cn: f64, tau: u32) -> f64 {
+        sum_cn * (self.c_access + self.alpha_for(tau) * self.c_verify)
+    }
+
+    /// Estimated signature-generation cost `Σ C(nᵢ, τᵢ) · c_enum` given the
+    /// per-partition enumeration counts (kept for decomposition reports).
+    pub fn signature_cost(&self, n_signatures: u64) -> f64 {
+        n_signatures as f64 * self.c_enum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_interpolation() {
+        let m = CostModel::default().with_alpha_table(vec![(4, 0.7), (8, 0.9)]);
+        assert_eq!(m.alpha_for(2), 0.7); // clamp low
+        assert_eq!(m.alpha_for(100), 0.9); // clamp high
+        assert!((m.alpha_for(6) - 0.8).abs() < 1e-12); // midpoint
+        assert_eq!(m.alpha_for(4), 0.7); // exact point
+    }
+
+    #[test]
+    fn query_cost_scales_linearly() {
+        let m = CostModel::default().with_alpha_table(vec![(0, 0.5)]);
+        // coefficient = 1 + 0.5*4 = 3
+        assert!((m.query_cost(10.0, 0) - 30.0).abs() < 1e-12);
+        assert!((m.query_cost(0.0, 0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha table cannot be empty")]
+    fn empty_alpha_table_rejected() {
+        let _ = CostModel::default().with_alpha_table(vec![]);
+    }
+}

@@ -1,0 +1,243 @@
+//! The pigeonhole principles of §II–III as executable artifacts.
+//!
+//! * Basic (Lemma 1): `m` equi-width parts, threshold `⌊τ/m⌋` each.
+//! * Flexible (Lemma 2): arbitrary integer thresholds with `‖T‖₁ = τ`.
+//! * General (Lemma 4): integer thresholds in `[−1, τ]` with
+//!   `‖T‖₁ = τ − m + 1` — obtained from the flexible form by the
+//!   ε-transformation + integer reduction, and proven *tight*
+//!   (Theorem 1): no dominating vector is correct.
+//!
+//! [`ThresholdVector`] carries the allocation; the free functions state
+//! the lemmas as predicates so property tests can exercise them verbatim.
+
+use hamming_core::distance::hamming;
+use hamming_core::project::Projector;
+
+/// A per-partition threshold allocation `T`.
+///
+/// Entry `T[i] = −1` means partition `i` is ignored during candidate
+/// generation (no Hamming distance is ≤ −1). The paper restricts negative
+/// entries to exactly −1 since lower values filter identically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThresholdVector(pub Vec<i32>);
+
+impl ThresholdVector {
+    /// The basic-pigeonhole allocation `[⌊τ/m⌋; m]` (Lemma 1 / MIH).
+    pub fn basic(tau: u32, m: usize) -> Self {
+        ThresholdVector(vec![(tau as usize / m) as i32; m])
+    }
+
+    /// Sum of thresholds `‖T‖₁`.
+    pub fn sum(&self) -> i64 {
+        self.0.iter().map(|&t| t as i64).sum()
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if there are no partitions.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Checks the general-pigeonhole budget `‖T‖₁ = τ − m + 1` with every
+    /// entry in `[−1, τ]`.
+    pub fn satisfies_general_budget(&self, tau: u32) -> bool {
+        let m = self.0.len() as i64;
+        self.sum() == tau as i64 - m + 1
+            && self.0.iter().all(|&t| (-1..=tau as i32).contains(&t))
+    }
+
+    /// Dominance (§II-D): `self ≺ other` iff element-wise `≤` with at least
+    /// one strict `<`, and each interval `[self[i], other[i]]` intersects
+    /// the *effective* range `[−1, nᵢ − 1]` (outside it, thresholds filter
+    /// identically, so differing there is vacuous).
+    pub fn dominates(&self, other: &ThresholdVector, widths: &[usize]) -> bool {
+        if self.0.len() != other.0.len() || self.0.len() != widths.len() {
+            return false;
+        }
+        let mut strict = false;
+        for ((&a, &b), &w) in self.0.iter().zip(&other.0).zip(widths) {
+            if a > b {
+                return false;
+            }
+            // [a, b] must intersect [-1, n_i - 1].
+            if b < -1 || a > w as i32 - 1 {
+                return false;
+            }
+            if a < b {
+                strict = true;
+            }
+        }
+        strict
+    }
+}
+
+/// Lemma 2/4 filtering predicate: does any partition of `x` lie within
+/// `t[i]` of the corresponding partition of `q`? `x` and `q` are full
+/// vectors (as words); `projector` supplies the partitioning.
+pub fn passes_filter(projector: &Projector, t: &ThresholdVector, x: &[u64], q: &[u64]) -> bool {
+    debug_assert_eq!(t.len(), projector.num_parts());
+    for i in 0..projector.num_parts() {
+        if t.0[i] < 0 {
+            continue;
+        }
+        let xi = projector.project(i, x);
+        let qi = projector.project(i, q);
+        if hamming(&xi, &qi) as i32 <= t.0[i] {
+            return true;
+        }
+    }
+    false
+}
+
+/// The ε-transformation of §III: given `T` with `‖T‖₁ = τ` (flexible
+/// form), subtract 1 from the `m − 1` partitions *not* named `keep`,
+/// producing a general-form vector with `‖T‖₁ = τ − m + 1` that still
+/// guarantees correctness (Lemma 4's proof).
+pub fn epsilon_transform(t: &ThresholdVector, keep: usize) -> ThresholdVector {
+    assert!(keep < t.len());
+    ThresholdVector(
+        t.0.iter()
+            .enumerate()
+            .map(|(i, &v)| if i == keep { v } else { v - 1 })
+            .collect(),
+    )
+}
+
+/// Integer reduction (Definition 1): floor a real-valued threshold vector.
+/// Hamming distances are integers, so candidates are unchanged.
+pub fn integer_reduction(real: &[f64]) -> ThresholdVector {
+    ThresholdVector(real.iter().map(|&v| v.floor() as i32).collect())
+}
+
+/// Theorem 1's adversarial witness: given a *correct* tight vector `t`
+/// (general budget) and any `t_dom` dominating it, construct partition
+/// distances `d[i] = max(0, t_dom[i] + 1)` clamped to `[0, nᵢ]`. The
+/// returned distances satisfy `Σ d[i] ≤ τ` (so a true result exists at
+/// those distances) yet **no** partition passes `t_dom` — proving `t_dom`
+/// incorrect. Returns `None` if the construction's premises fail (i.e.,
+/// `t_dom` does not actually dominate within effective ranges).
+pub fn tightness_witness(
+    t: &ThresholdVector,
+    t_dom: &ThresholdVector,
+    widths: &[usize],
+    tau: u32,
+) -> Option<Vec<u32>> {
+    if !t_dom.dominates(t, widths) || !t.satisfies_general_budget(tau) {
+        return None;
+    }
+    let d: Vec<u32> = t_dom
+        .0
+        .iter()
+        .zip(widths)
+        .map(|(&td, &w)| (td + 1).max(0).min(w as i32) as u32)
+        .collect();
+    // By the proof: Σ d ≤ ‖T‖₁ + m − 1 = τ, and every d[i] > t_dom[i].
+    let total: i64 = d.iter().map(|&x| x as i64).sum();
+    debug_assert!(total <= tau as i64, "witness construction exceeds tau");
+    Some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamming_core::{BitVector, Partitioning};
+
+    #[test]
+    fn basic_vector_matches_lemma1() {
+        // τ = 9, m = 3 -> [3, 3, 3] (Example 1).
+        assert_eq!(ThresholdVector::basic(9, 3).0, vec![3, 3, 3]);
+        assert_eq!(ThresholdVector::basic(2, 2).0, vec![1, 1]);
+    }
+
+    #[test]
+    fn general_budget_check() {
+        // Example 3: [2, 2, 3] for τ = 9, m = 3: sum = 7 = 9 - 3 + 1.
+        assert!(ThresholdVector(vec![2, 2, 3]).satisfies_general_budget(9));
+        assert!(!ThresholdVector(vec![3, 3, 3]).satisfies_general_budget(9));
+        // Example 4: [2, -1] for τ = 2, m = 2: sum = 1 = 2 - 2 + 1.
+        assert!(ThresholdVector(vec![2, -1]).satisfies_general_budget(2));
+        // Entries below -1 are rejected.
+        assert!(!ThresholdVector(vec![4, -2]).satisfies_general_budget(3));
+    }
+
+    #[test]
+    fn dominance_examples() {
+        let widths = [4usize, 4, 4];
+        let tight = ThresholdVector(vec![2, 2, 3]);
+        let basic = ThresholdVector(vec![3, 3, 3]);
+        assert!(tight.dominates(&basic, &widths));
+        assert!(!basic.dominates(&tight, &widths));
+        // A vector never dominates itself (needs a strict inequality).
+        assert!(!tight.dominates(&tight.clone(), &widths));
+        // Intervals entirely outside [-1, n_i - 1] are vacuous: lowering a
+        // threshold from n_i to n_i - 1 + ... beyond range doesn't count.
+        let a = ThresholdVector(vec![4, 3, 3]); // 4 >= n_0 = 4 -> [4,9] misses [-1,3]
+        let b = ThresholdVector(vec![9, 3, 3]);
+        assert!(!a.dominates(&b, &widths));
+    }
+
+    #[test]
+    fn epsilon_transform_keeps_budget() {
+        let t = ThresholdVector(vec![3, 3, 3]); // flexible: sum = 9 = τ
+        let g = epsilon_transform(&t, 2);
+        assert_eq!(g.0, vec![2, 2, 3]);
+        assert!(g.satisfies_general_budget(9));
+        let g0 = epsilon_transform(&t, 0);
+        assert_eq!(g0.0, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn integer_reduction_floors() {
+        // Example 3: [2.9, 2.9, 3.2] -> [2, 2, 3].
+        assert_eq!(integer_reduction(&[2.9, 2.9, 3.2]).0, vec![2, 2, 3]);
+        assert_eq!(integer_reduction(&[-0.1]).0, vec![-1]);
+    }
+
+    #[test]
+    fn filter_passes_table2_examples() {
+        // Table II: variable partitioning {dims 0..6}, {dims 6..8}.
+        let p = Partitioning::new(8, vec![(0..6).collect(), vec![6, 7]]).unwrap();
+        let proj = Projector::new(&p);
+        let q2 = BitVector::parse("10000011").unwrap();
+        let x1 = BitVector::parse("00000000").unwrap();
+        let x3 = BitVector::parse("00001111").unwrap();
+        // T = [2, -1]: x1 has partition distances (1, 2) -> passes via p0.
+        let t = ThresholdVector(vec![2, -1]);
+        assert!(passes_filter(&proj, &t, x1.words(), q2.words()));
+        // x3: distances (3, 0); p0 fails (3 > 2), p1 ignored -> filtered out.
+        assert!(!passes_filter(&proj, &t, x3.words(), q2.words()));
+        // T = [1, 0]: x3 passes via p1 (distance 0 <= 0).
+        let t2 = ThresholdVector(vec![1, 0]);
+        assert!(passes_filter(&proj, &t2, x3.words(), q2.words()));
+    }
+
+    #[test]
+    fn witness_defeats_dominating_vector() {
+        let widths = [6usize, 2];
+        let tau = 2u32;
+        let t = ThresholdVector(vec![2, -1]);
+        assert!(t.satisfies_general_budget(tau));
+        // t_dom = [1, -1] dominates t.
+        let t_dom = ThresholdVector(vec![1, -1]);
+        let d = tightness_witness(&t, &t_dom, &widths, tau).expect("dominates");
+        // d = [2, 0]: total 2 <= τ, but partition 0 distance 2 > 1 and
+        // partition 1 ignored -> t_dom misses a true result.
+        assert_eq!(d, vec![2, 0]);
+        assert!(d.iter().map(|&x| x as i64).sum::<i64>() <= tau as i64);
+        for (i, &di) in d.iter().enumerate() {
+            assert!(di as i32 > t_dom.0[i]);
+        }
+    }
+
+    #[test]
+    fn witness_requires_dominance() {
+        let widths = [4usize, 4];
+        let t = ThresholdVector(vec![1, 0]); // τ=2, m=2: sum 1 = 2-2+1 ✓
+        let not_dom = ThresholdVector(vec![2, 0]);
+        assert!(tightness_witness(&t, &not_dom, &widths, 2).is_none());
+    }
+}

@@ -1,0 +1,185 @@
+//! Property tests for the paper's core claims.
+
+use gph::alloc::{allocate_dp, allocate_dp_budget, allocate_exhaustive, allocate_round_robin};
+use gph::cn::{CnEstimator, CnTable};
+use gph::engine::{Gph, GphConfig};
+use gph::partition_opt::PartitionStrategy;
+use gph::pigeonhole::{passes_filter, tightness_witness, ThresholdVector};
+use hamming_core::project::Projector;
+use hamming_core::{BitVector, Dataset, Partitioning};
+use proptest::prelude::*;
+
+fn bits(dim: usize) -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), dim)
+}
+
+fn bv(b: &[bool]) -> BitVector {
+    BitVector::from_bits(b.iter().copied())
+}
+
+/// Random general-budget threshold vector for (m, tau).
+fn general_vector(m: usize, tau: u32) -> impl Strategy<Value = ThresholdVector> {
+    // Generate m-1 entries in [-1, tau], set the last to balance; retry
+    // via filtering when the remainder falls outside [-1, tau].
+    prop::collection::vec(-1i32..=(tau as i32), m - 1).prop_filter_map(
+        "last entry out of range",
+        move |mut v| {
+            let budget = tau as i64 - m as i64 + 1;
+            let partial: i64 = v.iter().map(|&x| x as i64).sum();
+            let last = budget - partial;
+            if (-1..=tau as i64).contains(&last) {
+                v.push(last as i32);
+                Some(ThresholdVector(v))
+            } else {
+                None
+            }
+        },
+    )
+}
+
+proptest! {
+    /// Lemma 4 (general pigeonhole principle): any threshold vector with
+    /// ‖T‖₁ = τ − m + 1 never filters out a true result.
+    #[test]
+    fn general_pigeonhole_is_correct(
+        x in bits(32),
+        y in bits(32),
+        m in 2usize..6,
+        tau in 0u32..32,
+        seed in any::<u64>(),
+        t in (2usize..6, 0u32..32).prop_flat_map(|(m, tau)| {
+            general_vector(m, tau).prop_map(move |t| (m, tau, t))
+        }),
+    ) {
+        // Use the inner-generated (m, tau, t) triple; outer m/tau unused.
+        let _ = (m, tau);
+        let (m, tau, t) = t;
+        let p = Partitioning::random_shuffle(32, m, seed).unwrap();
+        let proj = Projector::new(&p);
+        let (vx, vy) = (bv(&x), bv(&y));
+        if vx.distance(&vy) <= tau {
+            prop_assert!(
+                passes_filter(&proj, &t, vx.words(), vy.words()),
+                "true result filtered: d={} tau={tau} t={t:?}",
+                vx.distance(&vy)
+            );
+        }
+    }
+
+    /// Theorem 1 (tightness): for any vector dominating a general-budget
+    /// vector, the constructed witness distances sum to ≤ τ yet fail
+    /// every partition — the dominating vector is incorrect.
+    #[test]
+    fn tightness_witness_always_defeats_dominators(
+        m in 2usize..5,
+        tau in 1u32..12,
+        seed in any::<u64>(),
+        drop_idx in any::<prop::sample::Index>(),
+    ) {
+        let dim = 24usize;
+        let p = Partitioning::random_shuffle(dim, m, seed).unwrap();
+        let widths = p.widths();
+        // Build a general-budget vector by round-robin, then dominate it
+        // by lowering one in-range entry.
+        let t = allocate_round_robin(m, tau);
+        let i = drop_idx.index(m);
+        let mut dom = t.clone();
+        prop_assume!(dom.0[i] >= 0); // lowering below −1 is invalid
+        dom.0[i] -= 1;
+        prop_assume!(dom.dominates(&t, &widths));
+        let d = tightness_witness(&t, &dom, &widths, tau).expect("dominates");
+        let total: i64 = d.iter().map(|&x| x as i64).sum();
+        prop_assert!(total <= tau as i64);
+        for (j, &dj) in d.iter().enumerate() {
+            prop_assert!(dj as i64 > dom.0[j] as i64, "partition {j} passes dom");
+            prop_assert!(dj as usize <= widths[j], "witness exceeds width");
+        }
+    }
+
+    /// Algorithm 1 is optimal: DP cost equals exhaustive minimum.
+    #[test]
+    fn dp_is_optimal(
+        m in 1usize..5,
+        tau in 0u32..7,
+        raw in prop::collection::vec(prop::collection::vec(0.0f64..100.0, 8), 5),
+    ) {
+        struct Fixed(Vec<Vec<f64>>);
+        impl CnEstimator for Fixed {
+            fn fill(&self, part: usize, _q: &[u64], tau: usize, out: &mut [f64]) {
+                let mut acc = 0.0;
+                out[0] = 0.0;
+                for e in 0..=tau {
+                    acc += self.0[part][e.min(self.0[part].len() - 1)];
+                    out[e + 1] = acc;
+                }
+            }
+            fn size_bytes(&self) -> usize { 0 }
+        }
+        let est = Fixed(raw);
+        let q: Vec<Vec<u64>> = vec![vec![0u64]; m];
+        let cn = CnTable::compute(&est, &q, tau as usize);
+        let dp = allocate_dp(&cn, tau);
+        let (_, best) = allocate_exhaustive(&cn, tau);
+        prop_assert!((cn.sum_for(&dp) - best).abs() < 1e-9);
+        prop_assert!(dp.satisfies_general_budget(tau));
+    }
+
+    /// The generalized budget DP respects its constraints and never beats
+    /// the exhaustive optimum over the same feasible set.
+    #[test]
+    fn budget_dp_feasible_and_bounded(
+        m in 1usize..5,
+        tau in 0u32..6,
+        min_e in -1i32..=0,
+        raw in prop::collection::vec(prop::collection::vec(0.0f64..50.0, 7), 5),
+    ) {
+        struct Fixed(Vec<Vec<f64>>);
+        impl CnEstimator for Fixed {
+            fn fill(&self, part: usize, _q: &[u64], tau: usize, out: &mut [f64]) {
+                let mut acc = 0.0;
+                out[0] = 0.0;
+                for e in 0..=tau {
+                    acc += self.0[part][e.min(self.0[part].len() - 1)];
+                    out[e + 1] = acc;
+                }
+            }
+            fn size_bytes(&self) -> usize { 0 }
+        }
+        let est = Fixed(raw);
+        let q: Vec<Vec<u64>> = vec![vec![0u64]; m];
+        let cn = CnTable::compute(&est, &q, tau as usize);
+        for budget in (m as i64) * (min_e as i64)..=(m as i64) * (tau as i64) {
+            let tv = allocate_dp_budget(&cn, tau, budget, min_e)
+                .expect("in-range budgets are feasible");
+            prop_assert_eq!(tv.sum(), budget);
+            prop_assert!(tv.0.iter().all(|&e| e >= min_e && e <= tau as i32));
+        }
+        // General budget via the generic DP equals the fast path.
+        let budget = tau as i64 - m as i64 + 1;
+        let generic = allocate_dp_budget(&cn, tau, budget, -1).expect("feasible");
+        let fast = allocate_dp(&cn, tau);
+        prop_assert!((cn.sum_for(&generic) - cn.sum_for(&fast)).abs() < 1e-9);
+    }
+
+    /// End-to-end exactness: GPH (random configs) returns exactly the
+    /// linear-scan result set.
+    #[test]
+    fn engine_equals_linear_scan(
+        rows in prop::collection::vec(bits(40), 10..60),
+        q in bits(40),
+        tau in 0u32..10,
+        m in 1usize..5,
+        shuffle_seed in any::<u64>(),
+        use_rr in any::<bool>(),
+    ) {
+        let ds = Dataset::from_vectors(40, rows.iter().map(|r| bv(r))).unwrap();
+        let mut cfg = GphConfig::new(m, 10);
+        cfg.strategy = PartitionStrategy::RandomShuffle { seed: shuffle_seed };
+        if use_rr {
+            cfg.allocator = gph::alloc::AllocatorKind::RoundRobin;
+        }
+        let engine = Gph::build(ds.clone(), &cfg).unwrap();
+        let qv = bv(&q);
+        prop_assert_eq!(engine.search(qv.words(), tau), ds.linear_scan(qv.words(), tau));
+    }
+}

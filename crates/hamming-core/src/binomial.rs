@@ -1,0 +1,99 @@
+//! Binomial coefficient tables.
+//!
+//! Signature enumeration cost (`C_sig_gen` in the paper, §IV-A) and
+//! Hamming-ball sizes are sums of binomials; a precomputed Pascal triangle
+//! keeps those O(1).
+
+/// Precomputed `C(n, k)` values, saturating at `u64::MAX`.
+///
+/// Saturation is safe for this workload: ball sizes only feed cost models
+/// and capacity pre-allocation, and any saturated value dwarfs every
+/// realistic candidate count, steering optimizers away exactly as an exact
+/// value would.
+#[derive(Clone, Debug)]
+pub struct BinomialTable {
+    max_n: usize,
+    rows: Vec<u64>, // (max_n+1) x (max_n+1) lower-triangular, row-major
+}
+
+impl BinomialTable {
+    /// Builds the table for all `0 <= k <= n <= max_n`.
+    pub fn new(max_n: usize) -> Self {
+        let w = max_n + 1;
+        let mut rows = vec![0u64; w * w];
+        for n in 0..=max_n {
+            rows[n * w] = 1;
+            for k in 1..=n {
+                let a = rows[(n - 1) * w + k - 1];
+                let b = if k < n { rows[(n - 1) * w + k] } else { 0 };
+                rows[n * w + k] = a.saturating_add(b);
+            }
+        }
+        BinomialTable { max_n, rows }
+    }
+
+    /// `C(n, k)`; zero when `k > n`. Panics if `n > max_n`.
+    #[inline]
+    pub fn c(&self, n: usize, k: usize) -> u64 {
+        assert!(n <= self.max_n, "n={n} exceeds table max {}", self.max_n);
+        if k > n {
+            0
+        } else {
+            self.rows[n * (self.max_n + 1) + k]
+        }
+    }
+
+    /// Size of a Hamming ball of radius `r` in `{0,1}^n`:
+    /// `Σ_{k=0}^{r} C(n, k)` (saturating).
+    pub fn ball(&self, n: usize, r: usize) -> u64 {
+        let mut s = 0u64;
+        for k in 0..=r.min(n) {
+            s = s.saturating_add(self.c(n, k));
+        }
+        s
+    }
+
+    /// Largest `n` the table covers.
+    pub fn max_n(&self) -> usize {
+        self.max_n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        let t = BinomialTable::new(10);
+        assert_eq!(t.c(0, 0), 1);
+        assert_eq!(t.c(5, 2), 10);
+        assert_eq!(t.c(10, 5), 252);
+        assert_eq!(t.c(7, 9), 0);
+    }
+
+    #[test]
+    fn ball_sizes() {
+        let t = BinomialTable::new(8);
+        // |B(8, 1)| = 1 + 8 = 9 ; |B(8, 8)| = 2^8.
+        assert_eq!(t.ball(8, 1), 9);
+        assert_eq!(t.ball(8, 8), 256);
+        assert_eq!(t.ball(8, 100), 256);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let t = BinomialTable::new(200);
+        assert_eq!(t.c(200, 100), u64::MAX);
+        // Symmetry holds where exact.
+        assert_eq!(t.c(200, 1), 200);
+        assert_eq!(t.c(200, 199), 200);
+    }
+
+    #[test]
+    fn row_sum_is_power_of_two() {
+        let t = BinomialTable::new(20);
+        let sum: u64 = (0..=20).map(|k| t.c(20, k)).sum();
+        assert_eq!(sum, 1 << 20);
+    }
+}

@@ -1,0 +1,286 @@
+//! Fixed-width binary vectors packed into 64-bit words.
+
+use crate::error::{HammingError, Result};
+use crate::words_for;
+use std::fmt;
+
+/// An `n`-dimensional binary vector.
+///
+/// Bits are stored little-endian within a `Box<[u64]>`: dimension `i` lives
+/// in word `i / 64` at bit `i % 64`. **Invariant:** bits at positions
+/// `>= dim` in the last word are always zero, so word-wise operations
+/// (XOR + popcount) never see garbage.
+///
+/// ```
+/// use hamming_core::BitVector;
+/// let x = BitVector::parse("10011111").unwrap();
+/// let q = BitVector::parse("10000000").unwrap();
+/// assert_eq!(x.distance(&q), 5);
+/// assert_eq!(x.weight(), 6);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVector {
+    dim: usize,
+    words: Box<[u64]>,
+}
+
+impl BitVector {
+    /// Creates the all-zero vector with `dim` dimensions.
+    pub fn zeros(dim: usize) -> Self {
+        BitVector {
+            dim,
+            words: vec![0u64; words_for(dim)].into_boxed_slice(),
+        }
+    }
+
+    /// Creates the all-one vector with `dim` dimensions.
+    pub fn ones(dim: usize) -> Self {
+        let mut v = BitVector {
+            dim,
+            words: vec![u64::MAX; words_for(dim)].into_boxed_slice(),
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Builds a vector from an iterator of booleans; the iterator length
+    /// defines the dimensionality.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut words = Vec::new();
+        let mut dim = 0usize;
+        for b in bits {
+            if dim.is_multiple_of(64) {
+                words.push(0u64);
+            }
+            if b {
+                *words.last_mut().expect("just pushed") |= 1u64 << (dim % 64);
+            }
+            dim += 1;
+        }
+        BitVector {
+            dim,
+            words: words.into_boxed_slice(),
+        }
+    }
+
+    /// Parses a vector from an ASCII string of `0`/`1` characters, most
+    /// significant dimension first matching the paper's notation, e.g.
+    /// `"10011111"` is the example vector `x4`.
+    ///
+    /// Dimension 0 corresponds to the **leftmost** character.
+    pub fn parse(s: &str) -> Result<Self> {
+        let mut bits = Vec::with_capacity(s.len());
+        for (i, c) in s.chars().enumerate() {
+            match c {
+                '0' => bits.push(false),
+                '1' => bits.push(true),
+                _ => {
+                    return Err(HammingError::InvalidParameter(format!(
+                        "unexpected character {c:?} at position {i}; expected '0' or '1'"
+                    )))
+                }
+            }
+        }
+        Ok(Self::from_bits(bits))
+    }
+
+    /// Constructs a vector from raw words. Trailing bits beyond `dim` are
+    /// cleared rather than rejected.
+    pub fn from_words(dim: usize, words: Vec<u64>) -> Result<Self> {
+        if words.len() != words_for(dim) {
+            return Err(HammingError::InvalidParameter(format!(
+                "expected {} words for {dim} dims, got {}",
+                words_for(dim),
+                words.len()
+            )));
+        }
+        let mut v = BitVector {
+            dim,
+            words: words.into_boxed_slice(),
+        };
+        v.mask_tail();
+        Ok(v)
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The backing words (trailing bits zeroed).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Value of dimension `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.dim, "dimension {i} out of range {}", self.dim);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets dimension `i` to `value`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        debug_assert!(i < self.dim, "dimension {i} out of range {}", self.dim);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips dimension `i`, returning the new value.
+    #[inline]
+    pub fn flip(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.dim, "dimension {i} out of range {}", self.dim);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+        self.get(i)
+    }
+
+    /// Number of dimensions set to 1 (the Hamming weight).
+    #[inline]
+    pub fn weight(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Hamming distance to `other`. Panics in debug builds if dimensions
+    /// differ; use [`crate::distance::hamming`] on raw words for hot loops.
+    #[inline]
+    pub fn distance(&self, other: &BitVector) -> u32 {
+        debug_assert_eq!(self.dim, other.dim);
+        crate::distance::hamming(&self.words, &other.words)
+    }
+
+    /// Iterates over all dimensions as booleans.
+    pub fn iter_bits(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.dim).map(move |i| self.get(i))
+    }
+
+    /// Returns the positions of set dimensions in increasing order.
+    pub fn support(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.weight() as usize);
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(wi * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Clears any bits at positions `>= dim` in the final word, restoring
+    /// the trailing-zero invariant.
+    fn mask_tail(&mut self) {
+        let rem = self.dim % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        if self.dim == 0 {
+            debug_assert!(self.words.is_empty());
+        }
+    }
+}
+
+impl fmt::Debug for BitVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVector({}d: ", self.dim)?;
+        for i in 0..self.dim.min(96) {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        if self.dim > 96 {
+            write!(f, "…")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// `Display` prints every dimension; handy for paper-sized examples.
+impl fmt::Display for BitVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.dim {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones_have_expected_weight() {
+        for dim in [0usize, 1, 63, 64, 65, 128, 881] {
+            assert_eq!(BitVector::zeros(dim).weight(), 0, "dim={dim}");
+            assert_eq!(BitVector::ones(dim).weight(), dim as u32, "dim={dim}");
+        }
+    }
+
+    #[test]
+    fn set_get_flip_roundtrip() {
+        let mut v = BitVector::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1) && !v.get(128));
+        assert_eq!(v.weight(), 3);
+        assert!(!v.flip(0));
+        assert_eq!(v.weight(), 2);
+        assert!(v.flip(1));
+        assert_eq!(v.support(), vec![1, 64, 129]);
+    }
+
+    #[test]
+    fn parse_matches_paper_example() {
+        let x4 = BitVector::parse("10011111").unwrap();
+        assert_eq!(x4.dim(), 8);
+        assert!(x4.get(0));
+        assert!(!x4.get(1));
+        assert_eq!(x4.weight(), 6);
+        assert_eq!(x4.to_string(), "10011111");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(BitVector::parse("01x0").is_err());
+    }
+
+    #[test]
+    fn distance_of_paper_vectors() {
+        let q1 = BitVector::parse("10000000").unwrap();
+        let x1 = BitVector::parse("00000000").unwrap();
+        let x2 = BitVector::parse("00000111").unwrap();
+        let x4 = BitVector::parse("10011111").unwrap();
+        assert_eq!(q1.distance(&x1), 1);
+        assert_eq!(q1.distance(&x2), 4);
+        assert_eq!(q1.distance(&x4), 5);
+        assert_eq!(q1.distance(&q1), 0);
+    }
+
+    #[test]
+    fn from_words_masks_tail() {
+        let v = BitVector::from_words(65, vec![u64::MAX, u64::MAX]).unwrap();
+        assert_eq!(v.weight(), 65);
+        assert_eq!(v.words()[1], 1);
+    }
+
+    #[test]
+    fn from_words_rejects_wrong_len() {
+        assert!(BitVector::from_words(65, vec![0]).is_err());
+    }
+
+    #[test]
+    fn ones_tail_is_masked() {
+        let v = BitVector::ones(70);
+        assert_eq!(v.words()[1].count_ones(), 6);
+    }
+}

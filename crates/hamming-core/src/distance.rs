@@ -1,0 +1,147 @@
+//! Popcount-based Hamming distance kernels.
+//!
+//! These operate on raw word slices so that [`crate::Dataset`] rows and
+//! [`crate::project::ProjectedDataset`] columns can be compared without
+//! materializing [`crate::BitVector`] values.
+
+/// Hamming distance between two equal-length word slices.
+///
+/// Both slices must follow the trailing-zero invariant (bits beyond the
+/// logical dimensionality are zero), which every type in this crate
+/// maintains.
+#[inline]
+pub fn hamming(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut d = 0u32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        d += (x ^ y).count_ones();
+    }
+    d
+}
+
+/// Early-exit Hamming distance: returns `Some(distance)` if it is `<= tau`,
+/// `None` as soon as the running distance exceeds `tau`.
+///
+/// This is the verification kernel (`C_verify` in the paper's cost model):
+/// most candidates fail verification, so aborting early on wide vectors
+/// (e.g. PubChem's 881 dimensions = 14 words) saves most of the popcounts.
+#[inline]
+pub fn hamming_within(a: &[u64], b: &[u64], tau: u32) -> Option<u32> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut d = 0u32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        d += (x ^ y).count_ones();
+        if d > tau {
+            return None;
+        }
+    }
+    Some(d)
+}
+
+/// Hamming distance between two single-word values (partitions of up to 64
+/// dimensions project to one word — the common case for every algorithm in
+/// the paper).
+#[inline]
+pub fn hamming1(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// Tanimoto (Jaccard) similarity of two bit vectors:
+/// `|x ∧ y| / |x ∨ y|` — the cheminformatics similarity the paper's §I
+/// reduces to Hamming search. Returns 1.0 for two empty vectors.
+pub fn tanimoto(a: &[u64], b: &[u64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut inter = 0u32;
+    let mut union = 0u32;
+    for (&x, &y) in a.iter().zip(b) {
+        inter += (x & y).count_ones();
+        union += (x | y).count_ones();
+    }
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Hamming threshold equivalent to a Tanimoto threshold `t` for a query
+/// of weight `w_q` (per \[43\]): with `a = |x|`, `b = |y|`,
+/// `c = |x ∧ y|`, `T ≥ t` forces `b ≤ a/t` and
+/// `H = a + b − 2c ≤ (1 − t)/(1 + t) · (a + b)`, so
+/// `τ = ⌊(1 − t)/(1 + t) · (a + a/t)⌋` suffices. Candidates within τ are
+/// then verified with the exact [`tanimoto`]. `t` must be in `(0, 1]`.
+pub fn tanimoto_to_hamming_bound(w_q: u32, t: f64) -> u32 {
+    assert!(t > 0.0 && t <= 1.0, "Tanimoto threshold must be in (0, 1]");
+    let a = w_q as f64;
+    ((1.0 - t) / (1.0 + t) * (a + a / t)).floor() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_basic() {
+        assert_eq!(hamming(&[0b1010], &[0b0110]), 2);
+        assert_eq!(hamming(&[u64::MAX, 0], &[0, 0]), 64);
+        assert_eq!(hamming(&[], &[]), 0);
+    }
+
+    #[test]
+    fn within_matches_full_distance() {
+        let a = [0xDEAD_BEEF_u64, 0x1234_5678];
+        let b = [0xFEED_FACE_u64, 0x8765_4321];
+        let d = hamming(&a, &b);
+        assert_eq!(hamming_within(&a, &b, d), Some(d));
+        assert_eq!(hamming_within(&a, &b, d + 1), Some(d));
+        assert_eq!(hamming_within(&a, &b, d - 1), None);
+    }
+
+    #[test]
+    fn within_early_exit_on_first_word() {
+        // First word alone exceeds tau; the answer must still be None.
+        let a = [u64::MAX, 0];
+        let b = [0u64, 0];
+        assert_eq!(hamming_within(&a, &b, 10), None);
+    }
+
+    #[test]
+    fn single_word_kernel() {
+        assert_eq!(hamming1(0, u64::MAX), 64);
+        assert_eq!(hamming1(0b11, 0b10), 1);
+    }
+
+    #[test]
+    fn tanimoto_known_values() {
+        assert_eq!(tanimoto(&[0b1100], &[0b1010]), 1.0 / 3.0);
+        assert_eq!(tanimoto(&[0b11], &[0b11]), 1.0);
+        assert_eq!(tanimoto(&[0], &[0]), 1.0);
+        assert_eq!(tanimoto(&[0b1], &[0b10]), 0.0);
+    }
+
+    #[test]
+    fn tanimoto_bound_is_safe() {
+        // Any pair with T >= t must fall within the Hamming bound.
+        // Exhaustive check over small vectors.
+        for a_bits in 0u64..32 {
+            for b_bits in 0u64..32 {
+                let (a, b) = ([a_bits], [b_bits]);
+                let t = 0.5;
+                if tanimoto(&a, &b) >= t {
+                    let tau = tanimoto_to_hamming_bound(a_bits.count_ones(), t);
+                    assert!(
+                        hamming(&a, &b) <= tau,
+                        "a={a_bits:b} b={b_bits:b} H={} tau={tau}",
+                        hamming(&a, &b)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tanimoto_bound_tightens_with_t() {
+        assert!(tanimoto_to_hamming_bound(100, 0.9) < tanimoto_to_hamming_bound(100, 0.5));
+        assert_eq!(tanimoto_to_hamming_bound(100, 1.0), 0);
+    }
+}

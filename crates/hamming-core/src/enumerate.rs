@@ -1,0 +1,200 @@
+//! Hamming-ball enumeration ("signature generation").
+//!
+//! Every filter-and-refine method in the paper enumerates, for a partition
+//! of the query, all values within the partition's allocated threshold —
+//! the *signatures* — and probes an inverted index with each. This module
+//! provides that enumeration for single-word (≤ 64 dimensions, the common
+//! case) and multi-word partitions.
+
+/// Calls `f(s)` for every single-word value `s` with `width` significant
+/// bits such that `H(s, value) <= radius`.
+///
+/// Enumeration order is by increasing distance (radius 0 first), matching
+/// the description in §II-C. `value` must have no bits set at or above
+/// `width`. The number of calls is `Σ_{k<=radius} C(width, k)`.
+pub fn for_each_in_ball_u64<F: FnMut(u64)>(value: u64, width: usize, radius: usize, mut f: F) {
+    debug_assert!(width <= 64);
+    debug_assert!(width == 64 || value >> width == 0, "value has bits above width");
+    f(value);
+    let radius = radius.min(width);
+    // positions[0..k] hold the currently flipped bit indices.
+    let mut positions = [0usize; 64];
+    for k in 1..=radius {
+        combos(value, width, k, 0, 0, &mut positions, &mut f);
+    }
+}
+
+/// Recursive combination enumeration for the single-word ball: chooses
+/// `remaining = k - depth` more flip positions starting at `start`.
+fn combos<F: FnMut(u64)>(
+    base: u64,
+    width: usize,
+    k: usize,
+    depth: usize,
+    start: usize,
+    positions: &mut [usize; 64],
+    f: &mut F,
+) {
+    if depth == k {
+        let mut v = base;
+        for &p in positions.iter().take(k) {
+            v ^= 1u64 << p;
+        }
+        f(v);
+        return;
+    }
+    // Leave room for the remaining (k - depth - 1) positions.
+    let last = width - (k - depth - 1);
+    for p in start..last {
+        positions[depth] = p;
+        combos(base, width, k, depth + 1, p + 1, positions, f);
+    }
+}
+
+/// Calls `f(words)` for every multi-word value with `width` significant
+/// bits within `radius` of `value`. `value.len()` must equal
+/// `crate::words_for(width)`.
+///
+/// The buffer passed to `f` is reused between calls; callers must copy it
+/// if they need to retain it (index probing hashes it immediately, so the
+/// hot path never copies).
+pub fn for_each_in_ball_words<F: FnMut(&[u64])>(
+    value: &[u64],
+    width: usize,
+    radius: usize,
+    mut f: F,
+) {
+    debug_assert_eq!(value.len(), crate::words_for(width));
+    let mut buf = value.to_vec();
+    f(&buf);
+    let radius = radius.min(width);
+    let mut positions = vec![0usize; radius];
+    for k in 1..=radius {
+        combos_words(width, k, 0, 0, &mut positions, &mut buf, &mut f);
+    }
+}
+
+fn combos_words<F: FnMut(&[u64])>(
+    width: usize,
+    k: usize,
+    depth: usize,
+    start: usize,
+    positions: &mut [usize],
+    buf: &mut [u64],
+    f: &mut F,
+) {
+    if depth == k {
+        f(buf);
+        return;
+    }
+    let last = width - (k - depth - 1);
+    for p in start..last {
+        positions[depth] = p;
+        buf[p / 64] ^= 1u64 << (p % 64);
+        combos_words(width, k, depth + 1, p + 1, positions, buf, f);
+        buf[p / 64] ^= 1u64 << (p % 64);
+    }
+}
+
+/// Number of signatures enumerated for a `(width, radius)` pair:
+/// `Σ_{k=0}^{radius} C(width, k)`, saturating.
+pub fn ball_size(width: usize, radius: usize) -> u64 {
+    // Direct multiplicative evaluation; widths are <= a few hundred.
+    let mut total = 1u64; // k = 0
+    let mut c = 1u64;
+    for k in 1..=radius.min(width) {
+        // c = C(width, k) built incrementally: c *= (width - k + 1) / k.
+        c = match c.checked_mul((width - k + 1) as u64) {
+            Some(x) => x / k as u64,
+            None => return u64::MAX,
+        };
+        total = total.saturating_add(c);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn collect_u64(value: u64, width: usize, radius: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        for_each_in_ball_u64(value, width, radius, |v| out.push(v));
+        out
+    }
+
+    #[test]
+    fn radius_zero_is_identity() {
+        assert_eq!(collect_u64(0b101, 3, 0), vec![0b101]);
+    }
+
+    #[test]
+    fn counts_match_ball_size() {
+        for width in [1usize, 3, 8, 12] {
+            for radius in 0..=width {
+                let got = collect_u64(0, width, radius);
+                assert_eq!(got.len() as u64, ball_size(width, radius), "w={width} r={radius}");
+                // All distinct, all within radius, all within width.
+                let set: HashSet<u64> = got.iter().copied().collect();
+                assert_eq!(set.len(), got.len());
+                for v in got {
+                    assert!(v.count_ones() as usize <= radius);
+                    assert!(width == 64 || v >> width == 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ball_is_centered_on_value() {
+        let center = 0b0110_1001u64;
+        for v in collect_u64(center, 8, 2) {
+            assert!((v ^ center).count_ones() <= 2);
+        }
+        assert_eq!(collect_u64(center, 8, 8).len(), 256);
+    }
+
+    #[test]
+    fn multiword_matches_singleword_when_narrow() {
+        let center = 0x0F0Fu64;
+        let mut multi = Vec::new();
+        for_each_in_ball_words(&[center], 16, 2, |w| multi.push(w[0]));
+        let single = collect_u64(center, 16, 2);
+        assert_eq!(multi, single);
+    }
+
+    #[test]
+    fn multiword_wide_partition() {
+        // 70-bit value: ball of radius 1 has 71 members.
+        let value = vec![u64::MAX, 0x3F]; // all 70 bits set
+        let mut seen = HashSet::new();
+        for_each_in_ball_words(&value, 70, 1, |w| {
+            assert!(seen.insert(w.to_vec()));
+        });
+        assert_eq!(seen.len(), 71);
+        // Flipping bit 69 must appear.
+        assert!(seen.contains(&vec![u64::MAX, 0x3F ^ (1 << 5)]));
+    }
+
+    #[test]
+    fn ball_size_saturates() {
+        assert_eq!(ball_size(500, 250), u64::MAX);
+        assert_eq!(ball_size(8, 100), 256);
+        assert_eq!(ball_size(0, 0), 1);
+    }
+
+    #[test]
+    fn enumeration_is_distance_ordered() {
+        let got = collect_u64(0, 6, 3);
+        let mut last = 0;
+        for v in got {
+            let d = v.count_ones();
+            assert!(d >= last.min(d)); // non-decreasing by construction
+            if d > last {
+                last = d;
+            }
+        }
+        assert_eq!(last, 3);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type shared by the substrate.
+
+use std::fmt;
+
+/// Errors produced by `hamming-core` constructors and I/O.
+#[derive(Debug)]
+pub enum HammingError {
+    /// Two vectors (or a vector and a dataset) disagree on dimensionality.
+    DimensionMismatch {
+        /// Expected number of dimensions.
+        expected: usize,
+        /// Number of dimensions actually supplied.
+        actual: usize,
+    },
+    /// A dimension index is out of the valid range `[0, dim)`.
+    DimensionOutOfRange {
+        /// The offending dimension index.
+        index: usize,
+        /// The vector dimensionality.
+        dim: usize,
+    },
+    /// A partitioning does not form a disjoint cover of `[0, dim)`.
+    InvalidPartitioning(String),
+    /// A parameter is outside its documented domain.
+    InvalidParameter(String),
+    /// Deserialization encountered a malformed payload.
+    Corrupt(String),
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for HammingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HammingError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            HammingError::DimensionOutOfRange { index, dim } => {
+                write!(f, "dimension index {index} out of range for {dim}-dimensional vector")
+            }
+            HammingError::InvalidPartitioning(msg) => write!(f, "invalid partitioning: {msg}"),
+            HammingError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            HammingError::Corrupt(msg) => write!(f, "corrupt payload: {msg}"),
+            HammingError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HammingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HammingError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for HammingError {
+    fn from(e: std::io::Error) -> Self {
+        HammingError::Io(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, HammingError>;

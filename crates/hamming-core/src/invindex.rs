@@ -1,0 +1,168 @@
+//! The partition-signature inverted index.
+//!
+//! Like MIH, GPH maps each data vector's projection on each partition to
+//! the vector's ID (§II-C, §VI). The index is immutable after build, so
+//! postings are stored compacted: one flat `Vec<u32>` of IDs per
+//! partition, addressed by `(offset, len)` ranges in a hash map keyed by
+//! the signature key. Signatures are enumerated **on the query side
+//! only** — the property that keeps GPH's index smaller than HmSearch's
+//! and PartAlloc's in Fig. 6.
+
+use crate::fasthash::FastMap;
+use crate::project::ProjectedDataset;
+
+/// One partition's postings.
+#[derive(Clone, Debug)]
+struct PartIndex {
+    width: usize,
+    /// key -> (offset, len) into `ids`.
+    ranges: FastMap<u64, (u32, u32)>,
+    ids: Vec<u32>,
+}
+
+/// Inverted index over every partition of a projected dataset.
+#[derive(Clone, Debug)]
+pub struct InvertedIndex {
+    parts: Vec<PartIndex>,
+    len: usize,
+}
+
+impl InvertedIndex {
+    /// Builds the index from a projected dataset (two passes per
+    /// partition: count, then fill — no per-key Vec churn).
+    pub fn build(pd: &ProjectedDataset) -> Self {
+        let n = pd.len();
+        let mut parts = Vec::with_capacity(pd.num_parts());
+        for p in 0..pd.num_parts() {
+            let col = pd.column(p);
+            // Pass 1: count postings per key.
+            let mut counts: FastMap<u64, u32> = FastMap::default();
+            for id in 0..n {
+                *counts.entry(col.key(id)).or_insert(0) += 1;
+            }
+            // Assign ranges.
+            let mut ranges: FastMap<u64, (u32, u32)> =
+                FastMap::with_capacity_and_hasher(counts.len(), Default::default());
+            let mut offset = 0u32;
+            for (&key, &cnt) in &counts {
+                ranges.insert(key, (offset, 0));
+                offset += cnt;
+            }
+            // Pass 2: fill IDs in vector order (postings stay sorted).
+            let mut ids = vec![0u32; n];
+            for id in 0..n {
+                let slot = ranges.get_mut(&col.key(id)).expect("counted in pass 1");
+                ids[(slot.0 + slot.1) as usize] = id as u32;
+                slot.1 += 1;
+            }
+            parts.push(PartIndex { width: col.width(), ranges, ids });
+        }
+        InvertedIndex { parts, len: n }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no vectors are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of partitions.
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Width of partition `p`.
+    pub fn part_width(&self, p: usize) -> usize {
+        self.parts[p].width
+    }
+
+    /// Postings list for signature `key` in partition `p` (IDs ascending).
+    #[inline]
+    pub fn postings(&self, p: usize, key: u64) -> &[u32] {
+        match self.parts[p].ranges.get(&key) {
+            Some(&(off, len)) => &self.parts[p].ids[off as usize..(off + len) as usize],
+            None => &[],
+        }
+    }
+
+    /// Number of distinct signatures in partition `p`.
+    pub fn distinct_signatures(&self, p: usize) -> usize {
+        self.parts[p].ranges.len()
+    }
+
+    /// Approximate heap size in bytes (IDs + hash-map entries), the
+    /// quantity compared in Fig. 6.
+    pub fn size_bytes(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|pi| {
+                // map entry ≈ key + range + bucket overhead (≈ 1.14 load).
+                pi.ids.len() * 4 + pi.ranges.len() * (8 + 8 + 2)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::BitVector;
+    use crate::dataset::Dataset;
+    use crate::partition::Partitioning;
+    use crate::project::Projector;
+
+    fn build_table1() -> (Dataset, InvertedIndex, Projector) {
+        let ds = Dataset::from_vectors(
+            8,
+            ["00000000", "00000111", "00001111", "10011111"]
+                .iter()
+                .map(|s| BitVector::parse(s).unwrap()),
+        )
+        .unwrap();
+        let p = Partitioning::equi_width(8, 2).unwrap();
+        let proj = Projector::new(&p);
+        let pd = ProjectedDataset::build(&ds, &proj);
+        (ds, InvertedIndex::build(&pd), proj)
+    }
+
+    #[test]
+    fn postings_group_equal_projections() {
+        let (_, idx, _) = build_table1();
+        // Partition 0 (dims 0..4): values 0000,0000,0000,1001.
+        assert_eq!(idx.postings(0, 0b0000), &[0, 1, 2]);
+        assert_eq!(idx.postings(0, 0b1001), &[3]);
+        assert_eq!(idx.postings(0, 0b1111), &[] as &[u32]);
+        assert_eq!(idx.distinct_signatures(0), 2);
+        // Partition 1 (dims 4..8): 0000, 0111->bits 1,2,3, 1111, 1111.
+        assert_eq!(idx.postings(1, 0b0000), &[0]);
+        assert_eq!(idx.postings(1, 0b1110), &[1]); // dims 5,6,7 set
+        assert_eq!(idx.postings(1, 0b1111), &[2, 3]);
+    }
+
+    #[test]
+    fn postings_are_sorted() {
+        let (_, idx, _) = build_table1();
+        let l = idx.postings(1, 0b1111);
+        assert!(l.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_dataset_index() {
+        let ds = Dataset::new(8);
+        let p = Partitioning::equi_width(8, 2).unwrap();
+        let pd = ProjectedDataset::build(&ds, &Projector::new(&p));
+        let idx = InvertedIndex::build(&pd);
+        assert!(idx.is_empty());
+        assert_eq!(idx.postings(0, 0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn size_accounting_positive() {
+        let (_, idx, _) = build_table1();
+        assert!(idx.size_bytes() > 0);
+    }
+}

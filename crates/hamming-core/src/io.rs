@@ -1,0 +1,278 @@
+//! Compact binary serialization for datasets.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic   [u8; 4] = b"HAMD"
+//! version u32     = 1
+//! dim     u64
+//! len     u64
+//! words   [u64]   = len * words_for(dim) raw words
+//! ```
+//!
+//! The format is intentionally dumb: datasets here are synthetic and
+//! regenerable, so the only goals are speed and exact round-tripping.
+
+use crate::dataset::Dataset;
+use crate::error::{HammingError, Result};
+use crate::partition::Partitioning;
+use crate::words_for;
+use bytes::{Buf, BufMut};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: [u8; 4] = *b"HAMD";
+const VERSION: u32 = 1;
+
+/// Encodes `ds` into a byte buffer.
+pub fn encode_dataset(ds: &Dataset) -> Vec<u8> {
+    let wpv = words_for(ds.dim());
+    let mut buf = Vec::with_capacity(24 + ds.len() * wpv * 8);
+    buf.put_slice(&MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(ds.dim() as u64);
+    buf.put_u64_le(ds.len() as u64);
+    for row in ds.iter_rows() {
+        for &w in row {
+            buf.put_u64_le(w);
+        }
+    }
+    buf
+}
+
+/// Decodes a dataset from bytes produced by [`encode_dataset`].
+pub fn decode_dataset(mut bytes: &[u8]) -> Result<Dataset> {
+    if bytes.len() < 24 {
+        return Err(HammingError::Corrupt("header truncated".into()));
+    }
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(HammingError::Corrupt(format!("bad magic {magic:?}")));
+    }
+    let version = bytes.get_u32_le();
+    if version != VERSION {
+        return Err(HammingError::Corrupt(format!("unsupported version {version}")));
+    }
+    let dim = bytes.get_u64_le() as usize;
+    let len = bytes.get_u64_le() as usize;
+    let wpv = words_for(dim);
+    let need = len
+        .checked_mul(wpv)
+        .and_then(|w| w.checked_mul(8))
+        .ok_or_else(|| HammingError::Corrupt("size overflow".into()))?;
+    if bytes.remaining() != need {
+        return Err(HammingError::Corrupt(format!(
+            "payload is {} bytes, expected {need}",
+            bytes.remaining()
+        )));
+    }
+    let mut ds = Dataset::with_capacity(dim, len);
+    let tail_mask = if dim.is_multiple_of(64) { u64::MAX } else { (1u64 << (dim % 64)) - 1 };
+    let mut row = vec![0u64; wpv];
+    for _ in 0..len {
+        for w in row.iter_mut() {
+            *w = bytes.get_u64_le();
+        }
+        if let Some(last) = row.last() {
+            if *last & !tail_mask != 0 {
+                return Err(HammingError::Corrupt(
+                    "trailing bits set beyond dimensionality".into(),
+                ));
+            }
+        }
+        ds.push_words(&row);
+    }
+    Ok(ds)
+}
+
+/// Writes `ds` to `path`.
+pub fn write_dataset<P: AsRef<Path>>(ds: &Dataset, path: P) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&encode_dataset(ds))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a dataset from `path`.
+pub fn read_dataset<P: AsRef<Path>>(path: P) -> Result<Dataset> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    decode_dataset(&bytes)
+}
+
+const PART_MAGIC: [u8; 4] = *b"HAMP";
+
+/// Encodes a partitioning (the expensive offline artifact of GPH's GR
+/// strategy, worth persisting across runs and τ settings).
+///
+/// Format: magic `HAMP`, version u32, dim u64, m u64, then per partition
+/// a u32 length and u32 dimension ids.
+pub fn encode_partitioning(p: &Partitioning) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(24 + p.dim() * 4);
+    buf.put_slice(&PART_MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(p.dim() as u64);
+    buf.put_u64_le(p.num_parts() as u64);
+    for part in p.parts() {
+        buf.put_u32_le(part.len() as u32);
+        for &d in part {
+            buf.put_u32_le(d);
+        }
+    }
+    buf
+}
+
+/// Decodes a partitioning written by [`encode_partitioning`], re-running
+/// full disjoint-cover validation.
+pub fn decode_partitioning(mut bytes: &[u8]) -> Result<Partitioning> {
+    if bytes.len() < 24 {
+        return Err(HammingError::Corrupt("partitioning header truncated".into()));
+    }
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if magic != PART_MAGIC {
+        return Err(HammingError::Corrupt(format!("bad magic {magic:?}")));
+    }
+    let version = bytes.get_u32_le();
+    if version != VERSION {
+        return Err(HammingError::Corrupt(format!("unsupported version {version}")));
+    }
+    let dim = bytes.get_u64_le() as usize;
+    let m = bytes.get_u64_le() as usize;
+    if m > dim.max(1) {
+        return Err(HammingError::Corrupt(format!("{m} partitions for {dim} dims")));
+    }
+    let mut parts = Vec::with_capacity(m);
+    for _ in 0..m {
+        if bytes.remaining() < 4 {
+            return Err(HammingError::Corrupt("partition length truncated".into()));
+        }
+        let len = bytes.get_u32_le() as usize;
+        if bytes.remaining() < len * 4 {
+            return Err(HammingError::Corrupt("partition body truncated".into()));
+        }
+        let mut part = Vec::with_capacity(len);
+        for _ in 0..len {
+            part.push(bytes.get_u32_le());
+        }
+        parts.push(part);
+    }
+    if bytes.has_remaining() {
+        return Err(HammingError::Corrupt("trailing bytes".into()));
+    }
+    Partitioning::new(dim, parts)
+}
+
+/// Writes a partitioning to `path`.
+pub fn write_partitioning<P: AsRef<Path>>(p: &Partitioning, path: P) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&encode_partitioning(p))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a partitioning from `path`.
+pub fn read_partitioning<P: AsRef<Path>>(path: P) -> Result<Partitioning> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    decode_partitioning(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::BitVector;
+
+    fn sample(dim: usize, n: usize) -> Dataset {
+        let mut ds = Dataset::new(dim);
+        for i in 0..n {
+            let mut v = BitVector::zeros(dim);
+            for d in 0..dim {
+                if (i * 31 + d * 7) % 3 == 0 {
+                    v.set(d, true);
+                }
+            }
+            ds.push(&v).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        for (dim, n) in [(8, 4), (64, 10), (130, 7), (881, 3)] {
+            let ds = sample(dim, n);
+            let decoded = decode_dataset(&encode_dataset(&ds)).unwrap();
+            assert_eq!(decoded.dim(), dim);
+            assert_eq!(decoded.len(), n);
+            for i in 0..n {
+                assert_eq!(decoded.row(i), ds.row(i), "dim={dim} row={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_via_file() {
+        let ds = sample(100, 20);
+        let dir = std::env::temp_dir().join("hamming_core_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.hamd");
+        write_dataset(&ds, &path).unwrap();
+        let decoded = read_dataset(&path).unwrap();
+        assert_eq!(decoded.len(), 20);
+        assert_eq!(decoded.row(19), ds.row(19));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let ds = sample(16, 2);
+        let mut bytes = encode_dataset(&ds);
+        assert!(decode_dataset(&bytes[..10]).is_err()); // truncated header
+        bytes[0] = b'X';
+        assert!(decode_dataset(&bytes).is_err()); // bad magic
+        let mut bytes2 = encode_dataset(&ds);
+        bytes2.truncate(bytes2.len() - 1);
+        assert!(decode_dataset(&bytes2).is_err()); // truncated payload
+        let mut bytes3 = encode_dataset(&ds);
+        let last = bytes3.len() - 1;
+        bytes3[last] = 0xFF; // dim=16, so high bytes of the word must be 0
+        assert!(decode_dataset(&bytes3).is_err());
+    }
+
+    #[test]
+    fn partitioning_roundtrip() {
+        let p = Partitioning::random_shuffle(100, 7, 3).unwrap();
+        let decoded = decode_partitioning(&encode_partitioning(&p)).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn partitioning_rejects_corruption() {
+        let p = Partitioning::equi_width(16, 4).unwrap();
+        let bytes = encode_partitioning(&p);
+        assert!(decode_partitioning(&bytes[..10]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(decode_partitioning(&bad).is_err());
+        // Flip a dimension id so the cover breaks (duplicate dim).
+        let mut dup = bytes.clone();
+        let last = dup.len() - 4;
+        dup[last..].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode_partitioning(&dup).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(decode_partitioning(&trailing).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let ds = Dataset::new(32);
+        let decoded = decode_dataset(&encode_dataset(&ds)).unwrap();
+        assert_eq!(decoded.len(), 0);
+        assert_eq!(decoded.dim(), 32);
+    }
+}

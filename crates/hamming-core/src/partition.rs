@@ -1,0 +1,359 @@
+//! Dimension partitionings and the rearrangement strategies evaluated in
+//! the paper (§V, §VII-D).
+//!
+//! A [`Partitioning`] assigns every dimension of an `n`-dimensional vector
+//! to exactly one of `m` disjoint partitions. Constructors cover:
+//!
+//! * [`Partitioning::equi_width`] — contiguous equal chunks (**OR** in the
+//!   paper's Fig. 4: the original, unshuffled order);
+//! * [`Partitioning::random_shuffle`] — shuffle then chunk (**RS**, the
+//!   PartEnum-style baseline \[1\]);
+//! * [`Partitioning::os_rearrangement`] — frequency-balancing dimension
+//!   rearrangement in the spirit of HmSearch \[43\] (**OS**);
+//! * [`Partitioning::dd_rearrangement`] — correlation-minimizing
+//!   data-driven rearrangement in the spirit of \[36\] (**DD**).
+//!
+//! GPH's own partitioner (entropy-greedy initialization + cost-driven hill
+//! climbing, **GR**) lives in the `gph` crate because it needs the query
+//! cost model.
+
+use crate::error::{HammingError, Result};
+use crate::key::mix64;
+use crate::stats::{ColumnBits, DimStats};
+
+/// A disjoint cover of the dimensions `[0, n)` by `m` ordered partitions.
+///
+/// ```
+/// use hamming_core::Partitioning;
+/// let p = Partitioning::equi_width(8, 2).unwrap();
+/// assert_eq!(p.part(0), &[0, 1, 2, 3]);
+/// assert_eq!(p.widths(), vec![4, 4]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partitioning {
+    dim: usize,
+    parts: Vec<Vec<u32>>,
+}
+
+impl Partitioning {
+    /// Validates that `parts` forms a disjoint cover of `[0, dim)`.
+    /// Empty partitions are allowed (GPH's refinement can empty one;
+    /// §V-B notes the output need not have exactly `m` parts).
+    pub fn new(dim: usize, parts: Vec<Vec<u32>>) -> Result<Self> {
+        let mut seen = vec![false; dim];
+        let mut covered = 0usize;
+        for (pi, part) in parts.iter().enumerate() {
+            for &d in part {
+                let d = d as usize;
+                if d >= dim {
+                    return Err(HammingError::InvalidPartitioning(format!(
+                        "partition {pi} references dimension {d} >= {dim}"
+                    )));
+                }
+                if seen[d] {
+                    return Err(HammingError::InvalidPartitioning(format!(
+                        "dimension {d} appears in more than one partition"
+                    )));
+                }
+                seen[d] = true;
+                covered += 1;
+            }
+        }
+        if covered != dim {
+            return Err(HammingError::InvalidPartitioning(format!(
+                "{covered} of {dim} dimensions covered"
+            )));
+        }
+        Ok(Partitioning { dim, parts })
+    }
+
+    /// Equi-width partitioning in the original dimension order. When
+    /// `m` does not divide `dim`, the first `dim % m` partitions receive
+    /// one extra dimension.
+    pub fn equi_width(dim: usize, m: usize) -> Result<Self> {
+        if m == 0 || m > dim.max(1) {
+            return Err(HammingError::InvalidParameter(format!(
+                "partition count m={m} invalid for dim={dim}"
+            )));
+        }
+        Self::from_order(&(0..dim).collect::<Vec<_>>(), m)
+    }
+
+    /// Chunks an explicit dimension ordering into `m` near-equal parts.
+    pub fn from_order(order: &[usize], m: usize) -> Result<Self> {
+        let dim = order.len();
+        if m == 0 || m > dim.max(1) {
+            return Err(HammingError::InvalidParameter(format!(
+                "partition count m={m} invalid for dim={dim}"
+            )));
+        }
+        let base = dim / m;
+        let extra = dim % m;
+        let mut parts = Vec::with_capacity(m);
+        let mut idx = 0usize;
+        for pi in 0..m {
+            let w = base + usize::from(pi < extra);
+            let part: Vec<u32> = order[idx..idx + w].iter().map(|&d| d as u32).collect();
+            idx += w;
+            parts.push(part);
+        }
+        Self::new(dim, parts)
+    }
+
+    /// Random shuffle (Fisher–Yates seeded by splitmix64) followed by
+    /// equi-width chunking — the **RS** baseline.
+    pub fn random_shuffle(dim: usize, m: usize, seed: u64) -> Result<Self> {
+        let mut order: Vec<usize> = (0..dim).collect();
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            mix64(state)
+        };
+        for i in (1..dim).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        Self::from_order(&order, m)
+    }
+
+    /// **OS** rearrangement: sorts dimensions by skewness and deals them
+    /// into partitions in snake order, so every partition receives a
+    /// similar mixture of skewed and balanced dimensions — the
+    /// "make every partition uniformly distributed" goal of HmSearch \[43\].
+    pub fn os_rearrangement(stats: &DimStats, m: usize) -> Result<Self> {
+        let dim = stats.dim();
+        if m == 0 || m > dim.max(1) {
+            return Err(HammingError::InvalidParameter(format!(
+                "partition count m={m} invalid for dim={dim}"
+            )));
+        }
+        let mut by_skew: Vec<usize> = (0..dim).collect();
+        by_skew.sort_by(|&a, &b| {
+            stats
+                .skewness(b)
+                .partial_cmp(&stats.skewness(a))
+                .expect("skewness is never NaN")
+                .then(a.cmp(&b))
+        });
+        let mut parts: Vec<Vec<u32>> = vec![Vec::with_capacity(dim.div_ceil(m)); m];
+        for (rank, &d) in by_skew.iter().enumerate() {
+            let round = rank / m;
+            let pos = rank % m;
+            // Snake order: alternate direction every round for balance.
+            let pi = if round.is_multiple_of(2) { pos } else { m - 1 - pos };
+            parts[pi].push(d as u32);
+        }
+        Self::new(dim, parts)
+    }
+
+    /// **DD** rearrangement: greedy correlation-*minimizing* assignment in
+    /// the spirit of data-driven multi-index hashing \[36\]. Partitions are
+    /// filled round-robin; each step assigns the unclaimed dimension with
+    /// the smallest summed |phi| correlation to the receiving partition's
+    /// current members.
+    pub fn dd_rearrangement(cols: &ColumnBits, m: usize) -> Result<Self> {
+        let dim = cols.dim();
+        if m == 0 || m > dim.max(1) {
+            return Err(HammingError::InvalidParameter(format!(
+                "partition count m={m} invalid for dim={dim}"
+            )));
+        }
+        // Precompute |phi| for all pairs once: O(n^2) popcount sweeps.
+        let mut corr = vec![0.0f64; dim * dim];
+        for i in 0..dim {
+            for j in (i + 1)..dim {
+                let c = cols.phi(i, j).abs();
+                corr[i * dim + j] = c;
+                corr[j * dim + i] = c;
+            }
+        }
+        let mut assigned = vec![false; dim];
+        let mut parts: Vec<Vec<u32>> = vec![Vec::with_capacity(dim.div_ceil(m)); m];
+        // Seed each partition with the most skewed unassigned dimension so
+        // skewed dims spread out (matching the uniformity goal).
+        let mut remaining = dim;
+        let mut pi = 0usize;
+        while remaining > 0 {
+            let target = dim / m + usize::from(pi < dim % m);
+            if parts[pi].len() >= target {
+                pi = (pi + 1) % m;
+                continue;
+            }
+            let mut best = usize::MAX;
+            let mut best_score = f64::INFINITY;
+            for d in 0..dim {
+                if assigned[d] {
+                    continue;
+                }
+                let score: f64 = parts[pi].iter().map(|&e| corr[d * dim + e as usize]).sum();
+                if score < best_score {
+                    best_score = score;
+                    best = d;
+                }
+            }
+            assigned[best] = true;
+            parts[pi].push(best as u32);
+            remaining -= 1;
+            pi = (pi + 1) % m;
+        }
+        Self::new(dim, parts)
+    }
+
+    /// Number of dimensions covered.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of partitions `m`.
+    #[inline]
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The dimensions of partition `i`.
+    #[inline]
+    pub fn part(&self, i: usize) -> &[u32] {
+        &self.parts[i]
+    }
+
+    /// All partitions.
+    #[inline]
+    pub fn parts(&self) -> &[Vec<u32>] {
+        &self.parts
+    }
+
+    /// Widths `n_i` of every partition.
+    pub fn widths(&self) -> Vec<usize> {
+        self.parts.iter().map(|p| p.len()).collect()
+    }
+
+    /// Mapping from dimension to its partition index.
+    pub fn assignment(&self) -> Vec<usize> {
+        let mut a = vec![usize::MAX; self.dim];
+        for (pi, part) in self.parts.iter().enumerate() {
+            for &d in part {
+                a[d as usize] = pi;
+            }
+        }
+        a
+    }
+
+    /// Moves dimension `d` from partition `from` to partition `to`.
+    /// Used by GPH's hill-climbing refinement (Algorithm 2).
+    pub fn move_dim(&mut self, d: u32, from: usize, to: usize) -> Result<()> {
+        if from == to {
+            return Ok(());
+        }
+        let pos = self.parts[from]
+            .iter()
+            .position(|&x| x == d)
+            .ok_or_else(|| {
+                HammingError::InvalidParameter(format!("dim {d} not in partition {from}"))
+            })?;
+        self.parts[from].swap_remove(pos);
+        self.parts[to].push(d);
+        Ok(())
+    }
+
+    /// Drops empty partitions (the paper notes refinement may empty some).
+    pub fn prune_empty(&mut self) {
+        self.parts.retain(|p| !p.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::BitVector;
+    use crate::dataset::Dataset;
+
+    #[test]
+    fn equi_width_exact_division() {
+        let p = Partitioning::equi_width(8, 2).unwrap();
+        assert_eq!(p.num_parts(), 2);
+        assert_eq!(p.part(0), &[0, 1, 2, 3]);
+        assert_eq!(p.part(1), &[4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn equi_width_with_remainder() {
+        let p = Partitioning::equi_width(10, 3).unwrap();
+        assert_eq!(p.widths(), vec![4, 3, 3]);
+        let mut all: Vec<u32> = p.parts().iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn new_rejects_overlap_and_gaps() {
+        assert!(Partitioning::new(4, vec![vec![0, 1], vec![1, 2, 3]]).is_err());
+        assert!(Partitioning::new(4, vec![vec![0, 1], vec![2]]).is_err());
+        assert!(Partitioning::new(4, vec![vec![0, 1, 4], vec![2, 3]]).is_err());
+        assert!(Partitioning::new(4, vec![vec![0, 1], vec![2, 3], vec![]]).is_ok());
+    }
+
+    #[test]
+    fn random_shuffle_is_valid_and_seed_deterministic() {
+        let a = Partitioning::random_shuffle(128, 8, 42).unwrap();
+        let b = Partitioning::random_shuffle(128, 8, 42).unwrap();
+        let c = Partitioning::random_shuffle(128, 8, 43).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.widths(), vec![16; 8]);
+    }
+
+    #[test]
+    fn move_dim_and_assignment() {
+        let mut p = Partitioning::equi_width(6, 2).unwrap();
+        p.move_dim(0, 0, 1).unwrap();
+        assert_eq!(p.widths(), vec![2, 4]);
+        let a = p.assignment();
+        assert_eq!(a[0], 1);
+        assert_eq!(a[1], 0);
+        assert!(p.move_dim(0, 0, 1).is_err()); // no longer in partition 0
+    }
+
+    fn skewed_dataset() -> Dataset {
+        // dims 0..4 mostly zero (skewed); dims 4..8 balanced.
+        let rows = [
+            "00001010", "00000101", "00001100", "00000011",
+            "00001001", "00000110", "10001111", "01000000",
+        ];
+        Dataset::from_vectors(8, rows.iter().map(|s| BitVector::parse(s).unwrap())).unwrap()
+    }
+
+    #[test]
+    fn os_spreads_skewed_dims() {
+        let ds = skewed_dataset();
+        let st = DimStats::compute(&ds);
+        let p = Partitioning::os_rearrangement(&st, 2).unwrap();
+        assert_eq!(p.widths(), vec![4, 4]);
+        // The two most-skewed dims must land in different partitions.
+        let mut by_skew: Vec<usize> = (0..8).collect();
+        by_skew.sort_by(|&a, &b| st.skewness(b).partial_cmp(&st.skewness(a)).unwrap());
+        let assign = p.assignment();
+        assert_ne!(assign[by_skew[0]], assign[by_skew[1]]);
+    }
+
+    #[test]
+    fn dd_separates_correlated_pair() {
+        // dims 0 and 1 identical across rows => |phi| = 1; DD should not
+        // put them together when m = 2 (it minimizes in-partition corr).
+        let rows = ["110000", "111100", "000011", "001101", "110110", "000000"];
+        let ds =
+            Dataset::from_vectors(6, rows.iter().map(|s| BitVector::parse(s).unwrap())).unwrap();
+        let cb = ColumnBits::from_all(&ds);
+        assert!((cb.phi(0, 1) - 1.0).abs() < 1e-9);
+        let p = Partitioning::dd_rearrangement(&cb, 2).unwrap();
+        let a = p.assignment();
+        assert_ne!(a[0], a[1], "perfectly correlated dims should be split: {p:?}");
+    }
+
+    #[test]
+    fn prune_empty_removes_only_empty() {
+        let mut p = Partitioning::new(4, vec![vec![0, 1], vec![], vec![2, 3]]).unwrap();
+        p.prune_empty();
+        assert_eq!(p.num_parts(), 2);
+    }
+}

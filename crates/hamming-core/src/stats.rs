@@ -1,0 +1,295 @@
+//! Dataset statistics: skewness, entropy, correlation.
+//!
+//! These drive the paper's analysis (Fig. 1 plots skewness by dimension)
+//! and its partitioning heuristics: GPH's greedy initialization minimizes
+//! partition *entropy* (§V-C), while the OS/DD baselines balance frequency
+//! and correlation across partitions.
+
+use crate::dataset::Dataset;
+use crate::key::mix64;
+use std::collections::HashMap;
+
+/// Per-dimension counts of ones over a dataset.
+#[derive(Clone, Debug)]
+pub struct DimStats {
+    n_rows: usize,
+    ones: Vec<u64>,
+}
+
+impl DimStats {
+    /// Scans `ds` once and counts ones per dimension.
+    pub fn compute(ds: &Dataset) -> Self {
+        let mut ones = vec![0u64; ds.dim()];
+        for row in ds.iter_rows() {
+            for (wi, &w) in row.iter().enumerate() {
+                let mut bits = w;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    ones[wi * 64 + b] += 1;
+                    bits &= bits - 1;
+                }
+            }
+        }
+        DimStats { n_rows: ds.len(), ones }
+    }
+
+    /// Number of rows scanned.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.ones.len()
+    }
+
+    /// Empirical probability that dimension `d` is 1.
+    pub fn p1(&self, d: usize) -> f64 {
+        if self.n_rows == 0 {
+            0.5
+        } else {
+            self.ones[d] as f64 / self.n_rows as f64
+        }
+    }
+
+    /// Skewness of dimension `d` as defined in the paper's Fig. 1:
+    /// `|#1s − #0s| / #data` = `|2·p1 − 1|`.
+    pub fn skewness(&self, d: usize) -> f64 {
+        (2.0 * self.p1(d) - 1.0).abs()
+    }
+
+    /// Skewness of every dimension.
+    pub fn skewness_profile(&self) -> Vec<f64> {
+        (0..self.dim()).map(|d| self.skewness(d)).collect()
+    }
+
+    /// Mean skewness across dimensions — the dataset-level measure used
+    /// when the paper labels datasets "slightly/medium/highly skewed".
+    pub fn mean_skewness(&self) -> f64 {
+        if self.dim() == 0 {
+            return 0.0;
+        }
+        self.skewness_profile().iter().sum::<f64>() / self.dim() as f64
+    }
+}
+
+/// Column-major bit matrix over a row sample, for fast pairwise statistics.
+///
+/// Column `d` packs the sampled rows' values of dimension `d` into words,
+/// so co-occurrence counts are AND + popcount — cheap enough for the
+/// `O(n²)` pair sweep that the DD partitioning baseline needs even at
+/// `n = 881`.
+#[derive(Clone, Debug)]
+pub struct ColumnBits {
+    n_rows: usize,
+    words_per_col: usize,
+    cols: Vec<u64>,
+}
+
+impl ColumnBits {
+    /// Builds columns from the given sample row IDs of `ds`.
+    pub fn from_sample(ds: &Dataset, sample_ids: &[usize]) -> Self {
+        let n_rows = sample_ids.len();
+        let words_per_col = n_rows.div_ceil(64);
+        let dim = ds.dim();
+        let mut cols = vec![0u64; words_per_col * dim];
+        for (ri, &id) in sample_ids.iter().enumerate() {
+            let row = ds.row(id);
+            for (wi, &w) in row.iter().enumerate() {
+                let mut bits = w;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    let d = wi * 64 + b;
+                    cols[d * words_per_col + ri / 64] |= 1u64 << (ri % 64);
+                    bits &= bits - 1;
+                }
+            }
+        }
+        ColumnBits { n_rows, words_per_col, cols }
+    }
+
+    /// Builds columns from every row of `ds`.
+    pub fn from_all(ds: &Dataset) -> Self {
+        let ids: Vec<usize> = (0..ds.len()).collect();
+        Self::from_sample(ds, &ids)
+    }
+
+    /// Number of sampled rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of dimensions (columns).
+    pub fn dim(&self) -> usize {
+self.cols.len().checked_div(self.words_per_col).unwrap_or(0)
+    }
+
+    fn col(&self, d: usize) -> &[u64] {
+        &self.cols[d * self.words_per_col..(d + 1) * self.words_per_col]
+    }
+
+    /// Count of rows where dimension `d` is 1.
+    pub fn count1(&self, d: usize) -> u64 {
+        self.col(d).iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Count of rows where dimensions `i` and `j` are both 1.
+    pub fn count11(&self, i: usize, j: usize) -> u64 {
+        self.col(i)
+            .iter()
+            .zip(self.col(j))
+            .map(|(&a, &b)| (a & b).count_ones() as u64)
+            .sum()
+    }
+
+    /// Phi coefficient (Pearson correlation for binary variables) between
+    /// dimensions `i` and `j`, in `[-1, 1]`. Returns 0 when either
+    /// dimension is constant.
+    pub fn phi(&self, i: usize, j: usize) -> f64 {
+        let n = self.n_rows as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let n1i = self.count1(i) as f64;
+        let n1j = self.count1(j) as f64;
+        let n11 = self.count11(i, j) as f64;
+        let n0i = n - n1i;
+        let n0j = n - n1j;
+        let denom = (n1i * n0i * n1j * n0j).sqrt();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        (n * n11 - n1i * n1j) / denom
+    }
+}
+
+/// Joint Shannon entropy (base 2) of the projected values of `dims` over
+/// the rows of `ds` identified by `sample_ids` — `H(D_Pi)` of §V-C.
+///
+/// Projections of more than 64 dimensions are mixed to 64-bit keys first;
+/// hash collisions can only *under*-estimate entropy, which biases the
+/// greedy initializer toward treating wide collided groups as correlated —
+/// a conservative error for its purpose.
+pub fn entropy_of_dims(ds: &Dataset, dims: &[usize], sample_ids: &[usize]) -> f64 {
+    if sample_ids.is_empty() || dims.is_empty() {
+        return 0.0;
+    }
+    let mut counts: HashMap<u64, u32> = HashMap::with_capacity(sample_ids.len().min(1 << 14));
+    for &id in sample_ids {
+        let row = ds.row(id);
+        let key = project_key(row, dims);
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    let n = sample_ids.len() as f64;
+    let mut h = 0.0;
+    for &c in counts.values() {
+        let p = c as f64 / n;
+        h -= p * p.log2();
+    }
+    h
+}
+
+/// Projects `row` onto `dims` and returns a 64-bit key (identity layout for
+/// up to 64 dims, mixed beyond).
+pub fn project_key(row: &[u64], dims: &[usize]) -> u64 {
+    if dims.len() <= 64 {
+        let mut v = 0u64;
+        for (out_bit, &d) in dims.iter().enumerate() {
+            v |= ((row[d / 64] >> (d % 64)) & 1) << out_bit;
+        }
+        v
+    } else {
+        let mut h = 0xA076_1D64_78BD_642Fu64;
+        let mut acc = 0u64;
+        for (out_bit, &d) in dims.iter().enumerate() {
+            acc |= ((row[d / 64] >> (d % 64)) & 1) << (out_bit % 64);
+            if out_bit % 64 == 63 {
+                h = mix64(h ^ acc);
+                acc = 0;
+            }
+        }
+        mix64(h ^ acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::BitVector;
+
+    fn table1_dataset() -> Dataset {
+        let vs = ["00000000", "00000111", "00001111", "10011111"]
+            .iter()
+            .map(|s| BitVector::parse(s).unwrap());
+        Dataset::from_vectors(8, vs).unwrap()
+    }
+
+    #[test]
+    fn dim_stats_counts_and_skewness() {
+        let ds = table1_dataset();
+        let st = DimStats::compute(&ds);
+        assert_eq!(st.n_rows(), 4);
+        // Dimension 0: only x4 has a 1 -> p1 = 0.25, skew = 0.5.
+        assert_eq!(st.p1(0), 0.25);
+        assert!((st.skewness(0) - 0.5).abs() < 1e-12);
+        // Dimension 7: x2,x3,x4 have 1 -> p1 = 0.75, skew = 0.5.
+        assert_eq!(st.p1(7), 0.75);
+        // Dimension 5: 1 in x2(idx? "00000111" dims 5,6,7), x3, x4 -> p1 = 0.75.
+        assert_eq!(st.p1(5), 0.75);
+    }
+
+    #[test]
+    fn column_bits_pair_counts() {
+        let ds = table1_dataset();
+        let cb = ColumnBits::from_all(&ds);
+        assert_eq!(cb.n_rows(), 4);
+        assert_eq!(cb.count1(7), 3);
+        // dims 6 and 7 are both 1 in x2, x3, x4.
+        assert_eq!(cb.count11(6, 7), 3);
+        // perfectly correlated dims 6 and 7 (identical columns): phi = 1.
+        assert!((cb.phi(6, 7) - 1.0).abs() < 1e-12);
+        // dimension 1 is constant zero: phi defined as 0.
+        assert_eq!(cb.phi(0, 1), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_identical_dims_equals_single_dim() {
+        let ds = table1_dataset();
+        let ids: Vec<usize> = (0..ds.len()).collect();
+        let h67 = entropy_of_dims(&ds, &[6, 7], &ids);
+        let h7 = entropy_of_dims(&ds, &[7], &ids);
+        // dims 6 and 7 carry the same information -> joint entropy equal.
+        assert!((h67 - h7).abs() < 1e-12);
+        // p = [1/4, 3/4] -> H ≈ 0.8113.
+        assert!((h7 - 0.8112781244591328).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_monotone_in_independent_dims() {
+        let ds = table1_dataset();
+        let ids: Vec<usize> = (0..ds.len()).collect();
+        let h_one = entropy_of_dims(&ds, &[4], &ids);
+        let h_two = entropy_of_dims(&ds, &[4, 0], &ids);
+        assert!(h_two >= h_one - 1e-12);
+    }
+
+    #[test]
+    fn project_key_narrow_is_positional() {
+        let ds = table1_dataset();
+        // x4 = 10011111; dims [0, 3] -> bits (1, 1) -> key 0b11.
+        assert_eq!(project_key(ds.row(3), &[0, 3]), 0b11);
+        assert_eq!(project_key(ds.row(0), &[0, 3]), 0);
+    }
+
+    #[test]
+    fn project_key_wide_consistent() {
+        let mut v = BitVector::zeros(100);
+        v.set(99, true);
+        let dims: Vec<usize> = (0..100).collect();
+        let k1 = project_key(v.words(), &dims);
+        let k2 = project_key(v.words(), &dims);
+        assert_eq!(k1, k2);
+        let z = BitVector::zeros(100);
+        assert_ne!(project_key(z.words(), &dims), k1);
+    }
+}

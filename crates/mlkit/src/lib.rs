@@ -1,0 +1,47 @@
+//! # mlkit
+//!
+//! A small, dependency-free machine-learning substrate built for GPH's
+//! learned candidate-number estimator (paper §IV-C and Table III):
+//!
+//! * [`KernelRidge`] — RBF-kernel ridge regression. The paper trains "an
+//!   SVM model with RBF kernel" under a *mean squared error* loss on
+//!   `ln CN`; an SVM with squared-error loss is the least-squares SVM,
+//!   whose exact solution is kernel ridge regression — solved here by
+//!   Cholesky factorization.
+//! * [`RandomForest`] — bagged CART regression trees (the "RF" row of
+//!   Table III).
+//! * [`Mlp`] — a 3-layer perceptron regressor trained with Adam (the
+//!   "DNN" row of Table III).
+//! * [`Matrix`], [`cholesky`] — the minimal dense linear algebra they
+//!   need.
+//! * [`metrics`] — the relative-error measure the paper reports.
+//!
+//! Everything is deterministic given a seed, so Table III is exactly
+//! reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod matrix;
+pub mod metrics;
+pub mod mlp;
+pub mod scale;
+pub mod tree;
+
+pub use kernel::KernelRidge;
+pub use matrix::{cholesky, Matrix};
+pub use mlp::Mlp;
+pub use scale::StandardScaler;
+pub use tree::{RandomForest, RegressionTree};
+
+/// A fitted regression model mapping feature vectors to a scalar.
+pub trait Regressor {
+    /// Predicts the target for one feature vector.
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Predicts targets for each row of `xs`.
+    fn predict_rows(&self, xs: &Matrix) -> Vec<f64> {
+        (0..xs.rows()).map(|i| self.predict(xs.row(i))).collect()
+    }
+}

@@ -1,0 +1,280 @@
+//! Minimal dense linear algebra: row-major matrices and Cholesky solves.
+
+use std::fmt;
+
+/// A dense row-major `f64` matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a row-major data vector (`data.len() == rows * cols`).
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds from row slices.
+    pub fn from_rows(rows_data: &[Vec<f64>]) -> Self {
+        let rows = rows_data.len();
+        let cols = rows_data.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in rows_data {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions differ");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: streams rhs rows, friendly to the cache.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len());
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", self.row(i))?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Cholesky factorization of a symmetric positive-definite matrix:
+/// returns lower-triangular `L` with `L Lᵀ = A`, or `None` if `A` is not
+/// positive definite (within a small tolerance).
+pub fn cholesky(a: &Matrix) -> Option<Matrix> {
+    assert_eq!(a.rows(), a.cols(), "cholesky needs a square matrix");
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 1e-12 {
+                    return None;
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `A x = b` given the Cholesky factor `L` of `A` (forward then
+/// backward substitution).
+pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    assert_eq!(b.len(), n);
+    // L y = b
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // Lᵀ x = y
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    x
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A`, adding growing
+/// diagonal jitter when the factorization fails — the standard trick for
+/// kernel matrices that are PSD up to rounding.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    if let Some(l) = cholesky(a) {
+        return Some(cholesky_solve(&l, b));
+    }
+    let n = a.rows();
+    let mut jitter = 1e-10;
+    for _ in 0..8 {
+        let mut aj = a.clone();
+        for i in 0..n {
+            aj[(i, i)] += jitter;
+        }
+        if let Some(l) = cholesky(&aj) {
+            return Some(cholesky_solve(&l, b));
+        }
+        jitter *= 10.0;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[58., 64.]);
+        assert_eq!(c.row(1), &[139., 154.]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn cholesky_of_known_spd() {
+        // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]]
+        let a = Matrix::from_vec(2, 2, vec![4., 2., 2., 3.]);
+        let l = cholesky(&a).unwrap();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 2f64.sqrt()).abs() < 1e-12);
+        // reconstruct
+        let recon = l.matmul(&l.transpose());
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 2., 1.]); // eigenvalues 3, -1
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = Matrix::from_vec(3, 3, vec![6., 2., 1., 2., 5., 2., 1., 2., 4.]);
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        assert_eq!(a.matvec(&[5., 6.]), vec![17., 39.]);
+    }
+}

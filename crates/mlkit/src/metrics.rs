@@ -1,0 +1,54 @@
+//! Regression metrics, including the paper's relative-error measure.
+
+/// Mean squared error.
+pub fn mse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Mean *relative* error `mean(|pred - truth| / max(truth, 1))` — the
+/// "percentage error" reported in Table III. Truth values below 1 are
+/// clamped to avoid division blow-ups (candidate counts are ≥ 0 integers).
+pub fn mean_relative_error(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t).abs() / t.max(1.0))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_known() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+        assert_eq!(mse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn relative_error_known() {
+        // |9-10|/10 = 0.1 ; |22-20|/20 = 0.1 -> mean 0.1
+        let e = mean_relative_error(&[9.0, 22.0], &[10.0, 20.0]);
+        assert!((e - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_clamps_small_truth() {
+        // truth 0.1 clamps to 1 -> |2-0.1|/1
+        let e = mean_relative_error(&[2.0], &[0.1]);
+        assert!((e - 1.9).abs() < 1e-12);
+    }
+}

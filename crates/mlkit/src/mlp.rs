@@ -1,0 +1,268 @@
+//! A 3-layer perceptron regressor (the "DNN" model of Table III).
+//!
+//! Architecture: input → hidden₁ (ReLU) → hidden₂ (ReLU) → linear output,
+//! trained with mini-batch Adam on mean squared error. Sized for the
+//! paper's workload (≈1000 training points, ≤ ~100 binary features), not
+//! for generality.
+
+use crate::matrix::Matrix;
+use crate::Regressor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Training hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MlpParams {
+    /// Width of the first hidden layer.
+    pub hidden1: usize,
+    /// Width of the second hidden layer.
+    pub hidden2: usize,
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// RNG seed for init and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        MlpParams { hidden1: 32, hidden2: 16, epochs: 200, batch: 32, lr: 1e-2, seed: 7 }
+    }
+}
+
+/// One dense layer with Adam state.
+#[derive(Clone, Debug)]
+struct Layer {
+    w: Vec<f64>, // out x in, row-major
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+    // Adam moments
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, rng: &mut impl Rng) -> Self {
+        // He initialization for ReLU layers.
+        let scale = (2.0 / n_in.max(1) as f64).sqrt();
+        let w = (0..n_in * n_out)
+            .map(|_| (rng.random::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
+        Layer {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+            mw: vec![0.0; n_in * n_out],
+            vw: vec![0.0; n_in * n_out],
+            mb: vec![0.0; n_out],
+            vb: vec![0.0; n_out],
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let z: f64 = row.iter().zip(x).map(|(&w, &v)| w * v).sum::<f64>() + self.b[o];
+            out.push(z);
+        }
+    }
+
+    /// Accumulates gradients for one sample; returns grad wrt input.
+    #[allow(clippy::too_many_arguments)]
+    fn backward(
+        &self,
+        x: &[f64],
+        dz: &[f64],
+        gw: &mut [f64],
+        gb: &mut [f64],
+    ) -> Vec<f64> {
+        let mut dx = vec![0.0; self.n_in];
+        for o in 0..self.n_out {
+            let g = dz[o];
+            gb[o] += g;
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let grow = &mut gw[o * self.n_in..(o + 1) * self.n_in];
+            for i in 0..self.n_in {
+                grow[i] += g * x[i];
+                dx[i] += g * row[i];
+            }
+        }
+        dx
+    }
+
+    fn adam_step(&mut self, gw: &[f64], gb: &[f64], lr: f64, t: usize) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let c1 = 1.0 - B1.powi(t as i32);
+        let c2 = 1.0 - B2.powi(t as i32);
+        for (((w, m), v), &g) in self.w.iter_mut().zip(&mut self.mw).zip(&mut self.vw).zip(gw) {
+            *m = B1 * *m + (1.0 - B1) * g;
+            *v = B2 * *v + (1.0 - B2) * g * g;
+            *w -= lr * (*m / c1) / ((*v / c2).sqrt() + EPS);
+        }
+        for (((b, m), v), &g) in self.b.iter_mut().zip(&mut self.mb).zip(&mut self.vb).zip(gb) {
+            *m = B1 * *m + (1.0 - B1) * g;
+            *v = B2 * *v + (1.0 - B2) * g * g;
+            *b -= lr * (*m / c1) / ((*v / c2).sqrt() + EPS);
+        }
+    }
+}
+
+/// A fitted 3-layer MLP regressor.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    l1: Layer,
+    l2: Layer,
+    l3: Layer,
+}
+
+#[inline]
+fn relu_inplace(v: &mut [f64]) {
+    for x in v {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+}
+
+impl Mlp {
+    /// Trains on rows of `x` against `y`.
+    pub fn fit(x: &Matrix, y: &[f64], params: MlpParams) -> Self {
+        assert_eq!(x.rows(), y.len());
+        let d = x.cols();
+        let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+        let mut l1 = Layer::new(d, params.hidden1, &mut rng);
+        let mut l2 = Layer::new(params.hidden1, params.hidden2, &mut rng);
+        let mut l3 = Layer::new(params.hidden2, 1, &mut rng);
+
+        let n = x.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let (mut a1, mut a2, mut a3) = (Vec::new(), Vec::new(), Vec::new());
+        let mut t = 0usize;
+        let (mut gw1, mut gb1) = (vec![0.0; l1.w.len()], vec![0.0; l1.b.len()]);
+        let (mut gw2, mut gb2) = (vec![0.0; l2.w.len()], vec![0.0; l2.b.len()]);
+        let (mut gw3, mut gb3) = (vec![0.0; l3.w.len()], vec![0.0; l3.b.len()]);
+        for _ in 0..params.epochs {
+            // Fisher–Yates shuffle for stochasticity.
+            for i in (1..n).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            for chunk in order.chunks(params.batch.max(1)) {
+                gw1.iter_mut().for_each(|g| *g = 0.0);
+                gb1.iter_mut().for_each(|g| *g = 0.0);
+                gw2.iter_mut().for_each(|g| *g = 0.0);
+                gb2.iter_mut().for_each(|g| *g = 0.0);
+                gw3.iter_mut().for_each(|g| *g = 0.0);
+                gb3.iter_mut().for_each(|g| *g = 0.0);
+                for &i in chunk {
+                    let xi = x.row(i);
+                    l1.forward(xi, &mut a1);
+                    relu_inplace(&mut a1);
+                    l2.forward(&a1, &mut a2);
+                    relu_inplace(&mut a2);
+                    l3.forward(&a2, &mut a3);
+                    let err = a3[0] - y[i]; // d(MSE/2)/dz
+                    let dz3 = [err];
+                    let mut dz2 = l3.backward(&a2, &dz3, &mut gw3, &mut gb3);
+                    for (g, &a) in dz2.iter_mut().zip(&a2) {
+                        if a <= 0.0 {
+                            *g = 0.0;
+                        }
+                    }
+                    let mut dz1 = l2.backward(&a1, &dz2, &mut gw2, &mut gb2);
+                    for (g, &a) in dz1.iter_mut().zip(&a1) {
+                        if a <= 0.0 {
+                            *g = 0.0;
+                        }
+                    }
+                    let _ = l1.backward(xi, &dz1, &mut gw1, &mut gb1);
+                }
+                let inv = 1.0 / chunk.len() as f64;
+                gw1.iter_mut().for_each(|g| *g *= inv);
+                gb1.iter_mut().for_each(|g| *g *= inv);
+                gw2.iter_mut().for_each(|g| *g *= inv);
+                gb2.iter_mut().for_each(|g| *g *= inv);
+                gw3.iter_mut().for_each(|g| *g *= inv);
+                gb3.iter_mut().for_each(|g| *g *= inv);
+                t += 1;
+                l1.adam_step(&gw1, &gb1, params.lr, t);
+                l2.adam_step(&gw2, &gb2, params.lr, t);
+                l3.adam_step(&gw3, &gb3, params.lr, t);
+            }
+        }
+        Mlp { l1, l2, l3 }
+    }
+}
+
+impl Regressor for Mlp {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut a1 = Vec::new();
+        let mut a2 = Vec::new();
+        let mut a3 = Vec::new();
+        self.l1.forward(x, &mut a1);
+        relu_inplace(&mut a1);
+        self.l2.forward(&a1, &mut a2);
+        relu_inplace(&mut a2);
+        self.l3.forward(&a2, &mut a3);
+        a3[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linear_function() {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 60.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 1.0).collect();
+        let m = Mlp::fit(&Matrix::from_rows(&rows), &y, MlpParams::default());
+        for probe in [0.1, 0.5, 0.9] {
+            let pred = m.predict(&[probe]);
+            assert!((pred - (3.0 * probe - 1.0)).abs() < 0.15, "at {probe}: {pred}");
+        }
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for _ in 0..20 {
+                    rows.push(vec![a as f64, b as f64]);
+                    y.push((a ^ b) as f64);
+                }
+            }
+        }
+        let m = Mlp::fit(
+            &Matrix::from_rows(&rows),
+            &y,
+            MlpParams { epochs: 400, ..Default::default() },
+        );
+        assert!(m.predict(&[0.0, 0.0]) < 0.3);
+        assert!(m.predict(&[1.0, 0.0]) > 0.7);
+        assert!(m.predict(&[0.0, 1.0]) > 0.7);
+        assert!(m.predict(&[1.0, 1.0]) < 0.3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        let x = Matrix::from_rows(&rows);
+        let a = Mlp::fit(&x, &y, MlpParams::default());
+        let b = Mlp::fit(&x, &y, MlpParams::default());
+        assert_eq!(a.predict(&[3.0]), b.predict(&[3.0]));
+    }
+}

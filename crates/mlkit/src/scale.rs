@@ -1,0 +1,72 @@
+//! Feature standardization.
+
+use crate::matrix::Matrix;
+
+/// Per-feature standardizer: `x' = (x - mean) / std`.
+///
+/// Constant features (std = 0) are mapped to 0 rather than NaN.
+#[derive(Clone, Debug)]
+pub struct StandardScaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits means and standard deviations over the rows of `x`.
+    pub fn fit(x: &Matrix) -> Self {
+        let (n, d) = (x.rows(), x.cols());
+        let mut mean = vec![0.0; d];
+        for i in 0..n {
+            for (m, &v) in mean.iter_mut().zip(x.row(i)) {
+                *m += v;
+            }
+        }
+        let nf = (n.max(1)) as f64;
+        mean.iter_mut().for_each(|m| *m /= nf);
+        let mut var = vec![0.0; d];
+        for i in 0..n {
+            for j in 0..d {
+                let c = x[(i, j)] - mean[j];
+                var[j] += c * c;
+            }
+        }
+        let std = var.iter().map(|&v| (v / nf).sqrt()).collect();
+        StandardScaler { mean, std }
+    }
+
+    /// Transforms one vector in place.
+    pub fn transform_inplace(&self, x: &mut [f64]) {
+        for ((v, &m), &s) in x.iter_mut().zip(&self.mean).zip(&self.std) {
+            *v = if s > 0.0 { (*v - m) / s } else { 0.0 };
+        }
+    }
+
+    /// Transforms every row of `x` into a new matrix.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            self.transform_inplace(out.row_mut(i));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let x = Matrix::from_rows(&[vec![1.0, 5.0], vec![3.0, 5.0], vec![5.0, 5.0]]);
+        let sc = StandardScaler::fit(&x);
+        let t = sc.transform(&x);
+        // col 0: mean 3, std sqrt(8/3)
+        let col0: Vec<f64> = (0..3).map(|i| t[(i, 0)]).collect();
+        let mean: f64 = col0.iter().sum::<f64>() / 3.0;
+        assert!(mean.abs() < 1e-12);
+        // constant col 1 -> all zeros, no NaN
+        for i in 0..3 {
+            assert_eq!(t[(i, 1)], 0.0);
+        }
+    }
+}

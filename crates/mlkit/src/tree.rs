@@ -1,0 +1,279 @@
+//! CART regression trees and random forests (the "RF" model of Table III).
+
+use crate::matrix::Matrix;
+use crate::Regressor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A node of a binary regression tree, stored flat.
+#[derive(Clone, Debug)]
+enum Node {
+    /// Internal split: `feature`, `threshold`, left child, right child.
+    /// Samples go left when `x[feature] <= threshold`.
+    Split {
+        feature: u32,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
+    /// Leaf prediction.
+    Leaf(f64),
+}
+
+/// Hyper-parameters for tree growth.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to split a node further.
+    pub min_samples_split: usize,
+    /// Number of candidate features per split (`None` = all).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 12, min_samples_split: 4, max_features: None }
+    }
+}
+
+/// A fitted CART regression tree (variance-reduction splits, mean leaves).
+#[derive(Clone, Debug)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fits a tree on rows of `x` against `y`. `rng` drives feature
+    /// subsampling when `params.max_features` is set.
+    pub fn fit(x: &Matrix, y: &[f64], params: TreeParams, rng: &mut impl Rng) -> Self {
+        assert_eq!(x.rows(), y.len());
+        let idx: Vec<u32> = (0..x.rows() as u32).collect();
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        tree.grow(x, y, idx, params, 0, rng);
+        tree
+    }
+
+    fn grow(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        idx: Vec<u32>,
+        params: TreeParams,
+        depth: usize,
+        rng: &mut impl Rng,
+    ) -> u32 {
+        let node_id = self.nodes.len() as u32;
+        let mean = idx.iter().map(|&i| y[i as usize]).sum::<f64>() / idx.len().max(1) as f64;
+        self.nodes.push(Node::Leaf(mean));
+        if depth >= params.max_depth || idx.len() < params.min_samples_split {
+            return node_id;
+        }
+        let d = x.cols();
+        let n_feat = params.max_features.unwrap_or(d).min(d).max(1);
+        // Sample candidate features without replacement.
+        let mut feats: Vec<usize> = (0..d).collect();
+        for i in 0..n_feat {
+            let j = rng.random_range(i..d);
+            feats.swap(i, j);
+        }
+        let feats = &feats[..n_feat];
+
+        let total_sum: f64 = idx.iter().map(|&i| y[i as usize]).sum();
+        let total_sq: f64 = idx.iter().map(|&i| y[i as usize] * y[i as usize]).sum();
+        let n = idx.len() as f64;
+        let parent_sse = total_sq - total_sum * total_sum / n;
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        let mut vals: Vec<(f64, f64)> = Vec::with_capacity(idx.len());
+        for &f in feats {
+            vals.clear();
+            vals.extend(idx.iter().map(|&i| (x[(i as usize, f)], y[i as usize])));
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN features"));
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for k in 0..vals.len() - 1 {
+                left_sum += vals[k].1;
+                left_sq += vals[k].1 * vals[k].1;
+                if vals[k].0 == vals[k + 1].0 {
+                    continue; // cannot split between equal values
+                }
+                let nl = (k + 1) as f64;
+                let nr = n - nl;
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse = (left_sq - left_sum * left_sum / nl)
+                    + (right_sq - right_sum * right_sum / nr);
+                if best.is_none_or(|(_, _, b)| sse < b) {
+                    let thr = (vals[k].0 + vals[k + 1].0) / 2.0;
+                    best = Some((f, thr, sse));
+                }
+            }
+        }
+        let Some((feature, threshold, sse)) = best else {
+            return node_id;
+        };
+        if parent_sse - sse < 1e-12 {
+            return node_id; // no variance reduction
+        }
+        let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = idx
+            .iter()
+            .partition(|&&i| x[(i as usize, feature)] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return node_id;
+        }
+        let left = self.grow(x, y, left_idx, params, depth + 1, rng);
+        let right = self.grow(x, y, right_idx, params, depth + 1, rng);
+        self.nodes[node_id as usize] = Node::Split {
+            feature: feature as u32,
+            threshold,
+            left,
+            right,
+        };
+        node_id
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl Regressor for RegressionTree {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf(v) => return *v,
+                Node::Split { feature, threshold, left, right } => {
+                    at = if x[*feature as usize] <= *threshold {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// A bagged ensemble of regression trees.
+#[derive(Clone, Debug)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForest {
+    /// Fits `n_trees` trees on bootstrap resamples of `(x, y)` with
+    /// `sqrt(d)` feature subsampling (the standard RF recipe).
+    pub fn fit(x: &Matrix, y: &[f64], n_trees: usize, params: TreeParams, seed: u64) -> Self {
+        assert_eq!(x.rows(), y.len());
+        let n = x.rows();
+        let d = x.cols();
+        let sub = TreeParams {
+            max_features: params
+                .max_features
+                .or_else(|| Some(((d as f64).sqrt().ceil() as usize).max(1))),
+            ..params
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut trees = Vec::with_capacity(n_trees);
+        for _ in 0..n_trees {
+            // Bootstrap resample.
+            let mut bx = Vec::with_capacity(n);
+            let mut by = Vec::with_capacity(n);
+            for _ in 0..n {
+                let i = rng.random_range(0..n);
+                bx.push(x.row(i).to_vec());
+                by.push(y[i]);
+            }
+            trees.push(RegressionTree::fit(&Matrix::from_rows(&bx), &by, sub, &mut rng));
+        }
+        RandomForest { trees }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for RandomForest {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let s: f64 = self.trees.iter().map(|t| t.predict(x)).sum();
+        s / self.trees.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Matrix, Vec<f64>) {
+        // y = 10 if x0 > 0.5 else 2 — one split suffices.
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 2) as f64, i as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| if r[0] > 0.5 { 10.0 } else { 2.0 }).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn tree_learns_step_function() {
+        let (x, y) = step_data();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = RegressionTree::fit(&x, &y, TreeParams::default(), &mut rng);
+        assert!((t.predict(&[1.0, 3.0]) - 10.0).abs() < 1e-9);
+        assert!((t.predict(&[0.0, 3.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stump_limits_depth() {
+        let (x, y) = step_data();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = RegressionTree::fit(
+            &x,
+            &y,
+            TreeParams { max_depth: 0, ..Default::default() },
+            &mut rng,
+        );
+        assert_eq!(t.n_nodes(), 1);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((t.predict(&[1.0, 0.0]) - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let y = [5.0, 5.0, 5.0];
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let t = RegressionTree::fit(&x, &y, TreeParams::default(), &mut rng);
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.predict(&[7.0]), 5.0);
+    }
+
+    #[test]
+    fn forest_beats_mean_on_xor() {
+        // XOR of two binary features — needs depth 2 interactions.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for _ in 0..25 {
+                    rows.push(vec![a as f64, b as f64]);
+                    y.push(((a ^ b) * 8) as f64);
+                }
+            }
+        }
+        let x = Matrix::from_rows(&rows);
+        let f = RandomForest::fit(&x, &y, 30, TreeParams::default(), 3);
+        assert!(f.predict(&[0.0, 1.0]) > 6.0);
+        assert!(f.predict(&[1.0, 1.0]) < 2.0);
+    }
+
+    #[test]
+    fn forest_is_deterministic_per_seed() {
+        let (x, y) = step_data();
+        let a = RandomForest::fit(&x, &y, 5, TreeParams::default(), 9);
+        let b = RandomForest::fit(&x, &y, 5, TreeParams::default(), 9);
+        assert_eq!(a.predict(&[1.0, 2.0]), b.predict(&[1.0, 2.0]));
+    }
+}

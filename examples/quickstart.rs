@@ -1,0 +1,71 @@
+//! Quickstart: build a GPH index and run Hamming range queries.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gph_suite::datagen::Profile;
+use gph_suite::gph::engine::{Gph, GphConfig};
+
+fn main() {
+    // 1. Some 128-dimensional binary vectors (a medium-skew synthetic
+    //    stand-in for learned binary codes).
+    let profile = Profile::synthetic_gamma(0.25);
+    let data = profile.generate(20_000, 42);
+    // Queries: data vectors with a few bits flipped (the paper queries
+    // with held-out data vectors; perturbation guarantees near matches).
+    let queries = {
+        let mut qs = gph_suite::hamming_core::Dataset::new(data.dim());
+        for i in 0..5usize {
+            let mut v = data.vector(i * 1000);
+            for b in 0..3 {
+                v.flip((i * 17 + b * 41) % data.dim());
+            }
+            qs.push(&v).expect("same dim");
+        }
+        qs
+    };
+    println!("dataset: {} vectors x {} dims", data.len(), data.dim());
+
+    // 2. Build the index. `GphConfig::new(m, tau_max)` uses the paper's
+    //    defaults: cost-optimal DP threshold allocation, sub-partition CN
+    //    estimation, and the entropy/cost-driven GR partitioning (a query
+    //    workload is auto-sampled from the data when none is supplied).
+    let m = GphConfig::suggested_m(data.dim()); // ≈ n/24
+    let cfg = GphConfig::new(m, 16);
+    let index = Gph::build(data, &cfg).expect("build");
+    let bs = index.build_stats();
+    println!(
+        "built: m={m}, partitioning {} ms, indexing {} ms, estimator {} ms, {:.1} MB",
+        bs.partition_ms,
+        bs.index_ms,
+        bs.estimator_ms,
+        index.size_bytes() as f64 / 1e6
+    );
+
+    // 3. Range queries: all vectors within Hamming distance τ.
+    for tau in [4u32, 8, 12] {
+        let res = index.search_with_stats(queries.row(0), tau);
+        println!(
+            "tau={tau:2}: {} results, thresholds {:?} (sum = tau - m + 1 = {}), \
+             {} candidates in {:.2} ms",
+            res.ids.len(),
+            res.stats.thresholds,
+            tau as i64 - m as i64 + 1,
+            res.stats.n_candidates,
+            res.stats.total_ns() as f64 / 1e6,
+        );
+    }
+
+    // 4. Top-k nearest by threshold escalation.
+    let top = index.search_topk(queries.row(1), 5);
+    println!("top-5 for query 1: {top:?} (id, distance)");
+
+    // 5. Batched parallel search (the paper's future-work "parallel case").
+    let qrefs: Vec<&[u64]> = (0..queries.len()).map(|i| queries.row(i)).collect();
+    let batch = index.par_search(&qrefs, 8, 4);
+    println!(
+        "parallel batch at tau=8: {:?} results per query",
+        batch.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,252 @@
+//! `gph-cli` — command-line Hamming search over the suite's binary
+//! formats.
+//!
+//! ```text
+//! gph-cli generate --profile gist --rows 20000 --out data.hamd
+//! gph-cli binarize --fvecs feats.fvecs --bits 128 --out data.hamd
+//! gph-cli stats    --data data.hamd
+//! gph-cli partition --data data.hamd --m 10 --tau-max 32 --out part.hamp
+//! gph-cli query    --data data.hamd --queries q.hamd --tau 8 [--partitioning part.hamp]
+//! gph-cli join     --data data.hamd --tau 4 [--threads 4]
+//! ```
+//!
+//! Datasets use the `HAMD` format (`hamming_core::io`), partitionings the
+//! `HAMP` format; `.fvecs` float features can be binarized with random
+//! hyperplanes.
+
+use gph_suite::datagen::{binarize, Profile};
+use gph_suite::gph::engine::{Gph, GphConfig};
+use gph_suite::gph::partition_opt::PartitionStrategy;
+use gph_suite::hamming_core::io;
+use gph_suite::hamming_core::stats::DimStats;
+use gph_suite::hamming_core::Dataset;
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let mut opts: HashMap<String, String> = HashMap::new();
+    let mut key: Option<String> = None;
+    for a in args {
+        if let Some(stripped) = a.strip_prefix("--") {
+            if let Some(k) = key.take() {
+                opts.insert(k, "true".into()); // boolean flag
+            }
+            key = Some(stripped.to_string());
+        } else if let Some(k) = key.take() {
+            opts.insert(k, a);
+        } else {
+            eprintln!("unexpected argument: {a}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(k) = key.take() {
+        opts.insert(k, "true".into());
+    }
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "binarize" => cmd_binarize(&opts),
+        "stats" => cmd_stats(&opts),
+        "partition" => cmd_partition(&opts),
+        "query" => cmd_query(&opts),
+        "join" => cmd_join(&opts),
+        "--help" | "-h" | "help" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "gph-cli <command> [--opt value]...\n\
+         commands:\n\
+         \x20 generate  --profile <name> --rows <n> --out <file.hamd> [--seed s]\n\
+         \x20 binarize  --fvecs <file.fvecs> --bits <n> --out <file.hamd> [--seed s]\n\
+         \x20 stats     --data <file.hamd>\n\
+         \x20 partition --data <file.hamd> --m <m> --tau-max <t> --out <file.hamp>\n\
+         \x20 query     --data <file.hamd> --queries <file.hamd> --tau <t>\n\
+         \x20           [--m m] [--tau-max t] [--partitioning file.hamp]\n\
+         \x20 join      --data <file.hamd> --tau <t> [--threads k] [--limit n]\n\
+         profiles: sift gist pubchem fasttext uqvideo uniform<d> gamma<g>"
+    );
+}
+
+fn need<'a>(opts: &'a HashMap<String, String>, k: &str) -> Result<&'a str, String> {
+    opts.get(k).map(|s| s.as_str()).ok_or_else(|| format!("missing --{k}"))
+}
+
+fn parse<T: std::str::FromStr>(opts: &HashMap<String, String>, k: &str) -> Result<T, String> {
+    need(opts, k)?
+        .parse()
+        .map_err(|_| format!("--{k} is not a valid value"))
+}
+
+fn parse_or<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    k: &str,
+    default: T,
+) -> Result<T, String> {
+    match opts.get(k) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{k} is not a valid value")),
+    }
+}
+
+fn load(opts: &HashMap<String, String>, k: &str) -> Result<Dataset, String> {
+    let path = need(opts, k)?;
+    io::read_dataset(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let name = need(opts, "profile")?;
+    let profile = Profile::by_name(name).ok_or_else(|| format!("unknown profile {name}"))?;
+    let rows: usize = parse(opts, "rows")?;
+    let seed: u64 = parse_or(opts, "seed", 42)?;
+    let out = need(opts, "out")?;
+    let ds = profile.generate(rows, seed);
+    io::write_dataset(&ds, out).map_err(|e| e.to_string())?;
+    println!("wrote {rows} x {} dims to {out}", ds.dim());
+    Ok(())
+}
+
+fn cmd_binarize(opts: &HashMap<String, String>) -> Result<(), String> {
+    let fvecs = need(opts, "fvecs")?;
+    let bits: usize = parse(opts, "bits")?;
+    let seed: u64 = parse_or(opts, "seed", 7)?;
+    let out = need(opts, "out")?;
+    let x = binarize::read_fvecs(fvecs).map_err(|e| e.to_string())?;
+    let rh = binarize::RandomHyperplanes::new(x.dim, bits, seed);
+    let ds = rh.encode_all(&x);
+    io::write_dataset(&ds, out).map_err(|e| e.to_string())?;
+    println!(
+        "binarized {} x {}d floats into {} x {bits} bits -> {out}",
+        x.len(),
+        x.dim,
+        ds.len()
+    );
+    Ok(())
+}
+
+fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load(opts, "data")?;
+    let st = DimStats::compute(&ds);
+    let mut skews = st.skewness_profile();
+    skews.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let pick = |q: f64| skews[((skews.len() - 1) as f64 * q) as usize];
+    println!("rows: {}", ds.len());
+    println!("dims: {}", ds.dim());
+    println!("payload: {:.2} MB", ds.size_bytes() as f64 / 1e6);
+    println!(
+        "skewness: mean {:.3}, p10 {:.3}, median {:.3}, p90 {:.3}, max {:.3}",
+        st.mean_skewness(),
+        pick(0.1),
+        pick(0.5),
+        pick(0.9),
+        skews.last().copied().unwrap_or(0.0)
+    );
+    println!(
+        "dims with skew > 0.3: {}",
+        skews.iter().filter(|&&s| s > 0.3).count()
+    );
+    Ok(())
+}
+
+fn build_engine(
+    data: Dataset,
+    opts: &HashMap<String, String>,
+    tau_floor: usize,
+) -> Result<Gph, String> {
+    let dim = data.dim();
+    let m: usize = parse_or(opts, "m", GphConfig::suggested_m(dim))?;
+    let tau_max: usize = parse_or(opts, "tau-max", tau_floor.max(16))?;
+    let mut cfg = GphConfig::new(m, tau_max.max(tau_floor));
+    if let Some(path) = opts.get("partitioning") {
+        let p = io::read_partitioning(path).map_err(|e| e.to_string())?;
+        cfg.strategy = PartitionStrategy::Fixed(p);
+    }
+    Gph::build(data, &cfg).map_err(|e| e.to_string())
+}
+
+fn cmd_partition(opts: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load(opts, "data")?;
+    let out = need(opts, "out")?;
+    let engine = build_engine(ds, opts, 0)?;
+    io::write_partitioning(engine.partitioning(), out).map_err(|e| e.to_string())?;
+    let bs = engine.build_stats();
+    println!(
+        "partitioning ({} parts) written to {out} in {:.1}s",
+        engine.partitioning().num_parts(),
+        bs.partition_ms as f64 / 1e3
+    );
+    Ok(())
+}
+
+fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load(opts, "data")?;
+    let queries = load(opts, "queries")?;
+    if queries.dim() != ds.dim() {
+        return Err(format!(
+            "query dim {} != data dim {}",
+            queries.dim(),
+            ds.dim()
+        ));
+    }
+    let tau: u32 = parse(opts, "tau")?;
+    let t0 = Instant::now();
+    let engine = build_engine(ds, opts, tau as usize)?;
+    eprintln!("index built in {:.1}s", t0.elapsed().as_secs_f64());
+    let t1 = Instant::now();
+    let mut total = 0usize;
+    for qi in 0..queries.len() {
+        let ids = engine.search(queries.row(qi), tau);
+        total += ids.len();
+        println!(
+            "query {qi}: {} results{}{:?}",
+            ids.len(),
+            if ids.is_empty() { "" } else { " " },
+            &ids[..ids.len().min(16)]
+        );
+    }
+    eprintln!(
+        "{} queries, {total} results in {:.1} ms",
+        queries.len(),
+        t1.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+fn cmd_join(opts: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load(opts, "data")?;
+    let tau: u32 = parse(opts, "tau")?;
+    let threads: usize = parse_or(opts, "threads", 1)?;
+    let limit: usize = parse_or(opts, "limit", 50)?;
+    let engine = build_engine(ds, opts, tau as usize)?;
+    let t = Instant::now();
+    let pairs = engine.self_join(tau, threads);
+    eprintln!(
+        "{} pairs within tau={tau} in {:.1} ms",
+        pairs.len(),
+        t.elapsed().as_secs_f64() * 1e3
+    );
+    for (a, b) in pairs.iter().take(limit) {
+        println!("{a}\t{b}");
+    }
+    if pairs.len() > limit {
+        println!("… ({} more; raise --limit to list)", pairs.len() - limit);
+    }
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! # gph-suite
+//!
+//! Facade crate for the reproduction of *GPH: Similarity Search in Hamming
+//! Space* (Qin et al., ICDE 2018). It re-exports the workspace crates so
+//! examples and downstream users can depend on a single package:
+//!
+//! * [`hamming_core`] — bit-vector substrate (storage, distance,
+//!   partitionings, projections, signature enumeration, statistics).
+//! * [`datagen`] — synthetic datasets matching the paper's evaluation
+//!   profiles.
+//! * [`mlkit`] — the small learning substrate behind GPH's learned
+//!   candidate-number estimator.
+//! * [`gph`] — the paper's contribution: the GPH index and its threshold
+//!   allocation / dimension partitioning machinery.
+//! * [`baselines`] — MIH, HmSearch, PartAlloc, MinHash LSH and linear scan.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use baselines;
+pub use datagen;
+pub use gph;
+pub use hamming_core;
+pub use mlkit;

@@ -1,0 +1,195 @@
+//! Cross-crate integration tests: the full pipeline from data generation
+//! through every engine, on realistic (small) workloads.
+
+use gph_suite::baselines::{HmSearch, LinearScan, MinHashLsh, Mih, PartAlloc, SearchIndex};
+use gph_suite::datagen::{plant_near_duplicates, sample_queries, Profile};
+use gph_suite::gph::cn::learned::{LearnedParams, ModelKind};
+use gph_suite::gph::engine::{Gph, GphConfig};
+use gph_suite::gph::partition_opt::{
+    HeuristicConfig, InitKind, PartitionStrategy, WorkloadSpec,
+};
+use gph_suite::gph::{AllocatorKind, EstimatorKind};
+use gph_suite::hamming_core::distance::{tanimoto, tanimoto_to_hamming_bound};
+use gph_suite::hamming_core::io::{decode_dataset, encode_dataset};
+
+/// The full paper pipeline (GR partitioning + DP allocation + SP
+/// estimation) returns exactly the scan results on a skewed profile.
+#[test]
+fn full_pipeline_exact_on_skewed_profile() {
+    let profile = Profile::synthetic_gamma(0.35);
+    let ds = profile.generate(1_500, 1);
+    let qs = sample_queries(&ds, 10, 15, 2);
+    let mut cfg = GphConfig::new(5, 12);
+    cfg.workload = Some(WorkloadSpec::new(qs.workload.clone(), vec![4, 8, 12]));
+    cfg.strategy = PartitionStrategy::Heuristic(HeuristicConfig {
+        init: InitKind::Greedy,
+        max_iters: 4,
+        move_budget: Some(256),
+        sample_rows: 500,
+        seed: 3,
+    });
+    let engine = Gph::build(qs.data.clone(), &cfg).unwrap();
+    for tau in [0u32, 4, 8, 12] {
+        for qi in 0..qs.queries.len() {
+            let q = qs.queries.row(qi);
+            assert_eq!(engine.search(q, tau), qs.data.linear_scan(q, tau), "tau={tau}");
+        }
+    }
+}
+
+/// Every estimator kind drives the engine to exact results (estimates
+/// only steer the optimizer; the filter stays correct).
+#[test]
+fn all_estimators_preserve_exactness() {
+    let profile = Profile::uqvideo_like();
+    let ds = profile.generate(800, 4);
+    let queries = profile.generate(5, 5);
+    let estimators = vec![
+        EstimatorKind::Exact { max_width: 20 },
+        EstimatorKind::SubPartition { sub_count: 2, paper_shift: false },
+        EstimatorKind::SubPartition { sub_count: 2, paper_shift: true },
+        EstimatorKind::SampleScan { sample_cap: 200, seed: 6 },
+        EstimatorKind::Learned(LearnedParams {
+            model: ModelKind::Svm,
+            n_train: 60,
+            ..Default::default()
+        }),
+    ];
+    for est in estimators {
+        let mut cfg = GphConfig::new(16, 10);
+        cfg.estimator = est.clone();
+        cfg.strategy = PartitionStrategy::Os;
+        let engine = Gph::build(ds.clone(), &cfg).unwrap();
+        for qi in 0..queries.len() {
+            let q = queries.row(qi);
+            assert_eq!(
+                engine.search(q, 10),
+                ds.linear_scan(q, 10),
+                "estimator {est:?}"
+            );
+        }
+    }
+}
+
+/// Serialization round-trips through the binary format and the engines
+/// built on both sides agree.
+#[test]
+fn serialized_dataset_builds_identical_index() {
+    let profile = Profile::sift_like();
+    let ds = profile.generate(500, 7);
+    let restored = decode_dataset(&encode_dataset(&ds)).unwrap();
+    let cfg = GphConfig {
+        strategy: PartitionStrategy::Original,
+        ..GphConfig::new(4, 8)
+    };
+    let a = Gph::build(ds.clone(), &cfg).unwrap();
+    let b = Gph::build(restored, &cfg).unwrap();
+    let q = ds.row(3);
+    assert_eq!(a.search(q, 8), b.search(q, 8));
+}
+
+/// LSH achieves its configured recall target on planted near-duplicates.
+#[test]
+fn lsh_recall_floor_on_planted_clusters() {
+    let background = Profile::uniform(64).generate(2_000, 8);
+    let (ds, truth) = plant_near_duplicates(&background, 30, 6, 4, 9);
+    let lsh = MinHashLsh::build(ds.clone(), 6).unwrap();
+    let mut found = 0usize;
+    let mut total = 0usize;
+    for cluster in &truth.clusters {
+        let q = ds.row(cluster[0] as usize);
+        let truth_ids = ds.linear_scan(q, 6);
+        let got = lsh.search(q, 6);
+        for id in &got {
+            assert!(truth_ids.contains(id), "LSH returned a false positive");
+        }
+        found += got.len();
+        total += truth_ids.len();
+    }
+    let recall = found as f64 / total as f64;
+    assert!(recall >= 0.7, "LSH recall {recall} too far below its 0.95 target");
+}
+
+/// Tanimoto search via the Hamming bound finds exactly the brute-force
+/// answer set (the chem_search example's invariant, as a test).
+#[test]
+fn tanimoto_via_hamming_is_exact() {
+    let profile = Profile::pubchem_like();
+    let ds = profile.generate(600, 10);
+    let cfg = GphConfig {
+        strategy: PartitionStrategy::Original,
+        ..GphConfig::new(36, 40)
+    };
+    let engine = Gph::build(ds.clone(), &cfg).unwrap();
+    let t = 0.8f64;
+    for qi in [0usize, 100, 311] {
+        let q = ds.row(qi).to_vec();
+        let w_q: u32 = q.iter().map(|w| w.count_ones()).sum();
+        let tau = tanimoto_to_hamming_bound(w_q, t).min(40);
+        let via_index: Vec<u32> = engine
+            .search(&q, tau)
+            .into_iter()
+            .filter(|&id| tanimoto(ds.row(id as usize), &q) >= t)
+            .collect();
+        let brute: Vec<u32> = (0..ds.len())
+            .filter(|&id| tanimoto(ds.row(id), &q) >= t)
+            .map(|id| id as u32)
+            .collect();
+        assert_eq!(via_index, brute, "qi={qi}");
+    }
+}
+
+/// Workload-level run mixing all engines: every exact engine agrees on
+/// every query of a query set carved from the data.
+#[test]
+fn workload_level_agreement() {
+    let profile = Profile::fasttext_like();
+    let ds = profile.generate(1_200, 11);
+    let qs = sample_queries(&ds, 8, 8, 12);
+    let tau = 10u32;
+    let scan = LinearScan::build(qs.data.clone());
+    let mih = Mih::build(qs.data.clone(), 6).unwrap();
+    let hm = HmSearch::build(qs.data.clone(), tau).unwrap();
+    let pa = PartAlloc::build(qs.data.clone(), tau).unwrap();
+    let mut cfg = GphConfig::new(5, tau as usize);
+    cfg.allocator = AllocatorKind::Dp;
+    cfg.workload = Some(WorkloadSpec::new(qs.workload.clone(), vec![5, tau]));
+    let g = Gph::build(qs.data.clone(), &cfg).unwrap();
+    for qi in 0..qs.queries.len() {
+        let q = qs.queries.row(qi);
+        let truth = scan.search(q, tau);
+        assert_eq!(mih.search(q, tau), truth);
+        assert_eq!(hm.search(q, tau), truth);
+        assert_eq!(pa.search(q, tau), truth);
+        assert_eq!(g.search(q, tau), truth);
+    }
+}
+
+/// Paper Example 5, end to end through the public API: the DP allocation
+/// over the published CN table reaches cost 55 with vector [2, 0, 2, 0].
+#[test]
+fn paper_example5_through_public_api() {
+    use gph_suite::gph::cn::{CnEstimator, CnTable};
+    use gph_suite::gph::{allocate_dp, ThresholdVector};
+    struct PaperTable;
+    impl CnEstimator for PaperTable {
+        fn fill(&self, part: usize, _q: &[u64], tau: usize, out: &mut [f64]) {
+            let rows: [[f64; 6]; 4] = [
+                [0., 5., 10., 15., 50., 100.],
+                [0., 10., 80., 90., 95., 100.],
+                [0., 5., 15., 20., 70., 100.],
+                [0., 10., 70., 80., 95., 100.],
+            ];
+            for e in 0..=tau + 1 {
+                out[e] = rows[part][e.min(5)];
+            }
+        }
+        fn size_bytes(&self) -> usize {
+            0
+        }
+    }
+    let cn = CnTable::compute(&PaperTable, &[vec![0], vec![0], vec![0], vec![0]], 7);
+    let tv = allocate_dp(&cn, 7);
+    assert_eq!(tv, ThresholdVector(vec![2, 0, 2, 0]));
+    assert_eq!(cn.sum_for(&tv), 55.0);
+}
