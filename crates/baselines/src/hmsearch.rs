@@ -47,11 +47,7 @@ impl HmSearch {
 
     /// Builds over an explicit partitioning with `m = ⌊(τ+3)/2⌋` parts
     /// (the §VII-E runs equip baselines with the OS rearrangement).
-    pub fn build_with_partitioning(
-        data: Dataset,
-        p: Partitioning,
-        tau_build: u32,
-    ) -> Result<Self> {
+    pub fn build_with_partitioning(data: Dataset, p: Partitioning, tau_build: u32) -> Result<Self> {
         if p.num_parts() != hmsearch_m(tau_build, data.dim()) {
             return Err(HammingError::InvalidParameter(format!(
                 "HmSearch at tau={tau_build} needs m={} partitions, got {}",
@@ -61,9 +57,7 @@ impl HmSearch {
         }
         let projector = Projector::new(&p);
         let projected = ProjectedDataset::build(&data, &projector);
-        let parts = (0..p.num_parts())
-            .map(|i| VariantIndex::build(&projected, i))
-            .collect();
+        let parts = (0..p.num_parts()).map(|i| VariantIndex::build(&projected, i)).collect();
         let n = data.len();
         Ok(HmSearch {
             data,
@@ -135,11 +129,7 @@ impl SearchIndex for HmSearch {
         }
         for &id in &touched {
             let idu = id as usize;
-            let is_cand = if even {
-                exacts[idu] || counts[idu] >= 2
-            } else {
-                counts[idu] >= 1
-            };
+            let is_cand = if even { exacts[idu] || counts[idu] >= 2 } else { counts[idu] >= 1 };
             if is_cand && cand_stamp.mark(idu) {
                 candidates.push(id);
             }
@@ -175,8 +165,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut ds = Dataset::new(dim);
         for _ in 0..n {
-            ds.push(&BitVector::from_bits((0..dim).map(|_| rng.random_bool(0.35))))
-                .unwrap();
+            ds.push(&BitVector::from_bits((0..dim).map(|_| rng.random_bool(0.35)))).unwrap();
         }
         ds
     }

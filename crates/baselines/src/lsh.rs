@@ -89,13 +89,7 @@ impl MinHashLsh {
             tables.push(Table { elem_hash, postings: CompactPostings::build(&pairs) });
         }
         let n_rows = data.len();
-        Ok(MinHashLsh {
-            data,
-            tables,
-            k,
-            tau_build,
-            scratch: Mutex::new(Stamp::new(n_rows)),
-        })
+        Ok(MinHashLsh { data, tables, k, tau_build, scratch: Mutex::new(Stamp::new(n_rows)) })
     }
 
     /// Number of tables `l`.
@@ -171,8 +165,7 @@ impl SearchIndex for MinHashLsh {
         self.tables
             .iter()
             .map(|t| {
-                t.postings.size_bytes()
-                    + t.elem_hash.iter().map(|h| h.len() * 8).sum::<usize>()
+                t.postings.size_bytes() + t.elem_hash.iter().map(|h| h.len() * 8).sum::<usize>()
             })
             .sum()
     }
@@ -189,8 +182,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut ds = Dataset::new(dim);
         for _ in 0..n {
-            ds.push(&BitVector::from_bits((0..dim).map(|_| rng.random_bool(0.5))))
-                .unwrap();
+            ds.push(&BitVector::from_bits((0..dim).map(|_| rng.random_bool(0.5)))).unwrap();
         }
         ds
     }

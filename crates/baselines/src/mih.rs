@@ -79,8 +79,7 @@ impl SearchIndex for Mih {
             if ball_size(width, radius) > self.data.len() as u64 && !self.data.is_empty() {
                 let col = self.projected.column(i);
                 for id in 0..self.data.len() {
-                    if hamming_core::distance::hamming(col.value(id), &q_proj) as usize <= radius
-                    {
+                    if hamming_core::distance::hamming(col.value(id), &q_proj) as usize <= radius {
                         stats.sum_postings += 1;
                         if stamp.mark(id) {
                             candidates.push(id as u32);
@@ -136,8 +135,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut ds = Dataset::new(dim);
         for _ in 0..n {
-            ds.push(&BitVector::from_bits((0..dim).map(|_| rng.random_bool(0.4))))
-                .unwrap();
+            ds.push(&BitVector::from_bits((0..dim).map(|_| rng.random_bool(0.4)))).unwrap();
         }
         ds
     }

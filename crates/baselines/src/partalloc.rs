@@ -42,11 +42,7 @@ impl PartAlloc {
     }
 
     /// Builds over an explicit partitioning with `τ + 1` parts.
-    pub fn build_with_partitioning(
-        data: Dataset,
-        p: Partitioning,
-        tau_build: u32,
-    ) -> Result<Self> {
+    pub fn build_with_partitioning(data: Dataset, p: Partitioning, tau_build: u32) -> Result<Self> {
         if p.num_parts() != partalloc_m(tau_build, data.dim()) {
             return Err(HammingError::InvalidParameter(format!(
                 "PartAlloc at tau={tau_build} needs m={} partitions, got {}",
@@ -57,16 +53,13 @@ impl PartAlloc {
         let projector = Projector::new(&p);
         let projected = ProjectedDataset::build(&data, &projector);
         let m = p.num_parts();
-        let parts: Vec<VariantIndex> =
-            (0..m).map(|i| VariantIndex::build(&projected, i)).collect();
+        let parts: Vec<VariantIndex> = (0..m).map(|i| VariantIndex::build(&projected, i)).collect();
         let mut weights = Vec::with_capacity(m);
         for i in 0..m {
             let col = projected.column(i);
             weights.push(
                 (0..data.len())
-                    .map(|id| {
-                        col.value(id).iter().map(|w| w.count_ones()).sum::<u32>() as u16
-                    })
+                    .map(|id| col.value(id).iter().map(|w| w.count_ones()).sum::<u32>() as u16)
                     .collect(),
             );
         }
@@ -109,9 +102,7 @@ impl PartAlloc {
         drop_order.sort_by(|&a, &b| cost0[b].partial_cmp(&cost0[a]).expect("no NaN"));
         let mut raise_order: Vec<usize> = (0..m).collect();
         raise_order.sort_by(|&a, &b| {
-            (cost1[a] - cost0[a])
-                .partial_cmp(&(cost1[b] - cost0[b]))
-                .expect("no NaN")
+            (cost1[a] - cost0[a]).partial_cmp(&(cost1[b] - cost0[b])).expect("no NaN")
         });
         let mut di = 0usize;
         let mut ri = 0usize;
@@ -159,17 +150,14 @@ impl SearchIndex for PartAlloc {
         );
         let m = self.parts.len();
         let mut stats = CandidateStats::default();
-        let q_projs: Vec<Vec<u64>> =
-            (0..m).map(|i| self.projector.project(i, query)).collect();
+        let q_projs: Vec<Vec<u64>> = (0..m).map(|i| self.projector.project(i, query)).collect();
         // Allocation is computed against tau_build's partition layout; a
         // smaller query τ only loosens the budget (τ − m + 1 shrinks), so
         // the all-zero base remains correct and the greedy pairs remain a
         // valid general-pigeonhole vector.
         let alloc = self.greedy_allocation(&q_projs);
-        let q_weights: Vec<u16> = q_projs
-            .iter()
-            .map(|v| v.iter().map(|w| w.count_ones()).sum::<u32>() as u16)
-            .collect();
+        let q_weights: Vec<u16> =
+            q_projs.iter().map(|v| v.iter().map(|w| w.count_ones()).sum::<u32>() as u16).collect();
         let mut stamp = self.scratch.lock();
         stamp.next_epoch();
         let mut candidates: Vec<u32> = Vec::new();
@@ -242,8 +230,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut ds = Dataset::new(dim);
         for _ in 0..n {
-            ds.push(&BitVector::from_bits((0..dim).map(|_| rng.random_bool(0.3))))
-                .unwrap();
+            ds.push(&BitVector::from_bits((0..dim).map(|_| rng.random_bool(0.3)))).unwrap();
         }
         ds
     }
@@ -266,9 +253,8 @@ mod tests {
         let ds = random_dataset(64, 300, 3);
         let pa = PartAlloc::build(ds.clone(), 7).unwrap();
         let q = ds.row(0);
-        let q_projs: Vec<Vec<u64>> = (0..pa.parts.len())
-            .map(|i| pa.projector.project(i, q))
-            .collect();
+        let q_projs: Vec<Vec<u64>> =
+            (0..pa.parts.len()).map(|i| pa.projector.project(i, q)).collect();
         let alloc = pa.greedy_allocation(&q_projs);
         let plus: i32 = alloc.iter().filter(|&&a| a == 1).count() as i32;
         let minus: i32 = alloc.iter().filter(|&&a| a == -1).count() as i32;

@@ -136,11 +136,8 @@ mod tests {
     use std::collections::HashSet;
 
     fn build_one(dim: usize, rows: &[&str]) -> (Dataset, VariantIndex) {
-        let ds = Dataset::from_vectors(
-            dim,
-            rows.iter().map(|s| BitVector::parse(s).unwrap()),
-        )
-        .unwrap();
+        let ds =
+            Dataset::from_vectors(dim, rows.iter().map(|s| BitVector::parse(s).unwrap())).unwrap();
         let p = Partitioning::equi_width(dim, 1).unwrap();
         let pd = ProjectedDataset::build(&ds, &Projector::new(&p));
         let vi = VariantIndex::build(&pd, 0);

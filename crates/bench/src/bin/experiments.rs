@@ -40,10 +40,7 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
-    println!(
-        "# GPH experiments — {exp} (rows≈{}, {} queries)\n",
-        scale.base_rows, scale.n_queries
-    );
+    println!("# GPH experiments — {exp} (rows≈{}, {} queries)\n", scale.base_rows, scale.n_queries);
     let t = std::time::Instant::now();
     if !dispatch(&exp, scale) {
         eprintln!("unknown experiment: {exp}");

@@ -21,7 +21,13 @@ use gph::AllocatorKind;
 pub fn run(scale: Scale) {
     println!("## Ablation — allocation budget variants (beyond the paper)\n");
     let mut table = Table::new(&[
-        "dataset", "tau", "metric", "general", "flexible", "non-negative", "round-robin",
+        "dataset",
+        "tau",
+        "metric",
+        "general",
+        "flexible",
+        "non-negative",
+        "round-robin",
     ]);
     for profile in [Profile::gist_like(), Profile::pubchem_like()] {
         let qs = prepare(&profile, scale, 0xAB);
@@ -44,10 +50,8 @@ pub fn run(scale: Scale) {
             })
             .collect();
         for &tau in &taus {
-            let timings: Vec<_> = engines
-                .iter()
-                .map(|e| crate::util::time_queries(e, &qs.queries, tau))
-                .collect();
+            let timings: Vec<_> =
+                engines.iter().map(|e| crate::util::time_queries(e, &qs.queries, tau)).collect();
             let mut cand = vec![profile.name.clone(), tau.to_string(), "cands".into()];
             let mut time = vec![profile.name.clone(), tau.to_string(), "ms".into()];
             for t in &timings {

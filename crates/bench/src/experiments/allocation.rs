@@ -14,9 +14,8 @@ use gph::AllocatorKind;
 /// Runs the DP-vs-RR comparison on the three focus datasets.
 pub fn run(scale: Scale) {
     println!("## Fig. 3 — threshold allocation: RR vs DP\n");
-    let mut table = Table::new(&[
-        "dataset", "tau", "RR est.cost", "DP est.cost", "RR ms", "DP ms", "speedup",
-    ]);
+    let mut table =
+        Table::new(&["dataset", "tau", "RR est.cost", "DP est.cost", "RR ms", "DP ms", "speedup"]);
     for profile in [Profile::sift_like(), Profile::gist_like(), Profile::pubchem_like()] {
         let qs = prepare(&profile, scale, 0xF3);
         let taus = tau_sweep(&profile.name);

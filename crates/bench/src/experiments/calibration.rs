@@ -28,7 +28,14 @@ fn build_gph(profile: &Profile, scale: Scale) -> (GphEngine, hamming_core::Datas
 pub fn run_fig2a(scale: Scale) {
     println!("## Fig. 2(a) — GPH response time decomposed (mean ms/query)\n");
     let mut table = Table::new(&[
-        "dataset", "tau", "alloc", "enum", "candgen", "verify", "total", "alloc+enum %",
+        "dataset",
+        "tau",
+        "alloc",
+        "enum",
+        "candgen",
+        "verify",
+        "total",
+        "alloc+enum %",
     ]);
     for profile in three_datasets() {
         let (engine, queries, taus) = build_gph(&profile, scale);
@@ -44,11 +51,8 @@ pub fn run_fig2a(scale: Scale) {
             let nq = queries.len().max(1) as f64;
             let to_ms = |v: u64| v as f64 / 1e6 / nq;
             let total = acc.iter().sum::<u64>() as f64 / 1e6 / nq;
-            let overhead = if total > 0.0 {
-                (to_ms(acc[0]) + to_ms(acc[1])) / total * 100.0
-            } else {
-                0.0
-            };
+            let overhead =
+                if total > 0.0 { (to_ms(acc[0]) + to_ms(acc[1])) / total * 100.0 } else { 0.0 };
             table.row(vec![
                 profile.name.clone(),
                 tau.to_string(),
@@ -78,11 +82,7 @@ pub fn run_fig2b(scale: Scale) {
                 postings += res.stats.sum_postings;
                 cands += res.stats.n_candidates;
             }
-            let alpha = if postings == 0 {
-                1.0
-            } else {
-                cands as f64 / postings as f64
-            };
+            let alpha = if postings == 0 { 1.0 } else { cands as f64 / postings as f64 };
             table.row(vec![
                 profile.name.clone(),
                 tau.to_string(),

@@ -12,16 +12,15 @@ use crate::util::{
     count, gph_config_for, measure_recall, mih_best_m, ms, prepare, tau_sweep, time_queries,
     GphEngine, Scale, Table,
 };
-use baselines::{HmSearch, MinHashLsh, Mih, PartAlloc, SearchIndex};
+use baselines::{HmSearch, Mih, MinHashLsh, PartAlloc, SearchIndex};
 use datagen::Profile;
 use gph::partition_opt::{PartitionStrategy, WorkloadSpec};
 
 /// Runs the full comparison.
 pub fn run(scale: Scale) {
     println!("## Fig. 7 — candidates & query time vs alternatives\n");
-    let mut table = Table::new(&[
-        "dataset", "tau", "metric", "GPH", "MIH", "HmSearch", "PartAlloc", "LSH",
-    ]);
+    let mut table =
+        Table::new(&["dataset", "tau", "metric", "GPH", "MIH", "HmSearch", "PartAlloc", "LSH"]);
     let mut recall_table = Table::new(&["dataset", "tau", "LSH recall"]);
     for profile in Profile::paper_suite() {
         let qs = prepare(&profile, scale, 0xF7);
@@ -47,10 +46,8 @@ pub fn run(scale: Scale) {
             let pa = PartAlloc::build(qs.data.clone(), tau).expect("pa");
             let lsh = MinHashLsh::build(qs.data.clone(), tau).expect("lsh");
             let engines: [&dyn SearchIndex; 5] = [&gph_engine, &mih, &hm, &pa, &lsh];
-            let timings: Vec<_> = engines
-                .iter()
-                .map(|e| time_queries(*e, &qs.queries, tau))
-                .collect();
+            let timings: Vec<_> =
+                engines.iter().map(|e| time_queries(*e, &qs.queries, tau)).collect();
             let mut cand_cells = vec![profile.name.clone(), tau.to_string(), "cands".into()];
             let mut time_cells = vec![profile.name.clone(), tau.to_string(), "ms".into()];
             for t in &timings {

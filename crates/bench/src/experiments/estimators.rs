@@ -98,13 +98,8 @@ pub fn run(scale: Scale) {
             }
             // fill() produces the whole row (tau_max + 1 estimates); the
             // per-estimate time divides accordingly.
-            let per_estimate_us =
-                pred_ns as f64 / 1e3 / (err_n as f64) / (tau_max as f64 + 1.0);
-            cells.push(format!(
-                "{:.2}%/{:.2}",
-                err_sum / err_n as f64 * 100.0,
-                per_estimate_us
-            ));
+            let per_estimate_us = pred_ns as f64 / 1e3 / (err_n as f64) / (tau_max as f64 + 1.0);
+            cells.push(format!("{:.2}%/{:.2}", err_sum / err_n as f64 * 100.0, per_estimate_us));
         }
         table.row(cells);
     }

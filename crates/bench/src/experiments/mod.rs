@@ -18,8 +18,22 @@ use crate::Scale;
 
 /// Experiment ids accepted by [`dispatch`].
 pub const EXPERIMENTS: &[&str] = &[
-    "fig1", "fig2a", "fig2b", "fig3", "table3", "fig4", "fig5", "fig6", "table4", "fig7",
-    "fig8abc", "fig8d", "fig8ef", "ablation", "scalecheck", "all",
+    "fig1",
+    "fig2a",
+    "fig2b",
+    "fig3",
+    "table3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table4",
+    "fig7",
+    "fig8abc",
+    "fig8d",
+    "fig8ef",
+    "ablation",
+    "scalecheck",
+    "all",
 ];
 
 /// Dispatches an experiment by id. Returns false for unknown ids.

@@ -40,10 +40,7 @@ fn run_strategies(scale: Scale) {
         let tau_max = *taus.last().expect("nonempty") as usize;
         let wl = WorkloadSpec::new(qs.workload.clone(), taus.clone());
         let strategies: Vec<(&str, PartitionStrategy)> = vec![
-            (
-                "GR",
-                PartitionStrategy::Heuristic(heuristic_cfg(scale, InitKind::Greedy)),
-            ),
+            ("GR", PartitionStrategy::Heuristic(heuristic_cfg(scale, InitKind::Greedy))),
             ("OR", PartitionStrategy::Original),
             ("OS", PartitionStrategy::Os),
             ("DD", PartitionStrategy::Dd),
@@ -79,11 +76,7 @@ fn run_inits(scale: Scale) {
         let taus = tau_sweep(&profile.name);
         let tau_max = *taus.last().expect("nonempty") as usize;
         let wl = WorkloadSpec::new(qs.workload.clone(), taus.clone());
-        let inits = [
-            InitKind::Greedy,
-            InitKind::Original,
-            InitKind::Random { seed: 0x99 },
-        ];
+        let inits = [InitKind::Greedy, InitKind::Original, InitKind::Random { seed: 0x99 }];
         let engines: Vec<GphEngine> = inits
             .iter()
             .map(|&init| {

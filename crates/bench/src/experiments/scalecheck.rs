@@ -11,7 +11,7 @@
 //! toward the paper's regime as N grows.
 
 use crate::util::{count, gph_config_for, ms, prepare, time_queries, GphEngine, Scale, Table};
-use baselines::{Mih, SearchIndex};
+use baselines::Mih;
 use datagen::Profile;
 use gph::partition_opt::{PartitionStrategy, WorkloadSpec};
 
@@ -21,7 +21,13 @@ pub fn run(scale: Scale) {
     let profile = Profile::gist_like();
     let tau = 48u32;
     let mut table = Table::new(&[
-        "N", "GPH cands", "MIH cands", "GPH ms", "MIH ms", "GPH/MIH time", "cand ratio",
+        "N",
+        "GPH cands",
+        "MIH cands",
+        "GPH ms",
+        "MIH ms",
+        "GPH/MIH time",
+        "cand ratio",
     ]);
     for n in [5_000usize, 10_000, 20_000, 40_000] {
         let sub_scale = Scale { base_rows: n, ..scale };

@@ -9,10 +9,8 @@
 //!   (GPH-0.1 vs GPH-0.5). Expected: near-identical times, small gap at
 //!   the largest τ.
 
-use crate::util::{
-    gph_config_for, ms, prepare, time_queries, GphEngine, Scale, Table,
-};
-use baselines::{HmSearch, MinHashLsh, Mih, PartAlloc, SearchIndex};
+use crate::util::{gph_config_for, ms, prepare, time_queries, GphEngine, Scale, Table};
+use baselines::{HmSearch, Mih, MinHashLsh, PartAlloc, SearchIndex};
 use datagen::{sample_queries, Profile};
 use gph::partition_opt::{PartitionStrategy, WorkloadSpec};
 use rand::seq::SliceRandom;
@@ -22,15 +20,11 @@ use rand_chacha::ChaCha8Rng;
 /// Fig. 8(a)–(c): dimension scaling on the three focus datasets.
 pub fn run_dims(scale: Scale) {
     println!("## Fig. 8(a-c) — varying number of dimensions (mean ms/query)\n");
-    let mut table = Table::new(&[
-        "dataset", "dims", "tau", "GPH", "MIH", "HmSearch", "PartAlloc",
-    ]);
+    let mut table = Table::new(&["dataset", "dims", "tau", "GPH", "MIH", "HmSearch", "PartAlloc"]);
     // τ for the full dimensionality, scaled linearly with the sample.
-    for (profile, tau_full) in [
-        (Profile::sift_like(), 12u32),
-        (Profile::gist_like(), 24),
-        (Profile::pubchem_like(), 12),
-    ] {
+    for (profile, tau_full) in
+        [(Profile::sift_like(), 12u32), (Profile::gist_like(), 24), (Profile::pubchem_like(), 12)]
+    {
         let qs = prepare(&profile, scale, 0xF8);
         let n = profile.dim;
         for pct in [25usize, 50, 75, 100] {
@@ -50,8 +44,7 @@ pub fn run_dims(scale: Scale) {
             cfg.strategy = PartitionStrategy::default();
             cfg.workload = Some(WorkloadSpec::new(workload, vec![tau.max(2) / 2, tau]));
             let gph_engine = GphEngine::build_with(data.clone(), cfg);
-            let mih =
-                Mih::build(data.clone(), Mih::suggested_m(keep, data.len())).expect("mih");
+            let mih = Mih::build(data.clone(), Mih::suggested_m(keep, data.len())).expect("mih");
             let hm = HmSearch::build(data.clone(), tau).expect("hm");
             let pa = PartAlloc::build(data.clone(), tau).expect("pa");
             let engines: [&dyn SearchIndex; 4] = [&gph_engine, &mih, &hm, &pa];
@@ -69,9 +62,7 @@ pub fn run_dims(scale: Scale) {
 pub fn run_skew(scale: Scale) {
     println!("## Fig. 8(d) — varying skewness gamma (tau = 12, mean ms/query)\n");
     let tau = 12u32;
-    let mut table = Table::new(&[
-        "gamma", "GPH", "MIH", "HmSearch", "PartAlloc", "LSH",
-    ]);
+    let mut table = Table::new(&["gamma", "GPH", "MIH", "HmSearch", "PartAlloc", "LSH"]);
     for gamma in [0.1f64, 0.2, 0.3, 0.4, 0.5] {
         let profile = Profile::synthetic_gamma(gamma);
         let qs = prepare(&profile, scale, 0xF8D);
@@ -79,8 +70,8 @@ pub fn run_skew(scale: Scale) {
         cfg.strategy = PartitionStrategy::default();
         cfg.workload = Some(WorkloadSpec::new(qs.workload.clone(), vec![6, tau]));
         let gph_engine = GphEngine::build_with(qs.data.clone(), cfg);
-        let mih = Mih::build(qs.data.clone(), Mih::suggested_m(profile.dim, qs.data.len()))
-            .expect("mih");
+        let mih =
+            Mih::build(qs.data.clone(), Mih::suggested_m(profile.dim, qs.data.len())).expect("mih");
         let hm = HmSearch::build(qs.data.clone(), tau).expect("hm");
         let pa = PartAlloc::build(qs.data.clone(), tau).expect("pa");
         let lsh = MinHashLsh::build(qs.data.clone(), tau).expect("lsh");
@@ -97,9 +88,8 @@ pub fn run_skew(scale: Scale) {
 /// Fig. 8(e)/(f): partitioning-workload distribution mismatch.
 pub fn run_workload_mismatch(scale: Scale) {
     println!("## Fig. 8(e,f) — query-distribution robustness (mean ms/query)\n");
-    let mut table = Table::new(&[
-        "data gamma", "query gamma", "tau", "GPH-matched", "GPH-mismatched",
-    ]);
+    let mut table =
+        Table::new(&["data gamma", "query gamma", "tau", "GPH-matched", "GPH-mismatched"]);
     for (gamma_d, gamma_q) in [(0.5f64, 0.1f64), (0.1, 0.5)] {
         // Data from γ_D; real queries from γ_q; two GPH builds whose
         // partitioning workloads come from γ_D (matched to data ≠ queries)
@@ -108,7 +98,12 @@ pub fn run_workload_mismatch(scale: Scale) {
         let query_profile = Profile::synthetic_gamma(gamma_q);
         let qs = prepare(&data_profile, scale, 0xF8E);
         let foreign = query_profile.generate(scale.n_queries + scale.n_workload, 0xF8F);
-        let foreign_qs = sample_queries(&foreign, scale.n_queries, scale.n_workload.min(foreign.len() - scale.n_queries - 1), 3);
+        let foreign_qs = sample_queries(
+            &foreign,
+            scale.n_queries,
+            scale.n_workload.min(foreign.len() - scale.n_queries - 1),
+            3,
+        );
         let queries = &foreign_qs.queries;
         for tau in [3u32, 6, 9, 12] {
             let build = |wl_queries: &hamming_core::Dataset| {

@@ -8,7 +8,7 @@
 //! but is τ-independent (computed once for all thresholds).
 
 use crate::util::{gph_config_for, prepare, tau_sweep, GphEngine, Scale, Table};
-use baselines::{HmSearch, MinHashLsh, Mih, PartAlloc, SearchIndex};
+use baselines::{HmSearch, Mih, MinHashLsh, PartAlloc, SearchIndex};
 use datagen::Profile;
 use gph::partition_opt::{PartitionStrategy, WorkloadSpec};
 use std::time::Instant;
@@ -60,14 +60,12 @@ pub fn run_table4(scale: Scale) {
     let profile = Profile::gist_like();
     let qs = prepare(&profile, scale, 0xF6);
     let taus = [16u32, 32, 48, 64];
-    let mut table = Table::new(&["tau", "MIH", "HmSearch", "PartAlloc", "LSH", "GPH (part + index)"]);
+    let mut table =
+        Table::new(&["tau", "MIH", "HmSearch", "PartAlloc", "LSH", "GPH (part + index)"]);
     // GPH: partitioning once (workload spans all τ), indexing once.
     let mut cfg = gph_config_for(profile.dim, 64);
     cfg.strategy = PartitionStrategy::default();
-    cfg.workload = Some(WorkloadSpec::new(
-        qs.workload.clone(),
-        taus.to_vec(),
-    ));
+    cfg.workload = Some(WorkloadSpec::new(qs.workload.clone(), taus.to_vec()));
     let t = Instant::now();
     let gph_engine = GphEngine::build_with(qs.data.clone(), cfg);
     let _ = t.elapsed();
@@ -88,7 +86,8 @@ pub fn run_table4(scale: Scale) {
                 .expect("mih")
                 .size_bytes()
         });
-        let (hm_s, _) = time_of(&|| HmSearch::build(qs.data.clone(), tau).expect("hm").size_bytes());
+        let (hm_s, _) =
+            time_of(&|| HmSearch::build(qs.data.clone(), tau).expect("hm").size_bytes());
         let (pa_s, _) =
             time_of(&|| PartAlloc::build(qs.data.clone(), tau).expect("pa").size_bytes());
         let (lsh_s, _) =

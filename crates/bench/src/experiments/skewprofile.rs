@@ -15,9 +15,8 @@ pub fn run(scale: Scale) {
     println!("## Fig. 1 — skewness by dimension (synthetic stand-ins)\n");
     let mut profiles = Profile::paper_suite();
     profiles.push(Profile::synthetic_gamma(0.25));
-    let mut table = Table::new(&[
-        "dataset", "dims", "mean skew", "p10", "median", "p90", "max", "dims>0.3",
-    ]);
+    let mut table =
+        Table::new(&["dataset", "dims", "mean skew", "p10", "median", "p90", "max", "dims>0.3"]);
     for profile in &profiles {
         let qs = prepare(profile, scale, 0xF1);
         let stats = DimStats::compute(&qs.data);

@@ -113,7 +113,12 @@ pub fn time_queries(engine: &dyn SearchIndex, queries: &Dataset, tau: u32) -> Ti
 }
 
 /// Recall of `engine` (approximate methods) against the linear scan.
-pub fn measure_recall(engine: &dyn SearchIndex, data: &Dataset, queries: &Dataset, tau: u32) -> f64 {
+pub fn measure_recall(
+    engine: &dyn SearchIndex,
+    data: &Dataset,
+    queries: &Dataset,
+    tau: u32,
+) -> f64 {
     let mut found = 0usize;
     let mut truth_total = 0usize;
     for qi in 0..queries.len() {
@@ -223,10 +228,7 @@ pub struct Table {
 impl Table {
     /// Starts a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Table {
-            header: header.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
     }
 
     /// Adds one row (stringified cells).
@@ -244,11 +246,8 @@ impl Table {
             }
         }
         let fmt_row = |cells: &[String]| {
-            let padded: Vec<String> = cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:<w$}"))
-                .collect();
+            let padded: Vec<String> =
+                cells.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
             format!("| {} |", padded.join(" | "))
         };
         println!("{}", fmt_row(&self.header));

@@ -32,11 +32,7 @@ pub struct FloatVectors {
 impl FloatVectors {
     /// Number of rows.
     pub fn len(&self) -> usize {
-        if self.dim == 0 {
-            0
-        } else {
-            self.data.len() / self.dim
-        }
+        self.data.len().checked_div(self.dim).unwrap_or(0)
     }
 
     /// Whether there are no rows.
@@ -58,12 +54,12 @@ pub fn median_threshold(x: &FloatVectors) -> Dataset {
     let dim = x.dim;
     let mut medians = vec![0f32; dim];
     let mut col = vec![0f32; n];
-    for d in 0..dim {
+    for (d, median) in medians.iter_mut().enumerate() {
         for (i, slot) in col.iter_mut().enumerate() {
             *slot = x.row(i)[d];
         }
         col.sort_by(|a, b| a.partial_cmp(b).expect("no NaN features"));
-        medians[d] = if n == 0 { 0.0 } else { col[n / 2] };
+        *median = if n == 0 { 0.0 } else { col[n / 2] };
     }
     let mut ds = Dataset::with_capacity(dim, n);
     for i in 0..n {
@@ -154,9 +150,7 @@ pub fn decode_fvecs(bytes: &[u8]) -> Result<FloatVectors> {
                 dim = Some(d);
             }
             Some(expected) if expected != d => {
-                return Err(HammingError::Corrupt(format!(
-                    "fvecs: row dim {d} != {expected}"
-                )));
+                return Err(HammingError::Corrupt(format!("fvecs: row dim {d} != {expected}")));
             }
             _ => {}
         }
@@ -164,9 +158,7 @@ pub fn decode_fvecs(bytes: &[u8]) -> Result<FloatVectors> {
             return Err(HammingError::Corrupt("fvecs: truncated row".into()));
         }
         for _ in 0..d {
-            data.push(f32::from_le_bytes(
-                bytes[at..at + 4].try_into().expect("4 bytes"),
-            ));
+            data.push(f32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")));
             at += 4;
         }
     }
@@ -225,10 +217,7 @@ mod tests {
             close_sum += rh.encode(&a).distance(&rh.encode(&a2));
             far_sum += rh.encode(&a).distance(&rh.encode(&b));
         }
-        assert!(
-            close_sum < far_sum / 2,
-            "close {close_sum} vs far {far_sum}"
-        );
+        assert!(close_sum < far_sum / 2, "close {close_sum} vs far {far_sum}");
     }
 
     #[test]

@@ -36,12 +36,7 @@ pub struct Profile {
 impl Profile {
     /// Independent uniform bits: skewness 0 on every dimension.
     pub fn uniform(dim: usize) -> Self {
-        Profile {
-            name: format!("uniform{dim}"),
-            dim,
-            p1: vec![0.5; dim],
-            blocks: Vec::new(),
-        }
+        Profile { name: format!("uniform{dim}"), dim, p1: vec![0.5; dim], blocks: Vec::new() }
     }
 
     /// Stand-in for **SIFT** (128-d binary codes of the BIGANN features):
@@ -123,15 +118,7 @@ impl Profile {
     /// skewnesses range linearly from 0 to 2γ (mean skew γ).
     pub fn synthetic_gamma(gamma: f64) -> Self {
         assert!((0.0..=0.5).contains(&gamma), "gamma must be in [0, 0.5]");
-        Self::ramped(
-            &format!("synthetic-g{:.2}", gamma),
-            128,
-            0.0,
-            2.0 * gamma,
-            8,
-            0.20,
-            101,
-        )
+        Self::ramped(&format!("synthetic-g{:.2}", gamma), 128, 0.0, 2.0 * gamma, 8, 0.20, 101)
     }
 
     /// Profile with skewness ramping linearly from `skew_lo` to `skew_hi`
@@ -312,10 +299,7 @@ mod tests {
             let st = DimStats::compute(&ds);
             let got = st.mean_skewness();
             // Coupling perturbs marginals slightly; allow a loose band.
-            assert!(
-                (got - gamma).abs() < 0.08,
-                "gamma={gamma} measured mean skew {got}"
-            );
+            assert!((got - gamma).abs() < 0.08, "gamma={gamma} measured mean skew {got}");
         }
     }
 
@@ -329,11 +313,7 @@ mod tests {
             let got = st.p1(d);
             // Block coupling pulls marginals toward the block mean; GIST
             // blocks are 8 wide with a local ramp, so drift is small.
-            assert!(
-                (got - prof.p1[d]).abs() < 0.12,
-                "dim {d}: target {} got {got}",
-                prof.p1[d]
-            );
+            assert!((got - prof.p1[d]).abs() < 0.12, "dim {d}: target {} got {got}", prof.p1[d]);
         }
     }
 

@@ -37,8 +37,9 @@ pub fn allocate(kind: AllocatorKind, cn: &CnTable, tau: u32) -> ThresholdVector 
     match kind {
         AllocatorKind::Dp => allocate_dp(cn, tau),
         AllocatorKind::RoundRobin => allocate_round_robin(cn.m(), tau),
-        AllocatorKind::DpFlexible => allocate_dp_budget(cn, tau, tau as i64, -1)
-            .expect("flexible budget is always feasible"),
+        AllocatorKind::DpFlexible => {
+            allocate_dp_budget(cn, tau, tau as i64, -1).expect("flexible budget is always feasible")
+        }
         AllocatorKind::DpNonNegative => {
             allocate_dp_budget(cn, tau, tau as i64 - cn.m() as i64 + 1, 0)
                 .unwrap_or_else(|| allocate_dp(cn, tau))
@@ -169,11 +170,7 @@ pub fn allocate_dp_budget(
 /// assert_eq!(cn.sum_for(&t), 55.0);      // OPT[4, 4] = 55
 /// ```
 pub fn allocate_dp(cn: &CnTable, tau: u32) -> ThresholdVector {
-    assert!(
-        cn.tau() as u32 >= tau,
-        "CN table covers tau <= {}, asked {tau}",
-        cn.tau()
-    );
+    assert!(cn.tau() as u32 >= tau, "CN table covers tau <= {}, asked {tau}", cn.tau());
     let rows: Vec<&[f64]> = (0..cn.m()).map(|i| cn.row(i)).collect();
     let (_, path) = dp_core(&rows, tau);
     let tv = ThresholdVector(path);
@@ -275,9 +272,7 @@ pub fn allocate_round_robin(m: usize, tau: u32) -> ThresholdVector {
     let units = tau as usize + 1;
     let base = units / m;
     let extra = units % m;
-    let t: Vec<i32> = (0..m)
-        .map(|i| base as i32 + i32::from(i < extra) - 1)
-        .collect();
+    let t: Vec<i32> = (0..m).map(|i| base as i32 + i32::from(i < extra) - 1).collect();
     let tv = ThresholdVector(t);
     debug_assert!(tv.satisfies_general_budget(tau));
     tv
@@ -416,10 +411,7 @@ mod tests {
         // Partition 1 is catastrophically unselective; DP should assign
         // it −1 whenever the budget allows.
         let cn = table_from(
-            &[
-                vec![0., 1., 2., 3., 4., 5.],
-                vec![0., 1000., 1000., 1000., 1000., 1000.],
-            ],
+            &[vec![0., 1., 2., 3., 4., 5.], vec![0., 1000., 1000., 1000., 1000., 1000.]],
             4,
         );
         let t = allocate_dp(&cn, 4);

@@ -153,11 +153,7 @@ impl LearnedCn {
             // --- features: bits as f64 ---
             let feats: Vec<Vec<f64>> = train_vals
                 .iter()
-                .map(|v| {
-                    (0..width)
-                        .map(|b| ((v[b / 64] >> (b % 64)) & 1) as f64)
-                        .collect()
-                })
+                .map(|v| (0..width).map(|b| ((v[b / 64] >> (b % 64)) & 1) as f64).collect())
                 .collect();
             let x = Matrix::from_rows(&feats);
             // --- one model per threshold ---
@@ -202,9 +198,8 @@ impl LearnedCn {
 impl CnEstimator for LearnedCn {
     fn fill(&self, part: usize, q_val: &[u64], tau: usize, out: &mut [f64]) {
         let pm = &self.parts[part];
-        let feats: Vec<f64> = (0..pm.width)
-            .map(|b| ((q_val[b / 64] >> (b % 64)) & 1) as f64)
-            .collect();
+        let feats: Vec<f64> =
+            (0..pm.width).map(|b| ((q_val[b / 64] >> (b % 64)) & 1) as f64).collect();
         out[0] = 0.0;
         for e in 0..=tau {
             let v = if e >= pm.width {
@@ -219,10 +214,7 @@ impl CnEstimator for LearnedCn {
     }
 
     fn size_bytes(&self) -> usize {
-        self.parts
-            .iter()
-            .map(|pm| pm.models.iter().map(|m| m.size_bytes()).sum::<usize>())
-            .sum()
+        self.parts.iter().map(|pm| pm.models.iter().map(|m| m.size_bytes()).sum::<usize>()).sum()
     }
 }
 
@@ -289,12 +281,8 @@ mod tests {
         let ds = skewed_dataset(500);
         let p = Partitioning::equi_width(16, 2).unwrap();
         let pd = ProjectedDataset::build(&ds, &Projector::new(&p));
-        let learned = LearnedCn::build(
-            &pd,
-            8,
-            &LearnedParams { n_train: 50, ..Default::default() },
-        )
-        .unwrap();
+        let learned =
+            LearnedCn::build(&pd, 8, &LearnedParams { n_train: 50, ..Default::default() }).unwrap();
         let mut out = vec![0.0; 10];
         learned.fill(0, &[0u64], 8, &mut out);
         assert_eq!(out[0], 0.0);

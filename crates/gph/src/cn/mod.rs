@@ -82,20 +82,18 @@ pub fn build_estimator(
     tau_max: usize,
 ) -> Result<Box<dyn CnEstimator>> {
     match kind {
-        EstimatorKind::Exact { max_width } => Ok(Box::new(exact::ExactCn::build(
-            pd,
-            tau_max,
-            *max_width,
-        )?)),
+        EstimatorKind::Exact { max_width } => {
+            Ok(Box::new(exact::ExactCn::build(pd, tau_max, *max_width)?))
+        }
         EstimatorKind::SubPartition { sub_count, paper_shift } => Ok(Box::new(
             subpart::SubPartitionCn::build_with_shift(pd, tau_max, *sub_count, *paper_shift)?,
         )),
         EstimatorKind::Learned(params) => {
             Ok(Box::new(learned::LearnedCn::build(pd, tau_max, params)?))
         }
-        EstimatorKind::SampleScan { sample_cap, seed } => Ok(Box::new(
-            sample_scan::SampleScanCn::build(pd, *sample_cap, *seed),
-        )),
+        EstimatorKind::SampleScan { sample_cap, seed } => {
+            Ok(Box::new(sample_scan::SampleScanCn::build(pd, *sample_cap, *seed)))
+        }
     }
 }
 
@@ -163,10 +161,7 @@ impl CnTable {
 
     /// `Σᵢ ĈN(qᵢ, T[i])` — the quantity the allocator minimizes.
     pub fn sum_for(&self, t: &crate::pigeonhole::ThresholdVector) -> f64 {
-        t.0.iter()
-            .enumerate()
-            .map(|(i, &e)| self.get(i, e))
-            .sum()
+        t.0.iter().enumerate().map(|(i, &e)| self.get(i, e)).sum()
     }
 }
 
@@ -180,7 +175,8 @@ mod tests {
         fn fill(&self, part: usize, _q: &[u64], tau: usize, out: &mut [f64]) {
             for e in -1..=(tau as i32) {
                 // deliberately non-monotone to exercise the cummax
-                out[(e + 1) as usize] = if e == 2 { 0.0 } else { (part + 1) as f64 * (e + 1) as f64 };
+                out[(e + 1) as usize] =
+                    if e == 2 { 0.0 } else { (part + 1) as f64 * (e + 1) as f64 };
             }
         }
         fn size_bytes(&self) -> usize {

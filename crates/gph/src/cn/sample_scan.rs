@@ -67,11 +67,8 @@ impl SampleScanCn {
 impl CnEstimator for SampleScanCn {
     fn fill(&self, part: usize, q_val: &[u64], tau: usize, out: &mut [f64]) {
         let col = &self.columns[part];
-        let scale = if self.n_sampled == 0 {
-            0.0
-        } else {
-            self.n_total as f64 / self.n_sampled as f64
-        };
+        let scale =
+            if self.n_sampled == 0 { 0.0 } else { self.n_total as f64 / self.n_sampled as f64 };
         let mut hist = vec![0u64; col.width + 1];
         for row in col.data.chunks_exact(col.words) {
             let d = hamming(row, q_val) as usize;

@@ -74,9 +74,7 @@ impl SubPartitionCn {
         paper_shift: bool,
     ) -> Result<Self> {
         if sub_count == 0 {
-            return Err(HammingError::InvalidParameter(
-                "sub_count must be at least 1".into(),
-            ));
+            return Err(HammingError::InvalidParameter("sub_count must be at least 1".into()));
         }
         let mut parts = Vec::with_capacity(pd.num_parts());
         for p in 0..pd.num_parts() {
@@ -97,11 +95,7 @@ impl SubPartitionCn {
                 } else {
                     freqs[0] = pd.len() as u64;
                 }
-                tables.push(ExactPart::build_from_freqs(
-                    sub_w,
-                    &freqs,
-                    tau_max.min(sub_w),
-                ));
+                tables.push(ExactPart::build_from_freqs(sub_w, &freqs, tau_max.min(sub_w)));
             }
             parts.push(SubSplit { paper_shift, width, ranges, tables, n: pd.len() as f64 });
         }
@@ -182,11 +176,7 @@ impl CnEstimator for SubPartitionCn {
         }
         for e in -1..=(tau as i32) {
             let budget = if sp.paper_shift { e - mi as i32 + 1 } else { e };
-            let v = if budget < 0 {
-                0.0
-            } else {
-                cdf[(budget as usize + 1).min(cdf.len() - 1)]
-            };
+            let v = if budget < 0 { 0.0 } else { cdf[(budget as usize + 1).min(cdf.len() - 1)] };
             out[(e + 1) as usize] = v.min(sp.n).max(0.0);
         }
         // e >= width means every vector qualifies; fix the tail exactly.
@@ -196,10 +186,7 @@ impl CnEstimator for SubPartitionCn {
     }
 
     fn size_bytes(&self) -> usize {
-        self.parts
-            .iter()
-            .map(|sp| sp.tables.iter().map(|t| t.size_bytes()).sum::<usize>())
-            .sum()
+        self.parts.iter().map(|sp| sp.tables.iter().map(|t| t.size_bytes()).sum::<usize>()).sum()
     }
 }
 

@@ -217,8 +217,7 @@ impl Gph {
 
         // --- Phase 1: CN estimation + threshold allocation ------------
         let t0 = Instant::now();
-        let q_proj: Vec<Vec<u64>> =
-            (0..m).map(|i| self.projector.project(i, query)).collect();
+        let q_proj: Vec<Vec<u64>> = (0..m).map(|i| self.projector.project(i, query)).collect();
         let thresholds = if m == 1 {
             ThresholdVector(vec![tau as i32])
         } else {
@@ -231,11 +230,8 @@ impl Gph {
         stats.thresholds = thresholds.0.clone();
 
         // --- Phases 2+3: signature enumeration + candidate generation --
-        let mut scratch = self
-            .scratch_pool
-            .lock()
-            .pop()
-            .unwrap_or_else(|| Scratch::new(self.data.len()));
+        let mut scratch =
+            self.scratch_pool.lock().pop().unwrap_or_else(|| Scratch::new(self.data.len()));
         if scratch.stamps.len() < self.data.len() {
             scratch.stamps.resize(self.data.len(), 0);
         }
@@ -331,8 +327,7 @@ impl Gph {
     pub fn estimate_cost(&self, query: &[u64], tau: u32) -> f64 {
         assert!(tau as usize <= self.tau_max, "tau exceeds tau_max");
         let m = self.partitioning.num_parts();
-        let q_proj: Vec<Vec<u64>> =
-            (0..m).map(|i| self.projector.project(i, query)).collect();
+        let q_proj: Vec<Vec<u64>> = (0..m).map(|i| self.projector.project(i, query)).collect();
         if m == 1 {
             let mut row = vec![0.0; tau as usize + 2];
             self.estimator.fill(0, &q_proj[0], tau as usize, &mut row);
@@ -352,10 +347,8 @@ impl Gph {
         loop {
             let ids = self.search(query, tau);
             if ids.len() >= k || tau as usize >= self.tau_max {
-                let mut scored: Vec<(u32, u32)> = ids
-                    .iter()
-                    .map(|&id| (id, self.data.distance_to(id as usize, query)))
-                    .collect();
+                let mut scored: Vec<(u32, u32)> =
+                    ids.iter().map(|&id| (id, self.data.distance_to(id as usize, query))).collect();
                 scored.sort_by_key(|&(id, d)| (d, id));
                 scored.truncate(k);
                 return scored;
@@ -460,13 +453,11 @@ impl Gph {
 /// every runtime τ (§V-B).
 pub fn default_workload_taus(tau_max: usize) -> Vec<u32> {
     let t = tau_max as u32;
-    let mut v = vec![
-        2.min(t),
-        (t / 4).max(1),
-        (t / 2).max(1),
-        (3 * t / 4).max(1),
-        t.max(1),
-    ];
+    let mut v = vec![2.min(t), (t / 4).max(1), (t / 2).max(1), (3 * t / 4).max(1), t.max(1)];
+    // `dedup` only removes *consecutive* duplicates; for small tau_max the
+    // anchors are out of order (e.g. tau_max = 4 gives [2, 1, 2, 3, 4]),
+    // so sort first to make deduplication total.
+    v.sort_unstable();
     v.dedup();
     v
 }
@@ -554,10 +545,7 @@ mod tests {
         assert!(res.ids.contains(&0), "query is a data vector");
         let st = &res.stats;
         assert_eq!(st.thresholds.len(), 4);
-        assert_eq!(
-            st.thresholds.iter().map(|&t| t as i64).sum::<i64>(),
-            6 - 4 + 1
-        );
+        assert_eq!(st.thresholds.iter().map(|&t| t as i64).sum::<i64>(), 6 - 4 + 1);
         assert!(st.n_candidates <= st.sum_postings);
         assert!(st.n_results <= st.n_candidates);
         assert_eq!(st.n_results as usize, res.ids.len());
@@ -575,9 +563,8 @@ mod tests {
         assert_eq!(top[0], (5, 0), "self is nearest");
         assert!(top[1].1 <= top[2].1);
         // Cross-check the 2nd nearest against a scan.
-        let mut all: Vec<(u32, u32)> = (0..ds.len())
-            .map(|i| (i as u32, ds.distance_to(i, &q)))
-            .collect();
+        let mut all: Vec<(u32, u32)> =
+            (0..ds.len()).map(|i| (i as u32, ds.distance_to(i, &q))).collect();
         all.sort_by_key(|&(id, d)| (d, id));
         assert_eq!(top[1], all[1]);
     }
@@ -600,10 +587,7 @@ mod tests {
     #[should_panic(expected = "exceeds the configured tau_max")]
     fn tau_above_max_panics() {
         let ds = random_dataset(32, 50, 0.5, 51);
-        let cfg = GphConfig {
-            strategy: PartitionStrategy::Original,
-            ..GphConfig::new(2, 4)
-        };
+        let cfg = GphConfig { strategy: PartitionStrategy::Original, ..GphConfig::new(2, 4) };
         let gph = Gph::build(ds, &cfg).unwrap();
         let q = vec![0u64; 1];
         let _ = gph.search(&q, 5);
@@ -612,10 +596,7 @@ mod tests {
     #[test]
     fn build_stats_and_sizes_populated() {
         let ds = random_dataset(32, 200, 0.5, 52);
-        let cfg = GphConfig {
-            strategy: PartitionStrategy::Original,
-            ..GphConfig::new(2, 4)
-        };
+        let cfg = GphConfig { strategy: PartitionStrategy::Original, ..GphConfig::new(2, 4) };
         let gph = Gph::build(ds, &cfg).unwrap();
         assert!(gph.size_bytes() > 0);
         assert!(gph.index_size_bytes() <= gph.size_bytes());
@@ -663,5 +644,26 @@ mod tests {
         assert!(taus.contains(&32));
         let taus1 = default_workload_taus(1);
         assert!(!taus1.is_empty());
+    }
+
+    #[test]
+    fn default_workload_taus_sorted_and_distinct_for_small_tau_max() {
+        for tau_max in 1..=5 {
+            let taus = default_workload_taus(tau_max);
+            assert!(!taus.is_empty(), "tau_max={tau_max} produced no taus");
+            assert!(
+                taus.windows(2).all(|w| w[0] < w[1]),
+                "tau_max={tau_max} gave unsorted or duplicate thresholds: {taus:?}"
+            );
+            assert!(
+                taus.iter().all(|&t| t >= 1 && t <= tau_max.max(1) as u32),
+                "tau_max={tau_max} gave out-of-range thresholds: {taus:?}"
+            );
+            // The largest workload threshold is always tau_max itself.
+            assert_eq!(taus.last(), Some(&(tau_max.max(1) as u32)));
+        }
+        // The regression the sort fixes: tau_max = 4 used to yield
+        // [2, 1, 2, 3, 4] because dedup only removes adjacent repeats.
+        assert_eq!(default_workload_taus(4), vec![1, 2, 3, 4]);
     }
 }

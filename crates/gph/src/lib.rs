@@ -59,9 +59,9 @@ pub mod partition_opt;
 pub mod pigeonhole;
 
 pub use alloc::{allocate_dp, allocate_round_robin, AllocatorKind};
-pub use hamming_core::{fasthash, invindex as index};
 pub use cn::{CnEstimator, CnTable, EstimatorKind};
 pub use cost::CostModel;
 pub use engine::{Gph, GphConfig, QueryStats, SearchResult};
+pub use hamming_core::{fasthash, invindex as index};
 pub use partition_opt::{HeuristicConfig, InitKind, PartitionStrategy, WorkloadSpec};
 pub use pigeonhole::ThresholdVector;

@@ -168,10 +168,7 @@ pub fn build_partitioning(
         }
         PartitionStrategy::Fixed(p) => {
             if p.dim() != dim {
-                return Err(HammingError::DimensionMismatch {
-                    expected: dim,
-                    actual: p.dim(),
-                });
+                return Err(HammingError::DimensionMismatch { expected: dim, actual: p.dim() });
             }
             Ok(p.clone())
         }

@@ -46,8 +46,7 @@ impl ThresholdVector {
     /// entry in `[−1, τ]`.
     pub fn satisfies_general_budget(&self, tau: u32) -> bool {
         let m = self.0.len() as i64;
-        self.sum() == tau as i64 - m + 1
-            && self.0.iter().all(|&t| (-1..=tau as i32).contains(&t))
+        self.sum() == tau as i64 - m + 1 && self.0.iter().all(|&t| (-1..=tau as i32).contains(&t))
     }
 
     /// Dominance (§II-D): `self ≺ other` iff element-wise `≤` with at least
@@ -100,10 +99,7 @@ pub fn passes_filter(projector: &Projector, t: &ThresholdVector, x: &[u64], q: &
 pub fn epsilon_transform(t: &ThresholdVector, keep: usize) -> ThresholdVector {
     assert!(keep < t.len());
     ThresholdVector(
-        t.0.iter()
-            .enumerate()
-            .map(|(i, &v)| if i == keep { v } else { v - 1 })
-            .collect(),
+        t.0.iter().enumerate().map(|(i, &v)| if i == keep { v } else { v - 1 }).collect(),
     )
 }
 
@@ -129,12 +125,8 @@ pub fn tightness_witness(
     if !t_dom.dominates(t, widths) || !t.satisfies_general_budget(tau) {
         return None;
     }
-    let d: Vec<u32> = t_dom
-        .0
-        .iter()
-        .zip(widths)
-        .map(|(&td, &w)| (td + 1).max(0).min(w as i32) as u32)
-        .collect();
+    let d: Vec<u32> =
+        t_dom.0.iter().zip(widths).map(|(&td, &w)| (td + 1).max(0).min(w as i32) as u32).collect();
     // By the proof: Σ d ≤ ‖T‖₁ + m − 1 = τ, and every d[i] > t_dom[i].
     let total: i64 = d.iter().map(|&x| x as i64).sum();
     debug_assert!(total <= tau as i64, "witness construction exceeds tau");

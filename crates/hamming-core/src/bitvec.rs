@@ -27,18 +27,12 @@ pub struct BitVector {
 impl BitVector {
     /// Creates the all-zero vector with `dim` dimensions.
     pub fn zeros(dim: usize) -> Self {
-        BitVector {
-            dim,
-            words: vec![0u64; words_for(dim)].into_boxed_slice(),
-        }
+        BitVector { dim, words: vec![0u64; words_for(dim)].into_boxed_slice() }
     }
 
     /// Creates the all-one vector with `dim` dimensions.
     pub fn ones(dim: usize) -> Self {
-        let mut v = BitVector {
-            dim,
-            words: vec![u64::MAX; words_for(dim)].into_boxed_slice(),
-        };
+        let mut v = BitVector { dim, words: vec![u64::MAX; words_for(dim)].into_boxed_slice() };
         v.mask_tail();
         v
     }
@@ -57,10 +51,7 @@ impl BitVector {
             }
             dim += 1;
         }
-        BitVector {
-            dim,
-            words: words.into_boxed_slice(),
-        }
+        BitVector { dim, words: words.into_boxed_slice() }
     }
 
     /// Parses a vector from an ASCII string of `0`/`1` characters, most
@@ -94,10 +85,7 @@ impl BitVector {
                 words.len()
             )));
         }
-        let mut v = BitVector {
-            dim,
-            words: words.into_boxed_slice(),
-        };
+        let mut v = BitVector { dim, words: words.into_boxed_slice() };
         v.mask_tail();
         Ok(v)
     }

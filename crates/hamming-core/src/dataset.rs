@@ -20,11 +20,7 @@ pub struct Dataset {
 impl Dataset {
     /// Creates an empty dataset of `dim`-dimensional vectors.
     pub fn new(dim: usize) -> Self {
-        Dataset {
-            dim,
-            words_per_vec: words_for(dim),
-            words: Vec::new(),
-        }
+        Dataset { dim, words_per_vec: words_for(dim), words: Vec::new() }
     }
 
     /// Creates an empty dataset with storage reserved for `capacity` vectors.
@@ -48,10 +44,7 @@ impl Dataset {
     /// Appends a vector, returning its ID.
     pub fn push(&mut self, v: &BitVector) -> Result<u32> {
         if v.dim() != self.dim {
-            return Err(HammingError::DimensionMismatch {
-                expected: self.dim,
-                actual: v.dim(),
-            });
+            return Err(HammingError::DimensionMismatch { expected: self.dim, actual: v.dim() });
         }
         let id = self.len() as u32;
         self.words.extend_from_slice(v.words());
@@ -68,7 +61,7 @@ impl Dataset {
     /// Number of vectors.
     #[inline]
     pub fn len(&self) -> usize {
-self.words.len().checked_div(self.words_per_vec).unwrap_or(0)
+        self.words.len().checked_div(self.words_per_vec).unwrap_or(0)
     }
 
     /// Whether the dataset holds no vectors.

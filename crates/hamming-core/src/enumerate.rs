@@ -97,20 +97,29 @@ fn combos_words<F: FnMut(&[u64])>(
 }
 
 /// Number of signatures enumerated for a `(width, radius)` pair:
-/// `Σ_{k=0}^{radius} C(width, k)`, saturating.
+/// `Σ_{k=0}^{radius} C(width, k)`, saturating at `u64::MAX`.
+///
+/// Accumulation is done in `u128` so the result is *exact* for every sum
+/// that fits in a `u64` — the previous u64 evaluation wrapped its
+/// intermediate product near `width = 64` (e.g. `C(64, 31) * 34`
+/// overflows even though `ball_size(64, 32)` is representable) and the
+/// full-width ball `Σ C(64, k) = 2^64` must saturate, not wrap, or the
+/// scan-vs-enumerate crossover in `Gph::search_with_stats` would pick
+/// enumeration for the most expensive balls.
 pub fn ball_size(width: usize, radius: usize) -> u64 {
-    // Direct multiplicative evaluation; widths are <= a few hundred.
-    let mut total = 1u64; // k = 0
-    let mut c = 1u64;
+    let mut total: u128 = 1; // k = 0
+    let mut c: u128 = 1;
     for k in 1..=radius.min(width) {
-        // c = C(width, k) built incrementally: c *= (width - k + 1) / k.
-        c = match c.checked_mul((width - k + 1) as u64) {
-            Some(x) => x / k as u64,
-            None => return u64::MAX,
-        };
-        total = total.saturating_add(c);
+        // c = C(width, k) built incrementally; the product is always
+        // divisible by k, so the division is exact. `c <= total` held at
+        // the previous check, so `c * width` stays far below u128::MAX.
+        c = c * (width - k + 1) as u128 / k as u128;
+        total += c;
+        if total > u64::MAX as u128 {
+            return u64::MAX;
+        }
     }
-    total
+    total as u64
 }
 
 #[cfg(test)]
@@ -182,6 +191,26 @@ mod tests {
         assert_eq!(ball_size(500, 250), u64::MAX);
         assert_eq!(ball_size(8, 100), 256);
         assert_eq!(ball_size(0, 0), 1);
+    }
+
+    #[test]
+    fn ball_size_width_64_near_full_radius() {
+        // Σ_{k=0}^{64} C(64, k) = 2^64: one past u64::MAX, must saturate.
+        assert_eq!(ball_size(64, 64), u64::MAX);
+        // Σ_{k=0}^{63} C(64, k) = 2^64 − 1 = u64::MAX exactly (no wrap).
+        assert_eq!(ball_size(64, 63), u64::MAX);
+        // Representable mid-radius values are exact, not prematurely
+        // saturated: Σ_{k=0}^{32} C(64, k) = 2^63 + C(64, 32)/2.
+        let c64_32: u128 = 1_832_624_140_942_590_534;
+        assert_eq!(ball_size(64, 32) as u128, (1u128 << 63) + c64_32 / 2);
+        // Saturation is monotone in the radius: once saturated, larger
+        // radii stay saturated, and below it the count strictly grows.
+        let mut prev = 0u64;
+        for r in 0..=64 {
+            let b = ball_size(64, r);
+            assert!(b > prev || (b == u64::MAX && prev == u64::MAX), "r={r}");
+            prev = b;
+        }
     }
 
     #[test]

@@ -245,12 +245,9 @@ impl Partitioning {
         if from == to {
             return Ok(());
         }
-        let pos = self.parts[from]
-            .iter()
-            .position(|&x| x == d)
-            .ok_or_else(|| {
-                HammingError::InvalidParameter(format!("dim {d} not in partition {from}"))
-            })?;
+        let pos = self.parts[from].iter().position(|&x| x == d).ok_or_else(|| {
+            HammingError::InvalidParameter(format!("dim {d} not in partition {from}"))
+        })?;
         self.parts[from].swap_remove(pos);
         self.parts[to].push(d);
         Ok(())
@@ -317,8 +314,8 @@ mod tests {
     fn skewed_dataset() -> Dataset {
         // dims 0..4 mostly zero (skewed); dims 4..8 balanced.
         let rows = [
-            "00001010", "00000101", "00001100", "00000011",
-            "00001001", "00000110", "10001111", "01000000",
+            "00001010", "00000101", "00001100", "00000011", "00001001", "00000110", "10001111",
+            "01000000",
         ];
         Dataset::from_vectors(8, rows.iter().map(|s| BitVector::parse(s).unwrap())).unwrap()
     }

@@ -205,11 +205,7 @@ mod tests {
     fn variable_partitioning_of_table1() {
         // The paper's variable partitioning: first six dims | last two.
         let ds = table1();
-        let p = Partitioning::new(
-            8,
-            vec![(0..6).collect::<Vec<u32>>(), vec![6, 7]],
-        )
-        .unwrap();
+        let p = Partitioning::new(8, vec![(0..6).collect::<Vec<u32>>(), vec![6, 7]]).unwrap();
         let proj = Projector::new(&p);
         let pd = ProjectedDataset::build(&ds, &proj);
         assert_eq!(pd.num_parts(), 2);

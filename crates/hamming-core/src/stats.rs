@@ -121,7 +121,7 @@ impl ColumnBits {
 
     /// Number of dimensions (columns).
     pub fn dim(&self) -> usize {
-self.cols.len().checked_div(self.words_per_col).unwrap_or(0)
+        self.cols.len().checked_div(self.words_per_col).unwrap_or(0)
     }
 
     fn col(&self, d: usize) -> &[u64] {
@@ -135,11 +135,7 @@ self.cols.len().checked_div(self.words_per_col).unwrap_or(0)
 
     /// Count of rows where dimensions `i` and `j` are both 1.
     pub fn count11(&self, i: usize, j: usize) -> u64 {
-        self.col(i)
-            .iter()
-            .zip(self.col(j))
-            .map(|(&a, &b)| (a & b).count_ones() as u64)
-            .sum()
+        self.col(i).iter().zip(self.col(j)).map(|(&a, &b)| (a & b).count_ones() as u64).sum()
     }
 
     /// Phi coefficient (Pearson correlation for binary variables) between

@@ -96,12 +96,7 @@ mod tests {
     #[test]
     fn interpolates_training_points_with_small_lambda() {
         // y = XOR-ish nonlinear function of 2 binary features.
-        let x = Matrix::from_rows(&[
-            vec![0., 0.],
-            vec![0., 1.],
-            vec![1., 0.],
-            vec![1., 1.],
-        ]);
+        let x = Matrix::from_rows(&[vec![0., 0.], vec![0., 1.], vec![1., 0.], vec![1., 1.]]);
         let y = [0.0, 1.0, 1.0, 0.0];
         let m = KernelRidge::fit(&x, &y, 1.0, 1e-8).unwrap();
         for (i, &yi) in y.iter().enumerate() {

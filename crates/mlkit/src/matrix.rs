@@ -91,9 +91,7 @@ impl Matrix {
     /// Matrix-vector product.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len());
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum()).collect()
     }
 
     /// Transpose.

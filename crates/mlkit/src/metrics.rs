@@ -6,11 +6,7 @@ pub fn mse(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    pred.iter()
-        .zip(truth)
-        .map(|(&p, &t)| (p - t) * (p - t))
-        .sum::<f64>()
-        / pred.len() as f64
+    pred.iter().zip(truth).map(|(&p, &t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64
 }
 
 /// Mean *relative* error `mean(|pred - truth| / max(truth, 1))` — the
@@ -21,10 +17,7 @@ pub fn mean_relative_error(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    pred.iter()
-        .zip(truth)
-        .map(|(&p, &t)| (p - t).abs() / t.max(1.0))
-        .sum::<f64>()
+    pred.iter().zip(truth).map(|(&p, &t)| (p - t).abs() / t.max(1.0)).sum::<f64>()
         / pred.len() as f64
 }
 

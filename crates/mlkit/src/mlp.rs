@@ -51,9 +51,7 @@ impl Layer {
     fn new(n_in: usize, n_out: usize, rng: &mut impl Rng) -> Self {
         // He initialization for ReLU layers.
         let scale = (2.0 / n_in.max(1) as f64).sqrt();
-        let w = (0..n_in * n_out)
-            .map(|_| (rng.random::<f64>() * 2.0 - 1.0) * scale)
-            .collect();
+        let w = (0..n_in * n_out).map(|_| (rng.random::<f64>() * 2.0 - 1.0) * scale).collect();
         Layer {
             w,
             b: vec![0.0; n_out],
@@ -77,13 +75,7 @@ impl Layer {
 
     /// Accumulates gradients for one sample; returns grad wrt input.
     #[allow(clippy::too_many_arguments)]
-    fn backward(
-        &self,
-        x: &[f64],
-        dz: &[f64],
-        gw: &mut [f64],
-        gb: &mut [f64],
-    ) -> Vec<f64> {
+    fn backward(&self, x: &[f64], dz: &[f64], gw: &mut [f64], gb: &mut [f64]) -> Vec<f64> {
         let mut dx = vec![0.0; self.n_in];
         for o in 0..self.n_out {
             let g = dz[o];

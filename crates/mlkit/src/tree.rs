@@ -10,12 +10,7 @@ use rand_chacha::ChaCha8Rng;
 enum Node {
     /// Internal split: `feature`, `threshold`, left child, right child.
     /// Samples go left when `x[feature] <= threshold`.
-    Split {
-        feature: u32,
-        threshold: f64,
-        left: u32,
-        right: u32,
-    },
+    Split { feature: u32, threshold: f64, left: u32, right: u32 },
     /// Leaf prediction.
     Leaf(f64),
 }
@@ -102,8 +97,8 @@ impl RegressionTree {
                 let nr = n - nl;
                 let right_sum = total_sum - left_sum;
                 let right_sq = total_sq - left_sq;
-                let sse = (left_sq - left_sum * left_sum / nl)
-                    + (right_sq - right_sum * right_sum / nr);
+                let sse =
+                    (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
                 if best.is_none_or(|(_, _, b)| sse < b) {
                     let thr = (vals[k].0 + vals[k + 1].0) / 2.0;
                     best = Some((f, thr, sse));
@@ -116,20 +111,15 @@ impl RegressionTree {
         if parent_sse - sse < 1e-12 {
             return node_id; // no variance reduction
         }
-        let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = idx
-            .iter()
-            .partition(|&&i| x[(i as usize, feature)] <= threshold);
+        let (left_idx, right_idx): (Vec<u32>, Vec<u32>) =
+            idx.iter().partition(|&&i| x[(i as usize, feature)] <= threshold);
         if left_idx.is_empty() || right_idx.is_empty() {
             return node_id;
         }
         let left = self.grow(x, y, left_idx, params, depth + 1, rng);
         let right = self.grow(x, y, right_idx, params, depth + 1, rng);
-        self.nodes[node_id as usize] = Node::Split {
-            feature: feature as u32,
-            threshold,
-            left,
-            right,
-        };
+        self.nodes[node_id as usize] =
+            Node::Split { feature: feature as u32, threshold, left, right };
         node_id
     }
 

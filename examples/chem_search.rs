@@ -41,6 +41,7 @@ fn main() {
     );
 
     let t_threshold = 0.85; // typical similarity-search threshold
+
     // Weights of our sparse fingerprints are ~60-120 bits, so the Hamming
     // bound stays small; size tau_max for the largest query weight.
     let max_w = (0..queries.len())

@@ -32,20 +32,14 @@ fn main() {
     let q = gallery.row(cluster[0] as usize).to_vec();
     let t = Instant::now();
     let top = index.search_topk(&q, 8);
-    println!(
-        "top-8 for a planted image ({:.2} ms): {:?}",
-        t.elapsed().as_secs_f64() * 1e3,
-        top
-    );
-    let found = top
-        .iter()
-        .filter(|(id, _)| cluster.contains(id))
-        .count();
+    println!("top-8 for a planted image ({:.2} ms): {:?}", t.elapsed().as_secs_f64() * 1e3, top);
+    let found = top.iter().filter(|(id, _)| cluster.contains(id)).count();
     println!("{found}/8 of the top-8 are from the query's planted cluster");
 
     // Range search at the candidate threshold of [42] (τ = 16), compared
     // against MIH.
-    let queries: Vec<&[u64]> = truth.clusters.iter().take(20).map(|c| gallery.row(c[0] as usize)).collect();
+    let queries: Vec<&[u64]> =
+        truth.clusters.iter().take(20).map(|c| gallery.row(c[0] as usize)).collect();
     let tau = 16u32;
     for (name, engine) in [("GPH", &index as &dyn Retrieval), ("MIH", &mih)] {
         let t = Instant::now();

@@ -19,10 +19,7 @@ fn main() {
     const TAU: u32 = 3; // Manku et al.'s near-duplicate threshold
     let background = Profile::uniform(64).generate(50_000, 7);
     let (corpus, truth) = plant_near_duplicates(&background, 200, 5, TAU, 8);
-    println!(
-        "corpus: {} simhashes (200 planted clusters of 5 near-duplicates)",
-        corpus.len()
-    );
+    println!("corpus: {} simhashes (200 planted clusters of 5 near-duplicates)", corpus.len());
 
     let cfg = GphConfig::new(4, TAU as usize + 1);
     let index = Gph::build(corpus.clone(), &cfg).expect("build");

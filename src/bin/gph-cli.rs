@@ -90,9 +90,7 @@ fn need<'a>(opts: &'a HashMap<String, String>, k: &str) -> Result<&'a str, Strin
 }
 
 fn parse<T: std::str::FromStr>(opts: &HashMap<String, String>, k: &str) -> Result<T, String> {
-    need(opts, k)?
-        .parse()
-        .map_err(|_| format!("--{k} is not a valid value"))
+    need(opts, k)?.parse().map_err(|_| format!("--{k} is not a valid value"))
 }
 
 fn parse_or<T: std::str::FromStr>(
@@ -132,12 +130,7 @@ fn cmd_binarize(opts: &HashMap<String, String>) -> Result<(), String> {
     let rh = binarize::RandomHyperplanes::new(x.dim, bits, seed);
     let ds = rh.encode_all(&x);
     io::write_dataset(&ds, out).map_err(|e| e.to_string())?;
-    println!(
-        "binarized {} x {}d floats into {} x {bits} bits -> {out}",
-        x.len(),
-        x.dim,
-        ds.len()
-    );
+    println!("binarized {} x {}d floats into {} x {bits} bits -> {out}", x.len(), x.dim, ds.len());
     Ok(())
 }
 
@@ -158,10 +151,7 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
         pick(0.9),
         skews.last().copied().unwrap_or(0.0)
     );
-    println!(
-        "dims with skew > 0.3: {}",
-        skews.iter().filter(|&&s| s > 0.3).count()
-    );
+    println!("dims with skew > 0.3: {}", skews.iter().filter(|&&s| s > 0.3).count());
     Ok(())
 }
 
@@ -199,11 +189,7 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
     let ds = load(opts, "data")?;
     let queries = load(opts, "queries")?;
     if queries.dim() != ds.dim() {
-        return Err(format!(
-            "query dim {} != data dim {}",
-            queries.dim(),
-            ds.dim()
-        ));
+        return Err(format!("query dim {} != data dim {}", queries.dim(), ds.dim()));
     }
     let tau: u32 = parse(opts, "tau")?;
     let t0 = Instant::now();

@@ -1,13 +1,11 @@
 //! Cross-crate integration tests: the full pipeline from data generation
 //! through every engine, on realistic (small) workloads.
 
-use gph_suite::baselines::{HmSearch, LinearScan, MinHashLsh, Mih, PartAlloc, SearchIndex};
+use gph_suite::baselines::{HmSearch, LinearScan, Mih, MinHashLsh, PartAlloc, SearchIndex};
 use gph_suite::datagen::{plant_near_duplicates, sample_queries, Profile};
 use gph_suite::gph::cn::learned::{LearnedParams, ModelKind};
 use gph_suite::gph::engine::{Gph, GphConfig};
-use gph_suite::gph::partition_opt::{
-    HeuristicConfig, InitKind, PartitionStrategy, WorkloadSpec,
-};
+use gph_suite::gph::partition_opt::{HeuristicConfig, InitKind, PartitionStrategy, WorkloadSpec};
 use gph_suite::gph::{AllocatorKind, EstimatorKind};
 use gph_suite::hamming_core::distance::{tanimoto, tanimoto_to_hamming_bound};
 use gph_suite::hamming_core::io::{decode_dataset, encode_dataset};
@@ -62,11 +60,7 @@ fn all_estimators_preserve_exactness() {
         let engine = Gph::build(ds.clone(), &cfg).unwrap();
         for qi in 0..queries.len() {
             let q = queries.row(qi);
-            assert_eq!(
-                engine.search(q, 10),
-                ds.linear_scan(q, 10),
-                "estimator {est:?}"
-            );
+            assert_eq!(engine.search(q, 10), ds.linear_scan(q, 10), "estimator {est:?}");
         }
     }
 }
@@ -78,10 +72,7 @@ fn serialized_dataset_builds_identical_index() {
     let profile = Profile::sift_like();
     let ds = profile.generate(500, 7);
     let restored = decode_dataset(&encode_dataset(&ds)).unwrap();
-    let cfg = GphConfig {
-        strategy: PartitionStrategy::Original,
-        ..GphConfig::new(4, 8)
-    };
+    let cfg = GphConfig { strategy: PartitionStrategy::Original, ..GphConfig::new(4, 8) };
     let a = Gph::build(ds.clone(), &cfg).unwrap();
     let b = Gph::build(restored, &cfg).unwrap();
     let q = ds.row(3);
@@ -116,10 +107,7 @@ fn lsh_recall_floor_on_planted_clusters() {
 fn tanimoto_via_hamming_is_exact() {
     let profile = Profile::pubchem_like();
     let ds = profile.generate(600, 10);
-    let cfg = GphConfig {
-        strategy: PartitionStrategy::Original,
-        ..GphConfig::new(36, 40)
-    };
+    let cfg = GphConfig { strategy: PartitionStrategy::Original, ..GphConfig::new(36, 40) };
     let engine = Gph::build(ds.clone(), &cfg).unwrap();
     let t = 0.8f64;
     for qi in [0usize, 100, 311] {
@@ -131,10 +119,8 @@ fn tanimoto_via_hamming_is_exact() {
             .into_iter()
             .filter(|&id| tanimoto(ds.row(id as usize), &q) >= t)
             .collect();
-        let brute: Vec<u32> = (0..ds.len())
-            .filter(|&id| tanimoto(ds.row(id), &q) >= t)
-            .map(|id| id as u32)
-            .collect();
+        let brute: Vec<u32> =
+            (0..ds.len()).filter(|&id| tanimoto(ds.row(id), &q) >= t).map(|id| id as u32).collect();
         assert_eq!(via_index, brute, "qi={qi}");
     }
 }

@@ -1,0 +1,99 @@
+//! Offline shim for the subset of the `bytes` crate this workspace uses:
+//! the [`Buf`] impl on `&[u8]` and the [`BufMut`] impl on `Vec<u8>`, with
+//! little-endian integer accessors. Semantics (including panics on
+//! under-run) match upstream for the provided methods.
+
+/// Read access to a contiguous buffer, consuming from the front.
+pub trait Buf {
+    /// Bytes remaining to be read.
+    fn remaining(&self) -> usize;
+
+    /// True while unread bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Advance the read cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Borrow the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Copy `dst.len()` bytes into `dst`, advancing.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer under-run");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Read a little-endian `u32`, advancing.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`, advancing.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer under-run");
+        *self = &self[cnt..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Append access to a growable buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        buf.put_slice(b"HAMD");
+        buf.put_u32_le(1);
+        buf.put_u64_le(0xDEAD_BEEF_0123_4567);
+        let mut rd: &[u8] = &buf;
+        let mut magic = [0u8; 4];
+        rd.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"HAMD");
+        assert_eq!(rd.get_u32_le(), 1);
+        assert_eq!(rd.get_u64_le(), 0xDEAD_BEEF_0123_4567);
+        assert_eq!(rd.remaining(), 0);
+    }
+}

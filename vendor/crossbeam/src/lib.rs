@@ -1,0 +1,83 @@
+//! Offline shim for the `crossbeam::thread::scope` API, implemented over
+//! `std::thread::scope` (stable since Rust 1.63). The visible difference
+//! from upstream: a panic in an unjoined child thread aborts via std's
+//! scope unwinding rather than being collected into the returned
+//! `Result` — this workspace joins every handle, so the distinction
+//! never surfaces.
+
+pub mod thread {
+    //! Scoped threads with crossbeam's closure signature
+    //! (`scope.spawn(|scope| ...)`).
+
+    use std::any::Any;
+
+    /// Error type carried by [`Result`]: the payload of a child panic.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// Result of [`scope`] and of joining a [`ScopedJoinHandle`].
+    pub type Result<T> = std::result::Result<T, PanicPayload>;
+
+    /// A scope in which child threads may borrow from the parent stack.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the child to finish, returning its panic payload on
+        /// panic.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a child thread. The closure receives the scope so it can
+        /// itself spawn siblings, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Run `f` with a scope handle; all threads it spawns are joined
+    /// before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,628 @@
+//! Offline mini property-testing harness exposing the subset of the
+//! `proptest` API this workspace's tests use. The container has no
+//! registry access, so this crate stands in for upstream `proptest`;
+//! swapping the real crate back in is a one-line root-manifest change.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the
+//!   deterministic case seed) but is not minimized.
+//! * **Deterministic runs.** Each test derives its RNG seed from the
+//!   test name, so failures reproduce exactly across runs and machines.
+//! * Strategies are sampled afresh per case; rejection (via
+//!   `prop_assume!` / `prop_filter_map`) retries the whole case up to
+//!   [`ProptestConfig::max_global_rejects`].
+//!
+//! Provided: [`Strategy`] (`prop_map`, `prop_flat_map`, `prop_filter`,
+//! `prop_filter_map`), range and tuple strategies, [`collection::vec`],
+//! [`sample::Index`], [`any`], [`ProptestConfig`], and the [`proptest!`],
+//! [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//! [`prop_assume!`] macros.
+
+use std::fmt;
+
+/// Marker returned by a strategy that rejected the current sample.
+#[derive(Clone, Debug)]
+pub struct Reject(pub &'static str);
+
+/// Outcome of running one test-case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case asked to be discarded (`prop_assume!` failed).
+    Reject(String),
+    /// An assertion failed; the message explains which.
+    Fail(String),
+}
+
+/// Runner configuration, settable per-block with
+/// `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required to pass.
+    pub cases: u32,
+    /// Total rejected samples tolerated before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the heavyweight engine
+        // equivalence properties fast in debug builds while still
+        // exercising thousands of sampled values per run.
+        Self { cases: 64, max_global_rejects: 65_536 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases, ..Self::default() }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic RNG driving strategy sampling.
+
+    /// SplitMix64 generator: tiny, full-period, and plenty for test-input
+    /// generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seed deterministically from a test identifier.
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name keeps seeds stable across runs.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self(h)
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Sample one value, or reject the attempt.
+    fn gen(&self, rng: &mut TestRng) -> Result<Self::Value, Reject>;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy built from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discard values failing the predicate.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, whence, f }
+    }
+
+    /// Transform values, discarding those mapped to `None`.
+    fn prop_filter_map<O, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap { inner: self, whence, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn gen(&self, rng: &mut TestRng) -> Result<O, Reject> {
+        Ok((self.f)(self.inner.gen(rng)?))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn gen(&self, rng: &mut TestRng) -> Result<T::Value, Reject> {
+        (self.f)(self.inner.gen(rng)?).gen(rng)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn gen(&self, rng: &mut TestRng) -> Result<S::Value, Reject> {
+        let v = self.inner.gen(rng)?;
+        if (self.f)(&v) {
+            Ok(v)
+        } else {
+            Err(Reject(self.whence))
+        }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn gen(&self, rng: &mut TestRng) -> Result<O, Reject> {
+        (self.f)(self.inner.gen(rng)?).ok_or(Reject(self.whence))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen(&self, _rng: &mut TestRng) -> Result<T, Reject> {
+        Ok(self.0.clone())
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                Ok((self.start as i128 + v) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                Ok((start as i128 + v) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn gen(&self, rng: &mut TestRng) -> Result<f64, Reject> {
+        assert!(self.start < self.end, "empty range strategy");
+        Ok(self.start + rng.unit_f64() * (self.end - self.start))
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+    fn gen(&self, rng: &mut TestRng) -> Result<f32, Reject> {
+        assert!(self.start < self.end, "empty range strategy");
+        Ok(self.start + rng.unit_f64() as f32 * (self.end - self.start))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+                Ok(($(self.$idx.gen(rng)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3), (A.0, B.1, C.2, D.3, E.4),);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The full-range strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy for the full value range of a primitive type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyPrimitive<T>(core::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty => |$rng:ident| $expr:expr),* $(,)?) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn gen(&self, $rng: &mut TestRng) -> Result<$t, Reject> {
+                Ok($expr)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(core::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_prim!(
+    bool => |rng| rng.next_u64() & 1 == 1,
+    u8 => |rng| rng.next_u64() as u8,
+    u16 => |rng| rng.next_u64() as u16,
+    u32 => |rng| rng.next_u64() as u32,
+    u64 => |rng| rng.next_u64(),
+    usize => |rng| rng.next_u64() as usize,
+    i8 => |rng| rng.next_u64() as i8,
+    i16 => |rng| rng.next_u64() as i16,
+    i32 => |rng| rng.next_u64() as i32,
+    i64 => |rng| rng.next_u64() as i64,
+    isize => |rng| rng.next_u64() as isize,
+    f64 => |rng| rng.unit_f64(),
+);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::{Reject, Strategy, TestRng};
+
+    /// Length specifications accepted by [`vec`]: a fixed `usize` or a
+    /// half-open/inclusive range of lengths.
+    pub trait SizeRange {
+        /// Sample a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start() <= self.end(), "empty size range");
+            self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+
+    /// Strategy yielding `Vec`s of values from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn gen(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Reject> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.gen(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helper types.
+
+    use super::{Arbitrary, Reject, Strategy, TestRng};
+
+    /// An index into a collection whose length is only known inside the
+    /// test body; scale with [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Map onto `0..len`. Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    /// Strategy for [`Index`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct IndexStrategy;
+
+    impl Strategy for IndexStrategy {
+        type Value = Index;
+        fn gen(&self, rng: &mut TestRng) -> Result<Index, Reject> {
+            Ok(Index(rng.next_u64()))
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = IndexStrategy;
+        fn arbitrary() -> Self::Strategy {
+            IndexStrategy
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(why) => write!(f, "rejected: {why}"),
+            TestCaseError::Fail(why) => write!(f, "failed: {why}"),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+
+    pub mod prop {
+        //! The `prop::` module alias tree from upstream's prelude.
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests. Mirrors upstream's macro shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u32..10, v in prop::collection::vec(any::<bool>(), 4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                let mut ok: u32 = 0;
+                let mut rejected: u32 = 0;
+                while ok < cfg.cases {
+                    let sampled = (|| -> ::core::result::Result<_, $crate::Reject> {
+                        Ok(($($crate::Strategy::gen(&($strat), &mut rng)?,)+))
+                    })();
+                    let ($($arg,)+) = match sampled {
+                        Ok(v) => v,
+                        Err(_) => {
+                            rejected += 1;
+                            assert!(
+                                rejected <= cfg.max_global_rejects,
+                                "proptest '{}': gave up after {} rejected samples ({} cases passed)",
+                                stringify!($name), rejected, ok
+                            );
+                            continue;
+                        }
+                    };
+                    let outcome = (move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => ok += 1,
+                        Err($crate::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            assert!(
+                                rejected <= cfg.max_global_rejects,
+                                "proptest '{}': gave up after {} rejected samples ({} cases passed)",
+                                stringify!($name), rejected, ok
+                            );
+                        }
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest '{}' {} (after {} passing cases)",
+                                stringify!($name), msg, ok
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Assert inside a `proptest!` body; failure reports the case instead of
+/// unwinding through the harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($lhs), stringify!($rhs), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            l
+        );
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(
+            x in 3u32..10,
+            y in -2i32..=2,
+            v in prop::collection::vec(any::<bool>(), 2..6),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(idx.index(7) < 7);
+        }
+
+        #[test]
+        fn combinators_compose(
+            pair in (1usize..4, 0u32..5).prop_flat_map(|(m, t)| {
+                prop::collection::vec(0u32..=t, m).prop_map(move |v| (m, t, v))
+            }),
+        ) {
+            let (m, t, v) = pair;
+            prop_assert_eq!(v.len(), m);
+            prop_assert!(v.iter().all(|&e| e <= t));
+        }
+
+        #[test]
+        fn assume_rejects_and_retries(a in 0u32..100) {
+            prop_assume!(a % 2 == 0);
+            prop_assert!(a % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_header_parses(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn filter_map_rejects_none() {
+        use crate::test_runner::TestRng;
+        use crate::Strategy;
+        let strat = (0u32..10).prop_filter_map("odd", |x| (x % 2 == 0).then_some(x));
+        let mut rng = TestRng::from_name("filter_map");
+        let mut evens = 0;
+        for _ in 0..100 {
+            if let Ok(v) = strat.gen(&mut rng) {
+                assert_eq!(v % 2, 0);
+                evens += 1;
+            }
+        }
+        assert!(evens > 20);
+    }
+}

@@ -1,0 +1,138 @@
+//! Offline shim for `rand_chacha`: a real ChaCha8 keystream generator
+//! implementing the vendored [`rand`] shim's `RngCore`/`SeedableRng`.
+//!
+//! The keystream follows RFC 8439's state layout with 8 rounds (4
+//! double-rounds) and a 64-bit block counter. It is a faithful ChaCha8 —
+//! deterministic for a given seed and of full cryptographic quality —
+//! though its stream is not bit-identical to the upstream `rand_chacha`
+//! crate's word ordering; nothing in this workspace depends on that.
+
+use rand::{RngCore, SeedableRng};
+
+const WORDS_PER_BLOCK: usize = 16;
+
+/// A ChaCha keystream RNG with 8 rounds.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// 256-bit key as eight little-endian words.
+    key: [u32; 8],
+    /// 64-bit block counter (words 12–13 of the state).
+    counter: u64,
+    /// Buffered keystream block.
+    buf: [u32; WORDS_PER_BLOCK],
+    /// Next unconsumed word in `buf`.
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; WORDS_PER_BLOCK], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state: [u32; WORDS_PER_BLOCK] = [
+            // "expand 32-byte k"
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let initial = state;
+        for _ in 0..4 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial) {
+            *word = word.wrapping_add(init);
+        }
+        self.buf = state;
+        self.idx = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Self { key, counter: 0, buf: [0; WORDS_PER_BLOCK], idx: WORDS_PER_BLOCK }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= WORDS_PER_BLOCK {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let same = (0..64).filter(|_| a.next_u64() == c.next_u64()).count();
+        assert!(same < 4, "independent seeds should not correlate");
+    }
+
+    #[test]
+    fn roughly_uniform_bits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        // 64_000 fair coin flips: mean 32_000, sd ≈ 126. Allow ±5 sd.
+        assert!((31_360..=32_640).contains(&ones), "ones={ones}");
+        let p: f64 =
+            (0..10_000).map(|_| rng.random_bool(0.25) as u32 as f64).sum::<f64>() / 10_000.0;
+        assert!((0.22..0.28).contains(&p), "p={p}");
+    }
+}
