@@ -1,0 +1,57 @@
+//! Serving-layer throughput: batched QPS through the sharded
+//! scatter-gather service at S ∈ {1, 2, 4} shards, plus the cache-hit
+//! fast path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use datagen::Profile;
+use gph::engine::GphConfig;
+use gph::partition_opt::{PartitionStrategy, WorkloadSpec};
+use gph_serve::{QueryService, ServiceConfig, ShardedIndex};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let profile = Profile::gist_like();
+    let ds = profile.generate(8_000, 21);
+    let queries = profile.generate(32, 22);
+    let qrefs: Vec<&[u64]> = (0..queries.len()).map(|i| queries.row(i)).collect();
+    let tau = 12u32;
+
+    let mut cfg = GphConfig::new(GphConfig::suggested_m(profile.dim), tau as usize);
+    cfg.strategy = PartitionStrategy::default();
+    cfg.workload = Some(WorkloadSpec::new(profile.generate(30, 23), vec![8, tau]));
+
+    let mut group = c.benchmark_group("serve_batch_qps");
+    group.sample_size(10);
+    for n_shards in [1usize, 2, 4] {
+        let index = Arc::new(ShardedIndex::build(&ds, n_shards, &cfg).expect("build shards"));
+        // Cache off so every batch exercises the scatter-gather path.
+        let service = QueryService::new(
+            Arc::clone(&index),
+            ServiceConfig { workers: 2, cache_capacity: 0, ..ServiceConfig::default() },
+        );
+        group.bench_function(format!("shards_{n_shards}"), |b| {
+            b.iter(|| {
+                let responses = service.submit_batch(black_box(&qrefs), tau).wait();
+                responses.iter().map(|r| r.ids().map_or(0, <[u32]>::len)).sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+
+    // The cache-hit path: same batch repeatedly, everything resident.
+    let index = Arc::new(ShardedIndex::build(&ds, 2, &cfg).expect("build shards"));
+    let service = QueryService::new(
+        Arc::clone(&index),
+        ServiceConfig { workers: 2, cache_capacity: 256, ..ServiceConfig::default() },
+    );
+    let _warm = service.submit_batch(&qrefs, tau).wait();
+    c.bench_function("serve_batch_cache_hot", |b| {
+        b.iter(|| {
+            let responses = service.submit_batch(black_box(&qrefs), tau).wait();
+            responses.iter().filter(|r| r.from_cache).count()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

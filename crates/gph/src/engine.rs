@@ -343,17 +343,31 @@ impl Gph {
     /// nearest by exact distance. The common retrieval mode of MIH-style
     /// systems, reused by the image-retrieval example.
     pub fn search_topk(&self, query: &[u64], k: usize) -> Vec<(u32, u32)> {
+        self.search_topk_within(query, k, self.tau_max as u32)
+    }
+
+    /// Top-k with the escalation radius capped at `tau_cap ≤ tau_max`:
+    /// the `k` nearest among records within `tau_cap` of `query`. With
+    /// `tau_cap == tau_max` this is [`Gph::search_topk`]; smaller caps
+    /// are the serving layer's degraded mode — admission control bounds
+    /// the worst-case escalation cost by shrinking the radius.
+    pub fn search_topk_within(&self, query: &[u64], k: usize, tau_cap: u32) -> Vec<(u32, u32)> {
+        assert!(
+            tau_cap as usize <= self.tau_max,
+            "tau_cap {tau_cap} exceeds the configured tau_max {}",
+            self.tau_max
+        );
         let mut tau = 0u32;
         loop {
             let ids = self.search(query, tau);
-            if ids.len() >= k || tau as usize >= self.tau_max {
+            if ids.len() >= k || tau >= tau_cap {
                 let mut scored: Vec<(u32, u32)> =
                     ids.iter().map(|&id| (id, self.data.distance_to(id as usize, query))).collect();
                 scored.sort_by_key(|&(id, d)| (d, id));
                 scored.truncate(k);
                 return scored;
             }
-            tau = (tau * 2).max(tau + 1).min(self.tau_max as u32);
+            tau = (tau * 2).max(tau + 1).min(tau_cap);
         }
     }
 
@@ -399,10 +413,19 @@ impl Gph {
     /// results matches query order. The paper lists the parallel case as
     /// future work — this is the straightforward data-parallel reading.
     pub fn par_search(&self, queries: &[&[u64]], tau: u32, threads: usize) -> Vec<Vec<u32>> {
-        let threads = threads.max(1).min(queries.len().max(1));
+        // Clamp before computing the chunk size: an empty batch would
+        // otherwise give `chunk == 0`, which `chunks_mut` rejects, and
+        // `threads > queries.len()` would strand workers on empty ranges.
+        let threads = threads.max(1).min(queries.len());
+        if threads <= 1 {
+            return queries.iter().map(|q| self.search(q, tau)).collect();
+        }
         let mut results: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
         let chunk = queries.len().div_ceil(threads);
         crossbeam::thread::scope(|scope| {
+            // `chunks_mut` pairs each output chunk with its query range;
+            // the final chunk carries the remainder (`len % chunk`), so
+            // every query is covered exactly once.
             for (ci, out_chunk) in results.chunks_mut(chunk).enumerate() {
                 let qs = &queries[ci * chunk..(ci * chunk + out_chunk.len())];
                 scope.spawn(move |_| {
@@ -570,6 +593,30 @@ mod tests {
     }
 
     #[test]
+    fn topk_within_caps_the_radius() {
+        let ds = random_dataset(32, 300, 0.5, 48);
+        let mut cfg = GphConfig::new(2, 16);
+        cfg.strategy = PartitionStrategy::Original;
+        let gph = Gph::build(ds.clone(), &cfg).unwrap();
+        let q = ds.row(5).to_vec();
+        // Cap == tau_max is exactly search_topk.
+        assert_eq!(gph.search_topk_within(&q, 4, 16), gph.search_topk(&q, 4));
+        // A capped search never returns a hit beyond the cap, and within
+        // the cap it is exhaustive (matches a brute-force scan).
+        for cap in [0u32, 2, 7] {
+            let got = gph.search_topk_within(&q, 10, cap);
+            assert!(got.iter().all(|&(_, d)| d <= cap), "cap={cap} got={got:?}");
+            let mut expect: Vec<(u32, u32)> = (0..ds.len())
+                .map(|i| (i as u32, ds.distance_to(i, &q)))
+                .filter(|&(_, d)| d <= cap)
+                .collect();
+            expect.sort_by_key(|&(id, d)| (d, id));
+            expect.truncate(10);
+            assert_eq!(got, expect, "cap={cap}");
+        }
+    }
+
+    #[test]
     fn par_search_matches_serial() {
         let ds = random_dataset(64, 400, 0.45, 49);
         let queries = random_dataset(64, 9, 0.45, 50);
@@ -581,6 +628,38 @@ mod tests {
         for (i, q) in qrefs.iter().enumerate() {
             assert_eq!(par[i], gph.search(q, 5), "query {i}");
         }
+    }
+
+    #[test]
+    fn par_search_handles_empty_remainder_and_oversubscription() {
+        let ds = random_dataset(32, 200, 0.5, 61);
+        let queries = random_dataset(32, 5, 0.5, 62);
+        let mut cfg = GphConfig::new(2, 6);
+        cfg.strategy = PartitionStrategy::Original;
+        let gph = Gph::build(ds, &cfg).unwrap();
+        let qrefs: Vec<&[u64]> = (0..queries.len()).map(|i| queries.row(i)).collect();
+        // No queries: must return an empty batch, not panic on a
+        // zero-sized chunk.
+        assert!(gph.par_search(&[], 4, 3).is_empty());
+        // More threads than queries: clamped, every query answered.
+        let serial: Vec<Vec<u32>> = qrefs.iter().map(|q| gph.search(q, 4)).collect();
+        assert_eq!(gph.par_search(&qrefs, 4, 64), serial);
+        // Remainder smaller than the chunk (5 queries over 2 workers →
+        // chunks of 3 + 2): nothing dropped.
+        assert_eq!(gph.par_search(&qrefs, 4, 2), serial);
+        // threads == 0 degrades to serial.
+        assert_eq!(gph.par_search(&qrefs, 4, 0), serial);
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        // The serving layer (gph-serve) shares one engine across shard
+        // builders and worker threads; this pins the auto-trait bounds so
+        // a future field can't silently revoke them.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Gph>();
+        assert_send_sync::<QueryStats>();
+        assert_send_sync::<SearchResult>();
     }
 
     #[test]

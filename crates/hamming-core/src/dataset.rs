@@ -149,6 +149,19 @@ impl Dataset {
         Ok(out)
     }
 
+    /// Appends row `id` of `other`, which must have the same
+    /// dimensionality. Copies raw words without materializing a
+    /// [`BitVector`] — the row-sharding path of the serving layer moves
+    /// whole datasets this way.
+    pub fn push_row_from(&mut self, other: &Dataset, id: usize) -> Result<u32> {
+        if other.dim != self.dim {
+            return Err(HammingError::DimensionMismatch { expected: self.dim, actual: other.dim });
+        }
+        let new_id = self.len() as u32;
+        self.words.extend_from_slice(other.row(id));
+        Ok(new_id)
+    }
+
     /// Splits off the rows with the given IDs into a separate dataset and
     /// returns `(remaining, extracted)`. Used to carve query workloads out
     /// of a generated dataset, as the paper does (§VII-A).
@@ -225,6 +238,16 @@ mod tests {
         assert_eq!(extracted.len(), 2);
         assert_eq!(kept.vector(0).to_string(), "00000000");
         assert_eq!(extracted.vector(1).to_string(), "10011111");
+    }
+
+    #[test]
+    fn push_row_from_copies_and_validates() {
+        let ds = tiny();
+        let mut out = Dataset::new(8);
+        out.push_row_from(&ds, 2).unwrap();
+        assert_eq!(out.vector(0).to_string(), "00001111");
+        let mut wrong = Dataset::new(9);
+        assert!(wrong.push_row_from(&ds, 0).is_err());
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Result caching: a slab-backed LRU plus the service-facing
+//! [`ResultCache`] keyed by `(query words, tau)` / `(query words, k)`.
+//!
+//! The LRU is an intrusive doubly-linked list over a `Vec` slab (indices
+//! instead of pointers — no `unsafe`), giving O(1) get/insert/evict.
+//! Values are handed out by clone; the service stores `Arc`'d result
+//! vectors so a clone is a refcount bump.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map. `capacity == 0` disables
+/// caching (every insert is a no-op, every get a miss).
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, marking the entry most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(self.slab[idx].value.clone())
+    }
+
+    /// Inserts (or refreshes) `key → value`, evicting the least-recently
+    /// used entry when at capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            self.evict_lru();
+        }
+        let node = Node { key: key.clone(), value, prev: NIL, next: NIL };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx] = node;
+                idx
+            }
+            None => {
+                self.slab.push(node);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    fn evict_lru(&mut self) {
+        let idx = self.tail;
+        debug_assert_ne!(idx, NIL, "evict called on an empty cache");
+        self.unlink(idx);
+        self.map.remove(&self.slab[idx].key);
+        self.free.push(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+/// Cache key: the query's raw words plus the request parameter. Keyed on
+/// the *requested* parameters (a degraded query caches under the tau the
+/// client asked for, so repeats hit without re-running admission).
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+pub enum CacheKey {
+    /// Range search at threshold `tau`.
+    Range {
+        /// The query's raw words.
+        query: Vec<u64>,
+        /// Requested threshold.
+        tau: u32,
+    },
+    /// Top-k search.
+    TopK {
+        /// The query's raw words.
+        query: Vec<u64>,
+        /// Requested result count.
+        k: u32,
+    },
+}
+
+/// A cached service result (shared, refcounted).
+#[derive(Clone, Debug)]
+pub enum CachedResult {
+    /// Range-search IDs (with the tau actually executed, for degraded
+    /// queries).
+    Range {
+        /// Matching global IDs, ascending.
+        ids: Arc<Vec<u32>>,
+        /// Threshold the engine actually ran.
+        effective_tau: u32,
+    },
+    /// Top-k `(id, distance)` pairs.
+    TopK {
+        /// The hits, ascending by `(distance, id)`.
+        hits: Arc<Vec<(u32, u32)>>,
+        /// Escalation cap the engine actually ran (`tau_max` unless
+        /// admission degraded the query).
+        effective_cap: u32,
+    },
+}
+
+/// Hit/miss counters, snapshot alongside the service stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the engines.
+    pub misses: u64,
+    /// Entries resident.
+    pub len: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe LRU result cache checked before dispatch to the worker
+/// pool.
+pub struct ResultCache {
+    inner: Mutex<LruCache<CacheKey, CachedResult>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` results.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(LruCache::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a result, counting the hit or miss.
+    pub fn lookup(&self, key: &CacheKey) -> Option<CachedResult> {
+        let got = self.inner.lock().get(key);
+        match &got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Stores a computed result.
+    pub fn store(&self, key: CacheKey, value: CachedResult) {
+        self.inner.lock().insert(key, value);
+    }
+
+    /// Counter + occupancy snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            len: inner.len(),
+            capacity: inner.capacity(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(10)); // 1 becomes MRU
+        c.insert(3, 30); // evicts 2
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_refresh_updates_value_and_recency() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // refresh: 2 is now LRU
+        c.insert(3, 30); // evicts 2
+        assert_eq!(c.get(&1), Some(11));
+        assert_eq!(c.get(&2), None);
+    }
+
+    #[test]
+    fn lru_capacity_one_and_zero() {
+        let mut one: LruCache<u32, u32> = LruCache::new(1);
+        one.insert(1, 10);
+        one.insert(2, 20);
+        assert_eq!(one.get(&1), None);
+        assert_eq!(one.get(&2), Some(20));
+
+        let mut zero: LruCache<u32, u32> = LruCache::new(0);
+        zero.insert(1, 10);
+        assert_eq!(zero.get(&1), None);
+        assert!(zero.is_empty());
+    }
+
+    #[test]
+    fn lru_slab_reuse_many_cycles() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        for i in 0..1000u32 {
+            c.insert(i, i * 2);
+        }
+        assert_eq!(c.len(), 4);
+        // Slab never grows past capacity + nothing leaks.
+        assert!(c.slab.len() <= 5);
+        for i in 996..1000 {
+            assert_eq!(c.get(&i), Some(i * 2));
+        }
+    }
+
+    #[test]
+    fn result_cache_counts_hits_and_misses() {
+        let cache = ResultCache::new(8);
+        let key = CacheKey::Range { query: vec![0xF0, 0x0F], tau: 4 };
+        assert!(cache.lookup(&key).is_none());
+        cache.store(
+            key.clone(),
+            CachedResult::Range { ids: Arc::new(vec![1, 2, 3]), effective_tau: 4 },
+        );
+        match cache.lookup(&key) {
+            Some(CachedResult::Range { ids, effective_tau }) => {
+                assert_eq!(*ids, vec![1, 2, 3]);
+                assert_eq!(effective_tau, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses, st.len), (1, 1, 1));
+        assert!((st.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_taus_are_distinct_keys() {
+        let cache = ResultCache::new(8);
+        let k4 = CacheKey::Range { query: vec![7], tau: 4 };
+        let k5 = CacheKey::Range { query: vec![7], tau: 5 };
+        cache.store(k4.clone(), CachedResult::Range { ids: Arc::new(vec![1]), effective_tau: 4 });
+        assert!(cache.lookup(&k5).is_none());
+        assert!(cache.lookup(&k4).is_some());
+    }
+}

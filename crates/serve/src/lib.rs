@@ -1,0 +1,60 @@
+//! # gph-serve
+//!
+//! Serving layer over the [`gph`] engine: the subsystem that turns the
+//! paper's single in-process index into something shaped like a query
+//! service. Multi-Index Hashing and FAISS both scale the same way — shard
+//! the data, batch the queries, cache the answers — and this crate is
+//! that path for GPH:
+//!
+//! ```text
+//!                 ┌────────────────────── QueryService ─────────────────────┐
+//!  submit(q, τ) ─▶│ result cache ──▶ admission control ──▶ bounded queue    │
+//!  (single/batch) │   (LRU,             (cost budget:        (MPMC,         │
+//!                 │    hit/miss)         reject/degrade)      backpressure) │
+//!                 │                                             │           │
+//!                 │                                      worker pool        │
+//!                 └─────────────────────────────────────────────┼───────────┘
+//!                                                               ▼
+//!                                     ShardedIndex: scatter ▶ S × Gph ▶ gather
+//! ```
+//!
+//! * [`ShardedIndex`] splits the dataset into `S` row shards by stable
+//!   hash of the record ID, builds one [`gph::Gph`] per shard in
+//!   parallel, and answers `search`/`search_topk` by scatter-gather with
+//!   a merge that is provably identical to a single index (top-k uses a
+//!   two-phase threshold-refinement pass; a property test pins the
+//!   equivalence down).
+//! * [`QueryService`] runs a worker pool over a bounded MPMC queue,
+//!   accepts single and batched requests, applies cost-based admission
+//!   control from [`gph::Gph::estimate_cost`] (reject or degrade
+//!   over-budget queries), and aggregates per-shard [`gph::QueryStats`]
+//!   into service-level stats — QPS, latency p50/p95/p99, candidates per
+//!   query.
+//! * [`ResultCache`] is an LRU keyed by `(query words, τ)` with hit/miss
+//!   counters, checked before dispatch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod cache;
+pub mod service;
+pub mod shard;
+pub mod stats;
+
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, OverBudgetPolicy};
+pub use cache::{CacheKey, CacheStats, CachedResult, LruCache, ResultCache};
+pub use service::{Outcome, QueryService, Response, ServiceConfig, Ticket};
+pub use shard::{ShardedIndex, ShardedSearchResult};
+pub use stats::{LatencyHistogram, ServiceStats};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn service_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::ShardedIndex>();
+        assert_send_sync::<crate::QueryService>();
+        assert_send_sync::<crate::ResultCache>();
+    }
+}

@@ -1,0 +1,401 @@
+//! Row-sharded GPH: scatter-gather over `S` independent engines.
+//!
+//! [`ShardedIndex`] splits a [`Dataset`] into `S` shards by a stable hash
+//! of the record ID, builds one [`Gph`] engine per shard in parallel, and
+//! answers queries by scattering to every shard and merging. Range search
+//! merges trivially (shards partition the rows); top-k uses a two-phase
+//! threshold-refinement pass (scatter a cheap per-shard top-k′ to bound
+//! the global k-th distance, then range-refine at that bound) so results
+//! are **identical** to a single engine over the unsharded data — the
+//! shard-merge property test pins this down.
+
+use gph::engine::{Gph, GphConfig, QueryStats};
+use hamming_core::error::Result;
+use hamming_core::key::mix64;
+use hamming_core::Dataset;
+
+/// Threaded scatter pays off only when each shard holds enough rows that
+/// a per-shard probe outweighs spawning a thread; below this, queries
+/// run the shards sequentially. (Lowered under `cfg(test)` so the unit
+/// tests exercise both paths.)
+#[cfg(not(test))]
+const PAR_SCATTER_MIN_ROWS_PER_SHARD: usize = 4096;
+#[cfg(test)]
+const PAR_SCATTER_MIN_ROWS_PER_SHARD: usize = 64;
+
+/// One shard: a full GPH engine over a row subset, plus the map from
+/// shard-local IDs (the engine's `0..len`) back to global record IDs.
+struct Shard {
+    engine: Gph,
+    global_ids: Vec<u32>,
+}
+
+/// A GPH index sharded by rows, queried scatter-gather.
+pub struct ShardedIndex {
+    /// Non-empty shards only; empty shards (more shards than rows) hold
+    /// no records and are dropped at build time.
+    shards: Vec<Shard>,
+    n_shards: usize,
+    len: usize,
+    words_per_vec: usize,
+    dim: usize,
+    tau_max: usize,
+}
+
+/// Scatter-gather search output: merged global IDs plus one
+/// [`QueryStats`] per (non-empty) shard, in shard order.
+#[derive(Clone, Debug)]
+pub struct ShardedSearchResult {
+    /// Matching global record IDs, ascending.
+    pub ids: Vec<u32>,
+    /// Per-shard instrumentation from the scatter phase.
+    pub shard_stats: Vec<QueryStats>,
+}
+
+impl ShardedIndex {
+    /// Shard assignment: stable splitmix64 hash of the record ID. Stable
+    /// across runs and independent of `Dataset` iteration order, so a
+    /// record always lands on the same shard for a fixed shard count.
+    #[inline]
+    pub fn shard_of(id: u32, n_shards: usize) -> usize {
+        (mix64(id as u64) % n_shards.max(1) as u64) as usize
+    }
+
+    /// Splits `data` into `n_shards` row shards and builds one engine per
+    /// shard in parallel (one scoped thread per non-empty shard). Every
+    /// engine shares `cfg`, so `tau_max` and the allocation machinery are
+    /// uniform across shards.
+    pub fn build(data: &Dataset, n_shards: usize, cfg: &GphConfig) -> Result<Self> {
+        let n_shards = n_shards.max(1);
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        for id in 0..data.len() {
+            members[Self::shard_of(id as u32, n_shards)].push(id as u32);
+        }
+        let mut subsets: Vec<(Dataset, Vec<u32>)> = Vec::new();
+        for ids in members.into_iter().filter(|m| !m.is_empty()) {
+            let mut sub = Dataset::with_capacity(data.dim(), ids.len());
+            for &id in &ids {
+                sub.push_row_from(data, id as usize)?;
+            }
+            subsets.push((sub, ids));
+        }
+        let mut built: Vec<Result<Shard>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = subsets
+                .into_iter()
+                .map(|(sub, global_ids)| {
+                    scope.spawn(move |_| {
+                        Gph::build(sub, cfg).map(|engine| Shard { engine, global_ids })
+                    })
+                })
+                .collect();
+            built = handles
+                .into_iter()
+                .map(|h| h.join().expect("shard builders never panic"))
+                .collect();
+        })
+        .expect("shard builders never panic");
+        let shards = built.into_iter().collect::<Result<Vec<Shard>>>()?;
+        Ok(ShardedIndex {
+            shards,
+            n_shards,
+            len: data.len(),
+            words_per_vec: data.words_per_vec(),
+            dim: data.dim(),
+            tau_max: cfg.tau_max,
+        })
+    }
+
+    /// Requested shard count (including shards that received no rows).
+    pub fn num_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Total records indexed across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of the indexed vectors.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Largest threshold the engines serve.
+    pub fn tau_max(&self) -> usize {
+        self.tau_max
+    }
+
+    /// Rows per non-empty shard (build-balance diagnostics).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.global_ids.len()).collect()
+    }
+
+    /// Summed heap size of all shard engines.
+    pub fn size_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.engine.size_bytes()).sum()
+    }
+
+    /// All global IDs within `tau` of `query`, ascending — identical to a
+    /// single engine over the unsharded data.
+    pub fn search(&self, query: &[u64], tau: u32) -> Vec<u32> {
+        self.search_with_stats(query, tau).ids
+    }
+
+    /// Scatter-gather range search with per-shard instrumentation.
+    pub fn search_with_stats(&self, query: &[u64], tau: u32) -> ShardedSearchResult {
+        self.assert_query(query, tau as usize);
+        let per_shard = self.scatter(|shard| {
+            let res = shard.engine.search_with_stats(query, tau);
+            let ids: Vec<u32> =
+                res.ids.iter().map(|&local| shard.global_ids[local as usize]).collect();
+            (ids, res.stats)
+        });
+        let mut ids: Vec<u32> = Vec::new();
+        let mut shard_stats = Vec::with_capacity(per_shard.len());
+        for (shard_ids, stats) in per_shard {
+            ids.extend_from_slice(&shard_ids);
+            shard_stats.push(stats);
+        }
+        // Shards hold disjoint row sets, so the gather is a sort, not a
+        // dedup.
+        ids.sort_unstable();
+        ShardedSearchResult { ids, shard_stats }
+    }
+
+    /// The `k` nearest records by exact Hamming distance (ties broken by
+    /// ID), considering records within `tau_max` — identical output to
+    /// [`Gph::search_topk`] on the unsharded data.
+    ///
+    /// Two phases: (1) scatter a per-shard top-`⌈k/S⌉` to cheaply bound
+    /// the global k-th distance `τ*`; (2) range-refine every shard at
+    /// `τ*`, which provably covers the true top-k (each true member has
+    /// distance ≤ true k-th ≤ `τ*`), then merge, sort by `(distance,
+    /// id)`, and truncate.
+    pub fn search_topk(&self, query: &[u64], k: usize) -> Vec<(u32, u32)> {
+        self.search_topk_within(query, k, self.tau_max as u32)
+    }
+
+    /// [`ShardedIndex::search_topk`] with the escalation radius capped at
+    /// `tau_cap ≤ tau_max` — identical to [`Gph::search_topk_within`] on
+    /// the unsharded data. Admission control uses smaller caps as the
+    /// degraded top-k mode.
+    pub fn search_topk_within(&self, query: &[u64], k: usize, tau_cap: u32) -> Vec<(u32, u32)> {
+        self.assert_query(query, tau_cap as usize);
+        if k == 0 || self.shards.is_empty() {
+            return Vec::new();
+        }
+        if self.shards.len() == 1 {
+            let shard = &self.shards[0];
+            return shard
+                .engine
+                .search_topk_within(query, k, tau_cap)
+                .into_iter()
+                .map(|(local, d)| (shard.global_ids[local as usize], d))
+                .collect();
+        }
+
+        // Phase 1: bound τ*. Each shard's local top-k′ is a subset of the
+        // records, so the pool's k-th smallest distance is an upper bound
+        // on the true k-th; with fewer than k pooled hits fall back to
+        // tau_cap (the widest radius this search considers).
+        let k_local = k.div_ceil(self.shards.len());
+        let mut pool: Vec<(u32, u32)> = self
+            .scatter(|shard| {
+                shard
+                    .engine
+                    .search_topk_within(query, k_local, tau_cap)
+                    .into_iter()
+                    .map(|(local, d)| (shard.global_ids[local as usize], d))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        pool.sort_unstable_by_key(|&(id, d)| (d, id));
+        let tau_star = if pool.len() >= k { pool[k - 1].1 } else { tau_cap };
+
+        // Phase 2: exact refinement at τ*.
+        let mut hits: Vec<(u32, u32)> = self
+            .scatter(|shard| {
+                shard
+                    .engine
+                    .search(query, tau_star)
+                    .into_iter()
+                    .map(|local| {
+                        let d = shard.engine.data().distance_to(local as usize, query);
+                        (shard.global_ids[local as usize], d)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        hits.sort_unstable_by_key(|&(id, d)| (d, id));
+        hits.truncate(k);
+        hits
+    }
+
+    /// Summed per-shard cost estimate for `(query, tau)` — the admission
+    /// controller's signal. Scatter-gather executes every shard, so the
+    /// service pays the *sum* of the shard costs (the wall-clock is the
+    /// max, but admission budgets total work).
+    pub fn estimate_cost(&self, query: &[u64], tau: u32) -> f64 {
+        self.assert_query(query, tau as usize);
+        self.shards.iter().map(|s| s.engine.estimate_cost(query, tau)).sum()
+    }
+
+    fn assert_query(&self, query: &[u64], tau: usize) {
+        assert!(tau <= self.tau_max, "tau {tau} exceeds the configured tau_max {}", self.tau_max);
+        assert_eq!(query.len(), self.words_per_vec, "query width mismatch with indexed data");
+    }
+
+    /// Runs `f` on every shard (the scatter phase); results come back in
+    /// shard order. Spawns one scoped thread per shard only when the
+    /// shards are large enough that a per-shard search dwarfs thread
+    /// start-up (~tens of µs); small shards run sequentially — in the
+    /// service the worker pool already parallelizes across queries, so
+    /// intra-query threads only pay off once per-shard work is
+    /// substantial.
+    fn scatter<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Shard) -> T + Sync,
+    {
+        if self.shards.len() <= 1 || self.len < PAR_SCATTER_MIN_ROWS_PER_SHARD * self.shards.len() {
+            return self.shards.iter().map(&f).collect();
+        }
+        let mut out: Vec<T> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> =
+                self.shards.iter().map(|shard| scope.spawn(|_| f(shard))).collect();
+            out =
+                handles.into_iter().map(|h| h.join().expect("shard workers never panic")).collect();
+        })
+        .expect("shard workers never panic");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gph::partition_opt::PartitionStrategy;
+    use hamming_core::BitVector;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_dataset(dim: usize, n: usize, p: f64, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ds = Dataset::new(dim);
+        for _ in 0..n {
+            let v = BitVector::from_bits((0..dim).map(|_| rng.random_bool(p)));
+            ds.push(&v).unwrap();
+        }
+        ds
+    }
+
+    fn test_cfg(m: usize, tau_max: usize) -> GphConfig {
+        let mut cfg = GphConfig::new(m, tau_max);
+        cfg.strategy = PartitionStrategy::RandomShuffle { seed: 9 };
+        cfg
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_total() {
+        for n_shards in 1..=8 {
+            let mut counts = vec![0usize; n_shards];
+            for id in 0..1000u32 {
+                let s = ShardedIndex::shard_of(id, n_shards);
+                assert_eq!(s, ShardedIndex::shard_of(id, n_shards));
+                counts[s] += 1;
+            }
+            assert_eq!(counts.iter().sum::<usize>(), 1000);
+            if n_shards > 1 {
+                // splitmix64 spreads ids; no shard should be empty at
+                // 1000 records over ≤ 8 shards.
+                assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_range_search_matches_single_index() {
+        let ds = random_dataset(64, 400, 0.4, 101);
+        let cfg = test_cfg(4, 8);
+        let single = Gph::build(ds.clone(), &cfg).unwrap();
+        for n_shards in [1usize, 3, 4, 7] {
+            let sharded = ShardedIndex::build(&ds, n_shards, &cfg).unwrap();
+            assert_eq!(sharded.len(), ds.len());
+            for qi in [0usize, 17, 255] {
+                let q = ds.row(qi);
+                for tau in [0u32, 3, 8] {
+                    assert_eq!(
+                        sharded.search(q, tau),
+                        single.search(q, tau),
+                        "n_shards={n_shards} qi={qi} tau={tau}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_topk_matches_single_index() {
+        let ds = random_dataset(48, 300, 0.5, 102);
+        let cfg = test_cfg(3, 12);
+        let single = Gph::build(ds.clone(), &cfg).unwrap();
+        for n_shards in [2usize, 5] {
+            let sharded = ShardedIndex::build(&ds, n_shards, &cfg).unwrap();
+            for qi in [1usize, 42] {
+                let q = ds.row(qi);
+                for k in [1usize, 4, 10, 50] {
+                    assert_eq!(
+                        sharded.search_topk(q, k),
+                        single.search_topk(q, k),
+                        "n_shards={n_shards} qi={qi} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_rows() {
+        let ds = random_dataset(32, 5, 0.5, 103);
+        let cfg = test_cfg(2, 4);
+        let sharded = ShardedIndex::build(&ds, 8, &cfg).unwrap();
+        assert_eq!(sharded.num_shards(), 8);
+        assert_eq!(sharded.shard_sizes().iter().sum::<usize>(), 5);
+        let single = Gph::build(ds.clone(), &cfg).unwrap();
+        assert_eq!(sharded.search(ds.row(0), 4), single.search(ds.row(0), 4));
+        assert_eq!(sharded.search_topk(ds.row(0), 3), single.search_topk(ds.row(0), 3));
+    }
+
+    #[test]
+    fn empty_dataset_serves_empty_results() {
+        let ds = Dataset::new(32);
+        let sharded = ShardedIndex::build(&ds, 4, &test_cfg(2, 4)).unwrap();
+        assert!(sharded.is_empty());
+        let q = vec![0u64; 1];
+        assert!(sharded.search(&q, 4).is_empty());
+        assert!(sharded.search_topk(&q, 3).is_empty());
+        assert_eq!(sharded.estimate_cost(&q, 4), 0.0);
+    }
+
+    #[test]
+    fn estimate_cost_sums_shards() {
+        let ds = random_dataset(64, 500, 0.35, 104);
+        let cfg = test_cfg(4, 8);
+        let sharded = ShardedIndex::build(&ds, 3, &cfg).unwrap();
+        let q = ds.row(0);
+        let c = sharded.estimate_cost(q, 8);
+        assert!(c.is_finite() && c >= 0.0);
+        assert!(c >= sharded.estimate_cost(q, 2), "cost grows with tau");
+    }
+}

@@ -1,0 +1,303 @@
+//! Service-level metrics: a lock-free log-linear latency histogram and
+//! the aggregate snapshot (QPS, p50/p95/p99, candidates per query).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Sub-bucket resolution: 16 sub-buckets per power of two (≈ ±6 %
+/// relative error on reported quantiles).
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+/// Values up to 2^63 ns land in-range; bucket count ≈ 16 · 60 octaves.
+const BUCKETS: usize = SUB * 61;
+
+/// Lock-free log-linear histogram of nanosecond latencies.
+///
+/// HDR-style bucketing: values below 16 map to themselves; larger values
+/// keep their top 4 mantissa bits per octave. Recording is a single
+/// relaxed `fetch_add`.
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let octave = 63 - v.leading_zeros();
+        let sub = ((v >> (octave - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        let idx = ((octave - SUB_BITS + 1) as usize) * SUB + sub;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Inclusive lower bound of bucket `idx` (the value quantiles report).
+    fn bucket_floor(idx: usize) -> u64 {
+        if idx < SUB {
+            return idx as u64;
+        }
+        let octave = idx / SUB;
+        let sub = (idx % SUB) as u64;
+        (SUB as u64 + sub) << (octave - 1)
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Largest recorded latency in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) in nanoseconds: the floor of the
+    /// bucket holding the ⌈q·n⌉-th observation. Returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_floor(idx);
+            }
+        }
+        self.max_ns()
+    }
+}
+
+/// Rolling counters owned by the service, aggregated across workers.
+pub struct ServiceMetrics {
+    started: Instant,
+    /// Responses produced (cache hits + engine executions; excludes
+    /// rejections).
+    responses: AtomicU64,
+    /// Queries executed on the engines (cache misses).
+    executed: AtomicU64,
+    /// Batch jobs processed by workers.
+    batches: AtomicU64,
+    /// Requests shed (resolved as `Overloaded`) on a full queue.
+    queue_rejections: AtomicU64,
+    /// Σ candidates verified across executed queries (summed over
+    /// shards).
+    candidates: AtomicU64,
+    /// Σ results returned across executed queries.
+    results: AtomicU64,
+    /// End-to-end latency (submit → response), including queue wait.
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl ServiceMetrics {
+    /// Fresh metrics anchored at "now" (QPS denominators start here).
+    pub fn new() -> Self {
+        ServiceMetrics {
+            started: Instant::now(),
+            responses: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            queue_rejections: AtomicU64::new(0),
+            candidates: AtomicU64::new(0),
+            results: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    pub(crate) fn note_response(&self, latency_ns: u64) {
+        self.responses.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency_ns);
+    }
+
+    pub(crate) fn note_execution(&self, candidates: u64, results: u64) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        self.candidates.fetch_add(candidates, Ordering::Relaxed);
+        self.results.fetch_add(results, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_queue_rejection(&self) {
+        self.queue_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Aggregate snapshot (see [`ServiceStats`] fields).
+    pub fn snapshot(&self) -> ServiceStats {
+        let responses = self.responses.load(Ordering::Relaxed);
+        let executed = self.executed.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        ServiceStats {
+            responses,
+            executed,
+            batches: self.batches.load(Ordering::Relaxed),
+            queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
+            qps: responses as f64 / elapsed,
+            latency_p50_ns: self.latency.quantile_ns(0.50),
+            latency_p95_ns: self.latency.quantile_ns(0.95),
+            latency_p99_ns: self.latency.quantile_ns(0.99),
+            latency_mean_ns: self.latency.mean_ns(),
+            latency_max_ns: self.latency.max_ns(),
+            candidates_per_query: if executed == 0 {
+                0.0
+            } else {
+                self.candidates.load(Ordering::Relaxed) as f64 / executed as f64
+            },
+            results_per_query: if executed == 0 {
+                0.0
+            } else {
+                self.results.load(Ordering::Relaxed) as f64 / executed as f64
+            },
+        }
+    }
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time service statistics (one row of a dashboard).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Responses produced (cache hits + executions; excludes rejects).
+    pub responses: u64,
+    /// Queries executed on the engines (cache misses).
+    pub executed: u64,
+    /// Batch jobs processed.
+    pub batches: u64,
+    /// Requests shed (resolved as `Overloaded`) on a full queue.
+    pub queue_rejections: u64,
+    /// Responses per second since service start.
+    pub qps: f64,
+    /// Median end-to-end latency (ns).
+    pub latency_p50_ns: u64,
+    /// 95th-percentile end-to-end latency (ns).
+    pub latency_p95_ns: u64,
+    /// 99th-percentile end-to-end latency (ns).
+    pub latency_p99_ns: u64,
+    /// Mean end-to-end latency (ns).
+    pub latency_mean_ns: f64,
+    /// Worst observed latency (ns).
+    pub latency_max_ns: u64,
+    /// Mean candidates verified per executed query (summed over shards).
+    pub candidates_per_query: f64,
+    /// Mean results returned per executed query.
+    pub results_per_query: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_is_monotone_and_tight() {
+        let mut prev = 0usize;
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 100, 1_000, 65_535, 1 << 30, u64::MAX / 2] {
+            let idx = LatencyHistogram::bucket_of(v);
+            assert!(idx >= prev || v < 32, "bucket index regressed at {v}");
+            prev = idx;
+            let floor = LatencyHistogram::bucket_floor(idx);
+            assert!(floor <= v, "floor {floor} above value {v}");
+            // Log-linear guarantee: floor within 1/16 relative error.
+            assert!((v - floor) as f64 <= (v as f64 / 16.0).max(0.0) + 1e-9, "v={v} floor={floor}");
+        }
+    }
+
+    #[test]
+    fn exact_quantiles_on_small_values() {
+        let h = LatencyHistogram::new();
+        for v in 1..=10u64 {
+            h.record(v); // values < 16 are bucketed exactly
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.quantile_ns(0.5), 5);
+        assert_eq!(h.quantile_ns(1.0), 10);
+        assert_eq!(h.quantile_ns(0.0), 1);
+        assert_eq!(h.max_ns(), 10);
+        assert!((h.mean_ns() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_distribution_quantiles() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        let p50 = h.quantile_ns(0.50);
+        let p99 = h.quantile_ns(0.99);
+        let p999 = h.quantile_ns(0.999);
+        assert!((937..=1000).contains(&p50), "p50={p50}");
+        assert!((937..=1000).contains(&p99), "p99={p99}");
+        assert!(p999 > 900_000, "p999={p999}");
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(0.5), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.max_ns(), 0);
+    }
+
+    #[test]
+    fn metrics_snapshot_math() {
+        let m = ServiceMetrics::new();
+        m.note_response(1_000);
+        m.note_response(2_000);
+        m.note_execution(50, 5);
+        m.note_execution(150, 15);
+        m.note_batch();
+        m.note_queue_rejection();
+        let s = m.snapshot();
+        assert_eq!(s.responses, 2);
+        assert_eq!(s.executed, 2);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.queue_rejections, 1);
+        assert!(s.qps > 0.0);
+        assert!((s.candidates_per_query - 100.0).abs() < 1e-9);
+        assert!((s.results_per_query - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,145 @@
+//! Serving-layer tour: sharded scatter-gather behind a query service
+//! with batching, admission control, and a result cache.
+//!
+//! ```text
+//! cargo run --release --example sharded_service
+//! ```
+
+use gph_suite::datagen::Profile;
+use gph_suite::gph::engine::GphConfig;
+use gph_suite::hamming_core::Dataset;
+use gph_suite::serve::{
+    AdmissionConfig, Outcome, OverBudgetPolicy, QueryService, ServiceConfig, ShardedIndex,
+};
+use std::sync::Arc;
+
+fn main() {
+    // 1. Data: medium-skew 128-bit codes, queries = perturbed members.
+    let profile = Profile::synthetic_gamma(0.25);
+    let data = profile.generate(30_000, 7);
+    let queries = {
+        let mut qs = Dataset::new(data.dim());
+        for i in 0..64usize {
+            let mut v = data.vector((i * 397) % data.len());
+            for b in 0..3 {
+                v.flip((i * 31 + b * 59) % data.dim());
+            }
+            qs.push(&v).expect("same dim");
+        }
+        qs
+    };
+
+    // 2. Shard the rows and build one GPH engine per shard in parallel.
+    let cfg = GphConfig::new(GphConfig::suggested_m(data.dim()), 16);
+    let n_shards = 4;
+    let index = Arc::new(ShardedIndex::build(&data, n_shards, &cfg).expect("build shards"));
+    println!(
+        "sharded index: {} rows over {} shards (sizes {:?}), {:.1} MB",
+        index.len(),
+        index.num_shards(),
+        index.shard_sizes(),
+        index.size_bytes() as f64 / 1e6
+    );
+
+    // 3. Front the shards with the query service: worker pool over a
+    //    bounded queue, cost-budget admission (degrade instead of
+    //    reject), and a small LRU result cache.
+    let service = QueryService::new(
+        Arc::clone(&index),
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 32,
+            cache_capacity: 256,
+            admission: AdmissionConfig {
+                // Calibrated to these 128-bit codes: τ = 16 queries
+                // estimate ~25–55 cost units, so they degrade to the
+                // largest τ that fits; τ ≤ 8 queries pass untouched.
+                cost_budget: 5.0,
+                policy: OverBudgetPolicy::Degrade { min_tau: 2 },
+            },
+        },
+    );
+
+    // 4. Single queries: the first miss executes, the repeat hits cache.
+    let q0 = queries.row(0);
+    let miss = service.query(q0, 8);
+    let hit = service.query(q0, 8);
+    println!(
+        "single query tau=8: {} results ({} -> cache {})",
+        miss.ids().map_or(0, <[u32]>::len),
+        if miss.from_cache { "hit" } else { "miss" },
+        if hit.from_cache { "hit" } else { "miss" },
+    );
+
+    // 5. Batched scatter-gather: one job, answered back-to-back by a
+    //    worker; results come back in submission order. τ = 16 blows the
+    //    cost budget, so admission degrades each query to the widest
+    //    affordable radius instead of running it at full cost.
+    let batch: Vec<&[u64]> = (0..queries.len()).map(|i| queries.row(i)).collect();
+    let responses = service.submit_batch(&batch, 16).wait();
+    let mut served = 0usize;
+    let mut degraded = 0usize;
+    let mut rejected = 0usize;
+    for resp in &responses {
+        match &resp.outcome {
+            Outcome::Ids { degraded_from: Some(_), .. } => {
+                served += 1;
+                degraded += 1;
+            }
+            Outcome::Ids { .. } | Outcome::TopK { .. } => served += 1,
+            Outcome::Rejected { .. } => rejected += 1,
+            Outcome::Overloaded | Outcome::Dropped => {}
+        }
+    }
+    println!(
+        "batch of {}: {served} served ({degraded} degraded to fit the cost budget), \
+         {rejected} rejected",
+        batch.len()
+    );
+
+    // 6. A hot query mix to show the cache and the tail latencies.
+    for round in 0..4 {
+        for i in (0..queries.len()).step_by(2) {
+            let _ = service.query(queries.row(i), 8);
+        }
+        let _ = round;
+    }
+
+    // 7. Top-k rides the same path — including admission, which prices
+    //    it at the full escalation radius and caps it to fit the budget.
+    if let Outcome::TopK { hits, degraded_cap } = &service.query_topk(queries.row(1), 5).outcome {
+        println!(
+            "top-5 for query 1: {:?} (id, distance){}",
+            hits.as_slice(),
+            degraded_cap.map_or(String::new(), |c| format!(", escalation capped at tau={c}"))
+        );
+    }
+
+    // 8. Service-level observability.
+    let st = service.stats();
+    let cache = service.cache_stats();
+    let adm = service.admission_stats();
+    println!(
+        "stats: {} responses at {:.0} QPS | latency p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms \
+         | {:.0} candidates/query",
+        st.responses,
+        st.qps,
+        st.latency_p50_ns as f64 / 1e6,
+        st.latency_p95_ns as f64 / 1e6,
+        st.latency_p99_ns as f64 / 1e6,
+        st.candidates_per_query,
+    );
+    println!(
+        "cache: {} hits / {} misses ({:.0}% hit rate, {}/{} resident) | admission: \
+         {} admitted, {} degraded, {} rejected",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
+        cache.len,
+        cache.capacity,
+        adm.admitted,
+        adm.degraded,
+        adm.rejected,
+    );
+    service.shutdown();
+}

@@ -13,11 +13,15 @@
 //! * [`gph`] — the paper's contribution: the GPH index and its threshold
 //!   allocation / dimension partitioning machinery.
 //! * [`baselines`] — MIH, HmSearch, PartAlloc, MinHash LSH and linear scan.
+//! * [`serve`] — the serving layer: sharded scatter-gather, a batching
+//!   worker pool with admission control, and an LRU result cache.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour.
+//! See `examples/quickstart.rs` for a five-minute tour and
+//! `examples/sharded_service.rs` for the serving layer.
 
 pub use baselines;
 pub use datagen;
 pub use gph;
+pub use gph_serve as serve;
 pub use hamming_core;
 pub use mlkit;

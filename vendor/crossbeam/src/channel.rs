@@ -1,0 +1,475 @@
+//! Offline shim for `crossbeam::channel`: multi-producer multi-consumer
+//! FIFO channels over `Mutex` + `Condvar`.
+//!
+//! The API mirrors the upstream subset this workspace uses — [`bounded`],
+//! [`unbounded`], cloneable [`Sender`]/[`Receiver`], blocking
+//! `send`/`recv`, the non-blocking `try_*` variants, `recv_timeout`, and
+//! receiver iteration — so swapping back to the real crate stays a
+//! one-line change in the root manifest. Visible deltas from upstream:
+//!
+//! * `bounded(0)` is a capacity-1 queue, not a rendezvous channel (no
+//!   caller in this workspace relies on rendezvous hand-off);
+//! * the `select!` macro and `after`/`tick` channels are not provided.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`]: every receiver was dropped. The
+/// unsent message is handed back.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Sender::try_send`].
+#[derive(PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity; the message is handed back.
+    Full(T),
+    /// Every receiver was dropped; the message is handed back.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T> std::error::Error for TrySendError<T> {}
+
+/// Error returned by [`Receiver::recv`]: the channel is empty and every
+/// sender was dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and every sender was dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with the channel still empty.
+    Timeout,
+    /// The channel is empty and every sender was dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on receive"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    /// `None` for unbounded channels.
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled when a message is pushed or the last sender drops.
+    not_empty: Condvar,
+    /// Signalled when a message is popped or the last receiver drops.
+    not_full: Condvar,
+}
+
+/// The sending half of a channel. Cloneable (multi-producer).
+pub struct Sender<T>(Arc<Shared<T>>);
+
+/// The receiving half of a channel. Cloneable (multi-consumer); each
+/// message is delivered to exactly one receiver.
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+/// Creates a FIFO channel holding at most `cap` in-flight messages;
+/// `send` blocks while the queue is full. `cap == 0` is rounded up to 1
+/// (see the module docs for the delta from upstream's rendezvous
+/// semantics).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    new_channel(Some(cap.max(1)))
+}
+
+/// Creates a FIFO channel with no capacity bound; `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    new_channel(None)
+}
+
+fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner { queue: VecDeque::new(), cap, senders: 1, receivers: 1 }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender(Arc::clone(&shared)), Receiver(shared))
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the message is enqueued, or fails if every receiver
+    /// has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut inner = self.0.inner.lock().expect("channel mutex poisoned");
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            let full = inner.cap.is_some_and(|c| inner.queue.len() >= c);
+            if !full {
+                inner.queue.push_back(msg);
+                self.0.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.0.not_full.wait(inner).expect("channel mutex poisoned");
+        }
+    }
+
+    /// Enqueues without blocking, failing on a full or disconnected
+    /// channel.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.0.inner.lock().expect("channel mutex poisoned");
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if inner.cap.is_some_and(|c| inner.queue.len() >= c) {
+            return Err(TrySendError::Full(msg));
+        }
+        inner.queue.push_back(msg);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.0.inner.lock().expect("channel mutex poisoned").queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives, or fails once the channel is empty
+    /// and every sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.0.inner.lock().expect("channel mutex poisoned");
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.0.not_empty.wait(inner).expect("channel mutex poisoned");
+        }
+    }
+
+    /// Dequeues without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.0.inner.lock().expect("channel mutex poisoned");
+        match inner.queue.pop_front() {
+            Some(msg) => {
+                self.0.not_full.notify_one();
+                Ok(msg)
+            }
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocks up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.0.inner.lock().expect("channel mutex poisoned");
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = self
+                .0
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .expect("channel mutex poisoned");
+            inner = guard;
+        }
+    }
+
+    /// Blocking iterator: yields until the channel disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+
+    /// Non-blocking iterator: yields the messages currently queued.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { rx: self }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.0.inner.lock().expect("channel mutex poisoned").queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.inner.lock().expect("channel mutex poisoned").senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.inner.lock().expect("channel mutex poisoned").receivers += 1;
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.0.inner.lock().expect("channel mutex poisoned");
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // Wake blocked receivers so they observe the disconnect.
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.0.inner.lock().expect("channel mutex poisoned");
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            // Wake blocked senders so they observe the disconnect.
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
+/// Blocking iterator over received messages (see [`Receiver::iter`]).
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Non-blocking iterator over queued messages (see [`Receiver::try_iter`]).
+pub struct TryIter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 4);
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn try_send_reports_full_then_drains() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.try_recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = bounded::<u32>(2);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_capacity_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        let sender = thread::spawn(move || {
+            tx.send(1).unwrap(); // blocks until the main thread pops
+            tx.send(2).unwrap();
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_exactly_once() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 3;
+        const PER_PRODUCER: u64 = 500;
+        let (tx, rx) = bounded::<u64>(8);
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        tx.send(p as u64 * PER_PRODUCER + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.iter().collect::<Vec<u64>>())
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut got: Vec<u64> = Vec::new();
+        for c in consumers {
+            got.extend(c.join().unwrap());
+        }
+        got.sort_unstable();
+        let expect: Vec<u64> = (0..PRODUCERS as u64 * PER_PRODUCER).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn unbounded_never_blocks_sender() {
+        let (tx, rx) = unbounded();
+        for i in 0..10_000u32 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 10_000);
+        assert_eq!(rx.try_iter().count(), 10_000);
+    }
+}

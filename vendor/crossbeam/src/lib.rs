@@ -1,9 +1,13 @@
-//! Offline shim for the `crossbeam::thread::scope` API, implemented over
-//! `std::thread::scope` (stable since Rust 1.63). The visible difference
+//! Offline shim for the `crossbeam::thread::scope` and
+//! `crossbeam::channel` APIs, implemented over the std primitives
+//! (`std::thread::scope`, `Mutex` + `Condvar`). The visible differences
 //! from upstream: a panic in an unjoined child thread aborts via std's
 //! scope unwinding rather than being collected into the returned
 //! `Result` — this workspace joins every handle, so the distinction
-//! never surfaces.
+//! never surfaces — and `channel::bounded(0)` is a capacity-1 queue
+//! rather than a rendezvous channel (see the module docs).
+
+pub mod channel;
 
 pub mod thread {
     //! Scoped threads with crossbeam's closure signature
