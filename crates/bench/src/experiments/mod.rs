@@ -13,6 +13,7 @@ pub mod scalecheck;
 pub mod scaling;
 pub mod sizes;
 pub mod skewprofile;
+pub mod smoke;
 
 use crate::Scale;
 
@@ -33,6 +34,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "fig8ef",
     "ablation",
     "scalecheck",
+    "smoke",
     "all",
 ];
 
@@ -54,6 +56,7 @@ pub fn dispatch(exp: &str, scale: Scale) -> bool {
         "fig8ef" => scaling::run_workload_mismatch(scale),
         "ablation" => ablation::run(scale),
         "scalecheck" => scalecheck::run(scale),
+        "smoke" => smoke::run(scale),
         "all" => {
             for exp in EXPERIMENTS.iter().filter(|&&e| e != "all") {
                 dispatch(exp, scale);

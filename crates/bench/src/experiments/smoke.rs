@@ -1,0 +1,116 @@
+//! CI smoke benchmark: one end-to-end pass over a tiny synthetic
+//! workload — build, snapshot, restore, then serve a query stream — with
+//! the headline numbers written to `BENCH_smoke.json`.
+//!
+//! This is the perf-trajectory anchor: CI runs it at `--scale tiny` on
+//! every push and uploads the JSON as an artifact, so regressions in
+//! build time, restore time, QPS, tail latency, or candidate counts
+//! show up as a broken series, not an anecdote. The numbers are
+//! machine-dependent; the *trajectory* across commits on the same
+//! runner class is the signal.
+
+use crate::util::prepare;
+use crate::Scale;
+use datagen::Profile;
+use gph::engine::GphConfig;
+use gph_serve::{QueryService, ServiceConfig, ShardedIndex};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of shards the smoke fleet runs.
+const SHARDS: usize = 2;
+/// Threshold the query stream uses (= the fleet's tau_max, so the
+/// candidate counts exercise the allocator rather than rounding to 0).
+const TAU: u32 = 16;
+
+/// Runs the smoke pass and writes the JSON report. The output path comes
+/// from `BENCH_SMOKE_OUT` (default `BENCH_smoke.json`); any failure to
+/// build, snapshot, restore, or serve panics, which is exactly what the
+/// CI job wants to fail on.
+pub fn run(scale: Scale) {
+    let profile = Profile::synthetic_gamma(0.25);
+    let qs = prepare(&profile, scale, 0x5304E);
+    run_inner(&qs.data, &qs.queries);
+}
+
+fn run_inner(data: &hamming_core::Dataset, queries: &hamming_core::Dataset) {
+    let cfg = GphConfig::new(GphConfig::suggested_m(data.dim()), 16);
+
+    // Build the sharded fleet (the expensive offline phase).
+    let t_build = Instant::now();
+    let built = ShardedIndex::build(data, SHARDS, &cfg).expect("smoke: build");
+    let build_s = t_build.elapsed().as_secs_f64();
+
+    // Snapshot + restore: the warm-start path must stay cheap relative
+    // to the build, and the restored fleet must agree with the built one.
+    let dir = std::env::temp_dir().join(format!("gph_bench_smoke_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let t_snap = Instant::now();
+    built.snapshot(&dir).expect("smoke: snapshot");
+    let snapshot_s = t_snap.elapsed().as_secs_f64();
+    let t_restore = Instant::now();
+    let restored = ShardedIndex::restore(&dir).expect("smoke: restore");
+    let restore_s = t_restore.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(&dir).ok();
+    let probe = queries.row(0);
+    assert_eq!(
+        restored.search(probe, TAU),
+        built.search(probe, TAU),
+        "smoke: restored fleet diverged from the built one"
+    );
+
+    // Serve the query stream through the full service path, in small
+    // batches: one giant batch would be a single job executed serially
+    // by one worker, making QPS and the latency quantiles degenerate.
+    const BATCH: usize = 4;
+    let service = QueryService::new(Arc::new(restored), ServiceConfig::default());
+    let t_serve = Instant::now();
+    let tickets: Vec<_> = (0..queries.len())
+        .step_by(BATCH)
+        .map(|start| {
+            let chunk: Vec<&[u64]> =
+                (start..(start + BATCH).min(queries.len())).map(|i| queries.row(i)).collect();
+            service.submit_batch(&chunk, TAU)
+        })
+        .collect();
+    let results: usize =
+        tickets.into_iter().flat_map(|t| t.wait()).map(|r| r.ids().map_or(0, <[u32]>::len)).sum();
+    let serve_s = t_serve.elapsed().as_secs_f64();
+    let stats = service.stats();
+    let qps = queries.len() as f64 / serve_s.max(1e-9);
+    let p95_ms = stats.latency_p95_ns as f64 / 1e6;
+
+    let json = format!(
+        "{{\n  \"experiment\": \"smoke\",\n  \"rows\": {},\n  \"dims\": {},\n  \
+         \"queries\": {},\n  \"shards\": {},\n  \"tau\": {},\n  \
+         \"build_s\": {:.4},\n  \"snapshot_s\": {:.4},\n  \"restore_s\": {:.4},\n  \
+         \"qps\": {:.1},\n  \"p50_ms\": {:.4},\n  \"p95_ms\": {:.4},\n  \
+         \"candidates_per_query\": {:.2},\n  \"results\": {}\n}}\n",
+        data.len(),
+        data.dim(),
+        queries.len(),
+        SHARDS,
+        TAU,
+        build_s,
+        snapshot_s,
+        restore_s,
+        qps,
+        stats.latency_p50_ns as f64 / 1e6,
+        p95_ms,
+        stats.candidates_per_query,
+        results,
+    );
+    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_smoke.json".into());
+    std::fs::write(&out, &json).expect("smoke: write report");
+
+    println!("## smoke ({} rows, {} queries)\n", data.len(), queries.len());
+    println!("| metric | value |");
+    println!("|---|---|");
+    println!("| build | {build_s:.2} s |");
+    println!("| snapshot | {snapshot_s:.2} s |");
+    println!("| restore | {restore_s:.2} s |");
+    println!("| QPS | {qps:.0} |");
+    println!("| p95 latency | {p95_ms:.2} ms |");
+    println!("| candidates/query | {:.1} |", stats.candidates_per_query);
+    println!("\nreport written to {out}");
+}

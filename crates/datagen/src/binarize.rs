@@ -6,7 +6,7 @@
 //! float data to the same pipeline:
 //!
 //! * [`median_threshold`] — per-dimension median binarization (the
-//!   method [25] uses for SIFT: bit `i` = feature `i` above its median).
+//!   method \[25\] uses for SIFT: bit `i` = feature `i` above its median).
 //! * [`RandomHyperplanes`] — SimHash-style random-projection codes with
 //!   an arbitrary output width (the LSH-family construction behind
 //!   learned binary codes).
@@ -48,7 +48,7 @@ impl FloatVectors {
 
 /// Per-dimension median binarization: bit `d` of row `i` is 1 iff
 /// `x[i][d] > median(column d)`. Produces balanced (skew ≈ 0) codes on
-/// continuous data — the SIFT conversion of [25].
+/// continuous data — the SIFT conversion of \[25\].
 pub fn median_threshold(x: &FloatVectors) -> Dataset {
     let n = x.len();
     let dim = x.dim;

@@ -16,7 +16,9 @@
 //! which costs `O(w · 2^w)` per radius level.
 
 use super::CnEstimator;
+use bytes::BufMut;
 use hamming_core::error::{HammingError, Result};
+use hamming_core::io::ByteReader;
 use hamming_core::project::ProjectedDataset;
 
 /// Exact tables for one partition.
@@ -96,6 +98,44 @@ impl ExactPart {
     pub fn size_bytes(&self) -> usize {
         self.table.len() * 8
     }
+
+    /// Appends this table's snapshot encoding: `width u64, e_max u64,
+    /// n u64`, then the `2^width × (e_max + 1)` table words.
+    pub(crate) fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.put_u64_le(self.width as u64);
+        buf.put_u64_le(self.e_max as u64);
+        buf.put_u64_le(self.n);
+        for &v in &self.table {
+            buf.put_u64_le(v);
+        }
+    }
+
+    /// Decodes one table written by [`ExactPart::encode_into`],
+    /// validating the declared shape before reading the table words.
+    pub(crate) fn decode_from(r: &mut ByteReader<'_>) -> Result<Self> {
+        let width = r.u64("exact-table width")? as usize;
+        if width >= usize::BITS as usize - 1 {
+            return Err(HammingError::Corrupt(format!("exact-table width {width} is absurd")));
+        }
+        let e_max = r.u64("exact-table e_max")? as usize;
+        if e_max > width {
+            return Err(HammingError::Corrupt(format!(
+                "exact-table e_max {e_max} exceeds width {width}"
+            )));
+        }
+        let n = r.u64("exact-table n")?;
+        let table_len = (1usize << width)
+            .checked_mul(e_max + 1)
+            .filter(|&words| words <= r.remaining() / 8)
+            .ok_or_else(|| {
+                HammingError::Corrupt(format!(
+                    "exact-table 2^{width}×{} exceeds the remaining bytes",
+                    e_max + 1
+                ))
+            })?;
+        let table = r.u64s(table_len, "exact-table words")?;
+        Ok(ExactPart { width, e_max, n, table })
+    }
 }
 
 /// Frequency histogram of a projected column with width ≤ 26 or so.
@@ -134,6 +174,43 @@ impl ExactCn {
         }
         Ok(ExactCn { parts })
     }
+
+    /// Snapshot encoding of every per-partition table.
+    pub(crate) fn encode_state(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.put_u64_le(self.parts.len() as u64);
+        for p in &self.parts {
+            p.encode_into(&mut buf);
+        }
+        buf
+    }
+
+    /// Restores an estimator from [`ExactCn::encode_state`] bytes.
+    /// `widths` are the partitioning's per-partition widths; each table
+    /// must match, or query-time lookups could index out of bounds.
+    pub(crate) fn decode_state(bytes: &[u8], widths: &[usize]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let n_parts = r.len(24, "exact-estimator part count")?;
+        if n_parts != widths.len() {
+            return Err(HammingError::Corrupt(format!(
+                "exact estimator covers {n_parts} partitions, partitioning has {}",
+                widths.len()
+            )));
+        }
+        let mut parts = Vec::with_capacity(n_parts);
+        for (i, &width) in widths.iter().enumerate() {
+            let p = ExactPart::decode_from(&mut r)?;
+            if p.width != width {
+                return Err(HammingError::Corrupt(format!(
+                    "exact table {i} is {} bits wide, partition is {width}",
+                    p.width
+                )));
+            }
+            parts.push(p);
+        }
+        r.finish("exact-estimator state")?;
+        Ok(ExactCn { parts })
+    }
 }
 
 impl CnEstimator for ExactCn {
@@ -147,6 +224,10 @@ impl CnEstimator for ExactCn {
 
     fn size_bytes(&self) -> usize {
         self.parts.iter().map(|p| p.size_bytes()).sum()
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        Some(self.encode_state())
     }
 }
 

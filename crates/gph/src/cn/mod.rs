@@ -19,7 +19,9 @@ pub mod learned;
 pub mod sample_scan;
 pub mod subpart;
 
-use hamming_core::error::Result;
+use bytes::BufMut;
+use hamming_core::error::{HammingError, Result};
+use hamming_core::io::ByteReader;
 use hamming_core::project::ProjectedDataset;
 
 /// A per-query estimator of candidate numbers.
@@ -31,6 +33,15 @@ pub trait CnEstimator: Send + Sync {
 
     /// Heap footprint, charged to the index size in Fig. 6.
     fn size_bytes(&self) -> usize;
+
+    /// Byte snapshot of the built state, for estimators whose
+    /// construction is worth persisting (the table-based kinds). `None`
+    /// means the engine snapshot stores only the [`EstimatorKind`] and
+    /// the estimator is rebuilt deterministically at load time from its
+    /// seeds and the restored projections.
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// Which estimator to build (engine configuration).
@@ -94,6 +105,101 @@ pub fn build_estimator(
         EstimatorKind::SampleScan { sample_cap, seed } => {
             Ok(Box::new(sample_scan::SampleScanCn::build(pd, *sample_cap, *seed)))
         }
+    }
+}
+
+/// Encodes an [`EstimatorKind`] for engine snapshots (tag byte plus the
+/// kind's parameters, little-endian).
+pub(crate) fn encode_kind(kind: &EstimatorKind) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32);
+    match kind {
+        EstimatorKind::Exact { max_width } => {
+            buf.put_u8(0);
+            buf.put_u64_le(*max_width as u64);
+        }
+        EstimatorKind::SubPartition { sub_count, paper_shift } => {
+            buf.put_u8(1);
+            buf.put_u64_le(*sub_count as u64);
+            buf.put_u8(u8::from(*paper_shift));
+        }
+        EstimatorKind::Learned(p) => {
+            buf.put_u8(2);
+            buf.put_u8(match p.model {
+                learned::ModelKind::Svm => 0,
+                learned::ModelKind::Rf => 1,
+                learned::ModelKind::Dnn => 2,
+            });
+            buf.put_u64_le(p.n_train as u64);
+            buf.put_u64_le(p.scan_cap as u64);
+            buf.put_u64_le(p.seed);
+        }
+        EstimatorKind::SampleScan { sample_cap, seed } => {
+            buf.put_u8(3);
+            buf.put_u64_le(*sample_cap as u64);
+            buf.put_u64_le(*seed);
+        }
+    }
+    buf
+}
+
+/// Decodes an [`EstimatorKind`] written by [`encode_kind`].
+pub(crate) fn decode_kind(bytes: &[u8]) -> Result<EstimatorKind> {
+    let mut r = ByteReader::new(bytes);
+    let kind = match r.u8("estimator kind tag")? {
+        0 => EstimatorKind::Exact { max_width: r.u64("exact max_width")? as usize },
+        1 => EstimatorKind::SubPartition {
+            sub_count: r.u64("SP sub_count")? as usize,
+            paper_shift: r.u8("SP shift flag")? != 0,
+        },
+        2 => {
+            let model = match r.u8("learned model tag")? {
+                0 => learned::ModelKind::Svm,
+                1 => learned::ModelKind::Rf,
+                2 => learned::ModelKind::Dnn,
+                other => return Err(HammingError::Corrupt(format!("unknown model kind {other}"))),
+            };
+            EstimatorKind::Learned(learned::LearnedParams {
+                model,
+                n_train: r.u64("learned n_train")? as usize,
+                scan_cap: r.u64("learned scan_cap")? as usize,
+                seed: r.u64("learned seed")?,
+            })
+        }
+        3 => EstimatorKind::SampleScan {
+            sample_cap: r.u64("sample cap")? as usize,
+            seed: r.u64("sample seed")?,
+        },
+        other => return Err(HammingError::Corrupt(format!("unknown estimator kind {other}"))),
+    };
+    r.finish("estimator kind")?;
+    Ok(kind)
+}
+
+/// Restores an estimator for a loaded engine: from its persisted state
+/// when one was snapshotted (the table-based kinds), otherwise by a
+/// deterministic rebuild over the restored projections — seeds live in
+/// the kind, so the rebuilt estimator answers exactly as the saved one.
+///
+/// `widths` are the partition widths of the snapshot's partitioning;
+/// decoded state must match them exactly, so a state section that is
+/// internally consistent but belongs to a different partitioning (e.g.
+/// spliced from another snapshot, every CRC intact) is rejected here
+/// instead of panicking on an out-of-bounds table lookup at query time.
+pub(crate) fn restore_estimator(
+    kind: &EstimatorKind,
+    state: Option<&[u8]>,
+    pd: &ProjectedDataset,
+    tau_max: usize,
+    widths: &[usize],
+) -> Result<Box<dyn CnEstimator>> {
+    match (kind, state) {
+        (EstimatorKind::Exact { .. }, Some(bytes)) => {
+            Ok(Box::new(exact::ExactCn::decode_state(bytes, widths)?))
+        }
+        (EstimatorKind::SubPartition { .. }, Some(bytes)) => {
+            Ok(Box::new(subpart::SubPartitionCn::decode_state(bytes, widths)?))
+        }
+        _ => build_estimator(kind, pd, tau_max),
     }
 }
 

@@ -19,7 +19,9 @@
 
 use super::exact::ExactPart;
 use super::CnEstimator;
+use bytes::BufMut;
 use hamming_core::error::{HammingError, Result};
+use hamming_core::io::ByteReader;
 use hamming_core::project::ProjectedDataset;
 
 /// Widest exact sub-table we allow (`2^16` rows).
@@ -99,6 +101,79 @@ impl SubPartitionCn {
             }
             parts.push(SubSplit { paper_shift, width, ranges, tables, n: pd.len() as f64 });
         }
+        Ok(SubPartitionCn { parts })
+    }
+
+    /// Snapshot encoding: per partition the split shape plus every
+    /// sub-table, so a load skips the histogram + recurrence rebuild.
+    pub(crate) fn encode_state(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.put_u64_le(self.parts.len() as u64);
+        for sp in &self.parts {
+            buf.put_u8(u8::from(sp.paper_shift));
+            buf.put_u64_le(sp.width as u64);
+            buf.put_u64_le(sp.n.to_bits());
+            buf.put_u64_le(sp.ranges.len() as u64);
+            for &(start, end) in &sp.ranges {
+                buf.put_u64_le(start as u64);
+                buf.put_u64_le(end as u64);
+            }
+            for t in &sp.tables {
+                t.encode_into(&mut buf);
+            }
+        }
+        buf
+    }
+
+    /// Restores an estimator from [`SubPartitionCn::encode_state`]
+    /// bytes. `widths` are the partitioning's per-partition widths; the
+    /// split shapes must match them, or query-time bit extraction could
+    /// index out of bounds.
+    pub(crate) fn decode_state(bytes: &[u8], widths: &[usize]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let n_parts = r.len(25, "SP part count")?;
+        if n_parts != widths.len() {
+            return Err(HammingError::Corrupt(format!(
+                "SP estimator covers {n_parts} partitions, partitioning has {}",
+                widths.len()
+            )));
+        }
+        let mut parts = Vec::with_capacity(n_parts);
+        for (p, &expected_width) in widths.iter().enumerate() {
+            let paper_shift = r.u8("SP shift flag")? != 0;
+            let width = r.u64("SP width")? as usize;
+            if width != expected_width {
+                return Err(HammingError::Corrupt(format!(
+                    "SP part {p} is {width} bits wide, partition is {expected_width}"
+                )));
+            }
+            let n = r.f64("SP cardinality")?;
+            let n_sub = r.len(16, "SP sub-partition count")?;
+            let mut ranges = Vec::with_capacity(n_sub);
+            for _ in 0..n_sub {
+                let start = r.u64("SP range start")? as usize;
+                let end = r.u64("SP range end")? as usize;
+                if start > end || end > width {
+                    return Err(HammingError::Corrupt(format!(
+                        "SP part {p} range {start}..{end} outside width {width}"
+                    )));
+                }
+                ranges.push((start, end));
+            }
+            let mut tables = Vec::with_capacity(n_sub);
+            for (j, &(start, end)) in ranges.iter().enumerate() {
+                let t = ExactPart::decode_from(&mut r)?;
+                if t.width != end - start {
+                    return Err(HammingError::Corrupt(format!(
+                        "SP part {p} sub-table {j} width {} mismatches range {start}..{end}",
+                        t.width
+                    )));
+                }
+                tables.push(t);
+            }
+            parts.push(SubSplit { paper_shift, width, ranges, tables, n });
+        }
+        r.finish("SP estimator state")?;
         Ok(SubPartitionCn { parts })
     }
 }
@@ -187,6 +262,10 @@ impl CnEstimator for SubPartitionCn {
 
     fn size_bytes(&self) -> usize {
         self.parts.iter().map(|sp| sp.tables.iter().map(|t| t.size_bytes()).sum::<usize>()).sum()
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        Some(self.encode_state())
     }
 }
 

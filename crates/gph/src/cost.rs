@@ -42,6 +42,13 @@ impl CostModel {
         self
     }
 
+    /// The calibration points backing [`CostModel::alpha_for`], τ
+    /// ascending — exposed so engine snapshots can persist the measured
+    /// statistics alongside the index.
+    pub fn alpha_table(&self) -> &[(u32, f64)] {
+        &self.alpha
+    }
+
     /// α for a given τ: linear interpolation between calibration points,
     /// clamped at the ends.
     pub fn alpha_for(&self, tau: u32) -> f64 {

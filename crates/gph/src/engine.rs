@@ -118,7 +118,7 @@ pub struct SearchResult {
 
 /// Query-time scratch (visited stamps + buffers), pooled to keep
 /// `search(&self)` allocation-free after warm-up.
-struct Scratch {
+pub(crate) struct Scratch {
     stamps: Vec<u32>,
     epoch: u32,
     candidates: Vec<u32>,
@@ -132,18 +132,22 @@ impl Scratch {
 }
 
 /// The built GPH index.
+///
+/// Field visibility is `pub(crate)` so the [`crate::snapshot`] module can
+/// persist and restore engines without re-running the offline phase.
 pub struct Gph {
-    data: Dataset,
-    partitioning: Partitioning,
-    projector: Projector,
-    index: InvertedIndex,
-    projected: ProjectedDataset,
-    estimator: Box<dyn CnEstimator>,
-    allocator: AllocatorKind,
-    cost_model: CostModel,
-    tau_max: usize,
-    build_stats: BuildStats,
-    scratch_pool: Mutex<Vec<Scratch>>,
+    pub(crate) data: Dataset,
+    pub(crate) partitioning: Partitioning,
+    pub(crate) projector: Projector,
+    pub(crate) index: InvertedIndex,
+    pub(crate) projected: ProjectedDataset,
+    pub(crate) estimator: Box<dyn CnEstimator>,
+    pub(crate) estimator_kind: EstimatorKind,
+    pub(crate) allocator: AllocatorKind,
+    pub(crate) cost_model: CostModel,
+    pub(crate) tau_max: usize,
+    pub(crate) build_stats: BuildStats,
+    pub(crate) scratch_pool: Mutex<Vec<Scratch>>,
 }
 
 impl Gph {
@@ -187,12 +191,45 @@ impl Gph {
             index,
             projected,
             estimator,
+            estimator_kind: cfg.estimator.clone(),
             allocator: cfg.allocator,
             cost_model: cfg.cost_model.clone(),
             tau_max: cfg.tau_max,
             build_stats: stats,
             scratch_pool: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Serializes the built engine into a checksummed snapshot: the
+    /// dataset, the partitioning (the expensive GR artifact), the
+    /// inverted index, the estimator state, and the cost-model
+    /// statistics. See [`crate::snapshot`] for the format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        crate::snapshot::encode_engine(self)
+    }
+
+    /// Restores an engine from [`Gph::to_bytes`] bytes without re-running
+    /// partition optimization, index construction, or (for the
+    /// table-based kinds) estimator construction. The loaded engine is
+    /// query-for-query identical to the engine that was saved.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        crate::snapshot::decode_engine(bytes)
+    }
+
+    /// Writes [`Gph::to_bytes`] to `path`.
+    pub fn save<P: AsRef<std::path::Path>>(&self, path: P) -> Result<()> {
+        crate::snapshot::write_atomic(path.as_ref(), &self.to_bytes())
+    }
+
+    /// Reads an engine snapshot from `path` — the warm-start path: every
+    /// offline artifact is loaded, not rebuilt.
+    pub fn load<P: AsRef<std::path::Path>>(path: P) -> Result<Self> {
+        Gph::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// The estimator kind this engine was built with.
+    pub fn estimator_kind(&self) -> &EstimatorKind {
+        &self.estimator_kind
     }
 
     /// All vectors within `tau` of `query` (exact; ascending IDs).
@@ -442,6 +479,11 @@ impl Gph {
     /// The partitioning in use.
     pub fn partitioning(&self) -> &Partitioning {
         &self.partitioning
+    }
+
+    /// Largest threshold the engine serves.
+    pub fn tau_max(&self) -> usize {
+        self.tau_max
     }
 
     /// The indexed data.

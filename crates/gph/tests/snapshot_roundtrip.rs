@@ -1,0 +1,107 @@
+//! Snapshot round-trip properties: a loaded engine is query-for-query
+//! identical to the engine that was saved, and corruption anywhere in a
+//! snapshot is detected — never a panic, never silently wrong data.
+
+use gph::engine::{Gph, GphConfig};
+use gph::partition_opt::PartitionStrategy;
+use gph::EstimatorKind;
+use hamming_core::{BitVector, Dataset, HammingError};
+use proptest::prelude::*;
+
+const DIM: usize = 40;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(prop::collection::vec(any::<bool>(), DIM), 1..100).prop_map(|rows| {
+        Dataset::from_vectors(DIM, rows.iter().map(|r| BitVector::from_bits(r.iter().copied())))
+            .expect("uniform width")
+    })
+}
+
+fn estimator_strategy() -> impl Strategy<Value = EstimatorKind> {
+    (0usize..3, 1usize..=3, 8usize..64, any::<u64>()).prop_map(
+        |(which, sub_count, sample_cap, seed)| match which {
+            0 => EstimatorKind::Exact { max_width: 24 },
+            1 => EstimatorKind::SubPartition { sub_count, paper_shift: false },
+            _ => EstimatorKind::SampleScan { sample_cap, seed },
+        },
+    )
+}
+
+fn cfg(m: usize, estimator: EstimatorKind, seed: u64) -> GphConfig {
+    let mut cfg = GphConfig::new(m, 8);
+    cfg.strategy = PartitionStrategy::RandomShuffle { seed };
+    cfg.estimator = estimator;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// save → load → query equals build → query, for every estimator
+    /// kind, including the allocator's chosen thresholds and the cost
+    /// estimate (i.e. the loaded engine takes identical decisions, not
+    /// just identical result sets).
+    #[test]
+    fn loaded_engine_is_query_identical(
+        ds in dataset_strategy(),
+        m in 1usize..=4,
+        estimator in estimator_strategy(),
+        seed in any::<u64>(),
+        tau in 0u32..=8,
+        qi in any::<prop::sample::Index>(),
+    ) {
+        // Exact tables are O(2^width): keep partitions narrow for that kind.
+        let m = if matches!(estimator, EstimatorKind::Exact { .. }) { 4 } else { m };
+        let built = Gph::build(ds.clone(), &cfg(m, estimator, seed)).expect("build");
+        let loaded = Gph::from_bytes(&built.to_bytes()).expect("load");
+        let q = ds.row(qi.index(ds.len())).to_vec();
+        let a = built.search_with_stats(&q, tau);
+        let b = loaded.search_with_stats(&q, tau);
+        prop_assert_eq!(&a.ids, &b.ids);
+        prop_assert_eq!(&a.stats.thresholds, &b.stats.thresholds);
+        prop_assert_eq!(built.estimate_cost(&q, tau), loaded.estimate_cost(&q, tau));
+        prop_assert_eq!(built.search_topk(&q, 5), loaded.search_topk(&q, 5));
+    }
+
+    /// Any single-byte corruption of a snapshot yields
+    /// `HammingError::Corrupt` — the CRC-framed container turns every
+    /// flip into a checksum or structure error before it can reach the
+    /// engine.
+    #[test]
+    fn single_byte_corruption_is_detected(
+        ds in dataset_strategy(),
+        m in 1usize..=3,
+        seed in any::<u64>(),
+        offset in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let built = Gph::build(ds, &cfg(m, EstimatorKind::default(), seed)).expect("build");
+        let mut bytes = built.to_bytes();
+        let at = offset.index(bytes.len());
+        bytes[at] ^= flip;
+        match Gph::from_bytes(&bytes) {
+            Err(HammingError::Corrupt(_)) => {}
+            Err(other) => {
+                return Err(TestCaseError::Fail(
+                    format!("flip {flip:#x} at {at}: unexpected error kind {other}")));
+            }
+            Ok(_) => {
+                return Err(TestCaseError::Fail(
+                    format!("flip {flip:#x} at {at} went undetected")));
+            }
+        }
+    }
+
+    /// Truncating a snapshot anywhere is also detected.
+    #[test]
+    fn truncation_is_detected(
+        ds in dataset_strategy(),
+        seed in any::<u64>(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let built = Gph::build(ds, &cfg(2, EstimatorKind::default(), seed)).expect("build");
+        let bytes = built.to_bytes();
+        let cut = cut.index(bytes.len());
+        prop_assert!(Gph::from_bytes(&bytes[..cut]).is_err(), "cut={}", cut);
+    }
+}

@@ -8,8 +8,11 @@
 //! only** — the property that keeps GPH's index smaller than HmSearch's
 //! and PartAlloc's in Fig. 6.
 
+use crate::error::{HammingError, Result};
 use crate::fasthash::FastMap;
+use crate::io::ByteReader;
 use crate::project::ProjectedDataset;
+use bytes::BufMut;
 
 /// One partition's postings.
 #[derive(Clone, Debug)]
@@ -94,6 +97,93 @@ impl InvertedIndex {
         self.parts[p].ranges.len()
     }
 
+    /// Deterministic byte encoding of the postings (for engine
+    /// snapshots): the flat ID arrays and key ranges verbatim, with keys
+    /// sorted so identical indexes always produce identical bytes.
+    ///
+    /// Layout (little-endian): `len u64, n_parts u64`, then per part
+    /// `width u64, n_keys u64, n_ids u64, n_keys × (key u64, off u32,
+    /// len u32), n_ids × id u32`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + self.size_bytes());
+        buf.put_u64_le(self.len as u64);
+        buf.put_u64_le(self.parts.len() as u64);
+        for pi in &self.parts {
+            buf.put_u64_le(pi.width as u64);
+            buf.put_u64_le(pi.ranges.len() as u64);
+            buf.put_u64_le(pi.ids.len() as u64);
+            let mut keys: Vec<(u64, (u32, u32))> =
+                pi.ranges.iter().map(|(&k, &r)| (k, r)).collect();
+            keys.sort_unstable_by_key(|&(k, _)| k);
+            for (key, (off, len)) in keys {
+                buf.put_u64_le(key);
+                buf.put_u32_le(off);
+                buf.put_u32_le(len);
+            }
+            for &id in &pi.ids {
+                buf.put_u32_le(id);
+            }
+        }
+        buf
+    }
+
+    /// Decodes an index written by [`InvertedIndex::encode`], validating
+    /// every range against the ID array and every ID against the
+    /// declared cardinality so a corrupt payload cannot cause panics (or
+    /// out-of-bounds postings) later.
+    pub fn decode(bytes: &[u8]) -> Result<InvertedIndex> {
+        let mut r = ByteReader::new(bytes);
+        let len = r.u64("index len")? as usize;
+        let n_parts = r.len(24, "index part count")?;
+        let mut parts = Vec::with_capacity(n_parts);
+        for p in 0..n_parts {
+            let width = r.u64("part width")? as usize;
+            let n_keys = r.len(16, "part key count")?;
+            let n_ids = r.len(4, "part id count")?;
+            if n_ids != len {
+                return Err(HammingError::Corrupt(format!(
+                    "part {p} holds {n_ids} postings for {len} vectors"
+                )));
+            }
+            let mut ranges: FastMap<u64, (u32, u32)> =
+                FastMap::with_capacity_and_hasher(n_keys, Default::default());
+            let mut covered = 0usize;
+            for _ in 0..n_keys {
+                let key = r.u64("posting key")?;
+                let off = r.u32("posting offset")?;
+                let n = r.u32("posting length")?;
+                let end = off as usize + n as usize;
+                if end > n_ids {
+                    return Err(HammingError::Corrupt(format!(
+                        "part {p} range {off}+{n} exceeds {n_ids} ids"
+                    )));
+                }
+                if ranges.insert(key, (off, n)).is_some() {
+                    return Err(HammingError::Corrupt(format!("part {p} repeats key {key}")));
+                }
+                covered += n as usize;
+            }
+            if covered != n_ids {
+                return Err(HammingError::Corrupt(format!(
+                    "part {p} ranges cover {covered} of {n_ids} ids"
+                )));
+            }
+            let mut ids = Vec::with_capacity(n_ids);
+            for _ in 0..n_ids {
+                let id = r.u32("posting id")?;
+                if id as usize >= len {
+                    return Err(HammingError::Corrupt(format!(
+                        "posting id {id} out of range for {len} vectors"
+                    )));
+                }
+                ids.push(id);
+            }
+            parts.push(PartIndex { width, ranges, ids });
+        }
+        r.finish("inverted index")?;
+        Ok(InvertedIndex { parts, len })
+    }
+
     /// Approximate heap size in bytes (IDs + hash-map entries), the
     /// quantity compared in Fig. 6.
     pub fn size_bytes(&self) -> usize {
@@ -164,5 +254,49 @@ mod tests {
     fn size_accounting_positive() {
         let (_, idx, _) = build_table1();
         assert!(idx.size_bytes() > 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_is_byte_stable() {
+        let (_, idx, _) = build_table1();
+        let bytes = idx.encode();
+        let decoded = InvertedIndex::decode(&bytes).unwrap();
+        assert_eq!(decoded.len(), idx.len());
+        assert_eq!(decoded.num_parts(), idx.num_parts());
+        assert_eq!(decoded.postings(0, 0b0000), idx.postings(0, 0b0000));
+        assert_eq!(decoded.postings(1, 0b1111), idx.postings(1, 0b1111));
+        assert_eq!(decoded.postings(1, 0b0101), &[] as &[u32]);
+        // Re-encoding reproduces the exact bytes (sorted-key determinism).
+        assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn decode_rejects_structural_corruption() {
+        let (_, idx, _) = build_table1();
+        let bytes = idx.encode();
+        // Truncations never panic.
+        for cut in 0..bytes.len() {
+            assert!(InvertedIndex::decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        // Forged huge part count is rejected before allocating.
+        let mut huge = bytes.clone();
+        huge[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(InvertedIndex::decode(&huge).is_err());
+        // An id pushed out of range is caught.
+        let mut bad_id = bytes.clone();
+        let last = bad_id.len() - 4;
+        bad_id[last..].copy_from_slice(&900u32.to_le_bytes());
+        assert!(InvertedIndex::decode(&bad_id).is_err());
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let ds = Dataset::new(8);
+        let p = Partitioning::equi_width(8, 2).unwrap();
+        let pd = ProjectedDataset::build(&ds, &Projector::new(&p));
+        let idx = InvertedIndex::build(&pd);
+        let decoded = InvertedIndex::decode(&idx.encode()).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(decoded.num_parts(), 2);
     }
 }

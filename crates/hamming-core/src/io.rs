@@ -1,6 +1,9 @@
-//! Compact binary serialization for datasets.
+//! Binary serialization: flat formats for datasets and partitionings,
+//! plus the generic **section-framed container** every persistent
+//! artifact in the workspace (engine snapshots, shard manifests) is built
+//! from.
 //!
-//! Format (little-endian):
+//! Dataset format (little-endian):
 //!
 //! ```text
 //! magic   [u8; 4] = b"HAMD"
@@ -10,8 +13,17 @@
 //! words   [u64]   = len * words_for(dim) raw words
 //! ```
 //!
-//! The format is intentionally dumb: datasets here are synthetic and
-//! regenerable, so the only goals are speed and exact round-tripping.
+//! The flat formats are intentionally dumb: datasets here are synthetic
+//! and regenerable, so the only goals are speed and exact round-tripping.
+//!
+//! The container ([`SectionWriter`] / [`SectionReader`]) frames named
+//! sections behind a magic + version header; every section carries its
+//! length and a CRC-32, so any single-byte corruption anywhere in the
+//! file is detected at parse time (CRC-32 catches all burst errors up to
+//! 32 bits) and surfaces as [`HammingError::Corrupt`] rather than a panic
+//! or silently wrong data. Readers ignore unknown sections, which is the
+//! forward-compatibility escape hatch: new writers may append sections
+//! without breaking old readers of the same major version.
 
 use crate::dataset::Dataset;
 use crate::error::{HammingError, Result};
@@ -24,6 +36,294 @@ use std::path::Path;
 
 const MAGIC: [u8; 4] = *b"HAMD";
 const VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------
+// CRC-32
+// ---------------------------------------------------------------------
+
+/// 256-entry lookup table for the reflected IEEE 802.3 polynomial.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3) of `bytes` — the per-section checksum of the
+/// container format, also used by the serving layer's shard manifests.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_update(u32::MAX, bytes)
+}
+
+/// Streaming CRC-32 step over the raw (pre-inverted) register, so a
+/// checksum can cover several non-contiguous slices.
+fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// CRC-32 over a section's tag, length field, and payload — covering the
+/// header means a corrupted tag byte cannot masquerade as a valid
+/// unknown section.
+fn section_crc(tag: &[u8; SECTION_TAG_LEN], payload: &[u8]) -> u32 {
+    let mut crc = crc32_update(u32::MAX, tag);
+    crc = crc32_update(crc, &(payload.len() as u64).to_le_bytes());
+    !crc32_update(crc, payload)
+}
+
+// ---------------------------------------------------------------------
+// Length-validated primitive reads
+// ---------------------------------------------------------------------
+
+/// A bounds-checked cursor over a byte slice: every read validates the
+/// remaining length and returns [`HammingError::Corrupt`] on underrun
+/// instead of panicking. Section payload decoders across the workspace
+/// are written against this.
+#[derive(Clone, Copy, Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(HammingError::Corrupt(format!(
+                "{what}: need {n} bytes, {} remain",
+                self.buf.len()
+            )));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `f64`.
+    pub fn f64(&mut self, what: &str) -> Result<f64> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Reads a `u64` and validates it fits a `usize` **and** that at
+    /// least `per_item` bytes per counted item remain — the guard that
+    /// stops a corrupt header from driving a huge allocation.
+    pub fn len(&mut self, per_item: usize, what: &str) -> Result<usize> {
+        let n = self.u64(what)?;
+        let n_usize =
+            usize::try_from(n).map_err(|_| HammingError::Corrupt(format!("{what}: {n} items")))?;
+        if n_usize.checked_mul(per_item).is_none_or(|need| need > self.buf.len()) {
+            return Err(HammingError::Corrupt(format!(
+                "{what}: {n} items exceed the {} remaining bytes",
+                self.buf.len()
+            )));
+        }
+        Ok(n_usize)
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        self.take(n, what)
+    }
+
+    /// Reads `n` little-endian `u64` words.
+    pub fn u64s(&mut self, n: usize, what: &str) -> Result<Vec<u64>> {
+        let raw = self.take(
+            n.checked_mul(8).ok_or_else(|| {
+                HammingError::Corrupt(format!("{what}: word count {n} overflows"))
+            })?,
+            what,
+        )?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Errors unless the reader is fully consumed.
+    pub fn finish(self, what: &str) -> Result<()> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(HammingError::Corrupt(format!("{what}: {} trailing bytes", self.buf.len())))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The section-framed container
+// ---------------------------------------------------------------------
+
+/// Section tags are at most this many bytes of ASCII, space-padded.
+pub const SECTION_TAG_LEN: usize = 8;
+
+fn pad_tag(tag: &str) -> [u8; SECTION_TAG_LEN] {
+    assert!(
+        tag.len() <= SECTION_TAG_LEN && tag.is_ascii() && !tag.is_empty(),
+        "section tags are 1..=8 ASCII bytes, got {tag:?}"
+    );
+    let mut out = [b' '; SECTION_TAG_LEN];
+    out[..tag.len()].copy_from_slice(tag.as_bytes());
+    out
+}
+
+/// Builds a section-framed container:
+///
+/// ```text
+/// magic      [u8; 4]      caller-chosen file type
+/// version    u32
+/// n_sections u32
+/// sections   n_sections × { tag [u8; 8], len u64, crc32 u32, payload }
+/// ```
+///
+/// Writers append sections in order; [`SectionWriter::finish`] patches
+/// the count. Everything is little-endian.
+pub struct SectionWriter {
+    buf: Vec<u8>,
+    n_sections: u32,
+}
+
+impl SectionWriter {
+    /// Starts a container with the given magic and format version.
+    pub fn new(magic: [u8; 4], version: u32) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.put_slice(&magic);
+        buf.put_u32_le(version);
+        buf.put_u32_le(0); // patched by finish()
+        SectionWriter { buf, n_sections: 0 }
+    }
+
+    /// Appends a section. `tag` must be 1..=8 ASCII bytes and unique
+    /// within the container (readers reject duplicates).
+    pub fn section(&mut self, tag: &str, payload: &[u8]) {
+        let tag = pad_tag(tag);
+        self.buf.put_slice(&tag);
+        self.buf.put_u64_le(payload.len() as u64);
+        self.buf.put_u32_le(section_crc(&tag, payload));
+        self.buf.put_slice(payload);
+        self.n_sections += 1;
+    }
+
+    /// Finalizes the container and returns its bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.buf[8..12].copy_from_slice(&self.n_sections.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Parses and validates a section-framed container written by
+/// [`SectionWriter`]: checks magic, version, per-section bounds, and
+/// every section's CRC-32 up front, so lookups on a parsed reader cannot
+/// hit corrupt payloads.
+pub struct SectionReader<'a> {
+    version: u32,
+    sections: Vec<([u8; SECTION_TAG_LEN], &'a [u8])>,
+}
+
+impl<'a> SectionReader<'a> {
+    /// Parses `bytes`, requiring `magic` and a version in
+    /// `1..=max_version`. Unknown sections are retained (and ignorable),
+    /// which lets newer writers of the same major version add sections
+    /// without breaking old readers.
+    pub fn parse(magic: [u8; 4], max_version: u32, bytes: &'a [u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let got = r.bytes(4, "container magic")?;
+        if got != magic {
+            return Err(HammingError::Corrupt(format!("bad magic {got:?}, expected {magic:?}")));
+        }
+        let version = r.u32("container version")?;
+        if version == 0 || version > max_version {
+            return Err(HammingError::Corrupt(format!(
+                "unsupported container version {version} (reader supports 1..={max_version})"
+            )));
+        }
+        // Each section needs at least its 20-byte header.
+        let n_sections = r.u32("section count")? as usize;
+        if n_sections > r.remaining() / (SECTION_TAG_LEN + 12) {
+            return Err(HammingError::Corrupt(format!(
+                "{n_sections} sections exceed the {} remaining bytes",
+                r.remaining()
+            )));
+        }
+        let mut sections: Vec<([u8; SECTION_TAG_LEN], &'a [u8])> = Vec::with_capacity(n_sections);
+        for _ in 0..n_sections {
+            let tag: [u8; SECTION_TAG_LEN] =
+                r.bytes(SECTION_TAG_LEN, "section tag")?.try_into().expect("8 bytes");
+            let len = r.len(1, "section length")?;
+            let crc = r.u32("section crc")?;
+            let payload = r.bytes(len, "section payload")?;
+            if section_crc(&tag, payload) != crc {
+                return Err(HammingError::Corrupt(format!(
+                    "checksum mismatch in section {:?}",
+                    String::from_utf8_lossy(&tag)
+                )));
+            }
+            if sections.iter().any(|(t, _)| *t == tag) {
+                return Err(HammingError::Corrupt(format!(
+                    "duplicate section {:?}",
+                    String::from_utf8_lossy(&tag)
+                )));
+            }
+            sections.push((tag, payload));
+        }
+        r.finish("container")?;
+        Ok(SectionReader { version, sections })
+    }
+
+    /// The container's format version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The payload of section `tag`, if present.
+    pub fn get(&self, tag: &str) -> Option<&'a [u8]> {
+        let tag = pad_tag(tag);
+        self.sections.iter().find(|(t, _)| *t == tag).map(|&(_, p)| p)
+    }
+
+    /// The payload of section `tag`, or [`HammingError::Corrupt`] when
+    /// the section is missing.
+    pub fn section(&self, tag: &str) -> Result<&'a [u8]> {
+        self.get(tag).ok_or_else(|| HammingError::Corrupt(format!("missing section {tag:?}")))
+    }
+}
 
 /// Encodes `ds` into a byte buffer.
 pub fn encode_dataset(ds: &Dataset) -> Vec<u8> {
@@ -144,6 +444,23 @@ pub fn decode_partitioning(mut bytes: &[u8]) -> Result<Partitioning> {
     let m = bytes.get_u64_le() as usize;
     if m > dim.max(1) {
         return Err(HammingError::Corrupt(format!("{m} partitions for {dim} dims")));
+    }
+    // Validate the declared counts against the actual byte count BEFORE
+    // allocating: a corrupt header could otherwise declare ~2^64 dims and
+    // drive `Vec::with_capacity` into a huge allocation. Each partition
+    // needs at least its 4-byte length, and the dimension ids across all
+    // partitions total exactly `dim` u32s.
+    if m > bytes.remaining() / 4 {
+        return Err(HammingError::Corrupt(format!(
+            "{m} partitions exceed the {} remaining bytes",
+            bytes.remaining()
+        )));
+    }
+    if dim > bytes.remaining() / 4 {
+        return Err(HammingError::Corrupt(format!(
+            "{dim} dims exceed the {} remaining bytes",
+            bytes.remaining()
+        )));
     }
     let mut parts = Vec::with_capacity(m);
     for _ in 0..m {
@@ -274,5 +591,103 @@ mod tests {
         let decoded = decode_dataset(&encode_dataset(&ds)).unwrap();
         assert_eq!(decoded.len(), 0);
         assert_eq!(decoded.dim(), 32);
+    }
+
+    #[test]
+    fn forged_huge_headers_error_before_allocating() {
+        // A corrupt header declaring ~2^64 rows/dims must be rejected by
+        // byte-count validation, not by attempting the allocation.
+        let mut ds_bytes = encode_dataset(&sample(16, 2));
+        ds_bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes()); // len
+        assert!(decode_dataset(&ds_bytes).is_err());
+        let mut ds_bytes2 = encode_dataset(&sample(16, 2));
+        ds_bytes2[8..16].copy_from_slice(&u64::MAX.to_le_bytes()); // dim
+        assert!(decode_dataset(&ds_bytes2).is_err());
+
+        let p = Partitioning::equi_width(16, 4).unwrap();
+        let mut p_bytes = encode_partitioning(&p);
+        // dim and m both forged huge (m <= dim keeps the first check quiet).
+        p_bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        p_bytes[16..24].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        assert!(decode_partitioning(&p_bytes).is_err());
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The standard IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn container_roundtrip_and_unknown_sections() {
+        let mut w = SectionWriter::new(*b"TEST", 1);
+        w.section("alpha", b"hello");
+        w.section("beta", &[]);
+        w.section("futuresx", b"ignored by old readers");
+        let bytes = w.finish();
+        let r = SectionReader::parse(*b"TEST", 1, &bytes).unwrap();
+        assert_eq!(r.version(), 1);
+        assert_eq!(r.section("alpha").unwrap(), b"hello");
+        assert_eq!(r.section("beta").unwrap(), b"");
+        assert_eq!(r.get("futuresx").unwrap(), b"ignored by old readers");
+        assert!(r.get("gamma").is_none());
+        assert!(r.section("gamma").is_err());
+    }
+
+    #[test]
+    fn container_rejects_wrong_magic_and_version() {
+        let mut w = SectionWriter::new(*b"TEST", 3);
+        w.section("a", b"x");
+        let bytes = w.finish();
+        assert!(SectionReader::parse(*b"ELSE", 3, &bytes).is_err());
+        // Reader supporting only up to version 2 must refuse version 3.
+        assert!(SectionReader::parse(*b"TEST", 2, &bytes).is_err());
+        assert!(SectionReader::parse(*b"TEST", 3, &bytes).is_ok());
+    }
+
+    #[test]
+    fn container_rejects_duplicate_sections() {
+        let mut w = SectionWriter::new(*b"TEST", 1);
+        w.section("twin", b"a");
+        w.section("twin", b"b");
+        let bytes = w.finish();
+        assert!(SectionReader::parse(*b"TEST", 1, &bytes).is_err());
+    }
+
+    #[test]
+    fn container_detects_every_single_byte_corruption() {
+        let mut w = SectionWriter::new(*b"TEST", 1);
+        w.section("alpha", b"some payload worth protecting");
+        w.section("beta", &[1, 2, 3, 4, 5]);
+        let bytes = w.finish();
+        assert!(SectionReader::parse(*b"TEST", 1, &bytes).is_ok());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                SectionReader::parse(*b"TEST", 1, &bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+        // Truncations at every length are also rejected.
+        for cut in 0..bytes.len() {
+            assert!(SectionReader::parse(*b"TEST", 1, &bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn byte_reader_validates_counts() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let mut r = ByteReader::new(&buf);
+        assert!(r.len(4, "items").is_err(), "huge count must not pass");
+        let mut buf2 = Vec::new();
+        buf2.extend_from_slice(&2u64.to_le_bytes());
+        buf2.extend_from_slice(&[0u8; 8]);
+        let mut r2 = ByteReader::new(&buf2);
+        assert_eq!(r2.len(4, "items").unwrap(), 2);
+        assert_eq!(r2.u64s(1, "words").unwrap(), vec![0]);
+        assert!(r2.finish("buf").is_ok());
     }
 }

@@ -32,6 +32,10 @@
 //!   query.
 //! * [`ResultCache`] is an LRU keyed by `(query words, τ)` with hit/miss
 //!   counters, checked before dispatch.
+//! * [`snapshot`] persists the whole fleet: one checksummed engine
+//!   snapshot per shard plus a manifest, so
+//!   [`QueryService::warm_start`] brings a service up from disk without
+//!   re-running partition optimization.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,12 +44,14 @@ pub mod admission;
 pub mod cache;
 pub mod service;
 pub mod shard;
+pub mod snapshot;
 pub mod stats;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, OverBudgetPolicy};
 pub use cache::{CacheKey, CacheStats, CachedResult, LruCache, ResultCache};
 pub use service::{Outcome, QueryService, Response, ServiceConfig, Ticket};
 pub use shard::{ShardedIndex, ShardedSearchResult};
+pub use snapshot::{read_manifest, ShardEntry, ShardManifest, MANIFEST_FILE};
 pub use stats::{LatencyHistogram, ServiceStats};
 
 #[cfg(test)]

@@ -204,6 +204,17 @@ impl QueryService {
         QueryService { shared, tx: Some(tx), workers: handles }
     }
 
+    /// Warm-starts a service from a [`ShardedIndex::snapshot`]
+    /// directory: restores every shard engine in parallel (no partition
+    /// optimization, index construction, or estimator training) and
+    /// spawns the worker pool over the restored fleet.
+    pub fn warm_start<P: AsRef<std::path::Path>>(
+        dir: P,
+        cfg: ServiceConfig,
+    ) -> hamming_core::error::Result<Self> {
+        Ok(QueryService::new(Arc::new(ShardedIndex::restore(dir)?), cfg))
+    }
+
     /// Submits one range query; blocks only if the queue is full.
     pub fn submit(&self, query: &[u64], tau: u32) -> Ticket {
         self.submit_batch(&[query], tau)

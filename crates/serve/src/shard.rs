@@ -23,23 +23,36 @@ const PAR_SCATTER_MIN_ROWS_PER_SHARD: usize = 4096;
 #[cfg(test)]
 const PAR_SCATTER_MIN_ROWS_PER_SHARD: usize = 64;
 
+/// Per-record shard members for a fleet of `(len, n_shards)` — the pure
+/// function of the stable id hash that build, snapshot, and restore all
+/// derive the global-id maps from. Keeping it in one place is what lets
+/// [`crate::snapshot`] recompute the assignment instead of storing it.
+pub(crate) fn shard_members(len: usize, n_shards: usize) -> Vec<Vec<u32>> {
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+    for id in 0..len {
+        members[ShardedIndex::shard_of(id as u32, n_shards)].push(id as u32);
+    }
+    members
+}
+
 /// One shard: a full GPH engine over a row subset, plus the map from
 /// shard-local IDs (the engine's `0..len`) back to global record IDs.
-struct Shard {
-    engine: Gph,
-    global_ids: Vec<u32>,
+/// Crate-visible so [`crate::snapshot`] can persist and restore shards.
+pub(crate) struct Shard {
+    pub(crate) engine: Gph,
+    pub(crate) global_ids: Vec<u32>,
 }
 
 /// A GPH index sharded by rows, queried scatter-gather.
 pub struct ShardedIndex {
     /// Non-empty shards only; empty shards (more shards than rows) hold
     /// no records and are dropped at build time.
-    shards: Vec<Shard>,
-    n_shards: usize,
-    len: usize,
-    words_per_vec: usize,
-    dim: usize,
-    tau_max: usize,
+    pub(crate) shards: Vec<Shard>,
+    pub(crate) n_shards: usize,
+    pub(crate) len: usize,
+    pub(crate) words_per_vec: usize,
+    pub(crate) dim: usize,
+    pub(crate) tau_max: usize,
 }
 
 /// Scatter-gather search output: merged global IDs plus one
@@ -67,10 +80,7 @@ impl ShardedIndex {
     /// uniform across shards.
     pub fn build(data: &Dataset, n_shards: usize, cfg: &GphConfig) -> Result<Self> {
         let n_shards = n_shards.max(1);
-        let mut members: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
-        for id in 0..data.len() {
-            members[Self::shard_of(id as u32, n_shards)].push(id as u32);
-        }
+        let members = shard_members(data.len(), n_shards);
         let mut subsets: Vec<(Dataset, Vec<u32>)> = Vec::new();
         for ids in members.into_iter().filter(|m| !m.is_empty()) {
             let mut sub = Dataset::with_capacity(data.dim(), ids.len());

@@ -1,0 +1,393 @@
+//! Persistent sharded-index snapshots: a manifest plus one engine
+//! snapshot file per shard, so a serving fleet warm-starts by reloading
+//! — never by re-running partition optimization.
+//!
+//! Layout of a snapshot directory:
+//!
+//! ```text
+//! <dir>/MANIFEST          GPHM container: fleet shape + per-shard entries
+//! <dir>/shard-<slot>.gphe one Gph snapshot per non-empty shard slot
+//! ```
+//!
+//! The manifest records the shard count, the id-hash fingerprint (a probe
+//! value through [`mix64`], so a changed hash function is detected
+//! instead of silently misrouting records), and for every non-empty
+//! shard slot its file's CRC-32 and row count. Restore recomputes each
+//! record's shard assignment from `(len, n_shards)` — the assignment is a
+//! pure function of the global ID — verifies it against the manifest,
+//! and reloads all shard engines in parallel. Shard files are themselves
+//! section-framed and checksummed (see [`gph::snapshot`]), so corruption
+//! anywhere surfaces as [`HammingError::Corrupt`].
+
+use crate::shard::{shard_members, Shard, ShardedIndex};
+use bytes::BufMut;
+use gph::engine::Gph;
+use hamming_core::error::{HammingError, Result};
+use hamming_core::io::{crc32, ByteReader, SectionReader, SectionWriter};
+use hamming_core::key::mix64;
+use hamming_core::words_for;
+use std::path::{Path, PathBuf};
+
+/// Magic of the shard-manifest file.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"GPHM";
+
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// File name of the manifest inside a snapshot directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Fingerprint of the id-hash function: a fixed probe through the hash.
+/// Recorded in every manifest and checked on restore, so changing
+/// [`mix64`] (which would re-route every record) breaks loudly.
+fn id_hash_fingerprint() -> u64 {
+    mix64(0x6770_685F_7368_6172) // "gph_shar"
+}
+
+/// One shard's entry in a [`ShardManifest`].
+#[derive(Clone, Debug)]
+pub struct ShardEntry {
+    /// Shard slot in `0..n_shards` (empty slots have no entry).
+    pub slot: usize,
+    /// Records this shard holds.
+    pub rows: usize,
+    /// CRC-32 of the shard's snapshot file.
+    pub crc: u32,
+}
+
+impl ShardEntry {
+    /// File name of this shard's snapshot inside the directory.
+    pub fn file_name(&self) -> String {
+        format!("shard-{}.gphe", self.slot)
+    }
+}
+
+/// The parsed manifest of a snapshot directory.
+#[derive(Clone, Debug)]
+pub struct ShardManifest {
+    /// Requested shard count (including empty slots).
+    pub n_shards: usize,
+    /// Total records across shards.
+    pub len: usize,
+    /// Dimensionality of the indexed vectors.
+    pub dim: usize,
+    /// Largest threshold the engines serve.
+    pub tau_max: usize,
+    /// Non-empty shards, ascending by slot.
+    pub shards: Vec<ShardEntry>,
+}
+
+fn encode_manifest(m: &ShardManifest) -> Vec<u8> {
+    let mut body = Vec::with_capacity(48 + m.shards.len() * 20);
+    body.put_u64_le(m.n_shards as u64);
+    body.put_u64_le(m.len as u64);
+    body.put_u64_le(m.dim as u64);
+    body.put_u64_le(m.tau_max as u64);
+    body.put_u64_le(id_hash_fingerprint());
+    body.put_u64_le(m.shards.len() as u64);
+    for e in &m.shards {
+        body.put_u64_le(e.slot as u64);
+        body.put_u64_le(e.rows as u64);
+        body.put_u32_le(e.crc);
+    }
+    let mut w = SectionWriter::new(MANIFEST_MAGIC, MANIFEST_VERSION);
+    w.section("shards", &body);
+    w.finish()
+}
+
+/// Caps on the manifest's self-declared shape. Record IDs are `u32`
+/// throughout the stack, and a fleet of more than ~a million shard
+/// slots is nonsense; validating both before [`shard_members`] runs
+/// keeps a forged or CRC-colliding manifest from driving huge
+/// allocations — the same guard `decode_partitioning` applies to its
+/// header fields.
+const MAX_SHARD_SLOTS: u64 = 1 << 20;
+
+fn decode_manifest(bytes: &[u8]) -> Result<ShardManifest> {
+    let sections = SectionReader::parse(MANIFEST_MAGIC, MANIFEST_VERSION, bytes)?;
+    let mut r = ByteReader::new(sections.section("shards")?);
+    let n_shards_raw = r.u64("shard count")?;
+    if n_shards_raw == 0 || n_shards_raw > MAX_SHARD_SLOTS {
+        return Err(HammingError::Corrupt(format!(
+            "manifest declares {n_shards_raw} shard slots (supported: 1..={MAX_SHARD_SLOTS})"
+        )));
+    }
+    let n_shards = n_shards_raw as usize;
+    let len_raw = r.u64("record count")?;
+    if len_raw > u32::MAX as u64 {
+        return Err(HammingError::Corrupt(format!(
+            "manifest declares {len_raw} records; ids are u32"
+        )));
+    }
+    let len = len_raw as usize;
+    let dim = r.u64("dimensionality")? as usize;
+    let tau_max = r.u64("tau_max")? as usize;
+    let fingerprint = r.u64("id-hash fingerprint")?;
+    if fingerprint != id_hash_fingerprint() {
+        return Err(HammingError::Corrupt(format!(
+            "id-hash fingerprint {fingerprint:#x} does not match this build \
+             ({:#x}); records would be routed to different shards",
+            id_hash_fingerprint()
+        )));
+    }
+    let n_entries = r.len(20, "shard entry count")?;
+    let mut shards = Vec::with_capacity(n_entries);
+    for _ in 0..n_entries {
+        let slot = r.u64("shard slot")? as usize;
+        if slot >= n_shards {
+            return Err(HammingError::Corrupt(format!(
+                "shard slot {slot} out of range for {n_shards} shards"
+            )));
+        }
+        if shards.last().is_some_and(|prev: &ShardEntry| prev.slot >= slot) {
+            return Err(HammingError::Corrupt("shard slots not strictly ascending".into()));
+        }
+        let rows = r.u64("shard rows")? as usize;
+        let crc = r.u32("shard file crc")?;
+        shards.push(ShardEntry { slot, rows, crc });
+    }
+    r.finish("shard manifest")?;
+    // Checked sum: wrap-around in release builds would let two absurd
+    // row counts cancel out and satisfy the equality.
+    let total = shards
+        .iter()
+        .try_fold(0usize, |acc, e| acc.checked_add(e.rows))
+        .filter(|&t| t == len)
+        .ok_or_else(|| {
+            HammingError::Corrupt(format!("shard rows do not sum to the declared {len} records"))
+        })?;
+    debug_assert_eq!(total, len);
+    Ok(ShardManifest { n_shards, len, dim, tau_max, shards })
+}
+
+/// Reads and validates the manifest of a snapshot directory (without
+/// loading any shard engines) — what `gph-store info` prints.
+pub fn read_manifest<P: AsRef<Path>>(dir: P) -> Result<ShardManifest> {
+    decode_manifest(&std::fs::read(dir.as_ref().join(MANIFEST_FILE))?)
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+impl ShardedIndex {
+    /// Persists the index into `dir` (created if missing): one
+    /// checksummed engine snapshot per non-empty shard plus the
+    /// `MANIFEST`, written last and atomically so a crashed snapshot
+    /// never yields a directory that restores partially.
+    pub fn snapshot<P: AsRef<Path>>(&self, dir: P) -> Result<ShardManifest> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        // Non-empty shards appear in slot order at build time; recompute
+        // the slots the same way to label the files.
+        let members = shard_members(self.len, self.n_shards);
+        let slots: Vec<usize> = (0..self.n_shards).filter(|&s| !members[s].is_empty()).collect();
+        debug_assert_eq!(slots.len(), self.shards.len());
+        let mut entries = Vec::with_capacity(self.shards.len());
+        for (shard, &slot) in self.shards.iter().zip(&slots) {
+            let bytes = shard.engine.to_bytes();
+            let entry = ShardEntry { slot, rows: shard.global_ids.len(), crc: crc32(&bytes) };
+            write_atomic(&dir.join(entry.file_name()), &bytes)?;
+            entries.push(entry);
+        }
+        let manifest = ShardManifest {
+            n_shards: self.n_shards,
+            len: self.len,
+            dim: self.dim,
+            tau_max: self.tau_max,
+            shards: entries,
+        };
+        write_atomic(&dir.join(MANIFEST_FILE), &encode_manifest(&manifest))?;
+        Ok(manifest)
+    }
+
+    /// Restores a sharded index from a [`ShardedIndex::snapshot`]
+    /// directory: validates the manifest (shard count, id-hash
+    /// fingerprint, per-file checksums), recomputes every record's shard
+    /// assignment, and reloads all shard engines in parallel — no
+    /// partition optimization, index build, or estimator training runs.
+    pub fn restore<P: AsRef<Path>>(dir: P) -> Result<Self> {
+        let dir = dir.as_ref();
+        let manifest = read_manifest(dir)?;
+        let members = shard_members(manifest.len, manifest.n_shards);
+        let expected: Vec<usize> =
+            (0..manifest.n_shards).filter(|&s| !members[s].is_empty()).collect();
+        let got: Vec<usize> = manifest.shards.iter().map(|e| e.slot).collect();
+        if expected != got {
+            return Err(HammingError::Corrupt(format!(
+                "manifest shard slots {got:?} do not match the assignment {expected:?}"
+            )));
+        }
+        let mut loaded: Vec<Result<Shard>> = Vec::new();
+        let manifest_ref = &manifest;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = manifest_ref
+                .shards
+                .iter()
+                .map(|entry| {
+                    let path: PathBuf = dir.join(entry.file_name());
+                    let global_ids = members[entry.slot].clone();
+                    scope.spawn(move |_| load_shard(&path, entry, manifest_ref, global_ids))
+                })
+                .collect();
+            loaded =
+                handles.into_iter().map(|h| h.join().expect("shard loaders never panic")).collect();
+        })
+        .expect("shard loaders never panic");
+        let shards = loaded.into_iter().collect::<Result<Vec<Shard>>>()?;
+        Ok(ShardedIndex {
+            shards,
+            n_shards: manifest.n_shards,
+            len: manifest.len,
+            words_per_vec: words_for(manifest.dim),
+            dim: manifest.dim,
+            tau_max: manifest.tau_max,
+        })
+    }
+}
+
+fn load_shard(
+    path: &Path,
+    entry: &ShardEntry,
+    manifest: &ShardManifest,
+    global_ids: Vec<u32>,
+) -> Result<Shard> {
+    let bytes = std::fs::read(path)?;
+    if crc32(&bytes) != entry.crc {
+        return Err(HammingError::Corrupt(format!("checksum mismatch for {}", entry.file_name())));
+    }
+    let engine = Gph::from_bytes(&bytes)?;
+    if engine.data().len() != entry.rows || global_ids.len() != entry.rows {
+        return Err(HammingError::Corrupt(format!(
+            "{} holds {} rows, manifest says {}",
+            entry.file_name(),
+            engine.data().len(),
+            entry.rows
+        )));
+    }
+    if engine.data().dim() != manifest.dim {
+        return Err(HammingError::Corrupt(format!(
+            "{} indexes {}-dimensional vectors, manifest says {}",
+            entry.file_name(),
+            engine.data().dim(),
+            manifest.dim
+        )));
+    }
+    if engine.tau_max() != manifest.tau_max {
+        return Err(HammingError::Corrupt(format!(
+            "{} serves tau_max {}, manifest says {}",
+            entry.file_name(),
+            engine.tau_max(),
+            manifest.tau_max
+        )));
+    }
+    Ok(Shard { engine, global_ids })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gph::engine::GphConfig;
+    use gph::partition_opt::PartitionStrategy;
+    use hamming_core::{BitVector, Dataset};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_dataset(dim: usize, n: usize, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ds = Dataset::new(dim);
+        for _ in 0..n {
+            let v = BitVector::from_bits((0..dim).map(|_| rng.random_bool(0.4)));
+            ds.push(&v).unwrap();
+        }
+        ds
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gph_serve_snapshot_{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_is_query_identical() {
+        let ds = random_dataset(64, 250, 301);
+        let mut cfg = GphConfig::new(4, 8);
+        cfg.strategy = PartitionStrategy::RandomShuffle { seed: 4 };
+        let built = ShardedIndex::build(&ds, 3, &cfg).unwrap();
+        let dir = tmp_dir("roundtrip");
+        let manifest = built.snapshot(&dir).unwrap();
+        assert_eq!(manifest.n_shards, 3);
+        assert_eq!(manifest.len, 250);
+        let restored = ShardedIndex::restore(&dir).unwrap();
+        assert_eq!(restored.num_shards(), built.num_shards());
+        assert_eq!(restored.shard_sizes(), built.shard_sizes());
+        for qi in [0usize, 17, 101] {
+            let q = ds.row(qi);
+            for tau in [0u32, 4, 8] {
+                assert_eq!(restored.search(q, tau), built.search(q, tau), "qi={qi} tau={tau}");
+            }
+            assert_eq!(restored.search_topk(q, 7), built.search_topk(q, 7), "qi={qi}");
+            assert_eq!(restored.estimate_cost(q, 8), built.estimate_cost(q, 8), "qi={qi}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_shard_file() {
+        let ds = random_dataset(32, 60, 302);
+        let cfg = GphConfig { strategy: PartitionStrategy::Original, ..GphConfig::new(2, 4) };
+        let built = ShardedIndex::build(&ds, 2, &cfg).unwrap();
+        let dir = tmp_dir("corrupt_shard");
+        let manifest = built.snapshot(&dir).unwrap();
+        let victim = dir.join(manifest.shards[0].file_name());
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&victim, &bytes).unwrap();
+        match ShardedIndex::restore(&dir) {
+            Err(HammingError::Corrupt(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            Err(other) => panic!("expected Corrupt, got {other}"),
+            Ok(_) => panic!("corrupt shard restored"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_manifest_and_missing_files() {
+        let ds = random_dataset(32, 50, 303);
+        let cfg = GphConfig { strategy: PartitionStrategy::Original, ..GphConfig::new(2, 4) };
+        let built = ShardedIndex::build(&ds, 2, &cfg).unwrap();
+        let dir = tmp_dir("corrupt_manifest");
+        let manifest = built.snapshot(&dir).unwrap();
+        let mpath = dir.join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&mpath).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&mpath, &bytes).unwrap();
+        assert!(matches!(ShardedIndex::restore(&dir), Err(HammingError::Corrupt(_))));
+        // Restore the good manifest but delete a shard file.
+        built.snapshot(&dir).unwrap();
+        std::fs::remove_file(dir.join(manifest.shards[1].file_name())).unwrap();
+        assert!(ShardedIndex::restore(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_roundtrips_with_empty_slots() {
+        // More shards than rows leaves empty slots with no files.
+        let ds = random_dataset(32, 5, 304);
+        let cfg = GphConfig { strategy: PartitionStrategy::Original, ..GphConfig::new(2, 4) };
+        let built = ShardedIndex::build(&ds, 8, &cfg).unwrap();
+        let dir = tmp_dir("sparse");
+        let manifest = built.snapshot(&dir).unwrap();
+        assert!(manifest.shards.len() < 8);
+        let restored = ShardedIndex::restore(&dir).unwrap();
+        assert_eq!(restored.num_shards(), 8);
+        assert_eq!(restored.search(ds.row(0), 4), built.search(ds.row(0), 4));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

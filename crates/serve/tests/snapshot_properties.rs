@@ -1,0 +1,103 @@
+//! Sharded-snapshot properties: restore is query-identical to the built
+//! fleet over any shard count, and corruption of any byte of any file in
+//! the snapshot directory is detected as `HammingError::Corrupt`.
+
+use gph::engine::GphConfig;
+use gph::partition_opt::PartitionStrategy;
+use gph_serve::ShardedIndex;
+use hamming_core::{BitVector, Dataset, HammingError};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const DIM: usize = 48;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gph_snap_prop_{tag}_{}_{n}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(prop::collection::vec(any::<bool>(), DIM), 1..100).prop_map(|rows| {
+        Dataset::from_vectors(DIM, rows.iter().map(|r| BitVector::from_bits(r.iter().copied())))
+            .expect("uniform width")
+    })
+}
+
+fn cfg(seed: u64) -> GphConfig {
+    let mut cfg = GphConfig::new(3, 10);
+    cfg.strategy = PartitionStrategy::RandomShuffle { seed };
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// snapshot → restore → query equals build → query over 1..=6
+    /// shards, for range, top-k, and the admission cost signal.
+    #[test]
+    fn restored_fleet_is_query_identical(
+        ds in dataset_strategy(),
+        n_shards in 1usize..=6,
+        tau in 0u32..=10,
+        k in 1usize..=8,
+        qi in any::<prop::sample::Index>(),
+        seed in any::<u64>(),
+    ) {
+        let built = ShardedIndex::build(&ds, n_shards, &cfg(seed)).expect("build");
+        let dir = fresh_dir("roundtrip");
+        built.snapshot(&dir).expect("snapshot");
+        let restored = ShardedIndex::restore(&dir).expect("restore");
+        std::fs::remove_dir_all(&dir).ok();
+        let q = ds.row(qi.index(ds.len())).to_vec();
+        prop_assert_eq!(restored.search(&q, tau), built.search(&q, tau));
+        prop_assert_eq!(restored.search_topk(&q, k), built.search_topk(&q, k));
+        prop_assert_eq!(restored.estimate_cost(&q, tau), built.estimate_cost(&q, tau));
+        prop_assert_eq!(restored.shard_sizes(), built.shard_sizes());
+    }
+
+    /// A single corrupted byte in any file of the snapshot directory —
+    /// manifest or shard — fails the restore with `Corrupt`.
+    #[test]
+    fn corrupted_snapshot_directory_is_rejected(
+        ds in dataset_strategy(),
+        n_shards in 1usize..=4,
+        seed in any::<u64>(),
+        file_pick in any::<prop::sample::Index>(),
+        offset in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let built = ShardedIndex::build(&ds, n_shards, &cfg(seed)).expect("build");
+        let dir = fresh_dir("corrupt");
+        built.snapshot(&dir).expect("snapshot");
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .expect("list")
+            .map(|e| e.expect("entry").path())
+            .collect();
+        files.sort();
+        let victim = files[file_pick.index(files.len())].clone();
+        let mut bytes = std::fs::read(&victim).expect("read victim");
+        let at = offset.index(bytes.len());
+        bytes[at] ^= flip;
+        std::fs::write(&victim, &bytes).expect("write victim");
+        let outcome = ShardedIndex::restore(&dir);
+        std::fs::remove_dir_all(&dir).ok();
+        match outcome {
+            Err(HammingError::Corrupt(_)) => {}
+            Err(other) => {
+                return Err(TestCaseError::Fail(format!(
+                    "flip {flip:#x} at {at} of {victim:?}: unexpected error kind {other}"
+                )));
+            }
+            Ok(_) => {
+                return Err(TestCaseError::Fail(format!(
+                    "flip {flip:#x} at {at} of {victim:?} went undetected"
+                )));
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Warm restart: build a sharded index once, snapshot it to disk, then
+//! bring a query service back up from the snapshot — without re-running
+//! the partition optimizer, the index build, or estimator training.
+//!
+//! ```text
+//! cargo run --release --example warm_restart
+//! ```
+
+use gph_suite::datagen::Profile;
+use gph_suite::gph::engine::GphConfig;
+use gph_suite::hamming_core::Dataset;
+use gph_suite::serve::{QueryService, ServiceConfig, ShardedIndex};
+use std::time::Instant;
+
+fn main() {
+    // 1. Data: skewed 128-bit codes, queries = perturbed members.
+    let profile = Profile::synthetic_gamma(0.25);
+    let data = profile.generate(20_000, 11);
+    let queries = {
+        let mut qs = Dataset::new(data.dim());
+        for i in 0..32usize {
+            let mut v = data.vector((i * 613) % data.len());
+            for b in 0..4 {
+                v.flip((i * 37 + b * 61) % data.dim());
+            }
+            qs.push(&v).expect("same dim");
+        }
+        qs
+    };
+
+    // 2. The expensive offline phase: GR partitioning + index build +
+    //    estimator construction, one engine per shard.
+    let cfg = GphConfig::new(GphConfig::suggested_m(data.dim()), 16);
+    let t_build = Instant::now();
+    let built = ShardedIndex::build(&data, 4, &cfg).expect("build shards");
+    let build_s = t_build.elapsed().as_secs_f64();
+    println!(
+        "cold build: {} rows over {} shards in {build_s:.2}s",
+        built.len(),
+        built.num_shards()
+    );
+
+    // 3. Snapshot the fleet: one checksummed engine file per shard plus
+    //    the manifest (shard count, id-hash fingerprint, per-file CRCs).
+    let dir = std::env::temp_dir().join("gph_warm_restart_example");
+    let t_snap = Instant::now();
+    let manifest = built.snapshot(&dir).expect("snapshot");
+    println!(
+        "snapshot: {} shard files + MANIFEST in {:.2}s -> {}",
+        manifest.shards.len(),
+        t_snap.elapsed().as_secs_f64(),
+        dir.display()
+    );
+
+    // 4. "Process restart": restore the index from disk. This is pure
+    //    deserialization — partition optimization never re-runs.
+    let t_restore = Instant::now();
+    let restored = ShardedIndex::restore(&dir).expect("restore");
+    let restore_s = t_restore.elapsed().as_secs_f64();
+    println!(
+        "warm restore: {} rows over {} shards in {restore_s:.2}s \
+         ({:.0}x faster than the cold build)",
+        restored.len(),
+        restored.num_shards(),
+        build_s / restore_s.max(1e-9)
+    );
+
+    // 5. The restored fleet is query-for-query identical to the built one.
+    for qi in 0..queries.len() {
+        let q = queries.row(qi);
+        assert_eq!(restored.search(q, 8), built.search(q, 8), "range qi={qi}");
+        assert_eq!(restored.search_topk(q, 5), built.search_topk(q, 5), "topk qi={qi}");
+    }
+    println!("verified: restored results identical on {} queries", queries.len());
+
+    // 6. Warm-start the full service on the snapshot and take traffic.
+    let service = QueryService::warm_start(&dir, ServiceConfig::default()).expect("warm start");
+    let qrefs: Vec<&[u64]> = (0..queries.len()).map(|i| queries.row(i)).collect();
+    let responses = service.submit_batch(&qrefs, 8).wait();
+    let served: usize = responses.iter().map(|r| r.ids().map_or(0, <[u32]>::len)).sum();
+    let stats = service.stats();
+    println!(
+        "warm-started service answered {} queries ({served} results, p95 {:.2} ms)",
+        stats.responses,
+        stats.latency_p95_ns as f64 / 1e6
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,247 @@
+//! `gph-store` — build, persist, and warm-start GPH indexes.
+//!
+//! The build-once / reload-many lifecycle of the snapshot subsystem:
+//!
+//! ```text
+//! gph-store build --profile sift --rows 20000 --shards 4 --tau-max 16 --out snap/
+//! gph-store build --data data.hamd --shards 4 --tau-max 16 --out snap/
+//! gph-store info  --index snap/
+//! gph-store query --index snap/ --queries q.hamd --tau 8 [--topk k]
+//! gph-store serve --index snap/ --queries 2000 --tau 8 [--workers w]
+//! ```
+//!
+//! `build` runs the expensive offline phase (partition optimization,
+//! index + estimator construction, one engine per shard) and snapshots
+//! the fleet; every other command restores from the snapshot and never
+//! re-optimizes.
+
+use gph_suite::datagen::Profile;
+use gph_suite::gph::engine::GphConfig;
+use gph_suite::hamming_core::io;
+use gph_suite::hamming_core::Dataset;
+use gph_suite::serve::{read_manifest, QueryService, ServiceConfig, ShardedIndex};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let mut opts: HashMap<String, String> = HashMap::new();
+    let mut key: Option<String> = None;
+    for a in args {
+        if let Some(stripped) = a.strip_prefix("--") {
+            if let Some(k) = key.take() {
+                opts.insert(k, "true".into()); // boolean flag
+            }
+            key = Some(stripped.to_string());
+        } else if let Some(k) = key.take() {
+            opts.insert(k, a);
+        } else {
+            eprintln!("unexpected argument: {a}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(k) = key.take() {
+        opts.insert(k, "true".into());
+    }
+    let result = match cmd.as_str() {
+        "build" => cmd_build(&opts),
+        "info" => cmd_info(&opts),
+        "query" => cmd_query(&opts),
+        "serve" => cmd_serve(&opts),
+        "--help" | "-h" | "help" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "gph-store <command> [--opt value]...\n\
+         commands:\n\
+         \x20 build --out <dir> (--data <file.hamd> | --profile <name> --rows <n>)\n\
+         \x20       [--shards s] [--m m] [--tau-max t] [--seed s]\n\
+         \x20 info  --index <dir>\n\
+         \x20 query --index <dir> --tau <t> (--queries <file.hamd> | --sample n)\n\
+         \x20       [--topk k]\n\
+         \x20 serve --index <dir> --queries <n> --tau <t> [--workers w] [--batch b]\n\
+         profiles: sift gist pubchem fasttext uqvideo uniform<d> gamma<g>"
+    );
+}
+
+fn need<'a>(opts: &'a HashMap<String, String>, k: &str) -> Result<&'a str, String> {
+    opts.get(k).map(|s| s.as_str()).ok_or_else(|| format!("missing --{k}"))
+}
+
+fn parse<T: std::str::FromStr>(opts: &HashMap<String, String>, k: &str) -> Result<T, String> {
+    need(opts, k)?.parse().map_err(|_| format!("--{k} is not a valid value"))
+}
+
+fn parse_or<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    k: &str,
+    default: T,
+) -> Result<T, String> {
+    match opts.get(k) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{k} is not a valid value")),
+    }
+}
+
+fn cmd_build(opts: &HashMap<String, String>) -> Result<(), String> {
+    let out = need(opts, "out")?;
+    let ds: Dataset = if let Some(path) = opts.get("data") {
+        io::read_dataset(path).map_err(|e| format!("reading {path}: {e}"))?
+    } else {
+        let name =
+            need(opts, "profile").map_err(|_| "need --data or --profile/--rows".to_string())?;
+        let profile = Profile::by_name(name).ok_or_else(|| format!("unknown profile {name}"))?;
+        let rows: usize = parse(opts, "rows")?;
+        let seed: u64 = parse_or(opts, "seed", 42)?;
+        profile.generate(rows, seed)
+    };
+    let shards: usize = parse_or(opts, "shards", 1)?;
+    let m: usize = parse_or(opts, "m", GphConfig::suggested_m(ds.dim()))?;
+    let tau_max: usize = parse_or(opts, "tau-max", 16)?;
+    let cfg = GphConfig::new(m, tau_max);
+    let t0 = Instant::now();
+    let index = ShardedIndex::build(&ds, shards, &cfg).map_err(|e| e.to_string())?;
+    let build_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let manifest = index.snapshot(out).map_err(|e| e.to_string())?;
+    println!(
+        "built {} rows x {} dims over {} shard(s) in {build_s:.1}s \
+         ({:.1} MB in memory), snapshotted to {out} in {:.2}s",
+        index.len(),
+        index.dim(),
+        manifest.shards.len(),
+        index.size_bytes() as f64 / 1e6,
+        t1.elapsed().as_secs_f64(),
+    );
+    Ok(())
+}
+
+fn cmd_info(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dir = need(opts, "index")?;
+    let m = read_manifest(dir).map_err(|e| e.to_string())?;
+    println!("snapshot:  {dir}");
+    println!("records:   {}", m.len);
+    println!("dims:      {}", m.dim);
+    println!("tau_max:   {}", m.tau_max);
+    println!("shards:    {} requested, {} non-empty", m.n_shards, m.shards.len());
+    for e in &m.shards {
+        println!(
+            "  slot {:>3}: {:>8} rows  {}  crc32 {:08x}",
+            e.slot,
+            e.rows,
+            e.file_name(),
+            e.crc
+        );
+    }
+    Ok(())
+}
+
+fn restore(opts: &HashMap<String, String>) -> Result<ShardedIndex, String> {
+    let dir = need(opts, "index")?;
+    let t0 = Instant::now();
+    let index = ShardedIndex::restore(dir).map_err(|e| e.to_string())?;
+    eprintln!(
+        "restored {} rows over {} shard(s) in {:.2}s (no re-optimization)",
+        index.len(),
+        index.num_shards(),
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(index)
+}
+
+fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
+    let index = restore(opts)?;
+    let tau: u32 = parse(opts, "tau")?;
+    if tau as usize > index.tau_max() {
+        return Err(format!("--tau {tau} exceeds the snapshot's tau_max {}", index.tau_max()));
+    }
+    let queries: Dataset = if let Some(path) = opts.get("queries") {
+        io::read_dataset(path).map_err(|e| format!("reading {path}: {e}"))?
+    } else {
+        let n: usize = parse_or(opts, "sample", 10)?;
+        Profile::uniform(index.dim()).generate(n, 0x5EED)
+    };
+    if queries.dim() != index.dim() {
+        return Err(format!("query dim {} != index dim {}", queries.dim(), index.dim()));
+    }
+    let topk: usize = parse_or(opts, "topk", 0)?;
+    let t0 = Instant::now();
+    let mut total = 0usize;
+    for qi in 0..queries.len() {
+        if topk > 0 {
+            let hits = index.search_topk(queries.row(qi), topk);
+            total += hits.len();
+            println!("query {qi}: top-{topk} {:?}", &hits[..hits.len().min(8)]);
+        } else {
+            let ids = index.search(queries.row(qi), tau);
+            total += ids.len();
+            println!("query {qi}: {} results {:?}", ids.len(), &ids[..ids.len().min(16)]);
+        }
+    }
+    eprintln!(
+        "{} queries, {total} results in {:.1} ms",
+        queries.len(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dir = need(opts, "index")?;
+    let n_queries: usize = parse_or(opts, "queries", 1000)?;
+    let workers: usize = parse_or(opts, "workers", 0)?;
+    let batch: usize = parse_or(opts, "batch", 16)?;
+    let cfg = ServiceConfig { workers, ..ServiceConfig::default() };
+    let t0 = Instant::now();
+    let service = QueryService::warm_start(dir, cfg).map_err(|e| e.to_string())?;
+    eprintln!("service warm-started from {dir} in {:.2}s", t0.elapsed().as_secs_f64());
+    let (dim, tau_max) = (service.index().dim(), service.index().tau_max());
+    let tau: u32 = parse_or(opts, "tau", (tau_max / 2).max(1) as u32)?;
+    if tau as usize > tau_max {
+        return Err(format!("--tau {tau} exceeds the snapshot's tau_max {tau_max}"));
+    }
+    let queries = Profile::uniform(dim).generate(n_queries, 0xCAFE);
+    let t1 = Instant::now();
+    let mut tickets = Vec::new();
+    for chunk_start in (0..queries.len()).step_by(batch.max(1)) {
+        let chunk: Vec<&[u64]> = (chunk_start..(chunk_start + batch.max(1)).min(queries.len()))
+            .map(|i| queries.row(i))
+            .collect();
+        tickets.push(service.submit_batch(&chunk, tau));
+    }
+    let mut results = 0usize;
+    for t in tickets {
+        for resp in t.wait() {
+            results += resp.ids().map_or(0, <[u32]>::len);
+        }
+    }
+    let elapsed = t1.elapsed().as_secs_f64();
+    let st = service.stats();
+    println!(
+        "{n_queries} queries at tau={tau}: {results} results in {elapsed:.2}s \
+         ({:.0} QPS, p50 {:.2} ms, p95 {:.2} ms, {:.0} candidates/query)",
+        n_queries as f64 / elapsed,
+        st.latency_p50_ns as f64 / 1e6,
+        st.latency_p95_ns as f64 / 1e6,
+        st.candidates_per_query,
+    );
+    Ok(())
+}

@@ -4,7 +4,7 @@
 //! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
 //! [`criterion_main!`] macros.
 //!
-//! Measurement model: each benchmark is calibrated to ~[`TARGET_SAMPLE`]
+//! Measurement model: each benchmark is calibrated to ~50 ms
 //! per sample, warmed up, then timed for `sample_size` samples; the
 //! minimum, median, and mean per-iteration times are printed. No
 //! statistics beyond that, no plots, no saved baselines — enough to

@@ -324,7 +324,7 @@ pub mod collection {
 
     use super::{Reject, Strategy, TestRng};
 
-    /// Length specifications accepted by [`vec`]: a fixed `usize` or a
+    /// Length specifications accepted by [`vec()`]: a fixed `usize` or a
     /// half-open/inclusive range of lengths.
     pub trait SizeRange {
         /// Sample a length.
