@@ -1,6 +1,7 @@
 //! One module per paper artifact. Every `run(scale)` prints markdown
 //! tables carrying the same rows/series the paper's figure or table
-//! reports (see `DESIGN.md` §5 for the experiment index).
+//! reports (see the workspace-level `PAPER.md` for the experiment
+//! index and known deviations).
 
 pub mod ablation;
 pub mod allocation;
@@ -8,6 +9,7 @@ pub mod calibration;
 pub mod comparison;
 pub mod estimators;
 pub mod msweep;
+pub mod mutations;
 pub mod partitioning;
 pub mod scalecheck;
 pub mod scaling;
@@ -35,6 +37,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "ablation",
     "scalecheck",
     "smoke",
+    "mutations",
     "all",
 ];
 
@@ -57,6 +60,7 @@ pub fn dispatch(exp: &str, scale: Scale) -> bool {
         "ablation" => ablation::run(scale),
         "scalecheck" => scalecheck::run(scale),
         "smoke" => smoke::run(scale),
+        "mutations" => mutations::run(scale),
         "all" => {
             for exp in EXPERIMENTS.iter().filter(|&&e| e != "all") {
                 dispatch(exp, scale);

@@ -1,0 +1,176 @@
+//! Mixed read/write benchmark: a query stream interleaved with
+//! inserts/deletes/upserts through the full service path, with the
+//! headline numbers written to `BENCH_mutations.json`.
+//!
+//! Companion to the `smoke` experiment: where smoke pins the frozen
+//! build→snapshot→restore→serve pipeline, this pins the live-update
+//! path — memtable appends, tombstone deletes, segment seals and
+//! compactions, and whole-cache invalidation — under a 80/10/10
+//! search/insert/delete mix. The run also cross-checks one final query
+//! against a brute-force scan over the surviving rows, so a correctness
+//! regression in the segmented merge fails the job rather than skewing
+//! a number.
+
+use crate::util::prepare;
+use crate::Scale;
+use datagen::Profile;
+use gph::engine::GphConfig;
+use gph::segment::SegmentConfig;
+use gph_serve::{MutationOutcome, QueryService, ServiceConfig, ShardedIndex};
+use hamming_core::Dataset;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of shards the fleet runs.
+const SHARDS: usize = 2;
+/// Threshold the query stream uses.
+const TAU: u32 = 16;
+/// Seal threshold: small enough that even the tiny (CI) scale — ~150
+/// inserts spread over the shards — triggers several seals, so the
+/// perf trajectory covers the build-on-seal path, not just memtable
+/// appends. The run asserts this invariant below.
+const SEAL_ROWS: usize = 32;
+/// Compaction fan-out: the bulk-built segment plus two seals exceeds
+/// this, so at least one merge runs too.
+const MAX_SEALED: usize = 2;
+
+/// Runs the mixed read/write pass and writes the JSON report. The output
+/// path comes from `BENCH_MUTATIONS_OUT` (default `BENCH_mutations.json`);
+/// any failure panics, which is what the CI job wants to fail on.
+pub fn run(scale: Scale) {
+    let profile = Profile::synthetic_gamma(0.25);
+    let qs = prepare(&profile, scale, 0x307A7E);
+    run_inner(&qs.data, &qs.queries, scale);
+}
+
+fn run_inner(data: &Dataset, queries: &Dataset, scale: Scale) {
+    let cfg = GphConfig::new(GphConfig::suggested_m(data.dim()), TAU as usize);
+    let seg_cfg = SegmentConfig { seal_rows: SEAL_ROWS, max_sealed: MAX_SEALED };
+
+    let t_build = Instant::now();
+    let index = Arc::new(
+        ShardedIndex::build_with_segments(data, SHARDS, &cfg, seg_cfg).expect("mutations: build"),
+    );
+    let build_s = t_build.elapsed().as_secs_f64();
+    let service = QueryService::new(Arc::clone(&index), ServiceConfig::default());
+
+    // Mixed op stream: 80 % searches over the query set, 10 % inserts of
+    // fresh rows (ids above the initial range), 10 % deletes of live ids.
+    // A model map tracks the expected survivors for the final check.
+    let n_ops = (scale.base_rows / 2).max(500);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBEEF);
+    let fresh = Profile::synthetic_gamma(0.25).generate(n_ops / 8 + 8, 0xF00D);
+    let mut model: BTreeMap<u32, Vec<u64>> =
+        (0..data.len()).map(|i| (i as u32, data.row(i).to_vec())).collect();
+    let mut next_id = data.len() as u32 + 1_000_000;
+    let mut fresh_at = 0usize;
+    let (mut searches, mut inserts, mut deletes, mut results) = (0u64, 0u64, 0u64, 0u64);
+
+    let t_ops = Instant::now();
+    for _ in 0..n_ops {
+        match rng.random_range(0..10u32) {
+            0 => {
+                let row = fresh.row(fresh_at % fresh.len()).to_vec();
+                fresh_at += 1;
+                let resp = service.insert(next_id, &row).expect("mutations: insert");
+                assert!(
+                    matches!(resp.outcome, MutationOutcome::Applied { .. }),
+                    "insert rejected under an unlimited budget"
+                );
+                model.insert(next_id, row);
+                next_id += 1;
+                inserts += 1;
+            }
+            1 => {
+                // Delete a pseudo-random live id: the first live id at or
+                // above a random probe, wrapping to the smallest.
+                let probe = rng.random_range(0..next_id);
+                let victim =
+                    model.range(probe..).next().or_else(|| model.iter().next()).map(|(&id, _)| id);
+                if let Some(victim) = victim {
+                    let resp = service.delete(victim);
+                    assert!(matches!(resp.outcome, MutationOutcome::Applied { .. }));
+                    model.remove(&victim);
+                    deletes += 1;
+                }
+            }
+            _ => {
+                let q = queries.row((searches as usize) % queries.len());
+                let resp = service.query(q, TAU);
+                results += resp.ids().map_or(0, <[u32]>::len) as u64;
+                searches += 1;
+            }
+        }
+    }
+    let ops_s = t_ops.elapsed().as_secs_f64();
+
+    // The benchmark must cover the seal path at every scale: by the
+    // pigeonhole principle, `inserts` spread over SHARDS shards gives
+    // some shard at least inserts/SHARDS memtable appends, which must
+    // exceed the seal threshold (deletes can thin a memtable but only
+    // the ids that actually landed there).
+    assert!(
+        inserts as usize / SHARDS >= 2 * SEAL_ROWS,
+        "op mix too small to exercise seals: {inserts} inserts over {SHARDS} shards \
+         at seal_rows={SEAL_ROWS}"
+    );
+
+    // Correctness cross-check: one query against a brute-force scan over
+    // the model's surviving rows.
+    let probe = queries.row(0);
+    let got = index.search(probe, TAU);
+    let expect: Vec<u32> = model
+        .iter()
+        .filter(|(_, row)| hamming_core::distance::hamming_within(row, probe, TAU).is_some())
+        .map(|(&id, _)| id)
+        .collect();
+    assert_eq!(got, expect, "mutations: fleet diverged from the surviving-row scan");
+
+    let stats = service.stats();
+    let cache = service.cache_stats();
+    let segs: usize = index.segment_counts().iter().sum();
+    let ops_per_s = n_ops as f64 / ops_s.max(1e-9);
+
+    let json = format!(
+        "{{\n  \"experiment\": \"mutations\",\n  \"rows_initial\": {},\n  \"dims\": {},\n  \
+         \"shards\": {},\n  \"tau\": {},\n  \"seal_rows\": {},\n  \"ops\": {},\n  \
+         \"searches\": {},\n  \"inserts\": {},\n  \"deletes\": {},\n  \
+         \"rows_final\": {},\n  \"build_s\": {:.4},\n  \"ops_per_s\": {:.1},\n  \
+         \"p50_ms\": {:.4},\n  \"p95_ms\": {:.4},\n  \"cache_invalidations\": {},\n  \
+         \"sealed_segments\": {},\n  \"results\": {}\n}}\n",
+        data.len(),
+        data.dim(),
+        SHARDS,
+        TAU,
+        SEAL_ROWS,
+        n_ops,
+        searches,
+        inserts,
+        deletes,
+        index.len(),
+        build_s,
+        ops_per_s,
+        stats.latency_p50_ns as f64 / 1e6,
+        stats.latency_p95_ns as f64 / 1e6,
+        cache.invalidations,
+        segs,
+        results,
+    );
+    let out =
+        std::env::var("BENCH_MUTATIONS_OUT").unwrap_or_else(|_| "BENCH_mutations.json".into());
+    std::fs::write(&out, &json).expect("mutations: write report");
+
+    println!("## mutations ({} initial rows, {} ops)\n", data.len(), n_ops);
+    println!("| metric | value |");
+    println!("|---|---|");
+    println!("| build | {build_s:.2} s |");
+    println!("| ops/s (mixed 80/10/10) | {ops_per_s:.0} |");
+    println!("| searches / inserts / deletes | {searches} / {inserts} / {deletes} |");
+    println!("| p95 latency | {:.2} ms |", stats.latency_p95_ns as f64 / 1e6);
+    println!("| cache invalidations | {} |", cache.invalidations);
+    println!("| sealed segments (end) | {segs} |");
+    println!("\nreport written to {out}");
+}

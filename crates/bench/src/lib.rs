@@ -9,9 +9,10 @@
 //! ```
 //!
 //! where `<exp>` is one of `fig1 fig2a fig2b fig3 table3 fig4 fig5 fig6
-//! table4 fig7 fig8abc fig8d fig8ef all`. Each runner prints a markdown
-//! table with the same rows/series as the paper artifact; `EXPERIMENTS.md`
-//! archives one full run and compares shapes against the paper.
+//! table4 fig7 fig8abc fig8d fig8ef ablation scalecheck smoke mutations
+//! all`. Each runner prints a markdown table with the same rows/series
+//! as the paper artifact; the workspace-level `PAPER.md` maps every
+//! figure/table to its experiment id and lists the known deviations.
 
 #![forbid(unsafe_code)]
 

@@ -134,7 +134,31 @@ impl Scratch {
 /// The built GPH index.
 ///
 /// Field visibility is `pub(crate)` so the [`crate::snapshot`] module can
-/// persist and restore engines without re-running the offline phase.
+/// persist and restore engines without re-running the offline phase. The
+/// index is frozen once built; for insert/delete/upsert workloads wrap it
+/// in [`crate::segment::SegmentedGph`].
+///
+/// # Example
+///
+/// ```
+/// use gph::engine::{Gph, GphConfig};
+/// use gph::partition_opt::PartitionStrategy;
+/// use hamming_core::{BitVector, Dataset};
+///
+/// // Index the four example vectors of the paper's Table I.
+/// let rows = ["00000000", "00000111", "00001111", "10011111"];
+/// let data =
+///     Dataset::from_vectors(8, rows.iter().map(|s| BitVector::parse(s).unwrap())).unwrap();
+/// let mut cfg = GphConfig::new(2, 4);
+/// cfg.strategy = PartitionStrategy::Original;
+/// let engine = Gph::build(data, &cfg).unwrap();
+///
+/// // Example 2 of the paper: q1 = 10000000 matches only x1 at tau = 2.
+/// let q1 = BitVector::parse("10000000").unwrap();
+/// assert_eq!(engine.search(q1.words(), 2), vec![0]);
+/// // The two nearest rows, with exact distances.
+/// assert_eq!(engine.search_topk(q1.words(), 2), vec![(0, 1), (1, 4)]);
+/// ```
 pub struct Gph {
     pub(crate) data: Dataset,
     pub(crate) partitioning: Partitioning,

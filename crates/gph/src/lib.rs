@@ -57,6 +57,7 @@ pub mod cost;
 pub mod engine;
 pub mod partition_opt;
 pub mod pigeonhole;
+pub mod segment;
 pub mod snapshot;
 
 pub use alloc::{allocate_dp, allocate_round_robin, AllocatorKind};
@@ -66,4 +67,5 @@ pub use engine::{Gph, GphConfig, QueryStats, SearchResult};
 pub use hamming_core::{fasthash, invindex as index};
 pub use partition_opt::{HeuristicConfig, InitKind, PartitionStrategy, WorkloadSpec};
 pub use pigeonhole::ThresholdVector;
+pub use segment::{SegmentConfig, SegmentedGph};
 pub use snapshot::{ENGINE_MAGIC, SNAPSHOT_VERSION};

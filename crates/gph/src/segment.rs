@@ -1,0 +1,1037 @@
+//! Live updates for GPH: an LSM-style segmented engine.
+//!
+//! [`crate::Gph`] is build-once: its postings reference dense row ids and
+//! its partitioning is the product of an expensive offline optimization,
+//! so per-insert rebuilds are untenable. [`SegmentedGph`] makes the
+//! engine mutable the way log-structured stores do:
+//!
+//! * a mutable front **memtable** — rows appended to a [`Dataset`] with a
+//!   [`Tombstones`] bitmap for deletes, answered by early-exit linear
+//!   scan (exact, and cheap while the memtable is small);
+//! * a list of sealed **immutable [`Gph`] segments**, each with its own
+//!   id map and tombstone bitmap; deletes flip a bit, queries filter;
+//! * a size-triggered **seal**: when the memtable reaches
+//!   [`SegmentConfig::seal_rows`] live rows it is rebuilt into a sealed
+//!   segment (dead rows dropped on the way) using the configured
+//!   partition optimizer;
+//! * a **compaction policy**: all-dead segments are dropped outright, and
+//!   whenever more than [`SegmentConfig::max_sealed`] segments exist the
+//!   two smallest are merged into one freshly built segment, bounding
+//!   per-query segment fan-out the way LSM level merges bound sstable
+//!   counts.
+//!
+//! Rows are addressed by caller-chosen `u32` ids, stable across seals and
+//! compactions. Every query is **provably identical** to a fresh [`Gph`]
+//! built over the surviving rows (the pigeonhole filter is exact for any
+//! partitioning, and tombstone filtering removes exactly the dead rows);
+//! `tests/segment_properties.rs` pins this over arbitrary
+//! insert/delete/seal/compact interleavings, including through a
+//! snapshot/restore round-trip.
+
+use crate::engine::{Gph, GphConfig, QueryStats};
+use crate::snapshot::{decode_gph_config, encode_gph_config};
+use bytes::BufMut;
+use hamming_core::error::{HammingError, Result};
+use hamming_core::io::{ByteReader, SectionReader, SectionWriter};
+use hamming_core::tombstone::Tombstones;
+use hamming_core::{words_for, Dataset};
+use std::collections::HashMap;
+
+/// Magic of a segmented-engine snapshot.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"GPHS";
+
+/// Current segmented-snapshot format version.
+pub const SEGMENT_VERSION: u32 = 1;
+
+/// Knobs of the segment lifecycle.
+#[derive(Clone, Copy, Debug)]
+pub struct SegmentConfig {
+    /// Live memtable rows that trigger a seal (build into an immutable
+    /// segment). Smaller values keep scans short but build more often.
+    pub seal_rows: usize,
+    /// Sealed segments tolerated before compaction merges the two
+    /// smallest; bounds per-query fan-out.
+    pub max_sealed: usize,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        SegmentConfig { seal_rows: 4096, max_sealed: 6 }
+    }
+}
+
+/// Where a live id currently resides.
+#[derive(Clone, Copy, Debug)]
+struct Loc {
+    /// Sealed-segment index, or `usize::MAX` for the memtable.
+    seg: usize,
+    /// Row index within that segment's dataset.
+    row: usize,
+}
+
+const MEMTABLE: usize = usize::MAX;
+
+/// The mutable front segment.
+struct Memtable {
+    data: Dataset,
+    ids: Vec<u32>,
+    dead: Tombstones,
+}
+
+impl Memtable {
+    fn new(dim: usize) -> Self {
+        Memtable { data: Dataset::new(dim), ids: Vec::new(), dead: Tombstones::new() }
+    }
+}
+
+/// One sealed, immutable segment: a frozen [`Gph`] engine plus the map
+/// from its dense local row ids to external ids, and the tombstones
+/// accumulated since it was built.
+struct Sealed {
+    engine: Gph,
+    ids: Vec<u32>,
+    dead: Tombstones,
+}
+
+/// Segment-level diagnostics ([`SegmentedGph::segment_info`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Rows stored (live + tombstoned).
+    pub rows: usize,
+    /// Rows still live.
+    pub live: usize,
+    /// Whether this is the mutable memtable (always the last entry).
+    pub memtable: bool,
+}
+
+/// A live-updatable GPH engine: a scan-served memtable in front of
+/// sealed immutable [`Gph`] segments, merged at query time.
+///
+/// # Example
+///
+/// ```
+/// use gph::engine::GphConfig;
+/// use gph::partition_opt::PartitionStrategy;
+/// use gph::segment::{SegmentConfig, SegmentedGph};
+///
+/// let mut cfg = GphConfig::new(2, 4);
+/// cfg.strategy = PartitionStrategy::Original;
+/// let mut engine =
+///     SegmentedGph::new(16, cfg, SegmentConfig { seal_rows: 2, max_sealed: 2 }).unwrap();
+///
+/// // Insert rows under caller-chosen ids; seals happen automatically.
+/// engine.insert(7, &[0b0000_0000_1111_0000]).unwrap();
+/// engine.insert(3, &[0b0000_0000_1111_0001]).unwrap();
+/// engine.insert(9, &[0b1111_0000_0000_0000]).unwrap();
+/// assert_eq!(engine.search(&[0b0000_0000_1111_0000], 1), vec![3, 7]);
+///
+/// // Delete and upsert keep queries exact.
+/// assert!(engine.delete(7));
+/// engine.upsert(9, &[0b0000_0000_1111_0011]).unwrap();
+/// assert_eq!(engine.search(&[0b0000_0000_1111_0000], 2), vec![3, 9]);
+/// assert_eq!(engine.len(), 2);
+/// ```
+pub struct SegmentedGph {
+    cfg: GphConfig,
+    seg_cfg: SegmentConfig,
+    dim: usize,
+    words_per_vec: usize,
+    mem: Memtable,
+    sealed: Vec<Sealed>,
+    /// External id → current location, live rows only.
+    loc: HashMap<u32, Loc>,
+}
+
+impl SegmentedGph {
+    /// Creates an empty engine for `dim`-dimensional rows.
+    pub fn new(dim: usize, cfg: GphConfig, seg_cfg: SegmentConfig) -> Result<Self> {
+        if dim == 0 {
+            return Err(HammingError::InvalidParameter("zero-dimensional data".into()));
+        }
+        if seg_cfg.seal_rows == 0 || seg_cfg.max_sealed == 0 {
+            return Err(HammingError::InvalidParameter(
+                "seal_rows and max_sealed must be positive".into(),
+            ));
+        }
+        Ok(SegmentedGph {
+            cfg,
+            seg_cfg,
+            dim,
+            words_per_vec: words_for(dim),
+            mem: Memtable::new(dim),
+            sealed: Vec::new(),
+            loc: HashMap::new(),
+        })
+    }
+
+    /// Builds an engine whose initial contents are `data` under external
+    /// ids `ids`, sealed immediately into one segment — the bulk-load
+    /// path the serving layer uses when constructing a fleet from a
+    /// frozen dataset.
+    pub fn build_sealed(
+        data: Dataset,
+        ids: Vec<u32>,
+        cfg: GphConfig,
+        seg_cfg: SegmentConfig,
+    ) -> Result<Self> {
+        if data.len() != ids.len() {
+            return Err(HammingError::InvalidParameter(format!(
+                "{} rows but {} ids",
+                data.len(),
+                ids.len()
+            )));
+        }
+        let mut out = SegmentedGph::new(data.dim(), cfg, seg_cfg)?;
+        if !data.is_empty() {
+            out.push_built_segment(data, ids)?;
+        }
+        Ok(out)
+    }
+
+    /// Builds a sealed segment over `data` without touching any engine
+    /// state — the build-then-commit half of every seal/compaction, so a
+    /// failed `Gph::build` (e.g. an invalid config) leaves the engine
+    /// fully consistent.
+    fn build_segment(&self, data: Dataset, ids: Vec<u32>) -> Result<Sealed> {
+        let n = data.len();
+        let engine = Gph::build(data, &self.cfg)?;
+        Ok(Sealed { engine, ids, dead: Tombstones::all_live(n) })
+    }
+
+    /// Registers a built segment's ids in the location map (overwriting
+    /// any stale entries, e.g. memtable rows that just sealed) and
+    /// appends it.
+    fn commit_segment(&mut self, seg: Sealed) {
+        let seg_idx = self.sealed.len();
+        for (row, &id) in seg.ids.iter().enumerate() {
+            self.loc.insert(id, Loc { seg: seg_idx, row });
+        }
+        self.sealed.push(seg);
+    }
+
+    /// Builds a `Gph` over `data` and appends it as a sealed segment,
+    /// registering its ids (which must be globally fresh and distinct).
+    fn push_built_segment(&mut self, data: Dataset, ids: Vec<u32>) -> Result<()> {
+        let mut seen = std::collections::HashSet::with_capacity(ids.len());
+        for &id in &ids {
+            if self.loc.contains_key(&id) || !seen.insert(id) {
+                return Err(HammingError::InvalidParameter(format!("duplicate live id {id}")));
+            }
+        }
+        let seg = self.build_segment(data, ids)?;
+        self.commit_segment(seg);
+        Ok(())
+    }
+
+    /// Dimensionality of every row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Words per row.
+    pub fn words_per_vec(&self) -> usize {
+        self.words_per_vec
+    }
+
+    /// Largest threshold the engine serves.
+    pub fn tau_max(&self) -> usize {
+        self.cfg.tau_max
+    }
+
+    /// The build configuration (used for every seal and compaction).
+    pub fn config(&self) -> &GphConfig {
+        &self.cfg
+    }
+
+    /// The segment-lifecycle knobs.
+    pub fn segment_config(&self) -> SegmentConfig {
+        self.seg_cfg
+    }
+
+    /// Live rows.
+    pub fn len(&self) -> usize {
+        self.loc.len()
+    }
+
+    /// Whether no live rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.loc.is_empty()
+    }
+
+    /// Rows held in storage, including tombstoned ones awaiting
+    /// compaction.
+    pub fn stored_rows(&self) -> usize {
+        self.mem.data.len() + self.sealed.iter().map(|s| s.ids.len()).sum::<usize>()
+    }
+
+    /// Whether `id` is live.
+    pub fn contains(&self, id: u32) -> bool {
+        self.loc.contains_key(&id)
+    }
+
+    /// The live ids, ascending.
+    pub fn live_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.loc.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The stored row for a live `id`.
+    pub fn get(&self, id: u32) -> Option<&[u64]> {
+        let loc = self.loc.get(&id)?;
+        Some(if loc.seg == MEMTABLE {
+            self.mem.data.row(loc.row)
+        } else {
+            self.sealed[loc.seg].engine.data().row(loc.row)
+        })
+    }
+
+    /// Per-segment diagnostics, sealed segments first, memtable last.
+    pub fn segment_info(&self) -> Vec<SegmentInfo> {
+        let mut out: Vec<SegmentInfo> = self
+            .sealed
+            .iter()
+            .map(|s| SegmentInfo { rows: s.ids.len(), live: s.dead.live(), memtable: false })
+            .collect();
+        out.push(SegmentInfo {
+            rows: self.mem.data.len(),
+            live: self.mem.dead.live(),
+            memtable: true,
+        });
+        out
+    }
+
+    /// Sealed segments currently held.
+    pub fn num_sealed(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Heap size of all segment engines plus the memtable payload.
+    pub fn size_bytes(&self) -> usize {
+        self.mem.data.size_bytes()
+            + self.sealed.iter().map(|s| s.engine.size_bytes()).sum::<usize>()
+    }
+
+    fn assert_query(&self, query: &[u64], tau: u32) {
+        assert!(
+            tau as usize <= self.cfg.tau_max,
+            "tau {tau} exceeds the configured tau_max {}",
+            self.cfg.tau_max
+        );
+        assert_eq!(query.len(), self.words_per_vec, "query width mismatch with indexed data");
+    }
+
+    // -----------------------------------------------------------------
+    // Mutations
+    // -----------------------------------------------------------------
+
+    /// Inserts `row` under `id`. Errors if `id` is already live (use
+    /// [`SegmentedGph::upsert`] to replace) or the row is malformed. May
+    /// trigger a seal (and then compaction) when the memtable fills; if
+    /// that seal fails the error propagates but the inserted row stays
+    /// live in the memtable and the engine remains consistent.
+    pub fn insert(&mut self, id: u32, row: &[u64]) -> Result<()> {
+        if self.loc.contains_key(&id) {
+            return Err(HammingError::InvalidParameter(format!(
+                "id {id} is already live; use upsert to replace it"
+            )));
+        }
+        let slot = self.mem.data.push_row(row)? as usize;
+        self.mem.ids.push(id);
+        self.mem.dead.push_live();
+        self.loc.insert(id, Loc { seg: MEMTABLE, row: slot });
+        if self.mem.dead.live() >= self.seg_cfg.seal_rows {
+            self.seal()?;
+        }
+        Ok(())
+    }
+
+    /// Tombstones `id`; returns whether it was live. All-dead segments
+    /// are dropped immediately.
+    pub fn delete(&mut self, id: u32) -> bool {
+        let Some(loc) = self.loc.remove(&id) else {
+            return false;
+        };
+        if loc.seg == MEMTABLE {
+            let was_live = self.mem.dead.kill(loc.row);
+            debug_assert!(was_live, "loc map pointed at a dead memtable row");
+            if self.mem.dead.all_dead() {
+                self.mem = Memtable::new(self.dim);
+            }
+        } else {
+            let was_live = self.sealed[loc.seg].dead.kill(loc.row);
+            debug_assert!(was_live, "loc map pointed at a dead sealed row");
+            if self.sealed[loc.seg].dead.all_dead() {
+                self.sealed.remove(loc.seg);
+                // Removing a segment shifts the indices of its successors.
+                for l in self.loc.values_mut() {
+                    if l.seg != MEMTABLE && l.seg > loc.seg {
+                        l.seg -= 1;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Inserts `row` under `id`, replacing any live row with that id.
+    /// Returns whether a replacement happened.
+    pub fn upsert(&mut self, id: u32, row: &[u64]) -> Result<bool> {
+        // Validate before deleting so a malformed row cannot half-apply.
+        if row.len() != self.words_per_vec {
+            return Err(HammingError::InvalidParameter(format!(
+                "row has {} words, {}-dimensional rows take {}",
+                row.len(),
+                self.dim,
+                self.words_per_vec
+            )));
+        }
+        let replaced = self.delete(id);
+        self.insert(id, row)?;
+        Ok(replaced)
+    }
+
+    /// Flushes the memtable into a sealed segment (dropping its dead
+    /// rows) and runs the compaction policy. A no-op when the memtable
+    /// holds no live rows. On error (a failing `Gph::build`) the engine
+    /// is left untouched and fully consistent.
+    pub fn seal(&mut self) -> Result<()> {
+        if self.mem.dead.live() > 0 {
+            let mut data = Dataset::with_capacity(self.dim, self.mem.dead.live());
+            let mut ids = Vec::with_capacity(self.mem.dead.live());
+            for row in self.mem.dead.iter_live() {
+                data.push_row_from(&self.mem.data, row)?;
+                ids.push(self.mem.ids[row]);
+            }
+            // Build before mutating: commit_segment overwrites the ids'
+            // memtable locations only once the segment exists.
+            let seg = self.build_segment(data, ids)?;
+            self.commit_segment(seg);
+        }
+        self.mem = Memtable::new(self.dim);
+        self.maybe_compact()
+    }
+
+    /// Rebuilds everything — memtable and every sealed segment — into a
+    /// single sealed segment over the live rows. The heavyweight path a
+    /// deployment runs off-peak; [`SegmentedGph::seal`]'s incremental
+    /// policy keeps day-to-day fan-out bounded without it.
+    pub fn compact(&mut self) -> Result<()> {
+        let mut data = Dataset::with_capacity(self.dim, self.len());
+        let mut ids = Vec::with_capacity(self.len());
+        for seg in &self.sealed {
+            for row in seg.dead.iter_live() {
+                data.push_row_from(seg.engine.data(), row)?;
+                ids.push(seg.ids[row]);
+            }
+        }
+        for row in self.mem.dead.iter_live() {
+            data.push_row_from(&self.mem.data, row)?;
+            ids.push(self.mem.ids[row]);
+        }
+        // Build the merged segment before dropping anything, so a failed
+        // build cannot lose rows.
+        let merged = if data.is_empty() { None } else { Some(self.build_segment(data, ids)?) };
+        self.sealed.clear();
+        self.mem = Memtable::new(self.dim);
+        self.loc.clear();
+        if let Some(seg) = merged {
+            self.commit_segment(seg);
+        }
+        Ok(())
+    }
+
+    /// The compaction policy: drop all-dead segments, then while more
+    /// than `max_sealed` segments exist merge the two with the fewest
+    /// live rows into one freshly built segment. Merged segments are
+    /// built before their sources are removed, so an error leaves every
+    /// row reachable.
+    fn maybe_compact(&mut self) -> Result<()> {
+        let before = self.sealed.len();
+        self.sealed.retain(|s| !s.dead.all_dead());
+        let mut changed = self.sealed.len() != before;
+        while self.sealed.len() > self.seg_cfg.max_sealed {
+            let (a, b) = smallest_two(&self.sealed);
+            let (hi, lo) = (a.max(b), a.min(b));
+            let live = self.sealed[lo].dead.live() + self.sealed[hi].dead.live();
+            let mut data = Dataset::with_capacity(self.dim, live);
+            let mut ids = Vec::with_capacity(live);
+            for idx in [lo, hi] {
+                let seg = &self.sealed[idx];
+                for row in seg.dead.iter_live() {
+                    data.push_row_from(seg.engine.data(), row)?;
+                    ids.push(seg.ids[row]);
+                }
+            }
+            let merged = self.build_segment(data, ids)?;
+            // Remove the higher index first so the lower stays valid.
+            self.sealed.remove(hi);
+            self.sealed.remove(lo);
+            self.sealed.push(merged);
+            changed = true;
+        }
+        if changed {
+            // Segment indices shifted; recompute every location once.
+            self.rebuild_loc();
+        }
+        Ok(())
+    }
+
+    /// Recomputes the id → location map from the segments (used after
+    /// compaction reshuffles segment indices).
+    fn rebuild_loc(&mut self) {
+        self.loc.clear();
+        for (seg, s) in self.sealed.iter().enumerate() {
+            for row in s.dead.iter_live() {
+                self.loc.insert(s.ids[row], Loc { seg, row });
+            }
+        }
+        for row in self.mem.dead.iter_live() {
+            self.loc.insert(self.mem.ids[row], Loc { seg: MEMTABLE, row });
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Queries
+    // -----------------------------------------------------------------
+
+    /// All live rows within `tau` of `query` — external ids, ascending.
+    /// Identical to a fresh [`Gph`] over the surviving rows.
+    pub fn search(&self, query: &[u64], tau: u32) -> Vec<u32> {
+        self.search_with_stats(query, tau).0
+    }
+
+    /// [`SegmentedGph::search`] with instrumentation summed across
+    /// segments. `thresholds` is left empty: each segment allocates its
+    /// own vector, so no single allocation describes the query.
+    pub fn search_with_stats(&self, query: &[u64], tau: u32) -> (Vec<u32>, QueryStats) {
+        self.assert_query(query, tau);
+        let mut out = Vec::new();
+        let mut agg = QueryStats::default();
+        for seg in &self.sealed {
+            let res = seg.engine.search_with_stats(query, tau);
+            agg.alloc_ns += res.stats.alloc_ns;
+            agg.enumerate_ns += res.stats.enumerate_ns;
+            agg.candgen_ns += res.stats.candgen_ns;
+            agg.verify_ns += res.stats.verify_ns;
+            agg.n_signatures += res.stats.n_signatures;
+            agg.sum_postings += res.stats.sum_postings;
+            agg.n_candidates += res.stats.n_candidates;
+            agg.estimated_cost += res.stats.estimated_cost;
+            for local in res.ids {
+                if !seg.dead.is_dead(local as usize) {
+                    out.push(seg.ids[local as usize]);
+                }
+            }
+        }
+        let t = std::time::Instant::now();
+        for row in self.mem.dead.iter_live() {
+            agg.n_candidates += 1;
+            if hamming_core::distance::hamming_within(self.mem.data.row(row), query, tau).is_some()
+            {
+                out.push(self.mem.ids[row]);
+            }
+        }
+        agg.verify_ns += t.elapsed().as_nanos() as u64;
+        out.sort_unstable();
+        agg.n_results = out.len() as u64;
+        (out, agg)
+    }
+
+    /// Live rows within `tau` of `query` as `(id, distance)` pairs,
+    /// ascending by `(distance, id)` — the refinement primitive the
+    /// sharded top-k merge uses.
+    pub fn search_with_distances(&self, query: &[u64], tau: u32) -> Vec<(u32, u32)> {
+        self.assert_query(query, tau);
+        let mut out = Vec::new();
+        for seg in &self.sealed {
+            for local in seg.engine.search(query, tau) {
+                if !seg.dead.is_dead(local as usize) {
+                    let d = seg.engine.data().distance_to(local as usize, query);
+                    out.push((seg.ids[local as usize], d));
+                }
+            }
+        }
+        for row in self.mem.dead.iter_live() {
+            if let Some(d) =
+                hamming_core::distance::hamming_within(self.mem.data.row(row), query, tau)
+            {
+                out.push((self.mem.ids[row], d));
+            }
+        }
+        out.sort_unstable_by_key(|&(id, d)| (d, id));
+        out
+    }
+
+    /// The `k` nearest live rows within `tau_max`, ties broken by id —
+    /// identical to [`Gph::search_topk`] over the surviving rows.
+    pub fn search_topk(&self, query: &[u64], k: usize) -> Vec<(u32, u32)> {
+        self.search_topk_within(query, k, self.cfg.tau_max as u32)
+    }
+
+    /// [`SegmentedGph::search_topk`] with the escalation radius capped at
+    /// `tau_cap` — identical to [`Gph::search_topk_within`] over the
+    /// surviving rows.
+    pub fn search_topk_within(&self, query: &[u64], k: usize, tau_cap: u32) -> Vec<(u32, u32)> {
+        self.assert_query(query, tau_cap);
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut hits: Vec<(u32, u32)> = Vec::new();
+        for seg in &self.sealed {
+            // Over-fetch by the segment's dead count: at most that many
+            // tombstoned rows can occupy top slots, so k live survivors
+            // (when they exist within the cap) are always retained.
+            for (local, d) in seg.engine.search_topk_within(query, k + seg.dead.dead(), tau_cap) {
+                if !seg.dead.is_dead(local as usize) {
+                    hits.push((seg.ids[local as usize], d));
+                }
+            }
+        }
+        for row in self.mem.dead.iter_live() {
+            if let Some(d) =
+                hamming_core::distance::hamming_within(self.mem.data.row(row), query, tau_cap)
+            {
+                hits.push((self.mem.ids[row], d));
+            }
+        }
+        hits.sort_unstable_by_key(|&(id, d)| (d, id));
+        hits.truncate(k);
+        hits
+    }
+
+    /// Estimated query cost: the sealed engines' allocator estimates plus
+    /// the memtable's scan cost (every live row is verified).
+    pub fn estimate_cost(&self, query: &[u64], tau: u32) -> f64 {
+        self.assert_query(query, tau);
+        let sealed: f64 = self.sealed.iter().map(|s| s.engine.estimate_cost(query, tau)).sum();
+        sealed + self.mem.dead.live() as f64 * self.cfg.cost_model.c_verify
+    }
+
+    /// Estimated cost of the *next* insert: the memtable append plus, if
+    /// it would trigger a seal, the cost of building a segment over the
+    /// memtable (every row indexed and verified once). The admission
+    /// controller prices mutations with this.
+    pub fn next_insert_cost(&self) -> f64 {
+        let base = self.cfg.cost_model.c_verify;
+        if self.mem.dead.live() + 1 >= self.seg_cfg.seal_rows {
+            base + self.seg_cfg.seal_rows as f64
+                * (self.cfg.cost_model.c_access + self.cfg.cost_model.c_verify)
+        } else {
+            base
+        }
+    }
+
+    /// Estimated cost of a delete (an id lookup plus a bit flip).
+    pub fn delete_cost(&self) -> f64 {
+        self.cfg.cost_model.c_access
+    }
+
+    // -----------------------------------------------------------------
+    // Snapshots
+    // -----------------------------------------------------------------
+
+    /// Serializes the engine: the build config, the memtable (rows, ids,
+    /// tombstones), and every sealed segment (ids + tombstones + the
+    /// segment's full [`Gph`] snapshot) as one CRC-protected section
+    /// each. Pending tombstones round-trip; nothing is compacted away.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SectionWriter::new(SEGMENT_MAGIC, SEGMENT_VERSION);
+        w.section("config", &encode_gph_config(&self.cfg));
+        let mut hdr = Vec::with_capacity(32);
+        hdr.put_u64_le(self.dim as u64);
+        hdr.put_u64_le(self.seg_cfg.seal_rows as u64);
+        hdr.put_u64_le(self.seg_cfg.max_sealed as u64);
+        hdr.put_u64_le(self.sealed.len() as u64);
+        w.section("seghdr", &hdr);
+        w.section("memdata", &hamming_core::io::encode_dataset(&self.mem.data));
+        let mut mem_ids = Vec::with_capacity(8 + self.mem.ids.len() * 4);
+        mem_ids.put_u64_le(self.mem.ids.len() as u64);
+        for &id in &self.mem.ids {
+            mem_ids.put_u32_le(id);
+        }
+        w.section("memids", &mem_ids);
+        w.section("memdead", &self.mem.dead.encode());
+        for (i, seg) in self.sealed.iter().enumerate() {
+            let engine = seg.engine.to_bytes();
+            let dead = seg.dead.encode();
+            let mut body = Vec::with_capacity(24 + seg.ids.len() * 4 + dead.len() + engine.len());
+            body.put_u64_le(seg.ids.len() as u64);
+            for &id in &seg.ids {
+                body.put_u32_le(id);
+            }
+            body.put_u64_le(dead.len() as u64);
+            body.put_slice(&dead);
+            body.put_u64_le(engine.len() as u64);
+            body.put_slice(&engine);
+            w.section(&format!("seg{i}"), &body);
+        }
+        w.finish()
+    }
+
+    /// Restores an engine from [`SegmentedGph::to_bytes`] bytes. The
+    /// restored engine is query-for-query identical to the saved one, and
+    /// — because the build config travels with the data — behaves
+    /// identically under further mutations too.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let r = SectionReader::parse(SEGMENT_MAGIC, SEGMENT_VERSION, bytes)?;
+        let cfg = decode_gph_config(r.section("config")?)?;
+        let mut hr = ByteReader::new(r.section("seghdr")?);
+        let dim = hr.u64("dim")? as usize;
+        let seal_rows = hr.u64("seal_rows")? as usize;
+        let max_sealed = hr.u64("max_sealed")? as usize;
+        let n_sealed = hr.u64("sealed segment count")? as usize;
+        hr.finish("segment header")?;
+        let mut out = SegmentedGph::new(dim, cfg, SegmentConfig { seal_rows, max_sealed })?;
+
+        let mem_data = hamming_core::io::decode_dataset(r.section("memdata")?)?;
+        if mem_data.dim() != dim {
+            return Err(HammingError::Corrupt(format!(
+                "memtable holds {}-dimensional rows, header says {dim}",
+                mem_data.dim()
+            )));
+        }
+        let mut ir = ByteReader::new(r.section("memids")?);
+        let n_ids = ir.len(4, "memtable id count")?;
+        let mut mem_ids = Vec::with_capacity(n_ids);
+        for _ in 0..n_ids {
+            mem_ids.push(ir.u32("memtable id")?);
+        }
+        ir.finish("memtable ids")?;
+        let mem_dead = Tombstones::decode(r.section("memdead")?)?;
+        if mem_ids.len() != mem_data.len() || mem_dead.len() != mem_data.len() {
+            return Err(HammingError::Corrupt(format!(
+                "memtable sections disagree: {} rows, {} ids, {} tombstone slots",
+                mem_data.len(),
+                mem_ids.len(),
+                mem_dead.len()
+            )));
+        }
+        out.mem = Memtable { data: mem_data, ids: mem_ids, dead: mem_dead };
+
+        for i in 0..n_sealed {
+            let mut sr = ByteReader::new(r.section(&format!("seg{i}"))?);
+            let n = sr.len(4, "segment id count")?;
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                ids.push(sr.u32("segment id")?);
+            }
+            let dead_len = sr.len(1, "segment tombstone length")?;
+            let dead = Tombstones::decode(sr.bytes(dead_len, "segment tombstones")?)?;
+            let eng_len = sr.len(1, "segment engine length")?;
+            let engine = Gph::from_bytes(sr.bytes(eng_len, "segment engine")?)?;
+            sr.finish("sealed segment")?;
+            if engine.data().len() != ids.len() || dead.len() != ids.len() {
+                return Err(HammingError::Corrupt(format!(
+                    "segment {i} sections disagree: {} rows, {} ids, {} tombstone slots",
+                    engine.data().len(),
+                    ids.len(),
+                    dead.len()
+                )));
+            }
+            if engine.data().dim() != dim {
+                return Err(HammingError::Corrupt(format!(
+                    "segment {i} indexes {}-dimensional rows, header says {dim}",
+                    engine.data().dim()
+                )));
+            }
+            if engine.tau_max() != out.cfg.tau_max {
+                return Err(HammingError::Corrupt(format!(
+                    "segment {i} serves tau_max {}, config says {}",
+                    engine.tau_max(),
+                    out.cfg.tau_max
+                )));
+            }
+            out.sealed.push(Sealed { engine, ids, dead });
+        }
+        out.rebuild_loc();
+        // Duplicate live ids would collide in the map; the live count
+        // must match the per-segment live sums exactly.
+        let live_sum =
+            out.mem.dead.live() + out.sealed.iter().map(|s| s.dead.live()).sum::<usize>();
+        if out.loc.len() != live_sum {
+            return Err(HammingError::Corrupt(format!(
+                "{} distinct live ids across segments, but {} live rows",
+                out.loc.len(),
+                live_sum
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Writes [`SegmentedGph::to_bytes`] to `path` atomically.
+    pub fn save<P: AsRef<std::path::Path>>(&self, path: P) -> Result<()> {
+        crate::snapshot::write_atomic(path.as_ref(), &self.to_bytes())
+    }
+
+    /// Reads an engine snapshot from `path`.
+    pub fn load<P: AsRef<std::path::Path>>(path: P) -> Result<Self> {
+        SegmentedGph::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+/// Indices of the two segments with the fewest live rows. Caller ensures
+/// `sealed.len() >= 2`.
+fn smallest_two(sealed: &[Sealed]) -> (usize, usize) {
+    let mut order: Vec<usize> = (0..sealed.len()).collect();
+    order.sort_by_key(|&i| (sealed[i].dead.live(), i));
+    (order[0], order[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition_opt::PartitionStrategy;
+    use hamming_core::BitVector;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn cfg() -> GphConfig {
+        let mut cfg = GphConfig::new(3, 8);
+        cfg.strategy = PartitionStrategy::RandomShuffle { seed: 11 };
+        cfg
+    }
+
+    fn seg_cfg() -> SegmentConfig {
+        SegmentConfig { seal_rows: 8, max_sealed: 2 }
+    }
+
+    fn random_rows(dim: usize, n: usize, seed: u64) -> Vec<Vec<u64>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| BitVector::from_bits((0..dim).map(|_| rng.random_bool(0.4))).words().to_vec())
+            .collect()
+    }
+
+    /// Reference: a fresh Gph over the surviving rows, ids mapped back.
+    fn reference_search(eng: &SegmentedGph, query: &[u64], tau: u32) -> Vec<u32> {
+        let ids = eng.live_ids();
+        let mut ds = Dataset::new(eng.dim());
+        for &id in &ids {
+            ds.push_row(eng.get(id).unwrap()).unwrap();
+        }
+        if ds.is_empty() {
+            return Vec::new();
+        }
+        let fresh = Gph::build(ds, eng.config()).unwrap();
+        fresh.search(query, tau).into_iter().map(|local| ids[local as usize]).collect()
+    }
+
+    #[test]
+    fn inserts_seal_and_stay_exact() {
+        let rows = random_rows(48, 40, 1);
+        let mut eng = SegmentedGph::new(48, cfg(), seg_cfg()).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            eng.insert(i as u32 * 3, row).unwrap();
+        }
+        // 40 inserts at seal_rows=8 and max_sealed=2 forced seals and
+        // compactions along the way.
+        assert!(eng.num_sealed() >= 1 && eng.num_sealed() <= 2);
+        assert_eq!(eng.len(), 40);
+        for (qi, q) in rows.iter().enumerate().step_by(7) {
+            for tau in [0u32, 3, 8] {
+                assert_eq!(eng.search(q, tau), reference_search(&eng, q, tau), "qi={qi} tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn delete_unknown_id_is_a_noop() {
+        let mut eng = SegmentedGph::new(32, cfg(), seg_cfg()).unwrap();
+        assert!(!eng.delete(99));
+        eng.insert(1, &random_rows(32, 1, 2)[0]).unwrap();
+        assert!(!eng.delete(2));
+        assert_eq!(eng.len(), 1);
+        assert!(eng.delete(1));
+        assert!(!eng.delete(1), "second delete of the same id is a no-op");
+    }
+
+    #[test]
+    fn delete_all_then_query_returns_nothing() {
+        let rows = random_rows(32, 20, 3);
+        let mut eng = SegmentedGph::new(32, cfg(), seg_cfg()).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            eng.insert(i as u32, row).unwrap();
+        }
+        eng.seal().unwrap();
+        for i in 0..20 {
+            assert!(eng.delete(i));
+        }
+        assert!(eng.is_empty());
+        assert_eq!(eng.num_sealed(), 0, "all-dead segments are dropped");
+        assert!(eng.search(&rows[0], 8).is_empty());
+        assert!(eng.search_topk(&rows[0], 5).is_empty());
+        // The engine keeps working after total deletion.
+        eng.insert(7, &rows[7]).unwrap();
+        assert_eq!(eng.search(&rows[7], 0), vec![7]);
+    }
+
+    #[test]
+    fn insert_of_live_id_errors_and_upsert_replaces() {
+        let rows = random_rows(32, 3, 4);
+        let mut eng = SegmentedGph::new(32, cfg(), seg_cfg()).unwrap();
+        eng.insert(5, &rows[0]).unwrap();
+        assert!(eng.insert(5, &rows[1]).is_err(), "duplicate insert must error");
+        assert!(eng.upsert(5, &rows[1]).unwrap(), "upsert of a live id replaces");
+        assert_eq!(eng.len(), 1);
+        assert_eq!(eng.get(5).unwrap(), rows[1].as_slice());
+        assert_eq!(eng.search(&rows[0], 0), Vec::<u32>::new());
+        assert_eq!(eng.search(&rows[1], 0), vec![5]);
+        assert!(!eng.upsert(6, &rows[2]).unwrap(), "upsert of a fresh id inserts");
+        assert_eq!(eng.len(), 2);
+    }
+
+    #[test]
+    fn upsert_of_sealed_row_replaces_across_segments() {
+        let rows = random_rows(32, 10, 5);
+        let mut eng = SegmentedGph::new(32, cfg(), seg_cfg()).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            eng.insert(i as u32, row).unwrap();
+        }
+        eng.seal().unwrap();
+        // id 3 now lives in a sealed segment; replace it.
+        assert!(eng.upsert(3, &rows[9]).unwrap());
+        let hits = eng.search(&rows[9], 0);
+        assert!(hits.contains(&3));
+        assert!(!eng.search(&rows[3], 0).contains(&3));
+    }
+
+    #[test]
+    fn topk_filters_tombstones_exactly() {
+        let rows = random_rows(32, 30, 6);
+        let mut eng = SegmentedGph::new(32, cfg(), seg_cfg()).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            eng.insert(i as u32, row).unwrap();
+        }
+        eng.seal().unwrap();
+        let q = rows[0].clone();
+        // Delete the nearest rows so tombstoned hits would dominate a
+        // naive per-segment top-k.
+        let nearest = eng.search_topk(&q, 5);
+        for &(id, _) in &nearest {
+            eng.delete(id);
+        }
+        let got = eng.search_topk(&q, 5);
+        let ids = eng.live_ids();
+        let mut expect: Vec<(u32, u32)> = ids
+            .iter()
+            .map(|&id| (id, hamming_core::distance::hamming(eng.get(id).unwrap(), &q)))
+            .filter(|&(_, d)| d <= 8)
+            .collect();
+        expect.sort_unstable_by_key(|&(id, d)| (d, id));
+        expect.truncate(5);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn snapshot_with_pending_tombstones_roundtrips() {
+        let rows = random_rows(48, 25, 7);
+        let mut eng = SegmentedGph::new(48, cfg(), seg_cfg()).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            eng.insert(i as u32, row).unwrap();
+        }
+        // Leave tombstones pending in both a sealed segment and the
+        // memtable (25 rows over seal_rows=8 leaves a partial memtable).
+        eng.delete(2);
+        eng.delete(24);
+        let restored = SegmentedGph::from_bytes(&eng.to_bytes()).unwrap();
+        assert_eq!(restored.len(), eng.len());
+        assert_eq!(restored.live_ids(), eng.live_ids());
+        assert_eq!(restored.num_sealed(), eng.num_sealed());
+        for q in rows.iter().step_by(5) {
+            for tau in [0u32, 4, 8] {
+                assert_eq!(restored.search(q, tau), eng.search(q, tau));
+            }
+            assert_eq!(restored.search_topk(q, 6), eng.search_topk(q, 6));
+        }
+        // Further mutations behave identically on both copies.
+        let mut a = eng;
+        let mut b = restored;
+        let extra = random_rows(48, 10, 8);
+        for (i, row) in extra.iter().enumerate() {
+            a.upsert(100 + i as u32, row).unwrap();
+            b.upsert(100 + i as u32, row).unwrap();
+        }
+        a.delete(5);
+        b.delete(5);
+        for q in extra.iter() {
+            assert_eq!(a.search(q, 8), b.search(q, 8));
+        }
+    }
+
+    #[test]
+    fn corrupt_segment_snapshots_are_rejected() {
+        let rows = random_rows(32, 12, 9);
+        let mut eng = SegmentedGph::new(32, cfg(), seg_cfg()).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            eng.insert(i as u32, row).unwrap();
+        }
+        eng.delete(3);
+        let bytes = eng.to_bytes();
+        assert!(SegmentedGph::from_bytes(&bytes).is_ok());
+        for i in (0..bytes.len()).step_by(53) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            match SegmentedGph::from_bytes(&bad) {
+                Err(HammingError::Corrupt(_)) => {}
+                Err(other) => panic!("flip at {i}: unexpected error kind {other}"),
+                Ok(_) => panic!("flip at {i} went undetected"),
+            }
+        }
+        for cut in (0..bytes.len()).step_by(61) {
+            assert!(SegmentedGph::from_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn explicit_compact_preserves_results() {
+        let rows = random_rows(48, 30, 10);
+        let mut eng = SegmentedGph::new(48, cfg(), seg_cfg()).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            eng.insert(i as u32, row).unwrap();
+        }
+        eng.delete(1);
+        eng.delete(17);
+        let before: Vec<Vec<u32>> = rows.iter().map(|q| eng.search(q, 6)).collect();
+        eng.compact().unwrap();
+        assert_eq!(eng.num_sealed(), 1);
+        assert_eq!(eng.stored_rows(), eng.len(), "compaction drops dead rows");
+        let after: Vec<Vec<u32>> = rows.iter().map(|q| eng.search(q, 6)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn failed_seal_leaves_engine_consistent() {
+        // m > dim makes every Gph::build fail; the seal must error
+        // without corrupting the location map or losing rows.
+        let mut bad_cfg = GphConfig::new(64, 4);
+        bad_cfg.strategy = PartitionStrategy::Original;
+        let mut eng =
+            SegmentedGph::new(16, bad_cfg, SegmentConfig { seal_rows: 2, max_sealed: 2 }).unwrap();
+        let rows = random_rows(16, 3, 11);
+        eng.insert(1, &rows[0]).unwrap();
+        // The second insert triggers a seal, which fails.
+        assert!(eng.insert(2, &rows[1]).is_err());
+        // Both rows stay live and addressable in the memtable; no panic,
+        // no phantom segment.
+        assert_eq!(eng.len(), 2);
+        assert_eq!(eng.num_sealed(), 0);
+        assert_eq!(eng.get(1).unwrap(), rows[0].as_slice());
+        assert_eq!(eng.get(2).unwrap(), rows[1].as_slice());
+        assert_eq!(eng.search(&rows[1], 0), vec![2]);
+        assert!(eng.compact().is_err(), "compaction fails too, but harmlessly");
+        assert_eq!(eng.len(), 2);
+        assert!(eng.delete(2));
+        assert_eq!(eng.len(), 1);
+    }
+
+    #[test]
+    fn empty_engine_serves_and_roundtrips() {
+        let eng = SegmentedGph::new(32, cfg(), seg_cfg()).unwrap();
+        assert!(eng.search(&[0u64], 4).is_empty());
+        assert!(eng.search_topk(&[0u64], 3).is_empty());
+        assert_eq!(eng.estimate_cost(&[0u64], 4), 0.0);
+        let restored = SegmentedGph::from_bytes(&eng.to_bytes()).unwrap();
+        assert!(restored.is_empty());
+    }
+}

@@ -34,7 +34,8 @@
 use crate::alloc::AllocatorKind;
 use crate::cn::{decode_kind, encode_kind, restore_estimator};
 use crate::cost::CostModel;
-use crate::engine::{BuildStats, Gph};
+use crate::engine::{BuildStats, Gph, GphConfig};
+use crate::partition_opt::{HeuristicConfig, InitKind, PartitionStrategy, WorkloadSpec};
 use bytes::BufMut;
 use hamming_core::error::{HammingError, Result};
 use hamming_core::io::{
@@ -71,6 +72,39 @@ fn decode_allocator(tag: u8) -> Result<AllocatorKind> {
     })
 }
 
+fn encode_cost_model(cm: &CostModel, buf: &mut Vec<u8>) {
+    buf.put_u64_le(cm.c_access.to_bits());
+    buf.put_u64_le(cm.c_verify.to_bits());
+    buf.put_u64_le(cm.c_enum.to_bits());
+    let alpha = cm.alpha_table();
+    buf.put_u64_le(alpha.len() as u64);
+    for &(tau, a) in alpha {
+        buf.put_u32_le(tau);
+        buf.put_u64_le(a.to_bits());
+    }
+}
+
+fn decode_cost_model(r: &mut ByteReader) -> Result<CostModel> {
+    let mut cost_model = CostModel::default();
+    cost_model.c_access = r.f64("c_access")?;
+    cost_model.c_verify = r.f64("c_verify")?;
+    cost_model.c_enum = r.f64("c_enum")?;
+    let n_alpha = r.len(12, "alpha table size")?;
+    if n_alpha == 0 {
+        return Err(HammingError::Corrupt("empty alpha table".into()));
+    }
+    let mut alpha = Vec::with_capacity(n_alpha);
+    for _ in 0..n_alpha {
+        let tau = r.u32("alpha tau")?;
+        let a = r.f64("alpha value")?;
+        if !a.is_finite() {
+            return Err(HammingError::Corrupt(format!("non-finite alpha {a}")));
+        }
+        alpha.push((tau, a));
+    }
+    Ok(cost_model.with_alpha_table(alpha))
+}
+
 fn encode_config(g: &Gph) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
     buf.put_u64_le(g.tau_max as u64);
@@ -78,15 +112,7 @@ fn encode_config(g: &Gph) -> Vec<u8> {
     buf.put_u64_le(g.build_stats.partition_ms);
     buf.put_u64_le(g.build_stats.index_ms);
     buf.put_u64_le(g.build_stats.estimator_ms);
-    buf.put_u64_le(g.cost_model.c_access.to_bits());
-    buf.put_u64_le(g.cost_model.c_verify.to_bits());
-    buf.put_u64_le(g.cost_model.c_enum.to_bits());
-    let alpha = g.cost_model.alpha_table();
-    buf.put_u64_le(alpha.len() as u64);
-    for &(tau, a) in alpha {
-        buf.put_u32_le(tau);
-        buf.put_u64_le(a.to_bits());
-    }
+    encode_cost_model(&g.cost_model, &mut buf);
     buf
 }
 
@@ -106,26 +132,153 @@ fn decode_config(bytes: &[u8]) -> Result<DecodedConfig> {
         index_ms: r.u64("index_ms")?,
         estimator_ms: r.u64("estimator_ms")?,
     };
-    let mut cost_model = CostModel::default();
-    cost_model.c_access = r.f64("c_access")?;
-    cost_model.c_verify = r.f64("c_verify")?;
-    cost_model.c_enum = r.f64("c_enum")?;
-    let n_alpha = r.len(12, "alpha table size")?;
-    if n_alpha == 0 {
-        return Err(HammingError::Corrupt("empty alpha table".into()));
-    }
-    let mut alpha = Vec::with_capacity(n_alpha);
-    for _ in 0..n_alpha {
-        let tau = r.u32("alpha tau")?;
-        let a = r.f64("alpha value")?;
-        if !a.is_finite() {
-            return Err(HammingError::Corrupt(format!("non-finite alpha {a}")));
-        }
-        alpha.push((tau, a));
-    }
-    cost_model = cost_model.with_alpha_table(alpha);
+    let cost_model = decode_cost_model(&mut r)?;
     r.finish("engine config")?;
     Ok(DecodedConfig { tau_max, allocator, build_stats, cost_model })
+}
+
+// ---------------------------------------------------------------------
+// Full build-config serialization (for engines that rebuild at runtime)
+// ---------------------------------------------------------------------
+
+fn encode_init(init: InitKind, buf: &mut Vec<u8>) {
+    match init {
+        InitKind::Greedy => buf.put_u8(0),
+        InitKind::Original => buf.put_u8(1),
+        InitKind::Random { seed } => {
+            buf.put_u8(2);
+            buf.put_u64_le(seed);
+        }
+    }
+}
+
+fn decode_init(r: &mut ByteReader) -> Result<InitKind> {
+    Ok(match r.u8("init kind")? {
+        0 => InitKind::Greedy,
+        1 => InitKind::Original,
+        2 => InitKind::Random { seed: r.u64("init seed")? },
+        other => return Err(HammingError::Corrupt(format!("unknown init kind {other}"))),
+    })
+}
+
+/// Serializes a full [`GphConfig`] — partitioning strategy, estimator
+/// kind, allocator, cost model, and (when present) the workload. Frozen
+/// engine snapshots don't need this (they never rebuild), but the
+/// segmented engine does: after a restore it keeps sealing and
+/// compacting, so the build recipe must travel with the data.
+pub fn encode_gph_config(cfg: &GphConfig) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(128);
+    buf.put_u64_le(cfg.m as u64);
+    buf.put_u64_le(cfg.tau_max as u64);
+    buf.put_u8(encode_allocator(cfg.allocator));
+    encode_cost_model(&cfg.cost_model, &mut buf);
+    let kind = encode_kind(&cfg.estimator);
+    buf.put_u64_le(kind.len() as u64);
+    buf.put_slice(&kind);
+    match &cfg.strategy {
+        PartitionStrategy::Original => buf.put_u8(0),
+        PartitionStrategy::RandomShuffle { seed } => {
+            buf.put_u8(1);
+            buf.put_u64_le(*seed);
+        }
+        PartitionStrategy::Os => buf.put_u8(2),
+        PartitionStrategy::Dd => buf.put_u8(3),
+        PartitionStrategy::Heuristic(h) => {
+            buf.put_u8(4);
+            encode_init(h.init, &mut buf);
+            buf.put_u64_le(h.max_iters as u64);
+            match h.move_budget {
+                Some(b) => {
+                    buf.put_u8(1);
+                    buf.put_u64_le(b as u64);
+                }
+                None => buf.put_u8(0),
+            }
+            buf.put_u64_le(h.sample_rows as u64);
+            buf.put_u64_le(h.seed);
+        }
+        PartitionStrategy::Fixed(p) => {
+            buf.put_u8(5);
+            let bytes = encode_partitioning(p);
+            buf.put_u64_le(bytes.len() as u64);
+            buf.put_slice(&bytes);
+        }
+    }
+    match &cfg.workload {
+        None => buf.put_u8(0),
+        Some(wl) => {
+            buf.put_u8(1);
+            let ds = encode_dataset(&wl.queries);
+            buf.put_u64_le(ds.len() as u64);
+            buf.put_slice(&ds);
+            buf.put_u64_le(wl.taus.len() as u64);
+            for &t in &wl.taus {
+                buf.put_u32_le(t);
+            }
+        }
+    }
+    buf
+}
+
+/// Restores a [`GphConfig`] written by [`encode_gph_config`].
+pub fn decode_gph_config(bytes: &[u8]) -> Result<GphConfig> {
+    let mut r = ByteReader::new(bytes);
+    let m = r.u64("config m")? as usize;
+    let tau_max = r.u64("config tau_max")? as usize;
+    let allocator = decode_allocator(r.u8("allocator kind")?)?;
+    let cost_model = decode_cost_model(&mut r)?;
+    let kind_len = r.len(1, "estimator kind length")?;
+    let estimator = decode_kind(r.bytes(kind_len, "estimator kind")?)?;
+    let strategy = match r.u8("strategy tag")? {
+        0 => PartitionStrategy::Original,
+        1 => PartitionStrategy::RandomShuffle { seed: r.u64("shuffle seed")? },
+        2 => PartitionStrategy::Os,
+        3 => PartitionStrategy::Dd,
+        4 => {
+            let init = decode_init(&mut r)?;
+            let max_iters = r.u64("max_iters")? as usize;
+            let move_budget = match r.u8("move budget flag")? {
+                0 => None,
+                1 => Some(r.u64("move budget")? as usize),
+                other => {
+                    return Err(HammingError::Corrupt(format!("bad move-budget flag {other}")))
+                }
+            };
+            let sample_rows = r.u64("sample_rows")? as usize;
+            let seed = r.u64("heuristic seed")?;
+            PartitionStrategy::Heuristic(HeuristicConfig {
+                init,
+                max_iters,
+                move_budget,
+                sample_rows,
+                seed,
+            })
+        }
+        5 => {
+            let len = r.len(1, "partitioning length")?;
+            PartitionStrategy::Fixed(decode_partitioning(r.bytes(len, "fixed partitioning")?)?)
+        }
+        other => return Err(HammingError::Corrupt(format!("unknown strategy tag {other}"))),
+    };
+    let workload = match r.u8("workload flag")? {
+        0 => None,
+        1 => {
+            let ds_len = r.len(1, "workload dataset length")?;
+            let queries = decode_dataset(r.bytes(ds_len, "workload dataset")?)?;
+            let n_taus = r.len(4, "workload tau count")?;
+            if n_taus == 0 {
+                return Err(HammingError::Corrupt("workload with no thresholds".into()));
+            }
+            let mut taus = Vec::with_capacity(n_taus);
+            for _ in 0..n_taus {
+                taus.push(r.u32("workload tau")?);
+            }
+            Some(WorkloadSpec { queries, taus })
+        }
+        other => return Err(HammingError::Corrupt(format!("bad workload flag {other}"))),
+    };
+    r.finish("gph config")?;
+    Ok(GphConfig { m, tau_max, allocator, estimator, strategy, workload, cost_model })
 }
 
 /// Serializes a built engine (see the module docs for the layout).
@@ -376,6 +529,61 @@ mod tests {
                 let _ = engine.search(&[0u64], 4);
                 panic!("spliced estimator state went undetected");
             }
+        }
+    }
+
+    #[test]
+    fn gph_config_roundtrips_every_strategy_and_workload() {
+        let ds = random_dataset(24, 30, 20);
+        let strategies = [
+            PartitionStrategy::Original,
+            PartitionStrategy::RandomShuffle { seed: 77 },
+            PartitionStrategy::Os,
+            PartitionStrategy::Dd,
+            PartitionStrategy::Heuristic(crate::partition_opt::HeuristicConfig {
+                init: crate::partition_opt::InitKind::Random { seed: 5 },
+                max_iters: 3,
+                move_budget: None,
+                sample_rows: 100,
+                seed: 9,
+            }),
+            PartitionStrategy::Fixed(hamming_core::Partitioning::equi_width(24, 3).unwrap()),
+        ];
+        for (i, strategy) in strategies.into_iter().enumerate() {
+            let mut cfg = GphConfig::new(3, 6);
+            cfg.strategy = strategy;
+            cfg.estimator = EstimatorKind::Exact { max_width: 12 };
+            if i % 2 == 0 {
+                cfg.workload =
+                    Some(crate::partition_opt::WorkloadSpec::from_sample(&ds, 8, vec![2, 4, 6], 3));
+            }
+            let decoded = decode_gph_config(&encode_gph_config(&cfg)).unwrap();
+            // The decoded config must drive an identical build.
+            assert_eq!(decoded.m, cfg.m);
+            assert_eq!(decoded.tau_max, cfg.tau_max);
+            assert_eq!(decoded.allocator, cfg.allocator);
+            assert_eq!(format!("{:?}", decoded.strategy), format!("{:?}", cfg.strategy));
+            assert_eq!(format!("{:?}", decoded.estimator), format!("{:?}", cfg.estimator));
+            match (&decoded.workload, &cfg.workload) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.taus, b.taus);
+                    assert_eq!(a.queries.len(), b.queries.len());
+                    for r in 0..a.queries.len() {
+                        assert_eq!(a.queries.row(r), b.queries.row(r));
+                    }
+                }
+                other => panic!("workload mismatch: {other:?}"),
+            }
+            let built = Gph::build(ds.clone(), &cfg).unwrap();
+            let rebuilt = Gph::build(ds.clone(), &decoded).unwrap();
+            let q = ds.row(0).to_vec();
+            assert_eq!(built.search(&q, 6), rebuilt.search(&q, 6), "strategy #{i}");
+        }
+        // Truncated config bytes are rejected.
+        let bytes = encode_gph_config(&GphConfig::new(2, 4));
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(decode_gph_config(&bytes[..cut]).is_err(), "cut={cut}");
         }
     }
 

@@ -58,6 +58,33 @@ impl Dataset {
         self.words.extend_from_slice(row);
     }
 
+    /// Appends a row given as raw words, validating the word count and
+    /// the trailing-zero invariant — the checked entry point for callers
+    /// holding query-shaped `&[u64]` slices (e.g. live-update inserts)
+    /// rather than [`BitVector`]s.
+    pub fn push_row(&mut self, row: &[u64]) -> Result<u32> {
+        if row.len() != self.words_per_vec {
+            return Err(HammingError::InvalidParameter(format!(
+                "row has {} words, {}-dimensional rows take {}",
+                row.len(),
+                self.dim,
+                self.words_per_vec
+            )));
+        }
+        if !self.dim.is_multiple_of(64) {
+            if let Some(&last) = row.last() {
+                if last >> (self.dim % 64) != 0 {
+                    return Err(HammingError::InvalidParameter(
+                        "row has bits set beyond its dimensionality".into(),
+                    ));
+                }
+            }
+        }
+        let id = self.len() as u32;
+        self.words.extend_from_slice(row);
+        Ok(id)
+    }
+
     /// Number of vectors.
     #[inline]
     pub fn len(&self) -> usize {
@@ -248,6 +275,19 @@ mod tests {
         assert_eq!(out.vector(0).to_string(), "00001111");
         let mut wrong = Dataset::new(9);
         assert!(wrong.push_row_from(&ds, 0).is_err());
+    }
+
+    #[test]
+    fn push_row_validates_width_and_trailing_bits() {
+        let mut ds = Dataset::new(8);
+        let id = ds.push_row(&[0b1010_0101]).unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(ds.vector(0).to_string(), "10100101");
+        assert!(ds.push_row(&[0, 0]).is_err(), "too many words");
+        assert!(ds.push_row(&[1 << 8]).is_err(), "bit beyond dim 8");
+        // Exact-multiple dims have no trailing bits to validate.
+        let mut wide = Dataset::new(64);
+        assert!(wide.push_row(&[u64::MAX]).is_ok());
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! * [`stats`] — per-dimension skewness, entropy and correlation measures
 //!   (Fig. 1 of the paper, and inputs to partitioning heuristics).
 //! * [`io`] — a compact binary serialization for datasets.
+//! * [`tombstone`] — deletion bitmaps ([`Tombstones`]) that let immutable
+//!   indexes serve deletes by filtering instead of rebuilding.
 //!
 //! The crate is `#![forbid(unsafe_code)]`; all hot paths rely on
 //! `u64::count_ones` which compiles to `popcnt` on x86-64.
@@ -40,6 +42,7 @@ pub mod key;
 pub mod partition;
 pub mod project;
 pub mod stats;
+pub mod tombstone;
 
 pub use binomial::BinomialTable;
 pub use bitvec::BitVector;
@@ -50,6 +53,7 @@ pub use fasthash::{FastMap, FastSet};
 pub use invindex::InvertedIndex;
 pub use partition::Partitioning;
 pub use project::{PartitionShape, ProjectedDataset, Projector};
+pub use tombstone::Tombstones;
 
 /// Number of 64-bit words needed to store `dim` bits.
 #[inline]

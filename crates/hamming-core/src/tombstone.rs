@@ -1,0 +1,185 @@
+//! Tombstone bitmaps: logical deletion for append-only row storage.
+//!
+//! A [`Tombstones`] tracks, per slot of some row container, whether the
+//! row is still live. Deletion flips a bit instead of moving data, which
+//! is what lets an immutable index (whose postings reference row ids)
+//! serve deletes without a rebuild: queries filter hits through the
+//! bitmap, and compaction eventually rewrites the container without the
+//! dead rows. One word per 64 slots; all operations are O(1) except
+//! encoding, which is linear in the slot count.
+
+use crate::error::{HammingError, Result};
+use bytes::BufMut;
+
+/// A growable bitmap of dead slots with a maintained dead count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Tombstones {
+    words: Vec<u64>,
+    len: usize,
+    dead: usize,
+}
+
+impl Tombstones {
+    /// An empty bitmap (no slots).
+    pub fn new() -> Self {
+        Tombstones::default()
+    }
+
+    /// A bitmap of `len` slots, all live.
+    pub fn all_live(len: usize) -> Self {
+        Tombstones { words: vec![0u64; len.div_ceil(64)], len, dead: 0 }
+    }
+
+    /// Appends one live slot.
+    pub fn push_live(&mut self) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        self.len += 1;
+    }
+
+    /// Total slots tracked (live + dead).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slots are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slots still live.
+    pub fn live(&self) -> usize {
+        self.len - self.dead
+    }
+
+    /// Slots marked dead.
+    pub fn dead(&self) -> usize {
+        self.dead
+    }
+
+    /// Whether every slot is dead (vacuously false when empty).
+    pub fn all_dead(&self) -> bool {
+        self.len > 0 && self.dead == self.len
+    }
+
+    /// Whether slot `i` is dead.
+    #[inline]
+    pub fn is_dead(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "slot {i} out of range for {} slots", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Marks slot `i` dead; returns whether it was live before.
+    pub fn kill(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "slot {i} out of range for {} slots", self.len);
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        if self.words[w] & b != 0 {
+            return false;
+        }
+        self.words[w] |= b;
+        self.dead += 1;
+        true
+    }
+
+    /// Iterates the indices of live slots, ascending.
+    pub fn iter_live(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| !self.is_dead(i))
+    }
+
+    /// Serializes the bitmap: slot count, dead count, then the words.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + self.words.len() * 8);
+        buf.put_u64_le(self.len as u64);
+        buf.put_u64_le(self.dead as u64);
+        for &w in &self.words {
+            buf.put_u64_le(w);
+        }
+        buf
+    }
+
+    /// Deserializes [`Tombstones::encode`] bytes, re-validating the dead
+    /// count against the actual popcount so a corrupt count cannot skew
+    /// live-row accounting.
+    pub fn decode(bytes: &[u8]) -> Result<Tombstones> {
+        let mut r = crate::io::ByteReader::new(bytes);
+        let len = r.u64("tombstone slot count")? as usize;
+        let dead = r.u64("tombstone dead count")? as usize;
+        let words = r.u64s(len.div_ceil(64), "tombstone words")?;
+        r.finish("tombstones")?;
+        let tail_bits = len % 64;
+        if tail_bits != 0 {
+            if let Some(&last) = words.last() {
+                if last >> tail_bits != 0 {
+                    return Err(HammingError::Corrupt(
+                        "tombstone bits set beyond the slot count".into(),
+                    ));
+                }
+            }
+        }
+        let popcount: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+        if popcount != dead || dead > len {
+            return Err(HammingError::Corrupt(format!(
+                "tombstone dead count {dead} does not match {popcount} set bits over {len} slots"
+            )));
+        }
+        Ok(Tombstones { words, len, dead })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_kill_and_counts() {
+        let mut t = Tombstones::new();
+        assert!(t.is_empty() && !t.all_dead());
+        for _ in 0..70 {
+            t.push_live();
+        }
+        assert_eq!((t.len(), t.live(), t.dead()), (70, 70, 0));
+        assert!(t.kill(0));
+        assert!(t.kill(69));
+        assert!(!t.kill(0), "double kill is a no-op");
+        assert_eq!(t.dead(), 2);
+        assert!(t.is_dead(0) && t.is_dead(69) && !t.is_dead(1));
+        assert_eq!(t.iter_live().count(), 68);
+    }
+
+    #[test]
+    fn all_dead_detection() {
+        let mut t = Tombstones::all_live(3);
+        for i in 0..3 {
+            assert!(!t.all_dead());
+            t.kill(i);
+        }
+        assert!(t.all_dead());
+    }
+
+    #[test]
+    fn roundtrip_and_corruption() {
+        let mut t = Tombstones::all_live(130);
+        t.kill(5);
+        t.kill(128);
+        let bytes = t.encode();
+        assert_eq!(Tombstones::decode(&bytes).unwrap(), t);
+        // Forged dead count.
+        let mut bad = bytes.clone();
+        bad[8] ^= 1;
+        assert!(Tombstones::decode(&bad).is_err());
+        // Bit set beyond the slot count.
+        let mut tail = bytes.clone();
+        let last = tail.len() - 1;
+        tail[last] |= 0x80;
+        assert!(Tombstones::decode(&tail).is_err());
+        // Truncation.
+        assert!(Tombstones::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn empty_roundtrips() {
+        let t = Tombstones::new();
+        assert_eq!(Tombstones::decode(&t.encode()).unwrap(), t);
+    }
+}

@@ -139,6 +139,20 @@ impl AdmissionController {
         AdmissionDecision::Reject { estimated_cost, budget: self.cfg.cost_budget }
     }
 
+    /// Decides (and counts) whether a mutation priced at
+    /// `estimated_cost` fits the budget. Mutations cannot be degraded —
+    /// a partial insert has no meaning — so the verdict is admit or
+    /// reject regardless of the over-budget policy.
+    pub fn evaluate_mutation(&self, estimated_cost: f64) -> AdmissionDecision {
+        if estimated_cost <= self.cfg.cost_budget {
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+            AdmissionDecision::Admit { estimated_cost }
+        } else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            AdmissionDecision::Reject { estimated_cost, budget: self.cfg.cost_budget }
+        }
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> AdmissionStats {
         AdmissionStats {
@@ -224,6 +238,18 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn mutations_admit_or_reject_never_degrade() {
+        let ctl = AdmissionController::new(AdmissionConfig {
+            cost_budget: 10.0,
+            policy: OverBudgetPolicy::Degrade { min_tau: 0 },
+        });
+        assert!(matches!(ctl.evaluate_mutation(5.0), AdmissionDecision::Admit { .. }));
+        // Even under a Degrade policy, an over-budget mutation rejects.
+        assert!(matches!(ctl.evaluate_mutation(50.0), AdmissionDecision::Reject { .. }));
+        assert_eq!(ctl.stats(), AdmissionStats { admitted: 1, degraded: 0, rejected: 1 });
     }
 
     #[test]

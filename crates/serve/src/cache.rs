@@ -98,6 +98,17 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
         self.push_front(idx);
     }
 
+    /// Drops every entry (capacity unchanged). Slab storage is released:
+    /// after a mutation invalidates the cache, stale result vectors must
+    /// not stay resident.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
     fn evict_lru(&mut self) {
         let idx = self.tail;
         debug_assert_ne!(idx, NIL, "evict called on an empty cache");
@@ -184,6 +195,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that fell through to the engines.
     pub misses: u64,
+    /// Whole-cache invalidations (one per applied mutation).
+    pub invalidations: u64,
     /// Entries resident.
     pub len: usize,
     /// Configured capacity.
@@ -206,8 +219,14 @@ impl CacheStats {
 /// pool.
 pub struct ResultCache {
     inner: Mutex<LruCache<CacheKey, CachedResult>>,
+    /// Bumped (under the inner mutex) by every invalidation. Writers
+    /// capture it before computing a result and store with
+    /// [`ResultCache::store_if_current`], so a result computed before an
+    /// invalidation can never be cached after it.
+    epoch: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl ResultCache {
@@ -215,9 +234,17 @@ impl ResultCache {
     pub fn new(capacity: usize) -> Self {
         ResultCache {
             inner: Mutex::new(LruCache::new(capacity)),
+            epoch: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
+    }
+
+    /// The current invalidation epoch. Capture this *before* computing a
+    /// result destined for [`ResultCache::store_if_current`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Looks up a result, counting the hit or miss.
@@ -230,9 +257,35 @@ impl ResultCache {
         got
     }
 
-    /// Stores a computed result.
+    /// Stores a computed result unconditionally (no mutation can have
+    /// raced the computation — e.g. single-threaded tests).
     pub fn store(&self, key: CacheKey, value: CachedResult) {
         self.inner.lock().insert(key, value);
+    }
+
+    /// Stores a computed result only if no invalidation happened since
+    /// `epoch` was captured. The check and the insert share the cache
+    /// mutex with [`ResultCache::invalidate_all`]'s bump, closing the
+    /// race where a worker finishes a search, a mutation invalidates,
+    /// and the worker then caches the now-stale result — which would
+    /// otherwise be served as a hit until the next mutation.
+    pub fn store_if_current(&self, epoch: u64, key: CacheKey, value: CachedResult) {
+        let mut inner = self.inner.lock();
+        if self.epoch.load(Ordering::Relaxed) == epoch {
+            inner.insert(key, value);
+        }
+    }
+
+    /// Drops every cached result and advances the epoch. Called after a
+    /// mutation commits: any cached answer may now include a deleted row
+    /// or miss an inserted one. Whole-cache invalidation is coarse but
+    /// correct; shard- or radius-scoped invalidation is an optimization
+    /// the counters make measurable.
+    pub fn invalidate_all(&self) {
+        let mut inner = self.inner.lock();
+        self.epoch.fetch_add(1, Ordering::Release);
+        inner.clear();
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counter + occupancy snapshot.
@@ -241,6 +294,7 @@ impl ResultCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             len: inner.len(),
             capacity: inner.capacity(),
         }
@@ -322,6 +376,45 @@ mod tests {
         let st = cache.stats();
         assert_eq!((st.hits, st.misses, st.len), (1, 1, 1));
         assert!((st.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_epoch_store_is_rejected() {
+        let cache = ResultCache::new(8);
+        let key = CacheKey::Range { query: vec![4], tau: 1 };
+        // A "worker" captures the epoch, then a mutation invalidates
+        // before the store lands: the stale result must not be cached.
+        let epoch = cache.epoch();
+        cache.invalidate_all();
+        cache.store_if_current(
+            epoch,
+            key.clone(),
+            CachedResult::Range { ids: Arc::new(vec![1]), effective_tau: 1 },
+        );
+        assert!(cache.lookup(&key).is_none(), "stale store must be dropped");
+        // With the current epoch the store lands.
+        cache.store_if_current(
+            cache.epoch(),
+            key.clone(),
+            CachedResult::Range { ids: Arc::new(vec![2]), effective_tau: 1 },
+        );
+        assert!(cache.lookup(&key).is_some());
+    }
+
+    #[test]
+    fn invalidate_all_clears_and_counts() {
+        let cache = ResultCache::new(8);
+        let key = CacheKey::Range { query: vec![1], tau: 2 };
+        cache.store(key.clone(), CachedResult::Range { ids: Arc::new(vec![9]), effective_tau: 2 });
+        assert!(cache.lookup(&key).is_some());
+        cache.invalidate_all();
+        assert!(cache.lookup(&key).is_none(), "stale entry must be gone");
+        let st = cache.stats();
+        assert_eq!(st.invalidations, 1);
+        assert_eq!(st.len, 0);
+        // The cache keeps working after invalidation.
+        cache.store(key.clone(), CachedResult::Range { ids: Arc::new(vec![3]), effective_tau: 2 });
+        assert!(cache.lookup(&key).is_some());
     }
 
     #[test]

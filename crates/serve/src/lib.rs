@@ -18,12 +18,14 @@
 //!                                     ShardedIndex: scatter ▶ S × Gph ▶ gather
 //! ```
 //!
-//! * [`ShardedIndex`] splits the dataset into `S` row shards by stable
-//!   hash of the record ID, builds one [`gph::Gph`] per shard in
-//!   parallel, and answers `search`/`search_topk` by scatter-gather with
-//!   a merge that is provably identical to a single index (top-k uses a
-//!   two-phase threshold-refinement pass; a property test pins the
-//!   equivalence down).
+//! * [`ShardedIndex`] routes records to `S` shards by stable hash of the
+//!   record ID and keeps one live-updatable [`gph::SegmentedGph`] per
+//!   shard behind an `RwLock`, so the fleet serves
+//!   `insert`/`delete`/`upsert` alongside queries. Scatter-gather answers
+//!   `search`/`search_topk` with a merge that is provably identical to a
+//!   single index over the surviving rows (top-k uses a two-phase
+//!   threshold-refinement pass; property tests pin the equivalence down,
+//!   including under interleaved mutations).
 //! * [`QueryService`] runs a worker pool over a bounded MPMC queue,
 //!   accepts single and batched requests, applies cost-based admission
 //!   control from [`gph::Gph::estimate_cost`] (reject or degrade
@@ -49,7 +51,9 @@ pub mod stats;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, OverBudgetPolicy};
 pub use cache::{CacheKey, CacheStats, CachedResult, LruCache, ResultCache};
-pub use service::{Outcome, QueryService, Response, ServiceConfig, Ticket};
+pub use service::{
+    MutationOutcome, MutationResponse, Outcome, QueryService, Response, ServiceConfig, Ticket,
+};
 pub use shard::{ShardedIndex, ShardedSearchResult};
 pub use snapshot::{read_manifest, ShardEntry, ShardManifest, MANIFEST_FILE};
 pub use stats::{LatencyHistogram, ServiceStats};

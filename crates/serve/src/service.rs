@@ -43,6 +43,35 @@ impl Default for ServiceConfig {
     }
 }
 
+/// One mutation's outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MutationOutcome {
+    /// The mutation committed. `replaced` is true when an upsert
+    /// displaced a live row (inserts report false, deletes true).
+    Applied {
+        /// Whether a live row was displaced or removed.
+        replaced: bool,
+    },
+    /// A delete named an id that was not live.
+    NotFound,
+    /// Admission refused the mutation.
+    Rejected {
+        /// Estimated cost of the mutation.
+        estimated_cost: f64,
+        /// Budget it exceeded.
+        budget: f64,
+    },
+}
+
+/// One mutation's response.
+#[derive(Clone, Copy, Debug)]
+pub struct MutationResponse {
+    /// What happened.
+    pub outcome: MutationOutcome,
+    /// Submit → commit latency in nanoseconds.
+    pub latency_ns: u64,
+}
+
 /// One request's outcome.
 #[derive(Clone, Debug)]
 pub enum Outcome {
@@ -169,7 +198,39 @@ struct Shared {
 }
 
 /// The serving front end: admission control + result cache in front of a
-/// worker pool scatter-gathering on a [`ShardedIndex`].
+/// worker pool scatter-gathering on a [`ShardedIndex`], with live
+/// inserts/deletes/upserts applied directly to the owning shard.
+///
+/// # Example
+///
+/// ```
+/// use gph::engine::GphConfig;
+/// use gph::partition_opt::PartitionStrategy;
+/// use gph_serve::{QueryService, ServiceConfig, ShardedIndex};
+/// use hamming_core::{BitVector, Dataset};
+/// use std::sync::Arc;
+///
+/// // Index a handful of 16-dimensional rows over 2 shards.
+/// let rows = ["0000111100001111", "0000111100001010", "1111000011110000"];
+/// let data =
+///     Dataset::from_vectors(16, rows.iter().map(|s| BitVector::parse(s).unwrap())).unwrap();
+/// let mut cfg = GphConfig::new(2, 4);
+/// cfg.strategy = PartitionStrategy::Original;
+/// let index = Arc::new(ShardedIndex::build(&data, 2, &cfg).unwrap());
+///
+/// let service = QueryService::new(index, ServiceConfig {
+///     workers: 1,
+///     ..ServiceConfig::default()
+/// });
+/// let q = BitVector::parse("0000111100001111").unwrap();
+/// assert_eq!(service.query(q.words(), 3).ids().unwrap(), &[0, 1]);
+///
+/// // Live updates go through the same front end (and invalidate the
+/// // result cache).
+/// service.delete(1);
+/// assert_eq!(service.query(q.words(), 3).ids().unwrap(), &[0]);
+/// service.shutdown();
+/// ```
 pub struct QueryService {
     shared: Arc<Shared>,
     tx: Option<channel::Sender<Job>>,
@@ -290,6 +351,65 @@ impl QueryService {
     /// Convenience: submit one top-k query and wait.
     pub fn query_topk(&self, query: &[u64], k: usize) -> Response {
         self.submit_topk(query, k).wait().pop().expect("single submission yields one response")
+    }
+
+    /// Inserts `row` under `id`. Priced by the admission controller (an
+    /// insert that triggers a segment seal costs a build); applied
+    /// mutations invalidate the result cache. Errors if `id` is already
+    /// live or the row is malformed.
+    pub fn insert(&self, id: u32, row: &[u64]) -> hamming_core::error::Result<MutationResponse> {
+        let submitted = Instant::now();
+        if let Some(resp) = self.price_mutation(self.shared.index.next_insert_cost(id), submitted) {
+            return Ok(resp);
+        }
+        self.shared.index.insert(id, row)?;
+        Ok(self.commit_mutation(MutationOutcome::Applied { replaced: false }, submitted))
+    }
+
+    /// Tombstones `id`; [`MutationOutcome::NotFound`] when it was not
+    /// live. Applied deletes invalidate the result cache.
+    pub fn delete(&self, id: u32) -> MutationResponse {
+        let submitted = Instant::now();
+        if let Some(resp) = self.price_mutation(self.shared.index.delete_cost(id), submitted) {
+            return resp;
+        }
+        if self.shared.index.delete(id) {
+            self.commit_mutation(MutationOutcome::Applied { replaced: true }, submitted)
+        } else {
+            MutationResponse {
+                outcome: MutationOutcome::NotFound,
+                latency_ns: submitted.elapsed().as_nanos() as u64,
+            }
+        }
+    }
+
+    /// Inserts `row` under `id`, replacing any live row with that id.
+    pub fn upsert(&self, id: u32, row: &[u64]) -> hamming_core::error::Result<MutationResponse> {
+        let submitted = Instant::now();
+        if let Some(resp) = self.price_mutation(self.shared.index.next_insert_cost(id), submitted) {
+            return Ok(resp);
+        }
+        let replaced = self.shared.index.upsert(id, row)?;
+        Ok(self.commit_mutation(MutationOutcome::Applied { replaced }, submitted))
+    }
+
+    /// Runs admission on a mutation cost; `Some` is an early rejection.
+    fn price_mutation(&self, cost: f64, submitted: Instant) -> Option<MutationResponse> {
+        match self.shared.admission.evaluate_mutation(cost) {
+            AdmissionDecision::Reject { estimated_cost, budget } => Some(MutationResponse {
+                outcome: MutationOutcome::Rejected { estimated_cost, budget },
+                latency_ns: submitted.elapsed().as_nanos() as u64,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Books an applied mutation: cached results may now be stale, so
+    /// the whole cache is invalidated.
+    fn commit_mutation(&self, outcome: MutationOutcome, submitted: Instant) -> MutationResponse {
+        self.shared.cache.invalidate_all();
+        self.shared.metrics.note_mutation();
+        MutationResponse { outcome, latency_ns: submitted.elapsed().as_nanos() as u64 }
     }
 
     fn submit_inner(&self, queries: &[&[u64]], tau: u32, block: bool) -> Ticket {
@@ -427,13 +547,18 @@ fn worker_loop(shared: &Shared, rx: &channel::Receiver<Job>) {
         shared.metrics.note_batch();
         let mut responses = Vec::with_capacity(job.work.len());
         for work in &job.work {
+            // Captured before the search: if a mutation invalidates the
+            // cache while the search runs, the store below is dropped
+            // instead of resurrecting a stale result.
+            let epoch = shared.cache.epoch();
             let response = match work {
                 Work::Range { query, tau, requested_tau } => {
                     let res = shared.index.search_with_stats(query, *tau);
                     let candidates: u64 = res.shard_stats.iter().map(|s| s.n_candidates).sum();
                     let ids = Arc::new(res.ids);
                     shared.metrics.note_execution(candidates, ids.len() as u64);
-                    shared.cache.store(
+                    shared.cache.store_if_current(
+                        epoch,
                         CacheKey::Range { query: query.clone(), tau: *requested_tau },
                         CachedResult::Range { ids: Arc::clone(&ids), effective_tau: *tau },
                     );
@@ -450,7 +575,8 @@ fn worker_loop(shared: &Shared, rx: &channel::Receiver<Job>) {
                 Work::TopK { query, k, tau_cap } => {
                     let hits = Arc::new(shared.index.search_topk_within(query, *k, *tau_cap));
                     shared.metrics.note_execution(0, hits.len() as u64);
-                    shared.cache.store(
+                    shared.cache.store_if_current(
+                        epoch,
                         CacheKey::TopK { query: query.clone(), k: *k as u32 },
                         CachedResult::TopK { hits: Arc::clone(&hits), effective_cap: *tau_cap },
                     );
@@ -724,6 +850,57 @@ mod tests {
         // With a capacity-1 queue and 39 rapid submissions, at least one
         // batch must have been shed while its cache hit resolved.
         assert!(saw_shed_batch_with_hit || service.stats().queue_rejections == 0);
+    }
+
+    #[test]
+    fn mutations_invalidate_the_cache() {
+        let (index, ds) = fixture(300, 212);
+        let service = QueryService::new(Arc::clone(&index), ServiceConfig::default());
+        let q = ds.row(3);
+        let before = service.query(q, 6);
+        assert!(service.query(q, 6).from_cache, "repeat hits the cache");
+        // Delete one of the results: the cached entry must not survive.
+        let victim = before.ids().unwrap()[0];
+        let resp = service.delete(victim);
+        assert_eq!(resp.outcome, MutationOutcome::Applied { replaced: true });
+        let after = service.query(q, 6);
+        assert!(!after.from_cache, "mutation invalidated the cache");
+        assert!(!after.ids().unwrap().contains(&victim));
+        assert_eq!(service.cache_stats().invalidations, 1);
+        assert_eq!(service.stats().mutations, 1);
+        // Deleting an unknown id is NotFound and does not invalidate.
+        assert_eq!(service.delete(victim).outcome, MutationOutcome::NotFound);
+        assert_eq!(service.cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn insert_and_upsert_serve_immediately() {
+        let (index, ds) = fixture(200, 213);
+        let service = QueryService::new(Arc::clone(&index), ServiceConfig::default());
+        let fresh = ds.row(0).to_vec();
+        let resp = service.insert(9000, &fresh).unwrap();
+        assert_eq!(resp.outcome, MutationOutcome::Applied { replaced: false });
+        assert!(service.query(&fresh, 0).ids().unwrap().contains(&9000));
+        assert!(service.insert(9000, &fresh).is_err(), "duplicate insert errors");
+        let resp = service.upsert(9000, ds.row(1)).unwrap();
+        assert_eq!(resp.outcome, MutationOutcome::Applied { replaced: true });
+        assert!(!service.query(&fresh, 0).ids().unwrap().contains(&9000));
+    }
+
+    #[test]
+    fn zero_budget_rejects_mutations() {
+        let (index, ds) = fixture(200, 214);
+        let cfg = ServiceConfig {
+            admission: AdmissionConfig { cost_budget: 0.0, policy: OverBudgetPolicy::Reject },
+            ..ServiceConfig::default()
+        };
+        let service = QueryService::new(Arc::clone(&index), cfg);
+        let len_before = index.len();
+        let resp = service.insert(9000, ds.row(0)).unwrap();
+        assert!(matches!(resp.outcome, MutationOutcome::Rejected { .. }));
+        assert!(matches!(service.delete(0).outcome, MutationOutcome::Rejected { .. }));
+        assert_eq!(index.len(), len_before, "rejected mutations must not apply");
+        assert_eq!(service.stats().mutations, 0);
     }
 
     #[test]

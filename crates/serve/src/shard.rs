@@ -1,18 +1,25 @@
-//! Row-sharded GPH: scatter-gather over `S` independent engines.
+//! Row-sharded GPH: scatter-gather over `S` independent live-updatable
+//! engines.
 //!
-//! [`ShardedIndex`] splits a [`Dataset`] into `S` shards by a stable hash
-//! of the record ID, builds one [`Gph`] engine per shard in parallel, and
-//! answers queries by scattering to every shard and merging. Range search
-//! merges trivially (shards partition the rows); top-k uses a two-phase
-//! threshold-refinement pass (scatter a cheap per-shard top-k′ to bound
-//! the global k-th distance, then range-refine at that bound) so results
-//! are **identical** to a single engine over the unsharded data — the
-//! shard-merge property test pins this down.
+//! [`ShardedIndex`] routes every record to one of `S` shards by a stable
+//! hash of its ID and keeps one [`SegmentedGph`] per shard — so the fleet
+//! serves `insert`/`delete`/`upsert` as well as queries. Each shard sits
+//! behind its own `RwLock`: queries take shared locks (scatter still runs
+//! shards concurrently), a mutation takes the write lock of exactly the
+//! one shard that owns the ID. Range search merges trivially (shards
+//! partition the live rows); top-k uses a two-phase threshold-refinement
+//! pass (scatter a cheap per-shard top-k′ to bound the global k-th
+//! distance, then range-refine at that bound) so results are
+//! **identical** to a single engine over the surviving rows — the
+//! shard-merge and mutation property tests pin this down.
 
-use gph::engine::{Gph, GphConfig, QueryStats};
-use hamming_core::error::Result;
+use gph::engine::{GphConfig, QueryStats};
+use gph::segment::{SegmentConfig, SegmentedGph};
+use hamming_core::error::{HammingError, Result};
 use hamming_core::key::mix64;
-use hamming_core::Dataset;
+use hamming_core::{words_for, Dataset};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Threaded scatter pays off only when each shard holds enough rows that
 /// a per-shard probe outweighs spawning a thread; below this, queries
@@ -24,9 +31,8 @@ const PAR_SCATTER_MIN_ROWS_PER_SHARD: usize = 4096;
 const PAR_SCATTER_MIN_ROWS_PER_SHARD: usize = 64;
 
 /// Per-record shard members for a fleet of `(len, n_shards)` — the pure
-/// function of the stable id hash that build, snapshot, and restore all
-/// derive the global-id maps from. Keeping it in one place is what lets
-/// [`crate::snapshot`] recompute the assignment instead of storing it.
+/// function of the stable id hash that bulk build derives its row routing
+/// from (record id = row index at build time).
 pub(crate) fn shard_members(len: usize, n_shards: usize) -> Vec<Vec<u32>> {
     let mut members: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
     for id in 0..len {
@@ -35,67 +41,75 @@ pub(crate) fn shard_members(len: usize, n_shards: usize) -> Vec<Vec<u32>> {
     members
 }
 
-/// One shard: a full GPH engine over a row subset, plus the map from
-/// shard-local IDs (the engine's `0..len`) back to global record IDs.
-/// Crate-visible so [`crate::snapshot`] can persist and restore shards.
-pub(crate) struct Shard {
-    pub(crate) engine: Gph,
-    pub(crate) global_ids: Vec<u32>,
-}
-
-/// A GPH index sharded by rows, queried scatter-gather.
+/// A GPH index sharded by record id, queried scatter-gather and mutated
+/// one shard at a time.
 pub struct ShardedIndex {
-    /// Non-empty shards only; empty shards (more shards than rows) hold
-    /// no records and are dropped at build time.
-    pub(crate) shards: Vec<Shard>,
+    /// One live-updatable engine per shard slot (empty slots hold empty
+    /// engines so inserts can route anywhere).
+    pub(crate) shards: Vec<RwLock<SegmentedGph>>,
     pub(crate) n_shards: usize,
-    pub(crate) len: usize,
     pub(crate) words_per_vec: usize,
     pub(crate) dim: usize,
     pub(crate) tau_max: usize,
+    /// Live records, maintained by the mutation paths so `len()` (and
+    /// the scatter-threading heuristic on every query) never has to
+    /// take all `S` shard locks just to sum counts.
+    live: AtomicUsize,
 }
 
-/// Scatter-gather search output: merged global IDs plus one
-/// [`QueryStats`] per (non-empty) shard, in shard order.
+/// Scatter-gather search output: merged global IDs plus one aggregated
+/// [`QueryStats`] per shard, in shard order.
 #[derive(Clone, Debug)]
 pub struct ShardedSearchResult {
     /// Matching global record IDs, ascending.
     pub ids: Vec<u32>,
-    /// Per-shard instrumentation from the scatter phase.
+    /// Per-shard instrumentation from the scatter phase (summed across
+    /// each shard's segments).
     pub shard_stats: Vec<QueryStats>,
 }
 
 impl ShardedIndex {
     /// Shard assignment: stable splitmix64 hash of the record ID. Stable
-    /// across runs and independent of `Dataset` iteration order, so a
-    /// record always lands on the same shard for a fixed shard count.
+    /// across runs and independent of insertion order, so a record always
+    /// lands on the same shard for a fixed shard count.
     #[inline]
     pub fn shard_of(id: u32, n_shards: usize) -> usize {
         (mix64(id as u64) % n_shards.max(1) as u64) as usize
     }
 
-    /// Splits `data` into `n_shards` row shards and builds one engine per
-    /// shard in parallel (one scoped thread per non-empty shard). Every
-    /// engine shares `cfg`, so `tau_max` and the allocation machinery are
-    /// uniform across shards.
+    /// Splits `data` into `n_shards` shards (record id = row index) and
+    /// bulk-builds one sealed [`SegmentedGph`] per shard in parallel.
+    /// Every engine shares `cfg`, so `tau_max` and the allocation
+    /// machinery are uniform across shards.
     pub fn build(data: &Dataset, n_shards: usize, cfg: &GphConfig) -> Result<Self> {
+        Self::build_with_segments(data, n_shards, cfg, SegmentConfig::default())
+    }
+
+    /// [`ShardedIndex::build`] with explicit segment-lifecycle knobs
+    /// (seal threshold and compaction fan-out) for the per-shard engines.
+    pub fn build_with_segments(
+        data: &Dataset,
+        n_shards: usize,
+        cfg: &GphConfig,
+        seg_cfg: SegmentConfig,
+    ) -> Result<Self> {
         let n_shards = n_shards.max(1);
         let members = shard_members(data.len(), n_shards);
-        let mut subsets: Vec<(Dataset, Vec<u32>)> = Vec::new();
-        for ids in members.into_iter().filter(|m| !m.is_empty()) {
+        let mut subsets: Vec<(Dataset, Vec<u32>)> = Vec::with_capacity(n_shards);
+        for ids in members {
             let mut sub = Dataset::with_capacity(data.dim(), ids.len());
             for &id in &ids {
                 sub.push_row_from(data, id as usize)?;
             }
             subsets.push((sub, ids));
         }
-        let mut built: Vec<Result<Shard>> = Vec::new();
+        let mut built: Vec<Result<SegmentedGph>> = Vec::new();
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = subsets
                 .into_iter()
                 .map(|(sub, global_ids)| {
                     scope.spawn(move |_| {
-                        Gph::build(sub, cfg).map(|engine| Shard { engine, global_ids })
+                        SegmentedGph::build_sealed(sub, global_ids, cfg.clone(), seg_cfg)
                     })
                 })
                 .collect();
@@ -105,30 +119,47 @@ impl ShardedIndex {
                 .collect();
         })
         .expect("shard builders never panic");
-        let shards = built.into_iter().collect::<Result<Vec<Shard>>>()?;
+        let engines = built.into_iter().collect::<Result<Vec<_>>>()?;
+        let live = engines.iter().map(SegmentedGph::len).sum();
         Ok(ShardedIndex {
-            shards,
+            shards: engines.into_iter().map(RwLock::new).collect(),
             n_shards,
-            len: data.len(),
             words_per_vec: data.words_per_vec(),
             dim: data.dim(),
             tau_max: cfg.tau_max,
+            live: AtomicUsize::new(live),
         })
     }
 
-    /// Requested shard count (including shards that received no rows).
+    /// Assembles an index from pre-built shard engines (the restore
+    /// path). Engines must agree on dimensionality and `tau_max`.
+    pub(crate) fn from_shards(shards: Vec<SegmentedGph>, dim: usize, tau_max: usize) -> Self {
+        let n_shards = shards.len();
+        let live = shards.iter().map(SegmentedGph::len).sum();
+        ShardedIndex {
+            shards: shards.into_iter().map(RwLock::new).collect(),
+            n_shards,
+            words_per_vec: words_for(dim),
+            dim,
+            tau_max,
+            live: AtomicUsize::new(live),
+        }
+    }
+
+    /// Shard count.
     pub fn num_shards(&self) -> usize {
         self.n_shards
     }
 
-    /// Total records indexed across all shards.
+    /// Live records across all shards (O(1): maintained by the mutation
+    /// paths).
     pub fn len(&self) -> usize {
-        self.len
+        self.live.load(Ordering::Relaxed)
     }
 
-    /// Whether the index holds no records.
+    /// Whether the index holds no live records.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// Dimensionality of the indexed vectors.
@@ -141,18 +172,97 @@ impl ShardedIndex {
         self.tau_max
     }
 
-    /// Rows per non-empty shard (build-balance diagnostics).
+    /// Live rows per shard slot.
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.global_ids.len()).collect()
+        self.shards.iter().map(|s| s.read().len()).collect()
+    }
+
+    /// Sealed-segment counts per shard slot (compaction diagnostics).
+    pub fn segment_counts(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.read().num_sealed()).collect()
     }
 
     /// Summed heap size of all shard engines.
     pub fn size_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.engine.size_bytes()).sum()
+        self.shards.iter().map(|s| s.read().size_bytes()).sum()
     }
 
-    /// All global IDs within `tau` of `query`, ascending — identical to a
-    /// single engine over the unsharded data.
+    /// Whether `id` is live.
+    pub fn contains(&self, id: u32) -> bool {
+        self.shards[Self::shard_of(id, self.n_shards)].read().contains(id)
+    }
+
+    // -----------------------------------------------------------------
+    // Mutations
+    // -----------------------------------------------------------------
+
+    fn check_row(&self, row: &[u64]) -> Result<()> {
+        if row.len() != self.words_per_vec {
+            return Err(HammingError::InvalidParameter(format!(
+                "row has {} words, {}-dimensional rows take {}",
+                row.len(),
+                self.dim,
+                self.words_per_vec
+            )));
+        }
+        Ok(())
+    }
+
+    /// Inserts `row` under `id` on its shard. Errors if `id` is live.
+    pub fn insert(&self, id: u32, row: &[u64]) -> Result<()> {
+        self.check_row(row)?;
+        let mut engine = self.shards[Self::shard_of(id, self.n_shards)].write();
+        // A failing seal still appends the row (the engine documents
+        // this), so count from the engine's own delta, not the Result.
+        let before = engine.len();
+        let result = engine.insert(id, row);
+        self.live.fetch_add(engine.len() - before, Ordering::Relaxed);
+        result
+    }
+
+    /// Tombstones `id`; returns whether it was live.
+    pub fn delete(&self, id: u32) -> bool {
+        let was_live = self.shards[Self::shard_of(id, self.n_shards)].write().delete(id);
+        if was_live {
+            self.live.fetch_sub(1, Ordering::Relaxed);
+        }
+        was_live
+    }
+
+    /// Inserts `row` under `id`, replacing any live row with that id.
+    /// Returns whether a replacement happened.
+    pub fn upsert(&self, id: u32, row: &[u64]) -> Result<bool> {
+        self.check_row(row)?;
+        let mut engine = self.shards[Self::shard_of(id, self.n_shards)].write();
+        let before = engine.len();
+        let result = engine.upsert(id, row);
+        let after = engine.len();
+        if after >= before {
+            self.live.fetch_add(after - before, Ordering::Relaxed);
+        } else {
+            self.live.fetch_sub(before - after, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Estimated cost of inserting `id` next (the owning shard's memtable
+    /// append, plus a seal when one would trigger) — the admission
+    /// controller's mutation-pricing signal.
+    pub fn next_insert_cost(&self, id: u32) -> f64 {
+        self.shards[Self::shard_of(id, self.n_shards)].read().next_insert_cost()
+    }
+
+    /// Estimated cost of deleting `id` (lookup + tombstone flip).
+    pub fn delete_cost(&self, id: u32) -> f64 {
+        self.shards[Self::shard_of(id, self.n_shards)].read().delete_cost()
+    }
+
+    // -----------------------------------------------------------------
+    // Queries
+    // -----------------------------------------------------------------
+
+    /// All live global IDs within `tau` of `query`, ascending — identical
+    /// to a single engine over the surviving rows.
     pub fn search(&self, query: &[u64], tau: u32) -> Vec<u32> {
         self.search_with_stats(query, tau).ids
     }
@@ -160,27 +270,22 @@ impl ShardedIndex {
     /// Scatter-gather range search with per-shard instrumentation.
     pub fn search_with_stats(&self, query: &[u64], tau: u32) -> ShardedSearchResult {
         self.assert_query(query, tau as usize);
-        let per_shard = self.scatter(|shard| {
-            let res = shard.engine.search_with_stats(query, tau);
-            let ids: Vec<u32> =
-                res.ids.iter().map(|&local| shard.global_ids[local as usize]).collect();
-            (ids, res.stats)
-        });
+        let per_shard = self.scatter(|engine| engine.search_with_stats(query, tau));
         let mut ids: Vec<u32> = Vec::new();
         let mut shard_stats = Vec::with_capacity(per_shard.len());
         for (shard_ids, stats) in per_shard {
             ids.extend_from_slice(&shard_ids);
             shard_stats.push(stats);
         }
-        // Shards hold disjoint row sets, so the gather is a sort, not a
+        // Shards hold disjoint id sets, so the gather is a sort, not a
         // dedup.
         ids.sort_unstable();
         ShardedSearchResult { ids, shard_stats }
     }
 
-    /// The `k` nearest records by exact Hamming distance (ties broken by
-    /// ID), considering records within `tau_max` — identical output to
-    /// [`Gph::search_topk`] on the unsharded data.
+    /// The `k` nearest live records by exact Hamming distance (ties
+    /// broken by ID), considering records within `tau_max` — identical
+    /// output to [`gph::Gph::search_topk`] on the surviving rows.
     ///
     /// Two phases: (1) scatter a per-shard top-`⌈k/S⌉` to cheaply bound
     /// the global k-th distance `τ*`; (2) range-refine every shard at
@@ -192,38 +297,24 @@ impl ShardedIndex {
     }
 
     /// [`ShardedIndex::search_topk`] with the escalation radius capped at
-    /// `tau_cap ≤ tau_max` — identical to [`Gph::search_topk_within`] on
-    /// the unsharded data. Admission control uses smaller caps as the
+    /// `tau_cap ≤ tau_max`. Admission control uses smaller caps as the
     /// degraded top-k mode.
     pub fn search_topk_within(&self, query: &[u64], k: usize, tau_cap: u32) -> Vec<(u32, u32)> {
         self.assert_query(query, tau_cap as usize);
-        if k == 0 || self.shards.is_empty() {
+        if k == 0 {
             return Vec::new();
         }
         if self.shards.len() == 1 {
-            let shard = &self.shards[0];
-            return shard
-                .engine
-                .search_topk_within(query, k, tau_cap)
-                .into_iter()
-                .map(|(local, d)| (shard.global_ids[local as usize], d))
-                .collect();
+            return self.shards[0].read().search_topk_within(query, k, tau_cap);
         }
 
         // Phase 1: bound τ*. Each shard's local top-k′ is a subset of the
-        // records, so the pool's k-th smallest distance is an upper bound
-        // on the true k-th; with fewer than k pooled hits fall back to
-        // tau_cap (the widest radius this search considers).
+        // live records, so the pool's k-th smallest distance is an upper
+        // bound on the true k-th; with fewer than k pooled hits fall back
+        // to tau_cap (the widest radius this search considers).
         let k_local = k.div_ceil(self.shards.len());
         let mut pool: Vec<(u32, u32)> = self
-            .scatter(|shard| {
-                shard
-                    .engine
-                    .search_topk_within(query, k_local, tau_cap)
-                    .into_iter()
-                    .map(|(local, d)| (shard.global_ids[local as usize], d))
-                    .collect::<Vec<_>>()
-            })
+            .scatter(|engine| engine.search_topk_within(query, k_local, tau_cap))
             .into_iter()
             .flatten()
             .collect();
@@ -232,17 +323,7 @@ impl ShardedIndex {
 
         // Phase 2: exact refinement at τ*.
         let mut hits: Vec<(u32, u32)> = self
-            .scatter(|shard| {
-                shard
-                    .engine
-                    .search(query, tau_star)
-                    .into_iter()
-                    .map(|local| {
-                        let d = shard.engine.data().distance_to(local as usize, query);
-                        (shard.global_ids[local as usize], d)
-                    })
-                    .collect::<Vec<_>>()
-            })
+            .scatter(|engine| engine.search_with_distances(query, tau_star))
             .into_iter()
             .flatten()
             .collect();
@@ -257,7 +338,7 @@ impl ShardedIndex {
     /// max, but admission budgets total work).
     pub fn estimate_cost(&self, query: &[u64], tau: u32) -> f64 {
         self.assert_query(query, tau as usize);
-        self.shards.iter().map(|s| s.engine.estimate_cost(query, tau)).sum()
+        self.shards.iter().map(|s| s.read().estimate_cost(query, tau)).sum()
     }
 
     fn assert_query(&self, query: &[u64], tau: usize) {
@@ -265,25 +346,26 @@ impl ShardedIndex {
         assert_eq!(query.len(), self.words_per_vec, "query width mismatch with indexed data");
     }
 
-    /// Runs `f` on every shard (the scatter phase); results come back in
-    /// shard order. Spawns one scoped thread per shard only when the
-    /// shards are large enough that a per-shard search dwarfs thread
-    /// start-up (~tens of µs); small shards run sequentially — in the
-    /// service the worker pool already parallelizes across queries, so
-    /// intra-query threads only pay off once per-shard work is
-    /// substantial.
+    /// Runs `f` on every shard under its read lock (the scatter phase);
+    /// results come back in shard order. Spawns one scoped thread per
+    /// shard only when the shards are large enough that a per-shard
+    /// search dwarfs thread start-up (~tens of µs); small shards run
+    /// sequentially — in the service the worker pool already parallelizes
+    /// across queries, so intra-query threads only pay off once per-shard
+    /// work is substantial.
     fn scatter<T, F>(&self, f: F) -> Vec<T>
     where
         T: Send,
-        F: Fn(&Shard) -> T + Sync,
+        F: Fn(&SegmentedGph) -> T + Sync,
     {
-        if self.shards.len() <= 1 || self.len < PAR_SCATTER_MIN_ROWS_PER_SHARD * self.shards.len() {
-            return self.shards.iter().map(&f).collect();
+        if self.shards.len() <= 1 || self.len() < PAR_SCATTER_MIN_ROWS_PER_SHARD * self.shards.len()
+        {
+            return self.shards.iter().map(|s| f(&s.read())).collect();
         }
         let mut out: Vec<T> = Vec::new();
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> =
-                self.shards.iter().map(|shard| scope.spawn(|_| f(shard))).collect();
+                self.shards.iter().map(|shard| scope.spawn(|_| f(&shard.read()))).collect();
             out =
                 handles.into_iter().map(|h| h.join().expect("shard workers never panic")).collect();
         })
@@ -295,6 +377,7 @@ impl ShardedIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gph::engine::Gph;
     use gph::partition_opt::PartitionStrategy;
     use hamming_core::BitVector;
     use rand::{Rng, SeedableRng};
@@ -407,5 +490,98 @@ mod tests {
         let c = sharded.estimate_cost(q, 8);
         assert!(c.is_finite() && c >= 0.0);
         assert!(c >= sharded.estimate_cost(q, 2), "cost grows with tau");
+    }
+
+    #[test]
+    fn mutations_route_to_the_owning_shard() {
+        let ds = random_dataset(48, 120, 0.5, 105);
+        let cfg = test_cfg(3, 8);
+        let sharded = ShardedIndex::build(&ds, 4, &cfg).unwrap();
+        let fresh = random_dataset(48, 3, 0.5, 106);
+        // Insert three new records past the dense prefix.
+        for (i, id) in [500u32, 501, 502].iter().enumerate() {
+            sharded.insert(*id, fresh.row(i)).unwrap();
+        }
+        assert_eq!(sharded.len(), 123);
+        assert!(sharded.contains(501));
+        assert!(sharded.search(fresh.row(1), 0).contains(&501));
+        // Delete one original and one new record.
+        assert!(sharded.delete(0));
+        assert!(sharded.delete(502));
+        assert!(!sharded.delete(502), "second delete is a no-op");
+        assert_eq!(sharded.len(), 121);
+        assert!(!sharded.search(ds.row(0), 0).contains(&0));
+        // Upsert replaces in place.
+        assert!(sharded.upsert(501, fresh.row(2)).unwrap());
+        assert!(sharded.search(fresh.row(2), 0).contains(&501));
+        // Width mismatches error before touching any shard.
+        assert!(sharded.insert(900, &[0u64; 3]).is_err());
+        assert!(sharded.upsert(900, &[0u64; 3]).is_err());
+    }
+
+    #[test]
+    fn mutated_index_matches_fresh_single_engine() {
+        let ds = random_dataset(48, 150, 0.45, 107);
+        let cfg = test_cfg(3, 8);
+        let sharded = ShardedIndex::build(&ds, 3, &cfg).unwrap();
+        // Delete a spread of ids, upsert a few, insert fresh ones.
+        for id in [3u32, 50, 51, 149] {
+            assert!(sharded.delete(id));
+        }
+        let extra = random_dataset(48, 4, 0.45, 108);
+        sharded.upsert(10, extra.row(0)).unwrap();
+        sharded.insert(300, extra.row(1)).unwrap();
+        sharded.insert(301, extra.row(2)).unwrap();
+
+        // Reference: a fresh engine over the surviving rows.
+        let mut surviving = Vec::new();
+        for id in 0..150u32 {
+            if ![3u32, 50, 51, 149].contains(&id) {
+                let row =
+                    if id == 10 { extra.row(0).to_vec() } else { ds.row(id as usize).to_vec() };
+                surviving.push((id, row));
+            }
+        }
+        surviving.push((300, extra.row(1).to_vec()));
+        surviving.push((301, extra.row(2).to_vec()));
+        surviving.sort_by_key(|&(id, _)| id);
+        let mut fresh_ds = Dataset::new(48);
+        for (_, row) in &surviving {
+            fresh_ds.push_row(row).unwrap();
+        }
+        let fresh = Gph::build(fresh_ds, &cfg).unwrap();
+        let map: Vec<u32> = surviving.iter().map(|&(id, _)| id).collect();
+        for qi in [0usize, 10, 77] {
+            let q = ds.row(qi);
+            for tau in [0u32, 4, 8] {
+                let expect: Vec<u32> =
+                    fresh.search(q, tau).into_iter().map(|l| map[l as usize]).collect();
+                assert_eq!(sharded.search(q, tau), expect, "qi={qi} tau={tau}");
+            }
+            let expect_topk: Vec<(u32, u32)> =
+                fresh.search_topk(q, 7).into_iter().map(|(l, d)| (map[l as usize], d)).collect();
+            assert_eq!(sharded.search_topk(q, 7), expect_topk, "qi={qi} topk");
+        }
+    }
+
+    #[test]
+    fn mutation_costs_are_positive_and_seal_aware() {
+        let ds = random_dataset(32, 40, 0.5, 109);
+        let mut cfg = test_cfg(2, 4);
+        cfg.strategy = PartitionStrategy::Original;
+        let seg_cfg = SegmentConfig { seal_rows: 2, max_sealed: 4 };
+        let sharded = ShardedIndex::build_with_segments(&ds, 2, &cfg, seg_cfg).unwrap();
+        let id = 1000u32;
+        let base = sharded.next_insert_cost(id);
+        assert!(base > 0.0 && sharded.delete_cost(id) > 0.0);
+        // Fill the owning shard's memtable to one row below the seal
+        // threshold: the next insert must be priced at seal cost.
+        let slot = ShardedIndex::shard_of(id, 2);
+        let filler = (0..).map(|i| 2000 + i).find(|&i| ShardedIndex::shard_of(i, 2) == slot);
+        sharded.insert(filler.unwrap(), ds.row(0)).unwrap();
+        assert!(
+            sharded.next_insert_cost(id) > base,
+            "an insert that triggers a seal costs more than an append"
+        );
     }
 }

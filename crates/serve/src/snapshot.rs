@@ -1,38 +1,42 @@
-//! Persistent sharded-index snapshots: a manifest plus one engine
-//! snapshot file per shard, so a serving fleet warm-starts by reloading
-//! — never by re-running partition optimization.
+//! Persistent sharded-index snapshots: a manifest plus one segmented
+//! engine snapshot file per shard, so a serving fleet warm-starts by
+//! reloading — never by re-running partition optimization.
 //!
 //! Layout of a snapshot directory:
 //!
 //! ```text
 //! <dir>/MANIFEST          GPHM container: fleet shape + per-shard entries
-//! <dir>/shard-<slot>.gphe one Gph snapshot per non-empty shard slot
+//! <dir>/shard-<slot>.gphs one SegmentedGph snapshot per non-empty slot
 //! ```
 //!
-//! The manifest records the shard count, the id-hash fingerprint (a probe
-//! value through [`mix64`], so a changed hash function is detected
-//! instead of silently misrouting records), and for every non-empty
-//! shard slot its file's CRC-32 and row count. Restore recomputes each
-//! record's shard assignment from `(len, n_shards)` — the assignment is a
-//! pure function of the global ID — verifies it against the manifest,
-//! and reloads all shard engines in parallel. Shard files are themselves
-//! section-framed and checksummed (see [`gph::snapshot`]), so corruption
-//! anywhere surfaces as [`HammingError::Corrupt`].
+//! The manifest (format v2; v1 predates live updates and is rejected)
+//! records the shard count, the id-hash fingerprint (a probe value
+//! through [`mix64`], so a changed hash function is detected instead of
+//! silently misrouting records), the build config (so restored shards
+//! keep sealing and compacting with the same recipe), and for every
+//! non-empty shard slot its file's CRC-32 and live-row count. Shard files
+//! carry their ids and tombstones themselves — pending deletes
+//! round-trip — and restore verifies that every live id actually hashes
+//! to the slot that stored it. Shard files are section-framed and
+//! checksummed (see [`gph::segment`]), so corruption anywhere surfaces
+//! as [`HammingError::Corrupt`].
 
-use crate::shard::{shard_members, Shard, ShardedIndex};
+use crate::shard::ShardedIndex;
 use bytes::BufMut;
-use gph::engine::Gph;
+use gph::segment::{SegmentConfig, SegmentedGph};
+use gph::snapshot::{decode_gph_config, encode_gph_config};
 use hamming_core::error::{HammingError, Result};
 use hamming_core::io::{crc32, ByteReader, SectionReader, SectionWriter};
 use hamming_core::key::mix64;
-use hamming_core::words_for;
 use std::path::{Path, PathBuf};
 
 /// Magic of the shard-manifest file.
 pub const MANIFEST_MAGIC: [u8; 4] = *b"GPHM";
 
-/// Current manifest format version.
-pub const MANIFEST_VERSION: u32 = 1;
+/// Current manifest format version. Version 1 (frozen shards, dense ids)
+/// is no longer readable: those fleets predate live updates and must be
+/// rebuilt.
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// File name of the manifest inside a snapshot directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
@@ -47,9 +51,10 @@ fn id_hash_fingerprint() -> u64 {
 /// One shard's entry in a [`ShardManifest`].
 #[derive(Clone, Debug)]
 pub struct ShardEntry {
-    /// Shard slot in `0..n_shards` (empty slots have no entry).
+    /// Shard slot in `0..n_shards` (slots with no stored rows have no
+    /// entry).
     pub slot: usize,
-    /// Records this shard holds.
+    /// Live records this shard holds.
     pub rows: usize,
     /// CRC-32 of the shard's snapshot file.
     pub crc: u32,
@@ -58,26 +63,26 @@ pub struct ShardEntry {
 impl ShardEntry {
     /// File name of this shard's snapshot inside the directory.
     pub fn file_name(&self) -> String {
-        format!("shard-{}.gphe", self.slot)
+        format!("shard-{}.gphs", self.slot)
     }
 }
 
 /// The parsed manifest of a snapshot directory.
 #[derive(Clone, Debug)]
 pub struct ShardManifest {
-    /// Requested shard count (including empty slots).
+    /// Shard count (including empty slots).
     pub n_shards: usize,
-    /// Total records across shards.
+    /// Total live records across shards.
     pub len: usize,
     /// Dimensionality of the indexed vectors.
     pub dim: usize,
     /// Largest threshold the engines serve.
     pub tau_max: usize,
-    /// Non-empty shards, ascending by slot.
+    /// Shards with stored rows, ascending by slot.
     pub shards: Vec<ShardEntry>,
 }
 
-fn encode_manifest(m: &ShardManifest) -> Vec<u8> {
+fn encode_manifest(m: &ShardManifest, cfg: &gph::GphConfig, seg_cfg: SegmentConfig) -> Vec<u8> {
     let mut body = Vec::with_capacity(48 + m.shards.len() * 20);
     body.put_u64_le(m.n_shards as u64);
     body.put_u64_le(m.len as u64);
@@ -92,19 +97,30 @@ fn encode_manifest(m: &ShardManifest) -> Vec<u8> {
     }
     let mut w = SectionWriter::new(MANIFEST_MAGIC, MANIFEST_VERSION);
     w.section("shards", &body);
+    // The build recipe for empty slots (non-empty slots carry their own
+    // config inside the shard file).
+    let mut cfg_body = encode_gph_config(cfg);
+    cfg_body.put_u64_le(seg_cfg.seal_rows as u64);
+    cfg_body.put_u64_le(seg_cfg.max_sealed as u64);
+    w.section("config", &cfg_body);
     w.finish()
 }
 
 /// Caps on the manifest's self-declared shape. Record IDs are `u32`
 /// throughout the stack, and a fleet of more than ~a million shard
-/// slots is nonsense; validating both before [`shard_members`] runs
+/// slots is nonsense; validating both before any per-slot allocation
 /// keeps a forged or CRC-colliding manifest from driving huge
 /// allocations — the same guard `decode_partitioning` applies to its
 /// header fields.
 const MAX_SHARD_SLOTS: u64 = 1 << 20;
 
-fn decode_manifest(bytes: &[u8]) -> Result<ShardManifest> {
+fn decode_manifest(bytes: &[u8]) -> Result<(ShardManifest, gph::GphConfig, SegmentConfig)> {
     let sections = SectionReader::parse(MANIFEST_MAGIC, MANIFEST_VERSION, bytes)?;
+    if sections.version() < 2 {
+        return Err(HammingError::Corrupt(
+            "manifest version 1 predates live updates; rebuild the snapshot".into(),
+        ));
+    }
     let mut r = ByteReader::new(sections.section("shards")?);
     let n_shards_raw = r.u64("shard count")?;
     if n_shards_raw == 0 || n_shards_raw > MAX_SHARD_SLOTS {
@@ -157,13 +173,26 @@ fn decode_manifest(bytes: &[u8]) -> Result<ShardManifest> {
             HammingError::Corrupt(format!("shard rows do not sum to the declared {len} records"))
         })?;
     debug_assert_eq!(total, len);
-    Ok(ShardManifest { n_shards, len, dim, tau_max, shards })
+    let cfg_bytes = sections.section("config")?;
+    if cfg_bytes.len() < 16 {
+        return Err(HammingError::Corrupt("manifest config section truncated".into()));
+    }
+    let (gph_cfg_bytes, tail) = cfg_bytes.split_at(cfg_bytes.len() - 16);
+    let cfg = decode_gph_config(gph_cfg_bytes)?;
+    let mut tr = ByteReader::new(tail);
+    let seal_rows = tr.u64("seal_rows")? as usize;
+    let max_sealed = tr.u64("max_sealed")? as usize;
+    if seal_rows == 0 || max_sealed == 0 {
+        return Err(HammingError::Corrupt("zero segment-lifecycle knobs".into()));
+    }
+    let seg_cfg = SegmentConfig { seal_rows, max_sealed };
+    Ok((ShardManifest { n_shards, len, dim, tau_max, shards }, cfg, seg_cfg))
 }
 
 /// Reads and validates the manifest of a snapshot directory (without
 /// loading any shard engines) — what `gph-store info` prints.
 pub fn read_manifest<P: AsRef<Path>>(dir: P) -> Result<ShardManifest> {
-    decode_manifest(&std::fs::read(dir.as_ref().join(MANIFEST_FILE))?)
+    decode_manifest(&std::fs::read(dir.as_ref().join(MANIFEST_FILE))?).map(|(m, _, _)| m)
 }
 
 fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
@@ -175,104 +204,104 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
 
 impl ShardedIndex {
     /// Persists the index into `dir` (created if missing): one
-    /// checksummed engine snapshot per non-empty shard plus the
-    /// `MANIFEST`, written last and atomically so a crashed snapshot
-    /// never yields a directory that restores partially.
+    /// checksummed segmented snapshot per shard slot with stored rows
+    /// (pending tombstones included) plus the `MANIFEST`, written last
+    /// and atomically so a crashed snapshot never yields a directory
+    /// that restores partially.
     pub fn snapshot<P: AsRef<Path>>(&self, dir: P) -> Result<ShardManifest> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
-        // Non-empty shards appear in slot order at build time; recompute
-        // the slots the same way to label the files.
-        let members = shard_members(self.len, self.n_shards);
-        let slots: Vec<usize> = (0..self.n_shards).filter(|&s| !members[s].is_empty()).collect();
-        debug_assert_eq!(slots.len(), self.shards.len());
-        let mut entries = Vec::with_capacity(self.shards.len());
-        for (shard, &slot) in self.shards.iter().zip(&slots) {
-            let bytes = shard.engine.to_bytes();
-            let entry = ShardEntry { slot, rows: shard.global_ids.len(), crc: crc32(&bytes) };
+        let mut entries = Vec::new();
+        let mut cfg: Option<(gph::GphConfig, SegmentConfig)> = None;
+        for (slot, shard) in self.shards.iter().enumerate() {
+            let engine = shard.read();
+            if cfg.is_none() {
+                cfg = Some((engine.config().clone(), engine.segment_config()));
+            }
+            if engine.stored_rows() == 0 {
+                continue;
+            }
+            let bytes = engine.to_bytes();
+            let entry = ShardEntry { slot, rows: engine.len(), crc: crc32(&bytes) };
             write_atomic(&dir.join(entry.file_name()), &bytes)?;
             entries.push(entry);
         }
+        let (cfg, seg_cfg) = cfg.expect("a sharded index always has at least one shard");
         let manifest = ShardManifest {
             n_shards: self.n_shards,
-            len: self.len,
+            len: entries.iter().map(|e| e.rows).sum(),
             dim: self.dim,
             tau_max: self.tau_max,
             shards: entries,
         };
-        write_atomic(&dir.join(MANIFEST_FILE), &encode_manifest(&manifest))?;
+        write_atomic(&dir.join(MANIFEST_FILE), &encode_manifest(&manifest, &cfg, seg_cfg))?;
         Ok(manifest)
     }
 
     /// Restores a sharded index from a [`ShardedIndex::snapshot`]
     /// directory: validates the manifest (shard count, id-hash
-    /// fingerprint, per-file checksums), recomputes every record's shard
-    /// assignment, and reloads all shard engines in parallel — no
-    /// partition optimization, index build, or estimator training runs.
+    /// fingerprint, per-file checksums), reloads all shard engines in
+    /// parallel — no partition optimization, index build, or estimator
+    /// training runs — and verifies every live id hashes to the slot
+    /// that stored it. Slots without a file come back as empty engines
+    /// ready to accept inserts.
     pub fn restore<P: AsRef<Path>>(dir: P) -> Result<Self> {
         let dir = dir.as_ref();
-        let manifest = read_manifest(dir)?;
-        let members = shard_members(manifest.len, manifest.n_shards);
-        let expected: Vec<usize> =
-            (0..manifest.n_shards).filter(|&s| !members[s].is_empty()).collect();
-        let got: Vec<usize> = manifest.shards.iter().map(|e| e.slot).collect();
-        if expected != got {
-            return Err(HammingError::Corrupt(format!(
-                "manifest shard slots {got:?} do not match the assignment {expected:?}"
-            )));
-        }
-        let mut loaded: Vec<Result<Shard>> = Vec::new();
+        let (manifest, cfg, seg_cfg) = decode_manifest(&std::fs::read(dir.join(MANIFEST_FILE))?)?;
+        let mut loaded: Vec<Result<SegmentedGph>> = Vec::new();
         let manifest_ref = &manifest;
         crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = manifest_ref
-                .shards
-                .iter()
-                .map(|entry| {
-                    let path: PathBuf = dir.join(entry.file_name());
-                    let global_ids = members[entry.slot].clone();
-                    scope.spawn(move |_| load_shard(&path, entry, manifest_ref, global_ids))
+            let handles: Vec<_> = (0..manifest_ref.n_shards)
+                .map(|slot| {
+                    let entry = manifest_ref.shards.iter().find(|e| e.slot == slot);
+                    let cfg = &cfg;
+                    scope.spawn(move |_| match entry {
+                        Some(entry) => {
+                            let path: PathBuf = dir.join(entry.file_name());
+                            load_shard(&path, entry, manifest_ref)
+                        }
+                        None => SegmentedGph::new(manifest_ref.dim, cfg.clone(), seg_cfg),
+                    })
                 })
                 .collect();
             loaded =
                 handles.into_iter().map(|h| h.join().expect("shard loaders never panic")).collect();
         })
         .expect("shard loaders never panic");
-        let shards = loaded.into_iter().collect::<Result<Vec<Shard>>>()?;
-        Ok(ShardedIndex {
-            shards,
-            n_shards: manifest.n_shards,
-            len: manifest.len,
-            words_per_vec: words_for(manifest.dim),
-            dim: manifest.dim,
-            tau_max: manifest.tau_max,
-        })
+        let shards = loaded.into_iter().collect::<Result<Vec<SegmentedGph>>>()?;
+        for (slot, engine) in shards.iter().enumerate() {
+            for id in engine.live_ids() {
+                if ShardedIndex::shard_of(id, manifest.n_shards) != slot {
+                    return Err(HammingError::Corrupt(format!(
+                        "id {id} stored in shard slot {slot} but hashes to slot {}",
+                        ShardedIndex::shard_of(id, manifest.n_shards)
+                    )));
+                }
+            }
+        }
+        Ok(ShardedIndex::from_shards(shards, manifest.dim, manifest.tau_max))
     }
 }
 
-fn load_shard(
-    path: &Path,
-    entry: &ShardEntry,
-    manifest: &ShardManifest,
-    global_ids: Vec<u32>,
-) -> Result<Shard> {
+fn load_shard(path: &Path, entry: &ShardEntry, manifest: &ShardManifest) -> Result<SegmentedGph> {
     let bytes = std::fs::read(path)?;
     if crc32(&bytes) != entry.crc {
         return Err(HammingError::Corrupt(format!("checksum mismatch for {}", entry.file_name())));
     }
-    let engine = Gph::from_bytes(&bytes)?;
-    if engine.data().len() != entry.rows || global_ids.len() != entry.rows {
+    let engine = SegmentedGph::from_bytes(&bytes)?;
+    if engine.len() != entry.rows {
         return Err(HammingError::Corrupt(format!(
-            "{} holds {} rows, manifest says {}",
+            "{} holds {} live rows, manifest says {}",
             entry.file_name(),
-            engine.data().len(),
+            engine.len(),
             entry.rows
         )));
     }
-    if engine.data().dim() != manifest.dim {
+    if engine.dim() != manifest.dim {
         return Err(HammingError::Corrupt(format!(
             "{} indexes {}-dimensional vectors, manifest says {}",
             entry.file_name(),
-            engine.data().dim(),
+            engine.dim(),
             manifest.dim
         )));
     }
@@ -284,7 +313,7 @@ fn load_shard(
             manifest.tau_max
         )));
     }
-    Ok(Shard { engine, global_ids })
+    Ok(engine)
 }
 
 #[cfg(test)]
@@ -337,6 +366,35 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_roundtrips_pending_mutations() {
+        let ds = random_dataset(48, 120, 305);
+        let mut cfg = GphConfig::new(3, 8);
+        cfg.strategy = PartitionStrategy::RandomShuffle { seed: 6 };
+        let built = ShardedIndex::build(&ds, 3, &cfg).unwrap();
+        // Mutate: tombstones stay pending (no compaction forced).
+        let extra = random_dataset(48, 3, 306);
+        for id in [5u32, 60, 119] {
+            assert!(built.delete(id));
+        }
+        built.insert(400, extra.row(0)).unwrap();
+        built.upsert(10, extra.row(1)).unwrap();
+        let dir = tmp_dir("pending");
+        let manifest = built.snapshot(&dir).unwrap();
+        assert_eq!(manifest.len, built.len());
+        let restored = ShardedIndex::restore(&dir).unwrap();
+        assert_eq!(restored.len(), built.len());
+        for qi in [0usize, 10, 60] {
+            let q = ds.row(qi);
+            assert_eq!(restored.search(q, 8), built.search(q, 8), "qi={qi}");
+        }
+        // Mutations continue identically after restore.
+        restored.insert(500, extra.row(2)).unwrap();
+        built.insert(500, extra.row(2)).unwrap();
+        assert_eq!(restored.search(extra.row(2), 2), built.search(extra.row(2), 2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn restore_rejects_corrupt_shard_file() {
         let ds = random_dataset(32, 60, 302);
         let cfg = GphConfig { strategy: PartitionStrategy::Original, ..GphConfig::new(2, 4) };
@@ -378,7 +436,8 @@ mod tests {
 
     #[test]
     fn snapshot_roundtrips_with_empty_slots() {
-        // More shards than rows leaves empty slots with no files.
+        // More shards than rows leaves empty slots with no files; they
+        // restore as empty engines that accept inserts.
         let ds = random_dataset(32, 5, 304);
         let cfg = GphConfig { strategy: PartitionStrategy::Original, ..GphConfig::new(2, 4) };
         let built = ShardedIndex::build(&ds, 8, &cfg).unwrap();
@@ -388,6 +447,48 @@ mod tests {
         let restored = ShardedIndex::restore(&dir).unwrap();
         assert_eq!(restored.num_shards(), 8);
         assert_eq!(restored.search(ds.row(0), 4), built.search(ds.row(0), 4));
+        // An insert routed to a previously empty slot works.
+        let extra = random_dataset(32, 40, 307);
+        for id in 100..140u32 {
+            restored.insert(id, extra.row((id - 100) as usize)).unwrap();
+        }
+        assert_eq!(restored.len(), 45);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_rejects_misrouted_ids() {
+        // A shard file moved to the wrong slot passes its own CRC but
+        // must fail the id-routing check.
+        let ds = random_dataset(32, 60, 308);
+        let cfg = GphConfig { strategy: PartitionStrategy::Original, ..GphConfig::new(2, 4) };
+        let built = ShardedIndex::build(&ds, 2, &cfg).unwrap();
+        let dir = tmp_dir("misrouted");
+        let manifest = built.snapshot(&dir).unwrap();
+        assert_eq!(manifest.shards.len(), 2);
+        // Swap the two shard files and patch the manifest CRCs/rows to
+        // match, leaving ids in slots they do not hash to.
+        let a = std::fs::read(dir.join(manifest.shards[0].file_name())).unwrap();
+        let b = std::fs::read(dir.join(manifest.shards[1].file_name())).unwrap();
+        std::fs::write(dir.join(manifest.shards[0].file_name()), &b).unwrap();
+        std::fs::write(dir.join(manifest.shards[1].file_name()), &a).unwrap();
+        let mut swapped = manifest.clone();
+        swapped.shards[0].crc = crc32(&b);
+        swapped.shards[1].crc = crc32(&a);
+        let rows0 = swapped.shards[0].rows;
+        swapped.shards[0].rows = swapped.shards[1].rows;
+        swapped.shards[1].rows = rows0;
+        let engine0 = built.shards[0].read();
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            encode_manifest(&swapped, engine0.config(), engine0.segment_config()),
+        )
+        .unwrap();
+        match ShardedIndex::restore(&dir) {
+            Err(HammingError::Corrupt(msg)) => assert!(msg.contains("hashes to"), "{msg}"),
+            Err(other) => panic!("expected Corrupt, got {other}"),
+            Ok(_) => panic!("misrouted ids restored"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

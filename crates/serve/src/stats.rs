@@ -119,6 +119,8 @@ pub struct ServiceMetrics {
     batches: AtomicU64,
     /// Requests shed (resolved as `Overloaded`) on a full queue.
     queue_rejections: AtomicU64,
+    /// Mutations applied (inserts + deletes + upserts that changed data).
+    mutations: AtomicU64,
     /// Σ candidates verified across executed queries (summed over
     /// shards).
     candidates: AtomicU64,
@@ -137,6 +139,7 @@ impl ServiceMetrics {
             executed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             queue_rejections: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
             candidates: AtomicU64::new(0),
             results: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
@@ -162,6 +165,10 @@ impl ServiceMetrics {
         self.queue_rejections.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn note_mutation(&self) {
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Aggregate snapshot (see [`ServiceStats`] fields).
     pub fn snapshot(&self) -> ServiceStats {
         let responses = self.responses.load(Ordering::Relaxed);
@@ -172,6 +179,7 @@ impl ServiceMetrics {
             executed,
             batches: self.batches.load(Ordering::Relaxed),
             queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
+            mutations: self.mutations.load(Ordering::Relaxed),
             qps: responses as f64 / elapsed,
             latency_p50_ns: self.latency.quantile_ns(0.50),
             latency_p95_ns: self.latency.quantile_ns(0.95),
@@ -209,6 +217,8 @@ pub struct ServiceStats {
     pub batches: u64,
     /// Requests shed (resolved as `Overloaded`) on a full queue.
     pub queue_rejections: u64,
+    /// Mutations applied (inserts + deletes + upserts that changed data).
+    pub mutations: u64,
     /// Responses per second since service start.
     pub qps: f64,
     /// Median end-to-end latency (ns).
@@ -291,11 +301,13 @@ mod tests {
         m.note_execution(150, 15);
         m.note_batch();
         m.note_queue_rejection();
+        m.note_mutation();
         let s = m.snapshot();
         assert_eq!(s.responses, 2);
         assert_eq!(s.executed, 2);
         assert_eq!(s.batches, 1);
         assert_eq!(s.queue_rejections, 1);
+        assert_eq!(s.mutations, 1);
         assert!(s.qps > 0.0);
         assert!((s.candidates_per_query - 100.0).abs() < 1e-9);
         assert!((s.results_per_query - 10.0).abs() < 1e-9);

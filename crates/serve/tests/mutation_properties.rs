@@ -1,0 +1,201 @@
+//! Serve-layer mutation correctness: a `ShardedIndex` (and the
+//! `QueryService` in front of it) under arbitrary interleaved
+//! insert/delete/upsert streams answers every query exactly like a fresh
+//! single `Gph` built over the surviving rows — including after a fleet
+//! snapshot/restore round-trip.
+
+use gph::engine::{Gph, GphConfig};
+use gph::partition_opt::PartitionStrategy;
+use gph::segment::SegmentConfig;
+use gph_serve::{QueryService, ServiceConfig, ShardedIndex};
+use hamming_core::{BitVector, Dataset};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const DIM: usize = 40;
+const ID_UNIVERSE: u32 = 24;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Upsert(u32, Vec<bool>),
+    Delete(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Weighted choice via a selector (the vendored proptest shim has no
+    // prop_oneof!): 0..3 upsert, 3 delete.
+    (0u8..4, 0..ID_UNIVERSE, prop::collection::vec(any::<bool>(), DIM)).prop_map(
+        |(sel, id, bits)| match sel {
+            0..=2 => Op::Upsert(id, bits),
+            _ => Op::Delete(id),
+        },
+    )
+}
+
+fn cfg(seed: u64) -> GphConfig {
+    let mut cfg = GphConfig::new(3, 8);
+    cfg.strategy = PartitionStrategy::RandomShuffle { seed };
+    cfg
+}
+
+fn words(bits: &[bool]) -> Vec<u64> {
+    BitVector::from_bits(bits.iter().copied()).words().to_vec()
+}
+
+fn apply(index: &ShardedIndex, model: &mut BTreeMap<u32, Vec<u64>>, op: &Op) {
+    match op {
+        Op::Upsert(id, bits) => {
+            let row = words(bits);
+            let replaced = index.upsert(*id, &row).expect("upsert");
+            assert_eq!(replaced, model.insert(*id, row).is_some());
+        }
+        Op::Delete(id) => {
+            assert_eq!(index.delete(*id), model.remove(id).is_some());
+        }
+    }
+}
+
+fn assert_equivalent(index: &ShardedIndex, model: &BTreeMap<u32, Vec<u64>>, cfg: &GphConfig) {
+    let fresh = if model.is_empty() {
+        None
+    } else {
+        let mut ds = Dataset::new(DIM);
+        let mut ids = Vec::with_capacity(model.len());
+        for (&id, row) in model {
+            ds.push_row(row).expect("model rows are well-formed");
+            ids.push(id);
+        }
+        Some((Gph::build(ds, cfg).expect("build reference"), ids))
+    };
+    // Member queries (every surviving row) plus one foreign probe.
+    let mut queries: Vec<Vec<u64>> = model.values().take(4).cloned().collect();
+    queries.push(vec![0u64; hamming_core::words_for(DIM)]);
+    for q in &queries {
+        for tau in [0u32, 4, 8] {
+            let expect: Vec<u32> = match &fresh {
+                None => Vec::new(),
+                Some((g, ids)) => g.search(q, tau).into_iter().map(|l| ids[l as usize]).collect(),
+            };
+            assert_eq!(index.search(q, tau), expect, "tau={tau}");
+        }
+        let expect_topk: Vec<(u32, u32)> = match &fresh {
+            None => Vec::new(),
+            Some((g, ids)) => {
+                g.search_topk(q, 6).into_iter().map(|(l, d)| (ids[l as usize], d)).collect()
+            }
+        };
+        assert_eq!(index.search_topk(q, 6), expect_topk);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Mutations through the sharded fleet keep scatter-gather exact for
+    /// 1..=5 shards, including after a snapshot/restore round-trip.
+    #[test]
+    fn sharded_mutations_stay_exact(
+        initial in prop::collection::vec(prop::collection::vec(any::<bool>(), DIM), 0..12),
+        ops in prop::collection::vec(op_strategy(), 1..30),
+        ops_after in prop::collection::vec(op_strategy(), 0..10),
+        n_shards in 1usize..=5,
+        seal_rows in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let cfg = cfg(seed);
+        let seg_cfg = SegmentConfig { seal_rows, max_sealed: 2 };
+        let mut ds = Dataset::new(DIM);
+        let mut model: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+        for (i, bits) in initial.iter().enumerate() {
+            let row = words(bits);
+            ds.push_row(&row).expect("initial rows");
+            model.insert(i as u32, row);
+        }
+        let index =
+            ShardedIndex::build_with_segments(&ds, n_shards, &cfg, seg_cfg).expect("build");
+        for op in &ops {
+            apply(&index, &mut model, op);
+        }
+        assert_equivalent(&index, &model, &cfg);
+
+        // Fleet snapshot with pending tombstones, restore, keep mutating.
+        let dir = std::env::temp_dir()
+            .join(format!("gph_mutation_props_{}_{seed:x}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        index.snapshot(&dir).expect("snapshot");
+        let restored = ShardedIndex::restore(&dir).expect("restore");
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(restored.len(), index.len());
+        assert_equivalent(&restored, &model, &cfg);
+        for op in &ops_after {
+            apply(&restored, &mut model, op);
+        }
+        assert_equivalent(&restored, &model, &cfg);
+    }
+
+    /// The service front end (cache + admission + worker pool) stays
+    /// consistent with the index under interleaved queries and
+    /// mutations: every response reflects exactly the live rows at the
+    /// time it executes.
+    #[test]
+    fn service_mutations_keep_responses_fresh(
+        initial in prop::collection::vec(prop::collection::vec(any::<bool>(), DIM), 1..10),
+        ops in prop::collection::vec(op_strategy(), 1..15),
+        seed in any::<u64>(),
+    ) {
+        let cfg = cfg(seed);
+        let mut ds = Dataset::new(DIM);
+        let mut model: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+        for (i, bits) in initial.iter().enumerate() {
+            let row = words(bits);
+            ds.push_row(&row).expect("initial rows");
+            model.insert(i as u32, row);
+        }
+        let index = Arc::new(ShardedIndex::build(&ds, 2, &cfg).expect("build"));
+        let service = QueryService::new(
+            Arc::clone(&index),
+            ServiceConfig { workers: 2, ..ServiceConfig::default() },
+        );
+        for op in &ops {
+            // Query (and cache) before the mutation, mutate through the
+            // service, then verify the post-mutation answer is fresh.
+            let probe = words(op_row(op, &initial));
+            let _ = service.query(&probe, 8);
+            match op {
+                Op::Upsert(id, bits) => {
+                    let row = words(bits);
+                    let resp = service.upsert(*id, &row).expect("upsert");
+                    let applied =
+                        matches!(resp.outcome, gph_serve::MutationOutcome::Applied { .. });
+                    prop_assert!(applied);
+                    model.insert(*id, row);
+                }
+                Op::Delete(id) => {
+                    let was_live = model.remove(id).is_some();
+                    let resp = service.delete(*id);
+                    let applied =
+                        matches!(resp.outcome, gph_serve::MutationOutcome::Applied { .. });
+                    let not_found =
+                        matches!(resp.outcome, gph_serve::MutationOutcome::NotFound);
+                    let outcome_consistent = if was_live { applied } else { not_found };
+                    prop_assert!(outcome_consistent);
+                }
+            }
+            let expect = index.search(&probe, 8);
+            let resp = service.query(&probe, 8);
+            prop_assert_eq!(resp.ids().expect("range response"), expect.as_slice());
+        }
+        service.shutdown();
+    }
+}
+
+/// A probe row related to the op: the upserted row, or (for deletes) the
+/// first initial row, so cached answers overlapping the mutation are
+/// exercised.
+fn op_row<'a>(op: &'a Op, initial: &'a [Vec<bool>]) -> &'a [bool] {
+    match op {
+        Op::Upsert(_, bits) => bits,
+        Op::Delete(_) => &initial[0],
+    }
+}

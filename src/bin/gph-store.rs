@@ -8,12 +8,17 @@
 //! gph-store info  --index snap/
 //! gph-store query --index snap/ --queries q.hamd --tau 8 [--topk k]
 //! gph-store serve --index snap/ --queries 2000 --tau 8 [--workers w]
+//! gph-store add   --index snap/ --id 42 --bits 0101... [--upsert]
+//! gph-store del   --index snap/ --id 42
 //! ```
 //!
 //! `build` runs the expensive offline phase (partition optimization,
 //! index + estimator construction, one engine per shard) and snapshots
 //! the fleet; every other command restores from the snapshot and never
-//! re-optimizes.
+//! re-optimizes. `add` and `del` mutate the restored fleet through the
+//! segmented live-update path (memtable append / tombstone flip — at
+//! most one segment build when a seal triggers) and re-snapshot in
+//! place.
 
 use gph_suite::datagen::Profile;
 use gph_suite::gph::engine::GphConfig;
@@ -53,6 +58,8 @@ fn main() -> ExitCode {
         "info" => cmd_info(&opts),
         "query" => cmd_query(&opts),
         "serve" => cmd_serve(&opts),
+        "add" => cmd_add(&opts),
+        "del" => cmd_del(&opts),
         "--help" | "-h" | "help" => {
             usage();
             Ok(())
@@ -78,6 +85,9 @@ fn usage() {
          \x20 query --index <dir> --tau <t> (--queries <file.hamd> | --sample n)\n\
          \x20       [--topk k]\n\
          \x20 serve --index <dir> --queries <n> --tau <t> [--workers w] [--batch b]\n\
+         \x20 add   --index <dir> --id <n> (--bits <01...> | --random-seed <s>)\n\
+         \x20       [--upsert]\n\
+         \x20 del   --index <dir> --id <n>\n\
          profiles: sift gist pubchem fasttext uqvideo uniform<d> gamma<g>"
     );
 }
@@ -201,6 +211,47 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
         queries.len(),
         t0.elapsed().as_secs_f64() * 1e3
     );
+    Ok(())
+}
+
+fn cmd_add(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dir = need(opts, "index")?;
+    let id: u32 = parse(opts, "id")?;
+    let index = restore(opts)?;
+    let row: Vec<u64> = if let Some(bits) = opts.get("bits") {
+        if bits.len() != index.dim() {
+            return Err(format!("--bits has {} digits, index dim is {}", bits.len(), index.dim()));
+        }
+        let v = gph_suite::hamming_core::BitVector::parse(bits)
+            .map_err(|e| format!("parsing --bits: {e}"))?;
+        v.words().to_vec()
+    } else {
+        let seed: u64 =
+            parse(opts, "random-seed").map_err(|_| "need --bits or --random-seed".to_string())?;
+        let sample = Profile::uniform(index.dim()).generate(1, seed);
+        sample.row(0).to_vec()
+    };
+    if opts.contains_key("upsert") {
+        let replaced = index.upsert(id, &row).map_err(|e| e.to_string())?;
+        println!("{} id {id}", if replaced { "replaced" } else { "inserted" });
+    } else {
+        index.insert(id, &row).map_err(|e| e.to_string())?;
+        println!("inserted id {id}");
+    }
+    index.snapshot(dir).map_err(|e| e.to_string())?;
+    println!("{} live rows, snapshot updated at {dir}", index.len());
+    Ok(())
+}
+
+fn cmd_del(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dir = need(opts, "index")?;
+    let id: u32 = parse(opts, "id")?;
+    let index = restore(opts)?;
+    if !index.delete(id) {
+        return Err(format!("id {id} is not live in this index"));
+    }
+    index.snapshot(dir).map_err(|e| e.to_string())?;
+    println!("deleted id {id}; {} live rows, snapshot updated at {dir}", index.len());
     Ok(())
 }
 
