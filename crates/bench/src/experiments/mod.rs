@@ -10,6 +10,7 @@ pub mod comparison;
 pub mod estimators;
 pub mod msweep;
 pub mod mutations;
+pub mod netload;
 pub mod partitioning;
 pub mod scalecheck;
 pub mod scaling;
@@ -38,6 +39,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "scalecheck",
     "smoke",
     "mutations",
+    "netload",
     "all",
 ];
 
@@ -61,6 +63,7 @@ pub fn dispatch(exp: &str, scale: Scale) -> bool {
         "scalecheck" => scalecheck::run(scale),
         "smoke" => smoke::run(scale),
         "mutations" => mutations::run(scale),
+        "netload" => netload::run(scale),
         "all" => {
             for exp in EXPERIMENTS.iter().filter(|&&e| e != "all") {
                 dispatch(exp, scale);

@@ -75,6 +75,37 @@ fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
     crc
 }
 
+/// Streaming CRC-32 (IEEE 802.3) hasher for checksums that span
+/// non-contiguous slices — e.g. a wire frame whose header and payload
+/// are read separately. `Crc32::new().update(a).update(b).finish()`
+/// equals [`crc32`] over the concatenation of `a` and `b`.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32(u32::MAX)
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(mut self, bytes: &[u8]) -> Self {
+        self.0 = crc32_update(self.0, bytes);
+        self
+    }
+
+    /// Finalizes and returns the CRC-32 value.
+    pub fn finish(self) -> u32 {
+        !self.0
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// CRC-32 over a section's tag, length field, and payload — covering the
 /// header means a corrupted tag byte cannot masquerade as a valid
 /// unknown section.
@@ -617,6 +648,16 @@ mod tests {
         // The standard IEEE check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_crc32_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in [0usize, 1, 7, data.len() / 2, data.len()] {
+            let (a, b) = data.split_at(split);
+            assert_eq!(Crc32::new().update(a).update(b).finish(), crc32(data), "split={split}");
+        }
+        assert_eq!(Crc32::new().finish(), 0);
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! # gph-net
+//!
+//! Network serving for the GPH reproduction: the subsystem that turns
+//! the in-process [`gph_serve::QueryService`] into an actual server.
+//! Three layers:
+//!
+//! ```text
+//!   GphClient ──(GPHN frames over TCP, pipelined by request id)──▶ NetServer
+//!      │                                                              │
+//!   connection pool,                                        accept thread +
+//!   submit/wait tickets                                  per-connection reader
+//!   typed errors                                          and writer threads
+//!                                                                    │
+//!                                                         Arc<QueryService>
+//! ```
+//!
+//! * [`protocol`] — the `GPHN` length-prefixed, versioned, CRC-32
+//!   checksummed binary wire format. Corruption anywhere in a frame is a
+//!   typed protocol error, never a panic.
+//! * [`server`] — a `TcpListener` front end: each connection gets a
+//!   reader thread (decodes frames, submits work) and a writer thread
+//!   (waits tickets, encodes responses), so a slow query never stalls
+//!   the socket. Admission rejections map to typed error frames;
+//!   shutdown drains in-flight tickets before closing.
+//! * [`client`] — a blocking [`GphClient`] with connection pooling and
+//!   pipelined `submit_*`/`wait` mirroring the in-process
+//!   [`gph_serve::Ticket`] API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{
+    BatchEntry, ClientConfig, GphClient, NetTicket, RangeResult, RemoteStats, TopKResult,
+};
+pub use protocol::{Message, Request, Response, SearchEntry, WireError, WireMutation};
+pub use server::{NetServer, NetServerStats, ServerConfig};
+
+/// Errors produced by the wire protocol, the client, and the server.
+#[derive(Debug)]
+pub enum NetError {
+    /// An underlying socket error.
+    Io(std::io::Error),
+    /// A frame failed to decode (bad magic, checksum mismatch,
+    /// truncation, unknown opcode, ...). The connection is unusable
+    /// afterwards because framing is lost.
+    Protocol(String),
+    /// The peer answered with a typed error frame.
+    Remote(protocol::WireError),
+    /// The connection closed before the response arrived.
+    Closed,
+}
+
+impl NetError {
+    /// True when this is a remote admission rejection; returns the
+    /// `(estimated_cost, budget)` the server reported.
+    pub fn rejected(&self) -> Option<(f64, f64)> {
+        match self {
+            NetError::Remote(protocol::WireError::Rejected { estimated_cost, budget }) => {
+                Some((*estimated_cost, *budget))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol error: {m}"),
+            NetError::Remote(e) => write!(f, "remote error: {e}"),
+            NetError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<hamming_core::HammingError> for NetError {
+    fn from(e: hamming_core::HammingError) -> Self {
+        match e {
+            hamming_core::HammingError::Io(io) => NetError::Io(io),
+            other => NetError::Protocol(other.to_string()),
+        }
+    }
+}

@@ -1,0 +1,899 @@
+//! The `GPHN` wire protocol: a length-prefixed, versioned, CRC-32
+//! checksummed binary frame format (see `crates/net/PROTOCOL.md` for the
+//! normative spec).
+//!
+//! Every frame is:
+//!
+//! ```text
+//! magic       [u8; 4] = b"GPHN"
+//! version     u8      = 1
+//! kind        u8        0 = request, 1 = response
+//! opcode      u8
+//! reserved    u8      = 0
+//! request_id  u64     (LE; echoes the request on responses — pipelining)
+//! payload_len u32     (LE; at most MAX_PAYLOAD)
+//! crc32       u32     (LE; over version..payload_len ++ payload)
+//! payload     [u8; payload_len]
+//! ```
+//!
+//! The CRC covers every header byte after the magic plus the whole
+//! payload, so any single-byte corruption anywhere in a frame is
+//! detected (CRC-32 catches all burst errors up to 32 bits) and surfaces
+//! as [`NetError::Protocol`] — never a panic, never silently wrong data.
+//! Encoding is canonical: decoding a frame and re-encoding it reproduces
+//! the input byte-for-byte, which the protocol property tests pin down.
+
+use crate::NetError;
+use gph_serve::ServiceSnapshotStats;
+use hamming_core::io::{ByteReader, Crc32};
+use std::io::Read;
+
+/// Frame magic.
+pub const MAGIC: [u8; 4] = *b"GPHN";
+/// Protocol version spoken by this build.
+pub const VERSION: u8 = 1;
+/// Fixed frame-header size in bytes.
+pub const HEADER_LEN: usize = 24;
+/// Ceiling on `payload_len` — rejects absurd lengths before allocating.
+pub const MAX_PAYLOAD: u32 = 1 << 26;
+
+/// Frame kind: request (client → server).
+pub const KIND_REQUEST: u8 = 0;
+/// Frame kind: response (server → client).
+pub const KIND_RESPONSE: u8 = 1;
+
+/// Op code for [`Request::Ping`] / [`Response::Pong`].
+pub const OP_PING: u8 = 0x01;
+/// Op code for [`Request::Search`] / [`Response::Search`].
+pub const OP_SEARCH: u8 = 0x02;
+/// Op code for [`Request::TopK`] / [`Response::TopK`].
+pub const OP_TOPK: u8 = 0x03;
+/// Op code for [`Request::BatchSearch`] / [`Response::Batch`].
+pub const OP_BATCH: u8 = 0x04;
+/// Op code for [`Request::Insert`].
+pub const OP_INSERT: u8 = 0x05;
+/// Op code for [`Request::Delete`].
+pub const OP_DELETE: u8 = 0x06;
+/// Op code for [`Request::Upsert`].
+pub const OP_UPSERT: u8 = 0x07;
+/// Op code for [`Request::Stats`] / [`Response::Stats`].
+pub const OP_STATS: u8 = 0x08;
+/// Op code for [`Response::Mutation`] (answers insert/delete/upsert).
+pub const OP_MUTATION: u8 = 0x09;
+/// Op code for [`Response::Error`].
+pub const OP_ERROR: u8 = 0x7F;
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Range search at threshold `tau`.
+    Search {
+        /// Hamming threshold.
+        tau: u32,
+        /// The query's raw words.
+        query: Vec<u64>,
+    },
+    /// Top-k search.
+    TopK {
+        /// Result count.
+        k: u32,
+        /// The query's raw words.
+        query: Vec<u64>,
+    },
+    /// A batch of range searches at a shared threshold (one job
+    /// server-side, amortizing dispatch).
+    BatchSearch {
+        /// Hamming threshold shared by the batch.
+        tau: u32,
+        /// The queries' raw words (uniform width).
+        queries: Vec<Vec<u64>>,
+    },
+    /// Insert `row` under `id` (errors if `id` is live).
+    Insert {
+        /// Record id.
+        id: u32,
+        /// The row's raw words.
+        row: Vec<u64>,
+    },
+    /// Tombstone `id`.
+    Delete {
+        /// Record id.
+        id: u32,
+    },
+    /// Insert-or-replace `row` under `id`.
+    Upsert {
+        /// Record id.
+        id: u32,
+        /// The row's raw words.
+        row: Vec<u64>,
+    },
+    /// Fetch the server's index shape and service counters.
+    Stats,
+}
+
+/// One range-search outcome, used standalone ([`Response::Search`]) and
+/// per-entry in [`Response::Batch`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SearchEntry {
+    /// The search ran; matching ids ascending.
+    Ids {
+        /// Matching record ids.
+        ids: Vec<u32>,
+        /// Threshold actually executed.
+        tau: u32,
+        /// Set when admission degraded the query: the threshold asked for.
+        degraded_from: Option<u32>,
+        /// Whether the result came from the server's result cache.
+        from_cache: bool,
+    },
+    /// Admission refused the query.
+    Rejected {
+        /// Estimated cost at the requested threshold.
+        estimated_cost: f64,
+        /// Budget it exceeded.
+        budget: f64,
+    },
+    /// The server shed the query under load.
+    Overloaded,
+}
+
+/// A mutation's outcome on the wire (admission rejections travel as
+/// [`WireError::Rejected`] error frames instead).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireMutation {
+    /// The mutation committed; `replaced` mirrors
+    /// [`gph_serve::MutationOutcome::Applied`].
+    Applied {
+        /// Whether a live row was displaced or removed.
+        replaced: bool,
+    },
+    /// A delete named an id that was not live.
+    NotFound,
+}
+
+/// A typed error frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireError {
+    /// The peer's frame could not be decoded; the connection closes.
+    Malformed(String),
+    /// The request is structurally valid but not serveable as asked
+    /// (e.g. a query whose word count does not match the index).
+    Unsupported(String),
+    /// Admission control refused the request.
+    Rejected {
+        /// Estimated cost of the request.
+        estimated_cost: f64,
+        /// Budget it exceeded.
+        budget: f64,
+    },
+    /// The server shed the request under load.
+    Overloaded,
+    /// The engine failed the request (e.g. duplicate insert id).
+    Engine(String),
+    /// The server is draining and no longer accepts work.
+    ShuttingDown,
+}
+
+impl WireError {
+    fn code(&self) -> u16 {
+        match self {
+            WireError::Malformed(_) => 1,
+            WireError::Unsupported(_) => 2,
+            WireError::Rejected { .. } => 3,
+            WireError::Overloaded => 4,
+            WireError::Engine(_) => 5,
+            WireError::ShuttingDown => 6,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            WireError::Unsupported(m) => write!(f, "unsupported request: {m}"),
+            WireError::Rejected { estimated_cost, budget } => {
+                write!(f, "admission rejected: cost {estimated_cost:.1} over budget {budget:.1}")
+            }
+            WireError::Overloaded => write!(f, "server overloaded"),
+            WireError::Engine(m) => write!(f, "engine error: {m}"),
+            WireError::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Search`].
+    Search(SearchEntry),
+    /// Answer to [`Request::TopK`]: `(id, distance)` ascending by
+    /// `(distance, id)`.
+    TopK {
+        /// The hits.
+        hits: Vec<(u32, u32)>,
+        /// Set when admission degraded the query: the escalation cap the
+        /// search actually ran.
+        degraded_cap: Option<u32>,
+        /// Whether the result came from the server's result cache.
+        from_cache: bool,
+    },
+    /// Answer to [`Request::BatchSearch`], in submission order.
+    Batch(Vec<SearchEntry>),
+    /// Answer to insert/delete/upsert.
+    Mutation(WireMutation),
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// Live rows in the index.
+        rows: u64,
+        /// Index dimensionality.
+        dim: u32,
+        /// The index's maximum supported threshold.
+        tau_max: u32,
+        /// Shard count.
+        shards: u32,
+        /// Service + cache + admission counters.
+        stats: ServiceSnapshotStats,
+    },
+    /// A typed error.
+    Error(WireError),
+}
+
+/// A decoded frame body: the kind byte selects which grammar the payload
+/// was parsed under.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// `kind == KIND_REQUEST`.
+    Request(Request),
+    /// `kind == KIND_RESPONSE`.
+    Response(Response),
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_words(buf: &mut Vec<u8>, words: &[u64]) {
+    for &w in words {
+        put_u64(buf, w);
+    }
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn request_opcode(req: &Request) -> u8 {
+    match req {
+        Request::Ping => OP_PING,
+        Request::Search { .. } => OP_SEARCH,
+        Request::TopK { .. } => OP_TOPK,
+        Request::BatchSearch { .. } => OP_BATCH,
+        Request::Insert { .. } => OP_INSERT,
+        Request::Delete { .. } => OP_DELETE,
+        Request::Upsert { .. } => OP_UPSERT,
+        Request::Stats => OP_STATS,
+    }
+}
+
+fn response_opcode(resp: &Response) -> u8 {
+    match resp {
+        Response::Pong => OP_PING,
+        Response::Search(_) => OP_SEARCH,
+        Response::TopK { .. } => OP_TOPK,
+        Response::Batch(_) => OP_BATCH,
+        Response::Mutation(_) => OP_MUTATION,
+        Response::Stats { .. } => OP_STATS,
+        Response::Error(_) => OP_ERROR,
+    }
+}
+
+fn encode_request_payload(req: &Request, buf: &mut Vec<u8>) {
+    match req {
+        Request::Ping | Request::Stats => {}
+        Request::Search { tau, query } => {
+            put_u32(buf, *tau);
+            put_u32(buf, query.len() as u32);
+            put_words(buf, query);
+        }
+        Request::TopK { k, query } => {
+            put_u32(buf, *k);
+            put_u32(buf, query.len() as u32);
+            put_words(buf, query);
+        }
+        Request::BatchSearch { tau, queries } => {
+            // The wire format carries one width for the whole batch;
+            // mixed widths would re-chunk into different queries on the
+            // far side (the client API validates this before encoding).
+            let n_words = queries.first().map_or(0, Vec::len);
+            debug_assert!(
+                queries.iter().all(|q| q.len() == n_words && !q.is_empty()),
+                "batch queries must share one nonzero word count"
+            );
+            put_u32(buf, *tau);
+            put_u32(buf, queries.len() as u32);
+            put_u32(buf, n_words as u32);
+            for q in queries {
+                put_words(buf, q);
+            }
+        }
+        Request::Insert { id, row } | Request::Upsert { id, row } => {
+            put_u32(buf, *id);
+            put_u32(buf, row.len() as u32);
+            put_words(buf, row);
+        }
+        Request::Delete { id } => put_u32(buf, *id),
+    }
+}
+
+fn encode_search_entry(entry: &SearchEntry, buf: &mut Vec<u8>) {
+    match entry {
+        SearchEntry::Ids { ids, tau, degraded_from, from_cache } => {
+            buf.push(0);
+            let flags = u8::from(*from_cache) | (u8::from(degraded_from.is_some()) << 1);
+            buf.push(flags);
+            put_u32(buf, *tau);
+            if let Some(from) = degraded_from {
+                put_u32(buf, *from);
+            }
+            put_u32(buf, ids.len() as u32);
+            for &id in ids {
+                put_u32(buf, id);
+            }
+        }
+        SearchEntry::Rejected { estimated_cost, budget } => {
+            buf.push(1);
+            put_f64(buf, *estimated_cost);
+            put_f64(buf, *budget);
+        }
+        SearchEntry::Overloaded => buf.push(2),
+    }
+}
+
+fn encode_response_payload(resp: &Response, buf: &mut Vec<u8>) {
+    match resp {
+        Response::Pong => {}
+        Response::Search(entry) => encode_search_entry(entry, buf),
+        Response::TopK { hits, degraded_cap, from_cache } => {
+            let flags = u8::from(*from_cache) | (u8::from(degraded_cap.is_some()) << 1);
+            buf.push(flags);
+            if let Some(cap) = degraded_cap {
+                put_u32(buf, *cap);
+            }
+            put_u32(buf, hits.len() as u32);
+            for &(id, dist) in hits {
+                put_u32(buf, id);
+                put_u32(buf, dist);
+            }
+        }
+        Response::Batch(entries) => {
+            put_u32(buf, entries.len() as u32);
+            for entry in entries {
+                encode_search_entry(entry, buf);
+            }
+        }
+        Response::Mutation(m) => match m {
+            WireMutation::Applied { replaced } => {
+                buf.push(0);
+                buf.push(u8::from(*replaced));
+            }
+            WireMutation::NotFound => buf.push(1),
+        },
+        Response::Stats { rows, dim, tau_max, shards, stats } => {
+            put_u64(buf, *rows);
+            put_u32(buf, *dim);
+            put_u32(buf, *tau_max);
+            put_u32(buf, *shards);
+            stats.encode_into(buf);
+        }
+        Response::Error(err) => {
+            buf.extend_from_slice(&err.code().to_le_bytes());
+            match err {
+                WireError::Malformed(m) | WireError::Unsupported(m) | WireError::Engine(m) => {
+                    put_str(buf, m)
+                }
+                WireError::Rejected { estimated_cost, budget } => {
+                    put_f64(buf, *estimated_cost);
+                    put_f64(buf, *budget);
+                }
+                WireError::Overloaded | WireError::ShuttingDown => {}
+            }
+        }
+    }
+}
+
+fn encode_frame(kind: u8, opcode: u8, request_id: u64, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD as usize, "oversized frame payload");
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    buf.push(kind);
+    buf.push(opcode);
+    buf.push(0); // reserved
+    put_u64(&mut buf, request_id);
+    put_u32(&mut buf, payload.len() as u32);
+    let crc = Crc32::new().update(&buf[4..]).update(payload).finish();
+    put_u32(&mut buf, crc);
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Encodes a request frame.
+pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
+    let mut payload = Vec::new();
+    encode_request_payload(req, &mut payload);
+    encode_frame(KIND_REQUEST, request_opcode(req), request_id, &payload)
+}
+
+/// Encodes a response frame.
+pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
+    let mut payload = Vec::new();
+    encode_response_payload(resp, &mut payload);
+    encode_frame(KIND_RESPONSE, response_opcode(resp), request_id, &payload)
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+fn proto_err(msg: impl Into<String>) -> NetError {
+    NetError::Protocol(msg.into())
+}
+
+fn read_words(r: &mut ByteReader<'_>, n: usize, what: &str) -> Result<Vec<u64>, NetError> {
+    Ok(r.u64s(n, what)?)
+}
+
+/// Reads a u32 item count and validates that at least `per_item` bytes
+/// per item remain — the guard that stops a corrupt count from driving a
+/// huge allocation.
+fn read_count(r: &mut ByteReader<'_>, per_item: usize, what: &str) -> Result<usize, NetError> {
+    let n = r.u32(what)? as usize;
+    if n.checked_mul(per_item).is_none_or(|need| need > r.remaining()) {
+        return Err(proto_err(format!(
+            "{what}: {n} items exceed the {} remaining bytes",
+            r.remaining()
+        )));
+    }
+    Ok(n)
+}
+
+fn read_str(r: &mut ByteReader<'_>, what: &str) -> Result<String, NetError> {
+    let len = read_count(r, 1, what)?;
+    let bytes = r.bytes(len, what)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| proto_err(format!("{what}: invalid utf-8")))
+}
+
+fn decode_request_payload(opcode: u8, payload: &[u8]) -> Result<Request, NetError> {
+    let mut r = ByteReader::new(payload);
+    let req = match opcode {
+        OP_PING => Request::Ping,
+        OP_STATS => Request::Stats,
+        OP_SEARCH => {
+            let tau = r.u32("search tau")?;
+            let n = r.u32("search words")? as usize;
+            Request::Search { tau, query: read_words(&mut r, n, "search query")? }
+        }
+        OP_TOPK => {
+            let k = r.u32("topk k")?;
+            let n = r.u32("topk words")? as usize;
+            Request::TopK { k, query: read_words(&mut r, n, "topk query")? }
+        }
+        OP_BATCH => {
+            let tau = r.u32("batch tau")?;
+            let n_queries = r.u32("batch size")? as usize;
+            let n_words = r.u32("batch words")? as usize;
+            if n_queries == 0 && n_words != 0 {
+                return Err(proto_err("empty batch with nonzero word count"));
+            }
+            if n_queries != 0 && n_words == 0 {
+                return Err(proto_err("batch queries must have at least one word"));
+            }
+            // Bound the outer allocation by the bytes actually present.
+            if n_queries > r.remaining() / n_words.saturating_mul(8).max(1) {
+                return Err(proto_err(format!(
+                    "batch of {n_queries}x{n_words} words exceeds the {} remaining bytes",
+                    r.remaining()
+                )));
+            }
+            let mut queries = Vec::with_capacity(n_queries);
+            for _ in 0..n_queries {
+                queries.push(read_words(&mut r, n_words, "batch query")?);
+            }
+            Request::BatchSearch { tau, queries }
+        }
+        OP_INSERT | OP_UPSERT => {
+            let id = r.u32("mutation id")?;
+            let n = r.u32("mutation words")? as usize;
+            let row = read_words(&mut r, n, "mutation row")?;
+            if opcode == OP_INSERT {
+                Request::Insert { id, row }
+            } else {
+                Request::Upsert { id, row }
+            }
+        }
+        OP_DELETE => Request::Delete { id: r.u32("delete id")? },
+        other => return Err(proto_err(format!("unknown request opcode {other:#04x}"))),
+    };
+    r.finish("request payload")?;
+    Ok(req)
+}
+
+fn decode_search_entry(r: &mut ByteReader<'_>) -> Result<SearchEntry, NetError> {
+    match r.u8("entry tag")? {
+        0 => {
+            let flags = r.u8("entry flags")?;
+            if flags & !0b11 != 0 {
+                return Err(proto_err(format!("unknown entry flags {flags:#04x}")));
+            }
+            let from_cache = flags & 1 != 0;
+            let tau = r.u32("entry tau")?;
+            let degraded_from =
+                if flags & 2 != 0 { Some(r.u32("entry degraded tau")?) } else { None };
+            let n = read_count(r, 4, "entry id count")?;
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                ids.push(r.u32("entry id")?);
+            }
+            Ok(SearchEntry::Ids { ids, tau, degraded_from, from_cache })
+        }
+        1 => Ok(SearchEntry::Rejected {
+            estimated_cost: r.f64("entry cost")?,
+            budget: r.f64("entry budget")?,
+        }),
+        2 => Ok(SearchEntry::Overloaded),
+        other => Err(proto_err(format!("unknown search entry tag {other}"))),
+    }
+}
+
+fn decode_response_payload(opcode: u8, payload: &[u8]) -> Result<Response, NetError> {
+    let mut r = ByteReader::new(payload);
+    let resp = match opcode {
+        OP_PING => Response::Pong,
+        OP_SEARCH => Response::Search(decode_search_entry(&mut r)?),
+        OP_TOPK => {
+            let flags = r.u8("topk flags")?;
+            if flags & !0b11 != 0 {
+                return Err(proto_err(format!("unknown topk flags {flags:#04x}")));
+            }
+            let from_cache = flags & 1 != 0;
+            let degraded_cap = if flags & 2 != 0 { Some(r.u32("topk cap")?) } else { None };
+            let n = read_count(&mut r, 8, "topk hit count")?;
+            let mut hits = Vec::with_capacity(n);
+            for _ in 0..n {
+                let id = r.u32("topk id")?;
+                let dist = r.u32("topk distance")?;
+                hits.push((id, dist));
+            }
+            Response::TopK { hits, degraded_cap, from_cache }
+        }
+        OP_BATCH => {
+            let n = read_count(&mut r, 1, "batch entry count")?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(decode_search_entry(&mut r)?);
+            }
+            Response::Batch(entries)
+        }
+        OP_MUTATION => match r.u8("mutation tag")? {
+            0 => {
+                let replaced = match r.u8("mutation replaced")? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(proto_err(format!("bad replaced byte {other}"))),
+                };
+                Response::Mutation(WireMutation::Applied { replaced })
+            }
+            1 => Response::Mutation(WireMutation::NotFound),
+            other => return Err(proto_err(format!("unknown mutation tag {other}"))),
+        },
+        OP_STATS => Response::Stats {
+            rows: r.u64("stats rows")?,
+            dim: r.u32("stats dim")?,
+            tau_max: r.u32("stats tau_max")?,
+            shards: r.u32("stats shards")?,
+            stats: ServiceSnapshotStats::decode_from(&mut r)?,
+        },
+        OP_ERROR => {
+            let code = u16::from_le_bytes([r.u8("error code")?, r.u8("error code")?]);
+            let err = match code {
+                1 => WireError::Malformed(read_str(&mut r, "error message")?),
+                2 => WireError::Unsupported(read_str(&mut r, "error message")?),
+                3 => WireError::Rejected {
+                    estimated_cost: r.f64("error cost")?,
+                    budget: r.f64("error budget")?,
+                },
+                4 => WireError::Overloaded,
+                5 => WireError::Engine(read_str(&mut r, "error message")?),
+                6 => WireError::ShuttingDown,
+                other => return Err(proto_err(format!("unknown error code {other}"))),
+            };
+            Response::Error(err)
+        }
+        other => return Err(proto_err(format!("unknown response opcode {other:#04x}"))),
+    };
+    r.finish("response payload")?;
+    Ok(resp)
+}
+
+fn parse_message(kind: u8, opcode: u8, payload: &[u8]) -> Result<Message, NetError> {
+    match kind {
+        KIND_REQUEST => Ok(Message::Request(decode_request_payload(opcode, payload)?)),
+        KIND_RESPONSE => Ok(Message::Response(decode_response_payload(opcode, payload)?)),
+        other => Err(proto_err(format!("unknown frame kind {other}"))),
+    }
+}
+
+/// Validates the fixed fields of a 24-byte header (after the CRC has
+/// been verified by the caller's chosen path).
+fn check_header(version: u8, reserved: u8, payload_len: u32) -> Result<(), NetError> {
+    if version != VERSION {
+        return Err(proto_err(format!(
+            "unsupported protocol version {version} (this build speaks {VERSION})"
+        )));
+    }
+    if reserved != 0 {
+        return Err(proto_err(format!("reserved header byte is {reserved:#04x}, want 0")));
+    }
+    if payload_len > MAX_PAYLOAD {
+        return Err(proto_err(format!("payload of {payload_len} bytes exceeds {MAX_PAYLOAD}")));
+    }
+    Ok(())
+}
+
+/// Decodes exactly one frame from `bytes` (trailing bytes are an error).
+/// Returns the request id and the parsed body.
+pub fn decode_frame(bytes: &[u8]) -> Result<(u64, Message), NetError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(proto_err(format!(
+            "frame header: need {HEADER_LEN} bytes, got {}",
+            bytes.len()
+        )));
+    }
+    if bytes[..4] != MAGIC {
+        return Err(proto_err(format!("bad frame magic {:?}", &bytes[..4])));
+    }
+    let mut r = ByteReader::new(&bytes[4..]);
+    let version = r.u8("frame version")?;
+    let kind = r.u8("frame kind")?;
+    let opcode = r.u8("frame opcode")?;
+    let reserved = r.u8("frame reserved")?;
+    let request_id = r.u64("frame request id")?;
+    let payload_len = r.u32("frame payload length")?;
+    let crc = r.u32("frame crc")?;
+    // CRC first: a corrupted length or opcode must read as corruption,
+    // not as a confusing secondary error.
+    let got = Crc32::new().update(&bytes[4..20]).update(&bytes[HEADER_LEN..]).finish();
+    if got != crc {
+        return Err(proto_err(format!("frame checksum mismatch ({got:#010x} != {crc:#010x})")));
+    }
+    check_header(version, reserved, payload_len)?;
+    let payload = r.bytes(payload_len as usize, "frame payload")?;
+    r.finish("frame")?;
+    Ok((request_id, parse_message(kind, opcode, payload)?))
+}
+
+/// Reads until `buf` is full. `Ok(false)` means EOF landed exactly on a
+/// frame boundary (nothing read); EOF mid-buffer is an error.
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<bool, NetError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(proto_err(format!(
+                    "connection closed mid-frame ({filled}/{} bytes)",
+                    buf.len()
+                )));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame from a stream. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary; mid-frame EOF, corruption, and oversized payloads are
+/// [`NetError`]s. On success also returns the frame's total wire size.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u64, Message, usize)>, NetError> {
+    let mut header = [0u8; HEADER_LEN];
+    if !read_full(r, &mut header)? {
+        return Ok(None);
+    }
+    if header[..4] != MAGIC {
+        return Err(proto_err(format!("bad frame magic {:?}", &header[..4])));
+    }
+    let version = header[4];
+    let kind = header[5];
+    let opcode = header[6];
+    let reserved = header[7];
+    let request_id = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let payload_len = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(header[20..24].try_into().expect("4 bytes"));
+    // The length ceiling must hold before the allocation; version/reserved
+    // checks wait for the CRC so corruption reports as corruption.
+    if payload_len > MAX_PAYLOAD {
+        return Err(proto_err(format!("payload of {payload_len} bytes exceeds {MAX_PAYLOAD}")));
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    if !read_full(r, &mut payload)? && payload_len > 0 {
+        return Err(proto_err("connection closed before the frame payload"));
+    }
+    let got = Crc32::new().update(&header[4..20]).update(&payload).finish();
+    if got != crc {
+        return Err(proto_err(format!("frame checksum mismatch ({got:#010x} != {crc:#010x})")));
+    }
+    check_header(version, reserved, payload_len)?;
+    let message = parse_message(kind, opcode, &payload)?;
+    Ok(Some((request_id, message, HEADER_LEN + payload.len())))
+}
+
+/// The frame checksum: CRC-32 over the header bytes after the magic
+/// (`version..payload_len`) followed by the payload. Public so tests and
+/// tools can forge or verify frames without re-deriving the coverage.
+pub fn frame_crc(header_tail: &[u8], payload: &[u8]) -> u32 {
+    Crc32::new().update(header_tail).update(payload).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(id: u64, req: Request) {
+        let bytes = encode_request(id, &req);
+        let (got_id, msg) = decode_frame(&bytes).expect("decode");
+        assert_eq!(got_id, id);
+        assert_eq!(msg, Message::Request(req.clone()));
+        // Canonical: re-encoding reproduces the bytes.
+        assert_eq!(encode_request(id, &req), bytes);
+    }
+
+    fn roundtrip_response(id: u64, resp: Response) {
+        let bytes = encode_response(id, &resp);
+        let (got_id, msg) = decode_frame(&bytes).expect("decode");
+        assert_eq!(got_id, id);
+        assert_eq!(msg, Message::Response(resp.clone()));
+        assert_eq!(encode_response(id, &resp), bytes);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(0, Request::Ping);
+        roundtrip_request(7, Request::Stats);
+        roundtrip_request(1, Request::Search { tau: 8, query: vec![0xDEAD, 0xBEEF] });
+        roundtrip_request(2, Request::TopK { k: 5, query: vec![1, 2, 3] });
+        roundtrip_request(
+            3,
+            Request::BatchSearch { tau: 4, queries: vec![vec![1, 2], vec![3, 4], vec![5, 6]] },
+        );
+        roundtrip_request(4, Request::BatchSearch { tau: 4, queries: vec![] });
+        roundtrip_request(5, Request::Insert { id: 42, row: vec![9] });
+        roundtrip_request(6, Request::Delete { id: 42 });
+        roundtrip_request(u64::MAX, Request::Upsert { id: 0, row: vec![] });
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_response(0, Response::Pong);
+        roundtrip_response(
+            1,
+            Response::Search(SearchEntry::Ids {
+                ids: vec![1, 5, 9],
+                tau: 6,
+                degraded_from: None,
+                from_cache: false,
+            }),
+        );
+        roundtrip_response(
+            2,
+            Response::Search(SearchEntry::Ids {
+                ids: vec![],
+                tau: 3,
+                degraded_from: Some(9),
+                from_cache: true,
+            }),
+        );
+        roundtrip_response(
+            3,
+            Response::Search(SearchEntry::Rejected { estimated_cost: 123.5, budget: 10.0 }),
+        );
+        roundtrip_response(4, Response::Search(SearchEntry::Overloaded));
+        roundtrip_response(
+            5,
+            Response::TopK { hits: vec![(3, 0), (9, 2)], degraded_cap: Some(4), from_cache: true },
+        );
+        roundtrip_response(
+            6,
+            Response::Batch(vec![
+                SearchEntry::Ids { ids: vec![2], tau: 1, degraded_from: None, from_cache: false },
+                SearchEntry::Overloaded,
+            ]),
+        );
+        roundtrip_response(7, Response::Mutation(WireMutation::Applied { replaced: true }));
+        roundtrip_response(8, Response::Mutation(WireMutation::NotFound));
+        roundtrip_response(
+            9,
+            Response::Stats {
+                rows: 1000,
+                dim: 128,
+                tau_max: 16,
+                shards: 4,
+                stats: Default::default(),
+            },
+        );
+        for err in [
+            WireError::Malformed("bad".into()),
+            WireError::Unsupported("dim".into()),
+            WireError::Rejected { estimated_cost: 5.0, budget: 1.0 },
+            WireError::Overloaded,
+            WireError::Engine("dup".into()),
+            WireError::ShuttingDown,
+        ] {
+            roundtrip_response(10, Response::Error(err));
+        }
+    }
+
+    #[test]
+    fn rejects_basic_corruption() {
+        let bytes = encode_request(3, &Request::Search { tau: 2, query: vec![7, 8] });
+        assert!(decode_frame(&bytes[..HEADER_LEN - 1]).is_err(), "truncated header");
+        assert!(decode_frame(&bytes[..bytes.len() - 1]).is_err(), "truncated payload");
+        let mut magic = bytes.clone();
+        magic[0] ^= 0xFF;
+        assert!(decode_frame(&magic).is_err(), "bad magic");
+        let mut crc = bytes.clone();
+        let n = crc.len();
+        crc[n - 1] ^= 0x01;
+        assert!(decode_frame(&crc).is_err(), "payload flip");
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(decode_frame(&trailing).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn stream_reader_matches_buffer_decoder() {
+        let a = encode_request(1, &Request::Ping);
+        let b = encode_response(1, &Response::Pong);
+        let mut stream: &[u8] = &[a.clone(), b.clone()].concat();
+        let (id1, m1, n1) = read_frame(&mut stream).unwrap().unwrap();
+        assert_eq!((id1, n1), (1, a.len()));
+        assert_eq!(m1, Message::Request(Request::Ping));
+        let (_, m2, n2) = read_frame(&mut stream).unwrap().unwrap();
+        assert_eq!(m2, Message::Response(Response::Pong));
+        assert_eq!(n2, b.len());
+        assert!(read_frame(&mut stream).unwrap().is_none(), "clean EOF");
+        // Mid-frame EOF is an error, not a silent None.
+        let mut cut: &[u8] = &a[..a.len() - 1];
+        assert!(read_frame(&mut cut).is_err());
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_before_allocation() {
+        let mut frame = encode_request(1, &Request::Ping);
+        frame[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_frame(&frame).is_err());
+        let mut stream: &[u8] = &frame;
+        assert!(read_frame(&mut stream).is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! End-to-end network equivalence: a server on an ephemeral loopback
+//! port, driven by 4 concurrent pipelined clients issuing
+//! search/topk/batch/insert/delete/upsert, must answer every request
+//! with exactly what the same call produces on the in-process
+//! [`QueryService`].
+
+use gph::engine::GphConfig;
+use gph::partition_opt::PartitionStrategy;
+use gph_net::{BatchEntry, GphClient, NetError, NetServer, ServerConfig, WireError, WireMutation};
+use gph_serve::{
+    AdmissionConfig, Outcome, OverBudgetPolicy, QueryService, ServiceConfig, ShardedIndex,
+};
+use hamming_core::distance::hamming;
+use hamming_core::{BitVector, Dataset};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+const DIM: usize = 64;
+const TAU: u32 = 6;
+const CLIENTS: usize = 4;
+const DEPTH: usize = 8;
+
+fn fixture(n: usize, seed: u64) -> (Arc<ShardedIndex>, Dataset) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut ds = Dataset::new(DIM);
+    for _ in 0..n {
+        let v = BitVector::from_bits((0..DIM).map(|_| rng.random_bool(0.4)));
+        ds.push(&v).unwrap();
+    }
+    let mut cfg = GphConfig::new(4, 12);
+    cfg.strategy = PartitionStrategy::RandomShuffle { seed: 7 };
+    (Arc::new(ShardedIndex::build(&ds, 3, &cfg).unwrap()), ds)
+}
+
+/// The marker row each client mutates: high bit set plus the id in the
+/// low word — far from every dataset row (asserted below), so mutations
+/// cannot perturb concurrent searches at `TAU`.
+fn marker_row(id: u32) -> Vec<u64> {
+    vec![0x8000_0000_0000_0000u64 | id as u64]
+}
+
+#[test]
+fn four_pipelined_clients_match_the_in_process_service() {
+    let (index, ds) = fixture(400, 42);
+    let service = Arc::new(QueryService::new(Arc::clone(&index), ServiceConfig::default()));
+    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default())
+        .expect("bind ephemeral loopback port");
+    let addr = server.local_addr();
+
+    // Guard the concurrency design: every marker row must sit further
+    // than TAU from every dataset row, so client mutations are invisible
+    // to the other clients' searches.
+    for t in 0..CLIENTS as u32 {
+        for j in 0..40 {
+            let row = marker_row(10_000 + t * 1_000 + j);
+            for i in 0..ds.len() {
+                assert!(hamming(&row, ds.row(i)) > TAU, "fixture violates isolation");
+            }
+        }
+    }
+
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let ds = ds.clone();
+            std::thread::spawn(move || {
+                let client = GphClient::connect(addr).expect("connect");
+                let base = 10_000 + t as u32 * 1_000;
+
+                // Pipelined searches at depth DEPTH, compared
+                // one-for-one with the in-process service.
+                let queries: Vec<usize> = (0..32).map(|i| (t * 97 + i * 13) % ds.len()).collect();
+                let mut tickets = std::collections::VecDeque::new();
+                for &qi in &queries {
+                    tickets.push_back((qi, client.submit_search(ds.row(qi), TAU).unwrap()));
+                    if tickets.len() >= DEPTH {
+                        let (qi, ticket) = tickets.pop_front().unwrap();
+                        check_search(&service, &ds, qi, ticket.wait().unwrap());
+                    }
+                }
+                for (qi, ticket) in tickets {
+                    check_search(&service, &ds, qi, ticket.wait().unwrap());
+                }
+
+                // Top-k, remote vs in-process.
+                for &qi in queries.iter().take(8) {
+                    let remote = client.topk(ds.row(qi), 5).unwrap();
+                    let direct = service.query_topk(ds.row(qi), 5);
+                    match direct.outcome {
+                        Outcome::TopK { hits, degraded_cap } => {
+                            assert_eq!(remote.hits, *hits);
+                            assert_eq!(remote.degraded_cap, degraded_cap);
+                        }
+                        other => panic!("unexpected direct outcome {other:?}"),
+                    }
+                }
+
+                // A batch is one wire frame and one service job; entries
+                // come back in submission order.
+                let batch_refs: Vec<&[u64]> =
+                    queries.iter().take(6).map(|&qi| ds.row(qi)).collect();
+                let entries = client.batch_search(&batch_refs, TAU).unwrap();
+                assert_eq!(entries.len(), batch_refs.len());
+                for (&qi, entry) in queries.iter().zip(&entries) {
+                    match entry {
+                        BatchEntry::Ids(r) => {
+                            assert_eq!(r.ids, index_search(&service, &ds, qi), "batch entry")
+                        }
+                        other => panic!("unexpected batch entry {other:?}"),
+                    }
+                }
+
+                // Mutations on this client's private id range, pipelined,
+                // each outcome equal to what the in-process call reports.
+                for j in 0..20 {
+                    let id = base + j;
+                    let row = marker_row(id);
+                    assert_eq!(
+                        client.insert(id, &row).unwrap(),
+                        WireMutation::Applied { replaced: false }
+                    );
+                    // tau=0 search sees exactly the inserted row.
+                    let seen = client.search(&row, 0).unwrap();
+                    assert_eq!(seen.ids, vec![id], "inserted row must be visible");
+                    // Duplicate insert is an engine error remotely, an
+                    // Err on the in-process service.
+                    assert!(service.index().contains(id));
+                    match client.insert(id, &row) {
+                        Err(NetError::Remote(WireError::Engine(_))) => {}
+                        other => panic!("duplicate insert gave {other:?}"),
+                    }
+                    assert_eq!(
+                        client.upsert(id, &row).unwrap(),
+                        WireMutation::Applied { replaced: true }
+                    );
+                    assert_eq!(
+                        client.delete(id).unwrap(),
+                        WireMutation::Applied { replaced: true }
+                    );
+                    assert_eq!(client.delete(id).unwrap(), WireMutation::NotFound);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client threads succeed");
+    }
+
+    // After the storm: the fleet holds exactly the original rows again,
+    // and a remote stats round-trip agrees with the in-process state.
+    assert_eq!(service.index().len(), 400);
+    let client = GphClient::connect(addr).unwrap();
+    let remote = client.stats().unwrap();
+    assert_eq!(remote.rows, 400);
+    assert_eq!(remote.dim, DIM as u32);
+    assert_eq!(remote.shards, 3);
+    assert_eq!(remote.tau_max, service.index().tau_max() as u32);
+    assert!(remote.stats.service.responses > 0);
+    assert!(client.ping().is_ok());
+
+    let stats = server.shutdown();
+    assert!(stats.connections_opened > CLIENTS as u64);
+    assert_eq!(stats.protocol_errors, 0, "no malformed traffic in this test");
+    assert!(stats.requests > 0 && stats.responses > 0);
+    assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+}
+
+fn index_search(service: &QueryService, ds: &Dataset, qi: usize) -> Vec<u32> {
+    match service.query(ds.row(qi), TAU).outcome {
+        Outcome::Ids { ids, .. } => ids.as_ref().clone(),
+        other => panic!("unexpected direct outcome {other:?}"),
+    }
+}
+
+fn check_search(service: &QueryService, ds: &Dataset, qi: usize, remote: gph_net::RangeResult) {
+    assert_eq!(remote.ids, index_search(service, ds, qi), "query {qi}");
+    assert_eq!(remote.tau, TAU);
+    assert_eq!(remote.degraded_from, None);
+}
+
+#[test]
+fn admission_rejections_travel_as_typed_error_frames() {
+    let (index, ds) = fixture(200, 43);
+    let cfg = ServiceConfig {
+        admission: AdmissionConfig { cost_budget: 0.0, policy: OverBudgetPolicy::Reject },
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(QueryService::new(index, cfg));
+    let server =
+        NetServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default()).unwrap();
+    let client = GphClient::connect(server.local_addr()).unwrap();
+
+    let direct = service.query(ds.row(0), TAU);
+    let (direct_cost, direct_budget) = match direct.outcome {
+        Outcome::Rejected { estimated_cost, budget } => (estimated_cost, budget),
+        other => panic!("expected a rejection, got {other:?}"),
+    };
+    let err = client.search(ds.row(0), TAU).expect_err("zero budget rejects");
+    let (cost, budget) = err.rejected().expect("typed rejection");
+    assert_eq!((cost, budget), (direct_cost, direct_budget));
+
+    // Mutations are priced too.
+    let err = client.insert(99_999, &marker_row(99_999)).expect_err("zero budget");
+    assert!(err.rejected().is_some());
+
+    // Top-k rejections carry the same shape.
+    let err = client.topk(ds.row(1), 3).expect_err("zero budget rejects top-k");
+    assert!(err.rejected().is_some());
+}
+
+#[test]
+fn structural_misuse_gets_unsupported_errors_and_the_connection_survives() {
+    let (index, ds) = fixture(150, 44);
+    let service = Arc::new(QueryService::new(index, ServiceConfig::default()));
+    let server =
+        NetServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default()).unwrap();
+    let client = GphClient::connect(server.local_addr()).unwrap();
+
+    // Wrong word count.
+    match client.search(&[1, 2, 3], TAU) {
+        Err(NetError::Remote(WireError::Unsupported(_))) => {}
+        other => panic!("wrong-width query gave {other:?}"),
+    }
+    // tau over the index ceiling.
+    let too_big = service.index().tau_max() as u32 + 1;
+    match client.search(ds.row(0), too_big) {
+        Err(NetError::Remote(WireError::Unsupported(_))) => {}
+        other => panic!("oversized tau gave {other:?}"),
+    }
+    // The connection is still usable afterwards: these were typed
+    // errors, not framing failures.
+    let ok = client.search(ds.row(0), TAU).unwrap();
+    assert!(!ok.ids.is_empty());
+    assert_eq!(server.stats().protocol_errors, 0);
+}
+
+#[test]
+fn shutdown_drains_pipelined_work() {
+    let (index, ds) = fixture(300, 45);
+    let service = Arc::new(QueryService::new(index, ServiceConfig::default()));
+    let server =
+        NetServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default()).unwrap();
+    let client = GphClient::connect(server.local_addr()).unwrap();
+
+    let tickets: Vec<_> =
+        (0..24).map(|i| client.submit_search(ds.row(i * 7), TAU).unwrap()).collect();
+    // Let the frames land in the server's per-connection queue, then
+    // shut down while responses may still be in flight.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let stats = server.shutdown();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let got = ticket.wait().unwrap_or_else(|e| panic!("ticket {i} lost in shutdown: {e}"));
+        assert_eq!(got.ids, index_search(&service, &ds, (i * 7) % ds.len()));
+    }
+    assert_eq!(stats.responses, 24, "every accepted request was answered");
+
+    // New work after shutdown fails with a transport error.
+    assert!(client.search(ds.row(0), TAU).is_err());
+}

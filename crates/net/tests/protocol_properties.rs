@@ -1,0 +1,210 @@
+//! Wire-protocol properties, mirroring the `GPHE` snapshot corruption
+//! proptests: arbitrary request/response frames round-trip byte-exactly
+//! through encode → decode → re-encode, and **every** single-byte
+//! corruption or truncation of a frame is rejected as a protocol error
+//! (never a panic, never a silently-wrong decode).
+
+use gph_net::protocol::{
+    decode_frame, encode_request, encode_response, read_frame, Message, Request, Response,
+    SearchEntry, WireError, WireMutation,
+};
+use gph_serve::{AdmissionStats, CacheStats, ServiceSnapshotStats, ServiceStats};
+use proptest::prelude::*;
+
+fn words(max: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(any::<u64>(), 1..=max)
+}
+
+/// Deterministic stats from one seed (floats kept finite so equality
+/// comparisons stay meaningful; byte-exactness holds regardless).
+fn stats_from_seed(seed: u64) -> ServiceSnapshotStats {
+    let mut x = seed;
+    let mut next = move || {
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        x >> 17
+    };
+    ServiceSnapshotStats {
+        service: ServiceStats {
+            responses: next(),
+            executed: next(),
+            batches: next(),
+            queue_rejections: next(),
+            mutations: next(),
+            qps: next() as f64 / 128.0,
+            latency_p50_ns: next(),
+            latency_p95_ns: next(),
+            latency_p99_ns: next(),
+            latency_mean_ns: next() as f64 / 64.0,
+            latency_max_ns: next(),
+            candidates_per_query: next() as f64 / 32.0,
+            results_per_query: next() as f64 / 16.0,
+        },
+        cache: CacheStats {
+            hits: next(),
+            misses: next(),
+            invalidations: next(),
+            len: next() as usize,
+            capacity: next() as usize,
+        },
+        admission: AdmissionStats { admitted: next(), degraded: next(), rejected: next() },
+    }
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    let batch = (1usize..=4, 1usize..=4)
+        .prop_flat_map(|(n, w)| prop::collection::vec(prop::collection::vec(any::<u64>(), w), n));
+    ((0u8..8, any::<u32>(), any::<u32>()), words(5), batch).prop_map(|((tag, a, b), q, qs)| {
+        match tag {
+            0 => Request::Ping,
+            1 => Request::Search { tau: a, query: q },
+            2 => Request::TopK { k: a, query: q },
+            3 => Request::BatchSearch { tau: a, queries: qs },
+            4 => Request::Insert { id: b, row: q },
+            5 => Request::Delete { id: b },
+            6 => Request::Upsert { id: b, row: q },
+            _ => Request::Stats,
+        }
+    })
+}
+
+fn entry_strategy() -> impl Strategy<Value = SearchEntry> {
+    (
+        (0u8..3, any::<bool>(), any::<bool>()),
+        (any::<u32>(), any::<u32>()),
+        prop::collection::vec(any::<u32>(), 0..6),
+        (any::<u32>(), any::<u32>()),
+    )
+        .prop_map(|((tag, from_cache, degraded), (tau, from), ids, (c, bgt))| match tag {
+            0 => SearchEntry::Ids { ids, tau, degraded_from: degraded.then_some(from), from_cache },
+            1 => SearchEntry::Rejected { estimated_cost: c as f64 / 8.0, budget: bgt as f64 / 8.0 },
+            _ => SearchEntry::Overloaded,
+        })
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    (
+        (0u8..7, any::<u64>(), any::<bool>(), any::<bool>()),
+        entry_strategy(),
+        prop::collection::vec(entry_strategy(), 0..4),
+        prop::collection::vec((any::<u32>(), any::<u32>()), 0..6),
+        (any::<u32>(), any::<u32>(), 0u8..6),
+    )
+        .prop_map(|((tag, seed, flag_a, flag_b), entry, entries, hits, (a, b, err_tag))| {
+            match tag {
+                0 => Response::Pong,
+                1 => Response::Search(entry),
+                2 => Response::TopK { hits, degraded_cap: flag_a.then_some(a), from_cache: flag_b },
+                3 => Response::Batch(entries),
+                4 => Response::Mutation(if flag_a {
+                    WireMutation::Applied { replaced: flag_b }
+                } else {
+                    WireMutation::NotFound
+                }),
+                5 => Response::Stats {
+                    rows: seed,
+                    dim: a,
+                    tau_max: b,
+                    shards: a ^ b,
+                    stats: stats_from_seed(seed),
+                },
+                _ => Response::Error(match err_tag {
+                    0 => WireError::Malformed(format!("m{a}")),
+                    1 => WireError::Unsupported(format!("u{b}")),
+                    2 => WireError::Rejected {
+                        estimated_cost: a as f64 / 4.0,
+                        budget: b as f64 / 4.0,
+                    },
+                    3 => WireError::Overloaded,
+                    4 => WireError::Engine(format!("e{a}")),
+                    _ => WireError::ShuttingDown,
+                }),
+            }
+        })
+}
+
+/// Encodes the message under `id`, regardless of direction.
+fn encode_message(id: u64, msg: &Message) -> Vec<u8> {
+    match msg {
+        Message::Request(req) => encode_request(id, req),
+        Message::Response(resp) => encode_response(id, resp),
+    }
+}
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    (any::<bool>(), request_strategy(), response_strategy()).prop_map(|(is_req, req, resp)| {
+        if is_req {
+            Message::Request(req)
+        } else {
+            Message::Response(resp)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode → re-encode is the identity on bytes, and decode
+    /// recovers the exact message and request id.
+    #[test]
+    fn frames_roundtrip_byte_exactly(id in any::<u64>(), msg in message_strategy()) {
+        let bytes = encode_message(id, &msg);
+        let (got_id, got_msg) = decode_frame(&bytes).expect("well-formed frame decodes");
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(&got_msg, &msg);
+        prop_assert_eq!(encode_message(got_id, &got_msg), bytes);
+        // The streaming reader agrees with the buffer decoder.
+        let mut stream: &[u8] = &bytes;
+        let (sid, smsg, n) = read_frame(&mut stream).expect("stream decode").expect("one frame");
+        prop_assert_eq!(sid, id);
+        prop_assert_eq!(smsg, msg);
+        prop_assert_eq!(n, bytes.len());
+        prop_assert!(read_frame(&mut stream).expect("clean EOF").is_none());
+    }
+
+    /// Flipping any single byte anywhere in a frame is detected.
+    #[test]
+    fn any_single_byte_corruption_is_rejected(
+        id in any::<u64>(),
+        msg in message_strategy(),
+        at in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = encode_message(id, &msg);
+        let i = at.index(bytes.len());
+        bytes[i] ^= xor;
+        prop_assert!(decode_frame(&bytes).is_err(), "flip at byte {} went undetected", i);
+        let mut stream: &[u8] = &bytes;
+        prop_assert!(read_frame(&mut stream).is_err(), "stream flip at byte {} undetected", i);
+    }
+
+    /// Truncating a frame at any length is detected.
+    #[test]
+    fn any_truncation_is_rejected(
+        id in any::<u64>(),
+        msg in message_strategy(),
+        at in any::<prop::sample::Index>(),
+    ) {
+        let bytes = encode_message(id, &msg);
+        let cut = at.index(bytes.len()); // 0..len, never the full frame
+        prop_assert!(decode_frame(&bytes[..cut]).is_err(), "cut at {} went undetected", cut);
+        // The streaming reader treats a zero-byte stream as clean EOF
+        // (that is a frame *boundary*); any partial frame is an error.
+        if cut > 0 {
+            let mut stream: &[u8] = &bytes[..cut];
+            prop_assert!(read_frame(&mut stream).is_err(), "stream cut at {} undetected", cut);
+        }
+    }
+
+    /// Appending trailing garbage to a frame is detected by the
+    /// exactly-one-frame decoder.
+    #[test]
+    fn trailing_bytes_are_rejected(
+        id in any::<u64>(),
+        msg in message_strategy(),
+        extra in 1usize..16,
+    ) {
+        let mut bytes = encode_message(id, &msg);
+        bytes.extend(std::iter::repeat_n(0xA5, extra));
+        prop_assert!(decode_frame(&bytes).is_err());
+    }
+}

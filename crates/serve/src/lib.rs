@@ -49,14 +49,16 @@ pub mod shard;
 pub mod snapshot;
 pub mod stats;
 
-pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, OverBudgetPolicy};
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionStats, OverBudgetPolicy,
+};
 pub use cache::{CacheKey, CacheStats, CachedResult, LruCache, ResultCache};
 pub use service::{
     MutationOutcome, MutationResponse, Outcome, QueryService, Response, ServiceConfig, Ticket,
 };
 pub use shard::{ShardedIndex, ShardedSearchResult};
 pub use snapshot::{read_manifest, ShardEntry, ShardManifest, MANIFEST_FILE};
-pub use stats::{LatencyHistogram, ServiceStats};
+pub use stats::{LatencyHistogram, ServiceSnapshotStats, ServiceStats};
 
 #[cfg(test)]
 mod tests {

@@ -12,7 +12,7 @@
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionStats};
 use crate::cache::{CacheKey, CacheStats, CachedResult, ResultCache};
 use crate::shard::ShardedIndex;
-use crate::stats::{ServiceMetrics, ServiceStats};
+use crate::stats::{ServiceMetrics, ServiceSnapshotStats, ServiceStats};
 use crossbeam::channel;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -518,6 +518,16 @@ impl QueryService {
     /// Admission-control snapshot.
     pub fn admission_stats(&self) -> AdmissionStats {
         self.shared.admission.stats()
+    }
+
+    /// One-call aggregate of service, cache, and admission counters —
+    /// the encodable bundle served by the network protocol's `Stats` op.
+    pub fn snapshot_stats(&self) -> ServiceSnapshotStats {
+        ServiceSnapshotStats {
+            service: self.stats(),
+            cache: self.cache_stats(),
+            admission: self.admission_stats(),
+        }
     }
 
     /// Drains the queue and joins the workers. Called automatically on

@@ -1,6 +1,12 @@
-//! Service-level metrics: a lock-free log-linear latency histogram and
-//! the aggregate snapshot (QPS, p50/p95/p99, candidates per query).
+//! Service-level metrics: a lock-free log-linear latency histogram, the
+//! aggregate snapshot (QPS, p50/p95/p99, candidates per query), and the
+//! encodable [`ServiceSnapshotStats`] bundle the network `Stats` op and
+//! `gph-store stats` ship over the wire.
 
+use crate::admission::AdmissionStats;
+use crate::cache::CacheStats;
+use hamming_core::error::Result;
+use hamming_core::io::ByteReader;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -207,7 +213,7 @@ impl Default for ServiceMetrics {
 }
 
 /// Point-in-time service statistics (one row of a dashboard).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ServiceStats {
     /// Responses produced (cache hits + executions; excludes rejects).
     pub responses: u64,
@@ -235,6 +241,109 @@ pub struct ServiceStats {
     pub candidates_per_query: f64,
     /// Mean results returned per executed query.
     pub results_per_query: f64,
+}
+
+/// Everything a running service can report about itself in one struct:
+/// throughput/latency counters, result-cache counters, and admission
+/// verdict counters. This is the payload of the network protocol's
+/// `Stats` op, so it carries a versioned binary codec
+/// ([`ServiceSnapshotStats::encode`] / [`ServiceSnapshotStats::decode`])
+/// rather than relying on any serialization framework.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServiceSnapshotStats {
+    /// Worker-pool throughput and latency counters.
+    pub service: ServiceStats,
+    /// Result-cache hit/miss/invalidation counters.
+    pub cache: CacheStats,
+    /// Admission-control verdict counters.
+    pub admission: AdmissionStats,
+}
+
+/// Codec version of the [`ServiceSnapshotStats`] payload.
+const SNAPSHOT_STATS_VERSION: u8 = 1;
+
+impl ServiceSnapshotStats {
+    /// Encodes the snapshot as a little-endian byte string (leading
+    /// version byte, then every counter in declaration order).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(1 + 21 * 8);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Appends the encoding to `buf` (the composition point for wire
+    /// payloads that embed a stats snapshot).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.push(SNAPSHOT_STATS_VERSION);
+        let s = &self.service;
+        for v in [s.responses, s.executed, s.batches, s.queue_rejections, s.mutations] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&s.qps.to_le_bytes());
+        for v in [s.latency_p50_ns, s.latency_p95_ns, s.latency_p99_ns] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&s.latency_mean_ns.to_le_bytes());
+        buf.extend_from_slice(&s.latency_max_ns.to_le_bytes());
+        buf.extend_from_slice(&s.candidates_per_query.to_le_bytes());
+        buf.extend_from_slice(&s.results_per_query.to_le_bytes());
+        let c = &self.cache;
+        for v in [c.hits, c.misses, c.invalidations, c.len as u64, c.capacity as u64] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let a = &self.admission;
+        for v in [a.admitted, a.degraded, a.rejected] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Decodes a snapshot produced by [`ServiceSnapshotStats::encode`],
+    /// requiring full consumption of `bytes`.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let out = Self::decode_from(&mut r)?;
+        r.finish("service stats")?;
+        Ok(out)
+    }
+
+    /// Decodes a snapshot from the reader's current position (the
+    /// composition point for wire payloads that embed one).
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self> {
+        let version = r.u8("stats version")?;
+        if version != SNAPSHOT_STATS_VERSION {
+            return Err(hamming_core::HammingError::Corrupt(format!(
+                "unsupported stats version {version}"
+            )));
+        }
+        let service = ServiceStats {
+            responses: r.u64("responses")?,
+            executed: r.u64("executed")?,
+            batches: r.u64("batches")?,
+            queue_rejections: r.u64("queue rejections")?,
+            mutations: r.u64("mutations")?,
+            qps: r.f64("qps")?,
+            latency_p50_ns: r.u64("p50")?,
+            latency_p95_ns: r.u64("p95")?,
+            latency_p99_ns: r.u64("p99")?,
+            latency_mean_ns: r.f64("mean latency")?,
+            latency_max_ns: r.u64("max latency")?,
+            candidates_per_query: r.f64("candidates per query")?,
+            results_per_query: r.f64("results per query")?,
+        };
+        let cache = CacheStats {
+            hits: r.u64("cache hits")?,
+            misses: r.u64("cache misses")?,
+            invalidations: r.u64("cache invalidations")?,
+            len: r.u64("cache len")? as usize,
+            capacity: r.u64("cache capacity")? as usize,
+        };
+        let admission = AdmissionStats {
+            admitted: r.u64("admitted")?,
+            degraded: r.u64("degraded")?,
+            rejected: r.u64("rejected")?,
+        };
+        Ok(ServiceSnapshotStats { service, cache, admission })
+    }
 }
 
 #[cfg(test)]
@@ -311,5 +420,50 @@ mod tests {
         assert!(s.qps > 0.0);
         assert!((s.candidates_per_query - 100.0).abs() < 1e-9);
         assert!((s.results_per_query - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_stats_roundtrip() {
+        let snap = ServiceSnapshotStats {
+            service: ServiceStats {
+                responses: 101,
+                executed: 88,
+                batches: 12,
+                queue_rejections: 3,
+                mutations: 7,
+                qps: 1234.5,
+                latency_p50_ns: 40_000,
+                latency_p95_ns: 900_000,
+                latency_p99_ns: 1_500_000,
+                latency_mean_ns: 55_123.25,
+                latency_max_ns: 2_000_001,
+                candidates_per_query: 321.75,
+                results_per_query: 8.5,
+            },
+            cache: CacheStats { hits: 60, misses: 41, invalidations: 2, len: 39, capacity: 1024 },
+            admission: AdmissionStats { admitted: 95, degraded: 4, rejected: 2 },
+        };
+        let bytes = snap.encode();
+        let back = ServiceSnapshotStats::decode(&bytes).unwrap();
+        assert_eq!(back.encode(), bytes, "re-encoding must be byte-identical");
+        assert_eq!(back.service.responses, 101);
+        assert_eq!(back.service.latency_p95_ns, 900_000);
+        assert!((back.service.qps - 1234.5).abs() < 1e-12);
+        assert!((back.service.latency_mean_ns - 55_123.25).abs() < 1e-12);
+        assert_eq!(back.cache.hits, 60);
+        assert_eq!(back.cache.capacity, 1024);
+        assert_eq!(back.admission, snap.admission);
+    }
+
+    #[test]
+    fn snapshot_stats_rejects_corruption() {
+        let bytes = ServiceSnapshotStats::default().encode();
+        assert!(ServiceSnapshotStats::decode(&bytes[..bytes.len() - 1]).is_err(), "truncated");
+        let mut versioned = bytes.clone();
+        versioned[0] = 99;
+        assert!(ServiceSnapshotStats::decode(&versioned).is_err(), "unknown version");
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(ServiceSnapshotStats::decode(&trailing).is_err(), "trailing bytes");
     }
 }

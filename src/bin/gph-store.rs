@@ -7,7 +7,10 @@
 //! gph-store build --data data.hamd --shards 4 --tau-max 16 --out snap/
 //! gph-store info  --index snap/
 //! gph-store query --index snap/ --queries q.hamd --tau 8 [--topk k]
+//! gph-store query --connect 127.0.0.1:7471 --tau 8 [--sample n] [--topk k]
 //! gph-store serve --index snap/ --queries 2000 --tau 8 [--workers w]
+//! gph-store serve --index snap/ --listen 127.0.0.1:7471 [--duration secs]
+//! gph-store stats --connect 127.0.0.1:7471
 //! gph-store add   --index snap/ --id 42 --bits 0101... [--upsert]
 //! gph-store del   --index snap/ --id 42
 //! ```
@@ -18,16 +21,20 @@
 //! re-optimizes. `add` and `del` mutate the restored fleet through the
 //! segmented live-update path (memtable append / tombstone flip — at
 //! most one segment build when a seal triggers) and re-snapshot in
-//! place.
+//! place. `serve --listen` exposes the warm-started service over TCP
+//! (the `GPHN` protocol); `query --connect` and `stats --connect` talk
+//! to such a server from any machine.
 
 use gph_suite::datagen::Profile;
 use gph_suite::gph::engine::GphConfig;
 use gph_suite::hamming_core::io;
 use gph_suite::hamming_core::Dataset;
+use gph_suite::net::{GphClient, NetServer, ServerConfig};
 use gph_suite::serve::{read_manifest, QueryService, ServiceConfig, ShardedIndex};
 use std::collections::HashMap;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -58,6 +65,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&opts),
         "query" => cmd_query(&opts),
         "serve" => cmd_serve(&opts),
+        "stats" => cmd_stats(&opts),
         "add" => cmd_add(&opts),
         "del" => cmd_del(&opts),
         "--help" | "-h" | "help" => {
@@ -82,14 +90,30 @@ fn usage() {
          \x20 build --out <dir> (--data <file.hamd> | --profile <name> --rows <n>)\n\
          \x20       [--shards s] [--m m] [--tau-max t] [--seed s]\n\
          \x20 info  --index <dir>\n\
-         \x20 query --index <dir> --tau <t> (--queries <file.hamd> | --sample n)\n\
-         \x20       [--topk k]\n\
+         \x20 query (--index <dir> | --connect <addr>) --tau <t>\n\
+         \x20       [--queries <file.hamd> | --sample n] [--topk k]\n\
          \x20 serve --index <dir> --queries <n> --tau <t> [--workers w] [--batch b]\n\
+         \x20 serve --index <dir> --listen <addr> [--workers w] [--duration secs]\n\
+         \x20 stats --connect <addr>\n\
          \x20 add   --index <dir> --id <n> (--bits <01...> | --random-seed <s>)\n\
          \x20       [--upsert]\n\
          \x20 del   --index <dir> --id <n>\n\
          profiles: sift gist pubchem fasttext uqvideo uniform<d> gamma<g>"
     );
+}
+
+/// Rejects flags the command does not understand — a typo like
+/// `--taumax` must fail loudly, not silently fall back to a default.
+fn check_flags(opts: &HashMap<String, String>, allowed: &[&str]) -> Result<(), String> {
+    for k in opts.keys() {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!(
+                "unknown flag --{k} (this command accepts: {})",
+                allowed.iter().map(|f| format!("--{f}")).collect::<Vec<_>>().join(" ")
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn need<'a>(opts: &'a HashMap<String, String>, k: &str) -> Result<&'a str, String> {
@@ -112,6 +136,7 @@ fn parse_or<T: std::str::FromStr>(
 }
 
 fn cmd_build(opts: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(opts, &["out", "data", "profile", "rows", "seed", "shards", "m", "tau-max"])?;
     let out = need(opts, "out")?;
     let ds: Dataset = if let Some(path) = opts.get("data") {
         io::read_dataset(path).map_err(|e| format!("reading {path}: {e}"))?
@@ -145,6 +170,7 @@ fn cmd_build(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_info(opts: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(opts, &["index"])?;
     let dir = need(opts, "index")?;
     let m = read_manifest(dir).map_err(|e| e.to_string())?;
     println!("snapshot:  {dir}");
@@ -178,20 +204,16 @@ fn restore(opts: &HashMap<String, String>) -> Result<ShardedIndex, String> {
 }
 
 fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(opts, &["index", "connect", "tau", "queries", "sample", "topk"])?;
+    if let Some(addr) = opts.get("connect") {
+        return cmd_query_remote(addr, opts);
+    }
     let index = restore(opts)?;
     let tau: u32 = parse(opts, "tau")?;
     if tau as usize > index.tau_max() {
         return Err(format!("--tau {tau} exceeds the snapshot's tau_max {}", index.tau_max()));
     }
-    let queries: Dataset = if let Some(path) = opts.get("queries") {
-        io::read_dataset(path).map_err(|e| format!("reading {path}: {e}"))?
-    } else {
-        let n: usize = parse_or(opts, "sample", 10)?;
-        Profile::uniform(index.dim()).generate(n, 0x5EED)
-    };
-    if queries.dim() != index.dim() {
-        return Err(format!("query dim {} != index dim {}", queries.dim(), index.dim()));
-    }
+    let queries = load_queries(opts, index.dim())?;
     let topk: usize = parse_or(opts, "topk", 0)?;
     let t0 = Instant::now();
     let mut total = 0usize;
@@ -214,7 +236,105 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Loads `--queries <file>` or samples `--sample n` uniform vectors at
+/// the index's dimensionality.
+fn load_queries(opts: &HashMap<String, String>, dim: usize) -> Result<Dataset, String> {
+    let queries: Dataset = if let Some(path) = opts.get("queries") {
+        io::read_dataset(path).map_err(|e| format!("reading {path}: {e}"))?
+    } else {
+        let n: usize = parse_or(opts, "sample", 10)?;
+        Profile::uniform(dim).generate(n, 0x5EED)
+    };
+    if queries.dim() != dim {
+        return Err(format!("query dim {} != index dim {dim}", queries.dim()));
+    }
+    Ok(queries)
+}
+
+/// `query --connect`: the same query loop, but over the wire.
+fn cmd_query_remote(addr: &str, opts: &HashMap<String, String>) -> Result<(), String> {
+    if opts.contains_key("index") {
+        return Err("--connect and --index are mutually exclusive".into());
+    }
+    let client = GphClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let remote = client.stats().map_err(|e| format!("querying {addr} stats: {e}"))?;
+    eprintln!(
+        "connected to {addr}: {} rows x {} dims over {} shard(s), tau_max {}",
+        remote.rows, remote.dim, remote.shards, remote.tau_max
+    );
+    let tau: u32 = parse(opts, "tau")?;
+    if tau > remote.tau_max {
+        return Err(format!("--tau {tau} exceeds the server's tau_max {}", remote.tau_max));
+    }
+    let queries = load_queries(opts, remote.dim as usize)?;
+    let topk: usize = parse_or(opts, "topk", 0)?;
+    let t0 = Instant::now();
+    let mut total = 0usize;
+    for qi in 0..queries.len() {
+        if topk > 0 {
+            let res = client.topk(queries.row(qi), topk).map_err(|e| e.to_string())?;
+            total += res.hits.len();
+            println!("query {qi}: top-{topk} {:?}", &res.hits[..res.hits.len().min(8)]);
+        } else {
+            let res = client.search(queries.row(qi), tau).map_err(|e| e.to_string())?;
+            total += res.ids.len();
+            println!(
+                "query {qi}: {} results {:?}",
+                res.ids.len(),
+                &res.ids[..res.ids.len().min(16)]
+            );
+        }
+    }
+    eprintln!(
+        "{} remote queries, {total} results in {:.1} ms",
+        queries.len(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+/// `stats --connect`: one `Stats` op, printed as a dashboard row.
+fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(opts, &["connect"])?;
+    let addr = need(opts, "connect")?;
+    let client = GphClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let remote = client.stats().map_err(|e| e.to_string())?;
+    let (s, c, a) = (&remote.stats.service, &remote.stats.cache, &remote.stats.admission);
+    println!("server:     {addr}");
+    println!(
+        "index:      {} rows x {} dims, {} shard(s), tau_max {}",
+        remote.rows, remote.dim, remote.shards, remote.tau_max
+    );
+    println!(
+        "responses:  {} ({} executed, {} batches, {:.0} QPS)",
+        s.responses, s.executed, s.batches, s.qps
+    );
+    println!(
+        "latency:    p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  max {:.3} ms",
+        s.latency_p50_ns as f64 / 1e6,
+        s.latency_p95_ns as f64 / 1e6,
+        s.latency_p99_ns as f64 / 1e6,
+        s.latency_max_ns as f64 / 1e6,
+    );
+    println!("mutations:  {} applied, {} shed on full queue", s.mutations, s.queue_rejections);
+    println!(
+        "cache:      {} hits / {} misses ({:.0}% hit rate), {} invalidations, {}/{} resident",
+        c.hits,
+        c.misses,
+        remote.stats.cache.hit_rate() * 100.0,
+        c.invalidations,
+        c.len,
+        c.capacity
+    );
+    println!(
+        "admission:  {} admitted, {} degraded, {} rejected",
+        a.admitted, a.degraded, a.rejected
+    );
+    Ok(())
+}
+
 fn cmd_add(opts: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(opts, &["index", "id", "bits", "random-seed", "upsert"])?;
     let dir = need(opts, "index")?;
     let id: u32 = parse(opts, "id")?;
     let index = restore(opts)?;
@@ -244,6 +364,7 @@ fn cmd_add(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_del(opts: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(opts, &["index", "id"])?;
     let dir = need(opts, "index")?;
     let id: u32 = parse(opts, "id")?;
     let index = restore(opts)?;
@@ -256,6 +377,7 @@ fn cmd_del(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(opts, &["index", "queries", "tau", "workers", "batch", "listen", "duration"])?;
     let dir = need(opts, "index")?;
     let n_queries: usize = parse_or(opts, "queries", 1000)?;
     let workers: usize = parse_or(opts, "workers", 0)?;
@@ -264,6 +386,9 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     let t0 = Instant::now();
     let service = QueryService::warm_start(dir, cfg).map_err(|e| e.to_string())?;
     eprintln!("service warm-started from {dir} in {:.2}s", t0.elapsed().as_secs_f64());
+    if let Some(listen) = opts.get("listen") {
+        return serve_network(listen, service, opts);
+    }
     let (dim, tau_max) = (service.index().dim(), service.index().tau_max());
     let tau: u32 = parse_or(opts, "tau", (tau_max / 2).max(1) as u32)?;
     if tau as usize > tau_max {
@@ -293,6 +418,47 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         st.latency_p50_ns as f64 / 1e6,
         st.latency_p95_ns as f64 / 1e6,
         st.candidates_per_query,
+    );
+    Ok(())
+}
+
+/// `serve --listen`: expose the warm-started service over TCP until the
+/// optional `--duration` elapses (0 = run until killed).
+fn serve_network(
+    listen: &str,
+    service: QueryService,
+    opts: &HashMap<String, String>,
+) -> Result<(), String> {
+    let service = Arc::new(service);
+    let server = NetServer::bind(listen, Arc::clone(&service), ServerConfig::default())
+        .map_err(|e| format!("binding {listen}: {e}"))?;
+    let index = service.index();
+    println!(
+        "listening on {} — {} rows x {} dims over {} shard(s), tau_max {}",
+        server.local_addr(),
+        index.len(),
+        index.dim(),
+        index.num_shards(),
+        index.tau_max()
+    );
+    let duration: u64 = parse_or(opts, "duration", 0)?;
+    if duration == 0 {
+        eprintln!("serving until killed (pass --duration <secs> for a bounded run)");
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(Duration::from_secs(duration));
+    let stats = server.shutdown();
+    println!(
+        "served {} request(s) over {} connection(s) in {duration}s \
+         ({} responses, {} errors, {} B in, {} B out); drained and shut down",
+        stats.requests,
+        stats.connections_opened,
+        stats.responses,
+        stats.errors_sent,
+        stats.bytes_in,
+        stats.bytes_out
     );
     Ok(())
 }

@@ -15,13 +15,17 @@
 //! * [`baselines`] — MIH, HmSearch, PartAlloc, MinHash LSH and linear scan.
 //! * [`serve`] — the serving layer: sharded scatter-gather, a batching
 //!   worker pool with admission control, and an LRU result cache.
+//! * [`net`] — the network layer: the `GPHN` binary wire protocol, a
+//!   TCP server over the service, and a pipelined blocking client.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour and
-//! `examples/sharded_service.rs` for the serving layer.
+//! See `examples/quickstart.rs` for a five-minute tour,
+//! `examples/sharded_service.rs` for the serving layer, and
+//! `examples/network_service.rs` for serving over TCP.
 
 pub use baselines;
 pub use datagen;
 pub use gph;
+pub use gph_net as net;
 pub use gph_serve as serve;
 pub use hamming_core;
 pub use mlkit;
