@@ -8,6 +8,7 @@ pub mod allocation;
 pub mod calibration;
 pub mod comparison;
 pub mod estimators;
+pub mod hotpath;
 pub mod msweep;
 pub mod mutations;
 pub mod netload;
@@ -38,6 +39,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "ablation",
     "scalecheck",
     "smoke",
+    "hotpath",
     "mutations",
     "netload",
     "all",
@@ -62,6 +64,7 @@ pub fn dispatch(exp: &str, scale: Scale) -> bool {
         "ablation" => ablation::run(scale),
         "scalecheck" => scalecheck::run(scale),
         "smoke" => smoke::run(scale),
+        "hotpath" => hotpath::run(scale),
         "mutations" => mutations::run(scale),
         "netload" => netload::run(scale),
         "all" => {

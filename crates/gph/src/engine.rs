@@ -90,8 +90,15 @@ pub struct QueryStats {
     pub verify_ns: u64,
     /// Signatures enumerated.
     pub n_signatures: u64,
-    /// `Σ_s |I_s|` — postings touched (Fig. 2(b)'s upper bound).
+    /// `Σ_s |I_s|` — postings touched (Fig. 2(b)'s upper bound). Only
+    /// index probes count here; rows examined by the scan fallback are
+    /// reported in [`QueryStats::n_scanned`] so this keeps its paper
+    /// meaning.
     pub sum_postings: u64,
+    /// Rows examined by the projected-column scan fallback (the path
+    /// taken when a partition's signature ball outnumbers the data).
+    /// Zero for queries answered purely through the index.
+    pub n_scanned: u64,
     /// Distinct candidates verified (`|S_cand|`).
     pub n_candidates: u64,
     /// Results returned.
@@ -319,13 +326,13 @@ impl Gph {
                 let t2 = Instant::now();
                 let col = self.projected.column(i);
                 let qv = &q_proj[i];
+                stats.n_scanned += self.data.len() as u64;
                 for id in 0..self.data.len() {
-                    if hamming_core::distance::hamming(col.value(id), qv) as usize <= radius {
-                        stats.sum_postings += 1;
-                        if scratch.stamps[id] != epoch {
-                            scratch.stamps[id] = epoch;
-                            scratch.candidates.push(id as u32);
-                        }
+                    if hamming_core::distance::hamming(col.value(id), qv) as usize <= radius
+                        && scratch.stamps[id] != epoch
+                    {
+                        scratch.stamps[id] = epoch;
+                        scratch.candidates.push(id as u32);
                     }
                 }
                 stats.candgen_ns += t2.elapsed().as_nanos() as u64;
@@ -363,16 +370,12 @@ impl Gph {
         stats.n_candidates = scratch.candidates.len() as u64;
 
         // --- Phase 4: verification -------------------------------------
+        // The deduplicated candidate buffer goes to the batched kernel in
+        // one streaming pass (width-specialized, SIMD when enabled)
+        // instead of a per-candidate `hamming_within` call.
         let t3 = Instant::now();
-        let mut ids: Vec<u32> = scratch
-            .candidates
-            .iter()
-            .copied()
-            .filter(|&id| {
-                hamming_core::distance::hamming_within(self.data.row(id as usize), query, tau)
-                    .is_some()
-            })
-            .collect();
+        let mut ids: Vec<u32> = Vec::with_capacity(scratch.candidates.len());
+        self.data.verify_candidates(query, tau, &scratch.candidates, &mut ids);
         ids.sort_unstable();
         stats.verify_ns = t3.elapsed().as_nanos() as u64;
         stats.n_results = ids.len() as u64;
@@ -635,9 +638,28 @@ mod tests {
         let st = &res.stats;
         assert_eq!(st.thresholds.len(), 4);
         assert_eq!(st.thresholds.iter().map(|&t| t as i64).sum::<i64>(), 6 - 4 + 1);
-        assert!(st.n_candidates <= st.sum_postings);
+        assert!(st.n_candidates <= st.sum_postings + st.n_scanned);
         assert!(st.n_results <= st.n_candidates);
         assert_eq!(st.n_results as usize, res.ids.len());
+    }
+
+    #[test]
+    fn scan_fallback_reports_n_scanned_not_postings() {
+        // A single wide partition at a large radius makes the signature
+        // ball outnumber the data, forcing the scan fallback for every
+        // query. Scanned rows must land in `n_scanned`; `sum_postings`
+        // keeps its Σ|I_s| meaning (zero — no postings were probed).
+        let ds = random_dataset(32, 60, 0.5, 54);
+        let mut cfg = GphConfig::new(1, 12);
+        cfg.strategy = PartitionStrategy::Original;
+        let gph = Gph::build(ds.clone(), &cfg).unwrap();
+        let q = ds.row(0).to_vec();
+        let res = gph.search_with_stats(&q, 12);
+        let st = &res.stats;
+        assert_eq!(st.n_scanned, ds.len() as u64, "one full pass over the data");
+        assert_eq!(st.sum_postings, 0, "no index probes on the fallback path");
+        assert!(st.n_candidates <= st.sum_postings + st.n_scanned);
+        assert_eq!(res.ids, ds.linear_scan(&q, 12), "fallback stays exact");
     }
 
     #[test]

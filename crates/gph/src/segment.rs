@@ -516,6 +516,7 @@ impl SegmentedGph {
             agg.verify_ns += res.stats.verify_ns;
             agg.n_signatures += res.stats.n_signatures;
             agg.sum_postings += res.stats.sum_postings;
+            agg.n_scanned += res.stats.n_scanned;
             agg.n_candidates += res.stats.n_candidates;
             agg.estimated_cost += res.stats.estimated_cost;
             for local in res.ids {
@@ -526,6 +527,9 @@ impl SegmentedGph {
         }
         let t = std::time::Instant::now();
         for row in self.mem.dead.iter_live() {
+            // Memtable rows are found by scanning, not by index probes:
+            // they count toward both `n_scanned` and `n_candidates`.
+            agg.n_scanned += 1;
             agg.n_candidates += 1;
             if hamming_core::distance::hamming_within(self.mem.data.row(row), query, tau).is_some()
             {

@@ -8,7 +8,8 @@
 //! `read_index`. This module is that path for this workspace.
 //!
 //! A snapshot is a [`hamming_core::io::SectionReader`]-framed container,
-//! magic `GPHE`, version 1, with every section CRC-32 protected:
+//! magic `GPHE`, version [`SNAPSHOT_VERSION`], with every section CRC-32
+//! protected:
 //!
 //! | tag        | payload |
 //! |------------|---------|
@@ -30,6 +31,13 @@
 //! additions stay readable; incompatible layout changes bump the magic's
 //! generation by bumping `SNAPSHOT_VERSION`, and old readers reject newer
 //! files with [`HammingError::Corrupt`] instead of misparsing them.
+//!
+//! Version 2 switched the `invindex` section to the CSR layout
+//! ([`hamming_core::InvertedIndex::encode`]). Version-1 files carry the
+//! old per-partition `(key, offset, len)` triples and are decoded through
+//! [`hamming_core::InvertedIndex::decode_legacy`], which canonicalizes
+//! them into the same CSR layout — so a v1 snapshot loads into an engine
+//! query-for-query identical to one saved as v2.
 
 use crate::alloc::AllocatorKind;
 use crate::cn::{decode_kind, encode_kind, restore_estimator};
@@ -51,7 +59,9 @@ use std::path::Path;
 pub const ENGINE_MAGIC: [u8; 4] = *b"GPHE";
 
 /// Current snapshot format version. Readers accept `1..=SNAPSHOT_VERSION`.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Version 2 stores the inverted index in CSR form; version-1 snapshots
+/// remain loadable through the legacy index decoder.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 fn encode_allocator(kind: AllocatorKind) -> u8 {
     match kind {
@@ -308,7 +318,14 @@ pub(crate) fn decode_engine(bytes: &[u8]) -> Result<Gph> {
         )));
     }
     let cfg = decode_config(r.section("config")?)?;
-    let index = InvertedIndex::decode(r.section("invindex")?)?;
+    let index_bytes = r.section("invindex")?;
+    let index = if r.version() >= 2 {
+        InvertedIndex::decode(index_bytes)?
+    } else {
+        // v1 snapshots stored hash-map-ordered (key, range) triples; the
+        // legacy decoder canonicalizes them into the CSR layout.
+        InvertedIndex::decode_legacy(index_bytes)?
+    };
     if index.len() != data.len() {
         return Err(HammingError::Corrupt(format!(
             "index posts {} vectors but the dataset has {}",
@@ -585,6 +602,37 @@ mod tests {
         for cut in (0..bytes.len()).step_by(7) {
             assert!(decode_gph_config(&bytes[..cut]).is_err(), "cut={cut}");
         }
+    }
+
+    #[test]
+    fn version1_snapshots_load_through_the_legacy_path() {
+        // Reconstruct what a pre-CSR writer produced: a version-1
+        // container whose `invindex` section holds the old
+        // (key, offset, len)-triple encoding. Loading it must succeed and
+        // give an engine query-for-query identical to the v2 round-trip.
+        let ds = random_dataset(48, 200, 22);
+        let queries = random_dataset(48, 6, 23);
+        let mut cfg = GphConfig::new(3, 8);
+        cfg.strategy = PartitionStrategy::RandomShuffle { seed: 9 };
+        let built = Gph::build(ds, &cfg).unwrap();
+        let v2 = built.to_bytes();
+        let r = SectionReader::parse(ENGINE_MAGIC, SNAPSHOT_VERSION, &v2).unwrap();
+        assert_eq!(r.version(), 2, "current writer stamps version 2");
+        let mut w = SectionWriter::new(ENGINE_MAGIC, 1);
+        for tag in ["dataset", "partit", "config", "estkind"] {
+            w.section(tag, r.section(tag).unwrap());
+        }
+        w.section("invindex", &built.index.encode_legacy());
+        if let Some(state) = r.get("eststate") {
+            w.section("eststate", state);
+        }
+        let v1 = w.finish();
+        assert_ne!(v1, v2, "the two formats differ on the wire");
+
+        let loaded = Gph::from_bytes(&v1).unwrap();
+        assert_engines_agree(&built, &loaded, &queries, &[0, 4, 8]);
+        // Saving the migrated engine re-emits the canonical v2 bytes.
+        assert_eq!(loaded.to_bytes(), v2);
     }
 
     #[test]

@@ -182,4 +182,43 @@ proptest! {
         let qv = bv(&q);
         prop_assert_eq!(engine.search(qv.words(), tau), ds.linear_scan(qv.words(), tau));
     }
+
+    /// Hot-path refactor pin: the CSR-probing, batch-verifying engine is
+    /// query-for-query identical to the linear scan (the pre-refactor
+    /// observable behavior), its stats respect their invariants, and both
+    /// properties survive a GPHE snapshot round-trip.
+    #[test]
+    fn hot_path_is_query_identical_through_snapshot(
+        rows in prop::collection::vec(bits(48), 15..70),
+        queries in prop::collection::vec(bits(48), 1..5),
+        tau in 0u32..9,
+        m in 1usize..5,
+        shuffle_seed in any::<u64>(),
+    ) {
+        let ds = Dataset::from_vectors(48, rows.iter().map(|r| bv(r))).unwrap();
+        let mut cfg = GphConfig::new(m, 9);
+        cfg.strategy = PartitionStrategy::RandomShuffle { seed: shuffle_seed };
+        let built = Gph::build(ds.clone(), &cfg).unwrap();
+        let loaded = Gph::from_bytes(&built.to_bytes()).unwrap();
+        for q in &queries {
+            let qv = bv(q);
+            let expect = ds.linear_scan(qv.words(), tau);
+            for engine in [&built, &loaded] {
+                let res = engine.search_with_stats(qv.words(), tau);
+                prop_assert_eq!(&res.ids, &expect);
+                let st = &res.stats;
+                prop_assert_eq!(st.n_results as usize, res.ids.len());
+                prop_assert!(st.n_results <= st.n_candidates);
+                prop_assert!(st.n_candidates <= st.sum_postings + st.n_scanned);
+            }
+            // Saved and loaded engines agree on thresholds too — the
+            // whole allocation pipeline survived the round-trip.
+            let a = built.search_with_stats(qv.words(), tau);
+            let b = loaded.search_with_stats(qv.words(), tau);
+            prop_assert_eq!(a.stats.thresholds, b.stats.thresholds);
+            prop_assert_eq!(a.stats.sum_postings, b.stats.sum_postings);
+            prop_assert_eq!(a.stats.n_scanned, b.stats.n_scanned);
+            prop_assert_eq!(a.stats.n_candidates, b.stats.n_candidates);
+        }
+    }
 }

@@ -133,6 +133,39 @@ impl Dataset {
         crate::distance::hamming(self.row(id), query)
     }
 
+    /// The flat word slab backing every row — row `id` occupies
+    /// `words()[id * words_per_vec() ..][.. words_per_vec()]`. Exposed
+    /// for streaming kernels that want one bounds-checked slice instead
+    /// of a [`Dataset::row`] call per access.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Batched phase-4 verification: streams `candidates` against the
+    /// row slab in one pass and appends every ID within `tau` of `query`
+    /// to `out` (input order preserved). See
+    /// [`crate::distance::verify_candidates`]; candidate IDs must be
+    /// valid row indices.
+    #[inline]
+    pub fn verify_candidates(
+        &self,
+        query: &[u64],
+        tau: u32,
+        candidates: &[u32],
+        out: &mut Vec<u32>,
+    ) {
+        assert_eq!(query.len(), self.words_per_vec, "query width mismatch");
+        crate::distance::verify_candidates(
+            &self.words,
+            self.words_per_vec,
+            query,
+            tau,
+            candidates,
+            out,
+        );
+    }
+
     /// Exhaustive Hamming range search: IDs of all vectors within `tau` of
     /// `query`. This is the paper's naïve algorithm and the ground truth
     /// every index is tested against.

@@ -2,11 +2,19 @@
 //!
 //! Like MIH, GPH maps each data vector's projection on each partition to
 //! the vector's ID (§II-C, §VI). The index is immutable after build, so
-//! postings are stored compacted: one flat `Vec<u32>` of IDs per
-//! partition, addressed by `(offset, len)` ranges in a hash map keyed by
-//! the signature key. Signatures are enumerated **on the query side
-//! only** — the property that keeps GPH's index smaller than HmSearch's
-//! and PartAlloc's in Fig. 6.
+//! each partition's postings are stored in **CSR form**: one sorted
+//! `keys` array, one `offsets` prefix-sum array (`keys.len() + 1`
+//! entries), and one flat `ids` array, so a probe is a binary search
+//! followed by a contiguous slice — no hash-map pointer chasing on the
+//! query hot path, and no per-key `Vec` churn at build time. Signatures
+//! are enumerated **on the query side only** — the property that keeps
+//! GPH's index smaller than HmSearch's and PartAlloc's in Fig. 6.
+//!
+//! Because keys are sorted, the in-memory layout is a *canonical*
+//! function of the indexed data: two builds over the same dataset and
+//! partitioning are identical word for word, and therefore produce
+//! byte-identical snapshots (the old hash-map layout assigned posting
+//! ranges in iteration order, so it wasn't).
 
 use crate::error::{HammingError, Result};
 use crate::fasthash::FastMap;
@@ -14,13 +22,28 @@ use crate::io::ByteReader;
 use crate::project::ProjectedDataset;
 use bytes::BufMut;
 
-/// One partition's postings.
+/// One partition's postings in CSR form.
 #[derive(Clone, Debug)]
 struct PartIndex {
     width: usize,
-    /// key -> (offset, len) into `ids`.
-    ranges: FastMap<u64, (u32, u32)>,
+    /// Distinct signature keys, ascending.
+    keys: Vec<u64>,
+    /// `offsets[s]..offsets[s + 1]` is the `ids` range of `keys[s]`;
+    /// `keys.len() + 1` entries, monotone, starting at 0 and ending at
+    /// `ids.len()`.
+    offsets: Vec<u32>,
+    /// Posting IDs, grouped by key slot, ascending within each group.
     ids: Vec<u32>,
+}
+
+impl PartIndex {
+    #[inline]
+    fn postings(&self, key: u64) -> &[u32] {
+        match self.keys.binary_search(&key) {
+            Ok(s) => &self.ids[self.offsets[s] as usize..self.offsets[s + 1] as usize],
+            Err(_) => &[],
+        }
+    }
 }
 
 /// Inverted index over every partition of a projected dataset.
@@ -32,7 +55,7 @@ pub struct InvertedIndex {
 
 impl InvertedIndex {
     /// Builds the index from a projected dataset (two passes per
-    /// partition: count, then fill — no per-key Vec churn).
+    /// partition: count, then fill the CSR arrays in sorted-key order).
     pub fn build(pd: &ProjectedDataset) -> Self {
         let n = pd.len();
         let mut parts = Vec::with_capacity(pd.num_parts());
@@ -43,22 +66,29 @@ impl InvertedIndex {
             for id in 0..n {
                 *counts.entry(col.key(id)).or_insert(0) += 1;
             }
-            // Assign ranges.
-            let mut ranges: FastMap<u64, (u32, u32)> =
-                FastMap::with_capacity_and_hasher(counts.len(), Default::default());
-            let mut offset = 0u32;
-            for (&key, &cnt) in &counts {
-                ranges.insert(key, (offset, 0));
-                offset += cnt;
+            // Canonical slot order: sorted keys.
+            let mut keys: Vec<u64> = counts.keys().copied().collect();
+            keys.sort_unstable();
+            let mut offsets = Vec::with_capacity(keys.len() + 1);
+            offsets.push(0u32);
+            let mut acc = 0u32;
+            for &k in &keys {
+                acc += counts[&k];
+                offsets.push(acc);
             }
-            // Pass 2: fill IDs in vector order (postings stay sorted).
+            // Pass 2: fill IDs in vector order (postings stay sorted
+            // within each key group). `counts` is reused as a write
+            // cursor per key.
+            for (s, &k) in keys.iter().enumerate() {
+                counts.insert(k, offsets[s]);
+            }
             let mut ids = vec![0u32; n];
             for id in 0..n {
-                let slot = ranges.get_mut(&col.key(id)).expect("counted in pass 1");
-                ids[(slot.0 + slot.1) as usize] = id as u32;
-                slot.1 += 1;
+                let cursor = counts.get_mut(&col.key(id)).expect("counted in pass 1");
+                ids[*cursor as usize] = id as u32;
+                *cursor += 1;
             }
-            parts.push(PartIndex { width: col.width(), ranges, ids });
+            parts.push(PartIndex { width: col.width(), keys, offsets, ids });
         }
         InvertedIndex { parts, len: n }
     }
@@ -86,39 +116,36 @@ impl InvertedIndex {
     /// Postings list for signature `key` in partition `p` (IDs ascending).
     #[inline]
     pub fn postings(&self, p: usize, key: u64) -> &[u32] {
-        match self.parts[p].ranges.get(&key) {
-            Some(&(off, len)) => &self.parts[p].ids[off as usize..(off + len) as usize],
-            None => &[],
-        }
+        self.parts[p].postings(key)
     }
 
     /// Number of distinct signatures in partition `p`.
     pub fn distinct_signatures(&self, p: usize) -> usize {
-        self.parts[p].ranges.len()
+        self.parts[p].keys.len()
     }
 
     /// Deterministic byte encoding of the postings (for engine
-    /// snapshots): the flat ID arrays and key ranges verbatim, with keys
-    /// sorted so identical indexes always produce identical bytes.
+    /// snapshots): the CSR arrays verbatim. Keys are stored sorted by
+    /// construction, so identical indexes always produce identical bytes
+    /// — and, because [`InvertedIndex::build`] is canonical, so do two
+    /// independent builds of the same data.
     ///
     /// Layout (little-endian): `len u64, n_parts u64`, then per part
-    /// `width u64, n_keys u64, n_ids u64, n_keys × (key u64, off u32,
-    /// len u32), n_ids × id u32`.
+    /// `width u64, n_keys u64, n_ids u64, n_keys × key u64,
+    /// (n_keys + 1) × offset u32, n_ids × id u32`.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(16 + self.size_bytes());
         buf.put_u64_le(self.len as u64);
         buf.put_u64_le(self.parts.len() as u64);
         for pi in &self.parts {
             buf.put_u64_le(pi.width as u64);
-            buf.put_u64_le(pi.ranges.len() as u64);
+            buf.put_u64_le(pi.keys.len() as u64);
             buf.put_u64_le(pi.ids.len() as u64);
-            let mut keys: Vec<(u64, (u32, u32))> =
-                pi.ranges.iter().map(|(&k, &r)| (k, r)).collect();
-            keys.sort_unstable_by_key(|&(k, _)| k);
-            for (key, (off, len)) in keys {
+            for &key in &pi.keys {
                 buf.put_u64_le(key);
+            }
+            for &off in &pi.offsets {
                 buf.put_u32_le(off);
-                buf.put_u32_le(len);
             }
             for &id in &pi.ids {
                 buf.put_u32_le(id);
@@ -128,10 +155,78 @@ impl InvertedIndex {
     }
 
     /// Decodes an index written by [`InvertedIndex::encode`], validating
-    /// every range against the ID array and every ID against the
+    /// the key order, the offset monotonicity, and every ID against the
     /// declared cardinality so a corrupt payload cannot cause panics (or
     /// out-of-bounds postings) later.
     pub fn decode(bytes: &[u8]) -> Result<InvertedIndex> {
+        let mut r = ByteReader::new(bytes);
+        let len = r.u64("index len")? as usize;
+        let n_parts = r.len(28, "index part count")?;
+        let mut parts = Vec::with_capacity(n_parts);
+        for p in 0..n_parts {
+            let width = r.u64("part width")? as usize;
+            let n_keys = r.len(12, "part key count")?;
+            let n_ids = r.len(4, "part id count")?;
+            if n_ids != len {
+                return Err(HammingError::Corrupt(format!(
+                    "part {p} holds {n_ids} postings for {len} vectors"
+                )));
+            }
+            let keys = r.u64s(n_keys, "posting keys")?;
+            if keys.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(HammingError::Corrupt(format!("part {p} keys are not sorted")));
+            }
+            let offsets = r.u32s(n_keys + 1, "posting offsets")?;
+            if offsets.first() != Some(&0) || offsets.last().copied() != Some(n_ids as u32) {
+                return Err(HammingError::Corrupt(format!(
+                    "part {p} offsets do not span 0..{n_ids}"
+                )));
+            }
+            if offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(HammingError::Corrupt(format!("part {p} offsets are not monotone")));
+            }
+            let ids = r.u32s(n_ids, "posting ids")?;
+            if let Some(&id) = ids.iter().find(|&&id| id as usize >= len) {
+                return Err(HammingError::Corrupt(format!(
+                    "posting id {id} out of range for {len} vectors"
+                )));
+            }
+            parts.push(PartIndex { width, keys, offsets, ids });
+        }
+        r.finish("inverted index")?;
+        Ok(InvertedIndex { parts, len })
+    }
+
+    /// Encodes the pre-CSR (snapshot v1) layout: per part `width u64,
+    /// n_keys u64, n_ids u64, n_keys × (key u64, off u32, len u32),
+    /// n_ids × id u32`. Only needed to produce old-format fixtures for
+    /// compatibility tests and downgrade tooling; new snapshots use
+    /// [`InvertedIndex::encode`].
+    pub fn encode_legacy(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + self.size_bytes());
+        buf.put_u64_le(self.len as u64);
+        buf.put_u64_le(self.parts.len() as u64);
+        for pi in &self.parts {
+            buf.put_u64_le(pi.width as u64);
+            buf.put_u64_le(pi.keys.len() as u64);
+            buf.put_u64_le(pi.ids.len() as u64);
+            for (s, &key) in pi.keys.iter().enumerate() {
+                buf.put_u64_le(key);
+                buf.put_u32_le(pi.offsets[s]);
+                buf.put_u32_le(pi.offsets[s + 1] - pi.offsets[s]);
+            }
+            for &id in &pi.ids {
+                buf.put_u32_le(id);
+            }
+        }
+        buf
+    }
+
+    /// Decodes the pre-CSR (snapshot v1) layout written by the old
+    /// hash-map index, canonicalizing it into CSR form: keys are sorted
+    /// and the `ids` array is regrouped so old snapshots load into the
+    /// exact layout a fresh build would produce.
+    pub fn decode_legacy(bytes: &[u8]) -> Result<InvertedIndex> {
         let mut r = ByteReader::new(bytes);
         let len = r.u64("index len")? as usize;
         let n_parts = r.len(24, "index part count")?;
@@ -145,54 +240,57 @@ impl InvertedIndex {
                     "part {p} holds {n_ids} postings for {len} vectors"
                 )));
             }
-            let mut ranges: FastMap<u64, (u32, u32)> =
-                FastMap::with_capacity_and_hasher(n_keys, Default::default());
+            let mut ranges: Vec<(u64, u32, u32)> = Vec::with_capacity(n_keys);
             let mut covered = 0usize;
             for _ in 0..n_keys {
                 let key = r.u64("posting key")?;
                 let off = r.u32("posting offset")?;
                 let n = r.u32("posting length")?;
-                let end = off as usize + n as usize;
-                if end > n_ids {
+                if off as usize + n as usize > n_ids {
                     return Err(HammingError::Corrupt(format!(
                         "part {p} range {off}+{n} exceeds {n_ids} ids"
                     )));
                 }
-                if ranges.insert(key, (off, n)).is_some() {
-                    return Err(HammingError::Corrupt(format!("part {p} repeats key {key}")));
-                }
                 covered += n as usize;
+                ranges.push((key, off, n));
             }
             if covered != n_ids {
                 return Err(HammingError::Corrupt(format!(
                     "part {p} ranges cover {covered} of {n_ids} ids"
                 )));
             }
-            let mut ids = Vec::with_capacity(n_ids);
-            for _ in 0..n_ids {
-                let id = r.u32("posting id")?;
-                if id as usize >= len {
-                    return Err(HammingError::Corrupt(format!(
-                        "posting id {id} out of range for {len} vectors"
-                    )));
-                }
-                ids.push(id);
+            let old_ids = r.u32s(n_ids, "posting ids")?;
+            if let Some(&id) = old_ids.iter().find(|&&id| id as usize >= len) {
+                return Err(HammingError::Corrupt(format!(
+                    "posting id {id} out of range for {len} vectors"
+                )));
             }
-            parts.push(PartIndex { width, ranges, ids });
+            // Canonicalize: sorted keys, ids regrouped contiguously.
+            ranges.sort_unstable_by_key(|&(k, _, _)| k);
+            if ranges.windows(2).any(|w| w[0].0 == w[1].0) {
+                return Err(HammingError::Corrupt(format!("part {p} repeats a key")));
+            }
+            let mut keys = Vec::with_capacity(n_keys);
+            let mut offsets = Vec::with_capacity(n_keys + 1);
+            offsets.push(0u32);
+            let mut ids = Vec::with_capacity(n_ids);
+            for (key, off, n) in ranges {
+                keys.push(key);
+                ids.extend_from_slice(&old_ids[off as usize..(off + n) as usize]);
+                offsets.push(ids.len() as u32);
+            }
+            parts.push(PartIndex { width, keys, offsets, ids });
         }
         r.finish("inverted index")?;
         Ok(InvertedIndex { parts, len })
     }
 
-    /// Approximate heap size in bytes (IDs + hash-map entries), the
+    /// Approximate heap size in bytes (the flat CSR arrays), the
     /// quantity compared in Fig. 6.
     pub fn size_bytes(&self) -> usize {
         self.parts
             .iter()
-            .map(|pi| {
-                // map entry ≈ key + range + bucket overhead (≈ 1.14 load).
-                pi.ids.len() * 4 + pi.ranges.len() * (8 + 8 + 2)
-            })
+            .map(|pi| pi.ids.len() * 4 + pi.keys.len() * 8 + pi.offsets.len() * 4)
             .sum()
     }
 }
@@ -257,6 +355,28 @@ mod tests {
     }
 
     #[test]
+    fn builds_are_deterministic() {
+        // The CSR layout is a canonical function of the data: two
+        // independent builds of the same projected dataset must be
+        // byte-identical, which is what makes snapshots reproducible.
+        let ds = Dataset::from_vectors(
+            16,
+            (0u32..200).map(|i| {
+                BitVector::from_bits((0..16).map(|b| (i.wrapping_mul(2654435761) >> b) & 1 == 1))
+            }),
+        )
+        .unwrap();
+        let p = Partitioning::equi_width(16, 4).unwrap();
+        let pd = ProjectedDataset::build(&ds, &Projector::new(&p));
+        let a = InvertedIndex::build(&pd);
+        let b = InvertedIndex::build(&pd);
+        assert_eq!(a.encode(), b.encode());
+        // And a third build over an independently re-projected dataset.
+        let pd2 = ProjectedDataset::build(&ds, &Projector::new(&p));
+        assert_eq!(a.encode(), InvertedIndex::build(&pd2).encode());
+    }
+
+    #[test]
     fn encode_decode_roundtrip_is_byte_stable() {
         let (_, idx, _) = build_table1();
         let bytes = idx.encode();
@@ -268,6 +388,44 @@ mod tests {
         assert_eq!(decoded.postings(1, 0b0101), &[] as &[u32]);
         // Re-encoding reproduces the exact bytes (sorted-key determinism).
         assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn legacy_roundtrip_canonicalizes() {
+        let (_, idx, _) = build_table1();
+        let legacy = idx.encode_legacy();
+        let decoded = InvertedIndex::decode_legacy(&legacy).unwrap();
+        // A legacy decode lands in the same canonical CSR layout.
+        assert_eq!(decoded.encode(), idx.encode());
+        // Truncated legacy bytes never panic.
+        for cut in 0..legacy.len() {
+            assert!(InvertedIndex::decode_legacy(&legacy[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn legacy_decode_regroups_scattered_ranges() {
+        // Hand-build a legacy payload whose ranges are *not* laid out in
+        // key order (the hash-map layout): key 5 occupies ids[2..4],
+        // key 1 occupies ids[0..2]. The decoder must regroup.
+        let mut buf = Vec::new();
+        buf.put_u64_le(4); // len
+        buf.put_u64_le(1); // parts
+        buf.put_u64_le(8); // width
+        buf.put_u64_le(2); // keys
+        buf.put_u64_le(4); // ids
+        buf.put_u64_le(1);
+        buf.put_u32_le(2);
+        buf.put_u32_le(2); // key 1 -> ids[2..4]
+        buf.put_u64_le(5);
+        buf.put_u32_le(0);
+        buf.put_u32_le(2); // key 5 -> ids[0..2]
+        for id in [1u32, 3, 0, 2] {
+            buf.put_u32_le(id);
+        }
+        let idx = InvertedIndex::decode_legacy(&buf).unwrap();
+        assert_eq!(idx.postings(0, 1), &[0, 2]);
+        assert_eq!(idx.postings(0, 5), &[1, 3]);
     }
 
     #[test]

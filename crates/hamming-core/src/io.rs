@@ -194,6 +194,21 @@ impl<'a> ByteReader<'a> {
         self.take(n, what)
     }
 
+    /// Reads `n` little-endian `u32` values in one bounds check — the
+    /// bulk path CSR posting decoders use instead of `n` cursor steps.
+    pub fn u32s(&mut self, n: usize, what: &str) -> Result<Vec<u32>> {
+        let raw = self.take(
+            n.checked_mul(4).ok_or_else(|| {
+                HammingError::Corrupt(format!("{what}: item count {n} overflows"))
+            })?,
+            what,
+        )?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
     /// Reads `n` little-endian `u64` words.
     pub fn u64s(&mut self, n: usize, what: &str) -> Result<Vec<u64>> {
         let raw = self.take(

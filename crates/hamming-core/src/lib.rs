@@ -23,10 +23,14 @@
 //! * [`tombstone`] — deletion bitmaps ([`Tombstones`]) that let immutable
 //!   indexes serve deletes by filtering instead of rebuilding.
 //!
-//! The crate is `#![forbid(unsafe_code)]`; all hot paths rely on
-//! `u64::count_ones` which compiles to `popcnt` on x86-64.
+//! Portable builds are `#![forbid(unsafe_code)]`; all hot paths rely on
+//! `u64::count_ones`. With `--features simd` (x86-64 only) the distance
+//! and batch-verification kernels additionally dispatch at runtime to
+//! `std::arch` AVX2/POPCNT implementations in the one `unsafe`-allowed
+//! `simd` module, falling back to the portable loops elsewhere.
 
-#![forbid(unsafe_code)]
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod binomial;
@@ -41,6 +45,9 @@ pub mod io;
 pub mod key;
 pub mod partition;
 pub mod project;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+pub(crate) mod simd;
 pub mod stats;
 pub mod tombstone;
 

@@ -1,0 +1,108 @@
+//! Property tests pinning every distance/verification kernel to the
+//! portable reference loop.
+//!
+//! CI runs this suite twice: once portable and once with
+//! `--features simd`. With the feature on, [`hamming`] and
+//! [`verify_candidates`] dispatch to the `std::arch` AVX2/POPCNT kernels
+//! (when the CPU has them), so these properties pin the accelerated
+//! paths **bit-identical** to the portable word loops over random widths
+//! — including the specialized 1/2/4-word row paths and the generic
+//! fallback. With the feature off they pin the portable specializations
+//! against the naive definition.
+
+use hamming_core::distance::{
+    hamming, hamming_portable, hamming_within, verify_candidates, verify_candidates_portable,
+};
+use proptest::prelude::*;
+
+/// The definitional Hamming distance, written as naively as possible.
+fn naive_hamming(a: &[u64], b: &[u64]) -> u32 {
+    a.iter().zip(b).map(|(&x, &y)| (x ^ y).count_ones()).sum()
+}
+
+proptest! {
+    /// `hamming` (whatever kernel it dispatches to) equals the naive
+    /// definition over random word widths, including widths around the
+    /// SIMD chunk boundary (0..=12 covers tails of every length).
+    #[test]
+    fn hamming_matches_naive(
+        pairs in prop::collection::vec((any::<u64>(), any::<u64>()), 0..12)
+    ) {
+        let a: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+        let expect = naive_hamming(&a, &b);
+        prop_assert_eq!(hamming(&a, &b), expect);
+        prop_assert_eq!(hamming_portable(&a, &b), expect);
+    }
+
+    /// `hamming_within` agrees with the full distance at, below, and
+    /// above the threshold — in particular at `d == tau` exactly.
+    #[test]
+    fn hamming_within_boundary_is_exact(
+        pairs in prop::collection::vec((any::<u64>(), any::<u64>()), 1..10)
+    ) {
+        let a: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+        let d = naive_hamming(&a, &b);
+        prop_assert_eq!(hamming_within(&a, &b, d), Some(d));
+        prop_assert_eq!(hamming_within(&a, &b, d + 1), Some(d));
+        if d > 0 {
+            prop_assert_eq!(hamming_within(&a, &b, d - 1), None);
+        }
+    }
+
+    /// The batched verifier (dispatched and portable) returns exactly
+    /// the candidates the scalar early-exit kernel accepts, in input
+    /// order, over random slabs, widths, thresholds, and candidate
+    /// lists (with repeats and in arbitrary order).
+    #[test]
+    fn batch_verify_matches_scalar_reference(
+        wpv in 1usize..6,
+        n_rows in 1usize..50,
+        tau in 0u32..80,
+        seed in any::<u64>(),
+        cand_seed in any::<u64>(),
+    ) {
+        // Deterministic slab from the seed (xorshift).
+        let mut s = seed | 1;
+        let mut next = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; s };
+        let words: Vec<u64> = (0..n_rows * wpv).map(|_| next()).collect();
+        let query: Vec<u64> = (0..wpv).map(|_| next()).collect();
+        let mut c = cand_seed | 1;
+        let mut cnext = move || { c ^= c << 13; c ^= c >> 7; c ^= c << 17; c };
+        let candidates: Vec<u32> =
+            (0..n_rows * 2).map(|_| (cnext() % n_rows as u64) as u32).collect();
+
+        let expect: Vec<u32> = candidates
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let s = id as usize * wpv;
+                hamming_within(&words[s..s + wpv], &query, tau).is_some()
+            })
+            .collect();
+        let mut got = Vec::new();
+        verify_candidates(&words, wpv, &query, tau, &candidates, &mut got);
+        prop_assert_eq!(&got, &expect);
+        let mut portable = Vec::new();
+        verify_candidates_portable(&words, wpv, &query, tau, &candidates, &mut portable);
+        prop_assert_eq!(&portable, &expect);
+    }
+}
+
+#[test]
+fn empty_slices_and_empty_candidates() {
+    assert_eq!(hamming(&[], &[]), 0);
+    assert_eq!(hamming_within(&[], &[], 0), Some(0));
+    let mut out = Vec::new();
+    verify_candidates(&[1, 2, 3, 4], 2, &[0, 0], 128, &[], &mut out);
+    assert!(out.is_empty());
+}
+
+#[test]
+fn simd_report_matches_compile_config() {
+    // `simd_active()` may only ever be true when the feature is on.
+    let active = hamming_core::distance::simd_active();
+    let compiled = cfg!(feature = "simd");
+    assert!(!active || compiled, "simd_active() true without the feature compiled in");
+}
