@@ -12,6 +12,7 @@ pub mod hotpath;
 pub mod msweep;
 pub mod mutations;
 pub mod netload;
+pub mod obs;
 pub mod partitioning;
 pub mod scalecheck;
 pub mod scaling;
@@ -42,6 +43,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "hotpath",
     "mutations",
     "netload",
+    "obs",
     "all",
 ];
 
@@ -67,6 +69,7 @@ pub fn dispatch(exp: &str, scale: Scale) -> bool {
         "hotpath" => hotpath::run(scale),
         "mutations" => mutations::run(scale),
         "netload" => netload::run(scale),
+        "obs" => obs::run(scale),
         "all" => {
             for exp in EXPERIMENTS.iter().filter(|&&e| e != "all") {
                 dispatch(exp, scale);

@@ -1,0 +1,193 @@
+//! Observability overhead benchmark: the same query stream pushed
+//! through an in-process [`QueryService`] under three tracing policies —
+//! disabled, sampled (1 in 64), and always-on — with QPS and the
+//! overhead relative to the disabled baseline written to
+//! `BENCH_obs.json`.
+//!
+//! Companion to `netload` (network path) and `hotpath` (engine path):
+//! this pins the cost of the gph-obs layer itself. The ISSUE's
+//! acceptance bar is ≤ 5% QPS overhead for sampled tracing at a rate of
+//! 1/64 or coarser; the measured percentages land in the report so CI
+//! artifacts track it run over run (the job does not hard-assert a
+//! noisy ratio). One query per run is cross-checked against a
+//! brute-force scan so a correctness regression fails the job rather
+//! than skewing a number.
+
+use crate::util::prepare;
+use crate::Scale;
+use datagen::Profile;
+use gph::engine::GphConfig;
+use gph_obs::TraceConfig;
+use gph_serve::{QueryService, ServiceConfig, ShardedIndex};
+use hamming_core::Dataset;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shards behind the service.
+const SHARDS: usize = 2;
+/// Threshold the query stream uses.
+const TAU: u32 = 16;
+/// Queries per submitted batch (one service job).
+const BATCH: usize = 16;
+/// Interleaved measurement rounds per policy (see `run_inner`).
+const ROUNDS: u64 = 10;
+
+/// The swept tracing policies: `(label, sample_every)`.
+const POLICIES: [(&str, u64); 3] = [("off", 0), ("sampled_64", 64), ("always", 1)];
+
+/// Runs the sweep and writes the JSON report to `BENCH_OBS_OUT`
+/// (default `BENCH_obs.json`); any failure panics, which is what the CI
+/// job wants to fail on.
+pub fn run(scale: Scale) {
+    let profile = Profile::synthetic_gamma(0.25);
+    let qs = prepare(&profile, scale, 0x0B5E11);
+    run_inner(&qs.data, &qs.queries, scale);
+}
+
+struct PolicyResult {
+    label: &'static str,
+    sample_every: u64,
+    queries: u64,
+    qps: f64,
+    overhead_pct: f64,
+    slow_ring: usize,
+}
+
+/// Pushes `n` queries through the service in `BATCH`-sized jobs,
+/// asserting every one executes; returns the count pushed.
+fn run_stream(service: &QueryService, queries: &Dataset, n: u64) -> u64 {
+    let mut tickets = Vec::new();
+    let mut submitted = 0u64;
+    while submitted < n {
+        let chunk: Vec<&[u64]> = (0..BATCH)
+            .take((n - submitted) as usize)
+            .map(|j| queries.row(((submitted + j as u64) % queries.len() as u64) as usize))
+            .collect();
+        submitted += chunk.len() as u64;
+        tickets.push(service.submit_batch(&chunk, TAU));
+    }
+    for t in tickets {
+        for resp in t.wait() {
+            assert!(resp.ids().is_some(), "obs: every query executes");
+        }
+    }
+    submitted
+}
+
+fn run_inner(data: &Dataset, queries: &Dataset, scale: Scale) {
+    let cfg = GphConfig::new(GphConfig::suggested_m(data.dim()), TAU as usize);
+    let t_build = Instant::now();
+    let index = Arc::new(ShardedIndex::build(data, SHARDS, &cfg).expect("obs: build"));
+    let build_s = t_build.elapsed().as_secs_f64();
+
+    // Correctness gate before the clock starts: one serviced query must
+    // equal a brute-force scan.
+    let probe = queries.row(0);
+    let expect: Vec<u32> = (0..data.len())
+        .filter(|&i| hamming_core::distance::hamming_within(data.row(i), probe, TAU).is_some())
+        .map(|i| i as u32)
+        .collect();
+    // Queries are cheap here (no network hop), so run plenty of them —
+    // the off-vs-sampled delta is small and drowns in noise on short
+    // runs.
+    let total_queries = (scale.base_rows * 2).max(6_000) as u64;
+
+    // One service per policy, all alive at once; the measured stream is
+    // split into rounds that cycle through the policies, so slow drift
+    // on the host (thermal, co-tenants) hits every policy alike instead
+    // of whichever happened to run last. Caching off: a benchmark over
+    // a small repeated query set would otherwise measure the LRU, not
+    // the tracing overhead.
+    let services: Vec<QueryService> = POLICIES
+        .iter()
+        .map(|&(_, sample_every)| {
+            QueryService::new(
+                Arc::clone(&index),
+                ServiceConfig {
+                    cache_capacity: 0,
+                    trace: TraceConfig { sample_every, ..TraceConfig::default() },
+                    ..ServiceConfig::default()
+                },
+            )
+        })
+        .collect();
+    for service in &services {
+        let got = service.query(probe, TAU);
+        assert_eq!(
+            got.ids().expect("obs: probe query executes"),
+            expect.as_slice(),
+            "obs: service path diverged from the brute-force scan"
+        );
+        // Warm-up: fault in the index and settle each worker pool
+        // before any clock starts.
+        run_stream(service, queries, (total_queries / 10).max(64));
+    }
+
+    let per_round = (total_queries / ROUNDS).max(BATCH as u64);
+    let mut elapsed = [0f64; POLICIES.len()];
+    let mut ran = [0u64; POLICIES.len()];
+    for _ in 0..ROUNDS {
+        for (p, service) in services.iter().enumerate() {
+            let t0 = Instant::now();
+            ran[p] += run_stream(service, queries, per_round);
+            elapsed[p] += t0.elapsed().as_secs_f64();
+        }
+    }
+    let mut results: Vec<PolicyResult> = Vec::new();
+    for (p, &(label, sample_every)) in POLICIES.iter().enumerate() {
+        let qps = ran[p] as f64 / elapsed[p];
+        let baseline = results.first().map_or(qps, |r| r.qps);
+        results.push(PolicyResult {
+            label,
+            sample_every,
+            queries: ran[p],
+            qps,
+            overhead_pct: (baseline / qps - 1.0) * 100.0,
+            slow_ring: services[p].tracer().slow_queries().len(),
+        });
+    }
+    // Sanity on the mechanism itself, independent of timing noise: the
+    // always-on run must have captured traces, the disabled run none.
+    assert_eq!(results[0].slow_ring, 0, "obs: tracing off must capture nothing");
+    assert!(results[2].slow_ring > 0, "obs: always-on tracing must fill the slow ring");
+    for service in services {
+        service.shutdown();
+    }
+
+    let policy_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"policy\": \"{}\", \"sample_every\": {}, \"queries\": {}, \
+                 \"qps\": {:.1}, \"overhead_pct\": {:.2}}}",
+                r.label, r.sample_every, r.queries, r.qps, r.overhead_pct
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"obs\",\n  \"rows\": {},\n  \"dims\": {},\n  \
+         \"shards\": {},\n  \"tau\": {},\n  \"batch\": {},\n  \"rounds\": {},\n  \
+         \"build_s\": {:.4},\n  \"policies\": [\n{}\n  ]\n}}\n",
+        data.len(),
+        data.dim(),
+        SHARDS,
+        TAU,
+        BATCH,
+        ROUNDS,
+        build_s,
+        policy_json.join(",\n"),
+    );
+    let out = std::env::var("BENCH_OBS_OUT").unwrap_or_else(|_| "BENCH_obs.json".into());
+    std::fs::write(&out, &json).expect("obs: write report");
+
+    println!("## obs ({} rows, tau {TAU}, tracing overhead)\n", data.len());
+    println!("| policy | sample 1-in | queries | QPS | overhead vs off |");
+    println!("|---|---|---|---|---|");
+    for r in &results {
+        println!(
+            "| {} | {} | {} | {:.0} | {:+.2}% |",
+            r.label, r.sample_every, r.queries, r.qps, r.overhead_pct
+        );
+    }
+    println!("\nreport written to {out}");
+}

@@ -31,6 +31,7 @@
 use crate::engine::{Gph, GphConfig, QueryStats};
 use crate::snapshot::{decode_gph_config, encode_gph_config};
 use bytes::BufMut;
+use gph_obs::{PhaseNanos, SegmentTrace};
 use hamming_core::error::{HammingError, Result};
 use hamming_core::io::{ByteReader, SectionReader, SectionWriter};
 use hamming_core::tombstone::Tombstones;
@@ -505,10 +506,24 @@ impl SegmentedGph {
     /// segments. `thresholds` is left empty: each segment allocates its
     /// own vector, so no single allocation describes the query.
     pub fn search_with_stats(&self, query: &[u64], tau: u32) -> (Vec<u32>, QueryStats) {
+        self.search_with_trace(query, tau, None)
+    }
+
+    /// [`SegmentedGph::search_with_stats`] with an optional trace sink:
+    /// when `sink` is `Some`, one [`SegmentTrace`] per sealed segment
+    /// (plus one for the memtable scan, tagged
+    /// [`gph_obs::trace::MEMTABLE_SEGMENT`]) is appended to it. The
+    /// `None` path costs one branch per segment — tracing off is free.
+    pub fn search_with_trace(
+        &self,
+        query: &[u64],
+        tau: u32,
+        mut sink: Option<&mut Vec<SegmentTrace>>,
+    ) -> (Vec<u32>, QueryStats) {
         self.assert_query(query, tau);
         let mut out = Vec::new();
         let mut agg = QueryStats::default();
-        for seg in &self.sealed {
+        for (seg_idx, seg) in self.sealed.iter().enumerate() {
             let res = seg.engine.search_with_stats(query, tau);
             agg.alloc_ns += res.stats.alloc_ns;
             agg.enumerate_ns += res.stats.enumerate_ns;
@@ -519,6 +534,9 @@ impl SegmentedGph {
             agg.n_scanned += res.stats.n_scanned;
             agg.n_candidates += res.stats.n_candidates;
             agg.estimated_cost += res.stats.estimated_cost;
+            if let Some(traces) = sink.as_deref_mut() {
+                traces.push(Self::trace_of(seg_idx as u32, seg.engine.data().len(), &res.stats));
+            }
             for local in res.ids {
                 if !seg.dead.is_dead(local as usize) {
                     out.push(seg.ids[local as usize]);
@@ -526,20 +544,59 @@ impl SegmentedGph {
             }
         }
         let t = std::time::Instant::now();
+        let mut mem_rows = 0u64;
+        let mut mem_results = 0u64;
         for row in self.mem.dead.iter_live() {
             // Memtable rows are found by scanning, not by index probes:
             // they count toward both `n_scanned` and `n_candidates`.
-            agg.n_scanned += 1;
-            agg.n_candidates += 1;
+            mem_rows += 1;
             if hamming_core::distance::hamming_within(self.mem.data.row(row), query, tau).is_some()
             {
                 out.push(self.mem.ids[row]);
+                mem_results += 1;
             }
         }
-        agg.verify_ns += t.elapsed().as_nanos() as u64;
+        agg.n_scanned += mem_rows;
+        agg.n_candidates += mem_rows;
+        let scan_ns = t.elapsed().as_nanos() as u64;
+        agg.verify_ns += scan_ns;
+        if let Some(traces) = sink {
+            traces.push(SegmentTrace {
+                segment: gph_obs::trace::MEMTABLE_SEGMENT,
+                rows: mem_rows,
+                phases: PhaseNanos { scan_ns, ..PhaseNanos::default() },
+                n_scanned: mem_rows,
+                n_candidates: mem_rows,
+                n_results: mem_results,
+                ..SegmentTrace::default()
+            });
+        }
         out.sort_unstable();
         agg.n_results = out.len() as u64;
         (out, agg)
+    }
+
+    /// Maps one sealed engine's [`QueryStats`] onto a trace entry. The
+    /// engine's candidate-generation time (probe + dedup, or the scan
+    /// fallback when the signature ball outgrows the segment) lands in
+    /// `probe_ns`; memtable scans are traced separately under `scan_ns`.
+    fn trace_of(segment: u32, rows: usize, st: &QueryStats) -> SegmentTrace {
+        SegmentTrace {
+            segment,
+            rows: rows as u64,
+            phases: PhaseNanos {
+                alloc_ns: st.alloc_ns,
+                enumerate_ns: st.enumerate_ns,
+                probe_ns: st.candgen_ns,
+                verify_ns: st.verify_ns,
+                scan_ns: 0,
+            },
+            n_signatures: st.n_signatures,
+            sum_postings: st.sum_postings,
+            n_scanned: st.n_scanned,
+            n_candidates: st.n_candidates,
+            n_results: st.n_results,
+        }
     }
 
     /// Live rows within `tau` of `query` as `(id, distance)` pairs,

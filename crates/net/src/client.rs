@@ -18,6 +18,7 @@ use crate::protocol::{
 };
 use crate::NetError;
 use crossbeam::channel;
+use gph_obs::QueryTrace;
 use gph_serve::ServiceSnapshotStats;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -84,6 +85,17 @@ pub enum BatchEntry {
     },
     /// The server shed this query under load.
     Overloaded,
+}
+
+/// A traced range-search result: the hits plus the query's own
+/// per-phase execution trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TracedResult {
+    /// The search outcome.
+    pub result: RangeResult,
+    /// The query's per-phase trace. `None` only if the server elided it
+    /// (current servers always attach one to executed searches).
+    pub trace: Option<QueryTrace>,
 }
 
 /// The server's `Stats` reply: index shape plus service counters.
@@ -324,6 +336,22 @@ fn expect_mutation(resp: Response) -> Result<WireMutation, NetError> {
     }
 }
 
+fn expect_traced(resp: Response) -> Result<TracedResult, NetError> {
+    match resp {
+        Response::TracedSearch { entry, trace } => {
+            Ok(TracedResult { result: range_result(entry)?, trace })
+        }
+        other => unexpected(&other),
+    }
+}
+
+fn expect_metrics(resp: Response) -> Result<String, NetError> {
+    match resp {
+        Response::Metrics { text } => Ok(text),
+        other => unexpected(&other),
+    }
+}
+
 fn expect_stats(resp: Response) -> Result<RemoteStats, NetError> {
     match resp {
         Response::Stats { rows, dim, tau_max, shards, stats } => {
@@ -405,6 +433,22 @@ impl GphClient {
         self.submit_search(query, tau)?.wait()
     }
 
+    /// Pipelined traced range search: the server always runs the traced
+    /// engine path (bypassing its result cache) and returns the query's
+    /// own per-phase [`QueryTrace`] with the hits.
+    pub fn submit_search_traced(
+        &self,
+        query: &[u64],
+        tau: u32,
+    ) -> Result<NetTicket<TracedResult>, NetError> {
+        self.submit(&Request::TracedSearch { tau, query: query.to_vec() }, expect_traced)
+    }
+
+    /// Traced range search (submit + wait).
+    pub fn search_traced(&self, query: &[u64], tau: u32) -> Result<TracedResult, NetError> {
+        self.submit_search_traced(query, tau)?.wait()
+    }
+
     /// Pipelined top-k search.
     pub fn submit_topk(&self, query: &[u64], k: usize) -> Result<NetTicket<TopKResult>, NetError> {
         self.submit(&Request::TopK { k: k as u32, query: query.to_vec() }, expect_topk)
@@ -473,5 +517,10 @@ impl GphClient {
     /// Fetches the server's index shape and service counters.
     pub fn stats(&self) -> Result<RemoteStats, NetError> {
         self.submit(&Request::Stats, expect_stats)?.wait()
+    }
+
+    /// Fetches the server's Prometheus text exposition.
+    pub fn metrics(&self) -> Result<String, NetError> {
+        self.submit(&Request::Metrics, expect_metrics)?.wait()
     }
 }

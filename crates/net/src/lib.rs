@@ -35,6 +35,7 @@ pub mod server;
 
 pub use client::{
     BatchEntry, ClientConfig, GphClient, NetTicket, RangeResult, RemoteStats, TopKResult,
+    TracedResult,
 };
 pub use protocol::{Message, Request, Response, SearchEntry, WireError, WireMutation};
 pub use server::{NetServer, NetServerStats, ServerConfig};

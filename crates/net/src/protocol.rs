@@ -24,6 +24,7 @@
 //! the input byte-for-byte, which the protocol property tests pin down.
 
 use crate::NetError;
+use gph_obs::QueryTrace;
 use gph_serve::ServiceSnapshotStats;
 use hamming_core::io::{ByteReader, Crc32};
 use std::io::Read;
@@ -60,6 +61,10 @@ pub const OP_UPSERT: u8 = 0x07;
 pub const OP_STATS: u8 = 0x08;
 /// Op code for [`Response::Mutation`] (answers insert/delete/upsert).
 pub const OP_MUTATION: u8 = 0x09;
+/// Op code for [`Request::Metrics`] / [`Response::Metrics`].
+pub const OP_METRICS: u8 = 0x0A;
+/// Op code for [`Request::TracedSearch`] / [`Response::TracedSearch`].
+pub const OP_TRACED_SEARCH: u8 = 0x0B;
 /// Op code for [`Response::Error`].
 pub const OP_ERROR: u8 = 0x7F;
 
@@ -111,6 +116,16 @@ pub enum Request {
     },
     /// Fetch the server's index shape and service counters.
     Stats,
+    /// Fetch the server's full Prometheus text exposition.
+    Metrics,
+    /// Range search that always runs traced and returns its own
+    /// per-phase [`QueryTrace`] alongside the results.
+    TracedSearch {
+        /// Hamming threshold.
+        tau: u32,
+        /// The query's raw words.
+        query: Vec<u64>,
+    },
 }
 
 /// One range-search outcome, used standalone ([`Response::Search`]) and
@@ -239,6 +254,19 @@ pub enum Response {
         /// Service + cache + admission counters.
         stats: ServiceSnapshotStats,
     },
+    /// Answer to [`Request::Metrics`]: the Prometheus text exposition.
+    Metrics {
+        /// Exposition-format metrics text.
+        text: String,
+    },
+    /// Answer to [`Request::TracedSearch`].
+    TracedSearch {
+        /// The search outcome, as for [`Response::Search`].
+        entry: SearchEntry,
+        /// The query's own per-phase trace; present exactly when the
+        /// search reached the engine ([`SearchEntry::Ids`]).
+        trace: Option<QueryTrace>,
+    },
     /// A typed error.
     Error(WireError),
 }
@@ -290,6 +318,8 @@ fn request_opcode(req: &Request) -> u8 {
         Request::Delete { .. } => OP_DELETE,
         Request::Upsert { .. } => OP_UPSERT,
         Request::Stats => OP_STATS,
+        Request::Metrics => OP_METRICS,
+        Request::TracedSearch { .. } => OP_TRACED_SEARCH,
     }
 }
 
@@ -301,14 +331,16 @@ fn response_opcode(resp: &Response) -> u8 {
         Response::Batch(_) => OP_BATCH,
         Response::Mutation(_) => OP_MUTATION,
         Response::Stats { .. } => OP_STATS,
+        Response::Metrics { .. } => OP_METRICS,
+        Response::TracedSearch { .. } => OP_TRACED_SEARCH,
         Response::Error(_) => OP_ERROR,
     }
 }
 
 fn encode_request_payload(req: &Request, buf: &mut Vec<u8>) {
     match req {
-        Request::Ping | Request::Stats => {}
-        Request::Search { tau, query } => {
+        Request::Ping | Request::Stats | Request::Metrics => {}
+        Request::Search { tau, query } | Request::TracedSearch { tau, query } => {
             put_u32(buf, *tau);
             put_u32(buf, query.len() as u32);
             put_words(buf, query);
@@ -403,6 +435,17 @@ fn encode_response_payload(resp: &Response, buf: &mut Vec<u8>) {
             put_u32(buf, *shards);
             stats.encode_into(buf);
         }
+        Response::Metrics { text } => put_str(buf, text),
+        Response::TracedSearch { entry, trace } => {
+            encode_search_entry(entry, buf);
+            match trace {
+                Some(t) => {
+                    buf.push(1);
+                    t.encode_into(buf);
+                }
+                None => buf.push(0),
+            }
+        }
         Response::Error(err) => {
             buf.extend_from_slice(&err.code().to_le_bytes());
             match err {
@@ -486,10 +529,16 @@ fn decode_request_payload(opcode: u8, payload: &[u8]) -> Result<Request, NetErro
     let req = match opcode {
         OP_PING => Request::Ping,
         OP_STATS => Request::Stats,
-        OP_SEARCH => {
+        OP_METRICS => Request::Metrics,
+        OP_SEARCH | OP_TRACED_SEARCH => {
             let tau = r.u32("search tau")?;
             let n = r.u32("search words")? as usize;
-            Request::Search { tau, query: read_words(&mut r, n, "search query")? }
+            let query = read_words(&mut r, n, "search query")?;
+            if opcode == OP_SEARCH {
+                Request::Search { tau, query }
+            } else {
+                Request::TracedSearch { tau, query }
+            }
         }
         OP_TOPK => {
             let k = r.u32("topk k")?;
@@ -611,6 +660,16 @@ fn decode_response_payload(opcode: u8, payload: &[u8]) -> Result<Response, NetEr
             shards: r.u32("stats shards")?,
             stats: ServiceSnapshotStats::decode_from(&mut r)?,
         },
+        OP_METRICS => Response::Metrics { text: read_str(&mut r, "metrics text")? },
+        OP_TRACED_SEARCH => {
+            let entry = decode_search_entry(&mut r)?;
+            let trace = match r.u8("trace tag")? {
+                0 => None,
+                1 => Some(QueryTrace::decode_from(&mut r)?),
+                other => return Err(proto_err(format!("unknown trace tag {other}"))),
+            };
+            Response::TracedSearch { entry, trace }
+        }
         OP_ERROR => {
             let code = u16::from_le_bytes([r.u8("error code")?, r.u8("error code")?]);
             let err = match code {
@@ -791,6 +850,8 @@ mod tests {
         roundtrip_request(5, Request::Insert { id: 42, row: vec![9] });
         roundtrip_request(6, Request::Delete { id: 42 });
         roundtrip_request(u64::MAX, Request::Upsert { id: 0, row: vec![] });
+        roundtrip_request(8, Request::Metrics);
+        roundtrip_request(9, Request::TracedSearch { tau: 8, query: vec![0xDEAD, 0xBEEF] });
     }
 
     #[test]
@@ -840,6 +901,49 @@ mod tests {
                 tau_max: 16,
                 shards: 4,
                 stats: Default::default(),
+            },
+        );
+        roundtrip_response(
+            11,
+            Response::Metrics { text: "# HELP gph_up Up.\n# TYPE gph_up gauge\ngph_up 1\n".into() },
+        );
+        let trace = QueryTrace {
+            tau: 6,
+            total_ns: 12_000,
+            shards: vec![gph_obs::ShardTrace {
+                shard: 0,
+                total_ns: 9_000,
+                segments: vec![gph_obs::SegmentTrace {
+                    segment: 0,
+                    rows: 128,
+                    phases: gph_obs::PhaseNanos {
+                        alloc_ns: 10,
+                        verify_ns: 20,
+                        ..Default::default()
+                    },
+                    n_candidates: 7,
+                    n_results: 2,
+                    ..Default::default()
+                }],
+            }],
+        };
+        roundtrip_response(
+            12,
+            Response::TracedSearch {
+                entry: SearchEntry::Ids {
+                    ids: vec![3, 8],
+                    tau: 6,
+                    degraded_from: None,
+                    from_cache: false,
+                },
+                trace: Some(trace),
+            },
+        );
+        roundtrip_response(
+            13,
+            Response::TracedSearch {
+                entry: SearchEntry::Rejected { estimated_cost: 9.0, budget: 1.0 },
+                trace: None,
             },
         );
         for err in [

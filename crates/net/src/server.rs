@@ -97,6 +97,8 @@ enum Pending {
     Immediate(u64, Response),
     /// A single range search in flight.
     Range(u64, Ticket),
+    /// A traced range search in flight; its response carries the trace.
+    Traced(u64, Ticket),
     /// A batch of range searches in flight.
     Batch(u64, Ticket),
     /// A top-k search in flight.
@@ -411,6 +413,21 @@ fn handle_request(
         Request::Delete { id: rec } => {
             Pending::Immediate(id, mutation_response(service.delete(rec)))
         }
+        Request::Metrics => {
+            Pending::Immediate(id, Response::Metrics { text: service.metrics_text() })
+        }
+        Request::TracedSearch { tau, query } => {
+            if query.len() != expected_words {
+                return unsupported(format!(
+                    "query has {} words, index needs {expected_words}",
+                    query.len()
+                ));
+            }
+            if tau > tau_max {
+                return unsupported(format!("tau {tau} exceeds the index tau_max {tau_max}"));
+            }
+            Pending::Traced(id, service.submit_traced(&query, tau))
+        }
     }
 }
 
@@ -486,6 +503,30 @@ fn resolve(pending: Pending) -> (u64, Response) {
                 None => Response::Error(WireError::ShuttingDown),
                 Some(r) => match &r.outcome {
                     Outcome::Ids { .. } => Response::Search(range_entry(r)),
+                    Outcome::Rejected { estimated_cost, budget } => {
+                        Response::Error(WireError::Rejected {
+                            estimated_cost: *estimated_cost,
+                            budget: *budget,
+                        })
+                    }
+                    Outcome::Overloaded => Response::Error(WireError::Overloaded),
+                    Outcome::Dropped => Response::Error(WireError::ShuttingDown),
+                    Outcome::TopK { .. } => {
+                        unreachable!("range submissions never produce top-k outcomes")
+                    }
+                },
+            };
+            (id, resp)
+        }
+        Pending::Traced(id, ticket) => {
+            let responses = ticket.wait();
+            let resp = match responses.first() {
+                None => Response::Error(WireError::ShuttingDown),
+                Some(r) => match &r.outcome {
+                    Outcome::Ids { .. } => Response::TracedSearch {
+                        entry: range_entry(r),
+                        trace: r.trace.as_deref().cloned(),
+                    },
                     Outcome::Rejected { estimated_cost, budget } => {
                         Response::Error(WireError::Rejected {
                             estimated_cost: *estimated_cost,

@@ -179,6 +179,55 @@ fn check_search(service: &QueryService, ds: &Dataset, qi: usize, remote: gph_net
     assert_eq!(remote.degraded_from, None);
 }
 
+/// The ISSUE's acceptance check: a traced network query returns its own
+/// per-phase trace whose phase-time sum fits inside the measured
+/// end-to-end latency, and a Metrics scrape over the wire parses as
+/// Prometheus text containing the core series.
+#[test]
+fn traced_search_and_metrics_over_the_wire() {
+    let (index, ds) = fixture(400, 46);
+    let service = Arc::new(QueryService::new(Arc::clone(&index), ServiceConfig::default()));
+    let server =
+        NetServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default()).unwrap();
+    let client = GphClient::connect(server.local_addr()).unwrap();
+
+    for qi in [0usize, 31, 77] {
+        let t0 = std::time::Instant::now();
+        let traced = client.search_traced(ds.row(qi), TAU).unwrap();
+        let e2e_ns = t0.elapsed().as_nanos() as u64;
+        assert_eq!(traced.result.ids, index.search(ds.row(qi), TAU), "query {qi}");
+        let trace = traced.trace.expect("executed traced searches carry a trace");
+        assert_eq!(trace.tau, TAU);
+        assert_eq!(trace.shards.len(), index.num_shards());
+        let phase_sum = trace.phase_totals().total();
+        assert!(
+            phase_sum <= trace.total_ns && trace.total_ns <= e2e_ns,
+            "phase sum {phase_sum} ≤ engine wall {} ≤ end-to-end {e2e_ns}",
+            trace.total_ns
+        );
+    }
+    // Traced searches bypass the cache on lookup but still store, so a
+    // plain repeat of the same query is a hit.
+    assert!(client.search(ds.row(0), TAU).unwrap().from_cache);
+
+    let text = client.metrics().unwrap();
+    for series in [
+        "# TYPE gph_responses_total counter",
+        "# TYPE gph_latency_ns summary",
+        "# TYPE gph_cache_hits gauge",
+        "gph_index_rows 400",
+        "gph_index_shards 3",
+        "gph_query_phase_ns{phase=\"verify\",quantile=\"0.99\"}",
+    ] {
+        assert!(text.contains(series), "exposition missing {series:?}:\n{text}");
+    }
+    // Every non-comment line is `name{labels} value` with a finite value.
+    for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(value.parse::<f64>().unwrap().is_finite(), "bad sample line {line:?}");
+    }
+}
+
 #[test]
 fn admission_rejections_travel_as_typed_error_frames() {
     let (index, ds) = fixture(200, 43);

@@ -37,6 +37,7 @@ fn stats_from_seed(seed: u64) -> ServiceSnapshotStats {
             latency_mean_ns: next() as f64 / 64.0,
             latency_max_ns: next(),
             candidates_per_query: next() as f64 / 32.0,
+            scanned_per_query: next() as f64 / 24.0,
             results_per_query: next() as f64 / 16.0,
         },
         cache: CacheStats {
@@ -53,7 +54,7 @@ fn stats_from_seed(seed: u64) -> ServiceSnapshotStats {
 fn request_strategy() -> impl Strategy<Value = Request> {
     let batch = (1usize..=4, 1usize..=4)
         .prop_flat_map(|(n, w)| prop::collection::vec(prop::collection::vec(any::<u64>(), w), n));
-    ((0u8..8, any::<u32>(), any::<u32>()), words(5), batch).prop_map(|((tag, a, b), q, qs)| {
+    ((0u8..10, any::<u32>(), any::<u32>()), words(5), batch).prop_map(|((tag, a, b), q, qs)| {
         match tag {
             0 => Request::Ping,
             1 => Request::Search { tau: a, query: q },
@@ -62,6 +63,8 @@ fn request_strategy() -> impl Strategy<Value = Request> {
             4 => Request::Insert { id: b, row: q },
             5 => Request::Delete { id: b },
             6 => Request::Upsert { id: b, row: q },
+            7 => Request::Metrics,
+            8 => Request::TracedSearch { tau: a, query: q },
             _ => Request::Stats,
         }
     })
@@ -81,9 +84,43 @@ fn entry_strategy() -> impl Strategy<Value = SearchEntry> {
         })
 }
 
+/// Deterministic query trace from one seed, exercising multiple shards,
+/// segments, and the memtable sentinel.
+fn trace_from_seed(seed: u64) -> gph_obs::QueryTrace {
+    let mut x = seed;
+    let mut next = move || {
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        x >> 17
+    };
+    let mut shards = Vec::new();
+    for shard in 0..(seed % 3) as u32 {
+        let mut segments = Vec::new();
+        for segment in 0..(next() % 3) as u32 {
+            segments.push(gph_obs::SegmentTrace {
+                segment: if segment == 2 { gph_obs::trace::MEMTABLE_SEGMENT } else { segment },
+                rows: next(),
+                phases: gph_obs::PhaseNanos {
+                    alloc_ns: next(),
+                    enumerate_ns: next(),
+                    probe_ns: next(),
+                    verify_ns: next(),
+                    scan_ns: next(),
+                },
+                n_signatures: next(),
+                sum_postings: next(),
+                n_scanned: next(),
+                n_candidates: next(),
+                n_results: next(),
+            });
+        }
+        shards.push(gph_obs::ShardTrace { shard, total_ns: next(), segments });
+    }
+    gph_obs::QueryTrace { tau: (seed % 31) as u32, total_ns: next(), shards }
+}
+
 fn response_strategy() -> impl Strategy<Value = Response> {
     (
-        (0u8..7, any::<u64>(), any::<bool>(), any::<bool>()),
+        (0u8..9, any::<u64>(), any::<bool>(), any::<bool>()),
         entry_strategy(),
         prop::collection::vec(entry_strategy(), 0..4),
         prop::collection::vec((any::<u32>(), any::<u32>()), 0..6),
@@ -107,6 +144,10 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                     shards: a ^ b,
                     stats: stats_from_seed(seed),
                 },
+                6 => Response::Metrics {
+                    text: format!("# HELP gph_x_{a} X.\n# TYPE gph_x_{a} counter\ngph_x_{a} {b}\n"),
+                },
+                7 => Response::TracedSearch { entry, trace: flag_a.then(|| trace_from_seed(seed)) },
                 _ => Response::Error(match err_tag {
                     0 => WireError::Malformed(format!("m{a}")),
                     1 => WireError::Unsupported(format!("u{b}")),

@@ -1,0 +1,209 @@
+//! A lock-free log-linear histogram of `u64` observations.
+//!
+//! Promoted from `gph-serve`'s latency histogram and generalized: the
+//! unit is whatever the caller records (the serving layer records
+//! nanoseconds, the tracer records per-phase nanoseconds, counters of
+//! candidates work just as well).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: 16 sub-buckets per power of two (≈ ±6 %
+/// relative error on reported quantiles).
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+/// Values up to `u64::MAX` land in-range; bucket count ≈ 16 · 61 octaves.
+const BUCKETS: usize = SUB * 61;
+
+/// Lock-free log-linear histogram.
+///
+/// HDR-style bucketing: values below 16 map to themselves; larger values
+/// keep their top 4 mantissa bits per octave. Recording is a single
+/// relaxed `fetch_add`. Quantiles report the inclusive lower bound of
+/// the bucket holding the ⌈q·n⌉-th observation, clamped to the observed
+/// maximum so a quantile can never exceed any recorded value.
+pub struct LogHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let octave = 63 - v.leading_zeros();
+        let sub = ((v >> (octave - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        let idx = ((octave - SUB_BITS + 1) as usize) * SUB + sub;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Inclusive lower bound of bucket `idx` (the value quantiles report).
+    fn bucket_floor(idx: usize) -> u64 {
+        if idx < SUB {
+            return idx as u64;
+        }
+        let octave = idx / SUB;
+        let sub = (idx % SUB) as u64;
+        (SUB as u64 + sub) << (octave - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded observations (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Largest recorded observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`): the floor of the bucket holding
+    /// the ⌈q·n⌉-th observation, clamped to [`LogHistogram::max`].
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_floor(idx).min(self.max());
+            }
+        }
+        // Unreachable when counts are quiescent (Σ buckets == n ≥ rank),
+        // but a racing recorder can leave `count` ahead of the buckets.
+        self.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_is_monotone_and_tight() {
+        let mut prev = 0usize;
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 100, 1_000, 65_535, 1 << 30, u64::MAX / 2] {
+            let idx = LogHistogram::bucket_of(v);
+            assert!(idx >= prev || v < 32, "bucket index regressed at {v}");
+            prev = idx;
+            let floor = LogHistogram::bucket_floor(idx);
+            assert!(floor <= v, "floor {floor} above value {v}");
+            // Log-linear guarantee: floor within 1/16 relative error.
+            assert!((v - floor) as f64 <= (v as f64 / 16.0).max(0.0) + 1e-9, "v={v} floor={floor}");
+        }
+    }
+
+    #[test]
+    fn exact_quantiles_on_small_values() {
+        let h = LogHistogram::new();
+        for v in 1..=10u64 {
+            h.record(v); // values < 16 are bucketed exactly
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.max(), 10);
+        assert!((h.mean() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LogHistogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = LogHistogram::new();
+        h.record(12_345);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v <= 12_345, "q={q} reported {v} above the only sample");
+            assert!(v as f64 >= 12_345.0 * (1.0 - 1.0 / 16.0), "q={q} reported {v}, too low");
+        }
+        assert_eq!(h.max(), 12_345);
+        assert!((h.mean() - 12_345.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overflow_bucket_values_return_sane_quantiles() {
+        // Values at the top of the u64 range share the last bucket; the
+        // quantile must stay positive, ≤ max, and within one octave.
+        let h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(u64::MAX / 2 + 1);
+        for q in [0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v <= h.max(), "q={q}: {v} exceeds max {}", h.max());
+            assert!(v >= u64::MAX / 4, "q={q}: {v} collapsed");
+        }
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn skewed_distribution_quantiles() {
+        let h = LogHistogram::new();
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        let p999 = h.quantile(0.999);
+        assert!((937..=1000).contains(&p50), "p50={p50}");
+        assert!((937..=1000).contains(&p99), "p99={p99}");
+        assert!(p999 > 900_000, "p999={p999}");
+    }
+}

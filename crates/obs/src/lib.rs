@@ -1,0 +1,28 @@
+//! `gph-obs`: the observability layer of the GPH suite.
+//!
+//! Three pieces, deliberately dependency-light (only `hamming-core`, for
+//! the shared binary-codec plumbing):
+//!
+//! * [`LogHistogram`] — a lock-free log-linear histogram (promoted and
+//!   generalized from `gph-serve`'s latency histogram) whose quantiles
+//!   carry ≈ ±6 % relative error at any magnitude.
+//! * [`MetricsRegistry`] — a registry of named counters, gauges, and
+//!   histograms. Handles are `Arc`'d atomics, so the hot path never
+//!   takes a lock; [`MetricsRegistry::render`] encodes everything in the
+//!   Prometheus text exposition format.
+//! * [`QueryTrace`] and [`Tracer`] — structured per-query traces: wall
+//!   time and counters for each engine phase, per segment and per shard,
+//!   sampled at a configurable rate, with a fixed-size slow-query ring
+//!   buffer. Traces carry a versioned binary codec so they can travel
+//!   over the `GPHN` wire protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod registry;
+pub mod trace;
+
+pub use hist::LogHistogram;
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use trace::{PhaseNanos, QueryTrace, SegmentTrace, ShardTrace, TraceConfig, Tracer};

@@ -1,0 +1,406 @@
+//! A registry of named metrics with a Prometheus text-format encoder.
+//!
+//! Registration takes a mutex once; the handles it returns
+//! ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`'d atomics, so
+//! recording on the hot path is lock-free. Registering the same
+//! `(name, labels)` pair again returns the existing handle, which keeps
+//! the exposition free of duplicate series by construction.
+
+use crate::hist::LogHistogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (useful in tests).
+    pub fn detached() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that is set, not accumulated.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A gauge not attached to any registry (useful in tests).
+    pub fn detached() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared handle to a [`LogHistogram`], exposed as a Prometheus
+/// summary (p50/p95/p99 + `_sum` + `_count`).
+#[derive(Clone)]
+pub struct Histogram(Arc<LogHistogram>);
+
+impl Histogram {
+    /// A histogram not attached to any registry (useful in tests).
+    pub fn detached() -> Self {
+        Histogram(Arc::new(LogHistogram::new()))
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.0.record(v);
+    }
+
+    /// The underlying histogram (quantiles, mean, max).
+    pub fn inner(&self) -> &LogHistogram {
+        &self.0
+    }
+}
+
+enum Kind {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Kind {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Kind::Counter(_) => "counter",
+            Kind::Gauge(_) => "gauge",
+            Kind::Histogram(_) => "summary",
+        }
+    }
+}
+
+struct Metric {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    kind: Kind,
+}
+
+/// A set of named metrics. Cheap to clone handles out of; rendering
+/// walks every registered series in registration order, grouped by
+/// family name.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<Vec<Metric>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.bytes().enumerate().all(|(i, b)| {
+            b.is_ascii_alphabetic() || b == b'_' || b == b':' || (i > 0 && b.is_ascii_digit())
+        })
+}
+
+fn valid_label_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .enumerate()
+            .all(|(i, b)| b.is_ascii_alphabetic() || b == b'_' || (i > 0 && b.is_ascii_digit()))
+}
+
+/// Escapes a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes HELP text: `\` → `\\`, newline → `\n`.
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Kind,
+    ) -> Kind {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_label_name(k), "invalid label name {k:?}");
+        }
+        let labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        let mut metrics = self.metrics.lock().unwrap();
+        if let Some(existing) = metrics.iter().find(|m| m.name == name && m.labels == labels) {
+            return match &existing.kind {
+                Kind::Counter(c) => Kind::Counter(c.clone()),
+                Kind::Gauge(g) => Kind::Gauge(g.clone()),
+                Kind::Histogram(h) => Kind::Histogram(h.clone()),
+            };
+        }
+        let kind = make();
+        let handle = match &kind {
+            Kind::Counter(c) => Kind::Counter(c.clone()),
+            Kind::Gauge(g) => Kind::Gauge(g.clone()),
+            Kind::Histogram(h) => Kind::Histogram(h.clone()),
+        };
+        metrics.push(Metric { name: name.to_string(), help: help.to_string(), labels, kind });
+        handle
+    }
+
+    /// Registers (or retrieves) a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, labels, || Kind::Counter(Counter::detached())) {
+            Kind::Counter(c) => c,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, labels, || Kind::Gauge(Gauge::detached())) {
+            Kind::Gauge(g) => g,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram series (rendered as a
+    /// Prometheus summary).
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.register(name, help, labels, || Kind::Histogram(Histogram::detached())) {
+            Kind::Histogram(h) => h,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Renders every registered metric in the Prometheus text exposition
+    /// format (version 0.0.4). Series sharing a family name are emitted
+    /// under one `# HELP`/`# TYPE` header, in registration order.
+    pub fn render(&self) -> String {
+        let metrics = self.metrics.lock().unwrap();
+        let mut out = String::with_capacity(256 * metrics.len().max(1));
+        let mut done: Vec<&str> = Vec::new();
+        for (i, m) in metrics.iter().enumerate() {
+            if done.contains(&m.name.as_str()) {
+                continue;
+            }
+            done.push(&m.name);
+            out.push_str(&format!("# HELP {} {}\n", m.name, escape_help(&m.help)));
+            out.push_str(&format!("# TYPE {} {}\n", m.name, m.kind.type_name()));
+            for fam in metrics[i..].iter().filter(|f| f.name == m.name) {
+                match &fam.kind {
+                    Kind::Counter(c) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            fam.name,
+                            render_labels(&fam.labels, None),
+                            c.get()
+                        ));
+                    }
+                    Kind::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            fam.name,
+                            render_labels(&fam.labels, None),
+                            g.get()
+                        ));
+                    }
+                    Kind::Histogram(h) => {
+                        let hist = h.inner();
+                        for (q, tag) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                            out.push_str(&format!(
+                                "{}{} {}\n",
+                                fam.name,
+                                render_labels(&fam.labels, Some(("quantile", tag))),
+                                hist.quantile(q)
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            fam.name,
+                            render_labels(&fam.labels, None),
+                            hist.sum()
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            fam.name,
+                            render_labels(&fam.labels, None),
+                            hist.count()
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn golden_exposition() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("gph_requests_total", "Requests handled.", &[]);
+        c.add(3);
+        let g = r.gauge("gph_cache_len", "Entries resident in the result cache.", &[]);
+        g.set(7);
+        let sharded = r.counter("gph_shard_queries_total", "Per-shard queries.", &[("shard", "0")]);
+        sharded.inc();
+        let h = r.histogram("gph_latency_ns", "End-to-end latency.", &[]);
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        let expect = "\
+# HELP gph_requests_total Requests handled.
+# TYPE gph_requests_total counter
+gph_requests_total 3
+# HELP gph_cache_len Entries resident in the result cache.
+# TYPE gph_cache_len gauge
+gph_cache_len 7
+# HELP gph_shard_queries_total Per-shard queries.
+# TYPE gph_shard_queries_total counter
+gph_shard_queries_total{shard=\"0\"} 1
+# HELP gph_latency_ns End-to-end latency.
+# TYPE gph_latency_ns summary
+gph_latency_ns{quantile=\"0.5\"} 5
+gph_latency_ns{quantile=\"0.95\"} 10
+gph_latency_ns{quantile=\"0.99\"} 10
+gph_latency_ns_sum 55
+gph_latency_ns_count 10
+";
+        assert_eq!(r.render(), expect);
+    }
+
+    #[test]
+    fn families_group_under_one_header() {
+        let r = MetricsRegistry::new();
+        r.counter("gph_shard_rows", "Rows per shard.", &[("shard", "0")]).add(10);
+        r.gauge("gph_other", "Interleaved family.", &[]).set(1);
+        r.counter("gph_shard_rows", "Rows per shard.", &[("shard", "1")]).add(20);
+        let text = r.render();
+        assert_eq!(text.matches("# TYPE gph_shard_rows counter").count(), 1);
+        assert!(text.contains("gph_shard_rows{shard=\"0\"} 10"));
+        assert!(text.contains("gph_shard_rows{shard=\"1\"} 20"));
+    }
+
+    #[test]
+    fn reregistration_returns_the_same_series() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("gph_dup_total", "x", &[]);
+        let b = r.counter("gph_dup_total", "x", &[]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(r.render().matches("\ngph_dup_total 2\n").count(), 1);
+    }
+
+    #[test]
+    fn label_escaping() {
+        let r = MetricsRegistry::new();
+        r.counter("gph_esc_total", "x", &[("path", "a\\b\"c\nd")]).inc();
+        let text = r.render();
+        assert!(text.contains("gph_esc_total{path=\"a\\\\b\\\"c\\nd\"} 1"), "got: {text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_are_rejected() {
+        MetricsRegistry::new().counter("9bad name", "x", &[]);
+    }
+
+    /// Characters a label value may draw from — printable ASCII plus
+    /// everything that needs escaping.
+    const LABEL_CHARS: &[char] = &['a', 'Z', '9', ' ', '{', '}', ',', '=', '\\', '"', '\n'];
+
+    proptest! {
+        /// Every registered series appears exactly once in the
+        /// exposition, with its label value escaped, no matter what the
+        /// label values contain.
+        #[test]
+        fn every_metric_appears_exactly_once(
+            picks in proptest::collection::vec(
+                proptest::collection::vec(0usize..LABEL_CHARS.len(), 0..12),
+                1..8,
+            ),
+        ) {
+            let values: Vec<String> = picks
+                .iter()
+                .map(|idx| idx.iter().map(|&i| LABEL_CHARS[i]).collect())
+                .collect();
+            let r = MetricsRegistry::new();
+            for (i, v) in values.iter().enumerate() {
+                let name = format!("gph_prop_{i}_total");
+                r.counter(&name, "prop series", &[("v", v)]).add(i as u64 + 1);
+            }
+            let text = r.render();
+            for (i, v) in values.iter().enumerate() {
+                let line = format!(
+                    "gph_prop_{i}_total{{v=\"{}\"}} {}\n",
+                    super::escape_label(v),
+                    i + 1
+                );
+                prop_assert_eq!(text.matches(line.as_str()).count(), 1, "series {} in:\n{}", i, text);
+                // No unescaped newline may survive inside a sample line.
+                prop_assert_eq!(
+                    text.matches(&format!("# TYPE gph_prop_{i}_total counter")).count(), 1
+                );
+            }
+        }
+    }
+}

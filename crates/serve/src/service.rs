@@ -14,6 +14,7 @@ use crate::cache::{CacheKey, CacheStats, CachedResult, ResultCache};
 use crate::shard::ShardedIndex;
 use crate::stats::{ServiceMetrics, ServiceSnapshotStats, ServiceStats};
 use crossbeam::channel;
+use gph_obs::{Gauge, MetricsRegistry, QueryTrace, TraceConfig, Tracer};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -30,6 +31,8 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Admission-control knobs.
     pub admission: AdmissionConfig,
+    /// Query-tracing policy (sampling rate, slow-query ring).
+    pub trace: TraceConfig,
 }
 
 impl Default for ServiceConfig {
@@ -39,6 +42,7 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             cache_capacity: 1024,
             admission: AdmissionConfig::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -118,6 +122,9 @@ pub struct Response {
     /// rejections resolve inside `submit`, so theirs measures the
     /// lookup/admission path (sub-microsecond, but real).
     pub latency_ns: u64,
+    /// Per-phase trace, present only for requests submitted through
+    /// [`QueryService::submit_traced`] that reached the engine.
+    pub trace: Option<Box<QueryTrace>>,
 }
 
 impl Response {
@@ -138,6 +145,9 @@ enum Work {
         tau: u32,
         /// Threshold requested (differs when degraded).
         requested_tau: u32,
+        /// Always run the traced search and attach the trace to the
+        /// response (set by [`QueryService::submit_traced`]).
+        want_trace: bool,
     },
     TopK {
         query: Vec<u64>,
@@ -184,9 +194,49 @@ impl Ticket {
                     outcome: Outcome::Dropped,
                     from_cache: false,
                     latency_ns: 0,
+                    trace: None,
                 }),
             })
             .collect()
+    }
+}
+
+/// Gauges refreshed at scrape time from the live snapshots, so the
+/// exposition never lags the counters it sits next to.
+struct ScrapeGauges {
+    cache_hits: Gauge,
+    cache_misses: Gauge,
+    cache_invalidations: Gauge,
+    cache_len: Gauge,
+    cache_capacity: Gauge,
+    admission_admitted: Gauge,
+    admission_degraded: Gauge,
+    admission_rejected: Gauge,
+    index_rows: Gauge,
+    index_shards: Gauge,
+}
+
+impl ScrapeGauges {
+    fn registered(registry: &MetricsRegistry) -> Self {
+        let g = |name: &str, help: &str| registry.gauge(name, help, &[]);
+        ScrapeGauges {
+            cache_hits: g("gph_cache_hits", "Result-cache lookup hits."),
+            cache_misses: g("gph_cache_misses", "Result-cache lookup misses."),
+            cache_invalidations: g(
+                "gph_cache_invalidations",
+                "Whole-cache invalidations triggered by mutations.",
+            ),
+            cache_len: g("gph_cache_len", "Entries currently resident in the result cache."),
+            cache_capacity: g("gph_cache_capacity", "Configured result-cache capacity."),
+            admission_admitted: g("gph_admission_admitted", "Queries admitted at full threshold."),
+            admission_degraded: g(
+                "gph_admission_degraded",
+                "Queries degraded to a cheaper threshold.",
+            ),
+            admission_rejected: g("gph_admission_rejected", "Queries rejected by admission."),
+            index_rows: g("gph_index_rows", "Live rows across every shard."),
+            index_shards: g("gph_index_shards", "Shards in the serving index."),
+        }
     }
 }
 
@@ -195,6 +245,9 @@ struct Shared {
     cache: ResultCache,
     admission: AdmissionController,
     metrics: ServiceMetrics,
+    registry: Arc<MetricsRegistry>,
+    tracer: Tracer,
+    gauges: ScrapeGauges,
 }
 
 /// The serving front end: admission control + result cache in front of a
@@ -245,11 +298,15 @@ impl QueryService {
         } else {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(8)
         };
+        let registry = Arc::new(MetricsRegistry::new());
         let shared = Arc::new(Shared {
             index,
             cache: ResultCache::new(cfg.cache_capacity),
             admission: AdmissionController::new(cfg.admission),
-            metrics: ServiceMetrics::new(),
+            metrics: ServiceMetrics::registered(&registry),
+            tracer: Tracer::new(cfg.trace, &registry),
+            gauges: ScrapeGauges::registered(&registry),
+            registry,
         });
         let (tx, rx) = channel::bounded::<Job>(cfg.queue_capacity.max(1));
         let handles = (0..workers)
@@ -315,6 +372,7 @@ impl QueryService {
                     },
                     from_cache: true,
                     latency_ns,
+                    trace: None,
                 })],
                 rx: None,
             };
@@ -328,6 +386,7 @@ impl QueryService {
                         outcome: Outcome::Rejected { estimated_cost, budget },
                         from_cache: false,
                         latency_ns: submitted.elapsed().as_nanos() as u64,
+                        trace: None,
                     })],
                     rx: None,
                 };
@@ -351,6 +410,50 @@ impl QueryService {
     /// Convenience: submit one top-k query and wait.
     pub fn query_topk(&self, query: &[u64], k: usize) -> Response {
         self.submit_topk(query, k).wait().pop().expect("single submission yields one response")
+    }
+
+    /// Submits one range query that always runs the traced search and
+    /// carries its own [`QueryTrace`] in [`Response::trace`]. The cache
+    /// is bypassed on lookup (a hit would have no trace to return) but
+    /// the result is still stored for later plain queries. Admission
+    /// applies as usual; rejected queries have no trace.
+    pub fn submit_traced(&self, query: &[u64], tau: u32) -> Ticket {
+        let submitted = Instant::now();
+        match self.shared.admission.evaluate(&self.shared.index, query, tau) {
+            AdmissionDecision::Reject { estimated_cost, budget } => Ticket {
+                slots: vec![Slot::Ready(Response {
+                    outcome: Outcome::Rejected { estimated_cost, budget },
+                    from_cache: false,
+                    latency_ns: submitted.elapsed().as_nanos() as u64,
+                    trace: None,
+                })],
+                rx: None,
+            },
+            decision => {
+                let executed = match decision {
+                    AdmissionDecision::Degrade { tau: degraded, .. } => degraded,
+                    _ => tau,
+                };
+                let (reply_tx, reply_rx) = channel::bounded(1);
+                let job = Job {
+                    work: vec![Work::Range {
+                        query: query.to_vec(),
+                        tau: executed,
+                        requested_tau: tau,
+                        want_trace: true,
+                    }],
+                    submitted,
+                    reply: reply_tx,
+                };
+                self.send_blocking(job);
+                Ticket { slots: vec![Slot::Pending(0)], rx: Some(reply_rx) }
+            }
+        }
+    }
+
+    /// Convenience: submit one traced range query and wait.
+    pub fn query_traced(&self, query: &[u64], tau: u32) -> Response {
+        self.submit_traced(query, tau).wait().pop().expect("single submission yields one response")
     }
 
     /// Inserts `row` under `id`. Priced by the admission controller (an
@@ -430,13 +533,19 @@ impl QueryService {
                     },
                     from_cache: true,
                     latency_ns,
+                    trace: None,
                 }));
                 continue;
             }
             match self.shared.admission.evaluate(&self.shared.index, query, tau) {
                 AdmissionDecision::Admit { .. } => {
                     slots.push(Slot::Pending(work.len()));
-                    work.push(Work::Range { query: query.to_vec(), tau, requested_tau: tau });
+                    work.push(Work::Range {
+                        query: query.to_vec(),
+                        tau,
+                        requested_tau: tau,
+                        want_trace: false,
+                    });
                 }
                 AdmissionDecision::Degrade { tau: degraded, .. } => {
                     slots.push(Slot::Pending(work.len()));
@@ -444,6 +553,7 @@ impl QueryService {
                         query: query.to_vec(),
                         tau: degraded,
                         requested_tau: tau,
+                        want_trace: false,
                     });
                 }
                 AdmissionDecision::Reject { estimated_cost, budget } => {
@@ -451,6 +561,7 @@ impl QueryService {
                         outcome: Outcome::Rejected { estimated_cost, budget },
                         from_cache: false,
                         latency_ns: submitted.elapsed().as_nanos() as u64,
+                        trace: None,
                     }));
                 }
             }
@@ -473,6 +584,7 @@ impl QueryService {
                         outcome: Outcome::Overloaded,
                         from_cache: false,
                         latency_ns: submitted.elapsed().as_nanos() as u64,
+                        trace: None,
                     });
                 }
             }
@@ -530,6 +642,36 @@ impl QueryService {
         }
     }
 
+    /// The metrics registry every service counter/histogram lives in.
+    /// Callers may register their own series alongside.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.registry
+    }
+
+    /// The query tracer (sampling state + slow-query ring).
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
+    }
+
+    /// Renders the full Prometheus text exposition: refreshes the
+    /// scrape-time gauges (cache, admission, index shape) from their
+    /// live snapshots, then renders every registered series.
+    pub fn metrics_text(&self) -> String {
+        let cache = self.shared.cache.stats();
+        self.shared.gauges.cache_hits.set(cache.hits);
+        self.shared.gauges.cache_misses.set(cache.misses);
+        self.shared.gauges.cache_invalidations.set(cache.invalidations);
+        self.shared.gauges.cache_len.set(cache.len as u64);
+        self.shared.gauges.cache_capacity.set(cache.capacity as u64);
+        let admission = self.shared.admission.stats();
+        self.shared.gauges.admission_admitted.set(admission.admitted);
+        self.shared.gauges.admission_degraded.set(admission.degraded);
+        self.shared.gauges.admission_rejected.set(admission.rejected);
+        self.shared.gauges.index_rows.set(self.shared.index.len() as u64);
+        self.shared.gauges.index_shards.set(self.shared.index.num_shards() as u64);
+        self.shared.registry.render()
+    }
+
     /// Drains the queue and joins the workers. Called automatically on
     /// drop.
     pub fn shutdown(mut self) {
@@ -562,11 +704,22 @@ fn worker_loop(shared: &Shared, rx: &channel::Receiver<Job>) {
             // instead of resurrecting a stale result.
             let epoch = shared.cache.epoch();
             let response = match work {
-                Work::Range { query, tau, requested_tau } => {
-                    let res = shared.index.search_with_stats(query, *tau);
+                Work::Range { query, tau, requested_tau, want_trace } => {
+                    // Traced either on request or by the sampler; the
+                    // trace feeds the phase histograms and slow-query
+                    // ring either way, but rides the response only when
+                    // the client asked for it.
+                    let (res, trace) = if *want_trace || shared.tracer.should_sample() {
+                        let (res, trace) = shared.index.search_traced(query, *tau);
+                        shared.tracer.record(&trace);
+                        (res, want_trace.then(|| Box::new(trace)))
+                    } else {
+                        (shared.index.search_with_stats(query, *tau), None)
+                    };
                     let candidates: u64 = res.shard_stats.iter().map(|s| s.n_candidates).sum();
+                    let scanned: u64 = res.shard_stats.iter().map(|s| s.n_scanned).sum();
                     let ids = Arc::new(res.ids);
-                    shared.metrics.note_execution(candidates, ids.len() as u64);
+                    shared.metrics.note_execution(candidates, scanned, ids.len() as u64);
                     shared.cache.store_if_current(
                         epoch,
                         CacheKey::Range { query: query.clone(), tau: *requested_tau },
@@ -580,11 +733,12 @@ fn worker_loop(shared: &Shared, rx: &channel::Receiver<Job>) {
                         },
                         from_cache: false,
                         latency_ns: job.submitted.elapsed().as_nanos() as u64,
+                        trace,
                     }
                 }
                 Work::TopK { query, k, tau_cap } => {
                     let hits = Arc::new(shared.index.search_topk_within(query, *k, *tau_cap));
-                    shared.metrics.note_execution(0, hits.len() as u64);
+                    shared.metrics.note_execution(0, 0, hits.len() as u64);
                     shared.cache.store_if_current(
                         epoch,
                         CacheKey::TopK { query: query.clone(), k: *k as u32 },
@@ -598,6 +752,7 @@ fn worker_loop(shared: &Shared, rx: &channel::Receiver<Job>) {
                         },
                         from_cache: false,
                         latency_ns: job.submitted.elapsed().as_nanos() as u64,
+                        trace: None,
                     }
                 }
             };
@@ -923,5 +1078,68 @@ mod tests {
         for t in tickets {
             assert!(t.wait()[0].ids().is_some());
         }
+    }
+
+    #[test]
+    fn traced_query_matches_plain_and_bounds_phase_sum() {
+        let (index, ds) = fixture(400, 215);
+        let service = QueryService::new(Arc::clone(&index), ServiceConfig::default());
+        let q = ds.row(11);
+        let resp = service.query_traced(q, 6);
+        assert!(!resp.from_cache);
+        assert_eq!(resp.ids().unwrap(), index.search(q, 6).as_slice());
+        let trace = resp.trace.as_ref().expect("traced query carries its trace");
+        assert_eq!(trace.tau, 6);
+        assert_eq!(trace.shards.len(), index.num_shards());
+        // Phase work happens inside the traced wall time, which happens
+        // inside the submit → response latency.
+        assert!(trace.phase_totals().total() <= trace.total_ns);
+        assert!(trace.total_ns <= resp.latency_ns);
+        // Plain queries never carry a trace, even after a traced one.
+        assert!(service.query(ds.row(12), 6).trace.is_none());
+    }
+
+    #[test]
+    fn traced_query_bypasses_cache_lookup_but_stores() {
+        let (index, ds) = fixture(300, 216);
+        let service = QueryService::new(index, ServiceConfig::default());
+        let q = ds.row(2);
+        assert!(!service.query(q, 5).from_cache);
+        let traced = service.query_traced(q, 5);
+        assert!(!traced.from_cache, "a cache hit would have no trace");
+        assert!(traced.trace.is_some());
+        assert!(service.query(q, 5).from_cache);
+    }
+
+    #[test]
+    fn sampled_tracing_feeds_histograms_and_slow_ring() {
+        let (index, ds) = fixture(300, 217);
+        let cfg = ServiceConfig {
+            trace: gph_obs::TraceConfig { sample_every: 1, slow_threshold_ns: 0, ring_capacity: 4 },
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        };
+        let service = QueryService::new(index, cfg);
+        for i in 0..6 {
+            assert!(service.query(ds.row(i), 5).trace.is_none(), "sampling is invisible");
+        }
+        let slow = service.tracer().slow_queries();
+        assert_eq!(slow.len(), 4, "ring holds the most recent traces up to capacity");
+        let text = service.metrics_text();
+        assert!(text.contains("gph_query_phase_ns{phase=\"verify\",quantile=\"0.5\"}"));
+    }
+
+    #[test]
+    fn metrics_text_reflects_live_state() {
+        let (index, ds) = fixture(300, 218);
+        let service = QueryService::new(Arc::clone(&index), ServiceConfig::default());
+        service.query(ds.row(0), 5);
+        service.query(ds.row(0), 5);
+        let text = service.metrics_text();
+        assert!(text.contains("\ngph_responses_total 2\n"), "exposition:\n{text}");
+        assert!(text.contains("\ngph_executed_total 1\n"));
+        assert!(text.contains("\ngph_cache_hits 1\n"));
+        assert!(text.contains(&format!("\ngph_index_rows {}\n", index.len())));
+        assert!(text.contains(&format!("\ngph_index_shards {}\n", index.num_shards())));
     }
 }

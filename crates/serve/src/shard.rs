@@ -15,6 +15,7 @@
 
 use gph::engine::{GphConfig, QueryStats};
 use gph::segment::{SegmentConfig, SegmentedGph};
+use gph_obs::{QueryTrace, ShardTrace};
 use hamming_core::error::{HammingError, Result};
 use hamming_core::key::mix64;
 use hamming_core::{words_for, Dataset};
@@ -281,6 +282,33 @@ impl ShardedIndex {
         // dedup.
         ids.sort_unstable();
         ShardedSearchResult { ids, shard_stats }
+    }
+
+    /// [`ShardedIndex::search_with_stats`] plus a structured
+    /// [`QueryTrace`]: per-phase wall time and counters for every
+    /// segment of every shard, shard-local wall clocks, and the total
+    /// scatter-gather wall clock. The untraced path is unchanged — this
+    /// method exists so tracing costs nothing unless asked for.
+    pub fn search_traced(&self, query: &[u64], tau: u32) -> (ShardedSearchResult, QueryTrace) {
+        self.assert_query(query, tau as usize);
+        let t0 = std::time::Instant::now();
+        let per_shard = self.scatter(|engine| {
+            let t = std::time::Instant::now();
+            let mut segments = Vec::new();
+            let (ids, stats) = engine.search_with_trace(query, tau, Some(&mut segments));
+            (ids, stats, segments, t.elapsed().as_nanos() as u64)
+        });
+        let mut ids: Vec<u32> = Vec::new();
+        let mut shard_stats = Vec::with_capacity(per_shard.len());
+        let mut shards = Vec::with_capacity(per_shard.len());
+        for (shard, (shard_ids, stats, segments, shard_ns)) in per_shard.into_iter().enumerate() {
+            ids.extend_from_slice(&shard_ids);
+            shard_stats.push(stats);
+            shards.push(ShardTrace { shard: shard as u32, total_ns: shard_ns, segments });
+        }
+        ids.sort_unstable();
+        let trace = QueryTrace { tau, total_ns: t0.elapsed().as_nanos() as u64, shards };
+        (ShardedSearchResult { ids, shard_stats }, trace)
     }
 
     /// The `k` nearest live records by exact Hamming distance (ties

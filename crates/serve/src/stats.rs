@@ -1,207 +1,148 @@
-//! Service-level metrics: a lock-free log-linear latency histogram, the
-//! aggregate snapshot (QPS, p50/p95/p99, candidates per query), and the
-//! encodable [`ServiceSnapshotStats`] bundle the network `Stats` op and
+//! Service-level metrics: lock-free counters and the latency histogram
+//! (both registered in a `gph-obs` [`MetricsRegistry`]), the aggregate
+//! snapshot (QPS, p50/p95/p99, candidates per query), and the encodable
+//! [`ServiceSnapshotStats`] bundle the network `Stats` op and
 //! `gph-store stats` ship over the wire.
+//!
+//! The log-linear histogram itself lives in `gph-obs` now
+//! ([`gph_obs::LogHistogram`]); [`LatencyHistogram`] remains as an alias
+//! for API compatibility.
 
 use crate::admission::AdmissionStats;
 use crate::cache::CacheStats;
+use gph_obs::{Counter, Histogram, MetricsRegistry};
 use hamming_core::error::Result;
 use hamming_core::io::ByteReader;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Sub-bucket resolution: 16 sub-buckets per power of two (≈ ±6 %
-/// relative error on reported quantiles).
-const SUB_BITS: u32 = 4;
-const SUB: usize = 1 << SUB_BITS;
-/// Values up to 2^63 ns land in-range; bucket count ≈ 16 · 60 octaves.
-const BUCKETS: usize = SUB * 61;
-
-/// Lock-free log-linear histogram of nanosecond latencies.
-///
-/// HDR-style bucketing: values below 16 map to themselves; larger values
-/// keep their top 4 mantissa bits per octave. Recording is a single
-/// relaxed `fetch_add`.
-pub struct LatencyHistogram {
-    buckets: Vec<AtomicU64>,
-    count: AtomicU64,
-    sum_ns: AtomicU64,
-    max_ns: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-            count: AtomicU64::new(0),
-            sum_ns: AtomicU64::new(0),
-            max_ns: AtomicU64::new(0),
-        }
-    }
-
-    fn bucket_of(v: u64) -> usize {
-        if v < SUB as u64 {
-            return v as usize;
-        }
-        let octave = 63 - v.leading_zeros();
-        let sub = ((v >> (octave - SUB_BITS)) & (SUB as u64 - 1)) as usize;
-        let idx = ((octave - SUB_BITS + 1) as usize) * SUB + sub;
-        idx.min(BUCKETS - 1)
-    }
-
-    /// Inclusive lower bound of bucket `idx` (the value quantiles report).
-    fn bucket_floor(idx: usize) -> u64 {
-        if idx < SUB {
-            return idx as u64;
-        }
-        let octave = idx / SUB;
-        let sub = (idx % SUB) as u64;
-        (SUB as u64 + sub) << (octave - 1)
-    }
-
-    /// Records one latency observation.
-    pub fn record(&self, ns: u64) {
-        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
-        self.max_ns.fetch_max(ns, Ordering::Relaxed);
-    }
-
-    /// Observations recorded.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in nanoseconds (0 when empty).
-    pub fn mean_ns(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            0.0
-        } else {
-            self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64
-        }
-    }
-
-    /// Largest recorded latency in nanoseconds.
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns.load(Ordering::Relaxed)
-    }
-
-    /// The `q`-quantile (`0 ≤ q ≤ 1`) in nanoseconds: the floor of the
-    /// bucket holding the ⌈q·n⌉-th observation. Returns 0 when empty.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (idx, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return Self::bucket_floor(idx);
-            }
-        }
-        self.max_ns()
-    }
-}
+/// The service's latency histogram type (promoted into `gph-obs`).
+pub type LatencyHistogram = gph_obs::LogHistogram;
 
 /// Rolling counters owned by the service, aggregated across workers.
+///
+/// Every counter is a `gph-obs` handle; construct with
+/// [`ServiceMetrics::registered`] to expose them through a registry's
+/// Prometheus rendering, or [`ServiceMetrics::new`] for detached
+/// counters (tests, embedded use).
 pub struct ServiceMetrics {
     started: Instant,
     /// Responses produced (cache hits + engine executions; excludes
     /// rejections).
-    responses: AtomicU64,
+    responses: Counter,
     /// Queries executed on the engines (cache misses).
-    executed: AtomicU64,
+    executed: Counter,
     /// Batch jobs processed by workers.
-    batches: AtomicU64,
+    batches: Counter,
     /// Requests shed (resolved as `Overloaded`) on a full queue.
-    queue_rejections: AtomicU64,
+    queue_rejections: Counter,
     /// Mutations applied (inserts + deletes + upserts that changed data).
-    mutations: AtomicU64,
+    mutations: Counter,
     /// Σ candidates verified across executed queries (summed over
     /// shards).
-    candidates: AtomicU64,
+    candidates: Counter,
+    /// Σ rows linear-scanned across executed queries (memtable scans +
+    /// sealed-segment scan fallbacks, summed over shards).
+    scanned: Counter,
     /// Σ results returned across executed queries.
-    results: AtomicU64,
+    results: Counter,
     /// End-to-end latency (submit → response), including queue wait.
-    pub(crate) latency: LatencyHistogram,
+    pub(crate) latency: Histogram,
 }
 
 impl ServiceMetrics {
-    /// Fresh metrics anchored at "now" (QPS denominators start here).
+    /// Fresh detached metrics anchored at "now" (QPS denominators start
+    /// here).
     pub fn new() -> Self {
         ServiceMetrics {
             started: Instant::now(),
-            responses: AtomicU64::new(0),
-            executed: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            queue_rejections: AtomicU64::new(0),
-            mutations: AtomicU64::new(0),
-            candidates: AtomicU64::new(0),
-            results: AtomicU64::new(0),
-            latency: LatencyHistogram::new(),
+            responses: Counter::detached(),
+            executed: Counter::detached(),
+            batches: Counter::detached(),
+            queue_rejections: Counter::detached(),
+            mutations: Counter::detached(),
+            candidates: Counter::detached(),
+            scanned: Counter::detached(),
+            results: Counter::detached(),
+            latency: Histogram::detached(),
+        }
+    }
+
+    /// Fresh metrics whose counters and latency summary are registered
+    /// in `registry` (series `gph_responses_total`, `gph_executed_total`,
+    /// …, `gph_latency_ns`).
+    pub fn registered(registry: &MetricsRegistry) -> Self {
+        let c = |name, help| registry.counter(name, help, &[]);
+        ServiceMetrics {
+            started: Instant::now(),
+            responses: c("gph_responses_total", "Responses produced (cache hits + executions)."),
+            executed: c("gph_executed_total", "Queries executed on the engines (cache misses)."),
+            batches: c("gph_batches_total", "Batch jobs processed by workers."),
+            queue_rejections: c(
+                "gph_queue_rejections_total",
+                "Requests shed on a full worker queue.",
+            ),
+            mutations: c("gph_mutations_total", "Mutations applied (insert/delete/upsert)."),
+            candidates: c("gph_candidates_total", "Candidates verified across executed queries."),
+            scanned: c(
+                "gph_scanned_total",
+                "Rows linear-scanned across executed queries (memtable + fallback).",
+            ),
+            results: c("gph_results_total", "Results returned across executed queries."),
+            latency: registry.histogram(
+                "gph_latency_ns",
+                "End-to-end response latency in nanoseconds (submit to response).",
+                &[],
+            ),
         }
     }
 
     pub(crate) fn note_response(&self, latency_ns: u64) {
-        self.responses.fetch_add(1, Ordering::Relaxed);
+        self.responses.inc();
         self.latency.record(latency_ns);
     }
 
-    pub(crate) fn note_execution(&self, candidates: u64, results: u64) {
-        self.executed.fetch_add(1, Ordering::Relaxed);
-        self.candidates.fetch_add(candidates, Ordering::Relaxed);
-        self.results.fetch_add(results, Ordering::Relaxed);
+    pub(crate) fn note_execution(&self, candidates: u64, scanned: u64, results: u64) {
+        self.executed.inc();
+        self.candidates.add(candidates);
+        self.scanned.add(scanned);
+        self.results.add(results);
     }
 
     pub(crate) fn note_batch(&self) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batches.inc();
     }
 
     pub(crate) fn note_queue_rejection(&self) {
-        self.queue_rejections.fetch_add(1, Ordering::Relaxed);
+        self.queue_rejections.inc();
     }
 
     pub(crate) fn note_mutation(&self) {
-        self.mutations.fetch_add(1, Ordering::Relaxed);
+        self.mutations.inc();
     }
 
     /// Aggregate snapshot (see [`ServiceStats`] fields).
     pub fn snapshot(&self) -> ServiceStats {
-        let responses = self.responses.load(Ordering::Relaxed);
-        let executed = self.executed.load(Ordering::Relaxed);
+        let responses = self.responses.get();
+        let executed = self.executed.get();
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let per_query =
+            |total: u64| if executed == 0 { 0.0 } else { total as f64 / executed as f64 };
+        let latency = self.latency.inner();
         ServiceStats {
             responses,
             executed,
-            batches: self.batches.load(Ordering::Relaxed),
-            queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
-            mutations: self.mutations.load(Ordering::Relaxed),
+            batches: self.batches.get(),
+            queue_rejections: self.queue_rejections.get(),
+            mutations: self.mutations.get(),
             qps: responses as f64 / elapsed,
-            latency_p50_ns: self.latency.quantile_ns(0.50),
-            latency_p95_ns: self.latency.quantile_ns(0.95),
-            latency_p99_ns: self.latency.quantile_ns(0.99),
-            latency_mean_ns: self.latency.mean_ns(),
-            latency_max_ns: self.latency.max_ns(),
-            candidates_per_query: if executed == 0 {
-                0.0
-            } else {
-                self.candidates.load(Ordering::Relaxed) as f64 / executed as f64
-            },
-            results_per_query: if executed == 0 {
-                0.0
-            } else {
-                self.results.load(Ordering::Relaxed) as f64 / executed as f64
-            },
+            latency_p50_ns: latency.quantile(0.50),
+            latency_p95_ns: latency.quantile(0.95),
+            latency_p99_ns: latency.quantile(0.99),
+            latency_mean_ns: latency.mean(),
+            latency_max_ns: latency.max(),
+            candidates_per_query: per_query(self.candidates.get()),
+            scanned_per_query: per_query(self.scanned.get()),
+            results_per_query: per_query(self.results.get()),
         }
     }
 }
@@ -239,6 +180,9 @@ pub struct ServiceStats {
     pub latency_max_ns: u64,
     /// Mean candidates verified per executed query (summed over shards).
     pub candidates_per_query: f64,
+    /// Mean rows linear-scanned per executed query (memtable scans plus
+    /// sealed-segment scan fallbacks, summed over shards).
+    pub scanned_per_query: f64,
     /// Mean results returned per executed query.
     pub results_per_query: f64,
 }
@@ -259,14 +203,16 @@ pub struct ServiceSnapshotStats {
     pub admission: AdmissionStats,
 }
 
-/// Codec version of the [`ServiceSnapshotStats`] payload.
-const SNAPSHOT_STATS_VERSION: u8 = 1;
+/// Codec version of the [`ServiceSnapshotStats`] payload. Version 2
+/// added `scanned_per_query` (the `n_scanned` counter landed in the
+/// engines before the codec learned about it); version 1 is rejected.
+const SNAPSHOT_STATS_VERSION: u8 = 2;
 
 impl ServiceSnapshotStats {
     /// Encodes the snapshot as a little-endian byte string (leading
     /// version byte, then every counter in declaration order).
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(1 + 21 * 8);
+        let mut buf = Vec::with_capacity(1 + 22 * 8);
         self.encode_into(&mut buf);
         buf
     }
@@ -286,6 +232,7 @@ impl ServiceSnapshotStats {
         buf.extend_from_slice(&s.latency_mean_ns.to_le_bytes());
         buf.extend_from_slice(&s.latency_max_ns.to_le_bytes());
         buf.extend_from_slice(&s.candidates_per_query.to_le_bytes());
+        buf.extend_from_slice(&s.scanned_per_query.to_le_bytes());
         buf.extend_from_slice(&s.results_per_query.to_le_bytes());
         let c = &self.cache;
         for v in [c.hits, c.misses, c.invalidations, c.len as u64, c.capacity as u64] {
@@ -328,6 +275,7 @@ impl ServiceSnapshotStats {
             latency_mean_ns: r.f64("mean latency")?,
             latency_max_ns: r.u64("max latency")?,
             candidates_per_query: r.f64("candidates per query")?,
+            scanned_per_query: r.f64("scanned per query")?,
             results_per_query: r.f64("results per query")?,
         };
         let cache = CacheStats {
@@ -351,63 +299,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_roundtrip_is_monotone_and_tight() {
-        let mut prev = 0usize;
-        for v in [0u64, 1, 15, 16, 17, 31, 32, 100, 1_000, 65_535, 1 << 30, u64::MAX / 2] {
-            let idx = LatencyHistogram::bucket_of(v);
-            assert!(idx >= prev || v < 32, "bucket index regressed at {v}");
-            prev = idx;
-            let floor = LatencyHistogram::bucket_floor(idx);
-            assert!(floor <= v, "floor {floor} above value {v}");
-            // Log-linear guarantee: floor within 1/16 relative error.
-            assert!((v - floor) as f64 <= (v as f64 / 16.0).max(0.0) + 1e-9, "v={v} floor={floor}");
-        }
-    }
-
-    #[test]
-    fn exact_quantiles_on_small_values() {
-        let h = LatencyHistogram::new();
-        for v in 1..=10u64 {
-            h.record(v); // values < 16 are bucketed exactly
-        }
-        assert_eq!(h.count(), 10);
-        assert_eq!(h.quantile_ns(0.5), 5);
-        assert_eq!(h.quantile_ns(1.0), 10);
-        assert_eq!(h.quantile_ns(0.0), 1);
-        assert_eq!(h.max_ns(), 10);
-        assert!((h.mean_ns() - 5.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn skewed_distribution_quantiles() {
-        let h = LatencyHistogram::new();
-        for _ in 0..99 {
-            h.record(1_000);
-        }
-        h.record(1_000_000);
-        let p50 = h.quantile_ns(0.50);
-        let p99 = h.quantile_ns(0.99);
-        let p999 = h.quantile_ns(0.999);
-        assert!((937..=1000).contains(&p50), "p50={p50}");
-        assert!((937..=1000).contains(&p99), "p99={p99}");
-        assert!(p999 > 900_000, "p999={p999}");
-    }
-
-    #[test]
-    fn empty_histogram_is_zeroed() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.quantile_ns(0.5), 0);
-        assert_eq!(h.mean_ns(), 0.0);
-        assert_eq!(h.max_ns(), 0);
-    }
-
-    #[test]
     fn metrics_snapshot_math() {
         let m = ServiceMetrics::new();
         m.note_response(1_000);
         m.note_response(2_000);
-        m.note_execution(50, 5);
-        m.note_execution(150, 15);
+        m.note_execution(50, 10, 5);
+        m.note_execution(150, 30, 15);
         m.note_batch();
         m.note_queue_rejection();
         m.note_mutation();
@@ -419,7 +316,21 @@ mod tests {
         assert_eq!(s.mutations, 1);
         assert!(s.qps > 0.0);
         assert!((s.candidates_per_query - 100.0).abs() < 1e-9);
+        assert!((s.scanned_per_query - 20.0).abs() < 1e-9);
         assert!((s.results_per_query - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registered_metrics_surface_in_the_registry() {
+        let registry = MetricsRegistry::new();
+        let m = ServiceMetrics::registered(&registry);
+        m.note_response(5_000);
+        m.note_execution(10, 3, 2);
+        let text = registry.render();
+        assert!(text.contains("\ngph_responses_total 1\n"), "got:\n{text}");
+        assert!(text.contains("\ngph_candidates_total 10\n"));
+        assert!(text.contains("\ngph_scanned_total 3\n"));
+        assert!(text.contains("gph_latency_ns_count 1"));
     }
 
     #[test]
@@ -438,6 +349,7 @@ mod tests {
                 latency_mean_ns: 55_123.25,
                 latency_max_ns: 2_000_001,
                 candidates_per_query: 321.75,
+                scanned_per_query: 17.5,
                 results_per_query: 8.5,
             },
             cache: CacheStats { hits: 60, misses: 41, invalidations: 2, len: 39, capacity: 1024 },
@@ -450,6 +362,7 @@ mod tests {
         assert_eq!(back.service.latency_p95_ns, 900_000);
         assert!((back.service.qps - 1234.5).abs() < 1e-12);
         assert!((back.service.latency_mean_ns - 55_123.25).abs() < 1e-12);
+        assert!((back.service.scanned_per_query - 17.5).abs() < 1e-12);
         assert_eq!(back.cache.hits, 60);
         assert_eq!(back.cache.capacity, 1024);
         assert_eq!(back.admission, snap.admission);
@@ -458,10 +371,14 @@ mod tests {
     #[test]
     fn snapshot_stats_rejects_corruption() {
         let bytes = ServiceSnapshotStats::default().encode();
+        assert_eq!(bytes[0], 2, "codec version is 2 since scanned_per_query was added");
         assert!(ServiceSnapshotStats::decode(&bytes[..bytes.len() - 1]).is_err(), "truncated");
         let mut versioned = bytes.clone();
         versioned[0] = 99;
         assert!(ServiceSnapshotStats::decode(&versioned).is_err(), "unknown version");
+        let mut v1 = bytes.clone();
+        v1[0] = 1;
+        assert!(ServiceSnapshotStats::decode(&v1).is_err(), "pre-scanned v1 layout");
         let mut trailing = bytes;
         trailing.push(0);
         assert!(ServiceSnapshotStats::decode(&trailing).is_err(), "trailing bytes");

@@ -57,6 +57,9 @@ fn main() {
                 cost_budget: 5.0,
                 policy: OverBudgetPolicy::Degrade { min_tau: 2 },
             },
+            // Tracing off for this tour; see `gph_suite::obs` and
+            // `gph-store query --trace` for the observability layer.
+            trace: Default::default(),
         },
     );
 

@@ -6,11 +6,12 @@
 //! gph-store build --profile sift --rows 20000 --shards 4 --tau-max 16 --out snap/
 //! gph-store build --data data.hamd --shards 4 --tau-max 16 --out snap/
 //! gph-store info  --index snap/
-//! gph-store query --index snap/ --queries q.hamd --tau 8 [--topk k]
-//! gph-store query --connect 127.0.0.1:7471 --tau 8 [--sample n] [--topk k]
+//! gph-store query --index snap/ --queries q.hamd --tau 8 [--topk k] [--trace]
+//! gph-store query --connect 127.0.0.1:7471 --tau 8 [--sample n] [--topk k] [--trace]
 //! gph-store serve --index snap/ --queries 2000 --tau 8 [--workers w]
 //! gph-store serve --index snap/ --listen 127.0.0.1:7471 [--duration secs]
 //! gph-store stats --connect 127.0.0.1:7471
+//! gph-store metrics --connect 127.0.0.1:7471
 //! gph-store add   --index snap/ --id 42 --bits 0101... [--upsert]
 //! gph-store del   --index snap/ --id 42
 //! ```
@@ -22,8 +23,10 @@
 //! segmented live-update path (memtable append / tombstone flip — at
 //! most one segment build when a seal triggers) and re-snapshot in
 //! place. `serve --listen` exposes the warm-started service over TCP
-//! (the `GPHN` protocol); `query --connect` and `stats --connect` talk
-//! to such a server from any machine.
+//! (the `GPHN` protocol); `query --connect`, `stats --connect`, and
+//! `metrics --connect` talk to such a server from any machine. `query
+//! --trace` prints a per-shard, per-segment phase breakdown of each
+//! query; `metrics` prints the server's Prometheus text exposition.
 
 use gph_suite::datagen::Profile;
 use gph_suite::gph::engine::GphConfig;
@@ -66,6 +69,7 @@ fn main() -> ExitCode {
         "query" => cmd_query(&opts),
         "serve" => cmd_serve(&opts),
         "stats" => cmd_stats(&opts),
+        "metrics" => cmd_metrics(&opts),
         "add" => cmd_add(&opts),
         "del" => cmd_del(&opts),
         "--help" | "-h" | "help" => {
@@ -91,10 +95,11 @@ fn usage() {
          \x20       [--shards s] [--m m] [--tau-max t] [--seed s]\n\
          \x20 info  --index <dir>\n\
          \x20 query (--index <dir> | --connect <addr>) --tau <t>\n\
-         \x20       [--queries <file.hamd> | --sample n] [--topk k]\n\
+         \x20       [--queries <file.hamd> | --sample n] [--topk k] [--trace]\n\
          \x20 serve --index <dir> --queries <n> --tau <t> [--workers w] [--batch b]\n\
          \x20 serve --index <dir> --listen <addr> [--workers w] [--duration secs]\n\
          \x20 stats --connect <addr>\n\
+         \x20 metrics --connect <addr>\n\
          \x20 add   --index <dir> --id <n> (--bits <01...> | --random-seed <s>)\n\
          \x20       [--upsert]\n\
          \x20 del   --index <dir> --id <n>\n\
@@ -204,7 +209,7 @@ fn restore(opts: &HashMap<String, String>) -> Result<ShardedIndex, String> {
 }
 
 fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
-    check_flags(opts, &["index", "connect", "tau", "queries", "sample", "topk"])?;
+    check_flags(opts, &["index", "connect", "tau", "queries", "sample", "topk", "trace"])?;
     if let Some(addr) = opts.get("connect") {
         return cmd_query_remote(addr, opts);
     }
@@ -215,6 +220,10 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
     }
     let queries = load_queries(opts, index.dim())?;
     let topk: usize = parse_or(opts, "topk", 0)?;
+    let trace = opts.contains_key("trace");
+    if trace && topk > 0 {
+        return Err("--trace applies to range queries, not --topk".into());
+    }
     let t0 = Instant::now();
     let mut total = 0usize;
     for qi in 0..queries.len() {
@@ -222,6 +231,15 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
             let hits = index.search_topk(queries.row(qi), topk);
             total += hits.len();
             println!("query {qi}: top-{topk} {:?}", &hits[..hits.len().min(8)]);
+        } else if trace {
+            let (res, qt) = index.search_traced(queries.row(qi), tau);
+            total += res.ids.len();
+            println!(
+                "query {qi}: {} results {:?}",
+                res.ids.len(),
+                &res.ids[..res.ids.len().min(16)]
+            );
+            print_trace(&qt);
         } else {
             let ids = index.search(queries.row(qi), tau);
             total += ids.len();
@@ -268,6 +286,10 @@ fn cmd_query_remote(addr: &str, opts: &HashMap<String, String>) -> Result<(), St
     }
     let queries = load_queries(opts, remote.dim as usize)?;
     let topk: usize = parse_or(opts, "topk", 0)?;
+    let trace = opts.contains_key("trace");
+    if trace && topk > 0 {
+        return Err("--trace applies to range queries, not --topk".into());
+    }
     let t0 = Instant::now();
     let mut total = 0usize;
     for qi in 0..queries.len() {
@@ -275,6 +297,18 @@ fn cmd_query_remote(addr: &str, opts: &HashMap<String, String>) -> Result<(), St
             let res = client.topk(queries.row(qi), topk).map_err(|e| e.to_string())?;
             total += res.hits.len();
             println!("query {qi}: top-{topk} {:?}", &res.hits[..res.hits.len().min(8)]);
+        } else if trace {
+            let traced = client.search_traced(queries.row(qi), tau).map_err(|e| e.to_string())?;
+            total += traced.result.ids.len();
+            println!(
+                "query {qi}: {} results {:?}",
+                traced.result.ids.len(),
+                &traced.result.ids[..traced.result.ids.len().min(16)]
+            );
+            match &traced.trace {
+                Some(qt) => print_trace(qt),
+                None => println!("  (server sent no trace)"),
+            }
         } else {
             let res = client.search(queries.row(qi), tau).map_err(|e| e.to_string())?;
             total += res.ids.len();
@@ -327,10 +361,63 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
         c.capacity
     );
     println!(
+        "work:       {:.0} candidates, {:.0} scanned, {:.1} results per query",
+        s.candidates_per_query, s.scanned_per_query, s.results_per_query
+    );
+    println!(
         "admission:  {} admitted, {} degraded, {} rejected",
         a.admitted, a.degraded, a.rejected
     );
     Ok(())
+}
+
+/// `metrics --connect`: one `Metrics` op; prints the server's Prometheus
+/// text exposition verbatim (pipe it into a scrape file or `promtool`).
+fn cmd_metrics(opts: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(opts, &["connect"])?;
+    let addr = need(opts, "connect")?;
+    let client = GphClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let text = client.metrics().map_err(|e| e.to_string())?;
+    print!("{text}");
+    Ok(())
+}
+
+/// Pretty-prints one query's phase trace, one line per shard and
+/// indented lines per segment (the memtable scan prints last).
+fn print_trace(qt: &gph_suite::obs::QueryTrace) {
+    let p = qt.phase_totals();
+    println!(
+        "  trace: tau={} wall {:.3} ms (alloc {:.3} + enumerate {:.3} + probe {:.3} \
+         + verify {:.3} + scan {:.3} ms across shards)",
+        qt.tau,
+        qt.total_ns as f64 / 1e6,
+        p.alloc_ns as f64 / 1e6,
+        p.enumerate_ns as f64 / 1e6,
+        p.probe_ns as f64 / 1e6,
+        p.verify_ns as f64 / 1e6,
+        p.scan_ns as f64 / 1e6,
+    );
+    for shard in &qt.shards {
+        println!("    shard {}: {:.3} ms", shard.shard, shard.total_ns as f64 / 1e6);
+        for seg in &shard.segments {
+            let name = if seg.segment == gph_suite::obs::trace::MEMTABLE_SEGMENT {
+                "memtable".to_string()
+            } else {
+                format!("segment {}", seg.segment)
+            };
+            println!(
+                "      {name}: {} rows, {} sigs, {} postings, {} scanned, \
+                 {} candidates, {} results, {:.3} ms",
+                seg.rows,
+                seg.n_signatures,
+                seg.sum_postings,
+                seg.n_scanned,
+                seg.n_candidates,
+                seg.n_results,
+                seg.phases.total() as f64 / 1e6,
+            );
+        }
+    }
 }
 
 fn cmd_add(opts: &HashMap<String, String>) -> Result<(), String> {

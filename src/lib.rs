@@ -13,6 +13,8 @@
 //! * [`gph`] — the paper's contribution: the GPH index and its threshold
 //!   allocation / dimension partitioning machinery.
 //! * [`baselines`] — MIH, HmSearch, PartAlloc, MinHash LSH and linear scan.
+//! * [`obs`] — the observability layer: lock-free metrics registry with
+//!   Prometheus text exposition, and sampled per-query phase tracing.
 //! * [`serve`] — the serving layer: sharded scatter-gather, a batching
 //!   worker pool with admission control, and an LRU result cache.
 //! * [`net`] — the network layer: the `GPHN` binary wire protocol, a
@@ -26,6 +28,7 @@ pub use baselines;
 pub use datagen;
 pub use gph;
 pub use gph_net as net;
+pub use gph_obs as obs;
 pub use gph_serve as serve;
 pub use hamming_core;
 pub use mlkit;
