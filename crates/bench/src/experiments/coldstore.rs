@@ -1,0 +1,216 @@
+//! Out-of-core serving benchmark: the same snapshot served resident and
+//! file-backed (corpus at ~2x the page-cache budget), with the headline
+//! numbers written to `BENCH_coldstore.json`.
+//!
+//! Companion to the `smoke` experiment: where smoke pins the resident
+//! build→snapshot→restore→serve pipeline, this pins the cold path —
+//! lazy `warm_start` (footers and metadata only; the report asserts the
+//! restore paged **zero** payload bytes), exact query answers served by
+//! paging 4–64 KiB blocks through the clock-eviction cache, and the
+//! price of running at half the corpus's memory. Every query is
+//! cross-checked against the resident fleet, so a divergence in the
+//! cold read path fails the job rather than skewing a number. A
+//! quarter-size fleet is restored alongside the full one so the JSON
+//! carries a restore-time series over corpus size: resident restore
+//! grows with the corpus, file-backed restore should not.
+
+use crate::util::prepare;
+use crate::Scale;
+use datagen::Profile;
+use gph::coldstore::StorageMode;
+use gph::engine::GphConfig;
+use gph_serve::{QueryService, ServiceConfig, ShardedIndex};
+use hamming_core::Dataset;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of shards the fleet runs.
+const SHARDS: usize = 2;
+/// Threshold the query stream uses.
+const TAU: u32 = 16;
+/// Queries per submitted batch (one giant batch would serialize on a
+/// single worker and make the latency quantiles degenerate).
+const BATCH: usize = 4;
+
+/// Bytes of snapshot payload in `dir` (the shard files; the manifest is
+/// noise). This is the on-disk corpus the budget is sized against.
+fn snapshot_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .expect("coldstore: read snapshot dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".gphs"))
+        .map(|e| e.metadata().map(|m| m.len()).unwrap_or(0))
+        .sum()
+}
+
+/// Serves the whole query stream through the service path; returns
+/// (per-query result ids, wall seconds, p50 ms, p95 ms).
+fn serve_stream(index: Arc<ShardedIndex>, queries: &Dataset) -> (Vec<Vec<u32>>, f64, f64, f64) {
+    let service = QueryService::new(index, ServiceConfig::default());
+    let t = Instant::now();
+    let tickets: Vec<_> = (0..queries.len())
+        .step_by(BATCH)
+        .map(|start| {
+            let chunk: Vec<&[u64]> =
+                (start..(start + BATCH).min(queries.len())).map(|i| queries.row(i)).collect();
+            service.submit_batch(&chunk, TAU)
+        })
+        .collect();
+    let ids: Vec<Vec<u32>> = tickets
+        .into_iter()
+        .flat_map(|t| t.wait())
+        .map(|r| r.ids().expect("coldstore: unlimited budget never rejects").to_vec())
+        .collect();
+    let wall = t.elapsed().as_secs_f64();
+    let stats = service.stats();
+    (ids, wall, stats.latency_p50_ns as f64 / 1e6, stats.latency_p95_ns as f64 / 1e6)
+}
+
+/// Builds a fleet over the first `rows` of `data`, snapshots it, and
+/// returns the directory (caller removes it).
+fn build_snapshot(data: &Dataset, rows: usize, cfg: &GphConfig, tag: &str) -> std::path::PathBuf {
+    let mut sub = Dataset::new(data.dim());
+    for i in 0..rows.min(data.len()) {
+        sub.push_row(data.row(i)).expect("coldstore: subset rows");
+    }
+    let built = ShardedIndex::build(&sub, SHARDS, cfg).expect("coldstore: build");
+    let dir =
+        std::env::temp_dir().join(format!("gph_bench_coldstore_{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    built.snapshot(&dir).expect("coldstore: snapshot");
+    dir
+}
+
+/// Runs the resident-vs-file-backed pass and writes the JSON report. The
+/// output path comes from `BENCH_COLDSTORE_OUT` (default
+/// `BENCH_coldstore.json`); any failure — including a cold restore that
+/// pages payload bytes eagerly, or a cold query stream that diverges
+/// from the resident one — panics, which is what the CI job wants to
+/// fail on.
+pub fn run(scale: Scale) {
+    let profile = Profile::synthetic_gamma(0.25);
+    let qs = prepare(&profile, scale, 0xC01D);
+    run_inner(&qs.data, &qs.queries);
+}
+
+fn run_inner(data: &Dataset, queries: &Dataset) {
+    let cfg = GphConfig::new(GphConfig::suggested_m(data.dim()), TAU as usize);
+    let dir = build_snapshot(data, data.len(), &cfg, "full");
+    let corpus_bytes = snapshot_bytes(&dir);
+    // The headline configuration: the corpus is twice the memory budget,
+    // so roughly half of it can ever be resident at once.
+    let budget = (corpus_bytes / 2).max(1);
+
+    // Resident restore + serve: the baseline everything is checked
+    // against.
+    let t = Instant::now();
+    let resident = Arc::new(ShardedIndex::restore(&dir).expect("coldstore: resident restore"));
+    let restore_resident_s = t.elapsed().as_secs_f64();
+    let (ids_resident, wall_r, p50_r, p95_r) = serve_stream(Arc::clone(&resident), queries);
+    let qps_resident = queries.len() as f64 / wall_r.max(1e-9);
+
+    // File-backed restore: maps footers and metadata, pages nothing.
+    let t = Instant::now();
+    let cold = Arc::new(
+        ShardedIndex::restore_with_storage(&dir, StorageMode::FileBacked { budget_bytes: budget })
+            .expect("coldstore: file-backed restore"),
+    );
+    let restore_cold_s = t.elapsed().as_secs_f64();
+    let fresh = cold.page_cache_stats().expect("coldstore: cold fleet has a page cache");
+    assert_eq!(
+        fresh.resident_bytes, 0,
+        "coldstore: file-backed restore paged segment payload eagerly"
+    );
+
+    // Serve the same stream out-of-core and pin exactness.
+    let (ids_cold, wall_c, p50_c, p95_c) = serve_stream(Arc::clone(&cold), queries);
+    let qps_cold = queries.len() as f64 / wall_c.max(1e-9);
+    assert_eq!(ids_cold, ids_resident, "coldstore: file-backed fleet diverged from resident");
+    let pc = cold.page_cache_stats().expect("coldstore: cold fleet has a page cache");
+    assert!(pc.hits + pc.misses > 0, "coldstore: queries never touched the page cache");
+    assert!(
+        pc.resident_bytes <= budget,
+        "coldstore: {} resident bytes exceed the {budget}-byte budget",
+        pc.resident_bytes
+    );
+    let hit_rate = pc.hits as f64 / (pc.hits + pc.misses).max(1) as f64;
+
+    // Restore-time-vs-corpus series: a quarter-size fleet. Resident
+    // restore cost tracks corpus size; file-backed restore reads only
+    // footers and metadata, so its cost should barely move.
+    let dir_q = build_snapshot(data, data.len() / 4, &cfg, "quarter");
+    let t = Instant::now();
+    let _rq = ShardedIndex::restore(&dir_q).expect("coldstore: quarter resident restore");
+    let restore_resident_quarter_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let cq = ShardedIndex::restore_with_storage(
+        &dir_q,
+        StorageMode::FileBacked { budget_bytes: budget },
+    )
+    .expect("coldstore: quarter file-backed restore");
+    let restore_cold_quarter_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        cq.page_cache_stats().expect("coldstore: quarter fleet has a page cache").resident_bytes,
+        0,
+        "coldstore: quarter file-backed restore paged payload eagerly"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir_q).ok();
+
+    let json = format!(
+        "{{\n  \"experiment\": \"coldstore\",\n  \"rows\": {},\n  \"dims\": {},\n  \
+         \"queries\": {},\n  \"shards\": {},\n  \"tau\": {},\n  \
+         \"corpus_bytes\": {},\n  \"budget_bytes\": {},\n  \
+         \"restore_resident_s\": {:.4},\n  \"restore_cold_s\": {:.4},\n  \
+         \"restore_resident_quarter_s\": {:.4},\n  \"restore_cold_quarter_s\": {:.4},\n  \
+         \"qps_resident\": {:.1},\n  \"qps_cold\": {:.1},\n  \
+         \"p50_resident_ms\": {:.4},\n  \"p95_resident_ms\": {:.4},\n  \
+         \"p50_cold_ms\": {:.4},\n  \"p95_cold_ms\": {:.4},\n  \
+         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_evictions\": {},\n  \
+         \"cache_hit_rate\": {:.4},\n  \"cache_resident_bytes\": {}\n}}\n",
+        data.len(),
+        data.dim(),
+        queries.len(),
+        SHARDS,
+        TAU,
+        corpus_bytes,
+        budget,
+        restore_resident_s,
+        restore_cold_s,
+        restore_resident_quarter_s,
+        restore_cold_quarter_s,
+        qps_resident,
+        qps_cold,
+        p50_r,
+        p95_r,
+        p50_c,
+        p95_c,
+        pc.hits,
+        pc.misses,
+        pc.evictions,
+        hit_rate,
+        pc.resident_bytes,
+    );
+    let out =
+        std::env::var("BENCH_COLDSTORE_OUT").unwrap_or_else(|_| "BENCH_coldstore.json".into());
+    std::fs::write(&out, &json).expect("coldstore: write report");
+
+    println!("## coldstore ({} rows, corpus at 2x the memory budget)\n", data.len());
+    println!("| metric | resident | file-backed |");
+    println!("|---|---|---|");
+    println!("| restore | {restore_resident_s:.3} s | {restore_cold_s:.3} s |");
+    println!(
+        "| restore (quarter corpus) | {restore_resident_quarter_s:.3} s | \
+         {restore_cold_quarter_s:.3} s |"
+    );
+    println!("| QPS | {qps_resident:.0} | {qps_cold:.0} |");
+    println!("| p95 latency | {p95_r:.2} ms | {p95_c:.2} ms |");
+    println!(
+        "| page cache | — | {:.0}% hits, {} evictions, {} B resident |",
+        hit_rate * 100.0,
+        pc.evictions,
+        pc.resident_bytes
+    );
+    println!("\nreport written to {out}");
+}

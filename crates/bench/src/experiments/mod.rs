@@ -6,6 +6,7 @@
 pub mod ablation;
 pub mod allocation;
 pub mod calibration;
+pub mod coldstore;
 pub mod comparison;
 pub mod estimators;
 pub mod hotpath;
@@ -44,6 +45,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "mutations",
     "netload",
     "obs",
+    "coldstore",
     "all",
 ];
 
@@ -70,6 +72,7 @@ pub fn dispatch(exp: &str, scale: Scale) -> bool {
         "mutations" => mutations::run(scale),
         "netload" => netload::run(scale),
         "obs" => obs::run(scale),
+        "coldstore" => coldstore::run(scale),
         "all" => {
             for exp in EXPERIMENTS.iter().filter(|&&e| e != "all") {
                 dispatch(exp, scale);

@@ -48,7 +48,8 @@ pub fn run(scale: Scale) {
 
 fn run_inner(data: &Dataset, queries: &Dataset, scale: Scale) {
     let cfg = GphConfig::new(GphConfig::suggested_m(data.dim()), TAU as usize);
-    let seg_cfg = SegmentConfig { seal_rows: SEAL_ROWS, max_sealed: MAX_SEALED };
+    let seg_cfg =
+        SegmentConfig { seal_rows: SEAL_ROWS, max_sealed: MAX_SEALED, ..SegmentConfig::default() };
 
     let t_build = Instant::now();
     let index = Arc::new(

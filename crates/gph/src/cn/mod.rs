@@ -203,6 +203,31 @@ pub(crate) fn restore_estimator(
     }
 }
 
+/// Restores an estimator for a *cold* (file-backed) segment, which has
+/// no resident projected dataset to rebuild from. Table-based kinds
+/// restore from their persisted state exactly as in
+/// [`restore_estimator`]; kinds without state (`Learned`, `SampleScan`)
+/// fall back to the closed-form [`crate::coldstore::FlatCn`] — the
+/// pigeonhole filter is exact under any valid allocation, so only cost
+/// estimates shift, never results.
+pub(crate) fn restore_estimator_cold(
+    kind: &EstimatorKind,
+    state: Option<&[u8]>,
+    n_rows: usize,
+    tau_max: usize,
+    widths: &[usize],
+) -> Result<Box<dyn CnEstimator>> {
+    match (kind, state) {
+        (EstimatorKind::Exact { .. }, Some(bytes)) => {
+            Ok(Box::new(exact::ExactCn::decode_state(bytes, widths)?))
+        }
+        (EstimatorKind::SubPartition { .. }, Some(bytes)) => {
+            Ok(Box::new(subpart::SubPartitionCn::decode_state(bytes, widths)?))
+        }
+        _ => Ok(Box::new(crate::coldstore::FlatCn::new(n_rows, widths, tau_max))),
+    }
+}
+
 /// A query's filled CN table: `m` rows over `e ∈ [−1, τ]`.
 #[derive(Clone, Debug)]
 pub struct CnTable {

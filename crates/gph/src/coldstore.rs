@@ -1,0 +1,1487 @@
+//! Out-of-core storage for sealed segments.
+//!
+//! A sealed segment is normally decoded into heap memory ([`crate::engine::Gph`]).
+//! This module provides the *file-backed* alternative: the GPHE v3
+//! container (see `FORMAT.md`) lays the dataset row slab and the CSR
+//! postings arrays out as page-aligned, offset-addressed sections, so a
+//! segment can answer probes and verification by paging fixed-size
+//! blocks through a shared [`PageCache`] instead of holding the payload
+//! resident.
+//!
+//! The pieces:
+//!
+//! * [`SegmentFile`] — a read-only handle to one container file, with
+//!   bounds-checked positioned reads.
+//! * [`PageCache`] — a clock-evicted page cache shared by every cold
+//!   segment of an index (or of all shards), bounded by a byte budget.
+//! * [`StorageMode`] — the configuration knob threaded through
+//!   `SegmentConfig`, `ShardedIndex`, and `ServiceConfig`.
+//! * [`SpillStore`] — the directory where seal/compaction spill freshly
+//!   encoded segments when running file-backed.
+//! * [`ColdSegment`] — the query backend itself: mirrors
+//!   [`Gph::search_with_stats`](crate::engine::Gph::search_with_stats)
+//!   over paged reads, bit-identical in its result set.
+
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hamming_core::error::{HammingError, Result};
+
+// ---------------------------------------------------------------------------
+// Positioned reads
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+fn read_exact_at_impl(file: &File, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at_impl(file: &File, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+    // No positioned-read primitive: serialize seek+read pairs so
+    // concurrent readers cannot interleave and corrupt each other's
+    // cursor. Cold reads on these targets are correct, just slower.
+    use std::io::{Read, Seek, SeekFrom};
+    static SEEK_LOCK: Mutex<()> = Mutex::new(());
+    let _guard = SEEK_LOCK.lock().unwrap();
+    let mut f = file;
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf)
+}
+
+// ---------------------------------------------------------------------------
+// SegmentFile
+// ---------------------------------------------------------------------------
+
+static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A read-only handle to an offset-addressed container file.
+///
+/// Every handle gets a process-unique id used as the [`PageCache`] key
+/// prefix, so two files never alias each other's pages. A handle opened
+/// with `owns = true` deletes the underlying file when dropped — spill
+/// files written during seal/compaction are cleaned up this way, while
+/// snapshot files opened for a file-backed restore are left alone.
+pub struct SegmentFile {
+    file: File,
+    path: PathBuf,
+    len: u64,
+    id: u64,
+    owns: bool,
+}
+
+impl SegmentFile {
+    /// Opens `path` read-only. `owns` transfers deletion responsibility
+    /// to this handle (the file is removed when the handle drops).
+    pub fn open(path: impl AsRef<Path>, owns: bool) -> Result<SegmentFile> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        let len = file.metadata()?.len();
+        let id = NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed);
+        Ok(SegmentFile { file, path, len, id, owns })
+    }
+
+    /// File length in bytes, captured at open time.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Process-unique id used as the page-cache key prefix.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The path this handle was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads exactly `buf.len()` bytes starting at `offset`, rejecting
+    /// reads past the end of the file as [`HammingError::Corrupt`]
+    /// (a forged section offset must never turn into a panic or an
+    /// unbounded read).
+    pub fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let end = offset.checked_add(buf.len() as u64).filter(|&e| e <= self.len);
+        if end.is_none() {
+            return Err(HammingError::Corrupt(format!(
+                "read of {} bytes at offset {} exceeds segment file of {} bytes",
+                buf.len(),
+                offset,
+                self.len
+            )));
+        }
+        read_exact_at_impl(&self.file, offset, buf)?;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for SegmentFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentFile")
+            .field("path", &self.path)
+            .field("len", &self.len)
+            .field("id", &self.id)
+            .field("owns", &self.owns)
+            .finish()
+    }
+}
+
+impl Drop for SegmentFile {
+    fn drop(&mut self) {
+        if self.owns {
+            let _ = fs::remove_file(&self.path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PageCache
+// ---------------------------------------------------------------------------
+
+/// Default page size: 16 KiB, in the 4–64 KiB range the container's
+/// 4 KiB section alignment supports.
+pub const DEFAULT_PAGE_BYTES: usize = 16 * 1024;
+
+/// Smallest / largest accepted page size (both powers of two).
+pub const MIN_PAGE_BYTES: usize = 4 * 1024;
+/// See [`MIN_PAGE_BYTES`].
+pub const MAX_PAGE_BYTES: usize = 64 * 1024;
+
+/// Counter snapshot returned by [`PageCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PageCacheStats {
+    /// Page lookups served from the cache.
+    pub hits: u64,
+    /// Page lookups that went to disk.
+    pub misses: u64,
+    /// Pages dropped by clock eviction.
+    pub evictions: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+}
+
+struct Slot {
+    key: (u64, u64),
+    data: Arc<Vec<u8>>,
+    referenced: bool,
+}
+
+struct Inner {
+    map: HashMap<(u64, u64), usize>,
+    slots: Vec<Slot>,
+    hand: usize,
+    bytes: u64,
+}
+
+/// A shared page cache with clock (second-chance) eviction under a byte
+/// budget.
+///
+/// All cold segments of an index — across shards, when the service
+/// shares one store — read through a single `PageCache`, so the budget
+/// bounds total paged-in bytes regardless of corpus size. Counters are
+/// plain atomics so metric scrapes never contend with the read path.
+///
+/// ```
+/// use gph::coldstore::{PageCache, SegmentFile};
+///
+/// let dir = std::env::temp_dir().join(format!("gph-doc-pc-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let path = dir.join("blob.bin");
+/// std::fs::write(&path, vec![7u8; 10_000]).unwrap();
+///
+/// let file = SegmentFile::open(&path, false).unwrap();
+/// let cache = PageCache::new(64 * 1024);
+/// let mut buf = [0u8; 16];
+/// cache.read_into(&file, 4096, &mut buf).unwrap();
+/// assert_eq!(buf, [7u8; 16]);
+/// assert_eq!(cache.stats().misses, 1);
+///
+/// cache.read_into(&file, 4100, &mut buf).unwrap(); // same page: a hit
+/// assert_eq!(cache.stats().hits, 1);
+///
+/// drop(file);
+/// std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+pub struct PageCache {
+    budget: u64,
+    page_size: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    resident: AtomicU64,
+}
+
+impl PageCache {
+    /// Creates a cache bounded by `budget_bytes` with the default page
+    /// size ([`DEFAULT_PAGE_BYTES`]). The cache always retains at least
+    /// one page so progress is possible under any budget.
+    pub fn new(budget_bytes: u64) -> PageCache {
+        PageCache::with_page_size(budget_bytes, DEFAULT_PAGE_BYTES)
+            .expect("default page size is valid")
+    }
+
+    /// Creates a cache with an explicit page size, which must be a
+    /// power of two in `[MIN_PAGE_BYTES, MAX_PAGE_BYTES]`. Powers of
+    /// two at least 4 KiB keep pages aligned with the container's
+    /// section alignment, so fixed-width elements never straddle a
+    /// page boundary.
+    pub fn with_page_size(budget_bytes: u64, page_size: usize) -> Result<PageCache> {
+        if !page_size.is_power_of_two() || !(MIN_PAGE_BYTES..=MAX_PAGE_BYTES).contains(&page_size) {
+            return Err(HammingError::InvalidParameter(format!(
+                "page size {page_size} must be a power of two in \
+                 [{MIN_PAGE_BYTES}, {MAX_PAGE_BYTES}]"
+            )));
+        }
+        Ok(PageCache {
+            budget: budget_bytes,
+            page_size,
+            inner: Mutex::new(Inner { map: HashMap::new(), slots: Vec::new(), hand: 0, bytes: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+        })
+    }
+
+    /// The configured page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// Snapshot of the hit/miss/eviction/residency counters.
+    pub fn stats(&self) -> PageCacheStats {
+        PageCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: self.resident.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns page `page_no` of `file`, loading and caching it on miss.
+    /// The final page of a file may be shorter than the page size.
+    fn page(&self, file: &SegmentFile, page_no: u64) -> Result<Arc<Vec<u8>>> {
+        let key = (file.id(), page_no);
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(&idx) = inner.map.get(&key) {
+            inner.slots[idx].referenced = true;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(inner.slots[idx].data.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let off = page_no
+            .checked_mul(self.page_size as u64)
+            .filter(|&o| o < file.len())
+            .ok_or_else(|| {
+                HammingError::Corrupt(format!(
+                    "page {page_no} out of range for segment file of {} bytes",
+                    file.len()
+                ))
+            })?;
+        let n = (file.len() - off).min(self.page_size as u64) as usize;
+        let mut data = vec![0u8; n];
+        file.read_at(off, &mut data)?;
+        let data = Arc::new(data);
+
+        let idx = inner.slots.len();
+        inner.slots.push(Slot { key, data: data.clone(), referenced: true });
+        inner.map.insert(key, idx);
+        inner.bytes += n as u64;
+
+        // Clock sweep: clear reference bits until an unreferenced slot
+        // is found, evict it, repeat while over budget. At least one
+        // page is always retained.
+        while inner.bytes > self.budget && inner.slots.len() > 1 {
+            let i = inner.hand % inner.slots.len();
+            if inner.slots[i].referenced {
+                inner.slots[i].referenced = false;
+                inner.hand = i + 1;
+                continue;
+            }
+            let victim = inner.slots.swap_remove(i);
+            inner.map.remove(&victim.key);
+            if i < inner.slots.len() {
+                let moved = inner.slots[i].key;
+                inner.map.insert(moved, i);
+            }
+            inner.bytes -= victim.data.len() as u64;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.resident.store(inner.bytes, Ordering::Relaxed);
+        Ok(data)
+    }
+
+    /// Fills `out` from `file` starting at `offset`, paging blocks in
+    /// as needed. Reads crossing page boundaries are stitched together;
+    /// reads past the end of the file are [`HammingError::Corrupt`].
+    pub fn read_into(&self, file: &SegmentFile, offset: u64, out: &mut [u8]) -> Result<()> {
+        if offset.checked_add(out.len() as u64).filter(|&e| e <= file.len()).is_none() {
+            return Err(HammingError::Corrupt(format!(
+                "read of {} bytes at offset {} exceeds segment file of {} bytes",
+                out.len(),
+                offset,
+                file.len()
+            )));
+        }
+        let ps = self.page_size as u64;
+        let mut off = offset;
+        let mut pos = 0usize;
+        while pos < out.len() {
+            let page = self.page(file, off / ps)?;
+            let in_page = (off % ps) as usize;
+            if in_page >= page.len() {
+                return Err(HammingError::Corrupt(format!(
+                    "offset {off} points into truncated page of segment file"
+                )));
+            }
+            let n = (out.len() - pos).min(page.len() - in_page);
+            out[pos..pos + n].copy_from_slice(&page[in_page..in_page + n]);
+            pos += n;
+            off += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Reads one little-endian `u32` at `offset`.
+    pub fn read_u32(&self, file: &SegmentFile, offset: u64) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.read_into(file, offset, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads one little-endian `u64` at `offset`.
+    pub fn read_u64(&self, file: &SegmentFile, offset: u64) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.read_into(file, offset, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads `n` little-endian `u32`s starting at `offset`.
+    pub fn read_u32s(&self, file: &SegmentFile, offset: u64, n: usize) -> Result<Vec<u32>> {
+        self.check_run(file, offset, n, 4)?;
+        let mut bytes = vec![0u8; n * 4];
+        self.read_into(file, offset, &mut bytes)?;
+        Ok(bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    /// Reads `n` little-endian `u64`s starting at `offset`.
+    pub fn read_u64s(&self, file: &SegmentFile, offset: u64, n: usize) -> Result<Vec<u64>> {
+        self.check_run(file, offset, n, 8)?;
+        let mut bytes = vec![0u8; n * 8];
+        self.read_into(file, offset, &mut bytes)?;
+        Ok(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    /// Bounds-checks an `n × per_item` run *before* allocating for it,
+    /// so a forged element count cannot trigger a huge allocation.
+    fn check_run(&self, file: &SegmentFile, offset: u64, n: usize, per_item: usize) -> Result<()> {
+        let total = (n as u64).checked_mul(per_item as u64);
+        if total.and_then(|t| offset.checked_add(t)).filter(|&e| e <= file.len()).is_none() {
+            return Err(HammingError::Corrupt(format!(
+                "run of {n} x {per_item}-byte items at offset {offset} exceeds \
+                 segment file of {} bytes",
+                file.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for PageCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageCache")
+            .field("budget", &self.budget)
+            .field("page_size", &self.page_size)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StorageMode
+// ---------------------------------------------------------------------------
+
+/// Where sealed segments live.
+///
+/// `Resident` (the default) decodes every sealed segment fully into
+/// heap. `FileBacked` keeps sealed segments as offset-addressed files
+/// and serves probes/verification through a [`PageCache`] bounded by
+/// `budget_bytes` — the corpus may then exceed RAM. Query *results* are
+/// identical in both modes; only latency and memory footprint differ.
+///
+/// ```
+/// use gph::coldstore::StorageMode;
+///
+/// assert_eq!(StorageMode::default(), StorageMode::Resident);
+/// let cold = StorageMode::FileBacked { budget_bytes: 64 << 20 };
+/// assert!(matches!(cold, StorageMode::FileBacked { budget_bytes } if budget_bytes == 64 << 20));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StorageMode {
+    /// Sealed segments are decoded into heap memory (the historical
+    /// behaviour).
+    #[default]
+    Resident,
+    /// Sealed segments stay on disk; reads go through a shared
+    /// [`PageCache`] holding at most `budget_bytes` of paged-in data.
+    FileBacked {
+        /// Page-cache byte budget shared by all cold segments.
+        budget_bytes: u64,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// SpillStore
+// ---------------------------------------------------------------------------
+
+static NEXT_SPILL_DIR: AtomicU64 = AtomicU64::new(0);
+
+/// Directory + shared [`PageCache`] backing a file-backed index.
+///
+/// Seal and compaction write freshly encoded GPHE v3 blobs here
+/// ("spill files") and immediately reopen them cold. A store created
+/// with [`SpillStore::temp`] owns its directory and removes it on drop;
+/// one created with [`SpillStore::at`] leaves the directory in place.
+pub struct SpillStore {
+    dir: PathBuf,
+    owned: bool,
+    cache: Arc<PageCache>,
+    counter: AtomicU64,
+}
+
+impl SpillStore {
+    /// Creates a store in a fresh process-unique temp directory, owned
+    /// (removed on drop), with a cache bounded by `budget_bytes`.
+    pub fn temp(budget_bytes: u64) -> Result<Arc<SpillStore>> {
+        let dir = std::env::temp_dir().join(format!(
+            "gph-spill-{}-{}",
+            std::process::id(),
+            NEXT_SPILL_DIR.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir)?;
+        Ok(Arc::new(SpillStore {
+            dir,
+            owned: true,
+            cache: Arc::new(PageCache::new(budget_bytes)),
+            counter: AtomicU64::new(0),
+        }))
+    }
+
+    /// Creates (or reuses) a store at an explicit directory, not owned.
+    pub fn at(dir: impl AsRef<Path>, budget_bytes: u64) -> Result<Arc<SpillStore>> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(Arc::new(SpillStore {
+            dir,
+            owned: false,
+            cache: Arc::new(PageCache::new(budget_bytes)),
+            counter: AtomicU64::new(0),
+        }))
+    }
+
+    /// The shared page cache.
+    pub fn cache(&self) -> &Arc<PageCache> {
+        &self.cache
+    }
+
+    /// The spill directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes `bytes` as a new spill file and reopens it as an owned
+    /// [`SegmentFile`] (deleted when the last handle drops).
+    pub fn write_blob(&self, bytes: &[u8]) -> Result<SegmentFile> {
+        let path =
+            self.dir.join(format!("seg-{}.gphe", self.counter.fetch_add(1, Ordering::Relaxed)));
+        fs::write(&path, bytes)?;
+        SegmentFile::open(path, true)
+    }
+}
+
+impl std::fmt::Debug for SpillStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillStore").field("dir", &self.dir).field("owned", &self.owned).finish()
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        if self.owned {
+            let _ = fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FlatCn — estimator fallback for cold segments
+// ---------------------------------------------------------------------------
+
+/// Closed-form CN estimator used when a cold segment's configured
+/// estimator kind has no snapshot state (`Learned`, `SampleScan`) —
+/// rebuilding those would require the full dataset, defeating the lazy
+/// open. Models each partition as uniform random bits:
+/// `CN(e) = n · P[Binom(width, 1/2) ≤ e]`. Thresholds derived from it
+/// may differ from the resident engine's, but the pigeonhole filter is
+/// exact under *any* valid allocation, so query results are unaffected.
+pub(crate) struct FlatCn {
+    n: usize,
+    /// `cdf[part][e]`, clamped to `[0, 1]`, for `e ∈ 0..=min(width, tau_max)`.
+    cdf: Vec<Vec<f64>>,
+}
+
+impl FlatCn {
+    pub(crate) fn new(n: usize, widths: &[usize], tau_max: usize) -> FlatCn {
+        let cdf = widths
+            .iter()
+            .map(|&w| {
+                let cap = w.min(tau_max);
+                let mut out = Vec::with_capacity(cap + 1);
+                // term = C(w, j) / 2^w, iteratively; underflows to 0 for
+                // very wide partitions, which still yields a valid
+                // (monotone, clamped) estimate.
+                let mut term = (-(w as f64)).exp2();
+                let mut acc = term;
+                out.push(acc.min(1.0));
+                for j in 1..=cap {
+                    term *= (w - j + 1) as f64 / j as f64;
+                    acc += term;
+                    out.push(acc.min(1.0));
+                }
+                out
+            })
+            .collect();
+        FlatCn { n, cdf }
+    }
+}
+
+impl crate::cn::CnEstimator for FlatCn {
+    fn fill(&self, part: usize, _q_val: &[u64], tau: usize, out: &mut [f64]) {
+        let cdf = &self.cdf[part];
+        out[0] = 0.0;
+        for e in 0..=tau {
+            let p = cdf[e.min(cdf.len() - 1)];
+            out[e + 1] = self.n as f64 * p;
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.cdf.iter().map(|c| c.len() * 8).sum::<usize>() + 16
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ColdSegment
+// ---------------------------------------------------------------------------
+
+use crate::alloc::{allocate, AllocatorKind};
+use crate::cn::{CnTable, EstimatorKind};
+use crate::cost::CostModel;
+use crate::engine::{QueryStats, SearchResult};
+use crate::pigeonhole::ThresholdVector;
+use crate::snapshot::{
+    decode_config, decode_est_state, decode_parttab, decode_rowmeta, DecodedConfig, ENGINE_MAGIC,
+    N_ENGINE_SLOTS, SLOT_CONFIG, SLOT_ESTKIND, SLOT_ESTSTATE, SLOT_IDS, SLOT_KEYS, SLOT_OFFS,
+    SLOT_PARTIT, SLOT_PARTTAB, SLOT_ROWMETA, SLOT_ROWS, SNAPSHOT_VERSION,
+};
+use hamming_core::enumerate::{ball_size, for_each_in_ball_u64, for_each_in_ball_words};
+use hamming_core::io::{crc32, decode_partitioning, Footer, OFFSET_HEADER_LEN};
+use hamming_core::key::key_of;
+use hamming_core::project::Projector;
+use hamming_core::{hamming, hamming_within, words_for, Partitioning};
+use std::time::Instant;
+
+/// Keys scanned per paged batch on the cold scan-fallback path.
+const KEY_SCAN_BATCH: usize = 1024;
+
+/// One partition's on-disk CSR geometry, resolved to absolute file
+/// offsets at open time (every offset below is pre-validated against
+/// the footer's section bounds, so probe-time arithmetic cannot escape
+/// the file).
+struct ColdPart {
+    width: usize,
+    n_keys: u64,
+    keys_off: u64,
+    offs_off: u64,
+    ids_off: u64,
+}
+
+/// Reusable per-query scratch, pooled like the resident engine's.
+struct ColdScratch {
+    stamps: Vec<u32>,
+    epoch: u32,
+    candidates: Vec<u32>,
+    keys: Vec<u64>,
+    row: Vec<u64>,
+}
+
+impl ColdScratch {
+    fn new(n: usize, wpv: usize) -> ColdScratch {
+        ColdScratch {
+            stamps: vec![0; n],
+            epoch: 0,
+            candidates: Vec::new(),
+            keys: Vec::new(),
+            row: vec![0; wpv],
+        }
+    }
+}
+
+/// A sealed segment served directly from its offset-addressed GPHE v3
+/// container, without decoding the payload into heap.
+///
+/// `open` reads and CRC-verifies only the *metadata* sections (config,
+/// partitioning, estimator, row/partition geometry — a few KiB) with
+/// direct positional reads, so opening is near-constant in segment
+/// size; the row slab and CSR postings stay on disk and are paged in
+/// through the shared [`PageCache`] as queries touch them. Query
+/// results are bit-identical to the resident engine's: the pigeonhole
+/// filter is exact under any valid allocation, and verification reads
+/// the same row bytes the resident `Dataset` would hold.
+///
+/// Payload CRCs are deliberately *deferred* (validating them would read
+/// the whole file, defeating the lazy open); probe-time reads are
+/// bounds-checked, and out-of-range values decoded from an unverified
+/// payload are skipped rather than trusted. A mid-query I/O failure
+/// from the operating system (e.g. the file truncated externally)
+/// panics with context — the same contract as a faulted mmap.
+pub struct ColdSegment {
+    file: Arc<SegmentFile>,
+    cache: Arc<PageCache>,
+    blob_off: u64,
+    blob_len: u64,
+    partitioning: Partitioning,
+    projector: Projector,
+    estimator: Box<dyn crate::cn::CnEstimator>,
+    estimator_kind: EstimatorKind,
+    allocator: AllocatorKind,
+    cost_model: CostModel,
+    tau_max: usize,
+    dim: usize,
+    wpv: usize,
+    n_rows: usize,
+    rows_off: u64,
+    parts: Vec<ColdPart>,
+    scratch_pool: Mutex<Vec<ColdScratch>>,
+}
+
+impl ColdSegment {
+    /// Opens the GPHE v3 blob at `[blob_off, blob_off + blob_len)` of
+    /// `file`: parses and CRC-verifies the footer and every metadata
+    /// section, resolves section geometry to absolute offsets, and
+    /// restores the estimator — without touching the row slab or the
+    /// postings arrays.
+    pub fn open(
+        file: Arc<SegmentFile>,
+        cache: Arc<PageCache>,
+        blob_off: u64,
+        blob_len: u64,
+    ) -> Result<ColdSegment> {
+        if blob_off.checked_add(blob_len).filter(|&e| e <= file.len()).is_none() {
+            return Err(HammingError::Corrupt(format!(
+                "engine blob {blob_off}+{blob_len} exceeds segment file of {} bytes",
+                file.len()
+            )));
+        }
+        // Footer first: it indexes everything else. Open-time metadata
+        // uses direct reads (not the page cache) so a freshly restored
+        // index starts with zero resident payload bytes.
+        let tail_len = (Footer::MAX_LEN as u64).min(blob_len) as usize;
+        let mut tail = vec![0u8; tail_len];
+        file.read_at(blob_off + blob_len - tail_len as u64, &mut tail)?;
+        let footer = Footer::parse(ENGINE_MAGIC, SNAPSHOT_VERSION, blob_len, &tail)?;
+        if footer.version() < 3 {
+            return Err(HammingError::Corrupt(format!(
+                "version {} snapshots are not offset-addressed; load resident",
+                footer.version()
+            )));
+        }
+        if footer.n_slots() != N_ENGINE_SLOTS {
+            return Err(HammingError::Corrupt(format!(
+                "engine snapshot has {} sections, expected {N_ENGINE_SLOTS}",
+                footer.n_slots()
+            )));
+        }
+        // Header cross-check (Footer::parse only saw the tail).
+        let mut header = [0u8; OFFSET_HEADER_LEN];
+        file.read_at(blob_off, &mut header)?;
+        if header[..4] != ENGINE_MAGIC
+            || u32::from_le_bytes(header[4..8].try_into().unwrap()) != footer.version()
+            || u32::from_le_bytes(header[8..12].try_into().unwrap()) != footer.n_slots() as u32
+        {
+            return Err(HammingError::Corrupt("header does not match footer".into()));
+        }
+
+        // Metadata sections: read directly, verify each CRC.
+        let meta = |slot: usize| -> Result<Vec<u8>> {
+            let s = footer.slot(slot)?;
+            let mut buf = vec![0u8; s.len as usize];
+            file.read_at(blob_off + s.offset, &mut buf)?;
+            if crc32(&buf) != s.crc {
+                return Err(HammingError::Corrupt(format!("section {slot} checksum mismatch")));
+            }
+            Ok(buf)
+        };
+        let cfg: DecodedConfig = decode_config(&meta(SLOT_CONFIG)?)?;
+        let partitioning = decode_partitioning(&meta(SLOT_PARTIT)?)?;
+        let estimator_kind = crate::cn::decode_kind(&meta(SLOT_ESTKIND)?)?;
+        let est_state_buf = meta(SLOT_ESTSTATE)?;
+        let est_state = decode_est_state(&est_state_buf)?;
+        let (dim, n_rows) = decode_rowmeta(&meta(SLOT_ROWMETA)?)?;
+        let extents = decode_parttab(&meta(SLOT_PARTTAB)?)?;
+
+        if partitioning.dim() != dim {
+            return Err(HammingError::Corrupt(format!(
+                "partitioning covers {} dims but the rows have {dim}",
+                partitioning.dim()
+            )));
+        }
+        if extents.len() != partitioning.num_parts() {
+            return Err(HammingError::Corrupt(format!(
+                "partition table has {} rows but the partitioning has {} parts",
+                extents.len(),
+                partitioning.num_parts()
+            )));
+        }
+        let projector = Projector::new(&partitioning);
+        let wpv = words_for(dim);
+
+        // Resolve section geometry to absolute offsets, validating the
+        // declared extents tile each section exactly.
+        let rows_slot = footer.slot(SLOT_ROWS)?;
+        let keys_slot = footer.slot(SLOT_KEYS)?;
+        let offs_slot = footer.slot(SLOT_OFFS)?;
+        let ids_slot = footer.slot(SLOT_IDS)?;
+        let expect_rows = (n_rows as u64)
+            .checked_mul(wpv as u64)
+            .and_then(|w| w.checked_mul(8))
+            .ok_or_else(|| HammingError::Corrupt("row slab size overflow".into()))?;
+        if rows_slot.len != expect_rows {
+            return Err(HammingError::Corrupt(format!(
+                "row slab is {} bytes, expected {expect_rows} for {n_rows} rows of dim {dim}",
+                rows_slot.len
+            )));
+        }
+        let mut parts = Vec::with_capacity(extents.len());
+        let (mut koff, mut ooff, mut ioff) = (0u64, 0u64, 0u64);
+        for (p, ext) in extents.iter().enumerate() {
+            if ext.width != projector.shape(p).width {
+                return Err(HammingError::Corrupt(format!(
+                    "partition {p} width mismatch: table {} vs partitioning {}",
+                    ext.width,
+                    projector.shape(p).width
+                )));
+            }
+            if ext.n_ids != n_rows {
+                return Err(HammingError::Corrupt(format!(
+                    "partition {p} posts {} ids for {n_rows} rows",
+                    ext.n_ids
+                )));
+            }
+            let n_keys = ext.n_keys as u64;
+            parts.push(ColdPart {
+                width: ext.width,
+                n_keys,
+                keys_off: blob_off + keys_slot.offset + koff,
+                offs_off: blob_off + offs_slot.offset + ooff,
+                ids_off: blob_off + ids_slot.offset + ioff,
+            });
+            koff = n_keys
+                .checked_mul(8)
+                .and_then(|b| koff.checked_add(b))
+                .filter(|&e| e <= keys_slot.len)
+                .ok_or_else(|| {
+                    HammingError::Corrupt(format!("partition {p} keys exceed the keys section"))
+                })?;
+            ooff = (n_keys + 1)
+                .checked_mul(4)
+                .and_then(|b| ooff.checked_add(b))
+                .filter(|&e| e <= offs_slot.len)
+                .ok_or_else(|| {
+                    HammingError::Corrupt(format!("partition {p} offsets exceed the offs section"))
+                })?;
+            ioff = (ext.n_ids as u64)
+                .checked_mul(4)
+                .and_then(|b| ioff.checked_add(b))
+                .filter(|&e| e <= ids_slot.len)
+                .ok_or_else(|| {
+                    HammingError::Corrupt(format!("partition {p} ids exceed the ids section"))
+                })?;
+        }
+        if koff != keys_slot.len || ooff != offs_slot.len || ioff != ids_slot.len {
+            return Err(HammingError::Corrupt(
+                "CSR sections have trailing bytes beyond the partition table".into(),
+            ));
+        }
+        let widths: Vec<usize> = extents.iter().map(|e| e.width).collect();
+        let estimator = crate::cn::restore_estimator_cold(
+            &estimator_kind,
+            est_state,
+            n_rows,
+            cfg.tau_max,
+            &widths,
+        )?;
+        Ok(ColdSegment {
+            rows_off: blob_off + rows_slot.offset,
+            file,
+            cache,
+            blob_off,
+            blob_len,
+            partitioning,
+            projector,
+            estimator,
+            estimator_kind,
+            allocator: cfg.allocator,
+            cost_model: cfg.cost_model,
+            tau_max: cfg.tau_max,
+            dim,
+            wpv,
+            n_rows,
+            parts,
+            scratch_pool: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Number of rows in the segment.
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// True when the segment holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Largest supported query threshold.
+    pub fn tau_max(&self) -> usize {
+        self.tau_max
+    }
+
+    /// The estimator kind the segment was built with.
+    pub fn estimator_kind(&self) -> &EstimatorKind {
+        &self.estimator_kind
+    }
+
+    /// The cost model the segment was built with.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Resident heap footprint: metadata only — the payload lives in
+    /// the shared page cache, accounted there.
+    pub fn size_bytes(&self) -> usize {
+        self.estimator.size_bytes() + self.parts.len() * std::mem::size_of::<ColdPart>() + 256
+    }
+
+    /// Counters of the page cache this segment reads through (shared
+    /// with every other segment on the same [`SpillStore`]).
+    pub fn cache_stats(&self) -> PageCacheStats {
+        self.cache.stats()
+    }
+
+    /// The raw GPHE v3 blob, read back verbatim (for re-snapshotting a
+    /// file-backed index without decoding it).
+    pub fn engine_blob(&self) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; self.blob_len as usize];
+        self.file.read_at(self.blob_off, &mut buf)?;
+        Ok(buf)
+    }
+
+    fn pread(&self, offset: u64, out: &mut [u8]) {
+        self.cache
+            .read_into(&self.file, offset, out)
+            .expect("cold segment read failed mid-query (file truncated or I/O error)")
+    }
+
+    /// Copies row `id` out of the paged row slab.
+    pub fn row(&self, id: usize) -> Vec<u64> {
+        assert!(id < self.n_rows, "row {id} out of range for {} rows", self.n_rows);
+        let mut buf = vec![0u8; self.wpv * 8];
+        self.pread(self.rows_off + (id * self.wpv * 8) as u64, &mut buf);
+        buf.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()
+    }
+
+    /// Exact Hamming distance from `query` to row `id`.
+    pub fn distance_to(&self, id: usize, query: &[u64]) -> u32 {
+        hamming(&self.row(id), query)
+    }
+
+    /// All vectors within `tau` of `query` (exact; ascending IDs).
+    pub fn search(&self, query: &[u64], tau: u32) -> Vec<u32> {
+        self.search_with_stats(query, tau).ids
+    }
+
+    /// Search with per-phase instrumentation, mirroring
+    /// [`Gph::search_with_stats`](crate::engine::Gph::search_with_stats)
+    /// phase for phase over paged reads.
+    pub fn search_with_stats(&self, query: &[u64], tau: u32) -> SearchResult {
+        assert!(
+            tau as usize <= self.tau_max,
+            "tau {tau} exceeds the configured tau_max {}",
+            self.tau_max
+        );
+        assert_eq!(query.len(), self.wpv, "query width mismatch with indexed data");
+        let mut stats = QueryStats::default();
+        let m = self.partitioning.num_parts();
+
+        // --- Phase 1: CN estimation + threshold allocation ------------
+        let t0 = Instant::now();
+        let q_proj: Vec<Vec<u64>> = (0..m).map(|i| self.projector.project(i, query)).collect();
+        let thresholds = if m == 1 {
+            ThresholdVector(vec![tau as i32])
+        } else {
+            let cn = CnTable::compute(self.estimator.as_ref(), &q_proj, tau as usize);
+            let tv = allocate(self.allocator, &cn, tau);
+            stats.estimated_cost = cn.sum_for(&tv);
+            tv
+        };
+        stats.alloc_ns = t0.elapsed().as_nanos() as u64;
+        stats.thresholds = thresholds.0.clone();
+
+        // --- Phases 2+3: signature enumeration + candidate generation --
+        let mut scratch = self
+            .scratch_pool
+            .lock()
+            .unwrap()
+            .pop()
+            .unwrap_or_else(|| ColdScratch::new(self.n_rows, self.wpv));
+        if scratch.stamps.len() < self.n_rows {
+            scratch.stamps.resize(self.n_rows, 0);
+        }
+        scratch.epoch = scratch.epoch.wrapping_add(1);
+        if scratch.epoch == 0 {
+            scratch.stamps.iter_mut().for_each(|s| *s = u32::MAX);
+            scratch.epoch = 1;
+        }
+        let epoch = scratch.epoch;
+        scratch.candidates.clear();
+
+        for (i, &ti) in thresholds.0.iter().enumerate() {
+            if ti < 0 {
+                continue;
+            }
+            let part = &self.parts[i];
+            let width = part.width;
+            let radius = (ti as usize).min(width);
+            let ball = ball_size(width, radius);
+            if ball > self.n_rows as u64 && self.n_rows > 0 {
+                // Scan fallback. The resident engine scans the projected
+                // column; cold, the distinct-keys array plays that role
+                // for narrow partitions (key == projected value, and the
+                // postings of all matching keys are exactly the rows
+                // within `radius`). Wide partitions store hashed keys,
+                // so distance on keys is meaningless — flood every row
+                // as a candidate and let verification (which is exact)
+                // keep the result set identical.
+                let t2 = Instant::now();
+                stats.n_scanned += self.n_rows as u64;
+                if width <= 64 {
+                    let qk = q_proj[i].first().copied().unwrap_or(0);
+                    self.scan_keys(part, qk, radius, epoch, &mut scratch, &mut stats);
+                } else {
+                    for id in 0..self.n_rows {
+                        if scratch.stamps[id] != epoch {
+                            scratch.stamps[id] = epoch;
+                            scratch.candidates.push(id as u32);
+                        }
+                    }
+                }
+                stats.candgen_ns += t2.elapsed().as_nanos() as u64;
+                continue;
+            }
+            let t1 = Instant::now();
+            scratch.keys.clear();
+            if width <= 64 {
+                let center = q_proj[i].first().copied().unwrap_or(0);
+                for_each_in_ball_u64(center, width, radius, |v| scratch.keys.push(v));
+            } else {
+                for_each_in_ball_words(&q_proj[i], width, radius, |w| {
+                    scratch.keys.push(key_of(w, width))
+                });
+            }
+            stats.n_signatures += scratch.keys.len() as u64;
+            stats.enumerate_ns += t1.elapsed().as_nanos() as u64;
+
+            let t2 = Instant::now();
+            // Probe each signature: binary search the paged keys array,
+            // then read the postings range. (Borrow juggling: the key
+            // list moves out of scratch while postings mutate it.)
+            let keys = std::mem::take(&mut scratch.keys);
+            for &key in &keys {
+                if let Some(slot) = self.find_key(part, key) {
+                    self.push_postings(part, slot, epoch, &mut scratch, &mut stats);
+                }
+            }
+            scratch.keys = keys;
+            stats.candgen_ns += t2.elapsed().as_nanos() as u64;
+        }
+        stats.n_candidates = scratch.candidates.len() as u64;
+
+        // --- Phase 4: verification -------------------------------------
+        // Candidates are verified in ascending id order for page
+        // locality; the result set is identical to the resident
+        // engine's (same candidates, same exact distance test).
+        let t3 = Instant::now();
+        scratch.candidates.sort_unstable();
+        let mut ids: Vec<u32> = Vec::with_capacity(scratch.candidates.len());
+        let mut row_buf = vec![0u8; self.wpv * 8];
+        for &id in &scratch.candidates {
+            self.pread(self.rows_off + (id as usize * self.wpv * 8) as u64, &mut row_buf);
+            for (w, c) in scratch.row.iter_mut().zip(row_buf.chunks_exact(8)) {
+                *w = u64::from_le_bytes(c.try_into().unwrap());
+            }
+            if hamming_within(&scratch.row, query, tau).is_some() {
+                ids.push(id);
+            }
+        }
+        stats.verify_ns = t3.elapsed().as_nanos() as u64;
+        stats.n_results = ids.len() as u64;
+
+        self.scratch_pool.lock().unwrap().push(scratch);
+        SearchResult { ids, stats }
+    }
+
+    /// Binary search for `key` in partition `part`'s paged keys array.
+    fn find_key(&self, part: &ColdPart, key: u64) -> Option<u64> {
+        let (mut lo, mut hi) = (0u64, part.n_keys);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let k = self
+                .cache
+                .read_u64(&self.file, part.keys_off + mid * 8)
+                .expect("cold segment read failed mid-query (file truncated or I/O error)");
+            match k.cmp(&key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid),
+            }
+        }
+        None
+    }
+
+    /// Reads the postings range of key slot `slot` and stamps its ids
+    /// into the candidate set. Range values come from the (deferred-CRC)
+    /// payload, so they are checked, not trusted: a corrupt range or id
+    /// is skipped instead of panicking or reading out of bounds.
+    fn push_postings(
+        &self,
+        part: &ColdPart,
+        slot: u64,
+        epoch: u32,
+        scratch: &mut ColdScratch,
+        stats: &mut QueryStats,
+    ) {
+        let eread = |r: Result<u32>| -> u32 {
+            r.expect("cold segment read failed mid-query (file truncated or I/O error)")
+        };
+        let start = eread(self.cache.read_u32(&self.file, part.offs_off + slot * 4)) as u64;
+        let end = eread(self.cache.read_u32(&self.file, part.offs_off + (slot + 1) * 4)) as u64;
+        if start > end || end > self.n_rows as u64 {
+            return;
+        }
+        let ids = self
+            .cache
+            .read_u32s(&self.file, part.ids_off + start * 4, (end - start) as usize)
+            .expect("cold segment read failed mid-query (file truncated or I/O error)");
+        stats.sum_postings += ids.len() as u64;
+        for id in ids {
+            let idu = id as usize;
+            if idu < self.n_rows && scratch.stamps[idu] != epoch {
+                scratch.stamps[idu] = epoch;
+                scratch.candidates.push(id);
+            }
+        }
+    }
+
+    /// Scan fallback for narrow partitions: walk the distinct-keys
+    /// array in paged batches, and take the postings of every key
+    /// within `radius` of the query key.
+    fn scan_keys(
+        &self,
+        part: &ColdPart,
+        qk: u64,
+        radius: usize,
+        epoch: u32,
+        scratch: &mut ColdScratch,
+        stats: &mut QueryStats,
+    ) {
+        let mut slot = 0u64;
+        while slot < part.n_keys {
+            let n = (part.n_keys - slot).min(KEY_SCAN_BATCH as u64) as usize;
+            let keys = self
+                .cache
+                .read_u64s(&self.file, part.keys_off + slot * 8, n)
+                .expect("cold segment read failed mid-query (file truncated or I/O error)");
+            for (j, &k) in keys.iter().enumerate() {
+                if (k ^ qk).count_ones() as usize <= radius {
+                    self.push_postings(part, slot + j as u64, epoch, scratch, stats);
+                }
+            }
+            slot += n as u64;
+        }
+    }
+
+    /// Estimated query cost, mirroring
+    /// [`Gph::estimate_cost`](crate::engine::Gph::estimate_cost).
+    pub fn estimate_cost(&self, query: &[u64], tau: u32) -> f64 {
+        assert!(tau as usize <= self.tau_max, "tau exceeds tau_max");
+        let m = self.partitioning.num_parts();
+        let q_proj: Vec<Vec<u64>> = (0..m).map(|i| self.projector.project(i, query)).collect();
+        if m == 1 {
+            let mut row = vec![0.0; tau as usize + 2];
+            self.estimator.fill(0, &q_proj[0], tau as usize, &mut row);
+            return self.cost_model.query_cost(row[tau as usize + 1], tau);
+        }
+        let cn = CnTable::compute(self.estimator.as_ref(), &q_proj, tau as usize);
+        let tv = allocate(self.allocator, &cn, tau);
+        self.cost_model.query_cost(cn.sum_for(&tv), tau)
+    }
+
+    /// Top-k within a capped escalation radius, mirroring
+    /// [`Gph::search_topk_within`](crate::engine::Gph::search_topk_within).
+    pub fn search_topk_within(&self, query: &[u64], k: usize, tau_cap: u32) -> Vec<(u32, u32)> {
+        assert!(
+            tau_cap as usize <= self.tau_max,
+            "tau_cap {tau_cap} exceeds the configured tau_max {}",
+            self.tau_max
+        );
+        let mut tau = 0u32;
+        loop {
+            let ids = self.search(query, tau);
+            if ids.len() >= k || tau >= tau_cap {
+                let mut scored: Vec<(u32, u32)> =
+                    ids.iter().map(|&id| (id, self.distance_to(id as usize, query))).collect();
+                scored.sort_by_key(|&(id, d)| (d, id));
+                scored.truncate(k);
+                return scored;
+            }
+            tau = (tau * 2).max(tau + 1).min(tau_cap);
+        }
+    }
+}
+
+impl std::fmt::Debug for ColdSegment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColdSegment")
+            .field("path", &self.file.path())
+            .field("rows", &self.n_rows)
+            .field("dim", &self.dim)
+            .field("blob_len", &self.blob_len)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cn::CnEstimator;
+
+    fn temp_file(name: &str, bytes: &[u8]) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gph-coldstore-test-{}-{name}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob.bin");
+        fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn page_cache_reads_across_page_boundaries() {
+        let bytes: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+        let path = temp_file("boundaries", &bytes);
+        let file = SegmentFile::open(&path, false).unwrap();
+        let cache = PageCache::with_page_size(1 << 20, MIN_PAGE_BYTES).unwrap();
+
+        // A read spanning three pages comes back stitched correctly.
+        let mut buf = vec![0u8; 9000];
+        cache.read_into(&file, 3000, &mut buf).unwrap();
+        assert_eq!(&buf[..], &bytes[3000..12_000]);
+
+        // Typed runs agree with a direct decode.
+        let words = cache.read_u64s(&file, 4096, 512).unwrap();
+        for (i, w) in words.iter().enumerate() {
+            let off = 4096 + i * 8;
+            assert_eq!(*w, u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()));
+        }
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn page_cache_evicts_under_budget_and_counts() {
+        let bytes = vec![3u8; 64 * 1024];
+        let path = temp_file("evict", &bytes);
+        let file = SegmentFile::open(&path, false).unwrap();
+        // Budget of two 4 KiB pages; touch 16 distinct pages.
+        let cache = PageCache::with_page_size(2 * 4096, MIN_PAGE_BYTES).unwrap();
+        for p in 0..16u64 {
+            let mut b = [0u8; 8];
+            cache.read_into(&file, p * 4096, &mut b).unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 16);
+        assert!(s.evictions >= 14, "evictions: {}", s.evictions);
+        assert!(s.resident_bytes <= 2 * 4096, "resident: {}", s.resident_bytes);
+
+        // Re-reading a recently touched page can hit.
+        let mut b = [0u8; 8];
+        cache.read_into(&file, 15 * 4096, &mut b).unwrap();
+        assert!(cache.stats().hits >= 1);
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn reads_past_eof_are_corrupt_not_panics() {
+        let path = temp_file("eof", &[1u8; 100]);
+        let file = SegmentFile::open(&path, false).unwrap();
+        let cache = PageCache::new(1 << 20);
+        let mut buf = [0u8; 8];
+        assert!(matches!(cache.read_into(&file, 96, &mut buf), Err(HammingError::Corrupt(_))));
+        assert!(matches!(
+            cache.read_into(&file, u64::MAX - 2, &mut buf),
+            Err(HammingError::Corrupt(_))
+        ));
+        // A forged count cannot allocate before the bounds check.
+        assert!(matches!(cache.read_u64s(&file, 0, usize::MAX / 2), Err(HammingError::Corrupt(_))));
+        assert!(matches!(file.read_at(101, &mut []), Err(HammingError::Corrupt(_))));
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn owned_segment_files_are_deleted_on_drop() {
+        let path = temp_file("owned", &[0u8; 10]);
+        let file = SegmentFile::open(&path, true).unwrap();
+        assert!(path.exists());
+        drop(file);
+        assert!(!path.exists());
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn spill_store_owns_its_temp_dir() {
+        let store = SpillStore::temp(1 << 20).unwrap();
+        let dir = store.dir().to_path_buf();
+        let seg = store.write_blob(&[9u8; 128]).unwrap();
+        assert!(dir.exists());
+        assert_eq!(seg.len(), 128);
+        let mut b = [0u8; 4];
+        store.cache().read_into(&seg, 64, &mut b).unwrap();
+        assert_eq!(b, [9u8; 4]);
+        drop(seg);
+        drop(store);
+        assert!(!dir.exists());
+    }
+
+    #[test]
+    fn page_size_validation() {
+        assert!(PageCache::with_page_size(0, 4096).is_ok());
+        assert!(PageCache::with_page_size(0, 5000).is_err());
+        assert!(PageCache::with_page_size(0, 2048).is_err());
+        assert!(PageCache::with_page_size(0, 128 * 1024).is_err());
+    }
+
+    #[test]
+    fn flat_cn_is_monotone_and_clamped() {
+        let est = FlatCn::new(1000, &[8, 64, 2000], 16);
+        for part in 0..3 {
+            let mut out = vec![0.0; 18];
+            est.fill(part, &[0], 16, &mut out);
+            assert_eq!(out[0], 0.0);
+            for e in 1..out.len() {
+                assert!(out[e] >= out[e - 1], "monotone at part {part} e {e}");
+                assert!(out[e] <= 1000.0);
+            }
+        }
+        // Width 8, tau 16: the CDF saturates at 1, so CN = n.
+        let mut out = vec![0.0; 18];
+        est.fill(0, &[0], 16, &mut out);
+        assert!((out[17] - 1000.0).abs() < 1e-6);
+    }
+
+    use crate::engine::{Gph, GphConfig};
+    use crate::partition_opt::PartitionStrategy;
+    use hamming_core::{BitVector, Dataset};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_dataset(dim: usize, n: usize, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ds = Dataset::new(dim);
+        for _ in 0..n {
+            let v = BitVector::from_bits((0..dim).map(|_| rng.random_bool(0.4)));
+            ds.push(&v).unwrap();
+        }
+        ds
+    }
+
+    /// Spill a built engine and reopen it cold under the given cache budget.
+    fn spill(engine: &Gph, budget: u64) -> (Arc<SpillStore>, ColdSegment) {
+        let store = SpillStore::temp(budget).unwrap();
+        let file = Arc::new(store.write_blob(&engine.to_bytes()).unwrap());
+        let len = file.len();
+        let cold = ColdSegment::open(file, store.cache().clone(), 0, len).unwrap();
+        (store, cold)
+    }
+
+    fn assert_cold_matches(engine: &Gph, cold: &ColdSegment, queries: &Dataset, taus: &[u32]) {
+        for qi in 0..queries.len() {
+            let q = queries.row(qi);
+            for &tau in taus {
+                let hot = engine.search(q, tau);
+                let cold_ids = cold.search(q, tau);
+                assert_eq!(hot, cold_ids, "qi={qi} tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn cold_segment_answers_exactly_like_the_resident_engine() {
+        let ds = random_dataset(64, 300, 41);
+        let queries = random_dataset(64, 8, 42);
+        let mut cfg = GphConfig::new(4, 8);
+        cfg.strategy = PartitionStrategy::RandomShuffle { seed: 5 };
+        let engine = Gph::build(ds, &cfg).unwrap();
+        // Budget of a single page forces constant eviction churn.
+        let (_store, cold) = spill(&engine, DEFAULT_PAGE_BYTES as u64);
+        assert_eq!(cold.len(), engine.data().len());
+        assert_eq!(cold.dim(), 64);
+        assert_eq!(cold.tau_max(), engine.tau_max());
+        assert_cold_matches(&engine, &cold, &queries, &[0, 1, 3, 8]);
+        // The default SubPartition estimator snapshots its state, so the
+        // cold side restores the identical tables: thresholds and cost
+        // estimates agree too, not just result sets.
+        for qi in 0..queries.len() {
+            let q = queries.row(qi);
+            let hot = engine.search_with_stats(q, 5);
+            let chill = cold.search_with_stats(q, 5);
+            assert_eq!(hot.stats.thresholds, chill.stats.thresholds, "qi={qi}");
+            assert_eq!(engine.estimate_cost(q, 5), cold.estimate_cost(q, 5), "qi={qi}");
+            assert_eq!(
+                engine.search_topk_within(q, 3, 8),
+                cold.search_topk_within(q, 3, 8),
+                "qi={qi}"
+            );
+        }
+        let stats = cold.cache_stats();
+        assert!(stats.evictions > 0, "a 1-page budget must evict: {stats:?}");
+        assert!(stats.resident_bytes <= DEFAULT_PAGE_BYTES as u64);
+    }
+
+    #[test]
+    fn cold_segment_scan_fallback_matches_on_tiny_corpora() {
+        // 40 rows with tau up to 8: every partition's signature ball
+        // dwarfs the corpus, forcing the key-scan fallback.
+        let ds = random_dataset(64, 40, 43);
+        let queries = random_dataset(64, 6, 44);
+        let mut cfg = GphConfig::new(4, 8);
+        cfg.strategy = PartitionStrategy::RandomShuffle { seed: 6 };
+        let engine = Gph::build(ds, &cfg).unwrap();
+        let (_store, cold) = spill(&engine, 1 << 20);
+        assert_cold_matches(&engine, &cold, &queries, &[4, 8]);
+    }
+
+    #[test]
+    fn cold_segment_wide_partitions_match() {
+        // dim 160 over 2 parts: 80-bit partitions exercise the
+        // multi-word enumeration path and the wide-scan candidate flood.
+        let ds = random_dataset(160, 120, 45);
+        let queries = random_dataset(160, 5, 46);
+        let mut cfg = GphConfig::new(2, 6);
+        cfg.strategy = PartitionStrategy::RandomShuffle { seed: 7 };
+        let engine = Gph::build(ds, &cfg).unwrap();
+        let (_store, cold) = spill(&engine, 1 << 20);
+        assert_cold_matches(&engine, &cold, &queries, &[1, 4, 6]);
+    }
+
+    #[test]
+    fn cold_segment_single_partition_matches() {
+        let ds = random_dataset(32, 150, 47);
+        let queries = random_dataset(32, 5, 48);
+        let mut cfg = GphConfig::new(1, 4);
+        cfg.strategy = PartitionStrategy::RandomShuffle { seed: 8 };
+        let engine = Gph::build(ds, &cfg).unwrap();
+        let (_store, cold) = spill(&engine, 1 << 20);
+        assert_cold_matches(&engine, &cold, &queries, &[0, 2, 4]);
+    }
+
+    #[test]
+    fn cold_segment_without_estimator_state_still_answers_exactly() {
+        // SampleScan snapshots no state; the cold side falls back to the
+        // closed-form FlatCn. Allocations may differ — results must not.
+        let ds = random_dataset(64, 200, 49);
+        let queries = random_dataset(64, 6, 50);
+        let mut cfg = GphConfig::new(4, 6);
+        cfg.strategy = PartitionStrategy::RandomShuffle { seed: 9 };
+        cfg.estimator = crate::cn::EstimatorKind::SampleScan { sample_cap: 64, seed: 3 };
+        let engine = Gph::build(ds, &cfg).unwrap();
+        let (_store, cold) = spill(&engine, 1 << 20);
+        assert_cold_matches(&engine, &cold, &queries, &[0, 3, 6]);
+    }
+
+    #[test]
+    fn cold_segment_round_trips_its_blob() {
+        let ds = random_dataset(64, 100, 51);
+        let mut cfg = GphConfig::new(4, 6);
+        cfg.strategy = PartitionStrategy::RandomShuffle { seed: 10 };
+        let engine = Gph::build(ds, &cfg).unwrap();
+        let bytes = engine.to_bytes();
+        let (_store, cold) = spill(&engine, 1 << 20);
+        assert_eq!(cold.engine_blob().unwrap(), bytes);
+        let reloaded = Gph::from_bytes(&cold.engine_blob().unwrap()).unwrap();
+        assert_eq!(reloaded.data().len(), engine.data().len());
+        // Row reads come back verbatim.
+        for id in [0usize, 57, 99] {
+            assert_eq!(cold.row(id), reloaded.data().row(id));
+        }
+    }
+
+    #[test]
+    fn cold_open_rejects_corrupt_metadata() {
+        let ds = random_dataset(64, 80, 52);
+        let mut cfg = GphConfig::new(4, 6);
+        cfg.strategy = PartitionStrategy::RandomShuffle { seed: 11 };
+        let engine = Gph::build(ds, &cfg).unwrap();
+        let bytes = engine.to_bytes();
+        let store = SpillStore::temp(1 << 20).unwrap();
+        // Flip one byte in the partitioning section (slot 1): the cold
+        // open CRC-checks every metadata slot even though payload slots
+        // stay deferred.
+        let foot = hamming_core::io::Footer::parse_bytes(
+            crate::snapshot::ENGINE_MAGIC,
+            crate::snapshot::SNAPSHOT_VERSION,
+            &bytes,
+        )
+        .unwrap();
+        let target = foot.slot(SLOT_PARTIT).unwrap().offset as usize;
+        let mut bad = bytes.clone();
+        bad[target] ^= 0x40;
+        let file = Arc::new(store.write_blob(&bad).unwrap());
+        let len = file.len();
+        let err = ColdSegment::open(file, store.cache().clone(), 0, len).unwrap_err();
+        assert!(matches!(err, HammingError::Corrupt(_)), "{err:?}");
+        // Truncated files fail footer parsing, not panic.
+        let file = Arc::new(store.write_blob(&bytes[..bytes.len() - 9]).unwrap());
+        let len = file.len();
+        assert!(ColdSegment::open(file, store.cache().clone(), 0, len).is_err());
+    }
+}

@@ -53,6 +53,7 @@
 
 pub mod alloc;
 pub mod cn;
+pub mod coldstore;
 pub mod cost;
 pub mod engine;
 pub mod partition_opt;
@@ -62,6 +63,7 @@ pub mod snapshot;
 
 pub use alloc::{allocate_dp, allocate_round_robin, AllocatorKind};
 pub use cn::{CnEstimator, CnTable, EstimatorKind};
+pub use coldstore::{PageCache, PageCacheStats, SegmentFile, SpillStore, StorageMode};
 pub use cost::CostModel;
 pub use engine::{Gph, GphConfig, QueryStats, SearchResult};
 pub use hamming_core::{fasthash, invindex as index};

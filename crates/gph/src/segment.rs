@@ -28,21 +28,36 @@
 //! insert/delete/seal/compact interleavings, including through a
 //! snapshot/restore round-trip.
 
-use crate::engine::{Gph, GphConfig, QueryStats};
+use crate::coldstore::{ColdSegment, PageCacheStats, SegmentFile, SpillStore, StorageMode};
+use crate::engine::{Gph, GphConfig, QueryStats, SearchResult};
 use crate::snapshot::{decode_gph_config, encode_gph_config};
 use bytes::BufMut;
 use gph_obs::{PhaseNanos, SegmentTrace};
 use hamming_core::error::{HammingError, Result};
-use hamming_core::io::{ByteReader, SectionReader, SectionWriter};
+use hamming_core::io::{crc32, ByteReader, Footer, OffsetWriter, SectionReader, PAGE_SIZE};
 use hamming_core::tombstone::Tombstones;
 use hamming_core::{words_for, Dataset};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Magic of a segmented-engine snapshot.
 pub const SEGMENT_MAGIC: [u8; 4] = *b"GPHS";
 
-/// Current segmented-snapshot format version.
-pub const SEGMENT_VERSION: u32 = 1;
+/// Current segmented-snapshot format version. Version 2 was never
+/// shipped: the segmented container jumped from 1 straight to 3 so that
+/// every offset-addressed format (GPHE, GPHS) shares the same
+/// generation number — see `FORMAT.md`.
+pub const SEGMENT_VERSION: u32 = 3;
+
+// GPHS v3 slot indices (see `FORMAT.md`).
+pub(crate) const SEG_SLOT_CONFIG: usize = 0;
+pub(crate) const SEG_SLOT_SEGHDR: usize = 1;
+pub(crate) const SEG_SLOT_MEMDATA: usize = 2;
+pub(crate) const SEG_SLOT_MEMIDS: usize = 3;
+pub(crate) const SEG_SLOT_MEMDEAD: usize = 4;
+pub(crate) const SEG_SLOT_BLOBS: usize = 5;
+pub(crate) const SEG_SLOT_SEGTAB: usize = 6;
+pub(crate) const N_SEG_SLOTS: usize = 7;
 
 /// Knobs of the segment lifecycle.
 #[derive(Clone, Copy, Debug)]
@@ -53,11 +68,16 @@ pub struct SegmentConfig {
     /// Sealed segments tolerated before compaction merges the two
     /// smallest; bounds per-query fan-out.
     pub max_sealed: usize,
+    /// Where sealed segments live: decoded on the heap
+    /// ([`StorageMode::Resident`], the default) or paged on demand from
+    /// their snapshot blobs ([`StorageMode::FileBacked`]). The memtable
+    /// is always resident. Runtime policy, not persisted in snapshots.
+    pub storage: StorageMode,
 }
 
 impl Default for SegmentConfig {
     fn default() -> Self {
-        SegmentConfig { seal_rows: 4096, max_sealed: 6 }
+        SegmentConfig { seal_rows: 4096, max_sealed: 6, storage: StorageMode::Resident }
     }
 }
 
@@ -85,11 +105,110 @@ impl Memtable {
     }
 }
 
-/// One sealed, immutable segment: a frozen [`Gph`] engine plus the map
-/// from its dense local row ids to external ids, and the tombstones
-/// accumulated since it was built.
+/// Where a sealed segment's engine actually lives: decoded on the heap,
+/// or paged on demand from its GPHE v3 blob. Both answer every query
+/// identically; `Cold` trades latency for a bounded memory footprint.
+enum SegStore {
+    Resident(Gph),
+    Cold(ColdSegment),
+}
+
+impl SegStore {
+    fn len(&self) -> usize {
+        match self {
+            SegStore::Resident(g) => g.data().len(),
+            SegStore::Cold(c) => c.len(),
+        }
+    }
+
+    fn dim(&self) -> usize {
+        match self {
+            SegStore::Resident(g) => g.data().dim(),
+            SegStore::Cold(c) => c.dim(),
+        }
+    }
+
+    fn tau_max(&self) -> usize {
+        match self {
+            SegStore::Resident(g) => g.tau_max(),
+            SegStore::Cold(c) => c.tau_max(),
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            SegStore::Resident(g) => g.size_bytes(),
+            SegStore::Cold(c) => c.size_bytes(),
+        }
+    }
+
+    fn search(&self, query: &[u64], tau: u32) -> Vec<u32> {
+        match self {
+            SegStore::Resident(g) => g.search(query, tau),
+            SegStore::Cold(c) => c.search(query, tau),
+        }
+    }
+
+    fn search_with_stats(&self, query: &[u64], tau: u32) -> SearchResult {
+        match self {
+            SegStore::Resident(g) => g.search_with_stats(query, tau),
+            SegStore::Cold(c) => c.search_with_stats(query, tau),
+        }
+    }
+
+    fn search_topk_within(&self, query: &[u64], k: usize, tau_cap: u32) -> Vec<(u32, u32)> {
+        match self {
+            SegStore::Resident(g) => g.search_topk_within(query, k, tau_cap),
+            SegStore::Cold(c) => c.search_topk_within(query, k, tau_cap),
+        }
+    }
+
+    fn estimate_cost(&self, query: &[u64], tau: u32) -> f64 {
+        match self {
+            SegStore::Resident(g) => g.estimate_cost(query, tau),
+            SegStore::Cold(c) => c.estimate_cost(query, tau),
+        }
+    }
+
+    fn distance_to(&self, row: usize, query: &[u64]) -> u32 {
+        match self {
+            SegStore::Resident(g) => g.data().distance_to(row, query),
+            SegStore::Cold(c) => c.distance_to(row, query),
+        }
+    }
+
+    /// The segment's local row `row`, owned (cold rows are copied out of
+    /// the page cache).
+    fn row_of(&self, row: usize) -> Vec<u64> {
+        match self {
+            SegStore::Resident(g) => g.data().row(row).to_vec(),
+            SegStore::Cold(c) => c.row(row),
+        }
+    }
+
+    /// Appends local row `row` to `ds` (the seal/compaction merge path).
+    fn append_row_to(&self, ds: &mut Dataset, row: usize) -> Result<()> {
+        match self {
+            SegStore::Resident(g) => ds.push_row_from(g.data(), row).map(|_| ()),
+            SegStore::Cold(c) => ds.push_row(&c.row(row)).map(|_| ()),
+        }
+    }
+
+    /// The segment's GPHE snapshot blob. Resident engines encode; cold
+    /// segments read their backing blob back verbatim.
+    fn engine_bytes(&self) -> Result<Vec<u8>> {
+        match self {
+            SegStore::Resident(g) => Ok(g.to_bytes()),
+            SegStore::Cold(c) => c.engine_blob(),
+        }
+    }
+}
+
+/// One sealed, immutable segment: a frozen engine (resident or
+/// file-backed) plus the map from its dense local row ids to external
+/// ids, and the tombstones accumulated since it was built.
 struct Sealed {
-    engine: Gph,
+    store: SegStore,
     ids: Vec<u32>,
     dead: Tombstones,
 }
@@ -117,8 +236,8 @@ pub struct SegmentInfo {
 ///
 /// let mut cfg = GphConfig::new(2, 4);
 /// cfg.strategy = PartitionStrategy::Original;
-/// let mut engine =
-///     SegmentedGph::new(16, cfg, SegmentConfig { seal_rows: 2, max_sealed: 2 }).unwrap();
+/// let seg_cfg = SegmentConfig { seal_rows: 2, max_sealed: 2, ..SegmentConfig::default() };
+/// let mut engine = SegmentedGph::new(16, cfg, seg_cfg).unwrap();
 ///
 /// // Insert rows under caller-chosen ids; seals happen automatically.
 /// engine.insert(7, &[0b0000_0000_1111_0000]).unwrap();
@@ -141,6 +260,10 @@ pub struct SegmentedGph {
     sealed: Vec<Sealed>,
     /// External id → current location, live rows only.
     loc: HashMap<u32, Loc>,
+    /// Spill directory + shared page cache for file-backed segments,
+    /// created lazily on the first cold seal (or eagerly by a
+    /// file-backed restore). `None` while fully resident.
+    spill: Option<Arc<SpillStore>>,
 }
 
 impl SegmentedGph {
@@ -162,6 +285,7 @@ impl SegmentedGph {
             mem: Memtable::new(dim),
             sealed: Vec::new(),
             loc: HashMap::new(),
+            spill: None,
         })
     }
 
@@ -192,11 +316,42 @@ impl SegmentedGph {
     /// Builds a sealed segment over `data` without touching any engine
     /// state — the build-then-commit half of every seal/compaction, so a
     /// failed `Gph::build` (e.g. an invalid config) leaves the engine
-    /// fully consistent.
-    fn build_segment(&self, data: Dataset, ids: Vec<u32>) -> Result<Sealed> {
+    /// fully consistent. (Creating the spill store early is harmless on
+    /// failure: it is just an empty temp directory.)
+    fn build_segment(&mut self, data: Dataset, ids: Vec<u32>) -> Result<Sealed> {
         let n = data.len();
         let engine = Gph::build(data, &self.cfg)?;
-        Ok(Sealed { engine, ids, dead: Tombstones::all_live(n) })
+        let store = self.store_engine(engine)?;
+        Ok(Sealed { store, ids, dead: Tombstones::all_live(n) })
+    }
+
+    /// Places a freshly built engine according to the configured
+    /// [`StorageMode`]: kept resident, or encoded to a GPHE v3 blob in
+    /// the spill store and reopened cold.
+    fn store_engine(&mut self, engine: Gph) -> Result<SegStore> {
+        match self.seg_cfg.storage {
+            StorageMode::Resident => Ok(SegStore::Resident(engine)),
+            StorageMode::FileBacked { budget_bytes } => {
+                let spill = self.spill_store(budget_bytes)?;
+                let file = Arc::new(spill.write_blob(&engine.to_bytes())?);
+                let len = file.len();
+                Ok(SegStore::Cold(ColdSegment::open(file, Arc::clone(spill.cache()), 0, len)?))
+            }
+        }
+    }
+
+    /// The spill store, created on first use.
+    fn spill_store(&mut self, budget_bytes: u64) -> Result<Arc<SpillStore>> {
+        if self.spill.is_none() {
+            self.spill = Some(SpillStore::temp(budget_bytes)?);
+        }
+        Ok(Arc::clone(self.spill.as_ref().unwrap()))
+    }
+
+    /// Page-cache counters when any segment is file-backed; `None` while
+    /// fully resident.
+    pub fn page_cache_stats(&self) -> Option<PageCacheStats> {
+        self.spill.as_ref().map(|s| s.cache().stats())
     }
 
     /// Registers a built segment's ids in the location map (overwriting
@@ -277,13 +432,14 @@ impl SegmentedGph {
         ids
     }
 
-    /// The stored row for a live `id`.
-    pub fn get(&self, id: u32) -> Option<&[u64]> {
+    /// The stored row for a live `id`, owned (file-backed segments copy
+    /// the row out of the page cache).
+    pub fn get(&self, id: u32) -> Option<Vec<u64>> {
         let loc = self.loc.get(&id)?;
         Some(if loc.seg == MEMTABLE {
-            self.mem.data.row(loc.row)
+            self.mem.data.row(loc.row).to_vec()
         } else {
-            self.sealed[loc.seg].engine.data().row(loc.row)
+            self.sealed[loc.seg].store.row_of(loc.row)
         })
     }
 
@@ -307,10 +463,12 @@ impl SegmentedGph {
         self.sealed.len()
     }
 
-    /// Heap size of all segment engines plus the memtable payload.
+    /// Heap size of all segment engines plus the memtable payload. For
+    /// file-backed segments this counts only their resident metadata;
+    /// paged bytes are accounted by the shared cache
+    /// ([`SegmentedGph::page_cache_stats`]).
     pub fn size_bytes(&self) -> usize {
-        self.mem.data.size_bytes()
-            + self.sealed.iter().map(|s| s.engine.size_bytes()).sum::<usize>()
+        self.mem.data.size_bytes() + self.sealed.iter().map(|s| s.store.size_bytes()).sum::<usize>()
     }
 
     fn assert_query(&self, query: &[u64], tau: u32) {
@@ -422,7 +580,7 @@ impl SegmentedGph {
         let mut ids = Vec::with_capacity(self.len());
         for seg in &self.sealed {
             for row in seg.dead.iter_live() {
-                data.push_row_from(seg.engine.data(), row)?;
+                seg.store.append_row_to(&mut data, row)?;
                 ids.push(seg.ids[row]);
             }
         }
@@ -460,7 +618,7 @@ impl SegmentedGph {
             for idx in [lo, hi] {
                 let seg = &self.sealed[idx];
                 for row in seg.dead.iter_live() {
-                    data.push_row_from(seg.engine.data(), row)?;
+                    seg.store.append_row_to(&mut data, row)?;
                     ids.push(seg.ids[row]);
                 }
             }
@@ -524,7 +682,7 @@ impl SegmentedGph {
         let mut out = Vec::new();
         let mut agg = QueryStats::default();
         for (seg_idx, seg) in self.sealed.iter().enumerate() {
-            let res = seg.engine.search_with_stats(query, tau);
+            let res = seg.store.search_with_stats(query, tau);
             agg.alloc_ns += res.stats.alloc_ns;
             agg.enumerate_ns += res.stats.enumerate_ns;
             agg.candgen_ns += res.stats.candgen_ns;
@@ -535,7 +693,7 @@ impl SegmentedGph {
             agg.n_candidates += res.stats.n_candidates;
             agg.estimated_cost += res.stats.estimated_cost;
             if let Some(traces) = sink.as_deref_mut() {
-                traces.push(Self::trace_of(seg_idx as u32, seg.engine.data().len(), &res.stats));
+                traces.push(Self::trace_of(seg_idx as u32, seg.store.len(), &res.stats));
             }
             for local in res.ids {
                 if !seg.dead.is_dead(local as usize) {
@@ -606,9 +764,9 @@ impl SegmentedGph {
         self.assert_query(query, tau);
         let mut out = Vec::new();
         for seg in &self.sealed {
-            for local in seg.engine.search(query, tau) {
+            for local in seg.store.search(query, tau) {
                 if !seg.dead.is_dead(local as usize) {
-                    let d = seg.engine.data().distance_to(local as usize, query);
+                    let d = seg.store.distance_to(local as usize, query);
                     out.push((seg.ids[local as usize], d));
                 }
             }
@@ -643,7 +801,7 @@ impl SegmentedGph {
             // Over-fetch by the segment's dead count: at most that many
             // tombstoned rows can occupy top slots, so k live survivors
             // (when they exist within the cap) are always retained.
-            for (local, d) in seg.engine.search_topk_within(query, k + seg.dead.dead(), tau_cap) {
+            for (local, d) in seg.store.search_topk_within(query, k + seg.dead.dead(), tau_cap) {
                 if !seg.dead.is_dead(local as usize) {
                     hits.push((seg.ids[local as usize], d));
                 }
@@ -665,7 +823,7 @@ impl SegmentedGph {
     /// the memtable's scan cost (every live row is verified).
     pub fn estimate_cost(&self, query: &[u64], tau: u32) -> f64 {
         self.assert_query(query, tau);
-        let sealed: f64 = self.sealed.iter().map(|s| s.engine.estimate_cost(query, tau)).sum();
+        let sealed: f64 = self.sealed.iter().map(|s| s.store.estimate_cost(query, tau)).sum();
         sealed + self.mem.dead.live() as f64 * self.cfg.cost_model.c_verify
     }
 
@@ -692,83 +850,160 @@ impl SegmentedGph {
     // Snapshots
     // -----------------------------------------------------------------
 
-    /// Serializes the engine: the build config, the memtable (rows, ids,
-    /// tombstones), and every sealed segment (ids + tombstones + the
-    /// segment's full [`Gph`] snapshot) as one CRC-protected section
-    /// each. Pending tombstones round-trip; nothing is compacted away.
+    /// Serializes the engine as a GPHS v3 offset-addressed container:
+    /// the build config, the memtable (rows, ids, tombstones), every
+    /// sealed segment's GPHE blob in a page-aligned blob arena, and a
+    /// segment table mapping each segment to its arena extent plus its
+    /// ids and tombstones. Pending tombstones round-trip; nothing is
+    /// compacted away. See `FORMAT.md` for the byte-level layout.
+    ///
+    /// # Panics
+    ///
+    /// File-backed segments read their blob back from disk here; an
+    /// operating-system I/O failure doing so panics (the same contract
+    /// as mid-query paged reads).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = SectionWriter::new(SEGMENT_MAGIC, SEGMENT_VERSION);
-        w.section("config", &encode_gph_config(&self.cfg));
+        let blobs: Vec<Vec<u8>> = self
+            .sealed
+            .iter()
+            .map(|s| s.store.engine_bytes().expect("segment blob read failed during snapshot"))
+            .collect();
+        // The arena is assembled first so the segment table can carry
+        // arena-relative offsets. Each blob starts on a PAGE_SIZE
+        // boundary; the arena section itself is page-aligned, so blob
+        // starts are file-page-aligned too and a file-backed restore
+        // can map them in place.
+        let mut arena = Vec::new();
+        let mut rel = Vec::with_capacity(blobs.len());
+        for blob in &blobs {
+            let pos = arena.len().next_multiple_of(PAGE_SIZE);
+            arena.resize(pos, 0);
+            rel.push(pos as u64);
+            arena.extend_from_slice(blob);
+        }
+        let mut segtab = Vec::new();
+        for (i, seg) in self.sealed.iter().enumerate() {
+            segtab.put_u64_le(rel[i]);
+            segtab.put_u64_le(blobs[i].len() as u64);
+            segtab.put_u64_le(seg.ids.len() as u64);
+            for &id in &seg.ids {
+                segtab.put_u32_le(id);
+            }
+            let dead = seg.dead.encode();
+            segtab.put_u64_le(dead.len() as u64);
+            segtab.put_slice(&dead);
+        }
+
+        let mut w = OffsetWriter::new(SEGMENT_MAGIC, SEGMENT_VERSION);
+        w.section(&encode_gph_config(&self.cfg));
         let mut hdr = Vec::with_capacity(32);
         hdr.put_u64_le(self.dim as u64);
         hdr.put_u64_le(self.seg_cfg.seal_rows as u64);
         hdr.put_u64_le(self.seg_cfg.max_sealed as u64);
         hdr.put_u64_le(self.sealed.len() as u64);
-        w.section("seghdr", &hdr);
-        w.section("memdata", &hamming_core::io::encode_dataset(&self.mem.data));
+        w.section(&hdr);
+        w.section(&hamming_core::io::encode_dataset(&self.mem.data));
         let mut mem_ids = Vec::with_capacity(8 + self.mem.ids.len() * 4);
         mem_ids.put_u64_le(self.mem.ids.len() as u64);
         for &id in &self.mem.ids {
             mem_ids.put_u32_le(id);
         }
-        w.section("memids", &mem_ids);
-        w.section("memdead", &self.mem.dead.encode());
-        for (i, seg) in self.sealed.iter().enumerate() {
-            let engine = seg.engine.to_bytes();
-            let dead = seg.dead.encode();
-            let mut body = Vec::with_capacity(24 + seg.ids.len() * 4 + dead.len() + engine.len());
-            body.put_u64_le(seg.ids.len() as u64);
-            for &id in &seg.ids {
-                body.put_u32_le(id);
-            }
-            body.put_u64_le(dead.len() as u64);
-            body.put_slice(&dead);
-            body.put_u64_le(engine.len() as u64);
-            body.put_slice(&engine);
-            w.section(&format!("seg{i}"), &body);
-        }
+        w.section(&mem_ids);
+        w.section(&self.mem.dead.encode());
+        w.aligned_section(&arena);
+        w.section(&segtab);
         w.finish()
     }
 
-    /// Restores an engine from [`SegmentedGph::to_bytes`] bytes. The
-    /// restored engine is query-for-query identical to the saved one, and
-    /// — because the build config travels with the data — behaves
-    /// identically under further mutations too.
+    /// Restores an engine from [`SegmentedGph::to_bytes`] bytes (v3) or
+    /// a legacy v1 snapshot, fully resident. The restored engine is
+    /// query-for-query identical to the saved one, and — because the
+    /// build config travels with the data — behaves identically under
+    /// further mutations too.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        let r = SectionReader::parse(SEGMENT_MAGIC, SEGMENT_VERSION, bytes)?;
-        let cfg = decode_gph_config(r.section("config")?)?;
-        let mut hr = ByteReader::new(r.section("seghdr")?);
-        let dim = hr.u64("dim")? as usize;
-        let seal_rows = hr.u64("seal_rows")? as usize;
-        let max_sealed = hr.u64("max_sealed")? as usize;
-        let n_sealed = hr.u64("sealed segment count")? as usize;
-        hr.finish("segment header")?;
-        let mut out = SegmentedGph::new(dim, cfg, SegmentConfig { seal_rows, max_sealed })?;
+        Self::from_bytes_with_storage(bytes, StorageMode::Resident)
+    }
 
-        let mem_data = hamming_core::io::decode_dataset(r.section("memdata")?)?;
-        if mem_data.dim() != dim {
+    /// [`SegmentedGph::from_bytes`] with an explicit [`StorageMode`] for
+    /// the restored sealed segments. Under
+    /// [`StorageMode::FileBacked`] each v3 segment blob is spilled to a
+    /// temp file and served through a shared page cache instead of being
+    /// decoded onto the heap. Legacy v1 snapshots have no mappable
+    /// blobs: their segments restore resident regardless of mode (newly
+    /// sealed segments still go cold).
+    pub fn from_bytes_with_storage(bytes: &[u8], storage: StorageMode) -> Result<Self> {
+        if bytes.len() >= 8
+            && bytes[..4] == SEGMENT_MAGIC
+            && u32::from_le_bytes(bytes[4..8].try_into().unwrap()) >= 3
+        {
+            Self::decode_v3(bytes, storage)
+        } else {
+            Self::decode_legacy(bytes, storage)
+        }
+    }
+
+    /// Decodes a GPHS v3 container from memory with every payload CRC
+    /// verified up front.
+    fn decode_v3(bytes: &[u8], storage: StorageMode) -> Result<Self> {
+        let f = Footer::parse_bytes(SEGMENT_MAGIC, SEGMENT_VERSION, bytes)?;
+        if f.n_slots() != N_SEG_SLOTS {
             return Err(HammingError::Corrupt(format!(
-                "memtable holds {}-dimensional rows, header says {dim}",
-                mem_data.dim()
+                "segmented snapshot has {} sections, expected {N_SEG_SLOTS}",
+                f.n_slots()
             )));
         }
-        let mut ir = ByteReader::new(r.section("memids")?);
-        let n_ids = ir.len(4, "memtable id count")?;
-        let mut mem_ids = Vec::with_capacity(n_ids);
-        for _ in 0..n_ids {
-            mem_ids.push(ir.u32("memtable id")?);
+        let cfg = decode_gph_config(f.payload(bytes, SEG_SLOT_CONFIG)?)?;
+        let (dim, seal_rows, max_sealed, n_sealed) =
+            Self::decode_seghdr(f.payload(bytes, SEG_SLOT_SEGHDR)?)?;
+        let mut out =
+            SegmentedGph::new(dim, cfg, SegmentConfig { seal_rows, max_sealed, storage })?;
+        out.mem = Self::decode_memtable(
+            f.payload(bytes, SEG_SLOT_MEMDATA)?,
+            f.payload(bytes, SEG_SLOT_MEMIDS)?,
+            f.payload(bytes, SEG_SLOT_MEMDEAD)?,
+            dim,
+        )?;
+
+        let arena = f.payload(bytes, SEG_SLOT_BLOBS)?;
+        let mut tr = ByteReader::new(f.payload(bytes, SEG_SLOT_SEGTAB)?);
+        for i in 0..n_sealed {
+            let (rel, blob_len, ids, dead) = Self::decode_segtab_entry(&mut tr)?;
+            let end =
+                (rel as usize).checked_add(blob_len).filter(|&e| e <= arena.len()).ok_or_else(
+                    || HammingError::Corrupt(format!("segment {i} blob extent exceeds the arena")),
+                )?;
+            let blob = &arena[rel as usize..end];
+            let store = match storage {
+                StorageMode::Resident => SegStore::Resident(Gph::from_bytes(blob)?),
+                StorageMode::FileBacked { budget_bytes } => {
+                    let spill = out.spill_store(budget_bytes)?;
+                    let file = Arc::new(spill.write_blob(blob)?);
+                    let len = file.len();
+                    SegStore::Cold(ColdSegment::open(file, Arc::clone(spill.cache()), 0, len)?)
+                }
+            };
+            Self::check_segment(i, &store, &ids, &dead, dim, out.cfg.tau_max)?;
+            out.sealed.push(Sealed { store, ids, dead });
         }
-        ir.finish("memtable ids")?;
-        let mem_dead = Tombstones::decode(r.section("memdead")?)?;
-        if mem_ids.len() != mem_data.len() || mem_dead.len() != mem_data.len() {
-            return Err(HammingError::Corrupt(format!(
-                "memtable sections disagree: {} rows, {} ids, {} tombstone slots",
-                mem_data.len(),
-                mem_ids.len(),
-                mem_dead.len()
-            )));
-        }
-        out.mem = Memtable { data: mem_data, ids: mem_ids, dead: mem_dead };
+        tr.finish("segment table")?;
+        out.finish_restore()
+    }
+
+    /// Decodes a legacy (v1, tag-addressed) snapshot. Segments always
+    /// restore resident — v1 engines are not offset-addressed, so there
+    /// is nothing to page against.
+    fn decode_legacy(bytes: &[u8], storage: StorageMode) -> Result<Self> {
+        let r = SectionReader::parse(SEGMENT_MAGIC, 1, bytes)?;
+        let cfg = decode_gph_config(r.section("config")?)?;
+        let (dim, seal_rows, max_sealed, n_sealed) = Self::decode_seghdr(r.section("seghdr")?)?;
+        let mut out =
+            SegmentedGph::new(dim, cfg, SegmentConfig { seal_rows, max_sealed, storage })?;
+        out.mem = Self::decode_memtable(
+            r.section("memdata")?,
+            r.section("memids")?,
+            r.section("memdead")?,
+            dim,
+        )?;
 
         for i in 0..n_sealed {
             let mut sr = ByteReader::new(r.section(&format!("seg{i}"))?);
@@ -780,44 +1015,117 @@ impl SegmentedGph {
             let dead_len = sr.len(1, "segment tombstone length")?;
             let dead = Tombstones::decode(sr.bytes(dead_len, "segment tombstones")?)?;
             let eng_len = sr.len(1, "segment engine length")?;
-            let engine = Gph::from_bytes(sr.bytes(eng_len, "segment engine")?)?;
+            let store = SegStore::Resident(Gph::from_bytes(sr.bytes(eng_len, "segment engine")?)?);
             sr.finish("sealed segment")?;
-            if engine.data().len() != ids.len() || dead.len() != ids.len() {
-                return Err(HammingError::Corrupt(format!(
-                    "segment {i} sections disagree: {} rows, {} ids, {} tombstone slots",
-                    engine.data().len(),
-                    ids.len(),
-                    dead.len()
-                )));
-            }
-            if engine.data().dim() != dim {
-                return Err(HammingError::Corrupt(format!(
-                    "segment {i} indexes {}-dimensional rows, header says {dim}",
-                    engine.data().dim()
-                )));
-            }
-            if engine.tau_max() != out.cfg.tau_max {
-                return Err(HammingError::Corrupt(format!(
-                    "segment {i} serves tau_max {}, config says {}",
-                    engine.tau_max(),
-                    out.cfg.tau_max
-                )));
-            }
-            out.sealed.push(Sealed { engine, ids, dead });
+            Self::check_segment(i, &store, &ids, &dead, dim, out.cfg.tau_max)?;
+            out.sealed.push(Sealed { store, ids, dead });
         }
-        out.rebuild_loc();
-        // Duplicate live ids would collide in the map; the live count
-        // must match the per-segment live sums exactly.
+        out.finish_restore()
+    }
+
+    /// Decodes the fixed segment header: dim, seal_rows, max_sealed,
+    /// sealed-segment count.
+    fn decode_seghdr(bytes: &[u8]) -> Result<(usize, usize, usize, usize)> {
+        let mut hr = ByteReader::new(bytes);
+        let dim = hr.u64("dim")? as usize;
+        let seal_rows = hr.u64("seal_rows")? as usize;
+        let max_sealed = hr.u64("max_sealed")? as usize;
+        let n_sealed = hr.u64("sealed segment count")? as usize;
+        hr.finish("segment header")?;
+        Ok((dim, seal_rows, max_sealed, n_sealed))
+    }
+
+    /// Decodes the three memtable sections and cross-checks their
+    /// lengths.
+    fn decode_memtable(data: &[u8], ids: &[u8], dead: &[u8], dim: usize) -> Result<Memtable> {
+        let mem_data = hamming_core::io::decode_dataset(data)?;
+        if mem_data.dim() != dim {
+            return Err(HammingError::Corrupt(format!(
+                "memtable holds {}-dimensional rows, header says {dim}",
+                mem_data.dim()
+            )));
+        }
+        let mut ir = ByteReader::new(ids);
+        let n_ids = ir.len(4, "memtable id count")?;
+        let mut mem_ids = Vec::with_capacity(n_ids);
+        for _ in 0..n_ids {
+            mem_ids.push(ir.u32("memtable id")?);
+        }
+        ir.finish("memtable ids")?;
+        let mem_dead = Tombstones::decode(dead)?;
+        if mem_ids.len() != mem_data.len() || mem_dead.len() != mem_data.len() {
+            return Err(HammingError::Corrupt(format!(
+                "memtable sections disagree: {} rows, {} ids, {} tombstone slots",
+                mem_data.len(),
+                mem_ids.len(),
+                mem_dead.len()
+            )));
+        }
+        Ok(Memtable { data: mem_data, ids: mem_ids, dead: mem_dead })
+    }
+
+    /// Decodes one v3 segment-table entry: arena-relative blob offset,
+    /// blob length, external ids, tombstones.
+    fn decode_segtab_entry(tr: &mut ByteReader<'_>) -> Result<(u64, usize, Vec<u32>, Tombstones)> {
+        let rel = tr.u64("blob offset")?;
+        let blob_len = tr.u64("blob length")? as usize;
+        let n = tr.len(4, "segment id count")?;
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            ids.push(tr.u32("segment id")?);
+        }
+        let dead_len = tr.len(1, "segment tombstone length")?;
+        let dead = Tombstones::decode(tr.bytes(dead_len, "segment tombstones")?)?;
+        Ok((rel, blob_len, ids, dead))
+    }
+
+    /// Cross-checks a restored segment against the container header.
+    fn check_segment(
+        i: usize,
+        store: &SegStore,
+        ids: &[u32],
+        dead: &Tombstones,
+        dim: usize,
+        tau_max: usize,
+    ) -> Result<()> {
+        if store.len() != ids.len() || dead.len() != ids.len() {
+            return Err(HammingError::Corrupt(format!(
+                "segment {i} sections disagree: {} rows, {} ids, {} tombstone slots",
+                store.len(),
+                ids.len(),
+                dead.len()
+            )));
+        }
+        if store.dim() != dim {
+            return Err(HammingError::Corrupt(format!(
+                "segment {i} indexes {}-dimensional rows, header says {dim}",
+                store.dim()
+            )));
+        }
+        if store.tau_max() != tau_max {
+            return Err(HammingError::Corrupt(format!(
+                "segment {i} serves tau_max {}, config says {tau_max}",
+                store.tau_max()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Final restore validation shared by every decode path: rebuild the
+    /// location map and require the distinct live ids to match the
+    /// per-segment live sums (duplicates would collide in the map).
+    fn finish_restore(mut self) -> Result<Self> {
+        self.rebuild_loc();
         let live_sum =
-            out.mem.dead.live() + out.sealed.iter().map(|s| s.dead.live()).sum::<usize>();
-        if out.loc.len() != live_sum {
+            self.mem.dead.live() + self.sealed.iter().map(|s| s.dead.live()).sum::<usize>();
+        if self.loc.len() != live_sum {
             return Err(HammingError::Corrupt(format!(
                 "{} distinct live ids across segments, but {} live rows",
-                out.loc.len(),
+                self.loc.len(),
                 live_sum
             )));
         }
-        Ok(out)
+        Ok(self)
     }
 
     /// Writes [`SegmentedGph::to_bytes`] to `path` atomically.
@@ -825,9 +1133,112 @@ impl SegmentedGph {
         crate::snapshot::write_atomic(path.as_ref(), &self.to_bytes())
     }
 
-    /// Reads an engine snapshot from `path`.
+    /// Reads an engine snapshot from `path`, fully resident.
     pub fn load<P: AsRef<std::path::Path>>(path: P) -> Result<Self> {
         SegmentedGph::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Reads an engine snapshot from `path` under an explicit
+    /// [`StorageMode`].
+    ///
+    /// This is the out-of-core warm-start path: under
+    /// [`StorageMode::FileBacked`] a v3 snapshot is *mapped, not read* —
+    /// the footer and the metadata sections (config, memtable, segment
+    /// table; a few KiB) are read directly and CRC-verified, while every
+    /// sealed segment's blob stays on disk, opened as a
+    /// [`ColdSegment`] against the
+    /// snapshot file itself. Restore time is therefore near-constant in
+    /// corpus size, and no blob byte is resident until a query pages it
+    /// in. Blob-payload CRCs are deferred (see `FORMAT.md` §durability);
+    /// [`SegmentedGph::load`] is the fully-verified alternative.
+    ///
+    /// The engine keeps the snapshot file open for paging. Replacing the
+    /// snapshot via [`SegmentedGph::save`] is safe on platforms where
+    /// rename unlinks (the open descriptor pins the old bytes), but the
+    /// file must not be truncated or rewritten in place.
+    ///
+    /// Legacy v1 snapshots interleave engines with metadata and cannot
+    /// be mapped; they are read and restored resident, with the storage
+    /// mode applied to future seals only.
+    pub fn load_with_storage<P: AsRef<std::path::Path>>(
+        path: P,
+        storage: StorageMode,
+    ) -> Result<Self> {
+        let StorageMode::FileBacked { budget_bytes } = storage else {
+            return SegmentedGph::load(path);
+        };
+        let file = Arc::new(SegmentFile::open(path.as_ref(), false)?);
+        if file.len() < 8 {
+            return Err(HammingError::Corrupt("snapshot shorter than its header".into()));
+        }
+        let mut header = [0u8; 8];
+        file.read_at(0, &mut header)?;
+        if header[..4] != SEGMENT_MAGIC {
+            return Err(HammingError::Corrupt(format!(
+                "bad magic {:?}, expected {SEGMENT_MAGIC:?}",
+                &header[..4]
+            )));
+        }
+        if u32::from_le_bytes(header[4..8].try_into().unwrap()) < 3 {
+            return SegmentedGph::from_bytes_with_storage(&std::fs::read(path)?, storage);
+        }
+
+        // v3: footer + metadata slots via direct reads, blobs deferred.
+        let tail_len = Footer::MAX_LEN.min(file.len() as usize);
+        let mut tail = vec![0u8; tail_len];
+        file.read_at(file.len() - tail_len as u64, &mut tail)?;
+        let f = Footer::parse(SEGMENT_MAGIC, SEGMENT_VERSION, file.len(), &tail)?;
+        if f.n_slots() != N_SEG_SLOTS {
+            return Err(HammingError::Corrupt(format!(
+                "segmented snapshot has {} sections, expected {N_SEG_SLOTS}",
+                f.n_slots()
+            )));
+        }
+        let meta = |slot: usize| -> Result<Vec<u8>> {
+            let s = f.slot(slot)?;
+            let mut buf = vec![0u8; s.len as usize];
+            file.read_at(s.offset, &mut buf)?;
+            if crc32(&buf) != s.crc {
+                return Err(HammingError::Corrupt(format!("section {slot} checksum mismatch")));
+            }
+            Ok(buf)
+        };
+        let cfg = decode_gph_config(&meta(SEG_SLOT_CONFIG)?)?;
+        let (dim, seal_rows, max_sealed, n_sealed) = Self::decode_seghdr(&meta(SEG_SLOT_SEGHDR)?)?;
+        let mut out =
+            SegmentedGph::new(dim, cfg, SegmentConfig { seal_rows, max_sealed, storage })?;
+        out.mem = Self::decode_memtable(
+            &meta(SEG_SLOT_MEMDATA)?,
+            &meta(SEG_SLOT_MEMIDS)?,
+            &meta(SEG_SLOT_MEMDEAD)?,
+            dim,
+        )?;
+        // One spill store up front: snapshot-mapped segments and future
+        // seals share its page cache (and its byte budget).
+        let spill = out.spill_store(budget_bytes)?;
+
+        let blobs_slot = f.slot(SEG_SLOT_BLOBS)?;
+        let segtab = meta(SEG_SLOT_SEGTAB)?;
+        let mut tr = ByteReader::new(&segtab);
+        for i in 0..n_sealed {
+            let (rel, blob_len, ids, dead) = Self::decode_segtab_entry(&mut tr)?;
+            if rel.checked_add(blob_len as u64).filter(|&e| e <= blobs_slot.len).is_none() {
+                return Err(HammingError::Corrupt(format!(
+                    "segment {i} blob extent exceeds the arena"
+                )));
+            }
+            let cold = ColdSegment::open(
+                Arc::clone(&file),
+                Arc::clone(spill.cache()),
+                blobs_slot.offset + rel,
+                blob_len as u64,
+            )?;
+            let store = SegStore::Cold(cold);
+            Self::check_segment(i, &store, &ids, &dead, dim, out.cfg.tau_max)?;
+            out.sealed.push(Sealed { store, ids, dead });
+        }
+        tr.finish("segment table")?;
+        out.finish_restore()
     }
 }
 
@@ -854,7 +1265,7 @@ mod tests {
     }
 
     fn seg_cfg() -> SegmentConfig {
-        SegmentConfig { seal_rows: 8, max_sealed: 2 }
+        SegmentConfig { seal_rows: 8, max_sealed: 2, ..SegmentConfig::default() }
     }
 
     fn random_rows(dim: usize, n: usize, seed: u64) -> Vec<Vec<u64>> {
@@ -869,7 +1280,7 @@ mod tests {
         let ids = eng.live_ids();
         let mut ds = Dataset::new(eng.dim());
         for &id in &ids {
-            ds.push_row(eng.get(id).unwrap()).unwrap();
+            ds.push_row(&eng.get(id).unwrap()).unwrap();
         }
         if ds.is_empty() {
             return Vec::new();
@@ -976,7 +1387,7 @@ mod tests {
         let ids = eng.live_ids();
         let mut expect: Vec<(u32, u32)> = ids
             .iter()
-            .map(|&id| (id, hamming_core::distance::hamming(eng.get(id).unwrap(), &q)))
+            .map(|&id| (id, hamming_core::distance::hamming(&eng.get(id).unwrap(), &q)))
             .filter(|&(_, d)| d <= 8)
             .collect();
         expect.sort_unstable_by_key(|&(id, d)| (d, id));
@@ -1067,8 +1478,12 @@ mod tests {
         // without corrupting the location map or losing rows.
         let mut bad_cfg = GphConfig::new(64, 4);
         bad_cfg.strategy = PartitionStrategy::Original;
-        let mut eng =
-            SegmentedGph::new(16, bad_cfg, SegmentConfig { seal_rows: 2, max_sealed: 2 }).unwrap();
+        let mut eng = SegmentedGph::new(
+            16,
+            bad_cfg,
+            SegmentConfig { seal_rows: 2, max_sealed: 2, ..SegmentConfig::default() },
+        )
+        .unwrap();
         let rows = random_rows(16, 3, 11);
         eng.insert(1, &rows[0]).unwrap();
         // The second insert triggers a seal, which fails.
@@ -1084,6 +1499,166 @@ mod tests {
         assert_eq!(eng.len(), 2);
         assert!(eng.delete(2));
         assert_eq!(eng.len(), 1);
+    }
+
+    /// Re-encodes an engine in the retired GPHS v1 tag-addressed layout
+    /// so the legacy decode path stays covered without checked-in
+    /// fixtures.
+    fn encode_segmented_v1(eng: &SegmentedGph) -> Vec<u8> {
+        let mut w = hamming_core::io::SectionWriter::new(SEGMENT_MAGIC, 1);
+        w.section("config", &encode_gph_config(&eng.cfg));
+        let mut hdr = Vec::with_capacity(32);
+        hdr.put_u64_le(eng.dim as u64);
+        hdr.put_u64_le(eng.seg_cfg.seal_rows as u64);
+        hdr.put_u64_le(eng.seg_cfg.max_sealed as u64);
+        hdr.put_u64_le(eng.sealed.len() as u64);
+        w.section("seghdr", &hdr);
+        w.section("memdata", &hamming_core::io::encode_dataset(&eng.mem.data));
+        let mut mem_ids = Vec::new();
+        mem_ids.put_u64_le(eng.mem.ids.len() as u64);
+        for &id in &eng.mem.ids {
+            mem_ids.put_u32_le(id);
+        }
+        w.section("memids", &mem_ids);
+        w.section("memdead", &eng.mem.dead.encode());
+        for (i, seg) in eng.sealed.iter().enumerate() {
+            let engine = seg.store.engine_bytes().unwrap();
+            let dead = seg.dead.encode();
+            let mut body = Vec::new();
+            body.put_u64_le(seg.ids.len() as u64);
+            for &id in &seg.ids {
+                body.put_u32_le(id);
+            }
+            body.put_u64_le(dead.len() as u64);
+            body.put_slice(&dead);
+            body.put_u64_le(engine.len() as u64);
+            body.put_slice(&engine);
+            w.section(&format!("seg{i}"), &body);
+        }
+        w.finish()
+    }
+
+    fn assert_same_answers(a: &SegmentedGph, b: &SegmentedGph, queries: &[Vec<u64>]) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.live_ids(), b.live_ids());
+        for q in queries {
+            for tau in [0u32, 4, 8] {
+                assert_eq!(a.search(q, tau), b.search(q, tau), "tau={tau}");
+                assert_eq!(
+                    a.search_with_distances(q, tau),
+                    b.search_with_distances(q, tau),
+                    "tau={tau}"
+                );
+            }
+            assert_eq!(a.search_topk(q, 6), b.search_topk(q, 6));
+        }
+        for id in a.live_ids() {
+            assert_eq!(a.get(id), b.get(id), "id={id}");
+        }
+    }
+
+    #[test]
+    fn file_backed_engine_matches_resident_through_mutations() {
+        let rows = random_rows(48, 40, 20);
+        let mut cold_cfg = seg_cfg();
+        cold_cfg.storage = StorageMode::FileBacked { budget_bytes: 32 * 1024 };
+        let mut hot = SegmentedGph::new(48, cfg(), seg_cfg()).unwrap();
+        let mut cold = SegmentedGph::new(48, cfg(), cold_cfg).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            hot.insert(i as u32, row).unwrap();
+            cold.insert(i as u32, row).unwrap();
+        }
+        for id in [3u32, 17, 31] {
+            assert_eq!(hot.delete(id), cold.delete(id));
+        }
+        hot.upsert(5, &rows[20]).unwrap();
+        cold.upsert(5, &rows[20]).unwrap();
+        assert!(cold.num_sealed() >= 1, "seals must have happened");
+        assert_same_answers(&hot, &cold, &rows);
+        let stats = cold.page_cache_stats().expect("file-backed engine has a page cache");
+        assert!(stats.hits + stats.misses > 0, "queries must have paged: {stats:?}");
+        assert!(hot.page_cache_stats().is_none());
+        // Compaction merges cold segments by paging their rows back.
+        cold.compact().unwrap();
+        hot.compact().unwrap();
+        assert_same_answers(&hot, &cold, &rows);
+        // Snapshots of both modes are interchangeable.
+        assert_same_answers(
+            &SegmentedGph::from_bytes(&cold.to_bytes()).unwrap(),
+            &SegmentedGph::from_bytes_with_storage(
+                &hot.to_bytes(),
+                StorageMode::FileBacked { budget_bytes: 32 * 1024 },
+            )
+            .unwrap(),
+            &rows,
+        );
+    }
+
+    #[test]
+    fn v1_snapshots_load_through_the_legacy_path() {
+        let rows = random_rows(48, 25, 21);
+        let mut eng = SegmentedGph::new(48, cfg(), seg_cfg()).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            eng.insert(i as u32, row).unwrap();
+        }
+        eng.delete(7);
+        let v1 = encode_segmented_v1(&eng);
+        assert_eq!(u32::from_le_bytes(v1[4..8].try_into().unwrap()), 1);
+        let loaded = SegmentedGph::from_bytes(&v1).unwrap();
+        assert_same_answers(&eng, &loaded, &rows);
+        // Re-saving writes the current (v3) container.
+        let resaved = loaded.to_bytes();
+        assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), SEGMENT_VERSION);
+        // A file-backed restore of v1 bytes stays resident (mixed mode)
+        // but still answers identically.
+        let mixed = SegmentedGph::from_bytes_with_storage(
+            &v1,
+            StorageMode::FileBacked { budget_bytes: 1 << 20 },
+        )
+        .unwrap();
+        assert!(mixed.page_cache_stats().is_none(), "no blobs to map in a v1 container");
+        assert_same_answers(&eng, &mixed, &rows);
+    }
+
+    #[test]
+    fn load_with_storage_maps_blobs_lazily() {
+        let rows = random_rows(48, 30, 22);
+        let mut eng = SegmentedGph::new(48, cfg(), seg_cfg()).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            eng.insert(i as u32, row).unwrap();
+        }
+        eng.delete(4);
+        eng.delete(19);
+        let dir = std::env::temp_dir().join(format!("gph-segtest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.gphs");
+        eng.save(&path).unwrap();
+
+        let restored = SegmentedGph::load_with_storage(
+            &path,
+            StorageMode::FileBacked { budget_bytes: 1 << 20 },
+        )
+        .unwrap();
+        // Open-time reads go around the page cache: nothing is resident
+        // until the first query.
+        let stats = restored.page_cache_stats().unwrap();
+        assert_eq!(stats.resident_bytes, 0, "restore must not page blob bytes: {stats:?}");
+        assert_same_answers(&eng, &restored, &rows);
+        // An unmodified file-backed restore re-serializes byte-for-byte:
+        // cold blobs are copied out verbatim.
+        assert_eq!(restored.to_bytes(), eng.to_bytes());
+        // Further mutations seal into the spill store and keep working.
+        let mut restored = restored;
+        let extra = random_rows(48, 12, 23);
+        let mut model = eng;
+        for (i, row) in extra.iter().enumerate() {
+            restored.upsert(200 + i as u32, row).unwrap();
+            model.upsert(200 + i as u32, row).unwrap();
+        }
+        assert_same_answers(&model, &restored, &extra);
+
+        drop(restored);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

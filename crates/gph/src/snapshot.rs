@@ -7,37 +7,46 @@
 //! the model of MIH's shipped index files and Faiss's `write_index` /
 //! `read_index`. This module is that path for this workspace.
 //!
-//! A snapshot is a [`hamming_core::io::SectionReader`]-framed container,
-//! magic `GPHE`, version [`SNAPSHOT_VERSION`], with every section CRC-32
-//! protected:
+//! A version-3 snapshot is an **offset-addressed** container (magic
+//! `GPHE`, version [`SNAPSHOT_VERSION`], written by
+//! [`hamming_core::io::OffsetWriter`], normative spec in the repo-root
+//! `FORMAT.md`): a fixed footer of `(offset, len, crc)` slots addresses
+//! every section, and the three query-hot payload sections — the raw
+//! dataset row slab and the CSR postings arrays — are zero-padded to
+//! 4 KiB boundaries so a file-backed segment ([`crate::coldstore`]) can
+//! serve probes and verification by paged positional reads without ever
+//! decoding the file. The slots, in order:
 //!
-//! | tag        | payload |
-//! |------------|---------|
-//! | `dataset`  | the indexed vectors ([`hamming_core::io::encode_dataset`]) |
-//! | `partit`   | the partitioning ([`hamming_core::io::encode_partitioning`]) |
-//! | `invindex` | the postings ([`hamming_core::InvertedIndex::encode`]) |
-//! | `config`   | `tau_max`, allocator, build stats, cost-model statistics |
-//! | `estkind`  | the [`crate::cn::EstimatorKind`] and its parameters |
-//! | `eststate` | optional: the built estimator tables (Exact / SP kinds) |
+//! | slot | name       | payload |
+//! |------|------------|---------|
+//! | 0    | `config`   | `tau_max`, allocator, build stats, cost-model statistics |
+//! | 1    | `partit`   | the partitioning ([`hamming_core::io::encode_partitioning`]) |
+//! | 2    | `estkind`  | the [`crate::cn::EstimatorKind`] and its parameters |
+//! | 3    | `eststate` | presence byte, then the built estimator tables if any |
+//! | 4    | `rowmeta`  | `dim u64, n_rows u64` |
+//! | 5    | `parttab`  | per partition: `width u64, n_keys u64, n_ids u64` |
+//! | 6    | `rows`     | page-aligned: the row slab, `n_rows × words_for(dim)` LE u64 |
+//! | 7    | `keys`     | page-aligned: concatenated per-partition CSR key arrays |
+//! | 8    | `offs`     | page-aligned: concatenated per-partition offset arrays |
+//! | 9    | `ids`      | page-aligned: concatenated per-partition postings arrays |
 //!
-//! Loading reconstructs the projector and projected columns from the
-//! dataset + partitioning (a cheap, deterministic bit-gather) and takes
-//! everything else verbatim, so a loaded engine answers every query
-//! byte-identically to the engine that was saved — the round-trip
+//! Loading resident reconstructs the projector and projected columns
+//! from the dataset + partitioning (a cheap, deterministic bit-gather)
+//! and takes everything else verbatim, so a loaded engine answers every
+//! query byte-identically to the engine that was saved — the round-trip
 //! property test in `tests/snapshot_roundtrip.rs` pins this down.
 //!
 //! **Version policy:** the reader accepts any version `1..=` the current
-//! [`SNAPSHOT_VERSION`] and ignores unknown sections, so minor format
-//! additions stay readable; incompatible layout changes bump the magic's
-//! generation by bumping `SNAPSHOT_VERSION`, and old readers reject newer
-//! files with [`HammingError::Corrupt`] instead of misparsing them.
+//! [`SNAPSHOT_VERSION`]; incompatible layout changes bump
+//! `SNAPSHOT_VERSION`, and old readers reject newer files with
+//! [`HammingError::Corrupt`] instead of misparsing them.
 //!
-//! Version 2 switched the `invindex` section to the CSR layout
-//! ([`hamming_core::InvertedIndex::encode`]). Version-1 files carry the
-//! old per-partition `(key, offset, len)` triples and are decoded through
-//! [`hamming_core::InvertedIndex::decode_legacy`], which canonicalizes
-//! them into the same CSR layout — so a v1 snapshot loads into an engine
-//! query-for-query identical to one saved as v2.
+//! Versions 1 and 2 were [`hamming_core::io::SectionReader`]-framed
+//! (tagged sections, no alignment): version 2 stored the inverted index
+//! in CSR form ([`hamming_core::InvertedIndex::encode`]), version 1 in
+//! the old per-partition `(key, offset, len)` triples decoded through
+//! [`hamming_core::InvertedIndex::decode_legacy`]. Both still load, into
+//! engines query-for-query identical to ones saved as v3.
 
 use crate::alloc::AllocatorKind;
 use crate::cn::{decode_kind, encode_kind, restore_estimator};
@@ -45,13 +54,14 @@ use crate::cost::CostModel;
 use crate::engine::{BuildStats, Gph, GphConfig};
 use crate::partition_opt::{HeuristicConfig, InitKind, PartitionStrategy, WorkloadSpec};
 use bytes::BufMut;
+use hamming_core::dataset::Dataset;
 use hamming_core::error::{HammingError, Result};
 use hamming_core::io::{
-    decode_dataset, decode_partitioning, encode_dataset, encode_partitioning, ByteReader,
-    SectionReader, SectionWriter,
+    decode_dataset, decode_partitioning, encode_dataset, encode_partitioning, ByteReader, Footer,
+    OffsetWriter, SectionReader, SectionWriter,
 };
 use hamming_core::project::{ProjectedDataset, Projector};
-use hamming_core::InvertedIndex;
+use hamming_core::{words_for, InvertedIndex};
 use parking_lot::Mutex;
 use std::path::Path;
 
@@ -59,9 +69,24 @@ use std::path::Path;
 pub const ENGINE_MAGIC: [u8; 4] = *b"GPHE";
 
 /// Current snapshot format version. Readers accept `1..=SNAPSHOT_VERSION`.
-/// Version 2 stores the inverted index in CSR form; version-1 snapshots
-/// remain loadable through the legacy index decoder.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// Version 3 is the offset-addressed layout (see the module docs and
+/// `FORMAT.md`); versions 1–2 are the older tagged-section containers
+/// and remain loadable.
+pub const SNAPSHOT_VERSION: u32 = 3;
+
+// Fixed slot indices of the v3 container (see the module-docs table).
+// The cold open path (`crate::coldstore`) addresses sections by these.
+pub(crate) const SLOT_CONFIG: usize = 0;
+pub(crate) const SLOT_PARTIT: usize = 1;
+pub(crate) const SLOT_ESTKIND: usize = 2;
+pub(crate) const SLOT_ESTSTATE: usize = 3;
+pub(crate) const SLOT_ROWMETA: usize = 4;
+pub(crate) const SLOT_PARTTAB: usize = 5;
+pub(crate) const SLOT_ROWS: usize = 6;
+pub(crate) const SLOT_KEYS: usize = 7;
+pub(crate) const SLOT_OFFS: usize = 8;
+pub(crate) const SLOT_IDS: usize = 9;
+pub(crate) const N_ENGINE_SLOTS: usize = 10;
 
 fn encode_allocator(kind: AllocatorKind) -> u8 {
     match kind {
@@ -126,14 +151,14 @@ fn encode_config(g: &Gph) -> Vec<u8> {
     buf
 }
 
-struct DecodedConfig {
-    tau_max: usize,
-    allocator: AllocatorKind,
-    build_stats: BuildStats,
-    cost_model: CostModel,
+pub(crate) struct DecodedConfig {
+    pub(crate) tau_max: usize,
+    pub(crate) allocator: AllocatorKind,
+    pub(crate) build_stats: BuildStats,
+    pub(crate) cost_model: CostModel,
 }
 
-fn decode_config(bytes: &[u8]) -> Result<DecodedConfig> {
+pub(crate) fn decode_config(bytes: &[u8]) -> Result<DecodedConfig> {
     let mut r = ByteReader::new(bytes);
     let tau_max = r.u64("tau_max")? as usize;
     let allocator = decode_allocator(r.u8("allocator kind")?)?;
@@ -291,9 +316,67 @@ pub fn decode_gph_config(bytes: &[u8]) -> Result<GphConfig> {
     Ok(GphConfig { m, tau_max, allocator, estimator, strategy, workload, cost_model })
 }
 
-/// Serializes a built engine (see the module docs for the layout).
+/// Serializes a built engine in the offset-addressed v3 layout (see the
+/// module docs for the slot table and `FORMAT.md` for the normative
+/// byte-level spec).
 pub(crate) fn encode_engine(g: &Gph) -> Vec<u8> {
-    let mut w = SectionWriter::new(ENGINE_MAGIC, SNAPSHOT_VERSION);
+    let mut w = OffsetWriter::new(ENGINE_MAGIC, SNAPSHOT_VERSION);
+    w.section(&encode_config(g)); // SLOT_CONFIG
+    w.section(&encode_partitioning(&g.partitioning)); // SLOT_PARTIT
+    w.section(&encode_kind(&g.estimator_kind)); // SLOT_ESTKIND
+    let est_state = match g.estimator.snapshot_state() {
+        Some(state) => {
+            let mut b = Vec::with_capacity(1 + state.len());
+            b.push(1u8);
+            b.extend_from_slice(&state);
+            b
+        }
+        None => vec![0u8],
+    };
+    w.section(&est_state); // SLOT_ESTSTATE
+    let mut rowmeta = Vec::with_capacity(16);
+    rowmeta.put_u64_le(g.data.dim() as u64);
+    rowmeta.put_u64_le(g.data.len() as u64);
+    w.section(&rowmeta); // SLOT_ROWMETA
+    let mut parttab = Vec::with_capacity(g.index.num_parts() * 24);
+    for p in 0..g.index.num_parts() {
+        parttab.put_u64_le(g.index.part_width(p) as u64);
+        parttab.put_u64_le(g.index.part_keys(p).len() as u64);
+        parttab.put_u64_le(g.index.part_ids(p).len() as u64);
+    }
+    w.section(&parttab); // SLOT_PARTTAB
+
+    let mut rows = Vec::with_capacity(g.data.words().len() * 8);
+    for &word in g.data.words() {
+        rows.put_u64_le(word);
+    }
+    w.aligned_section(&rows); // SLOT_ROWS
+    let mut keys = Vec::new();
+    let mut offs = Vec::new();
+    let mut ids = Vec::new();
+    for p in 0..g.index.num_parts() {
+        for &k in g.index.part_keys(p) {
+            keys.put_u64_le(k);
+        }
+        for &o in g.index.part_offsets(p) {
+            offs.put_u32_le(o);
+        }
+        for &id in g.index.part_ids(p) {
+            ids.put_u32_le(id);
+        }
+    }
+    w.aligned_section(&keys); // SLOT_KEYS
+    w.aligned_section(&offs); // SLOT_OFFS
+    w.aligned_section(&ids); // SLOT_IDS
+    w.finish()
+}
+
+/// Serializes a built engine in the legacy tagged-section v2 layout.
+/// Kept (not wired to any save path) so compatibility tests can mint
+/// old-format fixtures without checked-in binary blobs.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn encode_engine_v2(g: &Gph) -> Vec<u8> {
+    let mut w = SectionWriter::new(ENGINE_MAGIC, 2);
     w.section("dataset", &encode_dataset(&g.data));
     w.section("partit", &encode_partitioning(&g.partitioning));
     w.section("invindex", &g.index.encode());
@@ -305,18 +388,166 @@ pub(crate) fn encode_engine(g: &Gph) -> Vec<u8> {
     w.finish()
 }
 
-/// Restores an engine from [`encode_engine`] bytes.
-pub(crate) fn decode_engine(bytes: &[u8]) -> Result<Gph> {
-    let r = SectionReader::parse(ENGINE_MAGIC, SNAPSHOT_VERSION, bytes)?;
-    let data = decode_dataset(r.section("dataset")?)?;
-    let partitioning = decode_partitioning(r.section("partit")?)?;
-    if partitioning.dim() != data.dim() {
+/// Per-partition extents from the v3 `parttab` section.
+pub(crate) struct PartExtent {
+    pub(crate) width: usize,
+    pub(crate) n_keys: usize,
+    pub(crate) n_ids: usize,
+}
+
+/// Decodes the v3 `parttab` section: one `(width, n_keys, n_ids)`
+/// triple per partition.
+pub(crate) fn decode_parttab(bytes: &[u8]) -> Result<Vec<PartExtent>> {
+    let mut r = ByteReader::new(bytes);
+    if !bytes.len().is_multiple_of(24) {
         return Err(HammingError::Corrupt(format!(
-            "partitioning covers {} dims but the dataset has {}",
-            partitioning.dim(),
-            data.dim()
+            "partition table of {} bytes is not a whole number of 24-byte rows",
+            bytes.len()
         )));
     }
+    let mut parts = Vec::with_capacity(bytes.len() / 24);
+    for _ in 0..bytes.len() / 24 {
+        parts.push(PartExtent {
+            width: r.u64("part width")? as usize,
+            n_keys: r.u64("part key count")? as usize,
+            n_ids: r.u64("part id count")? as usize,
+        });
+    }
+    r.finish("partition table")?;
+    Ok(parts)
+}
+
+/// Decodes the v3 `rowmeta` section into `(dim, n_rows)`.
+pub(crate) fn decode_rowmeta(bytes: &[u8]) -> Result<(usize, usize)> {
+    let mut r = ByteReader::new(bytes);
+    let dim = r.u64("row dim")? as usize;
+    let n_rows = r.u64("row count")? as usize;
+    r.finish("row metadata")?;
+    if dim == 0 {
+        return Err(HammingError::Corrupt("snapshot declares dim 0".into()));
+    }
+    Ok((dim, n_rows))
+}
+
+/// Interprets the v3 `eststate` payload: a presence byte, then the
+/// estimator tables if present.
+pub(crate) fn decode_est_state(payload: &[u8]) -> Result<Option<&[u8]>> {
+    match payload.split_first() {
+        Some((0, [])) => Ok(None),
+        Some((1, rest)) => Ok(Some(rest)),
+        _ => Err(HammingError::Corrupt("malformed estimator-state presence flag".into())),
+    }
+}
+
+/// Rebuilds a [`Dataset`] from the v3 raw row slab (`n_rows ×
+/// words_for(dim)` little-endian u64), applying the same tail-bit
+/// validation as [`decode_dataset`].
+pub(crate) fn dataset_from_slab(dim: usize, n_rows: usize, slab: &[u8]) -> Result<Dataset> {
+    let wpv = words_for(dim);
+    let need = n_rows
+        .checked_mul(wpv)
+        .and_then(|w| w.checked_mul(8))
+        .ok_or_else(|| HammingError::Corrupt("row slab size overflow".into()))?;
+    if slab.len() != need {
+        return Err(HammingError::Corrupt(format!(
+            "row slab is {} bytes, expected {need} for {n_rows} rows of dim {dim}",
+            slab.len()
+        )));
+    }
+    let tail_mask = if dim.is_multiple_of(64) { u64::MAX } else { (1u64 << (dim % 64)) - 1 };
+    let mut ds = Dataset::with_capacity(dim, n_rows);
+    let mut row = vec![0u64; wpv];
+    for chunk in slab.chunks_exact(wpv * 8) {
+        for (w, b) in row.iter_mut().zip(chunk.chunks_exact(8)) {
+            *w = u64::from_le_bytes(b.try_into().unwrap());
+        }
+        if let Some(&last) = row.last() {
+            if last & !tail_mask != 0 {
+                return Err(HammingError::Corrupt(
+                    "trailing bits set beyond dimensionality".into(),
+                ));
+            }
+        }
+        ds.push_row(&row)?;
+    }
+    Ok(ds)
+}
+
+/// Restores an engine from [`encode_engine`] bytes (any version
+/// `1..=SNAPSHOT_VERSION`).
+pub(crate) fn decode_engine(bytes: &[u8]) -> Result<Gph> {
+    // Dispatch on the header version: v3+ is offset-addressed, v1/v2 are
+    // tagged-section containers. The chosen parser re-validates the
+    // version range, so a forged header cannot select a misparse.
+    if bytes.len() >= 8
+        && bytes[..4] == ENGINE_MAGIC
+        && u32::from_le_bytes(bytes[4..8].try_into().unwrap()) >= 3
+    {
+        decode_engine_v3(bytes)
+    } else {
+        decode_engine_legacy(bytes)
+    }
+}
+
+fn decode_engine_v3(bytes: &[u8]) -> Result<Gph> {
+    let f = Footer::parse_bytes(ENGINE_MAGIC, SNAPSHOT_VERSION, bytes)?;
+    if f.n_slots() != N_ENGINE_SLOTS {
+        return Err(HammingError::Corrupt(format!(
+            "engine snapshot has {} sections, expected {N_ENGINE_SLOTS}",
+            f.n_slots()
+        )));
+    }
+    let cfg = decode_config(f.payload(bytes, SLOT_CONFIG)?)?;
+    let partitioning = decode_partitioning(f.payload(bytes, SLOT_PARTIT)?)?;
+    let estimator_kind = decode_kind(f.payload(bytes, SLOT_ESTKIND)?)?;
+    let est_state = decode_est_state(f.payload(bytes, SLOT_ESTSTATE)?)?;
+    let (dim, n_rows) = decode_rowmeta(f.payload(bytes, SLOT_ROWMETA)?)?;
+    let parts = decode_parttab(f.payload(bytes, SLOT_PARTTAB)?)?;
+    let data = dataset_from_slab(dim, n_rows, f.payload(bytes, SLOT_ROWS)?)?;
+
+    let keys_bytes = f.payload(bytes, SLOT_KEYS)?;
+    let offs_bytes = f.payload(bytes, SLOT_OFFS)?;
+    let ids_bytes = f.payload(bytes, SLOT_IDS)?;
+    let mut csr = Vec::with_capacity(parts.len());
+    let (mut koff, mut ooff, mut ioff) = (0usize, 0usize, 0usize);
+    for (p, ext) in parts.iter().enumerate() {
+        let k_end = koff.checked_add(ext.n_keys * 8).filter(|&e| e <= keys_bytes.len());
+        let o_end = ooff.checked_add((ext.n_keys + 1) * 4).filter(|&e| e <= offs_bytes.len());
+        let i_end = ioff.checked_add(ext.n_ids * 4).filter(|&e| e <= ids_bytes.len());
+        let (Some(k_end), Some(o_end), Some(i_end)) = (k_end, o_end, i_end) else {
+            return Err(HammingError::Corrupt(format!(
+                "partition {p} extents exceed the CSR sections"
+            )));
+        };
+        let keys = keys_bytes[koff..k_end]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let offsets = offs_bytes[ooff..o_end]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let ids = ids_bytes[ioff..i_end]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        csr.push((ext.width, keys, offsets, ids));
+        (koff, ooff, ioff) = (k_end, o_end, i_end);
+    }
+    if koff != keys_bytes.len() || ooff != offs_bytes.len() || ioff != ids_bytes.len() {
+        return Err(HammingError::Corrupt(format!(
+            "CSR sections have {} trailing bytes beyond the partition table",
+            (keys_bytes.len() - koff) + (offs_bytes.len() - ooff) + (ids_bytes.len() - ioff)
+        )));
+    }
+    let index = InvertedIndex::from_csr(n_rows, csr)?;
+    assemble_engine(data, partitioning, index, cfg, estimator_kind, est_state)
+}
+
+fn decode_engine_legacy(bytes: &[u8]) -> Result<Gph> {
+    let r = SectionReader::parse(ENGINE_MAGIC, 2, bytes)?;
+    let data = decode_dataset(r.section("dataset")?)?;
+    let partitioning = decode_partitioning(r.section("partit")?)?;
     let cfg = decode_config(r.section("config")?)?;
     let index_bytes = r.section("invindex")?;
     let index = if r.version() >= 2 {
@@ -326,6 +557,28 @@ pub(crate) fn decode_engine(bytes: &[u8]) -> Result<Gph> {
         // legacy decoder canonicalizes them into the CSR layout.
         InvertedIndex::decode_legacy(index_bytes)?
     };
+    let estimator_kind = decode_kind(r.section("estkind")?)?;
+    assemble_engine(data, partitioning, index, cfg, estimator_kind, r.get("eststate"))
+}
+
+/// Cross-validates the decoded pieces and assembles the engine. Shared
+/// by the offset-addressed and tagged-section load paths so both apply
+/// identical splice checks.
+fn assemble_engine(
+    data: Dataset,
+    partitioning: hamming_core::Partitioning,
+    index: InvertedIndex,
+    cfg: DecodedConfig,
+    estimator_kind: crate::cn::EstimatorKind,
+    est_state: Option<&[u8]>,
+) -> Result<Gph> {
+    if partitioning.dim() != data.dim() {
+        return Err(HammingError::Corrupt(format!(
+            "partitioning covers {} dims but the dataset has {}",
+            partitioning.dim(),
+            data.dim()
+        )));
+    }
     if index.len() != data.len() {
         return Err(HammingError::Corrupt(format!(
             "index posts {} vectors but the dataset has {}",
@@ -353,10 +606,9 @@ pub(crate) fn decode_engine(bytes: &[u8]) -> Result<Gph> {
     // The projected columns are a deterministic bit-gather of the rows —
     // cheap to recompute, so they are not stored.
     let projected = ProjectedDataset::build(&data, &projector);
-    let estimator_kind = decode_kind(r.section("estkind")?)?;
     let widths: Vec<usize> = (0..projector.num_parts()).map(|p| projector.shape(p).width).collect();
     let estimator =
-        restore_estimator(&estimator_kind, r.get("eststate"), &projected, cfg.tau_max, &widths)?;
+        restore_estimator(&estimator_kind, est_state, &projected, cfg.tau_max, &widths)?;
     Ok(Gph {
         data,
         partitioning,
@@ -516,21 +768,23 @@ mod tests {
         // belongs to a different partitioning; the cross-check must
         // reject the splice instead of letting a query panic.
         let ds = random_dataset(32, 80, 19);
-        let a = Gph::build(
-            ds.clone(),
-            &GphConfig { strategy: PartitionStrategy::Original, ..GphConfig::new(2, 4) },
-        )
-        .unwrap()
-        .to_bytes();
-        let b = Gph::build(
-            ds,
-            &GphConfig { strategy: PartitionStrategy::Original, ..GphConfig::new(4, 4) },
-        )
-        .unwrap()
-        .to_bytes();
-        let ra = SectionReader::parse(ENGINE_MAGIC, SNAPSHOT_VERSION, &a).unwrap();
-        let rb = SectionReader::parse(ENGINE_MAGIC, SNAPSHOT_VERSION, &b).unwrap();
-        let mut w = SectionWriter::new(ENGINE_MAGIC, SNAPSHOT_VERSION);
+        let a = encode_engine_v2(
+            &Gph::build(
+                ds.clone(),
+                &GphConfig { strategy: PartitionStrategy::Original, ..GphConfig::new(2, 4) },
+            )
+            .unwrap(),
+        );
+        let b = encode_engine_v2(
+            &Gph::build(
+                ds,
+                &GphConfig { strategy: PartitionStrategy::Original, ..GphConfig::new(4, 4) },
+            )
+            .unwrap(),
+        );
+        let ra = SectionReader::parse(ENGINE_MAGIC, 2, &a).unwrap();
+        let rb = SectionReader::parse(ENGINE_MAGIC, 2, &b).unwrap();
+        let mut w = SectionWriter::new(ENGINE_MAGIC, 2);
         for tag in ["dataset", "partit", "invindex", "config", "estkind"] {
             w.section(tag, rb.section(tag).unwrap());
         }
@@ -609,15 +863,15 @@ mod tests {
         // Reconstruct what a pre-CSR writer produced: a version-1
         // container whose `invindex` section holds the old
         // (key, offset, len)-triple encoding. Loading it must succeed and
-        // give an engine query-for-query identical to the v2 round-trip.
+        // give an engine query-for-query identical to the v3 round-trip.
         let ds = random_dataset(48, 200, 22);
         let queries = random_dataset(48, 6, 23);
         let mut cfg = GphConfig::new(3, 8);
         cfg.strategy = PartitionStrategy::RandomShuffle { seed: 9 };
         let built = Gph::build(ds, &cfg).unwrap();
-        let v2 = built.to_bytes();
-        let r = SectionReader::parse(ENGINE_MAGIC, SNAPSHOT_VERSION, &v2).unwrap();
-        assert_eq!(r.version(), 2, "current writer stamps version 2");
+        let v2 = encode_engine_v2(&built);
+        let r = SectionReader::parse(ENGINE_MAGIC, 2, &v2).unwrap();
+        assert_eq!(r.version(), 2, "the v2 writer stamps version 2");
         let mut w = SectionWriter::new(ENGINE_MAGIC, 1);
         for tag in ["dataset", "partit", "config", "estkind"] {
             w.section(tag, r.section(tag).unwrap());
@@ -631,8 +885,53 @@ mod tests {
 
         let loaded = Gph::from_bytes(&v1).unwrap();
         assert_engines_agree(&built, &loaded, &queries, &[0, 4, 8]);
-        // Saving the migrated engine re-emits the canonical v2 bytes.
-        assert_eq!(loaded.to_bytes(), v2);
+        // Saving the migrated engine re-emits the canonical v3 bytes.
+        assert_eq!(loaded.to_bytes(), built.to_bytes());
+    }
+
+    #[test]
+    fn version2_snapshots_load_through_the_legacy_path() {
+        // A v2 (tagged-section, CSR) snapshot loads into an engine
+        // query-identical to the v3 round-trip, and re-saving migrates
+        // it to the offset-addressed layout.
+        let ds = random_dataset(48, 150, 30);
+        let queries = random_dataset(48, 6, 31);
+        let mut cfg = GphConfig::new(3, 8);
+        cfg.strategy = PartitionStrategy::RandomShuffle { seed: 4 };
+        let built = Gph::build(ds, &cfg).unwrap();
+        let v2 = encode_engine_v2(&built);
+        let v3 = built.to_bytes();
+        assert_ne!(v2, v3);
+        assert_eq!(u32::from_le_bytes(v3[4..8].try_into().unwrap()), 3);
+
+        let loaded = Gph::from_bytes(&v2).unwrap();
+        assert_engines_agree(&built, &loaded, &queries, &[0, 4, 8]);
+        assert_eq!(loaded.to_bytes(), v3);
+    }
+
+    #[test]
+    fn v3_sections_are_page_aligned_and_offset_addressed() {
+        use hamming_core::io::PAGE_SIZE;
+        let ds = random_dataset(64, 300, 33);
+        let mut cfg = GphConfig::new(4, 8);
+        cfg.strategy = PartitionStrategy::RandomShuffle { seed: 5 };
+        let built = Gph::build(ds, &cfg).unwrap();
+        let bytes = built.to_bytes();
+        let f = Footer::parse_bytes(ENGINE_MAGIC, SNAPSHOT_VERSION, &bytes).unwrap();
+        assert_eq!(f.n_slots(), N_ENGINE_SLOTS);
+        for slot in [SLOT_ROWS, SLOT_KEYS, SLOT_OFFS, SLOT_IDS] {
+            let s = f.slot(slot).unwrap();
+            assert_eq!(s.offset % PAGE_SIZE as u64, 0, "slot {slot} unaligned");
+        }
+        // The row slab is the dataset words verbatim: the whole point of
+        // the layout is that a pager can read rows without decoding.
+        let rows = f.payload(&bytes, SLOT_ROWS).unwrap();
+        let wpv = built.data().words_per_vec();
+        let row7 = built.data().row(7);
+        let start = 7 * wpv * 8;
+        for (w, chunk) in row7.iter().zip(rows[start..start + wpv * 8].chunks_exact(8)) {
+            assert_eq!(*w, u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
     }
 
     #[test]

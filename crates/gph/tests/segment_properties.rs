@@ -123,7 +123,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let cfg = cfg(seed);
-        let seg_cfg = SegmentConfig { seal_rows, max_sealed };
+        let seg_cfg = SegmentConfig { seal_rows, max_sealed, ..SegmentConfig::default() };
         let mut engine = SegmentedGph::new(DIM, cfg.clone(), seg_cfg).expect("new engine");
         let mut model: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
         for op in &ops {
@@ -145,7 +145,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let cfg = cfg(seed);
-        let seg_cfg = SegmentConfig { seal_rows, max_sealed: 2 };
+        let seg_cfg = SegmentConfig { seal_rows, max_sealed: 2, ..SegmentConfig::default() };
         let mut engine = SegmentedGph::new(DIM, cfg.clone(), seg_cfg).expect("new engine");
         let mut model: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
         for op in &ops_before {

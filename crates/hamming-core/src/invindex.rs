@@ -124,6 +124,42 @@ impl InvertedIndex {
         self.parts[p].keys.len()
     }
 
+    /// Partition `p`'s sorted distinct signature keys (CSR `keys` array).
+    pub fn part_keys(&self, p: usize) -> &[u64] {
+        &self.parts[p].keys
+    }
+
+    /// Partition `p`'s CSR prefix-sum array (`keys.len() + 1` entries).
+    pub fn part_offsets(&self, p: usize) -> &[u32] {
+        &self.parts[p].offsets
+    }
+
+    /// Partition `p`'s flat postings array, grouped by key slot.
+    pub fn part_ids(&self, p: usize) -> &[u32] {
+        &self.parts[p].ids
+    }
+
+    /// Assembles an index directly from raw CSR arrays (one
+    /// `(width, keys, offsets, ids)` tuple per partition), applying the
+    /// same structural validation as [`InvertedIndex::decode`]. This is
+    /// how offset-addressed (v3) snapshots rebuild the index from
+    /// sections read straight off disk.
+    #[allow(clippy::type_complexity)]
+    pub fn from_csr(
+        len: usize,
+        parts: Vec<(usize, Vec<u64>, Vec<u32>, Vec<u32>)>,
+    ) -> Result<InvertedIndex> {
+        let parts = parts
+            .into_iter()
+            .enumerate()
+            .map(|(p, (width, keys, offsets, ids))| {
+                validate_csr_part(p, len, &keys, &offsets, &ids)?;
+                Ok(PartIndex { width, keys, offsets, ids })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(InvertedIndex { parts, len })
+    }
+
     /// Deterministic byte encoding of the postings (for engine
     /// snapshots): the CSR arrays verbatim. Keys are stored sorted by
     /// construction, so identical indexes always produce identical bytes
@@ -167,30 +203,10 @@ impl InvertedIndex {
             let width = r.u64("part width")? as usize;
             let n_keys = r.len(12, "part key count")?;
             let n_ids = r.len(4, "part id count")?;
-            if n_ids != len {
-                return Err(HammingError::Corrupt(format!(
-                    "part {p} holds {n_ids} postings for {len} vectors"
-                )));
-            }
             let keys = r.u64s(n_keys, "posting keys")?;
-            if keys.windows(2).any(|w| w[0] >= w[1]) {
-                return Err(HammingError::Corrupt(format!("part {p} keys are not sorted")));
-            }
             let offsets = r.u32s(n_keys + 1, "posting offsets")?;
-            if offsets.first() != Some(&0) || offsets.last().copied() != Some(n_ids as u32) {
-                return Err(HammingError::Corrupt(format!(
-                    "part {p} offsets do not span 0..{n_ids}"
-                )));
-            }
-            if offsets.windows(2).any(|w| w[0] > w[1]) {
-                return Err(HammingError::Corrupt(format!("part {p} offsets are not monotone")));
-            }
             let ids = r.u32s(n_ids, "posting ids")?;
-            if let Some(&id) = ids.iter().find(|&&id| id as usize >= len) {
-                return Err(HammingError::Corrupt(format!(
-                    "posting id {id} out of range for {len} vectors"
-                )));
-            }
+            validate_csr_part(p, len, &keys, &offsets, &ids)?;
             parts.push(PartIndex { width, keys, offsets, ids });
         }
         r.finish("inverted index")?;
@@ -293,6 +309,47 @@ impl InvertedIndex {
             .map(|pi| pi.ids.len() * 4 + pi.keys.len() * 8 + pi.offsets.len() * 4)
             .sum()
     }
+}
+
+/// Structural validation of one partition's CSR arrays, shared by
+/// [`InvertedIndex::decode`] and [`InvertedIndex::from_csr`]: postings
+/// cover exactly `len` ids, keys strictly ascending, offsets a monotone
+/// prefix sum spanning `0..n_ids`, every id in range.
+fn validate_csr_part(
+    p: usize,
+    len: usize,
+    keys: &[u64],
+    offsets: &[u32],
+    ids: &[u32],
+) -> Result<()> {
+    let n_ids = ids.len();
+    if n_ids != len {
+        return Err(HammingError::Corrupt(format!(
+            "part {p} holds {n_ids} postings for {len} vectors"
+        )));
+    }
+    if keys.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(HammingError::Corrupt(format!("part {p} keys are not sorted")));
+    }
+    if offsets.len() != keys.len() + 1 {
+        return Err(HammingError::Corrupt(format!(
+            "part {p} has {} offsets for {} keys",
+            offsets.len(),
+            keys.len()
+        )));
+    }
+    if offsets.first() != Some(&0) || offsets.last().copied() != Some(n_ids as u32) {
+        return Err(HammingError::Corrupt(format!("part {p} offsets do not span 0..{n_ids}")));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(HammingError::Corrupt(format!("part {p} offsets are not monotone")));
+    }
+    if let Some(&id) = ids.iter().find(|&&id| id as usize >= len) {
+        return Err(HammingError::Corrupt(format!(
+            "posting id {id} out of range for {len} vectors"
+        )));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

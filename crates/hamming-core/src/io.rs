@@ -371,6 +371,337 @@ impl<'a> SectionReader<'a> {
     }
 }
 
+// ---------------------------------------------------------------------
+// The offset-addressed container (v3 snapshot layout)
+// ---------------------------------------------------------------------
+
+/// Alignment of payload sections in an offset-addressed container, and
+/// the unit the cold-path page cache reads in. 4 KiB matches the common
+/// OS page, and every element size used by the v3 layout (u32 ids and
+/// offsets, u64 keys) divides it, so scalar element reads never straddle
+/// a page boundary.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Byte length of an offset-addressed container's header:
+/// `magic [u8;4] + version u32 + n_slots u32`.
+pub const OFFSET_HEADER_LEN: usize = 12;
+
+/// Trailing magic that terminates an offset-addressed container's
+/// footer. A reader seeks to EOF, checks these four bytes, and walks
+/// backward — no sequential decode required.
+pub const FOOTER_MAGIC: [u8; 4] = *b"GPHF";
+
+/// Bytes each footer slot occupies: `offset u64 + len u64 + crc u32`.
+const SLOT_LEN: usize = 20;
+
+/// Bytes of footer trailer after the slot table:
+/// `version u32 + n_slots u32 + magic [u8;4] + crc u32 + FOOTER_MAGIC`.
+const FOOTER_TRAILER_LEN: usize = 20;
+
+/// One entry in an offset-addressed container's footer: where a section
+/// lives in the file and the CRC-32 of its payload bytes. Slots are
+/// positional — the format that owns the magic defines what slot `i`
+/// holds (see `FORMAT.md`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SectionSlot {
+    /// Absolute byte offset of the payload from the start of the
+    /// container.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// CRC-32 ([`crc32`]) of the payload bytes.
+    pub crc: u32,
+}
+
+/// Builds an offset-addressed container: a 12-byte header, sections
+/// written back to back (payload sections optionally zero-padded to
+/// [`PAGE_SIZE`] boundaries), and a fixed-size [`Footer`] at EOF:
+///
+/// ```text
+/// magic    [u8; 4]      caller-chosen file type
+/// version  u32
+/// n_slots  u32
+/// sections ...           (aligned sections padded with zeros)
+/// footer   n_slots × { offset u64, len u64, crc u32 }
+///          version u32, n_slots u32, magic [u8; 4]
+///          crc u32       CRC-32 of every preceding footer byte
+///          magic    [u8; 4] = b"GPHF"
+/// ```
+///
+/// Unlike [`SectionWriter`], sections carry no tags: identity is the
+/// slot index, fixed per container magic + version. The call order of
+/// [`OffsetWriter::section`] / [`OffsetWriter::aligned_section`]
+/// assigns slot indices.
+pub struct OffsetWriter {
+    magic: [u8; 4],
+    version: u32,
+    buf: Vec<u8>,
+    slots: Vec<SectionSlot>,
+}
+
+impl OffsetWriter {
+    /// Starts a container with the given magic and format version.
+    pub fn new(magic: [u8; 4], version: u32) -> Self {
+        let mut buf = Vec::with_capacity(256);
+        buf.put_slice(&magic);
+        buf.put_u32_le(version);
+        buf.put_u32_le(0); // n_slots, patched by finish()
+        OffsetWriter { magic, version, buf, slots: Vec::new() }
+    }
+
+    /// The file offset the next unaligned section would start at.
+    pub fn pos(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// Appends a section at the current offset and returns that offset.
+    pub fn section(&mut self, payload: &[u8]) -> u64 {
+        let offset = self.buf.len() as u64;
+        self.slots.push(SectionSlot { offset, len: payload.len() as u64, crc: crc32(payload) });
+        self.buf.put_slice(payload);
+        offset
+    }
+
+    /// Zero-pads to the next [`PAGE_SIZE`] boundary, then appends a
+    /// section there and returns its (page-aligned) offset. Padding is
+    /// always zero bytes so containers stay byte-deterministic.
+    pub fn aligned_section(&mut self, payload: &[u8]) -> u64 {
+        let pos = self.buf.len();
+        self.buf.resize(pos.next_multiple_of(PAGE_SIZE), 0);
+        self.section(payload)
+    }
+
+    /// Finalizes the container: patches the header slot count and
+    /// appends the footer.
+    pub fn finish(mut self) -> Vec<u8> {
+        let n = u32::try_from(self.slots.len()).expect("slot count fits u32");
+        assert!(n <= Footer::MAX_SLOTS, "{n} slots exceed Footer::MAX_SLOTS");
+        self.buf[8..OFFSET_HEADER_LEN].copy_from_slice(&n.to_le_bytes());
+        let footer_start = self.buf.len();
+        for s in &self.slots {
+            self.buf.put_u64_le(s.offset);
+            self.buf.put_u64_le(s.len);
+            self.buf.put_u32_le(s.crc);
+        }
+        self.buf.put_u32_le(self.version);
+        self.buf.put_u32_le(n);
+        self.buf.put_slice(&self.magic);
+        let crc = crc32(&self.buf[footer_start..]);
+        self.buf.put_u32_le(crc);
+        self.buf.put_slice(&FOOTER_MAGIC);
+        self.buf
+    }
+}
+
+/// The parsed footer of an offset-addressed container: the format
+/// version and the slot table. Obtained via [`Footer::parse`] (from a
+/// file tail, without touching payloads — the cold open path) or
+/// [`Footer::parse_bytes`] (from a full in-memory container, with every
+/// payload CRC and padding byte validated — the resident decode path).
+#[derive(Clone, Debug)]
+pub struct Footer {
+    version: u32,
+    slots: Vec<SectionSlot>,
+}
+
+impl Footer {
+    /// Most slots any container declares. Bounds the footer length a
+    /// reader will trust before validating anything else, so a corrupt
+    /// slot count cannot drive a huge allocation.
+    pub const MAX_SLOTS: u32 = 64;
+
+    /// Largest possible footer length in bytes. Reading this many bytes
+    /// from EOF (or the whole file if shorter) always captures the
+    /// complete footer of a valid container.
+    pub const MAX_LEN: usize = Self::MAX_SLOTS as usize * SLOT_LEN + FOOTER_TRAILER_LEN;
+
+    /// Footer length in bytes for a container with `n_slots` sections.
+    pub fn footer_len(n_slots: usize) -> usize {
+        n_slots * SLOT_LEN + FOOTER_TRAILER_LEN
+    }
+
+    /// Parses a footer from the tail of a file of total length
+    /// `file_len`, where `tail` holds the file's **last** `tail.len()`
+    /// bytes (at least [`Footer::MAX_LEN`], or the whole file when
+    /// shorter). Validates the trailing magic, the magic echo, the
+    /// version, the footer CRC, and that every slot lies inside
+    /// `[OFFSET_HEADER_LEN, file_len - footer_len)` with checked
+    /// arithmetic — a corrupt offset or length yields
+    /// [`HammingError::Corrupt`], never a panic or an out-of-file read.
+    /// Payload CRCs are **not** checked here; cold readers verify each
+    /// section as they first touch it.
+    pub fn parse(magic: [u8; 4], max_version: u32, file_len: u64, tail: &[u8]) -> Result<Footer> {
+        if (tail.len() as u64) > file_len {
+            return Err(HammingError::Corrupt(format!(
+                "footer tail of {} bytes exceeds the {file_len}-byte file",
+                tail.len()
+            )));
+        }
+        if tail.len() < FOOTER_TRAILER_LEN {
+            return Err(HammingError::Corrupt(format!(
+                "file tail of {} bytes cannot hold a footer trailer",
+                tail.len()
+            )));
+        }
+        let (rest, trailer) = tail.split_at(tail.len() - FOOTER_TRAILER_LEN);
+        let mut r = ByteReader::new(trailer);
+        let version = r.u32("footer version")?;
+        let n_slots = r.u32("footer slot count")?;
+        let magic_echo = r.bytes(4, "footer magic echo")?;
+        let crc = r.u32("footer crc")?;
+        let end_magic = r.bytes(4, "footer magic")?;
+        if end_magic != FOOTER_MAGIC {
+            return Err(HammingError::Corrupt(format!(
+                "bad footer magic {end_magic:?}, expected {FOOTER_MAGIC:?}"
+            )));
+        }
+        if magic_echo != magic {
+            return Err(HammingError::Corrupt(format!(
+                "footer for a {magic_echo:?} container, expected {magic:?}"
+            )));
+        }
+        if version == 0 || version > max_version {
+            return Err(HammingError::Corrupt(format!(
+                "unsupported container version {version} (reader supports 1..={max_version})"
+            )));
+        }
+        if n_slots > Self::MAX_SLOTS {
+            return Err(HammingError::Corrupt(format!(
+                "footer declares {n_slots} slots (supported: 0..={})",
+                Self::MAX_SLOTS
+            )));
+        }
+        let footer_len = Self::footer_len(n_slots as usize);
+        if footer_len > tail.len() {
+            return Err(HammingError::Corrupt(format!(
+                "footer of {footer_len} bytes truncated to the {}-byte tail",
+                tail.len()
+            )));
+        }
+        let data_end = file_len
+            .checked_sub(footer_len as u64)
+            .filter(|&e| e >= OFFSET_HEADER_LEN as u64)
+            .ok_or_else(|| {
+                HammingError::Corrupt(format!(
+                    "footer of {footer_len} bytes does not fit the {file_len}-byte file"
+                ))
+            })?;
+        let table = &rest[rest.len() - (footer_len - FOOTER_TRAILER_LEN)..];
+        // The footer CRC covers the slot table and the trailer fields
+        // before the CRC itself.
+        let covered_crc =
+            Crc32::new().update(table).update(&trailer[..FOOTER_TRAILER_LEN - 8]).finish();
+        if covered_crc != crc {
+            return Err(HammingError::Corrupt("footer checksum mismatch".into()));
+        }
+        let mut tr = ByteReader::new(table);
+        let mut slots = Vec::with_capacity(n_slots as usize);
+        for i in 0..n_slots {
+            let offset = tr.u64("slot offset")?;
+            let len = tr.u64("slot length")?;
+            let slot_crc = tr.u32("slot crc")?;
+            let end = offset.checked_add(len).ok_or_else(|| {
+                HammingError::Corrupt(format!("slot {i} offset+len overflows u64"))
+            })?;
+            if offset < OFFSET_HEADER_LEN as u64 || end > data_end {
+                return Err(HammingError::Corrupt(format!(
+                    "slot {i} spans {offset}..{end}, outside the data region \
+                     {OFFSET_HEADER_LEN}..{data_end}"
+                )));
+            }
+            slots.push(SectionSlot { offset, len, crc: slot_crc });
+        }
+        tr.finish("footer slot table")?;
+        Ok(Footer { version, slots })
+    }
+
+    /// Parses and **fully validates** an in-memory container: the
+    /// header (magic, version, and slot count must match the footer),
+    /// the footer itself, every slot's payload CRC, and that every gap
+    /// between sections is zero padding — so any single-byte corruption
+    /// anywhere in the container is detected.
+    pub fn parse_bytes(magic: [u8; 4], max_version: u32, bytes: &[u8]) -> Result<Footer> {
+        let footer = Self::parse(magic, max_version, bytes.len() as u64, bytes)?;
+        let mut h = ByteReader::new(bytes);
+        let got = h.bytes(4, "container magic")?;
+        if got != magic {
+            return Err(HammingError::Corrupt(format!("bad magic {got:?}, expected {magic:?}")));
+        }
+        let h_version = h.u32("container version")?;
+        let h_slots = h.u32("container slot count")?;
+        if h_version != footer.version || h_slots as usize != footer.slots.len() {
+            return Err(HammingError::Corrupt(format!(
+                "header declares version {h_version} / {h_slots} slots, footer says {} / {}",
+                footer.version,
+                footer.slots.len()
+            )));
+        }
+        for (i, slot) in footer.slots.iter().enumerate() {
+            let payload = footer.payload(bytes, i)?;
+            if crc32(payload) != slot.crc {
+                return Err(HammingError::Corrupt(format!("checksum mismatch in slot {i}")));
+            }
+        }
+        // Every byte outside the header, the payloads, and the footer
+        // must be zero padding; anything else is corruption the CRCs
+        // cannot see.
+        let data_end = bytes.len() - Self::footer_len(footer.slots.len());
+        let mut spans: Vec<(u64, u64)> =
+            footer.slots.iter().map(|s| (s.offset, s.offset + s.len)).collect();
+        spans.sort_unstable();
+        let mut cursor = OFFSET_HEADER_LEN as u64;
+        for (start, end) in spans.into_iter().chain([(data_end as u64, data_end as u64)]) {
+            if start < cursor {
+                return Err(HammingError::Corrupt(format!(
+                    "slots overlap at offset {start} (previous section ends at {cursor})"
+                )));
+            }
+            if bytes[cursor as usize..start as usize].iter().any(|&b| b != 0) {
+                return Err(HammingError::Corrupt(format!("nonzero padding in {cursor}..{start}")));
+            }
+            cursor = cursor.max(end);
+        }
+        Ok(footer)
+    }
+
+    /// The container's format version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Number of slots in the footer.
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slot `i`, or [`HammingError::Corrupt`] when the footer has fewer
+    /// slots than the format requires.
+    pub fn slot(&self, i: usize) -> Result<SectionSlot> {
+        self.slots.get(i).copied().ok_or_else(|| {
+            HammingError::Corrupt(format!(
+                "footer has {} slots, slot {i} required",
+                self.slots.len()
+            ))
+        })
+    }
+
+    /// The payload of slot `i` within an in-memory container,
+    /// bounds-checked against the buffer (no CRC check — use after
+    /// [`Footer::parse_bytes`], which verifies every payload).
+    pub fn payload<'a>(&self, bytes: &'a [u8], i: usize) -> Result<&'a [u8]> {
+        let slot = self.slot(i)?;
+        let start = usize::try_from(slot.offset)
+            .ok()
+            .filter(|&s| s <= bytes.len())
+            .ok_or_else(|| HammingError::Corrupt(format!("slot {i} offset out of range")))?;
+        let len = usize::try_from(slot.len)
+            .ok()
+            .filter(|&l| l <= bytes.len() - start)
+            .ok_or_else(|| HammingError::Corrupt(format!("slot {i} length out of range")))?;
+        Ok(&bytes[start..start + len])
+    }
+}
+
 /// Encodes `ds` into a byte buffer.
 pub fn encode_dataset(ds: &Dataset) -> Vec<u8> {
     let wpv = words_for(ds.dim());
@@ -730,6 +1061,127 @@ mod tests {
         for cut in 0..bytes.len() {
             assert!(SectionReader::parse(*b"TEST", 1, &bytes[..cut]).is_err());
         }
+    }
+
+    #[test]
+    fn offset_container_roundtrip_and_alignment() {
+        let mut w = OffsetWriter::new(*b"TSTO", 3);
+        w.section(b"meta payload");
+        w.section(b"");
+        let rows_off = w.aligned_section(&[0xAB; 100]);
+        let keys_off = w.aligned_section(&[0xCD; 16]);
+        let bytes = w.finish();
+        assert_eq!(rows_off % PAGE_SIZE as u64, 0);
+        assert_eq!(keys_off % PAGE_SIZE as u64, 0);
+        assert!(keys_off > rows_off);
+        let f = Footer::parse_bytes(*b"TSTO", 3, &bytes).unwrap();
+        assert_eq!(f.version(), 3);
+        assert_eq!(f.n_slots(), 4);
+        assert_eq!(f.payload(&bytes, 0).unwrap(), b"meta payload");
+        assert_eq!(f.payload(&bytes, 1).unwrap(), b"");
+        assert_eq!(f.payload(&bytes, 2).unwrap(), &[0xAB; 100][..]);
+        assert_eq!(f.payload(&bytes, 3).unwrap(), &[0xCD; 16][..]);
+        assert!(f.slot(4).is_err());
+        // The cold open path: footer parsed from a bounded tail only.
+        let tail_start = bytes.len().saturating_sub(Footer::MAX_LEN);
+        let cold = Footer::parse(*b"TSTO", 3, bytes.len() as u64, &bytes[tail_start..]).unwrap();
+        assert_eq!(cold.n_slots(), 4);
+        assert_eq!(cold.slot(2).unwrap(), f.slot(2).unwrap());
+    }
+
+    #[test]
+    fn offset_container_detects_every_single_byte_corruption() {
+        let mut w = OffsetWriter::new(*b"TSTO", 1);
+        w.section(b"small meta");
+        w.aligned_section(&[7u8; 64]);
+        let bytes = w.finish();
+        assert!(Footer::parse_bytes(*b"TSTO", 1, &bytes).is_ok());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                Footer::parse_bytes(*b"TSTO", 1, &bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+        for cut in 0..bytes.len() {
+            assert!(Footer::parse_bytes(*b"TSTO", 1, &bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn footer_rejects_forged_offsets_without_panicking() {
+        let mut w = OffsetWriter::new(*b"TSTO", 1);
+        w.section(b"abc");
+        w.aligned_section(&[1u8; 32]);
+        let bytes = w.finish();
+        let footer_len = Footer::footer_len(2);
+        let footer_start = bytes.len() - footer_len;
+        // Forge each slot field in turn, re-sealing the footer CRC so
+        // only the bounds checks can catch it.
+        let forge = |patch: &dyn Fn(&mut Vec<u8>)| {
+            let mut bad = bytes.clone();
+            patch(&mut bad);
+            let crc_at = bad.len() - 8;
+            let crc = crc32(&bad[footer_start..crc_at]);
+            bad[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+            bad
+        };
+        // Slot 0 offset pushed past EOF.
+        let bad = forge(&|b: &mut Vec<u8>| {
+            b[footer_start..footer_start + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        });
+        assert!(matches!(
+            Footer::parse(*b"TSTO", 1, bad.len() as u64, &bad),
+            Err(HammingError::Corrupt(_))
+        ));
+        // Slot 0 length forged huge (offset+len overflows / exceeds file).
+        let bad = forge(&|b: &mut Vec<u8>| {
+            b[footer_start + 8..footer_start + 16].copy_from_slice(&(u64::MAX - 8).to_le_bytes());
+        });
+        assert!(matches!(
+            Footer::parse(*b"TSTO", 1, bad.len() as u64, &bad),
+            Err(HammingError::Corrupt(_))
+        ));
+        // Slot 0 offset inside the header.
+        let bad = forge(&|b: &mut Vec<u8>| {
+            b[footer_start..footer_start + 8].copy_from_slice(&3u64.to_le_bytes());
+        });
+        assert!(matches!(
+            Footer::parse(*b"TSTO", 1, bad.len() as u64, &bad),
+            Err(HammingError::Corrupt(_))
+        ));
+        // Slot count forged beyond MAX_SLOTS: rejected before any
+        // slot-table allocation.
+        let mut bad = bytes.clone();
+        let n_at = bad.len() - 16;
+        bad[n_at..n_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Footer::parse(*b"TSTO", 1, bad.len() as u64, &bad),
+            Err(HammingError::Corrupt(_))
+        ));
+        // A slot overlapping another is caught by full validation.
+        let bad = forge(&|b: &mut Vec<u8>| {
+            let second = footer_start + SLOT_LEN;
+            let first_off =
+                u64::from_le_bytes(b[footer_start..footer_start + 8].try_into().unwrap());
+            b[second..second + 8].copy_from_slice(&first_off.to_le_bytes());
+            b[second + 8..second + 16].copy_from_slice(&3u64.to_le_bytes());
+            b[second + 16..second + 20].copy_from_slice(&crc32(b"abc").to_le_bytes());
+        });
+        assert!(Footer::parse_bytes(*b"TSTO", 1, &bad).is_err());
+    }
+
+    #[test]
+    fn footer_rejects_wrong_magic_and_version() {
+        let mut w = OffsetWriter::new(*b"TSTO", 3);
+        w.section(b"x");
+        let bytes = w.finish();
+        assert!(Footer::parse(*b"ELSE", 3, bytes.len() as u64, &bytes).is_err());
+        assert!(Footer::parse(*b"TSTO", 2, bytes.len() as u64, &bytes).is_err());
+        assert!(Footer::parse(*b"TSTO", 3, bytes.len() as u64, &bytes).is_ok());
+        // A tail longer than the declared file length is inconsistent.
+        assert!(Footer::parse(*b"TSTO", 3, 4, &bytes).is_err());
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::cache::{CacheKey, CacheStats, CachedResult, ResultCache};
 use crate::shard::ShardedIndex;
 use crate::stats::{ServiceMetrics, ServiceSnapshotStats, ServiceStats};
 use crossbeam::channel;
+use gph::coldstore::StorageMode;
 use gph_obs::{Gauge, MetricsRegistry, QueryTrace, TraceConfig, Tracer};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -33,6 +34,12 @@ pub struct ServiceConfig {
     pub admission: AdmissionConfig,
     /// Query-tracing policy (sampling rate, slow-query ring).
     pub trace: TraceConfig,
+    /// Where sealed segments live: [`StorageMode::Resident`] keeps every
+    /// engine in memory; [`StorageMode::FileBacked`] serves sealed
+    /// segments out-of-core from snapshot files through a bounded page
+    /// cache. Applied by [`QueryService::warm_start`] at restore time and
+    /// inherited by segments sealed while serving.
+    pub storage: StorageMode,
 }
 
 impl Default for ServiceConfig {
@@ -43,6 +50,7 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             admission: AdmissionConfig::default(),
             trace: TraceConfig::default(),
+            storage: StorageMode::Resident,
         }
     }
 }
@@ -214,6 +222,10 @@ struct ScrapeGauges {
     admission_rejected: Gauge,
     index_rows: Gauge,
     index_shards: Gauge,
+    pagecache_hits: Gauge,
+    pagecache_misses: Gauge,
+    pagecache_evictions: Gauge,
+    pagecache_resident_bytes: Gauge,
 }
 
 impl ScrapeGauges {
@@ -236,6 +248,22 @@ impl ScrapeGauges {
             admission_rejected: g("gph_admission_rejected", "Queries rejected by admission."),
             index_rows: g("gph_index_rows", "Live rows across every shard."),
             index_shards: g("gph_index_shards", "Shards in the serving index."),
+            pagecache_hits: g(
+                "gph_pagecache_hits",
+                "Page-cache hits across file-backed shards (0 when fully resident).",
+            ),
+            pagecache_misses: g(
+                "gph_pagecache_misses",
+                "Page-cache misses (each one is a block read from a segment file).",
+            ),
+            pagecache_evictions: g(
+                "gph_pagecache_evictions",
+                "Pages evicted to stay within the configured memory budget.",
+            ),
+            pagecache_resident_bytes: g(
+                "gph_pagecache_resident_bytes",
+                "Bytes of segment pages currently held in memory.",
+            ),
         }
     }
 }
@@ -326,11 +354,47 @@ impl QueryService {
     /// directory: restores every shard engine in parallel (no partition
     /// optimization, index construction, or estimator training) and
     /// spawns the worker pool over the restored fleet.
+    ///
+    /// [`ServiceConfig::storage`] picks the restore path. The default
+    /// keeps everything resident. With [`StorageMode::FileBacked`] the
+    /// shard snapshots are mapped rather than read — only footers and
+    /// metadata load eagerly, so startup stays near constant in corpus
+    /// size and the fleet serves corpora larger than the page-cache
+    /// budget:
+    ///
+    /// ```
+    /// use gph::coldstore::StorageMode;
+    /// use gph::engine::GphConfig;
+    /// use gph::partition_opt::PartitionStrategy;
+    /// use gph_serve::{QueryService, ServiceConfig, ShardedIndex};
+    /// use hamming_core::{BitVector, Dataset};
+    ///
+    /// let rows = ["0000111100001111", "0000111100001010", "1111000011110000"];
+    /// let data =
+    ///     Dataset::from_vectors(16, rows.iter().map(|s| BitVector::parse(s).unwrap())).unwrap();
+    /// let mut cfg = GphConfig::new(2, 4);
+    /// cfg.strategy = PartitionStrategy::Original;
+    /// let index = ShardedIndex::build(&data, 2, &cfg).unwrap();
+    /// let dir = std::env::temp_dir().join("gph-warm-start-doc");
+    /// index.snapshot(&dir).unwrap();
+    ///
+    /// // Serve the same snapshot out-of-core: sealed segments page
+    /// // through a 1 MiB cache instead of loading into memory.
+    /// let service = QueryService::warm_start(&dir, ServiceConfig {
+    ///     workers: 1,
+    ///     storage: StorageMode::FileBacked { budget_bytes: 1 << 20 },
+    ///     ..ServiceConfig::default()
+    /// }).unwrap();
+    /// let q = BitVector::parse("0000111100001111").unwrap();
+    /// assert_eq!(service.query(q.words(), 3).ids().unwrap(), &[0, 1]);
+    /// service.shutdown();
+    /// std::fs::remove_dir_all(&dir).ok();
+    /// ```
     pub fn warm_start<P: AsRef<std::path::Path>>(
         dir: P,
         cfg: ServiceConfig,
     ) -> hamming_core::error::Result<Self> {
-        Ok(QueryService::new(Arc::new(ShardedIndex::restore(dir)?), cfg))
+        Ok(QueryService::new(Arc::new(ShardedIndex::restore_with_storage(dir, cfg.storage)?), cfg))
     }
 
     /// Submits one range query; blocks only if the queue is full.
@@ -669,6 +733,11 @@ impl QueryService {
         self.shared.gauges.admission_rejected.set(admission.rejected);
         self.shared.gauges.index_rows.set(self.shared.index.len() as u64);
         self.shared.gauges.index_shards.set(self.shared.index.num_shards() as u64);
+        let pc = self.shared.index.page_cache_stats().unwrap_or_default();
+        self.shared.gauges.pagecache_hits.set(pc.hits);
+        self.shared.gauges.pagecache_misses.set(pc.misses);
+        self.shared.gauges.pagecache_evictions.set(pc.evictions);
+        self.shared.gauges.pagecache_resident_bytes.set(pc.resident_bytes);
         self.shared.registry.render()
     }
 
@@ -1141,5 +1210,9 @@ mod tests {
         assert!(text.contains("\ngph_cache_hits 1\n"));
         assert!(text.contains(&format!("\ngph_index_rows {}\n", index.len())));
         assert!(text.contains(&format!("\ngph_index_shards {}\n", index.num_shards())));
+        // A fully resident fleet still exposes the page-cache series,
+        // pinned at zero.
+        assert!(text.contains("\ngph_pagecache_hits 0\n"));
+        assert!(text.contains("\ngph_pagecache_resident_bytes 0\n"));
     }
 }

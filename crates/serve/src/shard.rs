@@ -13,6 +13,7 @@
 //! **identical** to a single engine over the surviving rows — the
 //! shard-merge and mutation property tests pin this down.
 
+use gph::coldstore::PageCacheStats;
 use gph::engine::{GphConfig, QueryStats};
 use gph::segment::{SegmentConfig, SegmentedGph};
 use gph_obs::{QueryTrace, ShardTrace};
@@ -183,9 +184,27 @@ impl ShardedIndex {
         self.shards.iter().map(|s| s.read().num_sealed()).collect()
     }
 
-    /// Summed heap size of all shard engines.
+    /// Summed heap size of all shard engines. Under
+    /// [`gph::coldstore::StorageMode::FileBacked`] this excludes paged blob bytes, which
+    /// [`ShardedIndex::page_cache_stats`] accounts separately.
     pub fn size_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.read().size_bytes()).sum()
+    }
+
+    /// Summed page-cache counters across all file-backed shards; `None`
+    /// when every shard is fully resident.
+    pub fn page_cache_stats(&self) -> Option<PageCacheStats> {
+        let mut agg: Option<PageCacheStats> = None;
+        for shard in &self.shards {
+            if let Some(s) = shard.read().page_cache_stats() {
+                let a = agg.get_or_insert_with(PageCacheStats::default);
+                a.hits += s.hits;
+                a.misses += s.misses;
+                a.evictions += s.evictions;
+                a.resident_bytes += s.resident_bytes;
+            }
+        }
+        agg
     }
 
     /// Whether `id` is live.
@@ -597,7 +616,7 @@ mod tests {
         let ds = random_dataset(32, 40, 0.5, 109);
         let mut cfg = test_cfg(2, 4);
         cfg.strategy = PartitionStrategy::Original;
-        let seg_cfg = SegmentConfig { seal_rows: 2, max_sealed: 4 };
+        let seg_cfg = SegmentConfig { seal_rows: 2, max_sealed: 4, ..SegmentConfig::default() };
         let sharded = ShardedIndex::build_with_segments(&ds, 2, &cfg, seg_cfg).unwrap();
         let id = 1000u32;
         let base = sharded.next_insert_cost(id);

@@ -23,6 +23,7 @@
 
 use crate::shard::ShardedIndex;
 use bytes::BufMut;
+use gph::coldstore::StorageMode;
 use gph::segment::{SegmentConfig, SegmentedGph};
 use gph::snapshot::{decode_gph_config, encode_gph_config};
 use hamming_core::error::{HammingError, Result};
@@ -185,7 +186,7 @@ fn decode_manifest(bytes: &[u8]) -> Result<(ShardManifest, gph::GphConfig, Segme
     if seal_rows == 0 || max_sealed == 0 {
         return Err(HammingError::Corrupt("zero segment-lifecycle knobs".into()));
     }
-    let seg_cfg = SegmentConfig { seal_rows, max_sealed };
+    let seg_cfg = SegmentConfig { seal_rows, max_sealed, ..SegmentConfig::default() };
     Ok((ShardManifest { n_shards, len, dim, tau_max, shards }, cfg, seg_cfg))
 }
 
@@ -246,8 +247,27 @@ impl ShardedIndex {
     /// that stored it. Slots without a file come back as empty engines
     /// ready to accept inserts.
     pub fn restore<P: AsRef<Path>>(dir: P) -> Result<Self> {
+        Self::restore_with_storage(dir, StorageMode::Resident)
+    }
+
+    /// [`ShardedIndex::restore`] with an explicit [`StorageMode`].
+    ///
+    /// With [`StorageMode::FileBacked`] the shard files are *mapped*,
+    /// not read: each shard validates its snapshot's footer and metadata
+    /// checksums, then serves sealed segments by paging blocks from the
+    /// file on demand. Restore time and resident memory stay near
+    /// constant in corpus size; the budget is split evenly across shard
+    /// slots (each shard caps its own page cache at `budget / n_shards`).
+    /// The manifest's whole-file CRC is deliberately *not* recomputed on
+    /// this path — doing so would read every byte and defeat the lazy
+    /// mapping; payload pages are instead covered by the per-section
+    /// checksums described in `FORMAT.md`. The storage mode is a runtime
+    /// policy, never persisted: the same directory restores either way.
+    pub fn restore_with_storage<P: AsRef<Path>>(dir: P, storage: StorageMode) -> Result<Self> {
         let dir = dir.as_ref();
         let (manifest, cfg, seg_cfg) = decode_manifest(&std::fs::read(dir.join(MANIFEST_FILE))?)?;
+        let shard_mode = split_budget(storage, manifest.n_shards);
+        let seg_cfg = SegmentConfig { storage: shard_mode, ..seg_cfg };
         let mut loaded: Vec<Result<SegmentedGph>> = Vec::new();
         let manifest_ref = &manifest;
         crossbeam::thread::scope(|scope| {
@@ -258,7 +278,7 @@ impl ShardedIndex {
                     scope.spawn(move |_| match entry {
                         Some(entry) => {
                             let path: PathBuf = dir.join(entry.file_name());
-                            load_shard(&path, entry, manifest_ref)
+                            load_shard(&path, entry, manifest_ref, shard_mode)
                         }
                         None => SegmentedGph::new(manifest_ref.dim, cfg.clone(), seg_cfg),
                     })
@@ -283,12 +303,40 @@ impl ShardedIndex {
     }
 }
 
-fn load_shard(path: &Path, entry: &ShardEntry, manifest: &ShardManifest) -> Result<SegmentedGph> {
-    let bytes = std::fs::read(path)?;
-    if crc32(&bytes) != entry.crc {
-        return Err(HammingError::Corrupt(format!("checksum mismatch for {}", entry.file_name())));
+/// Splits a fleet-wide page-cache budget into a per-shard mode. Every
+/// shard owns its own cache (shards are independently locked), so the
+/// fleet's total stays at the configured budget.
+fn split_budget(storage: StorageMode, n_shards: usize) -> StorageMode {
+    match storage {
+        StorageMode::Resident => StorageMode::Resident,
+        StorageMode::FileBacked { budget_bytes } => {
+            StorageMode::FileBacked { budget_bytes: (budget_bytes / n_shards.max(1) as u64).max(1) }
+        }
     }
-    let engine = SegmentedGph::from_bytes(&bytes)?;
+}
+
+fn load_shard(
+    path: &Path,
+    entry: &ShardEntry,
+    manifest: &ShardManifest,
+    storage: StorageMode,
+) -> Result<SegmentedGph> {
+    let engine = match storage {
+        StorageMode::Resident => {
+            let bytes = std::fs::read(path)?;
+            if crc32(&bytes) != entry.crc {
+                return Err(HammingError::Corrupt(format!(
+                    "checksum mismatch for {}",
+                    entry.file_name()
+                )));
+            }
+            SegmentedGph::from_bytes(&bytes)?
+        }
+        // File-backed restore maps the snapshot instead of reading it;
+        // section checksums replace the whole-file CRC (see
+        // `restore_with_storage`).
+        StorageMode::FileBacked { .. } => SegmentedGph::load_with_storage(path, storage)?,
+    };
     if engine.len() != entry.rows {
         return Err(HammingError::Corrupt(format!(
             "{} holds {} live rows, manifest says {}",
@@ -391,6 +439,43 @@ mod tests {
         restored.insert(500, extra.row(2)).unwrap();
         built.insert(500, extra.row(2)).unwrap();
         assert_eq!(restored.search(extra.row(2), 2), built.search(extra.row(2), 2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_backed_restore_is_query_identical_and_pages_on_demand() {
+        let ds = random_dataset(64, 220, 309);
+        let mut cfg = GphConfig::new(4, 8);
+        cfg.strategy = PartitionStrategy::RandomShuffle { seed: 9 };
+        let built = ShardedIndex::build(&ds, 3, &cfg).unwrap();
+        let dir = tmp_dir("file_backed");
+        built.snapshot(&dir).unwrap();
+        let resident = ShardedIndex::restore(&dir).unwrap();
+        let cold = ShardedIndex::restore_with_storage(
+            &dir,
+            StorageMode::FileBacked { budget_bytes: 64 * 1024 },
+        )
+        .unwrap();
+        assert_eq!(cold.len(), resident.len());
+        // Restore mapped the shard files without touching payloads.
+        let fresh = cold.page_cache_stats().expect("file-backed shards report cache stats");
+        assert_eq!(fresh.resident_bytes, 0, "restore reads no payload pages");
+        assert!(resident.page_cache_stats().is_none(), "resident fleets have no page cache");
+        for qi in [0usize, 33, 150] {
+            let q = ds.row(qi);
+            for tau in [0u32, 4, 8] {
+                assert_eq!(cold.search(q, tau), resident.search(q, tau), "qi={qi} tau={tau}");
+            }
+            assert_eq!(cold.search_topk(q, 5), resident.search_topk(q, 5), "qi={qi}");
+        }
+        let used = cold.page_cache_stats().unwrap();
+        assert!(used.hits + used.misses > 0, "queries page through the cache");
+        // Mutations keep matching after a file-backed restore.
+        let extra = random_dataset(64, 2, 310);
+        cold.insert(900, extra.row(0)).unwrap();
+        resident.insert(900, extra.row(0)).unwrap();
+        assert_eq!(cold.delete(5), resident.delete(5));
+        assert_eq!(cold.search(extra.row(0), 2), resident.search(extra.row(0), 2));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -104,7 +104,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let cfg = cfg(seed);
-        let seg_cfg = SegmentConfig { seal_rows, max_sealed: 2 };
+        let seg_cfg = SegmentConfig { seal_rows, max_sealed: 2, ..SegmentConfig::default() };
         let mut ds = Dataset::new(DIM);
         let mut model: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
         for (i, bits) in initial.iter().enumerate() {

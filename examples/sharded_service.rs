@@ -60,6 +60,9 @@ fn main() {
             // Tracing off for this tour; see `gph_suite::obs` and
             // `gph-store query --trace` for the observability layer.
             trace: Default::default(),
+            // Everything resident; see the README's "Out-of-core
+            // serving" section for the file-backed mode.
+            storage: Default::default(),
         },
     );
 

@@ -10,6 +10,16 @@
 //! gph-store query --connect 127.0.0.1:7471 --tau 8 [--sample n] [--topk k] [--trace]
 //! gph-store serve --index snap/ --queries 2000 --tau 8 [--workers w]
 //! gph-store serve --index snap/ --listen 127.0.0.1:7471 [--duration secs]
+//! gph-store serve --index snap/ --queries 2000 --tau 8 --memory-budget 64m
+//! ```
+//!
+//! `serve --memory-budget` serves the snapshot **out-of-core**: sealed
+//! segments stay on disk and are paged through a cache capped at the
+//! given budget, so a corpus much larger than RAM still serves exact
+//! results (see `FORMAT.md` for the on-disk layout that makes the lazy
+//! mapping possible).
+//!
+//! ```text
 //! gph-store stats --connect 127.0.0.1:7471
 //! gph-store metrics --connect 127.0.0.1:7471
 //! gph-store add   --index snap/ --id 42 --bits 0101... [--upsert]
@@ -29,6 +39,7 @@
 //! query; `metrics` prints the server's Prometheus text exposition.
 
 use gph_suite::datagen::Profile;
+use gph_suite::gph::coldstore::StorageMode;
 use gph_suite::gph::engine::GphConfig;
 use gph_suite::hamming_core::io;
 use gph_suite::hamming_core::Dataset;
@@ -97,7 +108,9 @@ fn usage() {
          \x20 query (--index <dir> | --connect <addr>) --tau <t>\n\
          \x20       [--queries <file.hamd> | --sample n] [--topk k] [--trace]\n\
          \x20 serve --index <dir> --queries <n> --tau <t> [--workers w] [--batch b]\n\
+         \x20       [--memory-budget <bytes|Nk|Nm|Ng>]\n\
          \x20 serve --index <dir> --listen <addr> [--workers w] [--duration secs]\n\
+         \x20       [--memory-budget <bytes|Nk|Nm|Ng>]\n\
          \x20 stats --connect <addr>\n\
          \x20 metrics --connect <addr>\n\
          \x20 add   --index <dir> --id <n> (--bits <01...> | --random-seed <s>)\n\
@@ -463,16 +476,62 @@ fn cmd_del(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a byte count with an optional `k`/`m`/`g` suffix (`64m` =
+/// 64 MiB).
+fn parse_budget(s: &str) -> Result<u64, String> {
+    let (digits, unit) = match s.char_indices().find(|(_, c)| !c.is_ascii_digit()) {
+        None => (s, 1u64),
+        Some((i, c)) => {
+            let unit = match c.to_ascii_lowercase() {
+                'k' => 1u64 << 10,
+                'm' => 1 << 20,
+                'g' => 1 << 30,
+                _ => return Err(format!("--memory-budget {s}: expected bytes or k/m/g suffix")),
+            };
+            if i + c.len_utf8() != s.len() {
+                return Err(format!("--memory-budget {s}: trailing characters after the unit"));
+            }
+            (&s[..i], unit)
+        }
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("--memory-budget {s}: expected bytes or k/m/g suffix"))?;
+    n.checked_mul(unit)
+        .filter(|&b| b > 0)
+        .ok_or_else(|| format!("--memory-budget {s}: not a positive byte count"))
+}
+
 fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
-    check_flags(opts, &["index", "queries", "tau", "workers", "batch", "listen", "duration"])?;
+    check_flags(
+        opts,
+        &["index", "queries", "tau", "workers", "batch", "listen", "duration", "memory-budget"],
+    )?;
     let dir = need(opts, "index")?;
     let n_queries: usize = parse_or(opts, "queries", 1000)?;
     let workers: usize = parse_or(opts, "workers", 0)?;
     let batch: usize = parse_or(opts, "batch", 16)?;
-    let cfg = ServiceConfig { workers, ..ServiceConfig::default() };
+    // `--memory-budget` flips the fleet to out-of-core serving: sealed
+    // segments page from the snapshot files through a cache capped at
+    // the given byte budget instead of loading resident.
+    let storage = match opts.get("memory-budget") {
+        None => StorageMode::Resident,
+        Some(s) => StorageMode::FileBacked { budget_bytes: parse_budget(s)? },
+    };
+    let cfg = ServiceConfig { workers, storage, ..ServiceConfig::default() };
     let t0 = Instant::now();
     let service = QueryService::warm_start(dir, cfg).map_err(|e| e.to_string())?;
-    eprintln!("service warm-started from {dir} in {:.2}s", t0.elapsed().as_secs_f64());
+    match storage {
+        StorageMode::Resident => {
+            eprintln!("service warm-started from {dir} in {:.2}s", t0.elapsed().as_secs_f64());
+        }
+        StorageMode::FileBacked { budget_bytes } => eprintln!(
+            "service warm-started from {dir} in {:.2}s \
+             (file-backed, {:.1} MB page-cache budget)",
+            t0.elapsed().as_secs_f64(),
+            budget_bytes as f64 / 1e6
+        ),
+    }
     if let Some(listen) = opts.get("listen") {
         return serve_network(listen, service, opts);
     }
