@@ -1,0 +1,281 @@
+//! Multi-process fleet benchmark: real node *processes* (not threads)
+//! behind an in-process metastore, driven by [`FleetClient`]s over a
+//! nodes × clients sweep. Headline numbers (QPS, client-side p50/p99)
+//! go to `BENCH_fleet.json`.
+//!
+//! Each node is this same binary re-executed in a hidden `fleet-node`
+//! mode: it regenerates the identical dataset from the seed, keeps only
+//! the rows whose fleet slot it owns, prints `READY <addr>`, and serves
+//! until its stdin closes. That gives every node its own address space,
+//! page cache, and allocator — the thing a thread-based "fleet" fakes.
+//!
+//! Companion to `netload` (single-server wire path): this pins the
+//! scatter-gather fan-out, manifest routing, and exact top-k merge
+//! under process isolation. One fleet query per run is cross-checked
+//! against a brute-force scan before the clock starts.
+
+use crate::util::prepare;
+use crate::Scale;
+use datagen::Profile;
+use gph::engine::GphConfig;
+use gph_net::{FleetClient, FleetConfig, FleetManifest, FleetNode, MetastoreServer, ServerConfig};
+use gph_serve::{QueryService, ServiceConfig, ShardedIndex};
+use hamming_core::Dataset;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Fleet-level shard slots (what the manifest partitions).
+const FLEET_SLOTS: u32 = 6;
+/// Threshold the query stream uses.
+const TAU: u32 = 16;
+/// Node-count levels swept.
+const NODE_LEVELS: [usize; 2] = [1, 3];
+/// Client-thread levels swept at each node count.
+const CLIENT_LEVELS: [usize; 2] = [2, 4];
+/// Dataset seed shared by the parent and every node process.
+const SEED: u64 = 0xF1EE7;
+
+fn profile() -> Profile {
+    Profile::synthetic_gamma(0.25)
+}
+
+fn engine_cfg(dim: usize) -> GphConfig {
+    GphConfig::new(GphConfig::suggested_m(dim), TAU as usize)
+}
+
+/// The slots group `g` of `n` owns: round-robin over the slot space.
+fn slots_for(g: usize, n: usize) -> Vec<u32> {
+    (0..FLEET_SLOTS).filter(|s| (*s as usize) % n == g).collect()
+}
+
+/// Hidden re-exec entry (`experiments fleet-node --scale <s> --group <g>
+/// --of <n>`): serve this group's rows until stdin closes.
+pub fn node_main(args: &[String]) {
+    let mut scale = Scale::tiny();
+    let mut group = 0usize;
+    let mut of = 1usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = Scale::parse(&args[i]).expect("fleet-node: bad --scale");
+            }
+            "--group" => {
+                i += 1;
+                group = args[i].parse().expect("fleet-node: bad --group");
+            }
+            "--of" => {
+                i += 1;
+                of = args[i].parse().expect("fleet-node: bad --of");
+            }
+            other => panic!("fleet-node: unexpected argument {other}"),
+        }
+        i += 1;
+    }
+    let qs = prepare(&profile(), scale, SEED);
+    let service = node_service(&qs.data, &slots_for(group, of));
+    let server = gph_net::NetServer::bind("127.0.0.1:0", service, ServerConfig::default())
+        .expect("fleet-node: bind");
+    println!("READY {}", server.local_addr());
+    std::io::stdout().flush().expect("fleet-node: flush READY");
+    // Park until the parent hangs up, then drain and exit.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    server.shutdown();
+}
+
+/// An index over exactly the rows whose fleet slot is in `slots`, under
+/// their global ids (caching off, same reasoning as `netload`).
+fn node_service(data: &Dataset, slots: &[u32]) -> Arc<QueryService> {
+    let index = ShardedIndex::build(&Dataset::new(data.dim()), 2, &engine_cfg(data.dim()))
+        .expect("fleet-node: build");
+    for id in 0..data.len() as u32 {
+        let slot = ShardedIndex::shard_of(id, FLEET_SLOTS as usize) as u32;
+        if slots.contains(&slot) {
+            index.insert(id, data.row(id as usize)).expect("fleet-node: insert");
+        }
+    }
+    Arc::new(QueryService::new(
+        Arc::new(index),
+        ServiceConfig { cache_capacity: 0, ..ServiceConfig::default() },
+    ))
+}
+
+struct NodeProc {
+    child: Child,
+    addr: String,
+}
+
+fn spawn_node(scale_name: &str, group: usize, of: usize) -> NodeProc {
+    let exe = std::env::current_exe().expect("fleet: current_exe");
+    let mut child = Command::new(exe)
+        .args([
+            "fleet-node",
+            "--scale",
+            scale_name,
+            "--group",
+            &group.to_string(),
+            "--of",
+            &of.to_string(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("fleet: spawn node process");
+    let stdout = child.stdout.take().expect("fleet: node stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("fleet: read READY");
+    let addr = line
+        .trim()
+        .strip_prefix("READY ")
+        .unwrap_or_else(|| panic!("fleet: node {group}/{of} said {line:?}"))
+        .to_string();
+    NodeProc { child, addr }
+}
+
+struct LevelResult {
+    nodes: usize,
+    clients: usize,
+    queries: u64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Node processes re-derive the dataset from a scale *name*, so the
+/// parent's scale must be one of the named presets.
+fn scale_name(scale: Scale) -> &'static str {
+    for name in ["tiny", "small", "medium"] {
+        if Scale::parse(name).is_some_and(|s| s.base_rows == scale.base_rows) {
+            return name;
+        }
+    }
+    panic!("fleet: only the named scales (tiny|small|medium) can be re-executed in node processes");
+}
+
+/// Runs the nodes × clients sweep and writes the JSON report to
+/// `BENCH_FLEET_OUT` (default `BENCH_fleet.json`); any failure panics,
+/// which is what the CI job wants to fail on.
+pub fn run(scale: Scale) {
+    let scale_name = scale_name(scale);
+    let qs = prepare(&profile(), scale, SEED);
+    let metastore =
+        MetastoreServer::bind("127.0.0.1:0", ServerConfig::default()).expect("fleet: metastore");
+    let meta_addr = metastore.local_addr().to_string();
+
+    let total_queries = (scale.base_rows / 4).max(500) as u64;
+    let mut levels: Vec<LevelResult> = Vec::new();
+    for (level, &nodes) in NODE_LEVELS.iter().enumerate() {
+        let procs: Vec<NodeProc> = (0..nodes).map(|g| spawn_node(scale_name, g, nodes)).collect();
+        let manifest = FleetManifest {
+            version: level as u64 + 1,
+            n_shards: FLEET_SLOTS,
+            nodes: (0..nodes)
+                .map(|g| FleetNode {
+                    slots: slots_for(g, nodes),
+                    addrs: vec![procs[g].addr.clone()],
+                })
+                .collect(),
+        };
+        gph_net::GphClient::connect(metastore.local_addr())
+            .expect("fleet: metastore client")
+            .publish_manifest(&manifest)
+            .expect("fleet: publish");
+
+        // Correctness gate: one fleet query must equal the brute force.
+        let fleet =
+            FleetClient::connect(&meta_addr, FleetConfig::default()).expect("fleet: client");
+        let probe = qs.queries.row(0);
+        let got = fleet.search(probe, TAU).expect("fleet: probe").ids;
+        let expect: Vec<u32> = (0..qs.data.len())
+            .filter(|&i| {
+                hamming_core::distance::hamming_within(qs.data.row(i), probe, TAU).is_some()
+            })
+            .map(|i| i as u32)
+            .collect();
+        assert_eq!(got, expect, "fleet: {nodes}-node fan-out diverged from the brute force");
+        drop(fleet);
+
+        for &clients in &CLIENT_LEVELS {
+            let per_thread = total_queries / clients as u64;
+            let t0 = Instant::now();
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let queries = qs.queries.clone();
+                    let meta_addr = meta_addr.clone();
+                    std::thread::spawn(move || {
+                        let fleet = FleetClient::connect(&meta_addr, FleetConfig::default())
+                            .expect("fleet: client");
+                        let mut latencies = Vec::with_capacity(per_thread as usize);
+                        for i in 0..per_thread {
+                            let qi = ((c as u64 * 131 + i) % queries.len() as u64) as usize;
+                            let t = Instant::now();
+                            fleet.search(queries.row(qi), TAU).expect("fleet: search");
+                            latencies.push(t.elapsed().as_nanos() as u64);
+                        }
+                        latencies
+                    })
+                })
+                .collect();
+            let mut latencies: Vec<u64> = Vec::new();
+            for h in handles {
+                latencies.extend(h.join().expect("fleet: client thread"));
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+            latencies.sort_unstable();
+            let ran = latencies.len() as u64;
+            let pct = |q: f64| latencies[((q * ran as f64) as usize).min(latencies.len() - 1)];
+            levels.push(LevelResult {
+                nodes,
+                clients,
+                queries: ran,
+                qps: ran as f64 / elapsed,
+                p50_ms: pct(0.50) as f64 / 1e6,
+                p99_ms: pct(0.99) as f64 / 1e6,
+            });
+        }
+
+        for mut p in procs {
+            drop(p.child.stdin.take()); // hang up; the node exits cleanly
+            let status = p.child.wait().expect("fleet: node wait");
+            assert!(status.success(), "fleet: node exited with {status}");
+        }
+    }
+    metastore.shutdown();
+
+    let level_json: Vec<String> = levels
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{\"nodes\": {}, \"clients\": {}, \"queries\": {}, \"qps\": {:.1}, \
+                 \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}",
+                l.nodes, l.clients, l.queries, l.qps, l.p50_ms, l.p99_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"fleet\",\n  \"rows\": {},\n  \"dims\": {},\n  \
+         \"fleet_slots\": {},\n  \"tau\": {},\n  \"levels\": [\n{}\n  ]\n}}\n",
+        qs.data.len(),
+        qs.data.dim(),
+        FLEET_SLOTS,
+        TAU,
+        level_json.join(",\n"),
+    );
+    let out = std::env::var("BENCH_FLEET_OUT").unwrap_or_else(|_| "BENCH_fleet.json".into());
+    std::fs::write(&out, &json).expect("fleet: write report");
+
+    println!("## fleet ({} rows, {FLEET_SLOTS} slots, multi-process)\n", qs.data.len());
+    println!("| nodes | clients | queries | QPS | p50 (ms) | p99 (ms) |");
+    println!("|---|---|---|---|---|---|");
+    for l in &levels {
+        println!(
+            "| {} | {} | {} | {:.0} | {:.3} | {:.3} |",
+            l.nodes, l.clients, l.queries, l.qps, l.p50_ms, l.p99_ms
+        );
+    }
+    println!("\nreport written to {out}");
+}

@@ -9,6 +9,7 @@ pub mod calibration;
 pub mod coldstore;
 pub mod comparison;
 pub mod estimators;
+pub mod fleet;
 pub mod hotpath;
 pub mod msweep;
 pub mod mutations;
@@ -44,6 +45,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "hotpath",
     "mutations",
     "netload",
+    "fleet",
     "obs",
     "coldstore",
     "all",
@@ -71,6 +73,7 @@ pub fn dispatch(exp: &str, scale: Scale) -> bool {
         "hotpath" => hotpath::run(scale),
         "mutations" => mutations::run(scale),
         "netload" => netload::run(scale),
+        "fleet" => fleet::run(scale),
         "obs" => obs::run(scale),
         "coldstore" => coldstore::run(scale),
         "all" => {

@@ -14,7 +14,8 @@
 //! ([`NetError::Protocol`]).
 
 use crate::protocol::{
-    encode_request, read_frame, Message, Request, Response, SearchEntry, WireError, WireMutation,
+    encode_request, read_frame, FleetManifest, Message, Request, Response, SearchEntry, WireError,
+    WireMutation,
 };
 use crate::NetError;
 use crossbeam::channel;
@@ -267,6 +268,19 @@ impl<T> NetTicket<T> {
         let resp = self.rx.recv().map_err(|_| NetError::Closed)??;
         (self.map)(resp)
     }
+
+    /// [`NetTicket::wait`] bounded by `timeout`: [`NetError::Timeout`]
+    /// if no response lands in time (the request may still complete on
+    /// the server — only retry operations that are idempotent).
+    pub fn wait_timeout(self, timeout: Duration) -> Result<T, NetError> {
+        use crossbeam::channel::RecvTimeoutError;
+        let resp = match self.rx.recv_timeout(timeout) {
+            Ok(resp) => resp?,
+            Err(RecvTimeoutError::Timeout) => return Err(NetError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => return Err(NetError::Closed),
+        };
+        (self.map)(resp)
+    }
 }
 
 fn unexpected<T>(resp: &Response) -> Result<T, NetError> {
@@ -357,6 +371,20 @@ fn expect_stats(resp: Response) -> Result<RemoteStats, NetError> {
         Response::Stats { rows, dim, tau_max, shards, stats } => {
             Ok(RemoteStats { rows, dim, tau_max, shards, stats })
         }
+        other => unexpected(&other),
+    }
+}
+
+fn expect_manifest(resp: Response) -> Result<Option<FleetManifest>, NetError> {
+    match resp {
+        Response::Manifest { manifest } => Ok(manifest),
+        other => unexpected(&other),
+    }
+}
+
+fn expect_manifest_ack(resp: Response) -> Result<u64, NetError> {
+    match resp {
+        Response::ManifestAck { version } => Ok(version),
         other => unexpected(&other),
     }
 }
@@ -522,5 +550,32 @@ impl GphClient {
     /// Fetches the server's Prometheus text exposition.
     pub fn metrics(&self) -> Result<String, NetError> {
         self.submit(&Request::Metrics, expect_metrics)?.wait()
+    }
+
+    /// Pipelined manifest fetch (metastore servers only).
+    pub fn submit_get_manifest(&self) -> Result<NetTicket<Option<FleetManifest>>, NetError> {
+        self.submit(&Request::GetManifest, expect_manifest)
+    }
+
+    /// Fetches the metastore's current fleet manifest; `None` before
+    /// the first publish.
+    pub fn get_manifest(&self) -> Result<Option<FleetManifest>, NetError> {
+        self.submit_get_manifest()?.wait()
+    }
+
+    /// Pipelined manifest publish (metastore servers only).
+    pub fn submit_publish_manifest(
+        &self,
+        manifest: &FleetManifest,
+    ) -> Result<NetTicket<u64>, NetError> {
+        self.submit(&Request::PublishManifest { manifest: manifest.clone() }, expect_manifest_ack)
+    }
+
+    /// Publishes `manifest` and returns the installed version. The
+    /// metastore only accepts strictly increasing versions; losing a
+    /// race surfaces as [`WireError::ManifestStale`] with the version it
+    /// kept.
+    pub fn publish_manifest(&self, manifest: &FleetManifest) -> Result<u64, NetError> {
+        self.submit_publish_manifest(manifest)?.wait()
     }
 }

@@ -1,0 +1,373 @@
+//! Fleet routing: a [`FleetClient`] that serves searches across many
+//! `GPHN` nodes as if they were one index.
+//!
+//! The fleet's layout comes from a [`FleetManifest`] fetched from a
+//! metastore ([`crate::MetastoreServer`]): node groups own disjoint
+//! shard-slot sets that partition `0..n_shards`, and record ids map to
+//! slots by the **same** stable id hash the in-process
+//! [`ShardedIndex`] uses ([`ShardedIndex::shard_of`]) — so a record
+//! lives on exactly one group and routing never needs an id table.
+//!
+//! Reads scatter to every group and gather exactly:
+//!
+//! * range search — groups hold disjoint ids, so the union is a sort;
+//! * top-k — each group answers its own exact top-`k`, and
+//!   [`merge_topk`] (the same merge the in-process scatter-gather uses)
+//!   provably reconstructs the global top-`k` from those lists.
+//!
+//! Mutations route to the single group owning the id's slot, primary
+//! address only. Idempotent reads retry on transport failures — first
+//! across the owning group's addresses (primary, then replicas), with
+//! exponential backoff between passes, and finally after re-fetching
+//! the manifest from the metastore (which is how a client rides through
+//! a rolling restart: the republished manifest points the slots at the
+//! restarted or substitute address). Typed server answers
+//! ([`NetError::Remote`]) are authoritative and never retried.
+
+use crate::client::{ClientConfig, GphClient, NetTicket, TopKResult};
+use crate::protocol::{FleetManifest, WireMutation};
+use crate::NetError;
+use gph_serve::{merge_topk, ShardedIndex};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fleet-client knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Passes over a group's address list before (and after) a manifest
+    /// refresh; transport failures move to the next address, the next
+    /// pass backs off.
+    pub attempts: usize,
+    /// Backoff after a failed pass, doubling per pass.
+    pub backoff: Duration,
+    /// Bound on each request's wait; a timeout counts as a transport
+    /// failure and moves on (only idempotent requests are retried).
+    pub request_timeout: Duration,
+    /// Per-node connection knobs.
+    pub client: ClientConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            attempts: 3,
+            backoff: Duration::from_millis(20),
+            request_timeout: Duration::from_secs(10),
+            client: ClientConfig::default(),
+        }
+    }
+}
+
+/// A fleet-wide range-search result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetSearch {
+    /// Matching record ids across the whole fleet, ascending.
+    pub ids: Vec<u32>,
+    /// True when any group's admission control degraded its part of the
+    /// search (the union may then miss ids near the requested radius).
+    pub degraded: bool,
+}
+
+/// A fleet-wide top-k result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetTopK {
+    /// `(id, distance)` ascending by `(distance, id)` across the fleet.
+    pub hits: Vec<(u32, u32)>,
+    /// True when any group's admission control capped its escalation.
+    pub degraded: bool,
+}
+
+struct State {
+    manifest: FleetManifest,
+    /// Pooled clients by address (fleet nodes and the metastore alike);
+    /// transport failures evict, the next use reconnects.
+    conns: HashMap<String, Arc<GphClient>>,
+}
+
+/// A client for a whole fleet: routes by manifest, scatter-gathers
+/// reads, merges exactly, and retries idempotent reads across replicas.
+pub struct FleetClient {
+    metastore_addr: String,
+    cfg: FleetConfig,
+    state: Mutex<State>,
+}
+
+impl FleetClient {
+    /// Fetches the manifest from the metastore at `metastore_addr` and
+    /// builds a client routing by it. Errors if no manifest has been
+    /// published yet.
+    pub fn connect(metastore_addr: &str, cfg: FleetConfig) -> Result<FleetClient, NetError> {
+        let client = FleetClient {
+            metastore_addr: metastore_addr.to_string(),
+            cfg,
+            state: Mutex::new(State {
+                manifest: FleetManifest { version: 0, n_shards: 1, nodes: Vec::new() },
+                conns: HashMap::new(),
+            }),
+        };
+        let manifest = client.fetch_manifest()?;
+        client.state.lock().manifest = manifest;
+        Ok(client)
+    }
+
+    /// The manifest currently routing this client.
+    pub fn manifest(&self) -> FleetManifest {
+        self.state.lock().manifest.clone()
+    }
+
+    /// The shard slot `id` routes to — [`ShardedIndex::shard_of`] under
+    /// the manifest's slot count, byte-identical to how every node's
+    /// index routes the id internally.
+    pub fn slot_of(&self, id: u32) -> u32 {
+        ShardedIndex::shard_of(id, self.state.lock().manifest.n_shards as usize) as u32
+    }
+
+    /// The manifest node-group index owning `id`.
+    pub fn node_for(&self, id: u32) -> Option<usize> {
+        let st = self.state.lock();
+        let slot = ShardedIndex::shard_of(id, st.manifest.n_shards as usize) as u32;
+        st.manifest.node_for_slot(slot)
+    }
+
+    /// Re-fetches the manifest from the metastore, adopting it only if
+    /// its version beats the current one (routing never goes backwards).
+    /// Returns the version in effect afterwards.
+    pub fn refresh_manifest(&self) -> Result<u64, NetError> {
+        let fresh = self.fetch_manifest()?;
+        let mut st = self.state.lock();
+        if fresh.version > st.manifest.version {
+            st.manifest = fresh;
+        }
+        Ok(st.manifest.version)
+    }
+
+    fn fetch_manifest(&self) -> Result<FleetManifest, NetError> {
+        // One reconnect retry: the cached metastore connection may have
+        // died since the last fetch.
+        let mut last = NetError::Closed;
+        for _ in 0..2 {
+            let client = match self.client_for(&self.metastore_addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    last = e;
+                    continue;
+                }
+            };
+            match client
+                .submit_get_manifest()
+                .and_then(|t| t.wait_timeout(self.cfg.request_timeout))
+            {
+                Ok(Some(manifest)) => {
+                    manifest.validate().map_err(NetError::Protocol)?;
+                    return Ok(manifest);
+                }
+                Ok(None) => {
+                    return Err(NetError::Protocol(
+                        "the metastore has no published manifest yet".into(),
+                    ))
+                }
+                Err(e @ NetError::Remote(_)) => return Err(e),
+                Err(e) => {
+                    self.evict(&self.metastore_addr);
+                    last = e;
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// Fleet-wide range search at threshold `tau`: every group's ids,
+    /// merged ascending (groups are disjoint, so the merge is a sort).
+    pub fn search(&self, query: &[u64], tau: u32) -> Result<FleetSearch, NetError> {
+        let results = self.scatter(&|c| c.submit_search(query, tau))?;
+        let mut ids = Vec::new();
+        let mut degraded = false;
+        for r in results {
+            degraded |= r.degraded_from.is_some();
+            ids.extend(r.ids);
+        }
+        ids.sort_unstable();
+        Ok(FleetSearch { ids, degraded })
+    }
+
+    /// Fleet-wide exact top-k: each group answers its own exact top-`k`
+    /// and [`merge_topk`] reconstructs the global list.
+    pub fn topk(&self, query: &[u64], k: usize) -> Result<FleetTopK, NetError> {
+        let results: Vec<TopKResult> = self.scatter(&|c| c.submit_topk(query, k))?;
+        let degraded = results.iter().any(|r| r.degraded_cap.is_some());
+        let hits = merge_topk(results.into_iter().map(|r| r.hits), k);
+        Ok(FleetTopK { hits, degraded })
+    }
+
+    /// Inserts `row` under `id` on the owning group's primary. Not
+    /// retried across addresses (an insert is not idempotent); transport
+    /// failures reconnect to the primary only.
+    pub fn insert(&self, id: u32, row: &[u64]) -> Result<WireMutation, NetError> {
+        self.primary_request(id, &|c| c.submit_insert(id, row))
+    }
+
+    /// Inserts-or-replaces `row` under `id` on the owning group's
+    /// primary.
+    pub fn upsert(&self, id: u32, row: &[u64]) -> Result<WireMutation, NetError> {
+        self.primary_request(id, &|c| c.submit_upsert(id, row))
+    }
+
+    /// Tombstones `id` on the owning group's primary.
+    pub fn delete(&self, id: u32) -> Result<WireMutation, NetError> {
+        self.primary_request(id, &|c| c.submit_delete(id))
+    }
+
+    // -----------------------------------------------------------------
+    // Routing machinery
+    // -----------------------------------------------------------------
+
+    fn client_for(&self, addr: &str) -> Result<Arc<GphClient>, NetError> {
+        if let Some(c) = self.state.lock().conns.get(addr) {
+            return Ok(Arc::clone(c));
+        }
+        // Connect outside the lock: a slow handshake must not stall
+        // requests to other nodes on other threads.
+        let fresh = Arc::new(GphClient::connect_with(addr, self.cfg.client)?);
+        Ok(Arc::clone(self.state.lock().conns.entry(addr.to_string()).or_insert(fresh)))
+    }
+
+    fn evict(&self, addr: &str) {
+        self.state.lock().conns.remove(addr);
+    }
+
+    /// Scatters one read to every node group and gathers the answers in
+    /// group order. The happy path pipelines the request to every
+    /// group's primary at once; a group whose fast answer fails in
+    /// transport falls back to the full per-slot retry ladder.
+    fn scatter<T>(
+        &self,
+        submit: &dyn Fn(&GphClient) -> Result<NetTicket<T>, NetError>,
+    ) -> Result<Vec<T>, NetError> {
+        let manifest = self.manifest();
+        let pending: Vec<(u32, Option<NetTicket<T>>)> = manifest
+            .nodes
+            .iter()
+            .map(|node| {
+                let slot = node.slots[0];
+                let ticket = self.client_for(&node.addrs[0]).ok().and_then(|c| submit(&c).ok());
+                (slot, ticket)
+            })
+            .collect();
+        let mut out = Vec::with_capacity(pending.len());
+        for (slot, ticket) in pending {
+            let fast = ticket.and_then(|t| match t.wait_timeout(self.cfg.request_timeout) {
+                Ok(v) => Some(Ok(v)),
+                // A typed server answer is authoritative; surface it.
+                Err(e @ NetError::Remote(_)) => Some(Err(e)),
+                // Transport trouble: fall back to the retry ladder.
+                Err(_) => None,
+            });
+            match fast {
+                Some(result) => out.push(result?),
+                None => out.push(self.slot_request(slot, submit)?),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The retry ladder for one idempotent read against the group owning
+    /// `slot`: every address in the group (primary first, replicas
+    /// after), [`FleetConfig::attempts`] passes with doubling backoff,
+    /// then one manifest refresh and the same ladder over the new owner.
+    fn slot_request<T>(
+        &self,
+        slot: u32,
+        submit: &dyn Fn(&GphClient) -> Result<NetTicket<T>, NetError>,
+    ) -> Result<T, NetError> {
+        let mut last = NetError::Closed;
+        for round in 0..2 {
+            if round == 1 && self.refresh_manifest().is_err() {
+                break;
+            }
+            let addrs = {
+                let st = self.state.lock();
+                match st.manifest.node_for_slot(slot) {
+                    Some(ni) => st.manifest.nodes[ni].addrs.clone(),
+                    None => {
+                        return Err(NetError::Protocol(format!("no node owns shard slot {slot}")))
+                    }
+                }
+            };
+            for attempt in 0..self.cfg.attempts.max(1) {
+                for addr in &addrs {
+                    let client = match self.client_for(addr) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            last = e;
+                            continue;
+                        }
+                    };
+                    match submit(&client).and_then(|t| t.wait_timeout(self.cfg.request_timeout)) {
+                        Ok(v) => return Ok(v),
+                        Err(e @ NetError::Remote(_)) => return Err(e),
+                        Err(e) => {
+                            self.evict(addr);
+                            last = e;
+                        }
+                    }
+                }
+                if attempt + 1 < self.cfg.attempts.max(1) {
+                    std::thread::sleep(self.cfg.backoff * (1 << attempt.min(8)) as u32);
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// One mutation against the primary of the group owning `id`'s slot,
+    /// with reconnects to the primary only (plus a manifest refresh, for
+    /// primaries that moved in a rolling restart).
+    fn primary_request<T>(
+        &self,
+        id: u32,
+        submit: &dyn Fn(&GphClient) -> Result<NetTicket<T>, NetError>,
+    ) -> Result<T, NetError> {
+        let mut last = NetError::Closed;
+        for round in 0..2 {
+            if round == 1 && self.refresh_manifest().is_err() {
+                break;
+            }
+            let primary = {
+                let st = self.state.lock();
+                let slot = ShardedIndex::shard_of(id, st.manifest.n_shards as usize) as u32;
+                match st.manifest.node_for_slot(slot) {
+                    Some(ni) => st.manifest.nodes[ni].addrs[0].clone(),
+                    None => {
+                        return Err(NetError::Protocol(format!("no node owns shard slot {slot}")))
+                    }
+                }
+            };
+            for attempt in 0..self.cfg.attempts.max(1) {
+                let client = match self.client_for(&primary) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        last = e;
+                        if attempt + 1 < self.cfg.attempts.max(1) {
+                            std::thread::sleep(self.cfg.backoff * (1 << attempt.min(8)) as u32);
+                        }
+                        continue;
+                    }
+                };
+                match submit(&client).and_then(|t| t.wait_timeout(self.cfg.request_timeout)) {
+                    Ok(v) => return Ok(v),
+                    Err(e @ NetError::Remote(_)) => return Err(e),
+                    Err(e) => {
+                        self.evict(&primary);
+                        last = e;
+                    }
+                }
+                if attempt + 1 < self.cfg.attempts.max(1) {
+                    std::thread::sleep(self.cfg.backoff * (1 << attempt.min(8)) as u32);
+                }
+            }
+        }
+        Err(last)
+    }
+}

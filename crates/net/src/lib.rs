@@ -1,44 +1,72 @@
 //! # gph-net
 //!
 //! Network serving for the GPH reproduction: the subsystem that turns
-//! the in-process [`gph_serve::QueryService`] into an actual server.
-//! Three layers:
+//! the in-process [`gph_serve::QueryService`] into an actual server —
+//! and one server into a fleet.
 //!
 //! ```text
-//!   GphClient ──(GPHN frames over TCP, pipelined by request id)──▶ NetServer
-//!      │                                                              │
-//!   connection pool,                                        accept thread +
-//!   submit/wait tickets                                  per-connection reader
-//!   typed errors                                          and writer threads
-//!                                                                    │
-//!                                                         Arc<QueryService>
+//!                       ┌───────────── one node ─────────────┐
+//!   GphClient ──(GPHN)──▶ EventLoop: acceptor + W workers    │
+//!      │                │   (nonblocking sockets, poll(2),   │
+//!   connection pool,    │    per-conn buffers, backpressure, │
+//!   submit/wait tickets │    idle eviction, graceful drain)  │
+//!      │                │              │ Reply::Later        │
+//!   FleetClient         │        resolver pool ──▶ Arc<QueryService>
+//!      │                └────────────────────────────────────┘
+//!      ├──▶ node group A (primary + replicas)   ─ slots {0,3,6}
+//!      ├──▶ node group B                        ─ slots {1,4,7}
+//!      ├──▶ node group C                        ─ slots {2,5}
+//!      └──▶ MetastoreServer: versioned FleetManifest (shard→node map)
 //! ```
 //!
 //! * [`protocol`] — the `GPHN` length-prefixed, versioned, CRC-32
-//!   checksummed binary wire format. Corruption anywhere in a frame is a
-//!   typed protocol error, never a panic.
-//! * [`server`] — a `TcpListener` front end: each connection gets a
-//!   reader thread (decodes frames, submits work) and a writer thread
-//!   (waits tickets, encodes responses), so a slow query never stalls
-//!   the socket. Admission rejections map to typed error frames;
-//!   shutdown drains in-flight tickets before closing.
+//!   checksummed binary wire format, including the fleet metastore ops
+//!   (`GetManifest`/`PublishManifest`) and the [`FleetManifest`] codec.
+//!   Corruption anywhere in a frame is a typed error, never a panic.
+//! * [`event`] — the readiness-driven [`EventLoop`]: one acceptor and a
+//!   small worker set multiplex thousands of nonblocking connections
+//!   (no per-connection threads); blocking query waits run on a
+//!   separate resolver pool via [`Reply::Later`]. Write buffers are
+//!   capped (backpressure pauses reading), idle connections can be
+//!   evicted, and shutdown drains in-flight work.
+//! * [`server`] — [`NetServer`]: the query-node [`RequestHandler`] over
+//!   an [`EventLoop`] and an `Arc<QueryService>`.
+//! * [`metastore`] — [`MetastoreServer`]: a tiny manifest server that
+//!   versions the fleet's shard→node map (strictly increasing).
 //! * [`client`] — a blocking [`GphClient`] with connection pooling and
 //!   pipelined `submit_*`/`wait` mirroring the in-process
 //!   [`gph_serve::Ticket`] API.
+//! * [`fleet`] — [`FleetClient`]: routes by manifest with the same
+//!   stable id hash the in-process shards use, scatter-gathers reads
+//!   with the exact top-k merge, and retries idempotent reads across
+//!   replicas with timeout and backoff.
+//! * [`testing`] — a deterministic, seeded fault-injection proxy
+//!   ([`FaultProxy`]) for exercising all of the above under partial
+//!   writes, torn frames, stalls, resets, and delayed accepts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod event;
+pub mod fleet;
+pub mod metastore;
 pub mod protocol;
 pub mod server;
+pub mod testing;
 
 pub use client::{
     BatchEntry, ClientConfig, GphClient, NetTicket, RangeResult, RemoteStats, TopKResult,
     TracedResult,
 };
-pub use protocol::{Message, Request, Response, SearchEntry, WireError, WireMutation};
-pub use server::{NetServer, NetServerStats, ServerConfig};
+pub use event::{EventLoop, NetServerStats, Reply, RequestHandler, ServerConfig};
+pub use fleet::{FleetClient, FleetConfig, FleetSearch, FleetTopK};
+pub use metastore::MetastoreServer;
+pub use protocol::{
+    FleetManifest, FleetNode, Message, Request, Response, SearchEntry, WireError, WireMutation,
+};
+pub use server::NetServer;
+pub use testing::{FaultPlan, FaultProxy, FaultStats};
 
 /// Errors produced by the wire protocol, the client, and the server.
 #[derive(Debug)]
@@ -53,6 +81,9 @@ pub enum NetError {
     Remote(protocol::WireError),
     /// The connection closed before the response arrived.
     Closed,
+    /// No response arrived within the caller's deadline. The request
+    /// may still complete on the server — only retry idempotent ones.
+    Timeout,
 }
 
 impl NetError {
@@ -75,6 +106,7 @@ impl std::fmt::Display for NetError {
             NetError::Protocol(m) => write!(f, "protocol error: {m}"),
             NetError::Remote(e) => write!(f, "remote error: {e}"),
             NetError::Closed => write!(f, "connection closed"),
+            NetError::Timeout => write!(f, "timed out waiting for the response"),
         }
     }
 }

@@ -65,8 +65,138 @@ pub const OP_MUTATION: u8 = 0x09;
 pub const OP_METRICS: u8 = 0x0A;
 /// Op code for [`Request::TracedSearch`] / [`Response::TracedSearch`].
 pub const OP_TRACED_SEARCH: u8 = 0x0B;
+/// Op code for [`Request::GetManifest`] / [`Response::Manifest`].
+pub const OP_GET_MANIFEST: u8 = 0x0C;
+/// Op code for [`Request::PublishManifest`] / [`Response::ManifestAck`].
+pub const OP_PUBLISH_MANIFEST: u8 = 0x0D;
 /// Op code for [`Response::Error`].
 pub const OP_ERROR: u8 = 0x7F;
+
+/// Ceiling on the shard-slot count a decoded manifest may claim, mirroring
+/// the `GPHM` snapshot guard: stops a corrupt count from driving a huge
+/// allocation before validation.
+pub const MAX_MANIFEST_SLOTS: u32 = 1 << 20;
+
+/// One serving node group in a [`FleetManifest`]: the shard slots it owns
+/// and the addresses serving them. `addrs[0]` is the primary (the only
+/// address that accepts mutations); any further addresses are replicas
+/// serving the identical slot set, which clients may use for idempotent
+/// read retries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetNode {
+    /// Shard slots this group owns (each in `0..n_shards`).
+    pub slots: Vec<u32>,
+    /// `host:port` addresses; index 0 is the primary.
+    pub addrs: Vec<String>,
+}
+
+/// The versioned shard→node map a metastore serves: which node group owns
+/// which shard slots of a fleet-wide `ShardedIndex`-compatible layout.
+/// Record ids route to slots by the same stable id hash the index uses
+/// (`ShardedIndex::shard_of`), so the manifest never has to enumerate ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetManifest {
+    /// Publication version; the metastore only accepts strictly
+    /// increasing versions.
+    pub version: u64,
+    /// Total shard slots; a valid manifest's nodes partition
+    /// `0..n_shards` exactly.
+    pub n_shards: u32,
+    /// The node groups.
+    pub nodes: Vec<FleetNode>,
+}
+
+impl FleetManifest {
+    /// Checks structural invariants: at least one shard slot (bounded by
+    /// [`MAX_MANIFEST_SLOTS`]), every node has at least one address, and
+    /// the nodes' slot sets partition `0..n_shards` exactly — no orphaned
+    /// and no doubly-owned slot.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_shards == 0 {
+            return Err("manifest has zero shard slots".into());
+        }
+        if self.n_shards > MAX_MANIFEST_SLOTS {
+            return Err(format!(
+                "manifest claims {} shard slots, ceiling is {MAX_MANIFEST_SLOTS}",
+                self.n_shards
+            ));
+        }
+        let mut owner = vec![None::<usize>; self.n_shards as usize];
+        for (ni, node) in self.nodes.iter().enumerate() {
+            if node.addrs.is_empty() {
+                return Err(format!("node {ni} has no addresses"));
+            }
+            for &slot in &node.slots {
+                if slot >= self.n_shards {
+                    return Err(format!(
+                        "node {ni} claims slot {slot}, but there are only {} slots",
+                        self.n_shards
+                    ));
+                }
+                if let Some(prev) = owner[slot as usize] {
+                    return Err(format!("slot {slot} owned by both node {prev} and node {ni}"));
+                }
+                owner[slot as usize] = Some(ni);
+            }
+        }
+        if let Some(slot) = owner.iter().position(Option::is_none) {
+            return Err(format!("slot {slot} has no owner"));
+        }
+        Ok(())
+    }
+
+    /// The index into [`FleetManifest::nodes`] of the group owning
+    /// `slot`, or `None` for an out-of-range or orphaned slot.
+    pub fn node_for_slot(&self, slot: u32) -> Option<usize> {
+        self.nodes.iter().position(|n| n.slots.contains(&slot))
+    }
+
+    /// Serializes the manifest (the shared payload grammar of
+    /// [`Request::PublishManifest`] and [`Response::Manifest`]).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.version);
+        put_u32(buf, self.n_shards);
+        put_u32(buf, self.nodes.len() as u32);
+        for node in &self.nodes {
+            put_u32(buf, node.slots.len() as u32);
+            for &slot in &node.slots {
+                put_u32(buf, slot);
+            }
+            put_u32(buf, node.addrs.len() as u32);
+            for addr in &node.addrs {
+                put_str(buf, addr);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<FleetManifest, NetError> {
+        let version = r.u64("manifest version")?;
+        let n_shards = r.u32("manifest shard count")?;
+        if n_shards > MAX_MANIFEST_SLOTS {
+            return Err(proto_err(format!(
+                "manifest claims {n_shards} shard slots, ceiling is {MAX_MANIFEST_SLOTS}"
+            )));
+        }
+        // Each node costs at least 8 payload bytes (two u32 counts).
+        let n_nodes = read_count(r, 8, "manifest node count")?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let n_slots = read_count(r, 4, "manifest slot count")?;
+            let mut slots = Vec::with_capacity(n_slots);
+            for _ in 0..n_slots {
+                slots.push(r.u32("manifest slot")?);
+            }
+            // Each address costs at least its 4-byte length prefix.
+            let n_addrs = read_count(r, 4, "manifest address count")?;
+            let mut addrs = Vec::with_capacity(n_addrs);
+            for _ in 0..n_addrs {
+                addrs.push(read_str(r, "manifest address")?);
+            }
+            nodes.push(FleetNode { slots, addrs });
+        }
+        Ok(FleetManifest { version, n_shards, nodes })
+    }
+}
 
 /// A client request.
 #[derive(Clone, Debug, PartialEq)]
@@ -125,6 +255,15 @@ pub enum Request {
         tau: u32,
         /// The query's raw words.
         query: Vec<u64>,
+    },
+    /// Fetch the current fleet manifest (metastore servers only).
+    GetManifest,
+    /// Install a new fleet manifest (metastore servers only). Accepted
+    /// only when its version strictly exceeds the current one; otherwise
+    /// the server answers [`WireError::ManifestStale`].
+    PublishManifest {
+        /// The manifest to install.
+        manifest: FleetManifest,
     },
 }
 
@@ -189,6 +328,11 @@ pub enum WireError {
     Engine(String),
     /// The server is draining and no longer accepts work.
     ShuttingDown,
+    /// A published manifest's version did not exceed the current one.
+    ManifestStale {
+        /// The version the metastore is keeping.
+        current: u64,
+    },
 }
 
 impl WireError {
@@ -200,6 +344,7 @@ impl WireError {
             WireError::Overloaded => 4,
             WireError::Engine(_) => 5,
             WireError::ShuttingDown => 6,
+            WireError::ManifestStale { .. } => 7,
         }
     }
 }
@@ -215,6 +360,9 @@ impl std::fmt::Display for WireError {
             WireError::Overloaded => write!(f, "server overloaded"),
             WireError::Engine(m) => write!(f, "engine error: {m}"),
             WireError::ShuttingDown => write!(f, "server shutting down"),
+            WireError::ManifestStale { current } => {
+                write!(f, "manifest stale: the metastore is at version {current}")
+            }
         }
     }
 }
@@ -266,6 +414,16 @@ pub enum Response {
         /// The query's own per-phase trace; present exactly when the
         /// search reached the engine ([`SearchEntry::Ids`]).
         trace: Option<QueryTrace>,
+    },
+    /// Answer to [`Request::GetManifest`].
+    Manifest {
+        /// The current manifest; `None` before the first publish.
+        manifest: Option<FleetManifest>,
+    },
+    /// Answer to an accepted [`Request::PublishManifest`].
+    ManifestAck {
+        /// The version now current.
+        version: u64,
     },
     /// A typed error.
     Error(WireError),
@@ -320,6 +478,8 @@ fn request_opcode(req: &Request) -> u8 {
         Request::Stats => OP_STATS,
         Request::Metrics => OP_METRICS,
         Request::TracedSearch { .. } => OP_TRACED_SEARCH,
+        Request::GetManifest => OP_GET_MANIFEST,
+        Request::PublishManifest { .. } => OP_PUBLISH_MANIFEST,
     }
 }
 
@@ -333,13 +493,16 @@ fn response_opcode(resp: &Response) -> u8 {
         Response::Stats { .. } => OP_STATS,
         Response::Metrics { .. } => OP_METRICS,
         Response::TracedSearch { .. } => OP_TRACED_SEARCH,
+        Response::Manifest { .. } => OP_GET_MANIFEST,
+        Response::ManifestAck { .. } => OP_PUBLISH_MANIFEST,
         Response::Error(_) => OP_ERROR,
     }
 }
 
 fn encode_request_payload(req: &Request, buf: &mut Vec<u8>) {
     match req {
-        Request::Ping | Request::Stats | Request::Metrics => {}
+        Request::Ping | Request::Stats | Request::Metrics | Request::GetManifest => {}
+        Request::PublishManifest { manifest } => manifest.encode_into(buf),
         Request::Search { tau, query } | Request::TracedSearch { tau, query } => {
             put_u32(buf, *tau);
             put_u32(buf, query.len() as u32);
@@ -436,6 +599,14 @@ fn encode_response_payload(resp: &Response, buf: &mut Vec<u8>) {
             stats.encode_into(buf);
         }
         Response::Metrics { text } => put_str(buf, text),
+        Response::Manifest { manifest } => match manifest {
+            Some(m) => {
+                buf.push(1);
+                m.encode_into(buf);
+            }
+            None => buf.push(0),
+        },
+        Response::ManifestAck { version } => put_u64(buf, *version),
         Response::TracedSearch { entry, trace } => {
             encode_search_entry(entry, buf);
             match trace {
@@ -457,6 +628,7 @@ fn encode_response_payload(resp: &Response, buf: &mut Vec<u8>) {
                     put_f64(buf, *budget);
                 }
                 WireError::Overloaded | WireError::ShuttingDown => {}
+                WireError::ManifestStale { current } => put_u64(buf, *current),
             }
         }
     }
@@ -579,6 +751,10 @@ fn decode_request_payload(opcode: u8, payload: &[u8]) -> Result<Request, NetErro
             }
         }
         OP_DELETE => Request::Delete { id: r.u32("delete id")? },
+        OP_GET_MANIFEST => Request::GetManifest,
+        OP_PUBLISH_MANIFEST => {
+            Request::PublishManifest { manifest: FleetManifest::decode_from(&mut r)? }
+        }
         other => return Err(proto_err(format!("unknown request opcode {other:#04x}"))),
     };
     r.finish("request payload")?;
@@ -661,6 +837,15 @@ fn decode_response_payload(opcode: u8, payload: &[u8]) -> Result<Response, NetEr
             stats: ServiceSnapshotStats::decode_from(&mut r)?,
         },
         OP_METRICS => Response::Metrics { text: read_str(&mut r, "metrics text")? },
+        OP_GET_MANIFEST => {
+            let manifest = match r.u8("manifest tag")? {
+                0 => None,
+                1 => Some(FleetManifest::decode_from(&mut r)?),
+                other => return Err(proto_err(format!("unknown manifest tag {other}"))),
+            };
+            Response::Manifest { manifest }
+        }
+        OP_PUBLISH_MANIFEST => Response::ManifestAck { version: r.u64("ack version")? },
         OP_TRACED_SEARCH => {
             let entry = decode_search_entry(&mut r)?;
             let trace = match r.u8("trace tag")? {
@@ -682,6 +867,7 @@ fn decode_response_payload(opcode: u8, payload: &[u8]) -> Result<Response, NetEr
                 4 => WireError::Overloaded,
                 5 => WireError::Engine(read_str(&mut r, "error message")?),
                 6 => WireError::ShuttingDown,
+                7 => WireError::ManifestStale { current: r.u64("error version")? },
                 other => return Err(proto_err(format!("unknown error code {other}"))),
             };
             Response::Error(err)
@@ -715,6 +901,26 @@ fn check_header(version: u8, reserved: u8, payload_len: u32) -> Result<(), NetEr
         return Err(proto_err(format!("payload of {payload_len} bytes exceeds {MAX_PAYLOAD}")));
     }
     Ok(())
+}
+
+/// Sizes the frame at the front of `buf` without decoding it, for
+/// incremental parsing off a nonblocking read buffer: `Ok(None)` means
+/// the header is still incomplete, `Ok(Some(n))` that the frame occupies
+/// the first `n` bytes (which may not all have arrived yet). Bad magic
+/// and oversized payloads fail here, before any allocation, so a
+/// desynced peer is detected from the first header.
+pub fn frame_len(buf: &[u8]) -> Result<Option<usize>, NetError> {
+    if !buf.is_empty() && buf[..buf.len().min(4)] != MAGIC[..buf.len().min(4)] {
+        return Err(proto_err(format!("bad frame magic {:?}", &buf[..buf.len().min(4)])));
+    }
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let payload_len = u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes"));
+    if payload_len > MAX_PAYLOAD {
+        return Err(proto_err(format!("payload of {payload_len} bytes exceeds {MAX_PAYLOAD}")));
+    }
+    Ok(Some(HEADER_LEN + payload_len as usize))
 }
 
 /// Decodes exactly one frame from `bytes` (trailing bytes are an error).
@@ -852,6 +1058,79 @@ mod tests {
         roundtrip_request(u64::MAX, Request::Upsert { id: 0, row: vec![] });
         roundtrip_request(8, Request::Metrics);
         roundtrip_request(9, Request::TracedSearch { tau: 8, query: vec![0xDEAD, 0xBEEF] });
+        roundtrip_request(10, Request::GetManifest);
+        roundtrip_request(11, Request::PublishManifest { manifest: sample_manifest() });
+    }
+
+    fn sample_manifest() -> FleetManifest {
+        FleetManifest {
+            version: 7,
+            n_shards: 4,
+            nodes: vec![
+                FleetNode {
+                    slots: vec![0, 2],
+                    addrs: vec!["127.0.0.1:9001".into(), "127.0.0.1:9002".into()],
+                },
+                FleetNode { slots: vec![1, 3], addrs: vec!["127.0.0.1:9003".into()] },
+            ],
+        }
+    }
+
+    #[test]
+    fn manifest_frames_roundtrip() {
+        roundtrip_response(20, Response::Manifest { manifest: None });
+        roundtrip_response(21, Response::Manifest { manifest: Some(sample_manifest()) });
+        roundtrip_response(22, Response::ManifestAck { version: u64::MAX });
+        roundtrip_response(23, Response::Error(WireError::ManifestStale { current: 9 }));
+    }
+
+    #[test]
+    fn manifest_validation_pins_exact_partition() {
+        let m = sample_manifest();
+        assert!(m.validate().is_ok());
+        assert_eq!(m.node_for_slot(0), Some(0));
+        assert_eq!(m.node_for_slot(3), Some(1));
+        assert_eq!(m.node_for_slot(4), None);
+
+        let mut orphaned = m.clone();
+        orphaned.nodes[1].slots = vec![1];
+        assert!(orphaned.validate().unwrap_err().contains("no owner"));
+
+        let mut doubled = m.clone();
+        doubled.nodes[1].slots = vec![1, 3, 0];
+        assert!(doubled.validate().unwrap_err().contains("owned by both"));
+
+        let mut out_of_range = m.clone();
+        out_of_range.nodes[1].slots = vec![1, 9];
+        assert!(out_of_range.validate().is_err());
+
+        let mut addressless = m.clone();
+        addressless.nodes[0].addrs.clear();
+        assert!(addressless.validate().unwrap_err().contains("no addresses"));
+
+        let mut empty = m;
+        empty.n_shards = 0;
+        empty.nodes.clear();
+        assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn frame_len_sizes_partial_buffers() {
+        let frame = encode_request(5, &Request::Search { tau: 2, query: vec![1, 2] });
+        assert_eq!(frame_len(&[]).unwrap(), None);
+        for cut in 1..HEADER_LEN {
+            assert_eq!(frame_len(&frame[..cut]).unwrap(), None, "cut={cut}");
+        }
+        assert_eq!(frame_len(&frame).unwrap(), Some(frame.len()));
+        // The header alone sizes the frame even before the payload lands.
+        assert_eq!(frame_len(&frame[..HEADER_LEN]).unwrap(), Some(frame.len()));
+        // Bad magic fails from the very first byte.
+        assert!(frame_len(b"X").is_err());
+        assert!(frame_len(b"GPHX").is_err());
+        // Oversized payload claims fail before allocation.
+        let mut big = frame;
+        big[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(frame_len(&big).is_err());
     }
 
     #[test]

@@ -1,118 +1,38 @@
 //! The TCP front end: a [`NetServer`] accepts `GPHN` connections and
 //! serves them from an [`Arc<QueryService>`].
 //!
-//! Each connection runs **two** threads. The *reader* decodes frames and
-//! immediately submits engine work ([`QueryService::submit`] /
-//! [`QueryService::submit_batch`] / [`QueryService::submit_topk`]),
-//! forwarding the resulting tickets — and synchronously-resolved replies
-//! like mutations, pings, and stats — down an in-process queue. The
-//! *writer* drains that queue, waits each ticket, and encodes response
-//! frames. Decoupling the loops is what makes pipelining real: a slow
-//! query parks only the writer; the reader keeps pulling requests off
-//! the socket and feeding the worker pool.
+//! The server is a [`RequestHandler`] plugged into the shared
+//! readiness-driven [`EventLoop`] (see [`crate::event`]): a fixed
+//! acceptor + worker + resolver thread set multiplexes every connection
+//! over nonblocking sockets, so thousands of idle clients cost no
+//! threads. Cheap requests (ping, stats, metrics, mutations, validation
+//! errors) resolve inline on the worker; searches submit engine work
+//! ([`QueryService::submit`] / [`QueryService::submit_batch`] /
+//! [`QueryService::submit_topk`]) and hand the ticket wait to the
+//! resolver pool, so a slow query never stalls the socket — pipelined
+//! requests keep flowing and responses still leave in request order.
 //!
 //! Admission-control rejections surface as typed [`WireError::Rejected`]
 //! error frames (in-band entries inside batch responses). Graceful
-//! [`NetServer::shutdown`] stops the accept loop, half-closes every
-//! connection's read side, and joins the connection threads — which
-//! drains every in-flight ticket through the writers before the sockets
-//! close.
+//! [`NetServer::shutdown`] stops the accept loop, drains every
+//! connection's already-received requests through the engine, flushes
+//! the responses, and joins the fixed thread set.
 
-use crate::protocol::{
-    encode_response, read_frame, Message, Request, Response, SearchEntry, WireError, WireMutation,
-};
-use crate::NetError;
+use crate::event::{EventLoop, Reply, RequestHandler};
+use crate::protocol::{Request, Response, SearchEntry, WireError, WireMutation};
 use gph_serve::{MutationOutcome, Outcome, QueryService, Ticket};
 use hamming_core::words_for;
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::io::Write;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
 
-/// Server knobs.
-#[derive(Clone, Copy, Debug)]
-pub struct ServerConfig {
-    /// Maximum simultaneously-open connections; further accepts are
-    /// answered with a single `Overloaded` error frame and closed.
-    pub max_connections: usize,
-}
-
-impl Default for ServerConfig {
-    fn default() -> Self {
-        ServerConfig { max_connections: 64 }
-    }
-}
-
-/// Point-in-time server counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct NetServerStats {
-    /// Connections accepted over the server's lifetime.
-    pub connections_opened: u64,
-    /// Connections currently open.
-    pub connections_active: u64,
-    /// Connections refused because `max_connections` was reached.
-    pub connections_refused: u64,
-    /// Request frames decoded.
-    pub requests: u64,
-    /// Response frames written (errors included).
-    pub responses: u64,
-    /// Error frames among the responses.
-    pub errors_sent: u64,
-    /// Inbound frames that failed to decode (each closes its connection).
-    pub protocol_errors: u64,
-    /// Bytes read off sockets (well-formed frames only).
-    pub bytes_in: u64,
-    /// Bytes written to sockets.
-    pub bytes_out: u64,
-}
-
-#[derive(Default)]
-struct Counters {
-    connections_opened: AtomicU64,
-    connections_refused: AtomicU64,
-    requests: AtomicU64,
-    responses: AtomicU64,
-    errors_sent: AtomicU64,
-    protocol_errors: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-}
-
-struct Shared {
-    service: Arc<QueryService>,
-    running: AtomicBool,
-    counters: Counters,
-    /// Read-half handles of open connections, for shutdown's half-close.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-}
-
-/// One unit of work for a connection's writer thread, in request order.
-enum Pending {
-    /// Already resolved on the reader thread (ping, stats, mutations,
-    /// validation errors).
-    Immediate(u64, Response),
-    /// A single range search in flight.
-    Range(u64, Ticket),
-    /// A traced range search in flight; its response carries the trace.
-    Traced(u64, Ticket),
-    /// A batch of range searches in flight.
-    Batch(u64, Ticket),
-    /// A top-k search in flight.
-    TopK(u64, Ticket),
-}
+pub use crate::event::{NetServerStats, ServerConfig};
 
 /// A TCP server over a shared [`QueryService`]. Binding spawns the
-/// accept loop; dropping (or [`NetServer::shutdown`]) drains in-flight
-/// work and joins every thread.
+/// event-loop threads; dropping (or [`NetServer::shutdown`]) drains
+/// in-flight work and joins every thread.
 pub struct NetServer {
-    shared: Arc<Shared>,
-    addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
-    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    inner: EventLoop,
+    service: Arc<QueryService>,
 }
 
 impl NetServer {
@@ -123,310 +43,148 @@ impl NetServer {
         service: Arc<QueryService>,
         cfg: ServerConfig,
     ) -> std::io::Result<NetServer> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-        let shared = Arc::new(Shared {
-            service,
-            running: AtomicBool::new(true),
-            counters: Counters::default(),
-            conns: Mutex::new(HashMap::new()),
+        let index = service.index();
+        let handler = Arc::new(ServiceHandler {
+            service: Arc::clone(&service),
+            expected_words: words_for(index.dim()),
+            tau_max: index.tau_max() as u32,
         });
-        let conn_handles = Arc::new(Mutex::new(Vec::new()));
-        let accept = {
-            let shared = Arc::clone(&shared);
-            let conn_handles = Arc::clone(&conn_handles);
-            std::thread::Builder::new()
-                .name("gph-net-accept".into())
-                .spawn(move || accept_loop(&listener, &shared, &conn_handles, cfg))
-                .expect("spawning the accept thread")
-        };
-        Ok(NetServer { shared, addr: local, accept: Some(accept), conn_handles })
+        let inner = EventLoop::bind(addr, handler, cfg)?;
+        Ok(NetServer { inner, service })
     }
 
     /// The address the server is listening on (with the concrete port
     /// when bound to port 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.local_addr()
     }
 
     /// The service being served.
     pub fn service(&self) -> &Arc<QueryService> {
-        &self.shared.service
+        &self.service
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> NetServerStats {
-        let c = &self.shared.counters;
-        NetServerStats {
-            connections_opened: c.connections_opened.load(Ordering::Relaxed),
-            connections_active: self.shared.conns.lock().len() as u64,
-            connections_refused: c.connections_refused.load(Ordering::Relaxed),
-            requests: c.requests.load(Ordering::Relaxed),
-            responses: c.responses.load(Ordering::Relaxed),
-            errors_sent: c.errors_sent.load(Ordering::Relaxed),
-            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
-            bytes_in: c.bytes_in.load(Ordering::Relaxed),
-            bytes_out: c.bytes_out.load(Ordering::Relaxed),
-        }
+        self.inner.stats()
     }
 
-    /// Stops accepting, half-closes every connection's read side, drains
-    /// all in-flight tickets through the writers, joins every thread,
-    /// and returns the final counters.
-    pub fn shutdown(mut self) -> NetServerStats {
-        self.shutdown_in_place();
-        self.stats()
-    }
-
-    fn shutdown_in_place(&mut self) {
-        self.shared.running.store(false, Ordering::SeqCst);
-        if let Some(h) = self.accept.take() {
-            h.join().expect("accept thread never panics");
-        }
-        // Half-close: readers wake with EOF, stop submitting, and hand
-        // their queues to the writers, which drain in-flight tickets and
-        // flush the responses before the streams drop.
-        for stream in self.shared.conns.lock().values() {
-            let _ = stream.shutdown(Shutdown::Read);
-        }
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conn_handles.lock());
-        for h in handles {
-            h.join().expect("connection threads never panic");
-        }
+    /// Stops accepting, drains all in-flight work through the engine,
+    /// joins every thread, and returns the final counters.
+    pub fn shutdown(self) -> NetServerStats {
+        self.inner.shutdown()
     }
 }
 
-impl Drop for NetServer {
-    fn drop(&mut self) {
-        if self.accept.is_some() {
-            self.shutdown_in_place();
-        }
-    }
-}
-
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<Shared>,
-    conn_handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-    cfg: ServerConfig,
-) {
-    let mut next_conn_id = 0u64;
-    while shared.running.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if shared.conns.lock().len() >= cfg.max_connections {
-                    shared.counters.connections_refused.fetch_add(1, Ordering::Relaxed);
-                    refuse(stream);
-                    continue;
-                }
-                let _ = stream.set_nonblocking(false);
-                let _ = stream.set_nodelay(true);
-                let conn_id = next_conn_id;
-                next_conn_id += 1;
-                shared.counters.connections_opened.fetch_add(1, Ordering::Relaxed);
-                if let Ok(handle) = stream.try_clone() {
-                    shared.conns.lock().insert(conn_id, handle);
-                } else {
-                    continue;
-                }
-                let shared = Arc::clone(shared);
-                let spawned = std::thread::Builder::new()
-                    .name(format!("gph-net-conn-{conn_id}"))
-                    .spawn(move || {
-                        connection_loop(conn_id, stream, &shared);
-                        shared.conns.lock().remove(&conn_id);
-                    })
-                    .expect("spawning a connection thread");
-                // Reap finished connections while registering the new
-                // one, so a long-running server doesn't accumulate one
-                // dead JoinHandle per connection ever accepted.
-                let mut handles = conn_handles.lock();
-                let mut i = 0;
-                while i < handles.len() {
-                    if handles[i].is_finished() {
-                        handles.swap_remove(i).join().expect("connection threads never panic");
-                    } else {
-                        i += 1;
-                    }
-                }
-                handles.push(spawned);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
-}
-
-/// Best-effort `Overloaded` error frame to a connection over the cap.
-fn refuse(mut stream: TcpStream) {
-    let frame = encode_response(0, &Response::Error(WireError::Overloaded));
-    let _ = stream.write_all(&frame);
-    let _ = stream.flush();
-}
-
-fn connection_loop(conn_id: u64, mut stream: TcpStream, shared: &Arc<Shared>) {
-    let Ok(write_half) = stream.try_clone() else { return };
-    let (tx, rx) = crossbeam::channel::unbounded::<Pending>();
-    let writer = {
-        let shared = Arc::clone(shared);
-        std::thread::Builder::new()
-            .name(format!("gph-net-write-{conn_id}"))
-            .spawn(move || writer_loop(write_half, &rx, &shared))
-            .expect("spawning a connection writer thread")
-    };
-
-    let index = shared.service.index();
-    let expected_words = words_for(index.dim());
-    let tau_max = index.tau_max() as u32;
-
-    loop {
-        match read_frame(&mut stream) {
-            Ok(None) => break, // clean EOF (client done, or shutdown half-close)
-            Ok(Some((request_id, message, wire_bytes))) => {
-                shared.counters.bytes_in.fetch_add(wire_bytes as u64, Ordering::Relaxed);
-                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-                let Message::Request(req) = message else {
-                    shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    let _ = tx.send(Pending::Immediate(
-                        request_id,
-                        Response::Error(WireError::Malformed(
-                            "received a response frame on the server".into(),
-                        )),
-                    ));
-                    break;
-                };
-                let pending =
-                    handle_request(request_id, req, &shared.service, expected_words, tau_max);
-                if tx.send(pending).is_err() {
-                    break; // writer died (socket gone)
-                }
-            }
-            Err(err) => {
-                // Framing is lost; report once and close. Only protocol
-                // errors get a reply — on raw socket errors the peer is
-                // already gone.
-                if let NetError::Protocol(msg) = &err {
-                    shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    let _ = tx.send(Pending::Immediate(
-                        0,
-                        Response::Error(WireError::Malformed(msg.clone())),
-                    ));
-                }
-                break;
-            }
-        }
-    }
-    drop(tx); // writer drains what's queued, then exits
-    writer.join().expect("writer threads never panic");
-    let _ = stream.shutdown(Shutdown::Both);
-}
-
-/// Turns one request into its pending reply, submitting engine work
-/// without waiting for it.
-fn handle_request(
-    id: u64,
-    req: Request,
-    service: &Arc<QueryService>,
+/// The [`RequestHandler`] serving a [`QueryService`].
+struct ServiceHandler {
+    service: Arc<QueryService>,
     expected_words: usize,
     tau_max: u32,
-) -> Pending {
-    let unsupported =
-        |msg: String| Pending::Immediate(id, Response::Error(WireError::Unsupported(msg)));
-    match req {
-        Request::Ping => Pending::Immediate(id, Response::Pong),
-        Request::Stats => {
-            let index = service.index();
-            Pending::Immediate(
-                id,
-                Response::Stats {
+}
+
+impl ServiceHandler {
+    fn check_words(&self, what: &str, words: &[u64]) -> Result<(), String> {
+        if words.len() != self.expected_words {
+            return Err(format!(
+                "{what} has {} words, index needs {}",
+                words.len(),
+                self.expected_words
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_tau(&self, tau: u32) -> Result<(), String> {
+        if tau > self.tau_max {
+            return Err(format!("tau {tau} exceeds the index tau_max {}", self.tau_max));
+        }
+        Ok(())
+    }
+}
+
+fn unsupported(msg: String) -> Reply {
+    Reply::Now(Response::Error(WireError::Unsupported(msg)))
+}
+
+/// Defers a ticket wait to the resolver pool.
+fn later(ticket: Ticket, resolve: fn(Vec<gph_serve::Response>) -> Response) -> Reply {
+    Reply::Later(Box::new(move || resolve(ticket.wait())))
+}
+
+impl RequestHandler for ServiceHandler {
+    fn handle(&self, req: Request) -> Reply {
+        match req {
+            Request::Ping => Reply::Now(Response::Pong),
+            Request::Stats => {
+                let index = self.service.index();
+                Reply::Now(Response::Stats {
                     rows: index.len() as u64,
                     dim: index.dim() as u32,
-                    tau_max,
+                    tau_max: self.tau_max,
                     shards: index.num_shards() as u32,
-                    stats: service.snapshot_stats(),
-                },
-            )
-        }
-        Request::Search { tau, query } => {
-            if query.len() != expected_words {
-                return unsupported(format!(
-                    "query has {} words, index needs {expected_words}",
-                    query.len()
-                ));
+                    stats: self.service.snapshot_stats(),
+                })
             }
-            if tau > tau_max {
-                return unsupported(format!("tau {tau} exceeds the index tau_max {tau_max}"));
+            Request::Metrics => Reply::Now(Response::Metrics { text: self.service.metrics_text() }),
+            Request::Search { tau, query } => {
+                if let Err(msg) =
+                    self.check_words("query", &query).and_then(|()| self.check_tau(tau))
+                {
+                    return unsupported(msg);
+                }
+                later(self.service.submit(&query, tau), resolve_range)
             }
-            Pending::Range(id, service.submit(&query, tau))
-        }
-        Request::TopK { k, query } => {
-            if query.len() != expected_words {
-                return unsupported(format!(
-                    "query has {} words, index needs {expected_words}",
-                    query.len()
-                ));
+            Request::TracedSearch { tau, query } => {
+                if let Err(msg) =
+                    self.check_words("query", &query).and_then(|()| self.check_tau(tau))
+                {
+                    return unsupported(msg);
+                }
+                later(self.service.submit_traced(&query, tau), resolve_traced)
             }
-            Pending::TopK(id, service.submit_topk(&query, k as usize))
-        }
-        Request::BatchSearch { tau, queries } => {
-            if let Some(q) = queries.iter().find(|q| q.len() != expected_words) {
-                return unsupported(format!(
-                    "batch query has {} words, index needs {expected_words}",
-                    q.len()
-                ));
+            Request::TopK { k, query } => {
+                if let Err(msg) = self.check_words("query", &query) {
+                    return unsupported(msg);
+                }
+                later(self.service.submit_topk(&query, k as usize), resolve_topk)
             }
-            if tau > tau_max {
-                return unsupported(format!("tau {tau} exceeds the index tau_max {tau_max}"));
+            Request::BatchSearch { tau, queries } => {
+                if let Some(q) = queries.iter().find(|q| q.len() != self.expected_words) {
+                    return unsupported(format!(
+                        "batch query has {} words, index needs {}",
+                        q.len(),
+                        self.expected_words
+                    ));
+                }
+                if let Err(msg) = self.check_tau(tau) {
+                    return unsupported(msg);
+                }
+                let refs: Vec<&[u64]> = queries.iter().map(Vec::as_slice).collect();
+                later(self.service.submit_batch(&refs, tau), resolve_batch)
             }
-            let refs: Vec<&[u64]> = queries.iter().map(Vec::as_slice).collect();
-            Pending::Batch(id, service.submit_batch(&refs, tau))
-        }
-        Request::Insert { id: rec, row } => {
-            if row.len() != expected_words {
-                return unsupported(format!(
-                    "row has {} words, index needs {expected_words}",
-                    row.len()
-                ));
+            Request::Insert { id, row } => {
+                if let Err(msg) = self.check_words("row", &row) {
+                    return unsupported(msg);
+                }
+                Reply::Now(match self.service.insert(id, &row) {
+                    Ok(resp) => mutation_response(resp),
+                    Err(e) => Response::Error(WireError::Engine(e.to_string())),
+                })
             }
-            let resp = match service.insert(rec, &row) {
-                Ok(resp) => mutation_response(resp),
-                Err(e) => Response::Error(WireError::Engine(e.to_string())),
-            };
-            Pending::Immediate(id, resp)
-        }
-        Request::Upsert { id: rec, row } => {
-            if row.len() != expected_words {
-                return unsupported(format!(
-                    "row has {} words, index needs {expected_words}",
-                    row.len()
-                ));
+            Request::Upsert { id, row } => {
+                if let Err(msg) = self.check_words("row", &row) {
+                    return unsupported(msg);
+                }
+                Reply::Now(match self.service.upsert(id, &row) {
+                    Ok(resp) => mutation_response(resp),
+                    Err(e) => Response::Error(WireError::Engine(e.to_string())),
+                })
             }
-            let resp = match service.upsert(rec, &row) {
-                Ok(resp) => mutation_response(resp),
-                Err(e) => Response::Error(WireError::Engine(e.to_string())),
-            };
-            Pending::Immediate(id, resp)
-        }
-        Request::Delete { id: rec } => {
-            Pending::Immediate(id, mutation_response(service.delete(rec)))
-        }
-        Request::Metrics => {
-            Pending::Immediate(id, Response::Metrics { text: service.metrics_text() })
-        }
-        Request::TracedSearch { tau, query } => {
-            if query.len() != expected_words {
-                return unsupported(format!(
-                    "query has {} words, index needs {expected_words}",
-                    query.len()
-                ));
+            Request::Delete { id } => Reply::Now(mutation_response(self.service.delete(id))),
+            Request::GetManifest | Request::PublishManifest { .. } => {
+                unsupported("this server is a query node, not a metastore".into())
             }
-            if tau > tau_max {
-                return unsupported(format!("tau {tau} exceeds the index tau_max {tau_max}"));
-            }
-            Pending::Traced(id, service.submit_traced(&query, tau))
         }
     }
 }
@@ -465,111 +223,55 @@ fn range_entry(resp: &gph_serve::Response) -> SearchEntry {
     }
 }
 
-fn writer_loop(
-    stream: TcpStream,
-    rx: &crossbeam::channel::Receiver<Pending>,
-    shared: &Arc<Shared>,
-) {
-    let mut out = std::io::BufWriter::new(stream);
-    for pending in rx.iter() {
-        let (request_id, response) = resolve(pending);
-        let is_error = matches!(response, Response::Error(_));
-        let frame = encode_response(request_id, &response);
-        if out.write_all(&frame).is_err() {
-            let _ = out.get_ref().shutdown(Shutdown::Both);
-            return; // peer gone; remaining queue entries are dropped
-        }
-        shared.counters.bytes_out.fetch_add(frame.len() as u64, Ordering::Relaxed);
-        shared.counters.responses.fetch_add(1, Ordering::Relaxed);
-        if is_error {
-            shared.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
-        }
-        if rx.is_empty() && out.flush().is_err() {
-            let _ = out.get_ref().shutdown(Shutdown::Both);
-            return;
-        }
+/// Maps a single-query outcome's failure modes onto typed error frames
+/// (shared by the range, traced, and top-k resolvers).
+fn failure_response(outcome: &Outcome) -> Response {
+    match outcome {
+        Outcome::Rejected { estimated_cost, budget } => Response::Error(WireError::Rejected {
+            estimated_cost: *estimated_cost,
+            budget: *budget,
+        }),
+        Outcome::Overloaded => Response::Error(WireError::Overloaded),
+        _ => Response::Error(WireError::ShuttingDown),
     }
-    let _ = out.flush();
 }
 
-/// Waits out a pending reply's ticket (if any) and produces the frame
-/// body.
-fn resolve(pending: Pending) -> (u64, Response) {
-    match pending {
-        Pending::Immediate(id, resp) => (id, resp),
-        Pending::Range(id, ticket) => {
-            let responses = ticket.wait();
-            let resp = match responses.first() {
-                None => Response::Error(WireError::ShuttingDown),
-                Some(r) => match &r.outcome {
-                    Outcome::Ids { .. } => Response::Search(range_entry(r)),
-                    Outcome::Rejected { estimated_cost, budget } => {
-                        Response::Error(WireError::Rejected {
-                            estimated_cost: *estimated_cost,
-                            budget: *budget,
-                        })
-                    }
-                    Outcome::Overloaded => Response::Error(WireError::Overloaded),
-                    Outcome::Dropped => Response::Error(WireError::ShuttingDown),
-                    Outcome::TopK { .. } => {
-                        unreachable!("range submissions never produce top-k outcomes")
-                    }
-                },
-            };
-            (id, resp)
-        }
-        Pending::Traced(id, ticket) => {
-            let responses = ticket.wait();
-            let resp = match responses.first() {
-                None => Response::Error(WireError::ShuttingDown),
-                Some(r) => match &r.outcome {
-                    Outcome::Ids { .. } => Response::TracedSearch {
-                        entry: range_entry(r),
-                        trace: r.trace.as_deref().cloned(),
-                    },
-                    Outcome::Rejected { estimated_cost, budget } => {
-                        Response::Error(WireError::Rejected {
-                            estimated_cost: *estimated_cost,
-                            budget: *budget,
-                        })
-                    }
-                    Outcome::Overloaded => Response::Error(WireError::Overloaded),
-                    Outcome::Dropped => Response::Error(WireError::ShuttingDown),
-                    Outcome::TopK { .. } => {
-                        unreachable!("range submissions never produce top-k outcomes")
-                    }
-                },
-            };
-            (id, resp)
-        }
-        Pending::Batch(id, ticket) => {
-            let entries = ticket.wait().iter().map(range_entry).collect();
-            (id, Response::Batch(entries))
-        }
-        Pending::TopK(id, ticket) => {
-            let responses = ticket.wait();
-            let resp = match responses.first() {
-                None => Response::Error(WireError::ShuttingDown),
-                Some(r) => match &r.outcome {
-                    Outcome::TopK { hits, degraded_cap } => Response::TopK {
-                        hits: hits.as_ref().clone(),
-                        degraded_cap: *degraded_cap,
-                        from_cache: r.from_cache,
-                    },
-                    Outcome::Rejected { estimated_cost, budget } => {
-                        Response::Error(WireError::Rejected {
-                            estimated_cost: *estimated_cost,
-                            budget: *budget,
-                        })
-                    }
-                    Outcome::Overloaded => Response::Error(WireError::Overloaded),
-                    Outcome::Dropped => Response::Error(WireError::ShuttingDown),
-                    Outcome::Ids { .. } => {
-                        unreachable!("top-k submissions never produce range outcomes")
-                    }
-                },
-            };
-            (id, resp)
-        }
+fn resolve_range(responses: Vec<gph_serve::Response>) -> Response {
+    match responses.first() {
+        None => Response::Error(WireError::ShuttingDown),
+        Some(r) => match &r.outcome {
+            Outcome::Ids { .. } => Response::Search(range_entry(r)),
+            other => failure_response(other),
+        },
+    }
+}
+
+fn resolve_traced(responses: Vec<gph_serve::Response>) -> Response {
+    match responses.first() {
+        None => Response::Error(WireError::ShuttingDown),
+        Some(r) => match &r.outcome {
+            Outcome::Ids { .. } => {
+                Response::TracedSearch { entry: range_entry(r), trace: r.trace.as_deref().cloned() }
+            }
+            other => failure_response(other),
+        },
+    }
+}
+
+fn resolve_batch(responses: Vec<gph_serve::Response>) -> Response {
+    Response::Batch(responses.iter().map(range_entry).collect())
+}
+
+fn resolve_topk(responses: Vec<gph_serve::Response>) -> Response {
+    match responses.first() {
+        None => Response::Error(WireError::ShuttingDown),
+        Some(r) => match &r.outcome {
+            Outcome::TopK { hits, degraded_cap } => Response::TopK {
+                hits: hits.as_ref().clone(),
+                degraded_cap: *degraded_cap,
+                from_cache: r.from_cache,
+            },
+            other => failure_response(other),
+        },
     }
 }

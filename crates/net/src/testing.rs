@@ -1,0 +1,340 @@
+//! Deterministic network-fault injection for tests: a [`FaultProxy`]
+//! that sits between a client and a real `GPHN` server and misbehaves
+//! on a schedule derived entirely from a seed.
+//!
+//! The proxy forwards bytes in both directions and, per forwarded
+//! chunk, rolls a seeded [`ChaCha8Rng`] against a [`FaultPlan`]:
+//!
+//! * **delayed accepts** — hold a fresh connection before dialing the
+//!   upstream, so the client's first request stalls;
+//! * **partial writes** — split a chunk and sleep between the halves,
+//!   exercising reassembly on both sides of the wire;
+//! * **stalls** — sleep with the bytes in hand, exercising timeouts and
+//!   slow-peer backpressure;
+//! * **torn frames** — forward a prefix of a chunk and slam the
+//!   connection shut, leaving the receiver a half-frame;
+//! * **abrupt resets** — drop a chunk entirely and shut both
+//!   directions.
+//!
+//! Every connection's schedule is a pure function of
+//! `(plan.seed, connection index, direction)`, so a failing seed
+//! reproduces byte-for-byte. The counters in [`FaultStats`] let a test
+//! assert that a schedule actually exercised the faults it meant to.
+
+use parking_lot::Mutex;
+use polling::{poll, PollFd, POLLIN};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A seeded schedule of network misbehavior. Probabilities are rolled
+/// once per forwarded chunk (or per accepted connection, for accept
+/// delays); `0.0` disables a fault, `1.0` fires it every time.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Root seed; every connection derives its own RNG from this.
+    pub seed: u64,
+    /// Probability a fresh connection waits before the upstream dial.
+    pub accept_delay_prob: f64,
+    /// How long a delayed accept holds the connection.
+    pub accept_delay: Duration,
+    /// Probability a chunk is forwarded in two halves with a pause.
+    pub partial_write_prob: f64,
+    /// Probability the proxy sleeps on a chunk before forwarding it.
+    pub stall_prob: f64,
+    /// How long a stall sleeps.
+    pub stall: Duration,
+    /// Probability a chunk is truncated and the connection torn down,
+    /// leaving the receiver a half-frame.
+    pub torn_frame_prob: f64,
+    /// Probability a chunk is dropped and both directions reset.
+    pub reset_prob: f64,
+}
+
+impl FaultPlan {
+    /// A transparent pass-through schedule (no faults) under `seed`.
+    pub fn clean(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            accept_delay_prob: 0.0,
+            accept_delay: Duration::from_millis(20),
+            partial_write_prob: 0.0,
+            stall_prob: 0.0,
+            stall: Duration::from_millis(10),
+            torn_frame_prob: 0.0,
+            reset_prob: 0.0,
+        }
+    }
+
+    /// A moderately hostile schedule: frequent partial writes, regular
+    /// stalls and delayed accepts, occasional torn frames and resets.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            accept_delay_prob: 0.25,
+            accept_delay: Duration::from_millis(15),
+            partial_write_prob: 0.35,
+            stall_prob: 0.10,
+            stall: Duration::from_millis(5),
+            torn_frame_prob: 0.01,
+            reset_prob: 0.01,
+        }
+    }
+}
+
+/// What a proxy actually did, for asserting a schedule had teeth.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Accepts that were delayed.
+    pub delayed_accepts: u64,
+    /// Chunks forwarded in two halves.
+    pub partial_writes: u64,
+    /// Chunks stalled before forwarding.
+    pub stalls: u64,
+    /// Connections torn down mid-frame.
+    pub torn_frames: u64,
+    /// Connections reset outright.
+    pub resets: u64,
+    /// Bytes forwarded (both directions, after faults).
+    pub bytes_forwarded: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    delayed_accepts: AtomicU64,
+    partial_writes: AtomicU64,
+    stalls: AtomicU64,
+    torn_frames: AtomicU64,
+    resets: AtomicU64,
+    bytes_forwarded: AtomicU64,
+}
+
+struct ProxyShared {
+    stop: AtomicBool,
+    counters: Counters,
+    /// Clones of every live stream, so `stop` can slam them shut
+    /// instead of waiting out read timeouts.
+    streams: Mutex<Vec<TcpStream>>,
+    pumps: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A deterministic fault-injecting TCP proxy in front of one upstream
+/// address. Dropping the proxy stops it and severs every connection it
+/// carried.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Binds an ephemeral local port and proxies every connection to
+    /// `upstream` under `plan`'s fault schedule.
+    pub fn launch(upstream: SocketAddr, plan: FaultPlan) -> std::io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared {
+            stop: AtomicBool::new(false),
+            counters: Counters::default(),
+            streams: Mutex::new(Vec::new()),
+            pumps: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gph-fault-accept".into())
+                .spawn(move || accept_loop(&listener, upstream, plan, &shared))
+                .expect("spawning the fault-proxy acceptor")
+        };
+        Ok(FaultProxy { addr, shared, acceptor: Some(acceptor) })
+    }
+
+    /// The proxy's listening address (point clients here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of what the schedule has done so far.
+    pub fn stats(&self) -> FaultStats {
+        let c = &self.shared.counters;
+        FaultStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            delayed_accepts: c.delayed_accepts.load(Ordering::Relaxed),
+            partial_writes: c.partial_writes.load(Ordering::Relaxed),
+            stalls: c.stalls.load(Ordering::Relaxed),
+            torn_frames: c.torn_frames.load(Ordering::Relaxed),
+            resets: c.resets.load(Ordering::Relaxed),
+            bytes_forwarded: c.bytes_forwarded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, severs every proxied connection, joins all
+    /// threads, and returns the final stats.
+    pub fn stop(mut self) -> FaultStats {
+        self.stop_in_place();
+        self.stats()
+    }
+
+    fn stop_in_place(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for s in self.shared.streams.lock().drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        let pumps: Vec<_> = self.shared.pumps.lock().drain(..).collect();
+        for h in pumps {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop_in_place();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: SocketAddr,
+    plan: FaultPlan,
+    shared: &Arc<ProxyShared>,
+) {
+    let mut accept_rng =
+        ChaCha8Rng::seed_from_u64(plan.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    let mut conn_index: u64 = 0;
+    while !shared.stop.load(Ordering::SeqCst) {
+        let mut fds = [PollFd::new(listener.as_raw_fd(), POLLIN)];
+        if poll(&mut fds, 50).is_err() {
+            continue;
+        }
+        loop {
+            let client = match listener.accept() {
+                Ok((s, _)) => s,
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => return,
+            };
+            shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+            if accept_rng.random_bool(plan.accept_delay_prob) {
+                shared.counters.delayed_accepts.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(plan.accept_delay);
+            }
+            let server = match TcpStream::connect(upstream) {
+                Ok(s) => s,
+                // Upstream down (e.g. mid rolling restart): drop the
+                // client, which sees an abrupt close and retries.
+                Err(_) => continue,
+            };
+            let _ = client.set_nodelay(true);
+            let _ = server.set_nodelay(true);
+            spawn_pumps(client, server, plan, conn_index, shared);
+            conn_index += 1;
+        }
+    }
+}
+
+fn spawn_pumps(
+    client: TcpStream,
+    server: TcpStream,
+    plan: FaultPlan,
+    conn_index: u64,
+    shared: &Arc<ProxyShared>,
+) {
+    let pairs = match (client.try_clone(), server.try_clone()) {
+        (Ok(c2), Ok(s2)) => [(client, s2, 0u64), (server, c2, 1u64)],
+        _ => return,
+    };
+    let mut registry = shared.streams.lock();
+    let mut pumps = shared.pumps.lock();
+    for (src, dst, dir) in pairs {
+        if let (Ok(a), Ok(b)) = (src.try_clone(), dst.try_clone()) {
+            registry.push(a);
+            registry.push(b);
+        }
+        let rng = ChaCha8Rng::seed_from_u64(plan.seed ^ (conn_index << 1 | dir));
+        let shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("gph-fault-pump-{conn_index}-{dir}"))
+            .spawn(move || pump(src, dst, rng, plan, &shared))
+            .expect("spawning a fault-proxy pump");
+        pumps.push(handle);
+    }
+}
+
+/// Forwards `src` → `dst`, rolling the fault schedule per chunk.
+fn pump(
+    src: TcpStream,
+    dst: TcpStream,
+    mut rng: ChaCha8Rng,
+    plan: FaultPlan,
+    shared: &ProxyShared,
+) {
+    let _ = src.set_read_timeout(Some(Duration::from_millis(25)));
+    let mut src = src;
+    let mut dst = dst;
+    let mut buf = [0u8; 4096];
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => {
+                // Half-close propagates: the peer may still be reading
+                // responses on the other pump.
+                let _ = dst.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => n,
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        if rng.random_bool(plan.reset_prob) {
+            shared.counters.resets.fetch_add(1, Ordering::Relaxed);
+            let _ = src.shutdown(Shutdown::Both);
+            let _ = dst.shutdown(Shutdown::Both);
+            return;
+        }
+        if n >= 8 && rng.random_bool(plan.torn_frame_prob) {
+            shared.counters.torn_frames.fetch_add(1, Ordering::Relaxed);
+            let _ = dst.write_all(&buf[..n / 2]);
+            let _ = src.shutdown(Shutdown::Both);
+            let _ = dst.shutdown(Shutdown::Both);
+            return;
+        }
+        if rng.random_bool(plan.stall_prob) {
+            shared.counters.stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(plan.stall);
+        }
+        let wrote = if n >= 2 && rng.random_bool(plan.partial_write_prob) {
+            shared.counters.partial_writes.fetch_add(1, Ordering::Relaxed);
+            let mid = n / 2;
+            dst.write_all(&buf[..mid]).and_then(|()| {
+                std::thread::sleep(Duration::from_millis(1));
+                dst.write_all(&buf[mid..n])
+            })
+        } else {
+            dst.write_all(&buf[..n])
+        };
+        if wrote.is_err() {
+            return;
+        }
+        shared.counters.bytes_forwarded.fetch_add(n as u64, Ordering::Relaxed);
+    }
+}

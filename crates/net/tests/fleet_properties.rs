@@ -1,0 +1,166 @@
+//! Fleet-routing properties: arbitrary shard→node maps and id sets
+//! round-trip through the manifest wire codec, client-side routing
+//! agrees with [`ShardedIndex::shard_of`] for every id, and every
+//! manifest a client can observe partitions the slot space exactly —
+//! no orphaned or doubly-owned shard survives validation.
+
+use gph_net::protocol::{decode_frame, encode_request, encode_response};
+use gph_net::{
+    FleetClient, FleetConfig, FleetManifest, FleetNode, GphClient, Message, MetastoreServer,
+    Request, Response, ServerConfig,
+};
+use gph_serve::ShardedIndex;
+use proptest::prelude::*;
+
+const MAX_GROUPS: usize = 4;
+
+fn addrs_for(group: usize, seed: u64) -> Vec<String> {
+    (0..1 + (seed % 3) as usize)
+        .map(|i| format!("10.{group}.{i}.{}:{}", seed % 251, 7000 + (seed % 1000)))
+        .collect()
+}
+
+/// Builds a valid manifest from an arbitrary owner map: slot `s` is
+/// owned by group `owners[s]`; groups materialize in first-appearance
+/// order, so every generated manifest partitions `0..owners.len()`.
+fn build_manifest(version: u64, owners: &[usize], seeds: &[u64; MAX_GROUPS]) -> FleetManifest {
+    let mut nodes: Vec<FleetNode> = Vec::new();
+    let mut index = [usize::MAX; MAX_GROUPS];
+    for (slot, &g) in owners.iter().enumerate() {
+        if index[g] == usize::MAX {
+            index[g] = nodes.len();
+            nodes.push(FleetNode { slots: Vec::new(), addrs: addrs_for(g, seeds[g]) });
+        }
+        nodes[index[g]].slots.push(slot as u32);
+    }
+    FleetManifest { version, n_shards: owners.len() as u32, nodes }
+}
+
+fn manifest_strategy() -> impl Strategy<Value = (FleetManifest, Vec<usize>)> {
+    (
+        1u64..u64::MAX / 2,
+        prop::collection::vec(0usize..MAX_GROUPS, 1..48),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|(version, owners, s)| {
+            (build_manifest(version, &owners, &[s.0, s.1, s.2, s.3]), owners)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary manifests survive the wire: publish request and fetch
+    /// response frames decode back to the exact same map.
+    #[test]
+    fn manifest_codec_roundtrips(
+        generated in manifest_strategy(),
+        request_id in any::<u64>(),
+    ) {
+        let (manifest, _) = generated;
+        prop_assert!(manifest.validate().is_ok(), "generator must emit valid manifests");
+
+        let frame = encode_request(request_id, &Request::PublishManifest {
+            manifest: manifest.clone(),
+        });
+        let (rid, msg) = decode_frame(&frame).expect("well-formed frame");
+        prop_assert_eq!(rid, request_id);
+        match msg {
+            Message::Request(Request::PublishManifest { manifest: m }) => {
+                prop_assert_eq!(&m, &manifest)
+            }
+            other => panic!("decoded {other:?}"),
+        }
+
+        let frame = encode_response(request_id, &Response::Manifest {
+            manifest: Some(manifest.clone()),
+        });
+        let (rid, msg) = decode_frame(&frame).expect("well-formed frame");
+        prop_assert_eq!(rid, request_id);
+        match msg {
+            Message::Response(Response::Manifest { manifest: Some(m) }) => {
+                prop_assert_eq!(&m, &manifest)
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    /// For every id: the manifest's owner of `shard_of(id)` is exactly
+    /// the group the owner map assigned — one owner, no orphans — so
+    /// client-side routing agrees with how the in-process index shards.
+    #[test]
+    fn routing_agrees_with_the_index_id_hash(
+        generated in manifest_strategy(),
+        ids in prop::collection::vec(any::<u32>(), 1..64),
+    ) {
+        let (manifest, owners) = generated;
+        for id in ids {
+            let slot = ShardedIndex::shard_of(id, manifest.n_shards as usize) as u32;
+            let ni = manifest.node_for_slot(slot).expect("no orphaned slot");
+            prop_assert!(manifest.nodes[ni].slots.contains(&slot));
+            // The owner is the group the map assigned, and it is unique.
+            let claiming: Vec<usize> = (0..manifest.nodes.len())
+                .filter(|&i| manifest.nodes[i].slots.contains(&slot))
+                .collect();
+            prop_assert_eq!(claiming, vec![ni], "slot {} must have one owner", slot);
+            // Addresses encode the group in their second octet, so this
+            // pins that routing landed on the *assigned* group, not just
+            // any consistent one.
+            let assigned = owners[slot as usize];
+            prop_assert!(
+                manifest.nodes[ni].addrs[0].starts_with(&format!("10.{assigned}.")),
+                "slot {} routed to the wrong group", slot
+            );
+        }
+    }
+
+    /// Breaking the partition breaks validation: dropping a slot orphans
+    /// it, double-assigning a slot is refused, and so is a node with no
+    /// addresses.
+    #[test]
+    fn broken_partitions_fail_validation(generated in manifest_strategy()) {
+        let (manifest, _) = generated;
+        let mut orphaned = manifest.clone();
+        let victim = orphaned.nodes[0].slots.pop().expect("nodes own at least one slot");
+        prop_assert!(
+            orphaned.validate().is_err(),
+            "slot {} orphaned but validate passed", victim
+        );
+
+        let mut doubled = manifest.clone();
+        if doubled.nodes.len() >= 2 {
+            let stolen = doubled.nodes[0].slots[0];
+            doubled.nodes[1].slots.push(stolen);
+            prop_assert!(
+                doubled.validate().is_err(),
+                "slot {} doubly owned but validate passed", stolen
+            );
+        }
+
+        let mut unaddressed = manifest;
+        unaddressed.nodes[0].addrs.clear();
+        prop_assert!(unaddressed.validate().is_err());
+    }
+}
+
+/// Live agreement: a [`FleetClient`] routing off a real metastore maps
+/// every id to the same slot and node group as recomputing
+/// [`ShardedIndex::shard_of`] against the manifest by hand.
+#[test]
+fn fleet_client_routing_matches_the_manifest() {
+    let owners: Vec<usize> = (0..11).map(|s| s % 3).collect();
+    let manifest = build_manifest(9, &owners, &[3, 14, 15, 92]);
+    let metastore = MetastoreServer::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    GphClient::connect(metastore.local_addr()).unwrap().publish_manifest(&manifest).unwrap();
+    let fleet =
+        FleetClient::connect(&metastore.local_addr().to_string(), FleetConfig::default()).unwrap();
+
+    assert_eq!(fleet.manifest(), manifest);
+    for id in (0..50_000u32).step_by(71) {
+        let slot = ShardedIndex::shard_of(id, manifest.n_shards as usize) as u32;
+        assert_eq!(fleet.slot_of(id), slot, "id {id}");
+        assert_eq!(fleet.node_for(id), manifest.node_for_slot(slot), "id {id}");
+        assert!(fleet.node_for(id).is_some(), "id {id} orphaned");
+    }
+    metastore.shutdown();
+}

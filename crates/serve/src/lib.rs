@@ -56,7 +56,7 @@ pub use cache::{CacheKey, CacheStats, CachedResult, LruCache, ResultCache};
 pub use service::{
     MutationOutcome, MutationResponse, Outcome, QueryService, Response, ServiceConfig, Ticket,
 };
-pub use shard::{ShardedIndex, ShardedSearchResult};
+pub use shard::{merge_topk, ShardedIndex, ShardedSearchResult};
 pub use snapshot::{read_manifest, ShardEntry, ShardManifest, MANIFEST_FILE};
 pub use stats::{LatencyHistogram, ServiceSnapshotStats, ServiceStats};
 

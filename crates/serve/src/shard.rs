@@ -43,6 +43,24 @@ pub(crate) fn shard_members(len: usize, n_shards: usize) -> Vec<Vec<u32>> {
     members
 }
 
+/// The exact top-k gather: merges per-source `(id, distance)` candidate
+/// lists into the global top-`k` by `(distance, id)`. When the sources
+/// partition the live rows (shards of one index, or node groups of a
+/// fleet) and each list is its source's exact top-`k`, the merge is
+/// provably the global top-`k`: every true member beats the global k-th
+/// distance, so it beats its own source's k-th and appears in that
+/// source's list. Both the in-process scatter-gather and the networked
+/// `FleetClient` merge through this one function.
+pub fn merge_topk<I>(lists: I, k: usize) -> Vec<(u32, u32)>
+where
+    I: IntoIterator<Item = Vec<(u32, u32)>>,
+{
+    let mut hits: Vec<(u32, u32)> = lists.into_iter().flatten().collect();
+    hits.sort_unstable_by_key(|&(id, d)| (d, id));
+    hits.truncate(k);
+    hits
+}
+
 /// A GPH index sharded by record id, queried scatter-gather and mutated
 /// one shard at a time.
 pub struct ShardedIndex {
@@ -360,23 +378,11 @@ impl ShardedIndex {
         // bound on the true k-th; with fewer than k pooled hits fall back
         // to tau_cap (the widest radius this search considers).
         let k_local = k.div_ceil(self.shards.len());
-        let mut pool: Vec<(u32, u32)> = self
-            .scatter(|engine| engine.search_topk_within(query, k_local, tau_cap))
-            .into_iter()
-            .flatten()
-            .collect();
-        pool.sort_unstable_by_key(|&(id, d)| (d, id));
+        let pool = merge_topk(self.scatter(|e| e.search_topk_within(query, k_local, tau_cap)), k);
         let tau_star = if pool.len() >= k { pool[k - 1].1 } else { tau_cap };
 
         // Phase 2: exact refinement at τ*.
-        let mut hits: Vec<(u32, u32)> = self
-            .scatter(|engine| engine.search_with_distances(query, tau_star))
-            .into_iter()
-            .flatten()
-            .collect();
-        hits.sort_unstable_by_key(|&(id, d)| (d, id));
-        hits.truncate(k);
-        hits
+        merge_topk(self.scatter(|engine| engine.search_with_distances(query, tau_star)), k)
     }
 
     /// Summed per-shard cost estimate for `(query, tau)` — the admission

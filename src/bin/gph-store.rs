@@ -26,6 +26,26 @@
 //! gph-store del   --index snap/ --id 42
 //! ```
 //!
+//! Fleet serving splits one corpus across node processes behind a
+//! manifest server (see README § Fleet serving for the full walkthrough):
+//!
+//! ```text
+//! gph-store build --profile sift --rows 20000 --out node0/ \
+//!                 --fleet-slots 6 --owned 0,2,4
+//! gph-store metastore --listen 127.0.0.1:7400
+//! gph-store publish --metastore 127.0.0.1:7400 --version 1 --fleet-slots 6 \
+//!                   --nodes "0,2,4@127.0.0.1:7471;1,3,5@127.0.0.1:7472"
+//! gph-store manifest --metastore 127.0.0.1:7400
+//! gph-store query --metastore 127.0.0.1:7400 --tau 8 --sample 5 [--topk k]
+//! ```
+//!
+//! `build --fleet-slots/--owned` keeps only the rows whose fleet slot
+//! (the same stable id-hash `FleetClient` routes by) is in the owned
+//! set, under their **global** ids — so disjoint per-node snapshots
+//! reassemble into exactly the single-index answer. `publish` versions
+//! the shard→node map; `query --metastore` scatter-gathers across the
+//! fleet with the exact top-k merge.
+//!
 //! `build` runs the expensive offline phase (partition optimization,
 //! index + estimator construction, one engine per shard) and snapshots
 //! the fleet; every other command restores from the snapshot and never
@@ -43,7 +63,10 @@ use gph_suite::gph::coldstore::StorageMode;
 use gph_suite::gph::engine::GphConfig;
 use gph_suite::hamming_core::io;
 use gph_suite::hamming_core::Dataset;
-use gph_suite::net::{GphClient, NetServer, ServerConfig};
+use gph_suite::net::{
+    FleetClient, FleetConfig, FleetManifest, FleetNode, GphClient, MetastoreServer, NetServer,
+    ServerConfig,
+};
 use gph_suite::serve::{read_manifest, QueryService, ServiceConfig, ShardedIndex};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -83,6 +106,9 @@ fn main() -> ExitCode {
         "metrics" => cmd_metrics(&opts),
         "add" => cmd_add(&opts),
         "del" => cmd_del(&opts),
+        "metastore" => cmd_metastore(&opts),
+        "publish" => cmd_publish(&opts),
+        "manifest" => cmd_manifest(&opts),
         "--help" | "-h" | "help" => {
             usage();
             Ok(())
@@ -104,8 +130,9 @@ fn usage() {
          commands:\n\
          \x20 build --out <dir> (--data <file.hamd> | --profile <name> --rows <n>)\n\
          \x20       [--shards s] [--m m] [--tau-max t] [--seed s]\n\
+         \x20       [--fleet-slots n --owned <slot,slot,...>]\n\
          \x20 info  --index <dir>\n\
-         \x20 query (--index <dir> | --connect <addr>) --tau <t>\n\
+         \x20 query (--index <dir> | --connect <addr> | --metastore <addr>) --tau <t>\n\
          \x20       [--queries <file.hamd> | --sample n] [--topk k] [--trace]\n\
          \x20 serve --index <dir> --queries <n> --tau <t> [--workers w] [--batch b]\n\
          \x20       [--memory-budget <bytes|Nk|Nm|Ng>]\n\
@@ -116,6 +143,10 @@ fn usage() {
          \x20 add   --index <dir> --id <n> (--bits <01...> | --random-seed <s>)\n\
          \x20       [--upsert]\n\
          \x20 del   --index <dir> --id <n>\n\
+         \x20 metastore --listen <addr> [--duration secs]\n\
+         \x20 publish --metastore <addr> --version <v> --fleet-slots <n>\n\
+         \x20       --nodes \"slots@addr[|replica...][;slots@addr...]\"\n\
+         \x20 manifest --metastore <addr>\n\
          profiles: sift gist pubchem fasttext uqvideo uniform<d> gamma<g>"
     );
 }
@@ -154,7 +185,21 @@ fn parse_or<T: std::str::FromStr>(
 }
 
 fn cmd_build(opts: &HashMap<String, String>) -> Result<(), String> {
-    check_flags(opts, &["out", "data", "profile", "rows", "seed", "shards", "m", "tau-max"])?;
+    check_flags(
+        opts,
+        &[
+            "out",
+            "data",
+            "profile",
+            "rows",
+            "seed",
+            "shards",
+            "m",
+            "tau-max",
+            "fleet-slots",
+            "owned",
+        ],
+    )?;
     let out = need(opts, "out")?;
     let ds: Dataset = if let Some(path) = opts.get("data") {
         io::read_dataset(path).map_err(|e| format!("reading {path}: {e}"))?
@@ -171,7 +216,36 @@ fn cmd_build(opts: &HashMap<String, String>) -> Result<(), String> {
     let tau_max: usize = parse_or(opts, "tau-max", 16)?;
     let cfg = GphConfig::new(m, tau_max);
     let t0 = Instant::now();
-    let index = ShardedIndex::build(&ds, shards, &cfg).map_err(|e| e.to_string())?;
+    let index = match (opts.get("fleet-slots"), opts.get("owned")) {
+        (None, None) => ShardedIndex::build(&ds, shards, &cfg).map_err(|e| e.to_string())?,
+        (Some(_), Some(owned)) => {
+            // Fleet-node snapshot: keep only the rows whose fleet slot
+            // (the id-hash FleetClient routes by) is owned, under their
+            // global ids, so disjoint nodes reassemble the full corpus.
+            let fleet_slots: u32 = parse(opts, "fleet-slots")?;
+            if fleet_slots == 0 {
+                return Err("--fleet-slots must be positive".into());
+            }
+            let owned = parse_slots(owned, fleet_slots)?;
+            let index = ShardedIndex::build(&Dataset::new(ds.dim()), shards, &cfg)
+                .map_err(|e| e.to_string())?;
+            let mut kept = 0usize;
+            for id in 0..ds.len() as u32 {
+                let slot = ShardedIndex::shard_of(id, fleet_slots as usize) as u32;
+                if owned.contains(&slot) {
+                    index.insert(id, ds.row(id as usize)).map_err(|e| e.to_string())?;
+                    kept += 1;
+                }
+            }
+            eprintln!(
+                "fleet mode: kept {kept} of {} rows (slots {:?} of {fleet_slots})",
+                ds.len(),
+                owned
+            );
+            index
+        }
+        _ => return Err("--fleet-slots and --owned must be given together".into()),
+    };
     let build_s = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
     let manifest = index.snapshot(out).map_err(|e| e.to_string())?;
@@ -222,7 +296,13 @@ fn restore(opts: &HashMap<String, String>) -> Result<ShardedIndex, String> {
 }
 
 fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
-    check_flags(opts, &["index", "connect", "tau", "queries", "sample", "topk", "trace"])?;
+    check_flags(
+        opts,
+        &["index", "connect", "metastore", "tau", "queries", "sample", "topk", "trace"],
+    )?;
+    if let Some(addr) = opts.get("metastore") {
+        return cmd_query_fleet(addr, opts);
+    }
     if let Some(addr) = opts.get("connect") {
         return cmd_query_remote(addr, opts);
     }
@@ -473,6 +553,178 @@ fn cmd_del(opts: &HashMap<String, String>) -> Result<(), String> {
     }
     index.snapshot(dir).map_err(|e| e.to_string())?;
     println!("deleted id {id}; {} live rows, snapshot updated at {dir}", index.len());
+    Ok(())
+}
+
+/// Parses a comma-separated slot list, bounds-checked against the fleet
+/// slot count.
+fn parse_slots(s: &str, fleet_slots: u32) -> Result<Vec<u32>, String> {
+    let mut slots = Vec::new();
+    for part in s.split(',') {
+        let slot: u32 = part.trim().parse().map_err(|_| format!("bad slot {part:?} in {s:?}"))?;
+        if slot >= fleet_slots {
+            return Err(format!("slot {slot} is out of range for --fleet-slots {fleet_slots}"));
+        }
+        if !slots.contains(&slot) {
+            slots.push(slot);
+        }
+    }
+    if slots.is_empty() {
+        return Err("the slot list is empty".into());
+    }
+    Ok(slots)
+}
+
+/// `metastore --listen`: run the manifest server until the optional
+/// `--duration` elapses (0 = run until killed).
+fn cmd_metastore(opts: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(opts, &["listen", "duration"])?;
+    let listen = need(opts, "listen")?;
+    let server = MetastoreServer::bind(listen, ServerConfig::default())
+        .map_err(|e| format!("binding {listen}: {e}"))?;
+    println!("metastore listening on {} (no manifest published yet)", server.local_addr());
+    let duration: u64 = parse_or(opts, "duration", 0)?;
+    if duration == 0 {
+        eprintln!("serving until killed (pass --duration <secs> for a bounded run)");
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(Duration::from_secs(duration));
+    let version = server.manifest().map_or(0, |m| m.version);
+    let stats = server.shutdown();
+    println!(
+        "served {} request(s) over {} connection(s) in {duration}s; \
+         final manifest version {version}; drained and shut down",
+        stats.requests, stats.connections_opened
+    );
+    Ok(())
+}
+
+/// Parses `--nodes "slots@addr[|replica...][;slots@addr...]"` into a
+/// manifest's node list.
+fn parse_nodes(s: &str, fleet_slots: u32) -> Result<Vec<FleetNode>, String> {
+    let mut nodes = Vec::new();
+    for group in s.split(';') {
+        let (slots, addrs) = group
+            .split_once('@')
+            .ok_or_else(|| format!("node spec {group:?} is not slots@addr"))?;
+        let addrs: Vec<String> =
+            addrs.split('|').map(str::trim).filter(|a| !a.is_empty()).map(String::from).collect();
+        if addrs.is_empty() {
+            return Err(format!("node spec {group:?} has no addresses"));
+        }
+        nodes.push(FleetNode { slots: parse_slots(slots, fleet_slots)?, addrs });
+    }
+    Ok(nodes)
+}
+
+/// `publish --metastore`: install a new shard→node map. The metastore
+/// rejects stale versions, so republishing requires a strictly larger
+/// `--version`.
+fn cmd_publish(opts: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(opts, &["metastore", "version", "fleet-slots", "nodes"])?;
+    let addr = need(opts, "metastore")?;
+    let version: u64 = parse(opts, "version")?;
+    let fleet_slots: u32 = parse(opts, "fleet-slots")?;
+    let manifest = FleetManifest {
+        version,
+        n_shards: fleet_slots,
+        nodes: parse_nodes(need(opts, "nodes")?, fleet_slots)?,
+    };
+    manifest.validate().map_err(|e| format!("invalid manifest: {e}"))?;
+    let client = GphClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let installed = client.publish_manifest(&manifest).map_err(|e| e.to_string())?;
+    println!(
+        "published manifest v{installed}: {} slot(s) over {} node group(s)",
+        fleet_slots,
+        manifest.nodes.len()
+    );
+    Ok(())
+}
+
+/// `manifest --metastore`: print the current shard→node map.
+fn cmd_manifest(opts: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(opts, &["metastore"])?;
+    let addr = need(opts, "metastore")?;
+    let client = GphClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    match client.get_manifest().map_err(|e| e.to_string())? {
+        None => println!("metastore {addr}: no manifest published yet"),
+        Some(m) => {
+            println!("metastore: {addr}");
+            println!("version:   {}", m.version);
+            println!("slots:     {}", m.n_shards);
+            for (i, node) in m.nodes.iter().enumerate() {
+                println!(
+                    "  node {i}: slots {:?}  primary {}{}",
+                    node.slots,
+                    node.addrs[0],
+                    if node.addrs.len() > 1 {
+                        format!("  replicas {}", node.addrs[1..].join(" "))
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `query --metastore`: the query loop routed through a [`FleetClient`]
+/// — scatter-gather over the manifest's nodes with the exact merge.
+fn cmd_query_fleet(addr: &str, opts: &HashMap<String, String>) -> Result<(), String> {
+    if opts.contains_key("index") || opts.contains_key("connect") {
+        return Err("--metastore excludes --index and --connect".into());
+    }
+    if opts.contains_key("trace") {
+        return Err("--trace is not available through the fleet path".into());
+    }
+    let fleet = FleetClient::connect(addr, FleetConfig::default())
+        .map_err(|e| format!("connecting to metastore {addr}: {e}"))?;
+    let manifest = fleet.manifest();
+    // Dimensionality comes from any node; the manifest only maps slots.
+    let primary = manifest.nodes[0].addrs[0].clone();
+    let remote = GphClient::connect(&primary)
+        .and_then(|c| c.stats())
+        .map_err(|e| format!("querying node {primary} stats: {e}"))?;
+    eprintln!(
+        "fleet manifest v{}: {} slot(s) over {} node group(s), {} dims",
+        manifest.version,
+        manifest.n_shards,
+        manifest.nodes.len(),
+        remote.dim
+    );
+    let tau: u32 = parse(opts, "tau")?;
+    let queries = load_queries(opts, remote.dim as usize)?;
+    let topk: usize = parse_or(opts, "topk", 0)?;
+    let t0 = Instant::now();
+    let mut total = 0usize;
+    for qi in 0..queries.len() {
+        if topk > 0 {
+            let res = fleet.topk(queries.row(qi), topk).map_err(|e| e.to_string())?;
+            total += res.hits.len();
+            println!(
+                "query {qi}: top-{topk} {:?}{}",
+                &res.hits[..res.hits.len().min(8)],
+                if res.degraded { "  (degraded)" } else { "" }
+            );
+        } else {
+            let res = fleet.search(queries.row(qi), tau).map_err(|e| e.to_string())?;
+            total += res.ids.len();
+            println!(
+                "query {qi}: {} results {:?}{}",
+                res.ids.len(),
+                &res.ids[..res.ids.len().min(16)],
+                if res.degraded { "  (degraded)" } else { "" }
+            );
+        }
+    }
+    eprintln!(
+        "{} fleet queries, {total} results in {:.1} ms",
+        queries.len(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
     Ok(())
 }
 

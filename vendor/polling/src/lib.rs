@@ -1,0 +1,244 @@
+//! Offline shim for readiness-driven I/O: a thin, safe wrapper over
+//! `poll(2)` and a `pipe(2)`-based waker, which is all an event-loop TCP
+//! server needs. The build container has no registry access, so instead
+//! of `mio`/`polling` from crates.io this crate declares the three
+//! syscalls it needs directly (the process already links libc through
+//! `std`).
+//!
+//! Unix only. The API is deliberately tiny:
+//!
+//! * [`PollFd`] + [`poll`] — level-triggered readiness over a slice of
+//!   file descriptors, `EINTR` retried internally.
+//! * [`WakePipe`] — a self-pipe: any thread calls [`WakePipe::wake`],
+//!   the event loop polls [`WakePipe::read_fd`] and calls
+//!   [`WakePipe::drain`] when it fires. Both ends are nonblocking, so a
+//!   full pipe never blocks a waker (the loop is already signalled).
+//! * [`raise_nofile_limit`] — best-effort bump of `RLIMIT_NOFILE`, for
+//!   tests and benches that hold thousands of sockets.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// Readable readiness (data available, EOF included).
+pub const POLLIN: i16 = 0x001;
+/// Writable readiness (a write would accept bytes).
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// Fd not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of a [`poll`] set, layout-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The file descriptor to watch (negative entries are ignored by the
+    /// kernel, which is the standard way to tombstone a slot).
+    pub fd: RawFd,
+    /// Requested events ([`POLLIN`] | [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events; the kernel may add [`POLLERR`]/[`POLLHUP`]/
+    /// [`POLLNVAL`] regardless of `events`.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A watch entry for `fd` with the given interest and clear
+    /// `revents`.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd { fd, events, revents: 0 }
+    }
+}
+
+mod sys {
+    use std::os::unix::io::RawFd;
+
+    pub const O_NONBLOCK: i32 = 0o4000;
+    pub const O_CLOEXEC: i32 = 0o2000000;
+
+    extern "C" {
+        pub fn poll(fds: *mut super::PollFd, nfds: u64, timeout: i32) -> i32;
+        pub fn pipe2(fds: *mut RawFd, flags: i32) -> i32;
+        pub fn read(fd: RawFd, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: RawFd, buf: *const u8, count: usize) -> isize;
+        pub fn close(fd: RawFd) -> i32;
+        pub fn getrlimit(resource: i32, rlim: *mut [u64; 2]) -> i32;
+        pub fn setrlimit(resource: i32, rlim: *const [u64; 2]) -> i32;
+    }
+
+    pub const RLIMIT_NOFILE: i32 = 7;
+}
+
+/// Blocks until at least one entry of `fds` is ready or `timeout_ms`
+/// elapses (`-1` = wait forever, `0` = poll and return). Returns how
+/// many entries have nonzero `revents`. `EINTR` is retried with the
+/// same timeout, so callers never see spurious interrupts.
+pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `PollFd` is repr(C) and layout-identical to the
+        // kernel's `struct pollfd`; the slice's length bounds the
+        // kernel's writes.
+        let rc = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// A self-pipe waker: `wake()` from any thread makes a poll over
+/// [`WakePipe::read_fd`] return, and `drain()` resets it. Dropping
+/// closes both ends.
+#[derive(Debug)]
+pub struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+// The fds are plain integers owned by the struct; the syscalls used on
+// them are thread-safe.
+unsafe impl Send for WakePipe {}
+unsafe impl Sync for WakePipe {}
+
+impl WakePipe {
+    /// Creates the pipe with both ends nonblocking and close-on-exec.
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds: [RawFd; 2] = [-1, -1];
+        // SAFETY: `fds` is a valid 2-slot buffer for pipe2's out-params.
+        let rc = unsafe { sys::pipe2(fds.as_mut_ptr(), sys::O_NONBLOCK | sys::O_CLOEXEC) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(WakePipe { read_fd: fds[0], write_fd: fds[1] })
+    }
+
+    /// The fd the event loop should poll with [`POLLIN`].
+    pub fn read_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Signals the poller. Nonblocking: if the pipe is already full the
+    /// loop is already pending a wake-up, so the lost byte is harmless.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        // SAFETY: one readable byte from a live local; EAGAIN/EINTR are
+        // both fine to ignore per the doc comment.
+        unsafe { sys::write(self.write_fd, &byte, 1) };
+    }
+
+    /// Consumes every queued wake-up byte (call after the read end polls
+    /// readable).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            // SAFETY: `buf` is a valid writable buffer of its length.
+            let n = unsafe { sys::read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                return; // EAGAIN (drained), EOF, or EINTR — all done here
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        // SAFETY: the struct owns both fds and they are closed once.
+        unsafe {
+            sys::close(self.read_fd);
+            sys::close(self.write_fd);
+        }
+    }
+}
+
+/// Raises the soft `RLIMIT_NOFILE` to `min(want, hard limit)` and
+/// returns the resulting soft limit. Never errors harder than returning
+/// the current limit — callers treat this as best-effort.
+pub fn raise_nofile_limit(want: u64) -> u64 {
+    let mut lim = [0u64; 2];
+    // SAFETY: `lim` is a valid {soft, hard} out-buffer.
+    if unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 0;
+    }
+    let (soft, hard) = (lim[0], lim[1]);
+    if want <= soft {
+        return soft;
+    }
+    let new_soft = want.min(hard);
+    let new = [new_soft, hard];
+    // SAFETY: raising soft toward hard is always permitted.
+    if unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &new) } == 0 {
+        new_soft
+    } else {
+        soft
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn wake_pipe_signals_and_drains() {
+        let pipe = WakePipe::new().unwrap();
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 0).unwrap(), 0, "fresh pipe is quiet");
+        pipe.wake();
+        pipe.wake();
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].revents & POLLIN != 0);
+        pipe.drain();
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 0).unwrap(), 0, "drained pipe is quiet");
+    }
+
+    #[test]
+    fn wake_survives_a_full_pipe() {
+        let pipe = WakePipe::new().unwrap();
+        for _ in 0..100_000 {
+            pipe.wake(); // must never block even once the buffer fills
+        }
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 1000).unwrap(), 1);
+        pipe.drain();
+    }
+
+    #[test]
+    fn poll_reports_socket_readability() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut fds = [PollFd::new(server.as_raw_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 0).unwrap(), 0, "no data yet");
+        client.write_all(b"hi").unwrap();
+        let mut fds = [PollFd::new(server.as_raw_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 1000).unwrap(), 1);
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read(&mut buf).unwrap(), 2);
+
+        // Negative fd entries are ignored tombstones.
+        let mut fds = [PollFd::new(-1, POLLIN), PollFd::new(server.as_raw_fd(), POLLOUT)];
+        assert_eq!(poll(&mut fds, 1000).unwrap(), 1);
+        assert_eq!(fds[0].revents, 0);
+        assert!(fds[1].revents & POLLOUT != 0);
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable() {
+        let soft = raise_nofile_limit(1024);
+        assert!(soft >= 1024 || soft > 0);
+    }
+}
