@@ -279,3 +279,138 @@ pub fn run(scale: Scale) {
     }
     println!("\nreport written to {out}");
 }
+
+/// Node processes in the tracing-overhead sweep.
+const OBS_NODES: usize = 3;
+/// Interleaved untraced/traced measurement rounds (same drift-hedging
+/// reasoning as the `obs` experiment: host noise hits both modes alike).
+const OBS_ROUNDS: u64 = 8;
+
+/// `fleetobs`: the cost of fleet-wide distributed tracing. The same
+/// 3-node fleet and query stream measured with plain `search` and with
+/// `search_traced` (per-hop trace stamping, client-side hop timing,
+/// [`gph_obs::FleetTrace`] merge) in interleaved rounds; the overhead
+/// percentage lands in `BENCH_fleetobs.json`. The acceptance bar is
+/// ≤ 5% QPS overhead — reported for the CI artifact trail rather than
+/// hard-asserted, since a one-shot ratio on a shared runner is noisy.
+/// Mechanism sanity *is* asserted: traced answers must match untraced
+/// ones, and every merged trace must carry one well-formed hop per node
+/// with `sum(phases) ≤ node total ≤ hop e2e ≤ fleet total`.
+pub fn run_obs(scale: Scale) {
+    let scale_name = scale_name(scale);
+    let qs = prepare(&profile(), scale, SEED);
+    let metastore =
+        MetastoreServer::bind("127.0.0.1:0", ServerConfig::default()).expect("fleetobs: metastore");
+    let meta_addr = metastore.local_addr().to_string();
+
+    let procs: Vec<NodeProc> =
+        (0..OBS_NODES).map(|g| spawn_node(scale_name, g, OBS_NODES)).collect();
+    let manifest = FleetManifest {
+        version: 1,
+        n_shards: FLEET_SLOTS,
+        nodes: (0..OBS_NODES)
+            .map(|g| FleetNode {
+                slots: slots_for(g, OBS_NODES),
+                addrs: vec![procs[g].addr.clone()],
+            })
+            .collect(),
+    };
+    gph_net::GphClient::connect(metastore.local_addr())
+        .expect("fleetobs: metastore client")
+        .publish_manifest(&manifest)
+        .expect("fleetobs: publish");
+    let fleet = FleetClient::connect(&meta_addr, FleetConfig::default()).expect("fleetobs: client");
+
+    // Correctness + mechanism gate before the clock starts.
+    let probe = qs.queries.row(0);
+    let plain = fleet.search(probe, TAU).expect("fleetobs: probe").ids;
+    let traced = fleet.search_traced(probe, TAU).expect("fleetobs: traced probe");
+    assert_eq!(traced.ids, plain, "fleetobs: traced answers diverged from untraced");
+    assert_eq!(traced.trace.hops.len(), OBS_NODES, "fleetobs: one hop per node group");
+    for hop in &traced.trace.hops {
+        let phases = hop.trace.phase_totals().total();
+        assert!(
+            phases <= hop.trace.total_ns
+                && hop.trace.total_ns <= hop.e2e_ns
+                && hop.e2e_ns <= traced.trace.total_ns,
+            "fleetobs: hop {} broke the invariant ({phases} / {} / {} / {})",
+            hop.node,
+            hop.trace.total_ns,
+            hop.e2e_ns,
+            traced.trace.total_ns
+        );
+    }
+
+    let total_queries = (scale.base_rows / 4).max(800) as u64;
+    let per_round = (total_queries / OBS_ROUNDS).max(1);
+    // Warm-up both paths: connections, page faults, worker pools.
+    for i in 0..(per_round / 2).max(32) {
+        let qi = (i % qs.queries.len() as u64) as usize;
+        fleet.search(qs.queries.row(qi), TAU).expect("fleetobs: warm");
+        fleet.search_traced(qs.queries.row(qi), TAU).expect("fleetobs: warm traced");
+    }
+
+    let mut elapsed = [0f64; 2]; // [untraced, traced]
+    let mut ran = [0u64; 2];
+    let mut hops_seen = 0u64;
+    for round in 0..OBS_ROUNDS {
+        for mode in 0..2 {
+            let t0 = Instant::now();
+            for i in 0..per_round {
+                let qi = ((round * per_round + i) % qs.queries.len() as u64) as usize;
+                let q = qs.queries.row(qi);
+                if mode == 0 {
+                    fleet.search(q, TAU).expect("fleetobs: search");
+                } else {
+                    let r = fleet.search_traced(q, TAU).expect("fleetobs: search_traced");
+                    hops_seen += r.trace.hops.len() as u64;
+                }
+            }
+            elapsed[mode] += t0.elapsed().as_secs_f64();
+            ran[mode] += per_round;
+        }
+    }
+    assert_eq!(
+        hops_seen,
+        ran[1] * OBS_NODES as u64,
+        "fleetobs: every traced query must return a full hop set"
+    );
+    let qps = [ran[0] as f64 / elapsed[0], ran[1] as f64 / elapsed[1]];
+    let overhead_pct = (qps[0] / qps[1] - 1.0) * 100.0;
+
+    drop(fleet);
+    for mut p in procs {
+        drop(p.child.stdin.take());
+        let status = p.child.wait().expect("fleetobs: node wait");
+        assert!(status.success(), "fleetobs: node exited with {status}");
+    }
+    metastore.shutdown();
+
+    let json = format!(
+        "{{\n  \"experiment\": \"fleetobs\",\n  \"rows\": {},\n  \"dims\": {},\n  \
+         \"nodes\": {},\n  \"fleet_slots\": {},\n  \"tau\": {},\n  \"rounds\": {},\n  \
+         \"modes\": [\n    {{\"mode\": \"untraced\", \"queries\": {}, \"qps\": {:.1}}},\n    \
+         {{\"mode\": \"traced\", \"queries\": {}, \"qps\": {:.1}, \
+         \"overhead_pct\": {:.2}}}\n  ]\n}}\n",
+        qs.data.len(),
+        qs.data.dim(),
+        OBS_NODES,
+        FLEET_SLOTS,
+        TAU,
+        OBS_ROUNDS,
+        ran[0],
+        qps[0],
+        ran[1],
+        qps[1],
+        overhead_pct,
+    );
+    let out = std::env::var("BENCH_FLEETOBS_OUT").unwrap_or_else(|_| "BENCH_fleetobs.json".into());
+    std::fs::write(&out, &json).expect("fleetobs: write report");
+
+    println!("## fleetobs ({} rows, {OBS_NODES} nodes, fleet tracing overhead)\n", qs.data.len());
+    println!("| mode | queries | QPS | overhead vs untraced |");
+    println!("|---|---|---|---|");
+    println!("| untraced | {} | {:.0} | — |", ran[0], qps[0]);
+    println!("| traced | {} | {:.0} | {overhead_pct:+.2}% |", ran[1], qps[1]);
+    println!("\nreport written to {out}");
+}

@@ -46,6 +46,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "mutations",
     "netload",
     "fleet",
+    "fleetobs",
     "obs",
     "coldstore",
     "all",
@@ -74,6 +75,7 @@ pub fn dispatch(exp: &str, scale: Scale) -> bool {
         "mutations" => mutations::run(scale),
         "netload" => netload::run(scale),
         "fleet" => fleet::run(scale),
+        "fleetobs" => fleet::run_obs(scale),
         "obs" => obs::run(scale),
         "coldstore" => coldstore::run(scale),
         "all" => {

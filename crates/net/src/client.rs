@@ -14,8 +14,8 @@
 //! ([`NetError::Protocol`]).
 
 use crate::protocol::{
-    encode_request, read_frame, FleetManifest, Message, Request, Response, SearchEntry, WireError,
-    WireMutation,
+    encode_request, read_frame, FleetManifest, Message, NodeHealth, NodeScrape, Request, Response,
+    SearchEntry, WireError, WireMutation,
 };
 use crate::NetError;
 use crossbeam::channel;
@@ -38,11 +38,15 @@ pub struct ClientConfig {
     /// Disable Nagle's algorithm (recommended: frames are whole
     /// requests, batching them adds pure latency).
     pub nodelay: bool,
+    /// Bound on each pooled connection's TCP connect; `None` (the
+    /// default) uses the OS default. Scrapers and health probes set
+    /// this so an unresponsive host costs a bounded wait.
+    pub connect_timeout: Option<Duration>,
 }
 
 impl Default for ClientConfig {
     fn default() -> Self {
-        ClientConfig { connections: 1, nodelay: true }
+        ClientConfig { connections: 1, nodelay: true, connect_timeout: None }
     }
 }
 
@@ -99,6 +103,17 @@ pub struct TracedResult {
     pub trace: Option<QueryTrace>,
 }
 
+/// A metastore's `AggregateMetrics` reply: the fleet-merged exposition
+/// plus every node's individual scrape outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetMetrics {
+    /// Merged Prometheus exposition over the metastore and every fresh
+    /// node scrape.
+    pub merged: String,
+    /// Per-node outcomes; stale nodes carry their scrape error.
+    pub nodes: Vec<NodeScrape>,
+}
+
 /// The server's `Stats` reply: index shape plus service counters.
 #[derive(Clone, Copy, Debug)]
 pub struct RemoteStats {
@@ -149,9 +164,12 @@ struct Conn {
 }
 
 impl Conn {
-    fn open(addr: &std::net::SocketAddr, nodelay: bool) -> Result<Conn, NetError> {
-        let stream = TcpStream::connect(addr)?;
-        if nodelay {
+    fn open(addr: &std::net::SocketAddr, cfg: &ClientConfig) -> Result<Conn, NetError> {
+        let stream = match cfg.connect_timeout {
+            Some(t) => TcpStream::connect_timeout(addr, t)?,
+            None => TcpStream::connect(addr)?,
+        };
+        if cfg.nodelay {
             let _ = stream.set_nodelay(true);
         }
         let read_half = stream.try_clone()?;
@@ -375,6 +393,27 @@ fn expect_stats(resp: Response) -> Result<RemoteStats, NetError> {
     }
 }
 
+fn expect_health(resp: Response) -> Result<NodeHealth, NetError> {
+    match resp {
+        Response::Health(h) => Ok(h),
+        other => unexpected(&other),
+    }
+}
+
+fn expect_slow_queries(resp: Response) -> Result<Vec<QueryTrace>, NetError> {
+    match resp {
+        Response::SlowQueries { traces } => Ok(traces),
+        other => unexpected(&other),
+    }
+}
+
+fn expect_fleet_metrics(resp: Response) -> Result<FleetMetrics, NetError> {
+    match resp {
+        Response::AggregateMetrics { merged, nodes } => Ok(FleetMetrics { merged, nodes }),
+        other => unexpected(&other),
+    }
+}
+
 fn expect_manifest(resp: Response) -> Result<Option<FleetManifest>, NetError> {
     match resp {
         Response::Manifest { manifest } => Ok(manifest),
@@ -412,8 +451,7 @@ impl GphClient {
             .next()
             .ok_or_else(|| NetError::Protocol("address resolved to nothing".into()))?;
         let n = cfg.connections.max(1);
-        let conns =
-            (0..n).map(|_| Conn::open(&addr, cfg.nodelay)).collect::<Result<Vec<_>, _>>()?;
+        let conns = (0..n).map(|_| Conn::open(&addr, &cfg)).collect::<Result<Vec<_>, _>>()?;
         Ok(GphClient { conns, next: AtomicUsize::new(0) })
     }
 
@@ -469,12 +507,60 @@ impl GphClient {
         query: &[u64],
         tau: u32,
     ) -> Result<NetTicket<TracedResult>, NetError> {
-        self.submit(&Request::TracedSearch { tau, query: query.to_vec() }, expect_traced)
+        self.submit_search_traced_hop(query, tau, 0)
+    }
+
+    /// [`GphClient::submit_search_traced`] carrying a distributed trace
+    /// id: the server stamps `trace_id` (with its own node identity and
+    /// start timestamp) into the returned trace's hop context, so a
+    /// fleet client can correlate hops across nodes.
+    pub fn submit_search_traced_hop(
+        &self,
+        query: &[u64],
+        tau: u32,
+        trace_id: u64,
+    ) -> Result<NetTicket<TracedResult>, NetError> {
+        self.submit(&Request::TracedSearch { tau, query: query.to_vec(), trace_id }, expect_traced)
     }
 
     /// Traced range search (submit + wait).
     pub fn search_traced(&self, query: &[u64], tau: u32) -> Result<TracedResult, NetError> {
         self.submit_search_traced(query, tau)?.wait()
+    }
+
+    /// Pipelined health probe: shard ownership, generation, queue
+    /// occupancy, and the degraded flag, answered inline by the server
+    /// (never queued behind engine work).
+    pub fn submit_health(&self) -> Result<NetTicket<NodeHealth>, NetError> {
+        self.submit(&Request::Health, expect_health)
+    }
+
+    /// Health probe (submit + wait).
+    pub fn health(&self) -> Result<NodeHealth, NetError> {
+        self.submit_health()?.wait()
+    }
+
+    /// Pipelined drain of the server's slow-query ring: up to `max`
+    /// most recent retained traces (`0` = all).
+    pub fn submit_slow_queries(&self, max: u32) -> Result<NetTicket<Vec<QueryTrace>>, NetError> {
+        self.submit(&Request::SlowQueries { max }, expect_slow_queries)
+    }
+
+    /// Slow-query drain (submit + wait), most recent last.
+    pub fn slow_queries(&self, max: u32) -> Result<Vec<QueryTrace>, NetError> {
+        self.submit_slow_queries(max)?.wait()
+    }
+
+    /// Pipelined fleet-wide metrics aggregation (metastore servers
+    /// only): the metastore scrapes every live node in its manifest and
+    /// merges the expositions, reporting unreachable nodes as stale.
+    pub fn submit_aggregate_metrics(&self) -> Result<NetTicket<FleetMetrics>, NetError> {
+        self.submit(&Request::AggregateMetrics, expect_fleet_metrics)
+    }
+
+    /// Fleet-wide metrics aggregation (submit + wait).
+    pub fn aggregate_metrics(&self) -> Result<FleetMetrics, NetError> {
+        self.submit_aggregate_metrics()?.wait()
     }
 
     /// Pipelined top-k search.
@@ -547,9 +633,14 @@ impl GphClient {
         self.submit(&Request::Stats, expect_stats)?.wait()
     }
 
+    /// Pipelined fetch of the server's Prometheus text exposition.
+    pub fn submit_metrics(&self) -> Result<NetTicket<String>, NetError> {
+        self.submit(&Request::Metrics, expect_metrics)
+    }
+
     /// Fetches the server's Prometheus text exposition.
     pub fn metrics(&self) -> Result<String, NetError> {
-        self.submit(&Request::Metrics, expect_metrics)?.wait()
+        self.submit_metrics()?.wait()
     }
 
     /// Pipelined manifest fetch (metastore servers only).

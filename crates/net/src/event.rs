@@ -33,12 +33,13 @@
 
 use crate::protocol::{decode_frame, encode_response, frame_len, Message, Response, WireError};
 use crossbeam::channel::{Receiver, Sender};
+use gph_obs::{Counter, Gauge, MetricsRegistry};
 use polling::{PollFd, WakePipe, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -111,42 +112,101 @@ pub struct NetServerStats {
     pub write_buffer_peak: u64,
 }
 
-#[derive(Default)]
+/// Event-loop counters, registered as `gph_net_*` series so the server's
+/// network layer shows up in the same `Metrics` exposition as the engine
+/// (and federates across the fleet like everything else).
 struct Counters {
-    connections_opened: AtomicU64,
-    connections_active: AtomicU64,
-    connections_refused: AtomicU64,
-    requests: AtomicU64,
-    responses: AtomicU64,
-    errors_sent: AtomicU64,
-    protocol_errors: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-    idle_evictions: AtomicU64,
-    backpressure_pauses: AtomicU64,
-    write_buffer_peak: AtomicU64,
+    connections_opened: Counter,
+    connections_active: Gauge,
+    connections_refused: Counter,
+    requests: Counter,
+    responses: Counter,
+    errors_sent: Counter,
+    protocol_errors: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    idle_evictions: Counter,
+    backpressure_pauses: Counter,
+    write_buffer_peak: Gauge,
 }
 
 impl Counters {
+    fn register(reg: &MetricsRegistry) -> Counters {
+        Counters {
+            connections_opened: reg.counter(
+                "gph_net_connections_opened_total",
+                "Connections accepted over the server's lifetime.",
+                &[],
+            ),
+            connections_active: reg.gauge(
+                "gph_net_connections_active",
+                "Connections currently open.",
+                &[],
+            ),
+            connections_refused: reg.counter(
+                "gph_net_connections_refused_total",
+                "Connections refused at the max_connections cap.",
+                &[],
+            ),
+            requests: reg.counter("gph_net_requests_total", "Request frames decoded.", &[]),
+            responses: reg.counter(
+                "gph_net_responses_total",
+                "Response frames written (errors included).",
+                &[],
+            ),
+            errors_sent: reg.counter(
+                "gph_net_errors_sent_total",
+                "Error frames among the responses.",
+                &[],
+            ),
+            protocol_errors: reg.counter(
+                "gph_net_protocol_errors_total",
+                "Inbound frames that failed to decode (each closes its connection).",
+                &[],
+            ),
+            bytes_in: reg.counter(
+                "gph_net_bytes_in_total",
+                "Bytes read off sockets (well-formed frames only).",
+                &[],
+            ),
+            bytes_out: reg.counter("gph_net_bytes_out_total", "Bytes written to sockets.", &[]),
+            idle_evictions: reg.counter(
+                "gph_net_idle_evictions_total",
+                "Connections evicted by the idle timeout.",
+                &[],
+            ),
+            backpressure_pauses: reg.counter(
+                "gph_net_backpressure_pauses_total",
+                "Times response encoding paused for a slow reader at the write-buffer cap.",
+                &[],
+            ),
+            write_buffer_peak: reg.gauge(
+                "gph_net_write_buffer_peak",
+                "Largest per-connection write buffer observed, in bytes.",
+                &[],
+            ),
+        }
+    }
+
     fn snapshot(&self) -> NetServerStats {
         NetServerStats {
-            connections_opened: self.connections_opened.load(Ordering::Relaxed),
-            connections_active: self.connections_active.load(Ordering::Relaxed),
-            connections_refused: self.connections_refused.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
-            responses: self.responses.load(Ordering::Relaxed),
-            errors_sent: self.errors_sent.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
-            idle_evictions: self.idle_evictions.load(Ordering::Relaxed),
-            backpressure_pauses: self.backpressure_pauses.load(Ordering::Relaxed),
-            write_buffer_peak: self.write_buffer_peak.load(Ordering::Relaxed),
+            connections_opened: self.connections_opened.get(),
+            connections_active: self.connections_active.get(),
+            connections_refused: self.connections_refused.get(),
+            requests: self.requests.get(),
+            responses: self.responses.get(),
+            errors_sent: self.errors_sent.get(),
+            protocol_errors: self.protocol_errors.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+            idle_evictions: self.idle_evictions.get(),
+            backpressure_pauses: self.backpressure_pauses.get(),
+            write_buffer_peak: self.write_buffer_peak.get(),
         }
     }
 
     fn note_write_buffer(&self, len: usize) {
-        self.write_buffer_peak.fetch_max(len as u64, Ordering::Relaxed);
+        self.write_buffer_peak.set_max(len as u64);
     }
 }
 
@@ -275,11 +335,14 @@ struct WorkerHandle {
 
 impl EventLoop {
     /// Binds `addr` and starts the acceptor, worker, and resolver
-    /// threads serving `handler`.
+    /// threads serving `handler`. The loop's counters register as
+    /// `gph_net_*` series in `registry`, so they ride along in whatever
+    /// `Metrics` exposition the server renders.
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         handler: Arc<dyn RequestHandler>,
         cfg: ServerConfig,
+        registry: &MetricsRegistry,
     ) -> std::io::Result<EventLoop> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -287,7 +350,7 @@ impl EventLoop {
         let shared = Arc::new(Shared {
             handler,
             running: AtomicBool::new(true),
-            counters: Counters::default(),
+            counters: Counters::register(registry),
             cfg,
         });
 
@@ -399,10 +462,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, posts: &[WorkerPost
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     let c = &shared.counters;
-                    if c.connections_active.load(Ordering::Relaxed)
-                        >= shared.cfg.max_connections as u64
-                    {
-                        c.connections_refused.fetch_add(1, Ordering::Relaxed);
+                    if c.connections_active.get() >= shared.cfg.max_connections as u64 {
+                        c.connections_refused.inc();
                         refuse(stream);
                         continue;
                     }
@@ -410,12 +471,12 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, posts: &[WorkerPost
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
-                    c.connections_opened.fetch_add(1, Ordering::Relaxed);
-                    c.connections_active.fetch_add(1, Ordering::Relaxed);
+                    c.connections_opened.inc();
+                    c.connections_active.inc();
                     let (tx, wake) = &posts[next_worker % posts.len()];
                     next_worker += 1;
                     if tx.send(WorkerMsg::NewConn(stream)).is_err() {
-                        c.connections_active.fetch_sub(1, Ordering::Relaxed);
+                        c.connections_active.dec();
                         return; // workers are gone; so is the server
                     }
                     wake.wake();
@@ -511,7 +572,7 @@ fn worker_loop(
             try_flush(conn);
             if conn.dead || conn.finished() {
                 let _ = conn.stream.shutdown(Shutdown::Both);
-                shared.counters.connections_active.fetch_sub(1, Ordering::Relaxed);
+                shared.counters.connections_active.dec();
                 return false;
             }
             if let Some(limit) = cfg.idle_timeout {
@@ -520,9 +581,9 @@ fn worker_loop(
                     && conn.buffered_write() == 0
                     && now.duration_since(conn.last_activity) >= limit;
                 if idle {
-                    shared.counters.idle_evictions.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.idle_evictions.inc();
                     let _ = conn.stream.shutdown(Shutdown::Both);
-                    shared.counters.connections_active.fetch_sub(1, Ordering::Relaxed);
+                    shared.counters.connections_active.dec();
                     return false;
                 }
             }
@@ -661,8 +722,8 @@ fn parse_frames(
         match decode_frame(&rest[..need]) {
             Ok((request_id, Message::Request(req))) => {
                 let c = &shared.counters;
-                c.bytes_in.fetch_add(need as u64, Ordering::Relaxed);
-                c.requests.fetch_add(1, Ordering::Relaxed);
+                c.bytes_in.add(need as u64);
+                c.requests.inc();
                 let seq = conn.next_seq;
                 conn.next_seq += 1;
                 match shared.handler.handle(req) {
@@ -678,7 +739,7 @@ fn parse_frames(
             }
             Ok((request_id, Message::Response(_))) => {
                 let msg = "received a response frame on the server".to_string();
-                shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared.counters.protocol_errors.inc();
                 push_error(conn, request_id, msg);
             }
             Err(e) => {
@@ -693,7 +754,7 @@ fn parse_frames(
 /// Framing is lost: count it, queue one `Malformed` reply (on the
 /// reserved id 0), and stop reading — pending work still drains.
 fn protocol_error(conn: &mut Conn, counters: &Counters, msg: String) {
-    counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    counters.protocol_errors.inc();
     push_error(conn, 0, msg);
 }
 
@@ -712,7 +773,7 @@ fn pump_out(conn: &mut Conn, counters: &Counters, cfg: &ServerConfig) {
         if conn.buffered_write() >= cfg.max_write_buffer {
             if conn.out.front().is_some_and(|s| s.response.is_some()) && !conn.paused {
                 conn.paused = true;
-                counters.backpressure_pauses.fetch_add(1, Ordering::Relaxed);
+                counters.backpressure_pauses.inc();
             }
             break;
         }
@@ -727,10 +788,10 @@ fn pump_out(conn: &mut Conn, counters: &Counters, cfg: &ServerConfig) {
         let frame = encode_response(slot.request_id, &response);
         conn.write_buf.extend_from_slice(&frame);
         counters.note_write_buffer(conn.buffered_write());
-        counters.bytes_out.fetch_add(frame.len() as u64, Ordering::Relaxed);
-        counters.responses.fetch_add(1, Ordering::Relaxed);
+        counters.bytes_out.add(frame.len() as u64);
+        counters.responses.inc();
         if is_error {
-            counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+            counters.errors_sent.inc();
         }
     }
 }

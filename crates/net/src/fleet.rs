@@ -24,14 +24,16 @@
 //! restarted or substitute address). Typed server answers
 //! ([`NetError::Remote`]) are authoritative and never retried.
 
-use crate::client::{ClientConfig, GphClient, NetTicket, TopKResult};
-use crate::protocol::{FleetManifest, WireMutation};
+use crate::client::{ClientConfig, GphClient, NetTicket, TopKResult, TracedResult};
+use crate::protocol::{FleetManifest, NodeHealth, WireMutation};
 use crate::NetError;
+use gph_obs::{FleetTrace, HopTrace};
 use gph_serve::{merge_topk, ShardedIndex};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Fleet-client knobs.
 #[derive(Clone, Copy, Debug)]
@@ -45,6 +47,9 @@ pub struct FleetConfig {
     /// Bound on each request's wait; a timeout counts as a transport
     /// failure and moves on (only idempotent requests are retried).
     pub request_timeout: Duration,
+    /// Bound on each [`FleetClient::refresh_health`] probe: an address
+    /// that cannot answer the cheap `Health` op this fast is demoted.
+    pub probe_timeout: Duration,
     /// Per-node connection knobs.
     pub client: ClientConfig,
 }
@@ -55,6 +60,7 @@ impl Default for FleetConfig {
             attempts: 3,
             backoff: Duration::from_millis(20),
             request_timeout: Duration::from_secs(10),
+            probe_timeout: Duration::from_secs(1),
             client: ClientConfig::default(),
         }
     }
@@ -79,6 +85,31 @@ pub struct FleetTopK {
     pub degraded: bool,
 }
 
+/// A fleet-wide traced range search: the merged hits plus a per-hop
+/// [`FleetTrace`] attributing, for every node, engine time vs
+/// network + queue time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetTracedSearch {
+    /// Matching record ids across the whole fleet, ascending.
+    pub ids: Vec<u32>,
+    /// True when any group's admission control degraded its part.
+    pub degraded: bool,
+    /// The merged distributed trace.
+    pub trace: FleetTrace,
+}
+
+/// One address's outcome in a [`FleetClient::refresh_health`] sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AddressHealth {
+    /// The probed address.
+    pub addr: String,
+    /// The node's answer; `None` when the probe failed in transport.
+    pub health: Option<NodeHealth>,
+    /// Whether the sweep demoted this address (unreachable or
+    /// self-reported degraded).
+    pub demoted: bool,
+}
+
 struct State {
     manifest: FleetManifest,
     /// Pooled clients by address (fleet nodes and the metastore alike);
@@ -92,6 +123,11 @@ pub struct FleetClient {
     metastore_addr: String,
     cfg: FleetConfig,
     state: Mutex<State>,
+    /// Distributed trace ids handed out by [`FleetClient::search_traced`].
+    next_trace_id: AtomicU64,
+    /// Addresses the last health sweep demoted (unreachable or
+    /// self-reported degraded); the retry ladder tries them last.
+    demoted: Mutex<HashSet<String>>,
 }
 
 impl FleetClient {
@@ -106,6 +142,8 @@ impl FleetClient {
                 manifest: FleetManifest { version: 0, n_shards: 1, nodes: Vec::new() },
                 conns: HashMap::new(),
             }),
+            next_trace_id: AtomicU64::new(1),
+            demoted: Mutex::new(HashSet::new()),
         };
         let manifest = client.fetch_manifest()?;
         client.state.lock().manifest = manifest;
@@ -190,6 +228,99 @@ impl FleetClient {
         }
         ids.sort_unstable();
         Ok(FleetSearch { ids, degraded })
+    }
+
+    /// Fleet-wide traced range search: scatters a `TracedSearch` (with
+    /// one shared distributed trace id) to every node group, measures
+    /// each hop's client-side end-to-end time, and merges the per-node
+    /// [`gph_obs::QueryTrace`]s into a [`FleetTrace`] that attributes
+    /// node-side engine time vs network + queue time per hop —
+    /// including which hop was the straggler that bounded the tail.
+    pub fn search_traced(&self, query: &[u64], tau: u32) -> Result<FleetTracedSearch, NetError> {
+        let trace_id = self.next_trace_id.fetch_add(1, Ordering::Relaxed);
+        let manifest = self.manifest();
+        let t0 = Instant::now();
+        let pending: Vec<(u32, String, Option<NetTicket<TracedResult>>, Instant)> = manifest
+            .nodes
+            .iter()
+            .map(|node| {
+                let addr = node.addrs[0].clone();
+                let submitted = Instant::now();
+                let ticket = self
+                    .client_for(&addr)
+                    .ok()
+                    .and_then(|c| c.submit_search_traced_hop(query, tau, trace_id).ok());
+                (node.slots[0], addr, ticket, submitted)
+            })
+            .collect();
+        let mut ids = Vec::new();
+        let mut degraded = false;
+        let mut hops = Vec::with_capacity(pending.len());
+        for (slot, addr, ticket, submitted) in pending {
+            let fast = ticket.and_then(|t| match t.wait_timeout(self.cfg.request_timeout) {
+                Ok(v) => Some(Ok((v, submitted.elapsed()))),
+                Err(e @ NetError::Remote(_)) => Some(Err(e)),
+                Err(_) => None,
+            });
+            let (res, e2e) = match fast {
+                Some(result) => result?,
+                None => {
+                    // Retry ladder (replicas, backoff, manifest refresh):
+                    // the hop's e2e restarts with the retried request.
+                    self.evict(&addr);
+                    let retried = Instant::now();
+                    let v = self.slot_request(slot, &|c| {
+                        c.submit_search_traced_hop(query, tau, trace_id)
+                    })?;
+                    (v, retried.elapsed())
+                }
+            };
+            degraded |= res.result.degraded_from.is_some();
+            ids.extend(res.result.ids);
+            let trace = res.trace.unwrap_or_default();
+            // The server stamps its own bound address; fall back to the
+            // address we dialed if the hop answered without a trace.
+            let node = if trace.node.is_empty() { addr } else { trace.node.clone() };
+            hops.push(HopTrace { node, e2e_ns: e2e.as_nanos() as u64, trace });
+        }
+        ids.sort_unstable();
+        let total_ns = t0.elapsed().as_nanos() as u64;
+        let trace = FleetTrace::merge(trace_id, tau, total_ns, hops);
+        Ok(FleetTracedSearch { ids, degraded, trace })
+    }
+
+    /// Probes every address in the manifest with the cheap `Health` op
+    /// (bounded by [`FleetConfig::probe_timeout`]) and updates the demotion
+    /// set: unreachable or self-reported-degraded addresses are tried
+    /// **last** by the retry ladder until a later sweep clears them.
+    /// Returns every address's outcome, in manifest order.
+    pub fn refresh_health(&self) -> Vec<AddressHealth> {
+        let manifest = self.manifest();
+        let mut out = Vec::new();
+        for node in &manifest.nodes {
+            for addr in &node.addrs {
+                let health = self.client_for(addr).ok().and_then(|c| {
+                    c.submit_health().and_then(|t| t.wait_timeout(self.cfg.probe_timeout)).ok()
+                });
+                if health.is_none() {
+                    self.evict(addr);
+                }
+                let demote = health.as_ref().is_none_or(|h| h.degraded);
+                let mut demoted = self.demoted.lock();
+                if demote {
+                    demoted.insert(addr.clone());
+                } else {
+                    demoted.remove(addr);
+                }
+                out.push(AddressHealth { addr: addr.clone(), health, demoted: demote });
+            }
+        }
+        out
+    }
+
+    /// Addresses the last health sweep demoted.
+    pub fn demoted(&self) -> HashSet<String> {
+        self.demoted.lock().clone()
     }
 
     /// Fleet-wide exact top-k: each group answers its own exact top-`k`
@@ -286,7 +417,7 @@ impl FleetClient {
             if round == 1 && self.refresh_manifest().is_err() {
                 break;
             }
-            let addrs = {
+            let mut addrs = {
                 let st = self.state.lock();
                 match st.manifest.node_for_slot(slot) {
                     Some(ni) => st.manifest.nodes[ni].addrs.clone(),
@@ -295,6 +426,17 @@ impl FleetClient {
                     }
                 }
             };
+            // Health-driven ordering: addresses the last sweep demoted
+            // (unreachable or degraded) go last, so a healthy replica
+            // answers before we burn a timeout on a sick primary. The
+            // sort is stable, so primary-before-replica order survives
+            // within each class.
+            {
+                let demoted = self.demoted.lock();
+                if !demoted.is_empty() {
+                    addrs.sort_by_key(|a| demoted.contains(a));
+                }
+            }
             for attempt in 0..self.cfg.attempts.max(1) {
                 for addr in &addrs {
                     let client = match self.client_for(addr) {

@@ -32,14 +32,21 @@
 //! * [`server`] — [`NetServer`]: the query-node [`RequestHandler`] over
 //!   an [`EventLoop`] and an `Arc<QueryService>`.
 //! * [`metastore`] — [`MetastoreServer`]: a tiny manifest server that
-//!   versions the fleet's shard→node map (strictly increasing).
+//!   versions the fleet's shard→node map (strictly increasing) and
+//!   federates fleet metrics: `AggregateMetrics` scrapes every node in
+//!   the manifest in parallel, merges the expositions, and reports
+//!   unreachable nodes as stale instead of failing.
 //! * [`client`] — a blocking [`GphClient`] with connection pooling and
 //!   pipelined `submit_*`/`wait` mirroring the in-process
 //!   [`gph_serve::Ticket`] API.
 //! * [`fleet`] — [`FleetClient`]: routes by manifest with the same
 //!   stable id hash the in-process shards use, scatter-gathers reads
 //!   with the exact top-k merge, and retries idempotent reads across
-//!   replicas with timeout and backoff.
+//!   replicas with timeout and backoff. Traced fleet searches merge
+//!   every node's hop trace into a [`gph_obs::FleetTrace`] (engine vs
+//!   network + queue time per hop, straggler identification), and
+//!   cheap `Health` probes demote saturated or unreachable replicas in
+//!   the retry ladder.
 //! * [`testing`] — a deterministic, seeded fault-injection proxy
 //!   ([`FaultProxy`]) for exercising all of the above under partial
 //!   writes, torn frames, stalls, resets, and delayed accepts.
@@ -56,14 +63,17 @@ pub mod server;
 pub mod testing;
 
 pub use client::{
-    BatchEntry, ClientConfig, GphClient, NetTicket, RangeResult, RemoteStats, TopKResult,
-    TracedResult,
+    BatchEntry, ClientConfig, FleetMetrics, GphClient, NetTicket, RangeResult, RemoteStats,
+    TopKResult, TracedResult,
 };
 pub use event::{EventLoop, NetServerStats, Reply, RequestHandler, ServerConfig};
-pub use fleet::{FleetClient, FleetConfig, FleetSearch, FleetTopK};
+pub use fleet::{
+    AddressHealth, FleetClient, FleetConfig, FleetSearch, FleetTopK, FleetTracedSearch,
+};
 pub use metastore::MetastoreServer;
 pub use protocol::{
-    FleetManifest, FleetNode, Message, Request, Response, SearchEntry, WireError, WireMutation,
+    FleetManifest, FleetNode, Message, NodeHealth, NodeScrape, Request, Response, SearchEntry,
+    WireError, WireMutation,
 };
 pub use server::NetServer;
 pub use testing::{FaultPlan, FaultProxy, FaultStats};

@@ -69,6 +69,13 @@ pub const OP_TRACED_SEARCH: u8 = 0x0B;
 pub const OP_GET_MANIFEST: u8 = 0x0C;
 /// Op code for [`Request::PublishManifest`] / [`Response::ManifestAck`].
 pub const OP_PUBLISH_MANIFEST: u8 = 0x0D;
+/// Op code for [`Request::AggregateMetrics`] /
+/// [`Response::AggregateMetrics`].
+pub const OP_AGGREGATE_METRICS: u8 = 0x0E;
+/// Op code for [`Request::Health`] / [`Response::Health`].
+pub const OP_HEALTH: u8 = 0x0F;
+/// Op code for [`Request::SlowQueries`] / [`Response::SlowQueries`].
+pub const OP_SLOW_QUERIES: u8 = 0x10;
 /// Op code for [`Response::Error`].
 pub const OP_ERROR: u8 = 0x7F;
 
@@ -255,6 +262,21 @@ pub enum Request {
         tau: u32,
         /// The query's raw words.
         query: Vec<u64>,
+        /// Distributed trace id the server stamps into the returned
+        /// trace's hop context; `0` for an untracked local trace.
+        trace_id: u64,
+    },
+    /// Fan-out scrape of every live node's `Metrics` exposition,
+    /// merged (metastore servers only).
+    AggregateMetrics,
+    /// Cheap liveness + capacity probe, answered inline by the worker
+    /// (never queued behind engine work).
+    Health,
+    /// Drain the server's slow-query ring: up to `max` most recent
+    /// retained traces (`0` = all).
+    SlowQueries {
+        /// Ceiling on returned traces; `0` means no ceiling.
+        max: u32,
     },
     /// Fetch the current fleet manifest (metastore servers only).
     GetManifest,
@@ -305,6 +327,40 @@ pub enum WireMutation {
     },
     /// A delete named an id that was not live.
     NotFound,
+}
+
+/// A node's answer to the `Health` probe: enough for a fleet client to
+/// route around a saturated or restarted replica without waiting for a
+/// timeout.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeHealth {
+    /// Fleet shard slots this node was configured to own (empty for a
+    /// standalone server that was never told its slots).
+    pub slots: Vec<u32>,
+    /// Build/restore generation the operator stamped on the service.
+    pub generation: u64,
+    /// Live rows in the node's index.
+    pub rows: u64,
+    /// Jobs queued ahead of the engine workers.
+    pub queue_depth: u32,
+    /// Configured queue capacity.
+    pub queue_capacity: u32,
+    /// Whether the node considers itself degraded (worker queue
+    /// saturated); healthy fleet clients demote such replicas.
+    pub degraded: bool,
+}
+
+/// One node's slice of an `AggregateMetrics` fan-out: either a fresh
+/// exposition or a stale marker with the scrape error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeScrape {
+    /// The address the metastore scraped (the node's primary).
+    pub node: String,
+    /// `Some` when the scrape failed — the node is reported stale
+    /// rather than failing the whole aggregation.
+    pub error: Option<String>,
+    /// The node's Prometheus exposition; empty when stale.
+    pub text: String,
 }
 
 /// A typed error frame.
@@ -415,6 +471,24 @@ pub enum Response {
         /// search reached the engine ([`SearchEntry::Ids`]).
         trace: Option<QueryTrace>,
     },
+    /// Answer to [`Request::AggregateMetrics`]: the fleet-merged
+    /// exposition plus every node's individual scrape outcome.
+    AggregateMetrics {
+        /// [`gph_obs::merge_expositions`] over the metastore's own
+        /// registry and every fresh node scrape.
+        merged: String,
+        /// Per-node scrape outcomes, in manifest order; stale nodes
+        /// carry their error instead of failing the aggregation.
+        nodes: Vec<NodeScrape>,
+    },
+    /// Answer to [`Request::Health`].
+    Health(NodeHealth),
+    /// Answer to [`Request::SlowQueries`]: the slow-query ring's
+    /// retained traces, most recent last.
+    SlowQueries {
+        /// The drained traces.
+        traces: Vec<QueryTrace>,
+    },
     /// Answer to [`Request::GetManifest`].
     Manifest {
         /// The current manifest; `None` before the first publish.
@@ -478,6 +552,9 @@ fn request_opcode(req: &Request) -> u8 {
         Request::Stats => OP_STATS,
         Request::Metrics => OP_METRICS,
         Request::TracedSearch { .. } => OP_TRACED_SEARCH,
+        Request::AggregateMetrics => OP_AGGREGATE_METRICS,
+        Request::Health => OP_HEALTH,
+        Request::SlowQueries { .. } => OP_SLOW_QUERIES,
         Request::GetManifest => OP_GET_MANIFEST,
         Request::PublishManifest { .. } => OP_PUBLISH_MANIFEST,
     }
@@ -493,6 +570,9 @@ fn response_opcode(resp: &Response) -> u8 {
         Response::Stats { .. } => OP_STATS,
         Response::Metrics { .. } => OP_METRICS,
         Response::TracedSearch { .. } => OP_TRACED_SEARCH,
+        Response::AggregateMetrics { .. } => OP_AGGREGATE_METRICS,
+        Response::Health(_) => OP_HEALTH,
+        Response::SlowQueries { .. } => OP_SLOW_QUERIES,
         Response::Manifest { .. } => OP_GET_MANIFEST,
         Response::ManifestAck { .. } => OP_PUBLISH_MANIFEST,
         Response::Error(_) => OP_ERROR,
@@ -501,10 +581,22 @@ fn response_opcode(resp: &Response) -> u8 {
 
 fn encode_request_payload(req: &Request, buf: &mut Vec<u8>) {
     match req {
-        Request::Ping | Request::Stats | Request::Metrics | Request::GetManifest => {}
+        Request::Ping
+        | Request::Stats
+        | Request::Metrics
+        | Request::GetManifest
+        | Request::AggregateMetrics
+        | Request::Health => {}
         Request::PublishManifest { manifest } => manifest.encode_into(buf),
-        Request::Search { tau, query } | Request::TracedSearch { tau, query } => {
+        Request::SlowQueries { max } => put_u32(buf, *max),
+        Request::Search { tau, query } => {
             put_u32(buf, *tau);
+            put_u32(buf, query.len() as u32);
+            put_words(buf, query);
+        }
+        Request::TracedSearch { tau, query, trace_id } => {
+            put_u32(buf, *tau);
+            put_u64(buf, *trace_id);
             put_u32(buf, query.len() as u32);
             put_words(buf, query);
         }
@@ -599,6 +691,38 @@ fn encode_response_payload(resp: &Response, buf: &mut Vec<u8>) {
             stats.encode_into(buf);
         }
         Response::Metrics { text } => put_str(buf, text),
+        Response::AggregateMetrics { merged, nodes } => {
+            put_str(buf, merged);
+            put_u32(buf, nodes.len() as u32);
+            for scrape in nodes {
+                put_str(buf, &scrape.node);
+                match &scrape.error {
+                    Some(e) => {
+                        buf.push(1);
+                        put_str(buf, e);
+                    }
+                    None => buf.push(0),
+                }
+                put_str(buf, &scrape.text);
+            }
+        }
+        Response::Health(h) => {
+            put_u32(buf, h.slots.len() as u32);
+            for &slot in &h.slots {
+                put_u32(buf, slot);
+            }
+            put_u64(buf, h.generation);
+            put_u64(buf, h.rows);
+            put_u32(buf, h.queue_depth);
+            put_u32(buf, h.queue_capacity);
+            buf.push(u8::from(h.degraded));
+        }
+        Response::SlowQueries { traces } => {
+            put_u32(buf, traces.len() as u32);
+            for t in traces {
+                t.encode_into(buf);
+            }
+        }
         Response::Manifest { manifest } => match manifest {
             Some(m) => {
                 buf.push(1);
@@ -702,16 +826,20 @@ fn decode_request_payload(opcode: u8, payload: &[u8]) -> Result<Request, NetErro
         OP_PING => Request::Ping,
         OP_STATS => Request::Stats,
         OP_METRICS => Request::Metrics,
-        OP_SEARCH | OP_TRACED_SEARCH => {
+        OP_SEARCH => {
             let tau = r.u32("search tau")?;
             let n = r.u32("search words")? as usize;
-            let query = read_words(&mut r, n, "search query")?;
-            if opcode == OP_SEARCH {
-                Request::Search { tau, query }
-            } else {
-                Request::TracedSearch { tau, query }
-            }
+            Request::Search { tau, query: read_words(&mut r, n, "search query")? }
         }
+        OP_TRACED_SEARCH => {
+            let tau = r.u32("search tau")?;
+            let trace_id = r.u64("search trace id")?;
+            let n = r.u32("search words")? as usize;
+            Request::TracedSearch { tau, query: read_words(&mut r, n, "search query")?, trace_id }
+        }
+        OP_AGGREGATE_METRICS => Request::AggregateMetrics,
+        OP_HEALTH => Request::Health,
+        OP_SLOW_QUERIES => Request::SlowQueries { max: r.u32("slow query ceiling")? },
         OP_TOPK => {
             let k = r.u32("topk k")?;
             let n = r.u32("topk words")? as usize;
@@ -837,6 +965,57 @@ fn decode_response_payload(opcode: u8, payload: &[u8]) -> Result<Response, NetEr
             stats: ServiceSnapshotStats::decode_from(&mut r)?,
         },
         OP_METRICS => Response::Metrics { text: read_str(&mut r, "metrics text")? },
+        OP_AGGREGATE_METRICS => {
+            let merged = read_str(&mut r, "merged exposition")?;
+            // Each scrape costs at least three length/tag prefixes.
+            let n = read_count(&mut r, 9, "scrape count")?;
+            let mut nodes = Vec::with_capacity(n);
+            for _ in 0..n {
+                let node = read_str(&mut r, "scrape node")?;
+                let error = match r.u8("scrape tag")? {
+                    0 => None,
+                    1 => Some(read_str(&mut r, "scrape error")?),
+                    other => return Err(proto_err(format!("unknown scrape tag {other}"))),
+                };
+                let text = read_str(&mut r, "scrape text")?;
+                nodes.push(NodeScrape { node, error, text });
+            }
+            Response::AggregateMetrics { merged, nodes }
+        }
+        OP_HEALTH => {
+            let n = read_count(&mut r, 4, "health slot count")?;
+            let mut slots = Vec::with_capacity(n);
+            for _ in 0..n {
+                slots.push(r.u32("health slot")?);
+            }
+            let generation = r.u64("health generation")?;
+            let rows = r.u64("health rows")?;
+            let queue_depth = r.u32("health queue depth")?;
+            let queue_capacity = r.u32("health queue capacity")?;
+            let degraded = match r.u8("health degraded")? {
+                0 => false,
+                1 => true,
+                other => return Err(proto_err(format!("bad degraded byte {other}"))),
+            };
+            Response::Health(NodeHealth {
+                slots,
+                generation,
+                rows,
+                queue_depth,
+                queue_capacity,
+                degraded,
+            })
+        }
+        OP_SLOW_QUERIES => {
+            // Each trace costs at least its version byte plus the v2
+            // context and v1 header fields.
+            let n = read_count(&mut r, 16, "slow trace count")?;
+            let mut traces = Vec::with_capacity(n);
+            for _ in 0..n {
+                traces.push(QueryTrace::decode_from(&mut r)?);
+            }
+            Response::SlowQueries { traces }
+        }
         OP_GET_MANIFEST => {
             let manifest = match r.u8("manifest tag")? {
                 0 => None,
@@ -1057,9 +1236,16 @@ mod tests {
         roundtrip_request(6, Request::Delete { id: 42 });
         roundtrip_request(u64::MAX, Request::Upsert { id: 0, row: vec![] });
         roundtrip_request(8, Request::Metrics);
-        roundtrip_request(9, Request::TracedSearch { tau: 8, query: vec![0xDEAD, 0xBEEF] });
+        roundtrip_request(
+            9,
+            Request::TracedSearch { tau: 8, query: vec![0xDEAD, 0xBEEF], trace_id: 0xFACADE },
+        );
         roundtrip_request(10, Request::GetManifest);
         roundtrip_request(11, Request::PublishManifest { manifest: sample_manifest() });
+        roundtrip_request(12, Request::AggregateMetrics);
+        roundtrip_request(13, Request::Health);
+        roundtrip_request(14, Request::SlowQueries { max: 0 });
+        roundtrip_request(15, Request::SlowQueries { max: 32 });
     }
 
     fn sample_manifest() -> FleetManifest {
@@ -1187,6 +1373,9 @@ mod tests {
             Response::Metrics { text: "# HELP gph_up Up.\n# TYPE gph_up gauge\ngph_up 1\n".into() },
         );
         let trace = QueryTrace {
+            trace_id: 0xFACADE,
+            node: "127.0.0.1:7471".into(),
+            started_unix_ns: 1_700_000_000_000_000_000,
             tau: 6,
             total_ns: 12_000,
             shards: vec![gph_obs::ShardTrace {
@@ -1235,6 +1424,51 @@ mod tests {
         ] {
             roundtrip_response(10, Response::Error(err));
         }
+    }
+
+    #[test]
+    fn fleet_observability_frames_roundtrip() {
+        roundtrip_response(
+            30,
+            Response::Health(NodeHealth {
+                slots: vec![0, 3],
+                generation: 7,
+                rows: 1_000_000,
+                queue_depth: 12,
+                queue_capacity: 1024,
+                degraded: false,
+            }),
+        );
+        roundtrip_response(31, Response::Health(NodeHealth::default()));
+        roundtrip_response(
+            32,
+            Response::AggregateMetrics {
+                merged: "# TYPE gph_up gauge\ngph_up 2\n".into(),
+                nodes: vec![
+                    NodeScrape {
+                        node: "127.0.0.1:9001".into(),
+                        error: None,
+                        text: "# TYPE gph_up gauge\ngph_up 1\n".into(),
+                    },
+                    NodeScrape {
+                        node: "127.0.0.1:9002".into(),
+                        error: Some("connection refused".into()),
+                        text: String::new(),
+                    },
+                ],
+            },
+        );
+        roundtrip_response(33, Response::AggregateMetrics { merged: String::new(), nodes: vec![] });
+        let slow = QueryTrace {
+            trace_id: 9,
+            node: "127.0.0.1:9001".into(),
+            started_unix_ns: 1,
+            tau: 8,
+            total_ns: 5_000,
+            shards: vec![],
+        };
+        roundtrip_response(34, Response::SlowQueries { traces: vec![slow.clone(), slow] });
+        roundtrip_response(35, Response::SlowQueries { traces: vec![] });
     }
 
     #[test]

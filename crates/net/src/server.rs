@@ -19,11 +19,12 @@
 //! the responses, and joins the fixed thread set.
 
 use crate::event::{EventLoop, Reply, RequestHandler};
-use crate::protocol::{Request, Response, SearchEntry, WireError, WireMutation};
+use crate::protocol::{NodeHealth, Request, Response, SearchEntry, WireError, WireMutation};
 use gph_serve::{MutationOutcome, Outcome, QueryService, Ticket};
 use hamming_core::words_for;
 use std::net::{SocketAddr, ToSocketAddrs};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
 
 pub use crate::event::{NetServerStats, ServerConfig};
 
@@ -43,13 +44,31 @@ impl NetServer {
         service: Arc<QueryService>,
         cfg: ServerConfig,
     ) -> std::io::Result<NetServer> {
+        Self::bind_with_slots(addr, service, cfg, Vec::new())
+    }
+
+    /// [`NetServer::bind`] for a fleet node: `slots` are the manifest
+    /// shard slots this node owns, reported verbatim by the `Health` op
+    /// so fleet clients can check ownership without a metastore trip.
+    pub fn bind_with_slots<A: ToSocketAddrs>(
+        addr: A,
+        service: Arc<QueryService>,
+        cfg: ServerConfig,
+        slots: Vec<u32>,
+    ) -> std::io::Result<NetServer> {
         let index = service.index();
         let handler = Arc::new(ServiceHandler {
             service: Arc::clone(&service),
             expected_words: words_for(index.dim()),
             tau_max: index.tau_max() as u32,
+            slots,
+            node: OnceLock::new(),
         });
-        let inner = EventLoop::bind(addr, handler, cfg)?;
+        let registry = Arc::clone(service.registry());
+        let inner = EventLoop::bind(addr, Arc::clone(&handler) as _, cfg, &registry)?;
+        // The concrete bound address (port 0 is resolved by now) is the
+        // node identity stamped into traced-search hop contexts.
+        let _ = handler.node.set(inner.local_addr().to_string());
         Ok(NetServer { inner, service })
     }
 
@@ -81,6 +100,23 @@ struct ServiceHandler {
     service: Arc<QueryService>,
     expected_words: usize,
     tau_max: u32,
+    /// Manifest shard slots this node owns (empty outside a fleet).
+    slots: Vec<u32>,
+    /// This node's identity (its bound address), set right after bind;
+    /// stamped into traced-search hop contexts and drained slow traces.
+    node: OnceLock<String>,
+}
+
+impl ServiceHandler {
+    fn node_name(&self) -> String {
+        self.node.get().cloned().unwrap_or_default()
+    }
+}
+
+/// Wall-clock nanoseconds since the UNIX epoch (0 if the clock is
+/// before the epoch, which only a badly skewed host produces).
+fn unix_now_ns() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_nanos() as u64)
 }
 
 impl ServiceHandler {
@@ -108,7 +144,10 @@ fn unsupported(msg: String) -> Reply {
 }
 
 /// Defers a ticket wait to the resolver pool.
-fn later(ticket: Ticket, resolve: fn(Vec<gph_serve::Response>) -> Response) -> Reply {
+fn later(
+    ticket: Ticket,
+    resolve: impl FnOnce(Vec<gph_serve::Response>) -> Response + Send + 'static,
+) -> Reply {
     Reply::Later(Box::new(move || resolve(ticket.wait())))
 }
 
@@ -135,13 +174,55 @@ impl RequestHandler for ServiceHandler {
                 }
                 later(self.service.submit(&query, tau), resolve_range)
             }
-            Request::TracedSearch { tau, query } => {
+            Request::TracedSearch { tau, query, trace_id } => {
                 if let Err(msg) =
                     self.check_words("query", &query).and_then(|()| self.check_tau(tau))
                 {
                     return unsupported(msg);
                 }
-                later(self.service.submit_traced(&query, tau), resolve_traced)
+                // Hop context: stamp the client's trace id, this node's
+                // identity, and the arrival timestamp into the returned
+                // trace, so a fleet client can merge hops across nodes.
+                let node = self.node_name();
+                let started = unix_now_ns();
+                later(self.service.submit_traced(&query, tau), move |responses| {
+                    let mut resp = resolve_traced(responses);
+                    if let Response::TracedSearch { trace: Some(t), .. } = &mut resp {
+                        t.trace_id = trace_id;
+                        t.node = node;
+                        t.started_unix_ns = started;
+                    }
+                    resp
+                })
+            }
+            Request::Health => {
+                let index = self.service.index();
+                Reply::Now(Response::Health(NodeHealth {
+                    slots: self.slots.clone(),
+                    generation: self.service.generation(),
+                    rows: index.len() as u64,
+                    queue_depth: self.service.queue_depth() as u32,
+                    queue_capacity: self.service.queue_capacity() as u32,
+                    degraded: self.service.degraded(),
+                }))
+            }
+            Request::SlowQueries { max } => {
+                let mut traces = self.service.tracer().slow_queries();
+                if max > 0 && traces.len() > max as usize {
+                    traces.drain(..traces.len() - max as usize);
+                }
+                // Ring traces were recorded engine-side, before any hop
+                // stamping; attach this node's identity on the way out.
+                let node = self.node_name();
+                for t in &mut traces {
+                    if t.node.is_empty() {
+                        t.node = node.clone();
+                    }
+                }
+                Reply::Now(Response::SlowQueries { traces })
+            }
+            Request::AggregateMetrics => {
+                unsupported("this server is a query node, not a metastore".into())
             }
             Request::TopK { k, query } => {
                 if let Err(msg) = self.check_words("query", &query) {

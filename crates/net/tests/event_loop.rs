@@ -187,6 +187,53 @@ fn the_connection_cap_refuses_with_a_typed_frame() {
     server.shutdown();
 }
 
+/// The event-loop counters are real metrics, not a side channel: every
+/// series shows up in the server's own `Metrics` exposition under the
+/// `gph_net_` prefix, with values agreeing with the stats snapshot.
+#[test]
+fn event_loop_counters_appear_in_the_metrics_exposition() {
+    let server = MetastoreServer::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = GphClient::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+
+    // Trip one protocol error on a second connection.
+    let mut bad = TcpStream::connect(server.local_addr()).unwrap();
+    bad.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    bad.write_all(b"GPHX not a frame").unwrap();
+    let (id, msg, _) = read_frame(&mut bad).unwrap().expect("error frame");
+    assert_eq!(id, 0);
+    assert!(matches!(msg, Message::Response(Response::Error(WireError::Malformed(_)))));
+
+    let text = client.metrics().unwrap();
+    let exp = gph_obs::Exposition::parse(&text);
+    for series in [
+        "gph_net_connections_opened_total",
+        "gph_net_connections_active",
+        "gph_net_connections_refused_total",
+        "gph_net_requests_total",
+        "gph_net_responses_total",
+        "gph_net_errors_sent_total",
+        "gph_net_protocol_errors_total",
+        "gph_net_bytes_in_total",
+        "gph_net_bytes_out_total",
+        "gph_net_idle_evictions_total",
+        "gph_net_backpressure_pauses_total",
+        "gph_net_write_buffer_peak",
+    ] {
+        assert!(exp.value(series).is_some(), "series {series} missing from:\n{text}");
+    }
+    assert!(exp.value("gph_net_connections_opened_total").unwrap() >= 2.0);
+    assert_eq!(exp.value("gph_net_protocol_errors_total"), Some(1.0));
+    assert_eq!(exp.value("gph_net_errors_sent_total"), Some(1.0));
+    // The ping plus the metrics request itself (reads are counted on
+    // arrival, before the response renders).
+    assert!(exp.value("gph_net_requests_total").unwrap() >= 2.0);
+    assert!(exp.value("gph_net_bytes_in_total").unwrap() > 0.0);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.protocol_errors, 1, "snapshot and exposition agree");
+}
+
 #[test]
 fn garbage_bytes_get_a_typed_error_and_a_close() {
     let server = MetastoreServer::bind("127.0.0.1:0", ServerConfig::default()).unwrap();

@@ -243,6 +243,249 @@ fn fleet_mutations_land_on_the_owning_node_only() {
     metastore.shutdown();
 }
 
+/// Distributed tracing under faults: a traced fleet search through
+/// seeded chaos proxies — with group 2 behind a proxy that stalls every
+/// chunk, the deterministic straggler — still answers byte-identical to
+/// the in-process reference, and the merged [`gph_obs::FleetTrace`]
+/// holds the per-hop invariant
+/// `sum(phases) ≤ node total ≤ hop e2e ≤ fleet total` on every hop.
+#[test]
+fn traced_fleet_search_holds_hop_invariants_under_faults() {
+    let _watchdog = Watchdog::arm("traced_fleet", Duration::from_secs(240));
+    let ds = dataset(45);
+    let single = reference(&ds);
+    let nodes: Vec<_> = GROUP_SLOTS
+        .iter()
+        .map(|slots| {
+            NetServer::bind("127.0.0.1:0", node_service(&ds, slots), ServerConfig::default())
+                .unwrap()
+        })
+        .collect();
+    let stalled = FaultPlan {
+        stall_prob: 1.0,
+        stall: Duration::from_millis(100),
+        ..FaultPlan::clean(0xD00F)
+    };
+    let proxies = [
+        FaultProxy::launch(nodes[0].local_addr(), FaultPlan::chaos(0xFEED_0001)).unwrap(),
+        FaultProxy::launch(nodes[1].local_addr(), FaultPlan::chaos(0xFEED_0002)).unwrap(),
+        FaultProxy::launch(nodes[2].local_addr(), stalled).unwrap(),
+    ];
+    let metastore = MetastoreServer::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addrs = |i: usize| vec![proxies[i].local_addr(), nodes[i].local_addr()];
+    let m = manifest(1, [addrs(0), addrs(1), addrs(2)]);
+    GphClient::connect(metastore.local_addr()).unwrap().publish_manifest(&m).unwrap();
+    let fleet = FleetClient::connect(
+        &metastore.local_addr().to_string(),
+        FleetConfig {
+            attempts: 3,
+            backoff: Duration::from_millis(10),
+            request_timeout: Duration::from_secs(2),
+            ..FleetConfig::default()
+        },
+    )
+    .unwrap();
+
+    let straggler_name = nodes[2].local_addr().to_string();
+    let mut straggled = 0usize;
+    let mut queries = 0usize;
+    let mut prev_trace_id = 0u64;
+    for qi in (0..ROWS).step_by(11) {
+        let q = ds.row(qi);
+        let got = fleet
+            .search_traced(q, TAU)
+            .unwrap_or_else(|e| panic!("traced query {qi}: reads must survive the schedule: {e}"));
+        assert_eq!(got.ids, expect_ids(&single, q, TAU), "traced query {qi}");
+        let t = &got.trace;
+        assert_eq!(t.tau, TAU);
+        assert!(t.trace_id > prev_trace_id, "trace ids must strictly increase");
+        prev_trace_id = t.trace_id;
+        assert_eq!(t.hops.len(), 3, "one hop per node group");
+        assert!(t.hops.windows(2).all(|w| w[0].node <= w[1].node), "hops canonically ordered");
+        for h in &t.hops {
+            assert!(!h.node.is_empty(), "every hop carries a node identity");
+            assert_eq!(h.trace.trace_id, t.trace_id, "hop {} lost the distributed id", h.node);
+            assert!(h.trace.started_unix_ns > 0, "hop {} lost its arrival stamp", h.node);
+            let phases = h.trace.phase_totals().total();
+            assert!(
+                phases <= h.trace.total_ns,
+                "hop {}: phase sum {phases} exceeds node total {}",
+                h.node,
+                h.trace.total_ns
+            );
+            assert!(
+                h.trace.total_ns <= h.e2e_ns,
+                "hop {}: node total {} exceeds hop e2e {}",
+                h.node,
+                h.trace.total_ns,
+                h.e2e_ns
+            );
+            assert!(
+                h.e2e_ns <= t.total_ns,
+                "hop {}: e2e {} exceeds fleet total {}",
+                h.node,
+                h.e2e_ns,
+                t.total_ns
+            );
+            assert_eq!(h.network_ns(), h.e2e_ns - h.trace.total_ns);
+        }
+        queries += 1;
+        if t.straggler().unwrap().node == straggler_name {
+            straggled += 1;
+        }
+    }
+    // The stalled node pays ≥200ms per round trip; chaos noise on the
+    // other groups must not out-straggle it more than occasionally.
+    assert!(straggled * 2 > queries, "stalled node was straggler only {straggled}/{queries} times");
+    assert!(proxies[2].stats().stalls > 0, "the straggler schedule had no teeth");
+
+    for p in proxies {
+        p.stop();
+    }
+    for n in nodes {
+        n.shutdown();
+    }
+    metastore.shutdown();
+}
+
+/// Metrics federation: `AggregateMetrics` against the metastore merges
+/// every live node's exposition; killing a node mid-fleet turns it into
+/// a **stale** entry (scrape error attached, no text) without failing
+/// the aggregation or dropping the other nodes' series.
+#[test]
+fn metrics_federation_reports_killed_node_stale() {
+    let _watchdog = Watchdog::arm("metrics_federation", Duration::from_secs(120));
+    let ds = dataset(46);
+    let mut nodes: Vec<_> = GROUP_SLOTS
+        .iter()
+        .map(|slots| {
+            NetServer::bind("127.0.0.1:0", node_service(&ds, slots), ServerConfig::default())
+                .unwrap()
+        })
+        .collect();
+    let metastore = MetastoreServer::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let m = manifest(
+        1,
+        [vec![nodes[0].local_addr()], vec![nodes[1].local_addr()], vec![nodes[2].local_addr()]],
+    );
+    let admin = GphClient::connect(metastore.local_addr()).unwrap();
+    admin.publish_manifest(&m).unwrap();
+
+    // Put some traffic through so the expositions are non-trivial.
+    let fleet =
+        FleetClient::connect(&metastore.local_addr().to_string(), FleetConfig::default()).unwrap();
+    for qi in (0..ROWS).step_by(31) {
+        fleet.search(ds.row(qi), TAU).unwrap();
+    }
+
+    let all = admin.aggregate_metrics().unwrap();
+    assert_eq!(all.nodes.len(), 3, "one scrape per node group");
+    assert!(all.nodes.iter().all(|n| n.error.is_none()), "all nodes fresh: {:?}", all.nodes);
+    assert!(all.nodes.iter().all(|n| n.text.contains("gph_net_requests_total")));
+    assert!(all.merged.contains("gph_net_requests_total"), "merged carries node series");
+    assert!(all.merged.contains("gph_fed_scrapes_total"), "merged carries metastore series");
+
+    // Kill group 1 and aggregate again: stale, not an error.
+    let killed = nodes.remove(1);
+    let killed_addr = killed.local_addr().to_string();
+    killed.shutdown();
+    let after = admin.aggregate_metrics().unwrap();
+    assert_eq!(after.nodes.len(), 3, "stale nodes still appear in the scrape report");
+    let stale: Vec<_> = after.nodes.iter().filter(|n| n.error.is_some()).collect();
+    assert_eq!(stale.len(), 1, "exactly the killed node is stale: {:?}", after.nodes);
+    assert_eq!(stale[0].node, killed_addr);
+    assert!(stale[0].text.is_empty(), "a stale scrape carries no exposition");
+    assert!(after.merged.contains("gph_net_requests_total"), "live series survive");
+    assert!(
+        after.merged.contains("gph_fed_scrape_errors_total"),
+        "the failed scrape is itself a series"
+    );
+
+    for n in nodes {
+        n.shutdown();
+    }
+    metastore.shutdown();
+}
+
+/// Health-driven routing: a health sweep reports every address's shard
+/// ownership and load, and an unreachable primary is demoted so the
+/// retry ladder prefers the healthy replica — reads keep answering.
+#[test]
+fn health_probes_demote_unreachable_primaries() {
+    let _watchdog = Watchdog::arm("health_demotion", Duration::from_secs(120));
+    let ds = dataset(47);
+    let single = reference(&ds);
+    let services: Vec<_> = GROUP_SLOTS.iter().map(|s| node_service(&ds, s)).collect();
+    let bind = |i: usize| {
+        NetServer::bind_with_slots(
+            "127.0.0.1:0",
+            Arc::clone(&services[i]),
+            ServerConfig::default(),
+            GROUP_SLOTS[i].to_vec(),
+        )
+        .unwrap()
+    };
+    let mut primary0 = Some(bind(0));
+    let replica0 = bind(0); // same service, same rows
+    let node1 = bind(1);
+    let node2 = bind(2);
+    let metastore = MetastoreServer::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let primary0_addr = primary0.as_ref().unwrap().local_addr().to_string();
+    let m = manifest(
+        1,
+        [
+            vec![primary0.as_ref().unwrap().local_addr(), replica0.local_addr()],
+            vec![node1.local_addr()],
+            vec![node2.local_addr()],
+        ],
+    );
+    GphClient::connect(metastore.local_addr()).unwrap().publish_manifest(&m).unwrap();
+    let fleet = FleetClient::connect(
+        &metastore.local_addr().to_string(),
+        FleetConfig {
+            attempts: 2,
+            backoff: Duration::from_millis(10),
+            request_timeout: Duration::from_secs(2),
+            ..FleetConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Sweep 1: everyone answers; ownership and load are reported.
+    let sweep = fleet.refresh_health();
+    assert_eq!(sweep.len(), 4, "two addresses in group 0, one in each other group");
+    let expect_group = [0usize, 0, 1, 2];
+    for (entry, gi) in sweep.iter().zip(expect_group) {
+        let h = entry.health.as_ref().unwrap_or_else(|| panic!("{} unreachable", entry.addr));
+        assert_eq!(h.slots, GROUP_SLOTS[gi].to_vec(), "{} reports its slots", entry.addr);
+        assert_eq!(h.rows, services[gi].index().len() as u64);
+        assert!(!h.degraded, "{} idle, not degraded", entry.addr);
+        assert!(h.queue_capacity > 0);
+        assert!(!entry.demoted);
+    }
+    assert!(fleet.demoted().is_empty());
+
+    // Kill group 0's primary; the next sweep demotes exactly it.
+    primary0.take().unwrap().shutdown();
+    let sweep = fleet.refresh_health();
+    let down: Vec<_> = sweep.iter().filter(|e| e.demoted).collect();
+    assert_eq!(down.len(), 1, "exactly the dead primary is demoted: {sweep:?}");
+    assert_eq!(down[0].addr, primary0_addr);
+    assert!(down[0].health.is_none());
+    assert_eq!(fleet.demoted(), std::collections::HashSet::from([primary0_addr.clone()]));
+
+    // Reads route around the demoted primary onto the replica.
+    for qi in (0..ROWS).step_by(17) {
+        let q = ds.row(qi);
+        assert_eq!(fleet.search(q, TAU).unwrap().ids, expect_ids(&single, q, TAU), "query {qi}");
+    }
+
+    replica0.shutdown();
+    node1.shutdown();
+    node2.shutdown();
+    metastore.shutdown();
+}
+
 /// Rolling restart: kill group 0's primary mid-load, republish pointing
 /// at the replica, warm-restart a new primary, republish again. The
 /// load thread must see **zero** failed reads (retries exhaust onto the

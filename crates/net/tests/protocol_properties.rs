@@ -5,8 +5,8 @@
 //! (never a panic, never a silently-wrong decode).
 
 use gph_net::protocol::{
-    decode_frame, encode_request, encode_response, read_frame, Message, Request, Response,
-    SearchEntry, WireError, WireMutation,
+    decode_frame, encode_request, encode_response, read_frame, Message, NodeHealth, NodeScrape,
+    Request, Response, SearchEntry, WireError, WireMutation,
 };
 use gph_serve::{AdmissionStats, CacheStats, ServiceSnapshotStats, ServiceStats};
 use proptest::prelude::*;
@@ -54,7 +54,7 @@ fn stats_from_seed(seed: u64) -> ServiceSnapshotStats {
 fn request_strategy() -> impl Strategy<Value = Request> {
     let batch = (1usize..=4, 1usize..=4)
         .prop_flat_map(|(n, w)| prop::collection::vec(prop::collection::vec(any::<u64>(), w), n));
-    ((0u8..10, any::<u32>(), any::<u32>()), words(5), batch).prop_map(|((tag, a, b), q, qs)| {
+    ((0u8..13, any::<u32>(), any::<u32>()), words(5), batch).prop_map(|((tag, a, b), q, qs)| {
         match tag {
             0 => Request::Ping,
             1 => Request::Search { tau: a, query: q },
@@ -64,7 +64,12 @@ fn request_strategy() -> impl Strategy<Value = Request> {
             5 => Request::Delete { id: b },
             6 => Request::Upsert { id: b, row: q },
             7 => Request::Metrics,
-            8 => Request::TracedSearch { tau: a, query: q },
+            8 => {
+                Request::TracedSearch { tau: a, query: q, trace_id: ((a as u64) << 32) | b as u64 }
+            }
+            9 => Request::AggregateMetrics,
+            10 => Request::Health,
+            11 => Request::SlowQueries { max: a },
             _ => Request::Stats,
         }
     })
@@ -115,12 +120,50 @@ fn trace_from_seed(seed: u64) -> gph_obs::QueryTrace {
         }
         shards.push(gph_obs::ShardTrace { shard, total_ns: next(), segments });
     }
-    gph_obs::QueryTrace { tau: (seed % 31) as u32, total_ns: next(), shards }
+    gph_obs::QueryTrace {
+        trace_id: next(),
+        node: if seed.is_multiple_of(3) {
+            String::new()
+        } else {
+            format!("10.0.0.{}:9000", seed % 250)
+        },
+        started_unix_ns: next(),
+        tau: (seed % 31) as u32,
+        total_ns: next(),
+        shards,
+    }
+}
+
+/// Deterministic fleet-observability payloads from one seed.
+fn health_from_seed(seed: u64) -> NodeHealth {
+    let mut x = seed;
+    let mut next = move || {
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        x >> 17
+    };
+    NodeHealth {
+        slots: (0..(seed % 4) as u32).map(|_| next() as u32).collect(),
+        generation: next(),
+        rows: next(),
+        queue_depth: next() as u32,
+        queue_capacity: next() as u32,
+        degraded: seed.is_multiple_of(2),
+    }
+}
+
+fn scrapes_from_seed(seed: u64) -> Vec<NodeScrape> {
+    (0..seed % 4)
+        .map(|i| NodeScrape {
+            node: format!("10.0.0.{i}:9000"),
+            error: (i % 2 == 0).then(|| format!("refused {i}")),
+            text: if i % 2 == 0 { String::new() } else { format!("gph_up {i}\n") },
+        })
+        .collect()
 }
 
 fn response_strategy() -> impl Strategy<Value = Response> {
     (
-        (0u8..9, any::<u64>(), any::<bool>(), any::<bool>()),
+        (0u8..12, any::<u64>(), any::<bool>(), any::<bool>()),
         entry_strategy(),
         prop::collection::vec(entry_strategy(), 0..4),
         prop::collection::vec((any::<u32>(), any::<u32>()), 0..6),
@@ -148,6 +191,14 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                     text: format!("# HELP gph_x_{a} X.\n# TYPE gph_x_{a} counter\ngph_x_{a} {b}\n"),
                 },
                 7 => Response::TracedSearch { entry, trace: flag_a.then(|| trace_from_seed(seed)) },
+                8 => Response::Health(health_from_seed(seed)),
+                9 => Response::SlowQueries {
+                    traces: (0..seed % 3).map(|i| trace_from_seed(seed ^ i)).collect(),
+                },
+                10 => Response::AggregateMetrics {
+                    merged: format!("# TYPE gph_up gauge\ngph_up {a}\n"),
+                    nodes: scrapes_from_seed(seed),
+                },
                 _ => Response::Error(match err_tag {
                     0 => WireError::Malformed(format!("m{a}")),
                     1 => WireError::Unsupported(format!("u{b}")),

@@ -1,0 +1,189 @@
+//! Fleet-wide trace merging.
+//!
+//! A fleet query scatter-gathers over every node group; each node
+//! answers with its own [`QueryTrace`] (codec v2 carries the hop
+//! context: trace id, node identity, start timestamp). The client
+//! measures, per hop, its own end-to-end time — submit to response —
+//! and [`FleetTrace::merge`] folds the hops into one view that
+//! attributes where the time went: node-side engine time
+//! (`trace.total_ns`) vs. network + queue time
+//! ([`HopTrace::network_ns`], the client e2e minus the node total).
+//!
+//! Merging normalizes each hop so the per-hop invariant
+//! `sum(phases) ≤ node total_ns ≤ hop e2e_ns` holds by construction
+//! (coarse client timers or node-side clock granularity can otherwise
+//! leave a node total a hair over the client's measurement), and sorts
+//! hops into a canonical order so the merge is invariant under hop
+//! arrival order.
+
+use crate::trace::{PhaseNanos, QueryTrace};
+
+/// One node's contribution to a fleet query: the node-side trace plus
+/// the client-side end-to-end measurement for that hop.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HopTrace {
+    /// The node answering this hop (the address the client dialed).
+    pub node: String,
+    /// Client-measured wall time for the hop: submit → response,
+    /// including serialization, network, and server queueing.
+    pub e2e_ns: u64,
+    /// The node-side trace.
+    pub trace: QueryTrace,
+}
+
+impl HopTrace {
+    /// Time the hop spent outside the node's engine: network transfer
+    /// plus server-side queueing (client e2e minus node total).
+    pub fn network_ns(&self) -> u64 {
+        self.e2e_ns.saturating_sub(self.trace.total_ns)
+    }
+}
+
+/// A merged fleet-wide trace: one hop per node group, normalized and
+/// canonically ordered.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetTrace {
+    /// The distributed trace id the client stamped on every hop.
+    pub trace_id: u64,
+    /// The threshold the fleet query ran at.
+    pub tau: u32,
+    /// Client end-to-end wall time of the whole scatter-gather (at
+    /// least the slowest hop's e2e, by construction).
+    pub total_ns: u64,
+    /// Per-node hops, sorted by node identity (ties broken by the full
+    /// hop content, so merging is arrival-order invariant).
+    pub hops: Vec<HopTrace>,
+}
+
+impl FleetTrace {
+    /// Merges per-node hops into a fleet trace. Each hop is normalized
+    /// so `sum(phases) ≤ node total_ns ≤ hop e2e_ns` holds, the fleet
+    /// total is raised to cover the slowest hop, and hops are sorted
+    /// into a canonical order independent of arrival order.
+    pub fn merge(trace_id: u64, tau: u32, total_ns: u64, hops: Vec<HopTrace>) -> FleetTrace {
+        let mut hops: Vec<HopTrace> = hops
+            .into_iter()
+            .map(|mut hop| {
+                hop.trace.total_ns = hop.trace.total_ns.max(hop.trace.phase_totals().total());
+                hop.e2e_ns = hop.e2e_ns.max(hop.trace.total_ns);
+                hop
+            })
+            .collect();
+        hops.sort_by_cached_key(|h| (h.node.clone(), h.e2e_ns, h.trace.encode()));
+        let slowest = hops.iter().map(|h| h.e2e_ns).max().unwrap_or(0);
+        FleetTrace { trace_id, tau, total_ns: total_ns.max(slowest), hops }
+    }
+
+    /// The slowest hop — the straggler that bounded the fleet query's
+    /// tail. `None` only for an empty trace.
+    pub fn straggler(&self) -> Option<&HopTrace> {
+        self.hops.iter().max_by_key(|h| h.e2e_ns)
+    }
+
+    /// Sum of engine-phase times across every hop (CPU-time view; wall
+    /// time is bounded by the straggler, not this sum).
+    pub fn phase_totals(&self) -> PhaseNanos {
+        let mut acc = PhaseNanos::default();
+        for hop in &self.hops {
+            acc.add(&hop.trace.phase_totals());
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SegmentTrace, ShardTrace};
+    use proptest::prelude::*;
+
+    fn hop(node: &str, e2e_ns: u64, node_total: u64, verify_ns: u64) -> HopTrace {
+        HopTrace {
+            node: node.into(),
+            e2e_ns,
+            trace: QueryTrace {
+                trace_id: 42,
+                node: node.into(),
+                started_unix_ns: 1,
+                tau: 4,
+                total_ns: node_total,
+                shards: vec![ShardTrace {
+                    shard: 0,
+                    total_ns: node_total,
+                    segments: vec![SegmentTrace {
+                        segment: 0,
+                        rows: 10,
+                        phases: PhaseNanos { verify_ns, ..PhaseNanos::default() },
+                        ..SegmentTrace::default()
+                    }],
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn merge_orders_hops_and_finds_the_straggler() {
+        let hops = vec![hop("c", 900, 700, 100), hop("a", 300, 200, 50), hop("b", 500, 400, 80)];
+        let fleet = FleetTrace::merge(42, 4, 1000, hops);
+        let order: Vec<&str> = fleet.hops.iter().map(|h| h.node.as_str()).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+        assert_eq!(fleet.straggler().unwrap().node, "c");
+        assert_eq!(fleet.total_ns, 1000);
+        assert_eq!(fleet.phase_totals().verify_ns, 230);
+        assert_eq!(fleet.hops[0].network_ns(), 100, "e2e 300 minus node total 200");
+    }
+
+    #[test]
+    fn merge_normalizes_clock_skew() {
+        // A node whose total came back above the client's e2e (clock
+        // granularity) is normalized, not rejected.
+        let fleet = FleetTrace::merge(1, 4, 0, vec![hop("a", 100, 250, 300)]);
+        let h = &fleet.hops[0];
+        assert_eq!(h.trace.total_ns, 300, "node total raised to the phase sum");
+        assert_eq!(h.e2e_ns, 300, "hop e2e raised to the node total");
+        assert_eq!(fleet.total_ns, 300, "fleet total covers the slowest hop");
+        assert_eq!(h.network_ns(), 0);
+    }
+
+    fn arb_hop() -> impl Strategy<Value = HopTrace> {
+        (0usize..6, 0u64..5_000, 0u64..5_000, 0u64..2_000, 0u64..2_000).prop_map(
+            |(node, e2e_ns, node_total, verify_ns, probe_ns)| {
+                let mut h = hop(&format!("node-{node}:90{node}0"), e2e_ns, node_total, verify_ns);
+                h.trace.shards[0].segments[0].phases.probe_ns = probe_ns;
+                h
+            },
+        )
+    }
+
+    proptest! {
+        /// The per-hop invariant holds after merge, for arbitrary
+        /// (inconsistent) raw measurements.
+        #[test]
+        fn merge_preserves_per_hop_invariant(
+            hops in proptest::collection::vec(arb_hop(), 0..8),
+            total in 0u64..10_000,
+        ) {
+            let fleet = FleetTrace::merge(7, 4, total, hops);
+            for h in &fleet.hops {
+                prop_assert!(h.trace.phase_totals().total() <= h.trace.total_ns);
+                prop_assert!(h.trace.total_ns <= h.e2e_ns);
+                prop_assert!(h.e2e_ns <= fleet.total_ns);
+            }
+        }
+
+        /// Merging is invariant under hop arrival order.
+        #[test]
+        fn merge_is_arrival_order_invariant(
+            hops in proptest::collection::vec(arb_hop(), 0..8),
+            rot in 0usize..8,
+        ) {
+            let mut shuffled = hops.clone();
+            let pivot = rot.min(shuffled.len().saturating_sub(1));
+            shuffled.rotate_left(pivot);
+            shuffled.reverse();
+            let a = FleetTrace::merge(7, 4, 0, hops);
+            let b = FleetTrace::merge(7, 4, 0, shuffled);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

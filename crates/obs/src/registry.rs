@@ -51,6 +51,25 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Raises the value to `v` if larger — for high-water marks kept
+    /// directly in the gauge (e.g. peak write-buffer bytes).
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adds one — for occupancy gauges (e.g. active connections).
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one, saturating at zero.
+    pub fn dec(&self) {
+        // fetch_update never fails with a Relaxed/Relaxed pair.
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)

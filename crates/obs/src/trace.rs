@@ -92,8 +92,25 @@ pub struct ShardTrace {
 }
 
 /// A complete per-query trace.
+///
+/// Since codec v2 a trace also carries its **hop context** — which
+/// distributed trace it belongs to ([`QueryTrace::trace_id`]), which
+/// node produced it ([`QueryTrace::node`]), and when that node started
+/// executing ([`QueryTrace::started_unix_ns`]) — so per-node traces can
+/// be merged into a fleet-wide view (see [`crate::fleettrace`]). All
+/// three default to "unset" (`0` / empty) for purely local traces.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct QueryTrace {
+    /// Distributed trace id shared by every hop of one fleet query;
+    /// `0` when the trace never crossed a process boundary.
+    pub trace_id: u64,
+    /// Identity of the node that executed the query (its listen
+    /// address); empty for purely local traces.
+    pub node: String,
+    /// Wall-clock nanoseconds since the UNIX epoch when the node
+    /// started executing; `0` when unset. Clocks are per-node, so this
+    /// orders hops only approximately — durations stay authoritative.
+    pub started_unix_ns: u64,
     /// The threshold the query executed at.
     pub tau: u32,
     /// Wall time of the whole (scatter-gather) search.
@@ -102,10 +119,14 @@ pub struct QueryTrace {
     pub shards: Vec<ShardTrace>,
 }
 
-/// Codec version of the [`QueryTrace`] payload.
-const TRACE_VERSION: u8 = 1;
+/// Codec version of the [`QueryTrace`] payload. v2 added the hop
+/// context (trace id, node, start timestamp); v1 blobs still decode,
+/// with the context defaulted to unset.
+const TRACE_VERSION: u8 = 2;
 /// Allocation guard: no real deployment has this many shards/segments.
 const MAX_TRACE_ITEMS: u32 = 1 << 16;
+/// Allocation guard on the node-identity string.
+const MAX_NODE_LEN: u32 = 1 << 10;
 
 fn read_count(r: &mut ByteReader<'_>, what: &str) -> Result<u32> {
     let n = r.u32(what)?;
@@ -138,6 +159,10 @@ impl QueryTrace {
     /// payloads that embed a trace).
     pub fn encode_into(&self, buf: &mut Vec<u8>) {
         buf.push(TRACE_VERSION);
+        buf.extend_from_slice(&self.trace_id.to_le_bytes());
+        buf.extend_from_slice(&(self.node.len() as u32).to_le_bytes());
+        buf.extend_from_slice(self.node.as_bytes());
+        buf.extend_from_slice(&self.started_unix_ns.to_le_bytes());
         buf.extend_from_slice(&self.tau.to_le_bytes());
         buf.extend_from_slice(&self.total_ns.to_le_bytes());
         buf.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
@@ -174,12 +199,28 @@ impl QueryTrace {
         Ok(out)
     }
 
-    /// Decodes a trace from the reader's current position.
+    /// Decodes a trace from the reader's current position. Accepts the
+    /// current codec (v2) and v1 blobs (pre-context), whose hop context
+    /// decodes as unset; any other version is a typed error.
     pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self> {
         let version = r.u8("trace version")?;
-        if version != TRACE_VERSION {
+        if version != 1 && version != TRACE_VERSION {
             return Err(HammingError::Corrupt(format!("unsupported trace version {version}")));
         }
+        let (trace_id, node, started_unix_ns) = if version >= 2 {
+            let trace_id = r.u64("trace id")?;
+            let node_len = r.u32("trace node len")?;
+            if node_len > MAX_NODE_LEN {
+                return Err(HammingError::Corrupt(format!(
+                    "trace node length {node_len} implausible"
+                )));
+            }
+            let node = String::from_utf8(r.bytes(node_len as usize, "trace node")?.to_vec())
+                .map_err(|_| HammingError::Corrupt("trace node is not UTF-8".into()))?;
+            (trace_id, node, r.u64("trace started")?)
+        } else {
+            (0, String::new(), 0)
+        };
         let tau = r.u32("trace tau")?;
         let total_ns = r.u64("trace total")?;
         let n_shards = read_count(r, "trace shards")?;
@@ -209,7 +250,7 @@ impl QueryTrace {
             }
             shards.push(ShardTrace { shard, total_ns: sh_total, segments });
         }
-        Ok(QueryTrace { tau, total_ns, shards })
+        Ok(QueryTrace { trace_id, node, started_unix_ns, tau, total_ns, shards })
     }
 }
 
@@ -237,7 +278,8 @@ impl Default for TraceConfig {
 pub struct Tracer {
     cfg: TraceConfig,
     tick: AtomicU64,
-    sampled: AtomicU64,
+    sampled: crate::registry::Counter,
+    slow: crate::registry::Counter,
     ring: Mutex<VecDeque<QueryTrace>>,
     phase_hists: [Histogram; 5],
 }
@@ -246,7 +288,9 @@ const PHASE_NAMES: [&str; 5] = ["alloc", "enumerate", "probe", "verify", "scan"]
 
 impl Tracer {
     /// Creates a tracer, registering its per-phase time summaries
-    /// (`gph_query_phase_ns{phase=...}`) in `registry`.
+    /// (`gph_query_phase_ns{phase=...}`) and recording counters
+    /// (`gph_trace_sampled_total`, `gph_trace_slow_total`) in
+    /// `registry`.
     pub fn new(cfg: TraceConfig, registry: &MetricsRegistry) -> Self {
         let phase_hists = PHASE_NAMES.map(|phase| {
             registry.histogram(
@@ -258,7 +302,16 @@ impl Tracer {
         Tracer {
             cfg,
             tick: AtomicU64::new(0),
-            sampled: AtomicU64::new(0),
+            sampled: registry.counter(
+                "gph_trace_sampled_total",
+                "Query traces recorded (sampled or explicitly requested).",
+                &[],
+            ),
+            slow: registry.counter(
+                "gph_trace_slow_total",
+                "Recorded traces that entered the slow-query ring.",
+                &[],
+            ),
             ring: Mutex::new(VecDeque::new()),
             phase_hists,
         }
@@ -282,13 +335,18 @@ impl Tracer {
 
     /// Traces recorded since start.
     pub fn sampled(&self) -> u64 {
-        self.sampled.load(Ordering::Relaxed)
+        self.sampled.get()
+    }
+
+    /// Recorded traces that entered the slow-query ring since start.
+    pub fn slow_total(&self) -> u64 {
+        self.slow.get()
     }
 
     /// Records a completed trace: feeds the per-phase summaries and,
     /// when the query was slow enough, the ring buffer.
     pub fn record(&self, trace: &QueryTrace) {
-        self.sampled.fetch_add(1, Ordering::Relaxed);
+        self.sampled.inc();
         let phases = trace.phase_totals();
         for (h, v) in self.phase_hists.iter().zip([
             phases.alloc_ns,
@@ -300,6 +358,7 @@ impl Tracer {
             h.record(v);
         }
         if self.cfg.ring_capacity > 0 && trace.total_ns >= self.cfg.slow_threshold_ns {
+            self.slow.inc();
             let mut ring = self.ring.lock().unwrap();
             if ring.len() == self.cfg.ring_capacity {
                 ring.pop_front();
@@ -320,6 +379,9 @@ mod tests {
 
     fn sample_trace(total_ns: u64) -> QueryTrace {
         QueryTrace {
+            trace_id: 0xDEC0DE,
+            node: "127.0.0.1:7471".into(),
+            started_unix_ns: 1_700_000_000_000_000_000,
             tau: 8,
             total_ns,
             shards: vec![ShardTrace {
@@ -367,7 +429,8 @@ mod tests {
 
     #[test]
     fn trace_codec_rejects_corruption() {
-        let bytes = sample_trace(1).encode();
+        let t = sample_trace(1);
+        let bytes = t.encode();
         assert!(QueryTrace::decode(&bytes[..bytes.len() - 1]).is_err(), "truncated");
         let mut versioned = bytes.clone();
         versioned[0] = 9;
@@ -375,10 +438,44 @@ mod tests {
         let mut trailing = bytes.clone();
         trailing.push(0);
         assert!(QueryTrace::decode(&trailing).is_err(), "trailing bytes");
-        // Implausible shard count must fail before allocating.
+        // Implausible node length must fail before allocating.
+        let mut long_node = bytes.clone();
+        long_node[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(QueryTrace::decode(&long_node).is_err(), "implausible node length");
+        // Implausible shard count must fail before allocating. Offset:
+        // version + trace_id + node (len prefix + bytes) + started +
+        // tau + total_ns.
+        let off = 1 + 8 + 4 + t.node.len() + 8 + 4 + 8;
         let mut huge = bytes;
-        huge[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+        huge[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(QueryTrace::decode(&huge).is_err(), "implausible count");
+    }
+
+    /// Encodes `t` in the v1 (pre-context) layout.
+    fn encode_v1(t: &QueryTrace) -> Vec<u8> {
+        let mut buf = t.encode();
+        // v2 = version byte, 20 bytes of context + node, then the v1
+        // body verbatim; rewrite the prefix to the v1 form.
+        let body = buf.split_off(1 + 8 + 4 + t.node.len() + 8);
+        vec![1u8].into_iter().chain(body).collect()
+    }
+
+    /// Pins the compatibility choice: v1 blobs (no hop context) still
+    /// decode, with trace id / node / start timestamp defaulting to
+    /// unset.
+    #[test]
+    fn trace_codec_decodes_v1_blobs_with_default_context() {
+        let t = sample_trace(123_456);
+        let v1 = encode_v1(&t);
+        assert_eq!(v1[0], 1);
+        let back = QueryTrace::decode(&v1).unwrap();
+        assert_eq!(back.trace_id, 0);
+        assert_eq!(back.node, "");
+        assert_eq!(back.started_unix_ns, 0);
+        let expect = QueryTrace { trace_id: 0, node: String::new(), started_unix_ns: 0, ..t };
+        assert_eq!(back, expect, "v1 body fields survive unchanged");
+        // Re-encoding a decoded v1 blob produces the current version.
+        assert_eq!(back.encode()[0], 2);
     }
 
     #[test]

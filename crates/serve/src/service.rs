@@ -40,6 +40,11 @@ pub struct ServiceConfig {
     /// cache. Applied by [`QueryService::warm_start`] at restore time and
     /// inherited by segments sealed while serving.
     pub storage: StorageMode,
+    /// Build/restore generation the operator stamps on this service
+    /// (bumped per rebuild or warm restart). Reported verbatim by the
+    /// network `Health` op so fleet clients can tell a restarted node
+    /// from a stale one.
+    pub generation: u64,
 }
 
 impl Default for ServiceConfig {
@@ -51,6 +56,7 @@ impl Default for ServiceConfig {
             admission: AdmissionConfig::default(),
             trace: TraceConfig::default(),
             storage: StorageMode::Resident,
+            generation: 0,
         }
     }
 }
@@ -316,6 +322,8 @@ pub struct QueryService {
     shared: Arc<Shared>,
     tx: Option<channel::Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    generation: u64,
+    queue_capacity: usize,
 }
 
 impl QueryService {
@@ -347,7 +355,13 @@ impl QueryService {
                     .expect("spawning a worker thread")
             })
             .collect();
-        QueryService { shared, tx: Some(tx), workers: handles }
+        QueryService {
+            shared,
+            tx: Some(tx),
+            workers: handles,
+            generation: cfg.generation,
+            queue_capacity: cfg.queue_capacity.max(1),
+        }
     }
 
     /// Warm-starts a service from a [`ShardedIndex::snapshot`]
@@ -704,6 +718,30 @@ impl QueryService {
             cache: self.cache_stats(),
             admission: self.admission_stats(),
         }
+    }
+
+    /// The build/restore generation stamped via
+    /// [`ServiceConfig::generation`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Jobs currently queued ahead of the workers (one batch = one
+    /// job). Cheap enough to serve from a health probe.
+    pub fn queue_depth(&self) -> usize {
+        self.tx.as_ref().map(|tx| tx.len()).unwrap_or(0)
+    }
+
+    /// The configured queue capacity, in jobs.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Whether the service is degraded: the worker queue is saturated,
+    /// so new submissions will block or shed. Health probes report this
+    /// so fleet clients can prefer a healthier replica.
+    pub fn degraded(&self) -> bool {
+        self.queue_depth() >= self.queue_capacity
     }
 
     /// The metrics registry every service counter/histogram lives in.

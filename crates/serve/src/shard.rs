@@ -344,7 +344,12 @@ impl ShardedIndex {
             shards.push(ShardTrace { shard: shard as u32, total_ns: shard_ns, segments });
         }
         ids.sort_unstable();
-        let trace = QueryTrace { tau, total_ns: t0.elapsed().as_nanos() as u64, shards };
+        let trace = QueryTrace {
+            tau,
+            total_ns: t0.elapsed().as_nanos() as u64,
+            shards,
+            ..QueryTrace::default()
+        };
         (ShardedSearchResult { ids, shard_stats }, trace)
     }
 

@@ -63,6 +63,7 @@ fn main() {
             // Everything resident; see the README's "Out-of-core
             // serving" section for the file-backed mode.
             storage: Default::default(),
+            generation: 0,
         },
     );
 

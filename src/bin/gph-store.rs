@@ -36,7 +36,9 @@
 //! gph-store publish --metastore 127.0.0.1:7400 --version 1 --fleet-slots 6 \
 //!                   --nodes "0,2,4@127.0.0.1:7471;1,3,5@127.0.0.1:7472"
 //! gph-store manifest --metastore 127.0.0.1:7400
-//! gph-store query --metastore 127.0.0.1:7400 --tau 8 --sample 5 [--topk k]
+//! gph-store query --metastore 127.0.0.1:7400 --tau 8 --sample 5 [--topk k] [--trace]
+//! gph-store metrics --metastore 127.0.0.1:7400
+//! gph-store fleettop --metastore 127.0.0.1:7400 [--interval secs]
 //! ```
 //!
 //! `build --fleet-slots/--owned` keeps only the rows whose fleet slot
@@ -44,7 +46,12 @@
 //! set, under their **global** ids — so disjoint per-node snapshots
 //! reassemble into exactly the single-index answer. `publish` versions
 //! the shard→node map; `query --metastore` scatter-gathers across the
-//! fleet with the exact top-k merge.
+//! fleet with the exact top-k merge. `query --metastore --trace` merges
+//! every node's hop trace into one distributed view (engine time vs
+//! network + queue time per hop, straggler marked); `metrics
+//! --metastore` asks the metastore to scrape and merge every node's
+//! exposition (unreachable nodes report as stale); `fleettop` prints a
+//! one-shot per-node health summary from two federated scrapes.
 //!
 //! `build` runs the expensive offline phase (partition optimization,
 //! index + estimator construction, one engine per shard) and snapshots
@@ -107,6 +114,7 @@ fn main() -> ExitCode {
         "add" => cmd_add(&opts),
         "del" => cmd_del(&opts),
         "metastore" => cmd_metastore(&opts),
+        "fleettop" => cmd_fleettop(&opts),
         "publish" => cmd_publish(&opts),
         "manifest" => cmd_manifest(&opts),
         "--help" | "-h" | "help" => {
@@ -139,7 +147,8 @@ fn usage() {
          \x20 serve --index <dir> --listen <addr> [--workers w] [--duration secs]\n\
          \x20       [--memory-budget <bytes|Nk|Nm|Ng>]\n\
          \x20 stats --connect <addr>\n\
-         \x20 metrics --connect <addr>\n\
+         \x20 metrics (--connect <addr> | --metastore <addr>)\n\
+         \x20 fleettop --metastore <addr> [--interval secs]\n\
          \x20 add   --index <dir> --id <n> (--bits <01...> | --random-seed <s>)\n\
          \x20       [--upsert]\n\
          \x20 del   --index <dir> --id <n>\n\
@@ -461,17 +470,113 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
         "admission:  {} admitted, {} degraded, {} rejected",
         a.admitted, a.degraded, a.rejected
     );
+    // The page cache and the tracer live in the metrics exposition, not
+    // the Stats payload; one Metrics op fills in the rest of the row.
+    let exp = gph_suite::obs::Exposition::parse(&client.metrics().map_err(|e| e.to_string())?);
+    let val = |series: &str| exp.value(series).unwrap_or(0.0);
+    let (pc_hits, pc_misses) = (val("gph_pagecache_hits"), val("gph_pagecache_misses"));
+    if pc_hits + pc_misses > 0.0 {
+        println!(
+            "pagecache:  {pc_hits:.0} hits / {pc_misses:.0} misses ({:.0}% hit rate), \
+             {:.0} evictions, {:.1} MB resident",
+            pc_hits / (pc_hits + pc_misses) * 100.0,
+            val("gph_pagecache_evictions"),
+            val("gph_pagecache_resident_bytes") / 1e6,
+        );
+    } else {
+        println!("pagecache:  inactive (fully resident)");
+    }
+    println!(
+        "tracing:    {:.0} sampled, {:.0} slow (ring-retained)",
+        val("gph_trace_sampled_total"),
+        val("gph_trace_slow_total"),
+    );
     Ok(())
 }
 
 /// `metrics --connect`: one `Metrics` op; prints the server's Prometheus
 /// text exposition verbatim (pipe it into a scrape file or `promtool`).
+/// `metrics --metastore`: one `AggregateMetrics` op; the metastore
+/// scrapes every node in the manifest, merges the expositions, and
+/// reports unreachable nodes as stale (listed on stderr) instead of
+/// failing the aggregation.
 fn cmd_metrics(opts: &HashMap<String, String>) -> Result<(), String> {
-    check_flags(opts, &["connect"])?;
-    let addr = need(opts, "connect")?;
+    check_flags(opts, &["connect", "metastore"])?;
+    if let Some(addr) = opts.get("metastore") {
+        if opts.contains_key("connect") {
+            return Err("--metastore excludes --connect".into());
+        }
+        let client = GphClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+        let fleet = client.aggregate_metrics().map_err(|e| e.to_string())?;
+        for node in &fleet.nodes {
+            match &node.error {
+                None => eprintln!("node {}: fresh", node.node),
+                Some(e) => eprintln!("node {}: stale ({e})", node.node),
+            }
+        }
+        print!("{}", fleet.merged);
+        return Ok(());
+    }
+    let addr = need(opts, "connect").map_err(|_| "need --connect or --metastore".to_string())?;
     let client = GphClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
     let text = client.metrics().map_err(|e| e.to_string())?;
     print!("{text}");
+    Ok(())
+}
+
+/// `fleettop --metastore`: a one-shot fleet health summary. Two
+/// federated scrapes `--interval` seconds apart give per-node QPS
+/// (counter delta over the window); the rest of the row reads straight
+/// from each node's latest exposition.
+fn cmd_fleettop(opts: &HashMap<String, String>) -> Result<(), String> {
+    check_flags(opts, &["metastore", "interval"])?;
+    let addr = need(opts, "metastore")?;
+    let interval: f64 = parse_or(opts, "interval", 1.0)?;
+    if interval <= 0.0 || !interval.is_finite() {
+        return Err("--interval must be positive".into());
+    }
+    let client = GphClient::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let first = client.aggregate_metrics().map_err(|e| e.to_string())?;
+    std::thread::sleep(Duration::from_secs_f64(interval));
+    let second = client.aggregate_metrics().map_err(|e| e.to_string())?;
+
+    let before: HashMap<&str, gph_suite::obs::Exposition> = first
+        .nodes
+        .iter()
+        .filter(|n| n.error.is_none())
+        .map(|n| (n.node.as_str(), gph_suite::obs::Exposition::parse(&n.text)))
+        .collect();
+    println!(
+        "{:<21} {:>8} {:>9} {:>10} {:>6} {:>13}",
+        "node", "qps", "p99(ms)", "pagecache", "conns", "backpressure"
+    );
+    for node in &second.nodes {
+        if let Some(e) = &node.error {
+            println!("{:<21} stale: {e}", node.node);
+            continue;
+        }
+        let exp = gph_suite::obs::Exposition::parse(&node.text);
+        let val = |series: &str| exp.value(series).unwrap_or(0.0);
+        let qps = before
+            .get(node.node.as_str())
+            .and_then(|b| b.value("gph_responses_total"))
+            .map_or(0.0, |prev| (val("gph_responses_total") - prev).max(0.0) / interval);
+        let (hits, misses) = (val("gph_pagecache_hits"), val("gph_pagecache_misses"));
+        let pagecache = if hits + misses > 0.0 {
+            format!("{:.0}%", hits / (hits + misses) * 100.0)
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:<21} {:>8.1} {:>9.3} {:>10} {:>6.0} {:>13.0}",
+            node.node,
+            qps,
+            val("gph_latency_ns{quantile=\"0.99\"}") / 1e6,
+            pagecache,
+            val("gph_net_connections_active"),
+            val("gph_net_backpressure_pauses_total"),
+        );
+    }
     Ok(())
 }
 
@@ -510,6 +615,29 @@ fn print_trace(qt: &gph_suite::obs::QueryTrace) {
                 seg.phases.total() as f64 / 1e6,
             );
         }
+    }
+}
+
+/// Pretty-prints a merged fleet trace: one line per hop attributing
+/// node-side engine time vs network + queue time, straggler marked.
+fn print_fleet_trace(ft: &gph_suite::obs::FleetTrace) {
+    println!(
+        "  fleet trace {:016x}: tau={} wall {:.3} ms over {} hop(s)",
+        ft.trace_id,
+        ft.tau,
+        ft.total_ns as f64 / 1e6,
+        ft.hops.len()
+    );
+    let straggler = ft.straggler().map(|h| h.node.as_str()).unwrap_or_default();
+    for hop in &ft.hops {
+        println!(
+            "    {}: e2e {:.3} ms = engine {:.3} ms + network/queue {:.3} ms{}",
+            hop.node,
+            hop.e2e_ns as f64 / 1e6,
+            hop.trace.total_ns as f64 / 1e6,
+            hop.network_ns() as f64 / 1e6,
+            if hop.node == straggler { "  <- straggler" } else { "" }
+        );
     }
 }
 
@@ -677,9 +805,6 @@ fn cmd_query_fleet(addr: &str, opts: &HashMap<String, String>) -> Result<(), Str
     if opts.contains_key("index") || opts.contains_key("connect") {
         return Err("--metastore excludes --index and --connect".into());
     }
-    if opts.contains_key("trace") {
-        return Err("--trace is not available through the fleet path".into());
-    }
     let fleet = FleetClient::connect(addr, FleetConfig::default())
         .map_err(|e| format!("connecting to metastore {addr}: {e}"))?;
     let manifest = fleet.manifest();
@@ -698,6 +823,10 @@ fn cmd_query_fleet(addr: &str, opts: &HashMap<String, String>) -> Result<(), Str
     let tau: u32 = parse(opts, "tau")?;
     let queries = load_queries(opts, remote.dim as usize)?;
     let topk: usize = parse_or(opts, "topk", 0)?;
+    let trace = opts.contains_key("trace");
+    if trace && topk > 0 {
+        return Err("--trace applies to range queries, not --topk".into());
+    }
     let t0 = Instant::now();
     let mut total = 0usize;
     for qi in 0..queries.len() {
@@ -709,6 +838,16 @@ fn cmd_query_fleet(addr: &str, opts: &HashMap<String, String>) -> Result<(), Str
                 &res.hits[..res.hits.len().min(8)],
                 if res.degraded { "  (degraded)" } else { "" }
             );
+        } else if trace {
+            let res = fleet.search_traced(queries.row(qi), tau).map_err(|e| e.to_string())?;
+            total += res.ids.len();
+            println!(
+                "query {qi}: {} results {:?}{}",
+                res.ids.len(),
+                &res.ids[..res.ids.len().min(16)],
+                if res.degraded { "  (degraded)" } else { "" }
+            );
+            print_fleet_trace(&res.trace);
         } else {
             let res = fleet.search(queries.row(qi), tau).map_err(|e| e.to_string())?;
             total += res.ids.len();
